@@ -1,0 +1,58 @@
+// Ablation: EO's oracle-budget trade-off. Firmani et al.'s contribution is
+// maximizing recall per oracle query; this sweep varies EO's probability-
+// estimate floor (which gates oracle submission) and plots recall,
+// precision and oracle spending — the progressive-resolution curve the
+// paper's related work discusses, regenerated for our scaled workload.
+
+#include <cstdio>
+
+#include "baselines/edge_ordering.h"
+#include "baselines/oracle.h"
+#include "bench_util.h"
+#include "linkage/sketch_matchers.h"
+
+namespace sketchlink::bench {
+namespace {
+
+void Run() {
+  Banner("Ablation — EO oracle budget vs recall (NCVR, standard blocking)",
+         "Sweeping the estimate floor that gates oracle submissions.");
+
+  const datagen::DatasetKind kind = datagen::DatasetKind::kNcvr;
+  const datagen::Workload workload = MakeScaledWorkload(kind, 1500, 10);
+  const RecordSimilarity similarity(MatchFieldsFor(kind), 0.75);
+  const GroundTruth truth(workload.a);
+  auto blocker = MakeStandardBlocker(kind);
+
+  std::printf("%14s %10s %12s %16s %18s\n", "submit_floor", "recall",
+              "precision", "oracle_queries", "transitivity_skips");
+  for (double floor : {0.95, 0.85, 0.75, 0.65, 0.55, 0.45, 0.30}) {
+    EoOptions options;
+    options.submit_threshold = floor;
+    RecordStore store;
+    Oracle oracle;
+    EdgeOrderingMatcher matcher(options, similarity, &store, &oracle);
+    LinkageEngine engine(blocker.get(), &matcher, similarity);
+    if (!engine.BuildIndex(workload.a).ok()) return;
+    auto report = engine.ResolveAll(workload.q, truth);
+    if (!report.ok()) return;
+    std::printf("%14.2f %10.3f %12.3f %16llu %18llu\n", floor,
+                report->quality.recall, report->quality.precision,
+                static_cast<unsigned long long>(matcher.oracle_queries()),
+                static_cast<unsigned long long>(
+                    matcher.transitivity_skips()));
+  }
+  std::printf(
+      "\nExpected shape: lowering the floor spends more oracle queries for "
+      "diminishing recall\n(the formulated result set is fixed by blocking; "
+      "the oracle spending curve is what\nmoves), with transitivity "
+      "absorbing a growing share of would-be queries.\n");
+}
+
+}  // namespace
+}  // namespace sketchlink::bench
+
+int main() {
+  sketchlink::bench::Run();
+  return 0;
+}

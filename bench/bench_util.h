@@ -1,0 +1,102 @@
+#ifndef SKETCHLINK_BENCH_BENCH_UTIL_H_
+#define SKETCHLINK_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the paper-reproduction benchmark binaries. Each binary
+// regenerates one table or figure of "Summarization Algorithms for Record
+// Linkage" (EDBT 2018) at laptop scale and prints the same rows/series the
+// paper reports; see EXPERIMENTS.md for the scale mapping.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blocking/presets.h"
+#include "common/memory_tracker.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "datagen/generators.h"
+#include "datagen/perturb.h"
+#include "kv/env.h"
+#include "linkage/engine.h"
+
+namespace sketchlink::bench {
+
+/// The three evaluation data sets, in the paper's presentation order.
+inline std::vector<datagen::DatasetKind> AllKinds() {
+  return {datagen::DatasetKind::kDblp, datagen::DatasetKind::kNcvr,
+          datagen::DatasetKind::kLab};
+}
+
+/// Prints a banner naming the experiment being reproduced.
+inline void Banner(const char* experiment, const char* description) {
+  std::printf("\n==== %s ====\n%s\n\n", experiment, description);
+}
+
+/// Builds the paper's workload shape for one data set: Q base records and
+/// copies_per_entity perturbed records per entity in A (the paper uses 1000
+/// copies at |Q| in the hundreds of thousands; the defaults here keep the
+/// A:Q ratio meaningful at single-core scale).
+inline datagen::Workload MakeScaledWorkload(datagen::DatasetKind kind,
+                                            size_t entities, size_t copies,
+                                            uint64_t seed = 4242) {
+  datagen::WorkloadSpec spec;
+  spec.kind = kind;
+  spec.num_entities = entities;
+  spec.copies_per_entity = copies;
+  spec.max_perturb_ops = 4;
+  spec.seed = seed;
+  // Name data is heavily skewed; assay panels are ordered near-uniformly.
+  spec.zipf_skew = (kind == datagen::DatasetKind::kLab) ? 0.3 : 0.8;
+  return datagen::MakeWorkload(spec);
+}
+
+/// Scratch directory for benches that need the key/value store.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_("/tmp/sketchlink_bench_" + name) {
+    (void)kv::RemoveDirRecursively(path_);
+    (void)kv::CreateDirIfMissing(path_);
+  }
+  ~ScratchDir() { (void)kv::RemoveDirRecursively(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Blocking-key stream for the SkipBloom experiments: NCVR-like keys drawn
+/// with realistic skew, materialized lazily to keep memory flat.
+class KeyStream {
+ public:
+  KeyStream(size_t distinct_entities, uint64_t seed)
+      : base_(datagen::GenerateBase(datagen::DatasetKind::kNcvr,
+                                    distinct_entities, seed, 0.6)),
+        blocker_(MakeStandardBlocker(datagen::DatasetKind::kNcvr)),
+        perturbator_(seed ^ 0xaa, 4, 0),
+        rng_(seed ^ 0xbb) {}
+
+  /// Returns the next blocking key of the stream.
+  std::string Next() {
+    const Record& source = base_[rng_.UniformIndex(base_.size())];
+    const Record copy =
+        perturbator_.PerturbRecord(source, next_id_++);
+    return blocker_->Key(copy);
+  }
+
+ private:
+  Dataset base_;
+  std::unique_ptr<StandardBlocker> blocker_;
+  datagen::Perturbator perturbator_;
+  Rng rng_;
+  RecordId next_id_ = 1'000'000;
+};
+
+inline void PrintRow(const char* label, double value, const char* unit) {
+  std::printf("  %-38s %12.6f %s\n", label, value, unit);
+}
+
+}  // namespace sketchlink::bench
+
+#endif  // SKETCHLINK_BENCH_BENCH_UTIL_H_

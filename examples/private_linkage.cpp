@@ -1,0 +1,62 @@
+// Privacy-preserving linkage: two hospitals need to link patient records
+// without revealing names or addresses to each other. Each side reduces its
+// records to record-level Bloom-filter encodings (CLKs); only the bit
+// vectors and their Hamming LSH keys cross the trust boundary. Matching
+// thresholds the normalized Hamming similarity between encodings — no
+// plaintext comparison ever happens on the linkage side.
+//
+//   $ ./build/examples/private_linkage
+
+#include <cstdio>
+
+#include "blocking/presets.h"
+#include "datagen/generators.h"
+#include "linkage/engine.h"
+#include "linkage/metrics.h"
+#include "linkage/pprl_matcher.h"
+#include "common/memory_tracker.h"
+#include "linkage/similarity.h"
+
+using namespace sketchlink;
+
+int main() {
+  // Hospital B's patient roster: 1000 patients, 5 registrations each.
+  datagen::WorkloadSpec spec;
+  spec.kind = datagen::DatasetKind::kNcvr;
+  spec.num_entities = 1000;
+  spec.copies_per_entity = 5;
+  spec.max_perturb_ops = 3;
+  spec.seed = 0x9A71;
+  const datagen::Workload workload = datagen::MakeWorkload(spec);
+
+  auto blocker = MakeLshBlocker(spec.kind);
+  PprlMatcher matcher(blocker.get(), /*similarity_threshold=*/0.9);
+  const RecordSimilarity similarity(MatchFieldsFor(spec.kind), 0.75);
+  LinkageEngine engine(blocker.get(), &matcher, similarity);
+
+  if (!engine.BuildIndex(workload.a).ok()) return 1;
+  std::printf(
+      "Hospital B indexed %zu registrations as %zu-bit encodings; the "
+      "linkage side holds %s\nof opaque bit vectors and LSH keys — no "
+      "plaintext.\n",
+      workload.a.size(), blocker->params().embedding_bits,
+      FormatBytes(matcher.ApproximateMemoryUsage()).c_str());
+
+  // Hospital A submits its (encoded) queries.
+  const GroundTruth truth(workload.a);
+  auto report = engine.ResolveAll(workload.q, truth);
+  if (!report.ok()) return 1;
+
+  std::printf(
+      "\nLinked %zu query patients: recall %.3f, precision %.3f "
+      "(%.1fus per query,\n%llu Hamming comparisons in total).\n",
+      workload.q.size(), report->quality.recall, report->quality.precision,
+      report->avg_query_seconds * 1e6,
+      static_cast<unsigned long long>(report->comparisons));
+  std::printf(
+      "\nFor comparison, an eavesdropper on the linkage side sees only "
+      "%zu-bit vectors:\nfield values never leave their custodian "
+      "(Schnell et al. 2009; paper refs [18], [28]).\n",
+      blocker->params().embedding_bits);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Streaming linkage with bounded memory: records arrive endlessly (e.g.
+// admissions feeds from many hospitals) and must be linked on the fly.
+// SBlockSketch keeps at most mu blocks live; everything else is spilled to
+// the embedded key/value store and faulted back on demand, so resident
+// memory stays flat no matter how long the stream runs (Problem Statement 3).
+//
+//   $ ./build/examples/stream_linkage
+
+#include <cstdio>
+
+#include "blocking/presets.h"
+#include "core/sblock_sketch.h"
+#include "datagen/generators.h"
+#include "kv/db.h"
+#include "kv/env.h"
+
+using namespace sketchlink;
+
+int main() {
+  const std::string dir = "/tmp/sketchlink_stream_example";
+  (void)kv::RemoveDirRecursively(dir);
+  auto db = kv::Db::Open(dir);
+  if (!db.ok()) {
+    std::fprintf(stderr, "db open failed: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+
+  // An endless admissions stream over a 2k-patient population.
+  const Dataset population =
+      datagen::GenerateBase(datagen::DatasetKind::kLab, 2000, 0xF00D, 0.3);
+  const Dataset stream =
+      datagen::MakeStream(population, /*total=*/40000, /*max_perturb_ops=*/3,
+                          /*seed=*/0xFEED);
+  auto blocker = MakeStandardBlocker(datagen::DatasetKind::kLab);
+
+  SBlockSketchOptions options;
+  options.mu = 500;  // the memory budget: at most 500 live blocks
+  options.w = 1.5;
+  SBlockSketch sketch(options, db->get());
+
+  std::printf("%10s %12s %12s %12s %14s\n", "records", "live_blocks",
+              "evictions", "disk_loads", "sketch_memory");
+  size_t processed = 0;
+  for (const Record& record : stream.records()) {
+    const Status status = sketch.Insert(blocker->Key(record),
+                                        blocker->KeyValues(record), record.id);
+    if (!status.ok()) {
+      std::fprintf(stderr, "insert failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (++processed % 8000 == 0) {
+      std::printf("%10zu %12zu %12llu %12llu %14s\n", processed,
+                  sketch.num_live_blocks(),
+                  static_cast<unsigned long long>(sketch.stats().evictions),
+                  static_cast<unsigned long long>(sketch.stats().disk_loads),
+                  FormatBytes(sketch.ApproximateMemoryUsage()).c_str());
+    }
+  }
+
+  // Memory stayed bounded while every block remained queryable:
+  const Record& probe = stream[123];
+  auto candidates = sketch.Candidates(blocker->Key(probe),
+                                      blocker->KeyValues(probe));
+  if (!candidates.ok()) return 1;
+  std::printf(
+      "\nAfter %zu stream records: %zu live blocks (mu = %zu), probe query "
+      "returned %zu candidates.\n",
+      processed, sketch.num_live_blocks(), options.mu, candidates->size());
+  std::printf(
+      "The spill store holds the cold blocks; resident sketch memory is %s "
+      "regardless of stream length.\n",
+      FormatBytes(sketch.ApproximateMemoryUsage()).c_str());
+
+  db->reset();
+  (void)kv::RemoveDirRecursively(dir);
+  return 0;
+}

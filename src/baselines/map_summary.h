@@ -1,0 +1,51 @@
+#ifndef SKETCHLINK_BASELINES_MAP_SUMMARY_H_
+#define SKETCHLINK_BASELINES_MAP_SUMMARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+#include "common/memory_tracker.h"
+
+namespace sketchlink {
+
+/// The "MAP" straw man of Figure 6b: a plain hash map (here a hash set of
+/// distinct blocking keys), i.e. the exact, linear-memory alternative to the
+/// SkipBloom synopsis. Its footprint grows linearly with distinct keys,
+/// which is what makes it collapse at scale in the paper's experiment.
+class MapSummary {
+ public:
+  MapSummary() = default;
+
+  /// Records `key`.
+  void Insert(std::string_view key) {
+    keys_.emplace(key);
+    ++inserts_;
+  }
+
+  /// Exact membership.
+  bool Query(std::string_view key) const {
+    return keys_.count(std::string(key)) > 0;
+  }
+
+  size_t size() const { return keys_.size(); }
+  uint64_t inserts() const { return inserts_; }
+
+  /// Bytes held: node overhead + string payloads (mirrors the accounting
+  /// SkipBloom reports so Fig. 6b compares like with like).
+  size_t ApproximateMemoryUsage() const {
+    size_t bytes = sizeof(*this) + keys_.bucket_count() * sizeof(void*);
+    for (const std::string& key : keys_) {
+      bytes += StringFootprint(key) + sizeof(void*) * 2;
+    }
+    return bytes;
+  }
+
+ private:
+  std::unordered_set<std::string> keys_;
+  uint64_t inserts_ = 0;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_BASELINES_MAP_SUMMARY_H_

@@ -1,0 +1,49 @@
+#ifndef SKETCHLINK_BASELINES_ORACLE_H_
+#define SKETCHLINK_BASELINES_ORACLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "record/record.h"
+
+namespace sketchlink {
+
+/// The match oracle assumed by Firmani et al. (PVLDB'16): an entity that
+/// answers "do these two records refer to the same real-world entity?"
+/// correctly. Here it reads the generator-planted entity ids. Every query is
+/// counted, since minimizing oracle calls is EO's stated objective.
+class Oracle {
+ public:
+  Oracle() = default;
+
+  /// Registers the ground truth of a data set.
+  void RegisterDataset(const Dataset& dataset) {
+    for (const Record& record : dataset.records()) {
+      entity_of_[record.id] = record.entity_id;
+    }
+  }
+
+  void RegisterRecord(const Record& record) {
+    entity_of_[record.id] = record.entity_id;
+  }
+
+  /// True when both records are known and share an entity.
+  bool Matches(RecordId a, RecordId b) const {
+    ++queries_;
+    auto ia = entity_of_.find(a);
+    auto ib = entity_of_.find(b);
+    return ia != entity_of_.end() && ib != entity_of_.end() &&
+           ia->second == ib->second && ia->second != 0;
+  }
+
+  /// Number of oracle invocations so far.
+  uint64_t queries() const { return queries_; }
+
+ private:
+  std::unordered_map<RecordId, uint64_t> entity_of_;
+  mutable uint64_t queries_ = 0;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_BASELINES_ORACLE_H_

@@ -1,0 +1,37 @@
+#ifndef SKETCHLINK_BLOCKING_BLOCKER_H_
+#define SKETCHLINK_BLOCKING_BLOCKER_H_
+
+#include <string>
+#include <vector>
+
+#include "record/record.h"
+
+namespace sketchlink {
+
+/// Generates the blocking key(s) of a record — the `block(r)` function of
+/// the paper's problem formulation (Sec. 3.3). Standard blocking emits one
+/// key per record; redundant schemes such as LSH blocking emit several, one
+/// per hash table.
+class Blocker {
+ public:
+  virtual ~Blocker() = default;
+
+  /// Blocking keys of `record`, in a stable order.
+  virtual std::vector<std::string> Keys(const Record& record) const = 0;
+
+  /// The record's "key values" (footnote 7 of the paper): the untruncated
+  /// normalized values of the fields the blocking key is built from,
+  /// '#'-joined. BlockSketch measures representative distances on this
+  /// string, not on the (possibly truncated or hashed) blocking key itself.
+  virtual std::string KeyValues(const Record& record) const = 0;
+
+  /// Number of keys Keys() emits (1 for standard blocking, L for LSH).
+  virtual size_t keys_per_record() const = 0;
+
+  /// Human-readable description for logs and benchmark output.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_BLOCKING_BLOCKER_H_

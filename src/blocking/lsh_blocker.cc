@@ -1,0 +1,87 @@
+#include "blocking/lsh_blocker.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "text/normalize.h"
+
+namespace sketchlink {
+
+HammingLshBlocker::HammingLshBlocker(LshParams params,
+                                     std::vector<int> match_fields)
+    : params_(params),
+      match_fields_(std::move(match_fields)),
+      encoder_(params.embedding_bits, params.embedding_hashes, params.qgram,
+               params.seed) {
+  Rng rng(params_.seed ^ 0xabcdef);
+  positions_.resize(params_.num_tables);
+  for (size_t t = 0; t < params_.num_tables; ++t) {
+    // Sample bits_per_key distinct positions per table (Floyd's algorithm
+    // would be fancier; rejection is fine at these sizes).
+    std::vector<uint32_t>& positions = positions_[t];
+    while (positions.size() < params_.bits_per_key) {
+      const uint32_t candidate =
+          static_cast<uint32_t>(rng.UniformUint64(params_.embedding_bits));
+      if (std::find(positions.begin(), positions.end(), candidate) ==
+          positions.end()) {
+        positions.push_back(candidate);
+      }
+    }
+    std::sort(positions.begin(), positions.end());
+  }
+}
+
+BitVector HammingLshBlocker::Embed(const Record& record) const {
+  std::vector<std::string> values;
+  values.reserve(match_fields_.size());
+  for (int field : match_fields_) {
+    if (field >= 0 && static_cast<size_t>(field) < record.fields.size()) {
+      values.push_back(text::NormalizeField(record.fields[field]));
+    }
+  }
+  return encoder_.Encode(values);
+}
+
+std::string HammingLshBlocker::KeyValues(const Record& record) const {
+  std::string values;
+  for (size_t i = 0; i < match_fields_.size(); ++i) {
+    if (i > 0) values.push_back('#');
+    const int field = match_fields_[i];
+    if (field < 0 || static_cast<size_t>(field) >= record.fields.size()) {
+      continue;
+    }
+    values.append(text::NormalizeField(record.fields[field]));
+  }
+  return values;
+}
+
+std::vector<std::string> HammingLshBlocker::Keys(const Record& record) const {
+  const BitVector embedding = Embed(record);
+  std::vector<std::string> keys;
+  keys.reserve(params_.num_tables);
+  for (size_t t = 0; t < params_.num_tables; ++t) {
+    std::string key = "T";
+    key += std::to_string(t);
+    key.push_back('_');
+    // Pack sampled bits 4 per hex nibble.
+    uint8_t nibble = 0;
+    int filled = 0;
+    for (uint32_t position : positions_[t]) {
+      nibble = static_cast<uint8_t>((nibble << 1) |
+                                    (embedding.GetBit(position) ? 1 : 0));
+      if (++filled == 4) {
+        key.push_back("0123456789ABCDEF"[nibble]);
+        nibble = 0;
+        filled = 0;
+      }
+    }
+    if (filled > 0) {
+      nibble = static_cast<uint8_t>(nibble << (4 - filled));
+      key.push_back("0123456789ABCDEF"[nibble]);
+    }
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+}  // namespace sketchlink

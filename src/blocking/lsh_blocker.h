@@ -1,0 +1,72 @@
+#ifndef SKETCHLINK_BLOCKING_LSH_BLOCKER_H_
+#define SKETCHLINK_BLOCKING_LSH_BLOCKER_H_
+
+#include <string>
+#include <vector>
+
+#include "blocking/blocker.h"
+#include "bloom/record_encoder.h"
+
+namespace sketchlink {
+
+/// Parameters of Hamming LSH blocking (Karapiperis & Verykios, TKDE'15; the
+/// paper's second blocking method).
+struct LshParams {
+  /// Number of independent hash tables L; each contributes one key, so the
+  /// scheme is redundant blocking.
+  size_t num_tables = 8;
+  /// Bits sampled per table (the LSH "k"): more bits = more selective keys.
+  size_t bits_per_key = 24;
+  /// Width of the record-level Bloom filter embedding. Sized so that typical
+  /// records fill ~30-50% of the bits; a mostly-zero embedding would make
+  /// sampled positions uninformative and collapse key selectivity.
+  size_t embedding_bits = 300;
+  /// Hash functions per q-gram in the embedding.
+  uint32_t embedding_hashes = 4;
+  /// q-gram width of the embedding.
+  size_t qgram = 2;
+  uint64_t seed = 0x15151515ULL;
+};
+
+/// Hamming LSH blocker: embeds each record's match fields into a record-level
+/// Bloom filter (Hamming space) and, for each of L tables, samples a fixed
+/// random subset of bit positions; the table id plus the sampled bit string
+/// is the blocking key ("HashTableNo_Key" composite format, paper Sec. 7.2).
+/// Two records collide in a table with probability that grows with their
+/// Hamming similarity, so near-duplicates share at least one key with high
+/// probability.
+class HammingLshBlocker : public Blocker {
+ public:
+  /// `match_fields` selects which record fields feed the embedding.
+  HammingLshBlocker(LshParams params, std::vector<int> match_fields);
+
+  std::vector<std::string> Keys(const Record& record) const override;
+
+  /// Normalized embedded-field values, '#'-joined (LSH keys hash the whole
+  /// match-field embedding, so every embedded field is a key field).
+  std::string KeyValues(const Record& record) const override;
+
+  size_t keys_per_record() const override { return params_.num_tables; }
+  std::string name() const override { return "hamming-lsh"; }
+
+  const LshParams& params() const { return params_; }
+
+  /// The sampled bit positions of table `t` (exposed for tests).
+  const std::vector<uint32_t>& TablePositions(size_t t) const {
+    return positions_[t];
+  }
+
+  /// Embeds a record the same way key generation does (for diagnostics).
+  BitVector Embed(const Record& record) const;
+
+ private:
+  LshParams params_;
+  std::vector<int> match_fields_;
+  RecordBloomEncoder encoder_;
+  // positions_[t] = sorted bit positions sampled for table t.
+  std::vector<std::vector<uint32_t>> positions_;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_BLOCKING_LSH_BLOCKER_H_

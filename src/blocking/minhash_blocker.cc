@@ -1,0 +1,92 @@
+#include "blocking/minhash_blocker.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "text/normalize.h"
+#include "text/qgram.h"
+
+namespace sketchlink {
+
+MinHashBlocker::MinHashBlocker(MinHashParams params,
+                               std::vector<int> match_fields)
+    : params_(params), match_fields_(std::move(match_fields)) {
+  Rng rng(params_.seed);
+  const size_t total = params_.num_bands * params_.rows_per_band;
+  hash_seeds_.reserve(total);
+  for (size_t i = 0; i < total; ++i) {
+    hash_seeds_.push_back(rng.NextUint64());
+  }
+}
+
+std::string MinHashBlocker::KeyValues(const Record& record) const {
+  std::string values;
+  for (size_t i = 0; i < match_fields_.size(); ++i) {
+    if (i > 0) values.push_back('#');
+    const int field = match_fields_[i];
+    if (field < 0 || static_cast<size_t>(field) >= record.fields.size()) {
+      continue;
+    }
+    values.append(text::NormalizeField(record.fields[field]));
+  }
+  return values;
+}
+
+std::vector<uint64_t> MinHashBlocker::Signature(const Record& record) const {
+  // Token set: padded q-grams of every match field, field-tagged so that
+  // the same gram in different fields stays distinct.
+  std::vector<std::string> tokens;
+  for (int field : match_fields_) {
+    if (field < 0 || static_cast<size_t>(field) >= record.fields.size()) {
+      continue;
+    }
+    const std::string normalized =
+        text::NormalizeField(record.fields[field]);
+    for (std::string& gram :
+         text::QGrams(normalized, params_.qgram, /*pad=*/true)) {
+      gram.push_back('\x1f');
+      gram.push_back(static_cast<char>('0' + field));
+      tokens.push_back(std::move(gram));
+    }
+  }
+
+  std::vector<uint64_t> signature(hash_seeds_.size(),
+                                  std::numeric_limits<uint64_t>::max());
+  for (const std::string& token : tokens) {
+    for (size_t h = 0; h < hash_seeds_.size(); ++h) {
+      signature[h] =
+          std::min(signature[h], Murmur3_64(token, hash_seeds_[h]));
+    }
+  }
+  return signature;
+}
+
+std::vector<std::string> MinHashBlocker::Keys(const Record& record) const {
+  const std::vector<uint64_t> signature = Signature(record);
+  std::vector<std::string> keys;
+  keys.reserve(params_.num_bands);
+  for (size_t band = 0; band < params_.num_bands; ++band) {
+    // Hash the band's rows into one 64-bit key.
+    uint64_t combined = 0x9e3779b97f4a7c15ULL ^ band;
+    for (size_t row = 0; row < params_.rows_per_band; ++row) {
+      const uint64_t value =
+          signature[band * params_.rows_per_band + row];
+      combined ^= value + 0x9e3779b97f4a7c15ULL + (combined << 6) +
+                  (combined >> 2);
+    }
+    std::string key = "B";
+    key += std::to_string(band);
+    key.push_back('_');
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(combined));
+    key.append(buf);
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+}  // namespace sketchlink

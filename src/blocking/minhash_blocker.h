@@ -1,0 +1,57 @@
+#ifndef SKETCHLINK_BLOCKING_MINHASH_BLOCKER_H_
+#define SKETCHLINK_BLOCKING_MINHASH_BLOCKER_H_
+
+#include <string>
+#include <vector>
+
+#include "blocking/blocker.h"
+
+namespace sketchlink {
+
+/// Parameters of MinHash (Jaccard) LSH blocking.
+struct MinHashParams {
+  /// Number of bands; each band contributes one blocking key (redundant
+  /// blocking, like the Hamming scheme's L tables).
+  size_t num_bands = 8;
+  /// Hash functions per band (the band width r). Collision probability for
+  /// Jaccard similarity s is 1 - (1 - s^r)^bands.
+  size_t rows_per_band = 4;
+  /// q-gram width of the token set.
+  size_t qgram = 2;
+  uint64_t seed = 0x3141592ULL;
+};
+
+/// MinHash LSH blocker: the classic Jaccard-similarity family (Broder), the
+/// main alternative to the Hamming family the paper evaluates. Each record's
+/// match fields are tokenized into q-grams; `num_bands * rows_per_band`
+/// independent min-hashes summarize the set; each band of `rows_per_band`
+/// signatures is hashed into one blocking key ("B<i>_<hash>").
+///
+/// Two records sharing a fraction s of their q-grams collide in a given
+/// band with probability s^r, hence in at least one of b bands with
+/// probability 1 - (1 - s^r)^b — the familiar S-curve.
+class MinHashBlocker : public Blocker {
+ public:
+  MinHashBlocker(MinHashParams params, std::vector<int> match_fields);
+
+  std::vector<std::string> Keys(const Record& record) const override;
+  std::string KeyValues(const Record& record) const override;
+  size_t keys_per_record() const override { return params_.num_bands; }
+  std::string name() const override { return "minhash-lsh"; }
+
+  const MinHashParams& params() const { return params_; }
+
+  /// The full signature (num_bands * rows_per_band min-hashes), exposed for
+  /// tests and diagnostics.
+  std::vector<uint64_t> Signature(const Record& record) const;
+
+ private:
+  MinHashParams params_;
+  std::vector<int> match_fields_;
+  // Per-hash-function seeds, fixed at construction.
+  std::vector<uint64_t> hash_seeds_;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_BLOCKING_MINHASH_BLOCKER_H_

@@ -1,0 +1,47 @@
+#include "blocking/presets.h"
+
+namespace sketchlink {
+
+std::unique_ptr<StandardBlocker> MakeStandardBlocker(
+    datagen::DatasetKind kind) {
+  using datagen::DatasetKind;
+  std::vector<KeyPart> parts;
+  switch (kind) {
+    case DatasetKind::kDblp:
+      // author[50%] + venue.
+      parts = {KeyPart{0, 0, 0.5}, KeyPart{1, 0, 1.0}};
+      break;
+    case DatasetKind::kNcvr:
+      // given_name + surname[50%].
+      parts = {KeyPart{0, 0, 1.0}, KeyPart{1, 0, 0.5}};
+      break;
+    case DatasetKind::kLab:
+      // assay[6] + result.
+      parts = {KeyPart{0, 6, 1.0}, KeyPart{1, 0, 1.0}};
+      break;
+  }
+  return std::make_unique<StandardBlocker>(std::move(parts));
+}
+
+std::vector<int> MatchFieldsFor(datagen::DatasetKind kind) {
+  using datagen::DatasetKind;
+  switch (kind) {
+    case DatasetKind::kDblp:
+      return {0, 1, 2};  // author, venue, year
+    case DatasetKind::kNcvr:
+      return {0, 1, 2, 3};  // given, surname, address, town
+    case DatasetKind::kLab:
+      // assay + result; the year column is excluded because 20 distinct
+      // values in 2000-2019 make every cross-entity pair score ~0.8 under
+      // Jaro-Winkler, drowning the discriminative fields.
+      return {0, 1};
+  }
+  return {};
+}
+
+std::unique_ptr<HammingLshBlocker> MakeLshBlocker(datagen::DatasetKind kind,
+                                                  LshParams params) {
+  return std::make_unique<HammingLshBlocker>(params, MatchFieldsFor(kind));
+}
+
+}  // namespace sketchlink

@@ -1,0 +1,30 @@
+#ifndef SKETCHLINK_BLOCKING_PRESETS_H_
+#define SKETCHLINK_BLOCKING_PRESETS_H_
+
+#include <memory>
+#include <vector>
+
+#include "blocking/lsh_blocker.h"
+#include "blocking/standard_blocker.h"
+#include "datagen/generators.h"
+
+namespace sketchlink {
+
+/// Paper Table 1 blocking-key definitions (bold fields):
+///   DBLP: author[50%] + venue        NCVR: given_name + surname[50%]
+///   LAB : assay[6 chars]
+std::unique_ptr<StandardBlocker> MakeStandardBlocker(
+    datagen::DatasetKind kind);
+
+/// Fields compared during the matching phase (all descriptive string fields;
+/// the year column is excluded since single-digit typos there dominate
+/// nothing).
+std::vector<int> MatchFieldsFor(datagen::DatasetKind kind);
+
+/// Hamming LSH blocker configured for `kind` (embeds the match fields).
+std::unique_ptr<HammingLshBlocker> MakeLshBlocker(datagen::DatasetKind kind,
+                                                  LshParams params = {});
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_BLOCKING_PRESETS_H_

@@ -1,0 +1,40 @@
+#include "blocking/sorted_neighborhood.h"
+
+#include "common/memory_tracker.h"
+
+namespace sketchlink {
+
+void SortedNeighborhoodIndex::Insert(const Record& record) {
+  index_.emplace(blocker_->Key(record), record.id);
+}
+
+std::vector<RecordId> SortedNeighborhoodIndex::Candidates(
+    const Record& query) const {
+  std::vector<RecordId> candidates;
+  if (index_.empty()) return candidates;
+  const std::string key = blocker_->Key(query);
+  auto pivot = index_.lower_bound(key);
+
+  // Walk `window_` entries backwards and forwards from the pivot.
+  auto backward = pivot;
+  for (size_t i = 0; i < window_ && backward != index_.begin(); ++i) {
+    --backward;
+    candidates.push_back(backward->second);
+  }
+  auto forward = pivot;
+  for (size_t i = 0; i < window_ && forward != index_.end(); ++i) {
+    candidates.push_back(forward->second);
+    ++forward;
+  }
+  return candidates;
+}
+
+size_t SortedNeighborhoodIndex::ApproximateMemoryUsage() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [key, id] : index_) {
+    bytes += StringFootprint(key) + sizeof(id) + sizeof(void*) * 4;
+  }
+  return bytes;
+}
+
+}  // namespace sketchlink

@@ -1,0 +1,58 @@
+#ifndef SKETCHLINK_BLOCKING_SORTED_NEIGHBORHOOD_H_
+#define SKETCHLINK_BLOCKING_SORTED_NEIGHBORHOOD_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blocking/standard_blocker.h"
+#include "record/record.h"
+
+namespace sketchlink {
+
+/// Sorted-neighborhood candidate generation (Hernandez & Stolfo, SIGMOD'95;
+/// the lineage behind the Whang/Papenbrock progressive methods and the
+/// Ramadan & Christen trees the paper's related work discusses). Records
+/// are kept sorted by a key; a query's candidates are the `window` records
+/// on either side of its key position.
+///
+/// This is NOT one of the paper's evaluated methods — it is provided as the
+/// classic alternative to hash blocking, and it exhibits the weakness the
+/// paper calls out for sort-based methods: a typo in the first character
+/// ("Jones" vs "Kones") teleports a record across the sort order, so the
+/// pair never meets inside any practical window.
+class SortedNeighborhoodIndex {
+ public:
+  /// `key_blocker` produces the sort key (its full Key(), untruncated is
+  /// fine); `window` is the one-sided neighbourhood size.
+  SortedNeighborhoodIndex(std::unique_ptr<StandardBlocker> key_blocker,
+                          size_t window)
+      : blocker_(std::move(key_blocker)), window_(window) {}
+
+  SortedNeighborhoodIndex(const SortedNeighborhoodIndex&) = delete;
+  SortedNeighborhoodIndex& operator=(const SortedNeighborhoodIndex&) = delete;
+
+  /// Indexes one record under its sort key.
+  void Insert(const Record& record);
+
+  /// Ids of the records within `window` sort positions of the query's key
+  /// (both directions), including exact-key ties.
+  std::vector<RecordId> Candidates(const Record& query) const;
+
+  size_t size() const { return index_.size(); }
+  size_t window() const { return window_; }
+
+  size_t ApproximateMemoryUsage() const;
+
+ private:
+  std::unique_ptr<StandardBlocker> blocker_;
+  size_t window_;
+  // Sort key -> ids. std::multimap keeps neighbours adjacent; iteration
+  // outward from lower_bound yields the window.
+  std::multimap<std::string, RecordId> index_;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_BLOCKING_SORTED_NEIGHBORHOOD_H_

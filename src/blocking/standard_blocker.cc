@@ -1,0 +1,46 @@
+#include "blocking/standard_blocker.h"
+
+#include "text/normalize.h"
+
+namespace sketchlink {
+
+std::string StandardBlocker::Key(const Record& record) const {
+  std::string key;
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    const KeyPart& part = parts_[i];
+    if (i > 0) key.push_back('#');
+    if (part.field_index < 0 ||
+        static_cast<size_t>(part.field_index) >= record.fields.size()) {
+      continue;  // missing field contributes an empty component
+    }
+    const std::string normalized =
+        text::NormalizeField(record.fields[part.field_index]);
+    std::string_view piece;
+    if (part.prefix_chars > 0) {
+      piece = text::Prefix(normalized, part.prefix_chars);
+    } else {
+      piece = text::FractionPrefix(normalized, part.prefix_fraction);
+    }
+    key.append(piece);
+  }
+  return key;
+}
+
+std::vector<std::string> StandardBlocker::Keys(const Record& record) const {
+  return {Key(record)};
+}
+
+std::string StandardBlocker::KeyValues(const Record& record) const {
+  std::string values;
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    if (i > 0) values.push_back('#');
+    const int field = parts_[i].field_index;
+    if (field < 0 || static_cast<size_t>(field) >= record.fields.size()) {
+      continue;
+    }
+    values.append(text::NormalizeField(record.fields[field]));
+  }
+  return values;
+}
+
+}  // namespace sketchlink

@@ -1,0 +1,49 @@
+#ifndef SKETCHLINK_BLOCKING_STANDARD_BLOCKER_H_
+#define SKETCHLINK_BLOCKING_STANDARD_BLOCKER_H_
+
+#include <string>
+#include <vector>
+
+#include "blocking/blocker.h"
+
+namespace sketchlink {
+
+/// One component of a standard blocking key: a field index plus how much of
+/// the normalized value to keep. Exactly one of `prefix_chars` (absolute,
+/// e.g. assay[6]) or `prefix_fraction` (relative, e.g. surname[50%]) is used;
+/// set prefix_chars = 0 and prefix_fraction = 1.0 for the whole value.
+struct KeyPart {
+  int field_index = 0;
+  size_t prefix_chars = 0;     // 0 = use fraction instead
+  double prefix_fraction = 1.0;
+};
+
+/// Standard blocking (paper Sec. 7, Table 1): records with identical values
+/// in the chosen (possibly truncated) blocking fields land in the same
+/// block. Keys are the '#'-joined normalized field prefixes.
+class StandardBlocker : public Blocker {
+ public:
+  explicit StandardBlocker(std::vector<KeyPart> parts)
+      : parts_(std::move(parts)) {}
+
+  std::vector<std::string> Keys(const Record& record) const override;
+
+  /// Untruncated normalized blocking-field values ("JAMES#JOHNSON" for a
+  /// key of "JAMES#JOHN").
+  std::string KeyValues(const Record& record) const override;
+
+  /// The single key of `record` (convenience over Keys()).
+  std::string Key(const Record& record) const;
+
+  size_t keys_per_record() const override { return 1; }
+  std::string name() const override { return "standard"; }
+
+  const std::vector<KeyPart>& parts() const { return parts_; }
+
+ private:
+  std::vector<KeyPart> parts_;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_BLOCKING_STANDARD_BLOCKER_H_

@@ -1,0 +1,35 @@
+#include "bloom/annotated_bloom_filter.h"
+
+#include "common/coding.h"
+
+namespace sketchlink {
+
+void AnnotatedBloomFilter::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, capacity_);
+  PutVarint64(dst, count_);
+  PutLengthPrefixed(dst, min_);
+  PutLengthPrefixed(dst, max_);
+  filter_.EncodeTo(dst);
+}
+
+Result<AnnotatedBloomFilter> AnnotatedBloomFilter::DecodeFrom(
+    std::string_view* input) {
+  uint64_t capacity;
+  uint64_t count;
+  std::string_view min;
+  std::string_view max;
+  if (!GetVarint64(input, &capacity) || !GetVarint64(input, &count) ||
+      !GetLengthPrefixed(input, &min) || !GetLengthPrefixed(input, &max)) {
+    return Status::Corruption("truncated annotated filter header");
+  }
+  auto filter = BloomFilter::DecodeFrom(input);
+  if (!filter.ok()) return filter.status();
+  AnnotatedBloomFilter annotated(static_cast<size_t>(capacity),
+                                 std::move(*filter));
+  annotated.count_ = static_cast<size_t>(count);
+  annotated.min_.assign(min);
+  annotated.max_.assign(max);
+  return annotated;
+}
+
+}  // namespace sketchlink

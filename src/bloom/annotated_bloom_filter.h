@@ -1,0 +1,95 @@
+#ifndef SKETCHLINK_BLOOM_ANNOTATED_BLOOM_FILTER_H_
+#define SKETCHLINK_BLOOM_ANNOTATED_BLOOM_FILTER_H_
+
+#include <string>
+#include <string_view>
+
+#include "bloom/bloom_filter.h"
+#include "common/memory_tracker.h"
+#include "common/status.h"
+
+namespace sketchlink {
+
+/// A Bloom filter annotated with the lexicographically smallest and greatest
+/// keys it has absorbed, plus a bounded capacity. SkipBloom (Sec. 4) keeps a
+/// short chain of these per sampled block: the [min, max] annotation lets
+/// queries and block splits skip filters whose range cannot contain the key,
+/// and lets a newly sampled key take over (reference) the filters of its
+/// predecessor that may hold keys now belonging to it (Fig. 2).
+class AnnotatedBloomFilter {
+ public:
+  /// `capacity` is the maximum number of keys this filter accepts before
+  /// SkipBloom rotates to a fresh one; geometry is sized for that capacity
+  /// at the requested false-positive rate.
+  AnnotatedBloomFilter(size_t capacity, double fp_rate, uint64_t seed = 0)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        filter_(BloomFilter::WithCapacity(capacity == 0 ? 1 : capacity,
+                                          fp_rate, seed)) {}
+
+  /// Inserts `key` and widens the [min, max] annotation.
+  void Insert(std::string_view key) {
+    filter_.Insert(key);
+    if (count_ == 0) {
+      min_.assign(key);
+      max_.assign(key);
+    } else {
+      if (key < min_) min_.assign(key);
+      if (key > max_) max_.assign(key);
+    }
+    ++count_;
+  }
+
+  /// Returns true if `key` falls inside the annotated range; empty filters
+  /// cover nothing.
+  bool RangeCovers(std::string_view key) const {
+    return count_ > 0 && key >= min_ && key <= max_;
+  }
+
+  /// Range check + probabilistic membership (Algorithm 1, lines 4-5).
+  bool MayContain(std::string_view key) const {
+    return RangeCovers(key) && filter_.MayContain(key);
+  }
+
+  /// True once `capacity` keys have been inserted.
+  bool Full() const { return count_ >= capacity_; }
+
+  /// Number of keys inserted (counting duplicates).
+  size_t count() const { return count_; }
+
+  /// Smallest inserted key ("" when empty).
+  const std::string& min_key() const { return min_; }
+
+  /// Greatest inserted key ("" when empty).
+  const std::string& max_key() const { return max_; }
+
+  /// Underlying filter, exposed for diagnostics.
+  const BloomFilter& filter() const { return filter_; }
+
+  /// Bytes held by this object.
+  size_t ApproximateMemoryUsage() const {
+    return sizeof(*this) - sizeof(BloomFilter) +
+           filter_.ApproximateMemoryUsage() + StringHeapBytes(min_) +
+           StringHeapBytes(max_);
+  }
+
+  /// Serializes capacity, count, annotations and the bit array (appended to
+  /// `*dst`). Used when a SkipBloom synopsis is shipped to another site.
+  void EncodeTo(std::string* dst) const;
+
+  /// Reconstructs a filter from EncodeTo output.
+  static Result<AnnotatedBloomFilter> DecodeFrom(std::string_view* input);
+
+ private:
+  AnnotatedBloomFilter(size_t capacity, BloomFilter filter)
+      : capacity_(capacity), filter_(std::move(filter)) {}
+
+  size_t capacity_;
+  size_t count_ = 0;
+  std::string min_;
+  std::string max_;
+  BloomFilter filter_;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_BLOOM_ANNOTATED_BLOOM_FILTER_H_

@@ -1,0 +1,50 @@
+#include "bloom/counting_bloom_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sketchlink {
+
+CountingBloomFilter CountingBloomFilter::WithCapacity(size_t expected_items,
+                                                      double fp_rate,
+                                                      uint64_t seed) {
+  expected_items = std::max<size_t>(expected_items, 1);
+  fp_rate = std::clamp(fp_rate, 1e-9, 0.5);
+  const double ln2 = std::log(2.0);
+  const double m = -static_cast<double>(expected_items) * std::log(fp_rate) /
+                   (ln2 * ln2);
+  const double k = m / static_cast<double>(expected_items) * ln2;
+  return CountingBloomFilter(
+      static_cast<size_t>(std::ceil(m)),
+      static_cast<uint32_t>(std::max(1.0, std::round(k))), seed);
+}
+
+void CountingBloomFilter::Insert(std::string_view key) {
+  DoubleHasher hasher(key, seed_);
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    uint8_t& cell = counters_[hasher.Probe(i, counters_.size())];
+    if (cell == 255) continue;  // saturated: sticks
+    if (++cell == 255) ++saturated_;
+  }
+  ++insert_count_;
+}
+
+void CountingBloomFilter::Remove(std::string_view key) {
+  DoubleHasher hasher(key, seed_);
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    uint8_t& cell = counters_[hasher.Probe(i, counters_.size())];
+    if (cell == 255 || cell == 0) continue;  // saturated or already empty
+    --cell;
+  }
+  if (insert_count_ > 0) --insert_count_;
+}
+
+bool CountingBloomFilter::MayContain(std::string_view key) const {
+  DoubleHasher hasher(key, seed_);
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    if (counters_[hasher.Probe(i, counters_.size())] == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace sketchlink

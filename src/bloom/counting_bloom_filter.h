@@ -1,0 +1,67 @@
+#ifndef SKETCHLINK_BLOOM_COUNTING_BLOOM_FILTER_H_
+#define SKETCHLINK_BLOOM_COUNTING_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace sketchlink {
+
+/// Bloom filter with 8-bit counters instead of bits, supporting deletion:
+/// Insert increments the k counters, Remove decrements them, MayContain
+/// checks they are all non-zero. Saturated counters (255) stick, keeping
+/// the no-false-negative guarantee for keys still present at the cost of
+/// possible permanent false positives after heavy churn.
+///
+/// Used for mutable key universes (the paper's synopsis is insert-only;
+/// supporting custodians whose blocking keys are retracted — GDPR-style
+/// record erasure — needs deletions, which this provides).
+class CountingBloomFilter {
+ public:
+  /// `num_counters` cells with `num_hashes` probes per key.
+  CountingBloomFilter(size_t num_counters, uint32_t num_hashes,
+                      uint64_t seed = 0)
+      : num_hashes_(num_hashes == 0 ? 1 : num_hashes),
+        seed_(seed),
+        counters_(num_counters == 0 ? 1 : num_counters, 0) {}
+
+  /// Sized for `expected_items` at false-positive rate `fp_rate` (same
+  /// formula as the plain filter; 8x the memory for deletability).
+  static CountingBloomFilter WithCapacity(size_t expected_items,
+                                          double fp_rate, uint64_t seed = 0);
+
+  /// Increments the key's counters.
+  void Insert(std::string_view key);
+
+  /// Decrements the key's counters. Removing a key that was never inserted
+  /// corrupts membership of colliding keys — callers must pair Remove with
+  /// a prior Insert (checked in debug builds by the caller, not here; the
+  /// filter cannot distinguish).
+  void Remove(std::string_view key);
+
+  /// True if the key may be present; false means definitely absent.
+  bool MayContain(std::string_view key) const;
+
+  uint64_t insert_count() const { return insert_count_; }
+  size_t num_counters() const { return counters_.size(); }
+
+  /// Number of counters that have saturated (stuck at 255).
+  size_t saturated_count() const { return saturated_; }
+
+  size_t ApproximateMemoryUsage() const {
+    return sizeof(*this) + counters_.capacity();
+  }
+
+ private:
+  uint32_t num_hashes_;
+  uint64_t seed_;
+  uint64_t insert_count_ = 0;
+  size_t saturated_ = 0;
+  std::vector<uint8_t> counters_;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_BLOOM_COUNTING_BLOOM_FILTER_H_

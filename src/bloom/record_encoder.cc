@@ -1,0 +1,55 @@
+#include "bloom/record_encoder.h"
+
+#include <bit>
+
+#include "common/hash.h"
+#include "text/qgram.h"
+
+namespace sketchlink {
+
+size_t BitVector::CountSetBits() const {
+  size_t count = 0;
+  for (uint64_t word : words_) count += std::popcount(word);
+  return count;
+}
+
+size_t BitVector::HammingDistance(const BitVector& other) const {
+  size_t dist = 0;
+  const size_t n = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) {
+    dist += std::popcount(words_[i] ^ other.words_[i]);
+  }
+  // Width mismatch counts the tail of the longer vector.
+  for (size_t i = n; i < words_.size(); ++i) {
+    dist += std::popcount(words_[i]);
+  }
+  for (size_t i = n; i < other.words_.size(); ++i) {
+    dist += std::popcount(other.words_[i]);
+  }
+  return dist;
+}
+
+void RecordBloomEncoder::AddGrams(std::string_view value,
+                                  BitVector* out) const {
+  for (const std::string& gram : text::QGrams(value, q_, /*pad=*/true)) {
+    DoubleHasher hasher(gram, seed_);
+    for (uint32_t i = 0; i < num_hashes_; ++i) {
+      out->SetBit(hasher.Probe(i, num_bits_));
+    }
+  }
+}
+
+BitVector RecordBloomEncoder::Encode(
+    const std::vector<std::string>& fields) const {
+  BitVector out(num_bits_);
+  for (const std::string& field : fields) AddGrams(field, &out);
+  return out;
+}
+
+BitVector RecordBloomEncoder::EncodeString(std::string_view value) const {
+  BitVector out(num_bits_);
+  AddGrams(value, &out);
+  return out;
+}
+
+}  // namespace sketchlink

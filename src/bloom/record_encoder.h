@@ -1,0 +1,73 @@
+#ifndef SKETCHLINK_BLOOM_RECORD_ENCODER_H_
+#define SKETCHLINK_BLOOM_RECORD_ENCODER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sketchlink {
+
+/// Fixed-width bit vector produced by RecordBloomEncoder; the unit of
+/// Hamming-space operations (XOR distance, bit sampling for LSH).
+class BitVector {
+ public:
+  explicit BitVector(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  void SetBit(size_t i) { words_[i >> 6] |= (1ULL << (i & 63)); }
+  bool GetBit(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  size_t num_bits() const { return num_bits_; }
+  size_t CountSetBits() const;
+
+  /// Hamming distance to another vector of the same width.
+  size_t HammingDistance(const BitVector& other) const;
+
+  /// Raw words, for hashing sampled positions.
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  size_t ApproximateMemoryUsage() const {
+    return sizeof(*this) + words_.capacity() * sizeof(uint64_t);
+  }
+
+ private:
+  size_t num_bits_;
+  std::vector<uint64_t> words_;
+};
+
+/// Record-level Bloom filter encoder (CLK; Schnell, Bachteler & Reiher 2009):
+/// maps all q-grams of all selected fields of a record into one fixed-width
+/// bit vector, embedding the record into the Hamming space. This is the
+/// embedding Hamming LSH blocking operates on (paper Sec. 7, [18]).
+class RecordBloomEncoder {
+ public:
+  /// `num_bits` is the embedding width (the paper's record-level filters use
+  /// ~1000 bits), `num_hashes` the hash functions per q-gram, `q` the gram
+  /// width.
+  RecordBloomEncoder(size_t num_bits, uint32_t num_hashes, size_t q = 2,
+                     uint64_t seed = 0x5eedULL)
+      : num_bits_(num_bits), num_hashes_(num_hashes), q_(q), seed_(seed) {}
+
+  /// Encodes the concatenation of `fields` into a BitVector.
+  BitVector Encode(const std::vector<std::string>& fields) const;
+
+  /// Encodes a single string.
+  BitVector EncodeString(std::string_view value) const;
+
+  size_t num_bits() const { return num_bits_; }
+
+ private:
+  void AddGrams(std::string_view value, BitVector* out) const;
+
+  size_t num_bits_;
+  uint32_t num_hashes_;
+  size_t q_;
+  uint64_t seed_;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_BLOOM_RECORD_ENCODER_H_

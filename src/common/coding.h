@@ -1,0 +1,64 @@
+#ifndef SKETCHLINK_COMMON_CODING_H_
+#define SKETCHLINK_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace sketchlink {
+
+/// Little-endian binary codecs used by the key/value store's on-disk formats
+/// (WAL records, SSTable blocks, manifest entries). All "Get" functions
+/// consume from the front of `*input` and return false on underflow or
+/// malformed varints, leaving `*input` unspecified.
+
+/// Appends a fixed-width 32-bit little-endian value.
+void PutFixed32(std::string* dst, uint32_t value);
+
+/// Appends a fixed-width 64-bit little-endian value.
+void PutFixed64(std::string* dst, uint64_t value);
+
+/// Decodes a fixed 32-bit value from the first 4 bytes of `p`.
+uint32_t DecodeFixed32(const char* p);
+
+/// Decodes a fixed 64-bit value from the first 8 bytes of `p`.
+uint64_t DecodeFixed64(const char* p);
+
+/// Consumes a fixed 32-bit value from `*input`.
+bool GetFixed32(std::string_view* input, uint32_t* value);
+
+/// Consumes a fixed 64-bit value from `*input`.
+bool GetFixed64(std::string_view* input, uint64_t* value);
+
+/// Appends a varint-encoded 32-bit value (1-5 bytes).
+void PutVarint32(std::string* dst, uint32_t value);
+
+/// Appends a varint-encoded 64-bit value (1-10 bytes).
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Consumes a varint32 from `*input`.
+bool GetVarint32(std::string_view* input, uint32_t* value);
+
+/// Consumes a varint64 from `*input`.
+bool GetVarint64(std::string_view* input, uint64_t* value);
+
+/// Appends varint32(size) followed by the raw bytes.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+
+/// Consumes a length-prefixed slice; `*value` aliases the input buffer.
+bool GetLengthPrefixed(std::string_view* input, std::string_view* value);
+
+/// Number of bytes PutVarint64 would emit for `value`.
+int VarintLength(uint64_t value);
+
+/// CRC32C (Castagnoli) over `data`; software table-driven implementation.
+/// Used to checksum WAL records and SSTable blocks.
+uint32_t Crc32c(std::string_view data);
+
+/// Extends a running CRC32C with more data.
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data);
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_COMMON_CODING_H_

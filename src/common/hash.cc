@@ -1,0 +1,119 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace sketchlink {
+
+namespace {
+
+inline uint64_t RotL64(uint64_t x, int8_t r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline uint64_t FMix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+inline uint64_t LoadU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::pair<uint64_t, uint64_t> Murmur3_128(std::string_view data,
+                                          uint64_t seed) {
+  const char* key = data.data();
+  const size_t len = data.size();
+  const size_t nblocks = len / 16;
+
+  uint64_t h1 = seed;
+  uint64_t h2 = seed;
+  const uint64_t c1 = 0x87c37b91114253d5ULL;
+  const uint64_t c2 = 0x4cf5ad432745937fULL;
+
+  for (size_t i = 0; i < nblocks; i++) {
+    uint64_t k1 = LoadU64(key + i * 16);
+    uint64_t k2 = LoadU64(key + i * 16 + 8);
+
+    k1 *= c1;
+    k1 = RotL64(k1, 31);
+    k1 *= c2;
+    h1 ^= k1;
+    h1 = RotL64(h1, 27);
+    h1 += h2;
+    h1 = h1 * 5 + 0x52dce729;
+
+    k2 *= c2;
+    k2 = RotL64(k2, 33);
+    k2 *= c1;
+    h2 ^= k2;
+    h2 = RotL64(h2, 31);
+    h2 += h1;
+    h2 = h2 * 5 + 0x38495ab5;
+  }
+
+  const unsigned char* tail =
+      reinterpret_cast<const unsigned char*>(key + nblocks * 16);
+  uint64_t k1 = 0;
+  uint64_t k2 = 0;
+  switch (len & 15) {
+    case 15: k2 ^= static_cast<uint64_t>(tail[14]) << 48; [[fallthrough]];
+    case 14: k2 ^= static_cast<uint64_t>(tail[13]) << 40; [[fallthrough]];
+    case 13: k2 ^= static_cast<uint64_t>(tail[12]) << 32; [[fallthrough]];
+    case 12: k2 ^= static_cast<uint64_t>(tail[11]) << 24; [[fallthrough]];
+    case 11: k2 ^= static_cast<uint64_t>(tail[10]) << 16; [[fallthrough]];
+    case 10: k2 ^= static_cast<uint64_t>(tail[9]) << 8; [[fallthrough]];
+    case 9:
+      k2 ^= static_cast<uint64_t>(tail[8]);
+      k2 *= c2;
+      k2 = RotL64(k2, 33);
+      k2 *= c1;
+      h2 ^= k2;
+      [[fallthrough]];
+    case 8: k1 ^= static_cast<uint64_t>(tail[7]) << 56; [[fallthrough]];
+    case 7: k1 ^= static_cast<uint64_t>(tail[6]) << 48; [[fallthrough]];
+    case 6: k1 ^= static_cast<uint64_t>(tail[5]) << 40; [[fallthrough]];
+    case 5: k1 ^= static_cast<uint64_t>(tail[4]) << 32; [[fallthrough]];
+    case 4: k1 ^= static_cast<uint64_t>(tail[3]) << 24; [[fallthrough]];
+    case 3: k1 ^= static_cast<uint64_t>(tail[2]) << 16; [[fallthrough]];
+    case 2: k1 ^= static_cast<uint64_t>(tail[1]) << 8; [[fallthrough]];
+    case 1:
+      k1 ^= static_cast<uint64_t>(tail[0]);
+      k1 *= c1;
+      k1 = RotL64(k1, 31);
+      k1 *= c2;
+      h1 ^= k1;
+  }
+
+  h1 ^= static_cast<uint64_t>(len);
+  h2 ^= static_cast<uint64_t>(len);
+  h1 += h2;
+  h2 += h1;
+  h1 = FMix64(h1);
+  h2 = FMix64(h2);
+  h1 += h2;
+  h2 += h1;
+  return {h1, h2};
+}
+
+uint64_t Murmur3_64(std::string_view data, uint64_t seed) {
+  return Murmur3_128(data, seed).first;
+}
+
+}  // namespace sketchlink

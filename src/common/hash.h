@@ -1,0 +1,47 @@
+#ifndef SKETCHLINK_COMMON_HASH_H_
+#define SKETCHLINK_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+namespace sketchlink {
+
+/// 64-bit FNV-1a. Cheap and adequate for hash-table bucketing.
+uint64_t Fnv1a64(std::string_view data);
+
+/// MurmurHash3 x64 finalizer-quality 64-bit hash with a seed. This is the
+/// workhorse for Bloom filters and LSH position sampling.
+uint64_t Murmur3_64(std::string_view data, uint64_t seed);
+
+/// 128-bit MurmurHash3 (x64 variant) returning both halves. Bloom filters
+/// derive all k probe positions from one 128-bit hash via double hashing
+/// (Kirsch & Mitzenmacher), so each membership test costs one string hash.
+std::pair<uint64_t, uint64_t> Murmur3_128(std::string_view data,
+                                          uint64_t seed);
+
+/// Double-hashing probe sequence: position i = h1 + i*h2 (mod range).
+/// Guarantees h2 is odd so the sequence cycles through the full range when
+/// `range` is a power of two.
+class DoubleHasher {
+ public:
+  DoubleHasher(std::string_view data, uint64_t seed) {
+    auto [h1, h2] = Murmur3_128(data, seed);
+    h1_ = h1;
+    h2_ = h2 | 1;
+  }
+
+  /// Returns the i-th probe position modulo `range`.
+  uint64_t Probe(uint32_t i, uint64_t range) const {
+    return (h1_ + static_cast<uint64_t>(i) * h2_) % range;
+  }
+
+ private:
+  uint64_t h1_;
+  uint64_t h2_;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_COMMON_HASH_H_

@@ -1,0 +1,54 @@
+#ifndef SKETCHLINK_COMMON_MEMORY_TRACKER_H_
+#define SKETCHLINK_COMMON_MEMORY_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sketchlink {
+
+/// Explicit byte accounting for in-memory structures. The paper's Figure 6b
+/// compares the resident footprint of SkipBloom against a plain hash map;
+/// rather than scraping the allocator, every summarization structure in this
+/// library reports its own footprint via ApproximateMemoryUsage(), and this
+/// helper centralizes the per-component arithmetic used in those reports.
+class MemoryTracker {
+ public:
+  MemoryTracker() = default;
+
+  /// Records `bytes` under the running total.
+  void Add(size_t bytes) { bytes_ += bytes; }
+
+  /// Removes `bytes` from the running total (clamped at zero).
+  void Subtract(size_t bytes) { bytes_ -= (bytes > bytes_) ? bytes_ : bytes; }
+
+  /// Current tracked total in bytes.
+  size_t bytes() const { return bytes_; }
+
+  /// Resets the total to zero.
+  void Reset() { bytes_ = 0; }
+
+ private:
+  size_t bytes_ = 0;
+};
+
+/// Approximate heap footprint of a std::string, counting the SSO buffer as
+/// part of the object (callers add sizeof(std::string) separately only when
+/// the string is not embedded in an already-counted object).
+inline size_t StringHeapBytes(const std::string& s) {
+  // libstdc++ SSO capacity is 15; anything longer owns a heap buffer of
+  // capacity() + 1 bytes.
+  return s.capacity() > 15 ? s.capacity() + 1 : 0;
+}
+
+/// Full footprint of a standalone std::string (object + heap).
+inline size_t StringFootprint(const std::string& s) {
+  return sizeof(std::string) + StringHeapBytes(s);
+}
+
+/// Formats a byte count as a human-readable string ("1.4 GB", "312 KB").
+std::string FormatBytes(uint64_t bytes);
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_COMMON_MEMORY_TRACKER_H_

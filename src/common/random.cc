@@ -1,0 +1,67 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sketchlink {
+
+uint64_t Rng::GeometricSkip(double p) {
+  if (p >= 1.0) return 0;
+  if (p <= 0.0) return UINT64_MAX;
+  // Inverse-CDF sampling: skip = floor(log(U) / log(1 - p)).
+  double u = NextDouble();
+  // Guard against u == 0 (log(0) = -inf).
+  if (u <= 0.0) u = 0x1.0p-53;
+  double skip = std::floor(std::log(u) / std::log1p(-p));
+  if (skip >= 9.0e18) return UINT64_MAX;
+  return static_cast<uint64_t>(skip);
+}
+
+BernoulliSampler::BernoulliSampler(double p, uint64_t seed)
+    : p_(std::clamp(p, 0.0, 1.0)), rng_(seed) {
+  next_pick_ = rng_.GeometricSkip(p_);
+}
+
+bool BernoulliSampler::NextSample() {
+  const uint64_t index = seen_++;
+  if (index != next_pick_) return false;
+  ++sampled_;
+  const uint64_t skip = rng_.GeometricSkip(p_);
+  next_pick_ = (skip == UINT64_MAX) ? UINT64_MAX : index + 1 + skip;
+  return true;
+}
+
+ZipfSampler::ZipfSampler(uint64_t n, double s, uint64_t seed)
+    : n_(std::max<uint64_t>(n, 1)), s_(std::max(s, 0.0)), rng_(seed) {
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n_) + 0.5);
+  threshold_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -s_));
+}
+
+// H(x) = integral of x^-s; handles the s == 1 singularity with log.
+double ZipfSampler::H(double x) const {
+  if (std::abs(s_ - 1.0) < 1e-9) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfSampler::HInverse(double u) const {
+  if (std::abs(s_ - 1.0) < 1e-9) return std::exp(u);
+  return std::pow(1.0 + u * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+uint64_t ZipfSampler::Next() {
+  if (s_ == 0.0) return rng_.UniformUint64(n_);  // uniform special case
+  while (true) {
+    const double u = h_n_ + rng_.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    const uint64_t k = static_cast<uint64_t>(
+        std::clamp(x + 0.5, 1.0, static_cast<double>(n_)));
+    const double kd = static_cast<double>(k);
+    if (kd - x <= threshold_ ||
+        u >= H(kd + 0.5) - std::pow(kd, -s_)) {
+      return k - 1;  // shift to zero-based
+    }
+  }
+}
+
+}  // namespace sketchlink

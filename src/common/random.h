@@ -1,0 +1,123 @@
+#ifndef SKETCHLINK_COMMON_RANDOM_H_
+#define SKETCHLINK_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace sketchlink {
+
+/// SplitMix64: tiny, fast, well-mixed 64-bit generator. Used for seeding and
+/// as the library-wide deterministic RNG (experiments must be reproducible,
+/// so all randomized components take an explicit seed).
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t NextUint64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Returns the next 32 pseudo-random bits.
+  uint32_t NextUint32() { return static_cast<uint32_t>(NextUint64() >> 32); }
+
+  /// Returns a uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t UniformUint64(uint64_t bound) {
+    // Lemire's multiply-shift rejection-free mapping; the bias is < 2^-64
+    // per draw, negligible for our workloads.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(NextUint64()) * bound) >> 64);
+  }
+
+  /// Returns a uniform size_t index in [0, bound).
+  size_t UniformIndex(size_t bound) {
+    return static_cast<size_t>(UniformUint64(bound));
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Fair coin toss.
+  bool CoinFlip() { return (NextUint64() & 1) != 0; }
+
+  /// Samples a geometric "skip count": the number of failures before the
+  /// first success in Bernoulli(p) trials. Used by reservoir/Bernoulli
+  /// samplers to avoid one RNG call per stream element (Haas, data-stream
+  /// sampling; referenced by the paper in Sec. 4).
+  uint64_t GeometricSkip(double p);
+
+ private:
+  uint64_t state_;
+};
+
+/// Streaming Bernoulli sampler with geometric skips: decides for each element
+/// of a stream whether it is sampled with probability p, using O(1) amortized
+/// RNG work (one geometric draw per accepted element instead of one uniform
+/// draw per element). This is the sampling routine of SkipBloom's insert path
+/// (Algorithm 2, line 1).
+class BernoulliSampler {
+ public:
+  /// `p` is the per-element inclusion probability, clamped to [0, 1].
+  BernoulliSampler(double p, uint64_t seed);
+
+  /// Returns true iff the current element is sampled, and advances the
+  /// stream position by one.
+  bool NextSample();
+
+  /// Inclusion probability.
+  double p() const { return p_; }
+
+  /// Number of elements seen so far.
+  uint64_t seen() const { return seen_; }
+
+  /// Number of elements sampled so far.
+  uint64_t sampled() const { return sampled_; }
+
+ private:
+  double p_;
+  Rng rng_;
+  uint64_t seen_ = 0;
+  uint64_t sampled_ = 0;
+  uint64_t next_pick_ = 0;  // absolute index of the next sampled element
+};
+
+/// Zipf-distributed integer sampler over {0, ..., n-1} with exponent s.
+/// Uses the rejection-inversion method of Hörmann & Derflinger, so setup is
+/// O(1) and each draw is O(1) expected, independent of n. Used by the data
+/// generators to model skewed blocking-key frequencies.
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1; `s` is the skew (s = 0 degenerates to uniform).
+  ZipfSampler(uint64_t n, double s, uint64_t seed);
+
+  /// Draws one value in [0, n).
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double u) const;
+
+  uint64_t n_;
+  double s_;
+  Rng rng_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_COMMON_RANDOM_H_

@@ -1,0 +1,43 @@
+#include "common/status.h"
+
+namespace sketchlink {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kIOError:
+      return "io_error";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out(StatusCodeToString(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace sketchlink

@@ -1,0 +1,43 @@
+#ifndef SKETCHLINK_COMMON_STOPWATCH_H_
+#define SKETCHLINK_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace sketchlink {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harness.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Reset, in nanoseconds.
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  /// Elapsed time in microseconds.
+  uint64_t ElapsedMicros() const { return ElapsedNanos() / 1000; }
+
+  /// Elapsed time in milliseconds.
+  uint64_t ElapsedMillis() const { return ElapsedNanos() / 1000000; }
+
+  /// Elapsed time in seconds as a double.
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_COMMON_STOPWATCH_H_

@@ -1,0 +1,196 @@
+#include "core/block_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/coding.h"
+#include "common/memory_tracker.h"
+#include "text/jaro.h"
+
+namespace sketchlink {
+
+KeyDistanceFn DefaultKeyDistance() {
+  return [](std::string_view a, std::string_view b) {
+    return text::JaroWinklerDistance(a, b);
+  };
+}
+
+size_t BlockSketchOptions::rho() const {
+  const double d = std::clamp(delta, 1e-9, 0.999999);
+  return static_cast<size_t>(
+      std::ceil(static_cast<double>(lambda) * std::log(1.0 / d)));
+}
+
+size_t SketchBlock::TotalMembers() const {
+  size_t total = 0;
+  for (const SketchSubBlock& sub : subs) total += sub.members.size();
+  return total;
+}
+
+size_t SketchBlock::ApproximateMemoryUsage() const {
+  size_t bytes = sizeof(*this) + StringHeapBytes(anchor) +
+                 subs.capacity() * sizeof(SketchSubBlock);
+  for (const SketchSubBlock& sub : subs) {
+    bytes += sub.representatives.capacity() * sizeof(std::string);
+    for (const std::string& rep : sub.representatives) {
+      bytes += StringHeapBytes(rep);
+    }
+    bytes += sub.members.capacity() * sizeof(RecordId);
+  }
+  return bytes;
+}
+
+void SketchBlock::EncodeTo(std::string* dst) const {
+  PutLengthPrefixed(dst, anchor);
+  PutVarint32(dst, static_cast<uint32_t>(subs.size()));
+  for (const SketchSubBlock& sub : subs) {
+    PutVarint32(dst, static_cast<uint32_t>(sub.representatives.size()));
+    for (const std::string& rep : sub.representatives) {
+      PutLengthPrefixed(dst, rep);
+    }
+    PutVarint32(dst, static_cast<uint32_t>(sub.members.size()));
+    for (RecordId id : sub.members) {
+      PutVarint64(dst, id);
+    }
+  }
+}
+
+Result<SketchBlock> SketchBlock::DecodeFrom(std::string_view* input) {
+  std::string_view anchor;
+  uint32_t num_subs;
+  if (!GetLengthPrefixed(input, &anchor) || !GetVarint32(input, &num_subs)) {
+    return Status::Corruption("truncated block header");
+  }
+  SketchBlock block(num_subs);
+  block.anchor.assign(anchor);
+  for (uint32_t s = 0; s < num_subs; ++s) {
+    uint32_t num_reps;
+    if (!GetVarint32(input, &num_reps)) {
+      return Status::Corruption("truncated sub-block reps");
+    }
+    block.subs[s].representatives.reserve(num_reps);
+    for (uint32_t r = 0; r < num_reps; ++r) {
+      std::string_view rep;
+      if (!GetLengthPrefixed(input, &rep)) {
+        return Status::Corruption("truncated representative");
+      }
+      block.subs[s].representatives.emplace_back(rep);
+    }
+    uint32_t num_members;
+    if (!GetVarint32(input, &num_members)) {
+      return Status::Corruption("truncated sub-block members");
+    }
+    block.subs[s].members.reserve(num_members);
+    for (uint32_t m = 0; m < num_members; ++m) {
+      uint64_t id;
+      if (!GetVarint64(input, &id)) {
+        return Status::Corruption("truncated member id");
+      }
+      block.subs[s].members.push_back(id);
+    }
+  }
+  return block;
+}
+
+SketchPolicy::SketchPolicy(const BlockSketchOptions& options,
+                           KeyDistanceFn distance)
+    : options_(options),
+      distance_(std::move(distance)),
+      rng_(options.seed ^ 0x7e97e9ULL) {}
+
+size_t SketchPolicy::ChooseSubBlock(const SketchBlock& block,
+                                    std::string_view key_values,
+                                    uint64_t* comparisons) const {
+  // Distance ring of the key, measured from the block anchor (the
+  // <=theta, <=2*theta, ..., <=lambda*theta bands of Sec. 5).
+  const double anchor_distance = distance_(key_values, block.anchor);
+  if (comparisons != nullptr) ++*comparisons;
+  const double theta = std::max(options_.theta, 1e-9);
+  const size_t ring = std::min(static_cast<size_t>(anchor_distance / theta),
+                               options_.lambda - 1);
+
+  // A key whose ring is still unrepresented seeds it: this is how the
+  // farther sub-blocks of Fig. 4 acquire their first representative.
+  if (block.subs[ring].representatives.empty()) return ring;
+
+  // Algorithm 3: otherwise the sub-block whose representative exhibits the
+  // smallest distance from the key values wins.
+  size_t best = ring;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < block.subs.size(); ++i) {
+    for (const std::string& rep : block.subs[i].representatives) {
+      const double d = distance_(key_values, rep);
+      if (comparisons != nullptr) ++*comparisons;
+      if (d < best_distance) {
+        best = i;
+        best_distance = d;
+      }
+    }
+  }
+  return best;
+}
+
+void SketchPolicy::MaybeAddRepresentative(SketchSubBlock* sub,
+                                          std::string_view key_values) const {
+  const size_t rho = options_.rho();
+  if (sub->representatives.size() < rho) {
+    sub->representatives.emplace_back(key_values);
+    return;
+  }
+  if (rho == 0) return;
+  // Coin toss; on heads a uniformly random old representative is evicted
+  // in favour of the new key (Sec. 5, representative replacement).
+  if (rng_.CoinFlip()) {
+    const size_t victim = rng_.UniformIndex(sub->representatives.size());
+    sub->representatives[victim].assign(key_values);
+  }
+}
+
+BlockSketch::BlockSketch(const BlockSketchOptions& options,
+                         KeyDistanceFn distance)
+    : policy_(options, std::move(distance)) {}
+
+void BlockSketch::Insert(const std::string& block_key,
+                         std::string_view key_values, RecordId id) {
+  ++stats_.inserts;
+  auto [it, created] =
+      blocks_.try_emplace(block_key, policy_.options().lambda);
+  if (created) {
+    ++stats_.blocks_created;
+    it->second.anchor.assign(key_values);
+  }
+  SketchBlock& block = it->second;
+  const size_t sub = policy_.ChooseSubBlock(
+      block, key_values, &stats_.representative_comparisons);
+  block.subs[sub].members.push_back(id);
+  policy_.MaybeAddRepresentative(&block.subs[sub], key_values);
+}
+
+std::vector<RecordId> BlockSketch::Candidates(
+    const std::string& block_key, std::string_view key_values) const {
+  ++stats_.queries;
+  auto it = blocks_.find(block_key);
+  if (it == blocks_.end()) return {};
+  const size_t sub = policy_.ChooseSubBlock(
+      it->second, key_values, &stats_.representative_comparisons);
+  const std::vector<RecordId>& members = it->second.subs[sub].members;
+  stats_.candidates_returned += members.size();
+  return members;
+}
+
+const SketchBlock* BlockSketch::FindBlock(const std::string& block_key) const {
+  auto it = blocks_.find(block_key);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+size_t BlockSketch::ApproximateMemoryUsage() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [key, block] : blocks_) {
+    bytes += StringFootprint(key) + block.ApproximateMemoryUsage() +
+             sizeof(void*) * 2;  // hash-table node overhead estimate
+  }
+  return bytes;
+}
+
+}  // namespace sketchlink

@@ -1,0 +1,158 @@
+#ifndef SKETCHLINK_CORE_BLOCK_SKETCH_H_
+#define SKETCHLINK_CORE_BLOCK_SKETCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "record/record.h"
+
+namespace sketchlink {
+
+/// Distance between two key-value strings (a record's untruncated blocking
+/// field values, '#'-joined). The default is Jaro-Winkler distance, matching
+/// the paper's evaluation (similarity threshold 0.75 => theta = 0.25).
+using KeyDistanceFn =
+    std::function<double(std::string_view, std::string_view)>;
+
+/// Returns the library default distance (Jaro-Winkler distance).
+KeyDistanceFn DefaultKeyDistance();
+
+/// Tuning parameters shared by BlockSketch and SBlockSketch.
+struct BlockSketchOptions {
+  /// Number of sub-blocks (distance rings <=theta, <=2*theta, ...).
+  size_t lambda = 3;
+  /// Failure probability of Lemma 5.1; rho = ceil(lambda * ln(1/delta))
+  /// representatives are kept per sub-block.
+  double delta = 0.1;
+  /// Ring width: the distance threshold between the keys of a matching pair.
+  double theta = 0.25;
+  uint64_t seed = 0x5ce7cULL;
+
+  /// Representatives per sub-block (Lemma 5.1, ceiling applied).
+  size_t rho() const;
+};
+
+/// One distance ring of a block: up to rho representative key-value strings
+/// plus the ids of every record routed here.
+struct SketchSubBlock {
+  std::vector<std::string> representatives;
+  std::vector<RecordId> members;
+};
+
+/// A summarized block: lambda sub-blocks keyed by the blocking key.
+struct SketchBlock {
+  /// Key values of the first record routed here; the origin the distance
+  /// rings (<=theta, <=2*theta, ...) are measured from. The blocking key
+  /// itself cannot serve: it may be truncated (standard blocking) or a bit
+  /// pattern outside value space entirely (LSH blocking).
+  std::string anchor;
+  std::vector<SketchSubBlock> subs;
+
+  explicit SketchBlock(size_t lambda = 0) : subs(lambda) {}
+
+  size_t TotalMembers() const;
+  size_t ApproximateMemoryUsage() const;
+
+  /// Binary serialization, used when SBlockSketch spills a block to the
+  /// key/value store.
+  void EncodeTo(std::string* dst) const;
+  static Result<SketchBlock> DecodeFrom(std::string_view* input);
+};
+
+/// Counters for the experiments.
+struct BlockSketchStats {
+  uint64_t inserts = 0;
+  uint64_t queries = 0;
+  /// Distance computations against representatives (the paper's "constant
+  /// number of comparisons": lambda * rho per operation).
+  uint64_t representative_comparisons = 0;
+  uint64_t blocks_created = 0;
+  /// Candidates handed to the matcher across all queries.
+  uint64_t candidates_returned = 0;
+};
+
+/// Shared routing logic: picks the target sub-block for a key and maintains
+/// the representative reservoirs. Both BlockSketch and SBlockSketch (which
+/// differ only in where blocks live) delegate here.
+class SketchPolicy {
+ public:
+  SketchPolicy(const BlockSketchOptions& options, KeyDistanceFn distance);
+
+  /// Routing rule. The distance ring of `key_values` (measured from the
+  /// block's anchor) is computed first; if that ring has no representatives
+  /// yet, the key seeds it — this is how the <=theta, <=2*theta, ... bands
+  /// of Sec. 5 come into existence. Otherwise Algorithm 3 applies: the
+  /// sub-block whose representative is nearest to `key_values` wins. Adds
+  /// the number of distance computations to `*comparisons`.
+  size_t ChooseSubBlock(const SketchBlock& block, std::string_view key_values,
+                        uint64_t* comparisons) const;
+
+  /// Algorithm 3, line 16: coin-toss representative maintenance. Fills the
+  /// reservoir up to rho unconditionally, then replaces a uniformly random
+  /// representative on heads.
+  void MaybeAddRepresentative(SketchSubBlock* sub,
+                              std::string_view key_values) const;
+
+  const BlockSketchOptions& options() const { return options_; }
+  const KeyDistanceFn& distance() const { return distance_; }
+
+ private:
+  BlockSketchOptions options_;
+  KeyDistanceFn distance_;
+  mutable Rng rng_;
+};
+
+/// BlockSketch (paper Sec. 5): bounds the matching phase to a constant
+/// number of comparisons per query by summarizing each block with lambda
+/// sub-blocks of rho representatives. A query is compared against the
+/// lambda*rho representatives only, then against the members of the single
+/// chosen sub-block — never against the whole block (Problem Statement 2).
+class BlockSketch {
+ public:
+  explicit BlockSketch(const BlockSketchOptions& options = {},
+                       KeyDistanceFn distance = DefaultKeyDistance());
+
+  BlockSketch(const BlockSketch&) = delete;
+  BlockSketch& operator=(const BlockSketch&) = delete;
+
+  /// Routes a record (its id + untruncated key values) into the target
+  /// sub-block of `block_key`, creating the block on first contact.
+  void Insert(const std::string& block_key, std::string_view key_values,
+              RecordId id);
+
+  /// Returns the member ids of the sub-block a query with `key_values`
+  /// routes to — the constant-size candidate set of the matching phase.
+  std::vector<RecordId> Candidates(const std::string& block_key,
+                                   std::string_view key_values) const;
+
+  /// Number of blocks summarized.
+  size_t num_blocks() const { return blocks_.size(); }
+
+  /// True if `block_key` has been seen.
+  bool HasBlock(const std::string& block_key) const {
+    return blocks_.count(block_key) > 0;
+  }
+
+  /// Direct access for diagnostics/tests; nullptr when absent.
+  const SketchBlock* FindBlock(const std::string& block_key) const;
+
+  const BlockSketchStats& stats() const { return stats_; }
+  const BlockSketchOptions& options() const { return policy_.options(); }
+
+  size_t ApproximateMemoryUsage() const;
+
+ private:
+  SketchPolicy policy_;
+  mutable BlockSketchStats stats_;
+  std::unordered_map<std::string, SketchBlock> blocks_;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_CORE_BLOCK_SKETCH_H_

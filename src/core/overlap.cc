@@ -1,0 +1,47 @@
+#include "core/overlap.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace sketchlink {
+
+OverlapEstimate EstimateOverlapAgainstKeys(
+    const SkipBloom& synopsis_a, const std::vector<std::string>& keys_b) {
+  OverlapEstimate estimate;
+  estimate.sample_size = keys_b.size();
+  for (const std::string& key : keys_b) {
+    if (synopsis_a.Query(key)) ++estimate.hits;
+  }
+  estimate.coefficient =
+      estimate.sample_size == 0
+          ? 0.0
+          : static_cast<double>(estimate.hits) /
+                static_cast<double>(estimate.sample_size);
+  return estimate;
+}
+
+OverlapEstimate EstimateOverlapCoefficient(const SkipBloom& synopsis_a,
+                                           const SkipBloom& synopsis_b) {
+  return EstimateOverlapAgainstKeys(synopsis_a, synopsis_b.SampledKeys());
+}
+
+double ExactOverlapCoefficient(const std::vector<std::string>& keys_a,
+                               const std::vector<std::string>& keys_b) {
+  std::unordered_set<std::string> set_a(keys_a.begin(), keys_a.end());
+  std::unordered_set<std::string> set_b(keys_b.begin(), keys_b.end());
+  if (set_b.empty()) return 0.0;
+  size_t common = 0;
+  for (const std::string& key : set_b) {
+    common += set_a.count(key);
+  }
+  return static_cast<double>(common) / static_cast<double>(set_b.size());
+}
+
+size_t RequiredSampleSize(double epsilon, double theta_lower_bound) {
+  epsilon = std::max(epsilon, 1e-6);
+  theta_lower_bound = std::max(theta_lower_bound, 1e-6);
+  return static_cast<size_t>(
+      std::ceil(1.0 / (epsilon * epsilon * theta_lower_bound)));
+}
+
+}  // namespace sketchlink

@@ -1,0 +1,47 @@
+#ifndef SKETCHLINK_CORE_OVERLAP_H_
+#define SKETCHLINK_CORE_OVERLAP_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/skip_bloom.h"
+
+namespace sketchlink {
+
+/// Result of the Monte-Carlo overlap estimation (paper Sec. 4.3).
+struct OverlapEstimate {
+  /// Estimated overlap coefficient |D_A ∩ D_B| / |D_B|.
+  double coefficient = 0.0;
+  /// Number of sampled keys of B queried against A's synopsis.
+  size_t sample_size = 0;
+  /// How many of them A's synopsis reported present.
+  size_t hits = 0;
+};
+
+/// Estimates the overlap coefficient between data sets A and B by querying
+/// the uniformly sampled keys of B's synopsis against A's synopsis — the
+/// "synopses only" protocol of Fig. 3, with O(sqrt(n)(log sqrt(n)+sqrt(n)))
+/// total work instead of O(n ...) for the full key iteration.
+OverlapEstimate EstimateOverlapCoefficient(const SkipBloom& synopsis_a,
+                                           const SkipBloom& synopsis_b);
+
+/// Slower variant: queries every key of `keys_b` against A's synopsis (the
+/// one-synopsis protocol of Sec. 4.3).
+OverlapEstimate EstimateOverlapAgainstKeys(
+    const SkipBloom& synopsis_a, const std::vector<std::string>& keys_b);
+
+/// Ground-truth overlap coefficient |A ∩ B| / |B| over explicit key sets
+/// (duplicates collapsed). Used by tests and the accuracy experiment
+/// (Table 3) to measure estimation error.
+double ExactOverlapCoefficient(const std::vector<std::string>& keys_a,
+                               const std::vector<std::string>& keys_b);
+
+/// Monte-Carlo sample size (epsilon^2 * theta)^-1 needed for relative error
+/// `epsilon` when the true proportion is lower-bounded by `theta` (the paper
+/// bounds theta at 0.05).
+size_t RequiredSampleSize(double epsilon, double theta_lower_bound = 0.05);
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_CORE_OVERLAP_H_

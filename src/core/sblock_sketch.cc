@@ -1,0 +1,159 @@
+#include "core/sblock_sketch.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/memory_tracker.h"
+
+namespace sketchlink {
+
+SBlockSketch::SBlockSketch(const SBlockSketchOptions& options,
+                           kv::Db* spill_db, KeyDistanceFn distance)
+    : options_(options),
+      policy_(options.sketch, std::move(distance)),
+      spill_db_(spill_db) {}
+
+double SBlockSketch::QueueScore(const LiveBlock& block) const {
+  switch (options_.policy) {
+    case EvictionPolicy::kEvictionStatus:
+      // Order-equivalent to es = e^(w*xi - alpha): the aging term
+      // alpha = E - admit_evictions subtracts the same global E from every
+      // live block, so w*xi + admit_evictions preserves the ranking.
+      return options_.w * static_cast<double>(block.xi) +
+             static_cast<double>(block.admit_evictions);
+    case EvictionPolicy::kLru:
+      return static_cast<double>(block.last_access);
+    case EvictionPolicy::kFifo:
+      return static_cast<double>(block.admitted_at);
+  }
+  return 0.0;
+}
+
+void SBlockSketch::Requeue(const std::string& key, LiveBlock* block) {
+  ++block->version;
+  queue_.push(QueueEntry{QueueScore(*block), block->version, key});
+}
+
+void SBlockSketch::MaybeCompactQueue() {
+  if (queue_.size() <= 4 * live_.size() + 64) return;
+  std::vector<QueueEntry> fresh;
+  fresh.reserve(live_.size());
+  for (const auto& [key, block] : live_) {
+    fresh.push_back(QueueEntry{QueueScore(block), block.version, key});
+  }
+  queue_ = std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                               std::greater<QueueEntry>>(
+      std::greater<QueueEntry>(), std::move(fresh));
+}
+
+Status SBlockSketch::EvictOne() {
+  // Algorithm 4, line 7: poll the block with the minimum eviction status,
+  // skipping entries whose block was touched (re-queued) since they were
+  // pushed.
+  while (!queue_.empty()) {
+    const QueueEntry entry = queue_.top();
+    queue_.pop();
+    auto it = live_.find(entry.key);
+    if (it == live_.end() || it->second.version != entry.version) {
+      continue;  // stale
+    }
+    // Algorithm 4, line 8: transfer the victim to secondary storage.
+    std::string encoded;
+    it->second.block.EncodeTo(&encoded);
+    SKETCHLINK_RETURN_IF_ERROR(spill_db_->Put(SpillKey(entry.key), encoded));
+    live_.erase(it);
+    ++stats_.evictions;
+    ++global_evictions_;  // survivors age implicitly (alpha = E - admit)
+    return Status::OK();
+  }
+  return Status::Internal("eviction queue empty with live blocks present");
+}
+
+Result<SBlockSketch::LiveBlock*> SBlockSketch::EnsureLive(
+    const std::string& block_key) {
+  ++access_clock_;
+
+  // Algorithm 4, line 2: try the hash table T first.
+  auto it = live_.find(block_key);
+  if (it != live_.end()) {
+    ++stats_.live_hits;
+    it->second.last_access = access_clock_;
+    return &it->second;
+  }
+
+  // Line 4: resort to secondary storage.
+  LiveBlock fresh;
+  std::string encoded;
+  const Status load = spill_db_->Get(SpillKey(block_key), &encoded);
+  if (load.ok()) {
+    std::string_view input(encoded);
+    auto decoded = SketchBlock::DecodeFrom(&input);
+    if (!decoded.ok()) return decoded.status();
+    fresh.block = std::move(*decoded);
+    ++stats_.disk_loads;
+  } else if (load.IsNotFound()) {
+    fresh.block = SketchBlock(options_.sketch.lambda);
+  } else {
+    return load;
+  }
+
+  // Lines 6-10: make room when T is full.
+  if (live_.size() >= options_.mu) {
+    SKETCHLINK_RETURN_IF_ERROR(EvictOne());
+  }
+  fresh.last_access = access_clock_;
+  fresh.admitted_at = access_clock_;
+  fresh.admit_evictions = global_evictions_;
+  auto [inserted, ok] = live_.emplace(block_key, std::move(fresh));
+  (void)ok;
+  Requeue(inserted->first, &inserted->second);
+  MaybeCompactQueue();
+  return &inserted->second;
+}
+
+Status SBlockSketch::Insert(const std::string& block_key,
+                            std::string_view key_values, RecordId id) {
+  ++stats_.inserts;
+  auto live = EnsureLive(block_key);
+  if (!live.ok()) return live.status();
+  LiveBlock* block = *live;
+  ++block->xi;  // the block was chosen as target by an incoming record
+  Requeue(block_key, block);
+  if (block->block.anchor.empty() && block->block.TotalMembers() == 0) {
+    block->block.anchor.assign(key_values);
+  }
+  const size_t sub = policy_.ChooseSubBlock(
+      block->block, key_values, &stats_.representative_comparisons);
+  block->block.subs[sub].members.push_back(id);
+  policy_.MaybeAddRepresentative(&block->block.subs[sub], key_values);
+  return Status::OK();
+}
+
+Result<std::vector<RecordId>> SBlockSketch::Candidates(
+    const std::string& block_key, std::string_view key_values) {
+  ++stats_.queries;
+  auto live = EnsureLive(block_key);
+  if (!live.ok()) return live.status();
+  LiveBlock* block = *live;
+  ++block->xi;
+  Requeue(block_key, block);
+  if (block->block.anchor.empty() && block->block.TotalMembers() == 0) {
+    block->block.anchor.assign(key_values);
+  }
+  const size_t sub = policy_.ChooseSubBlock(
+      block->block, key_values, &stats_.representative_comparisons);
+  std::vector<RecordId> members = block->block.subs[sub].members;
+  stats_.candidates_returned += members.size();
+  return members;
+}
+
+size_t SBlockSketch::ApproximateMemoryUsage() const {
+  size_t bytes = sizeof(*this) + queue_.size() * sizeof(QueueEntry);
+  for (const auto& [key, block] : live_) {
+    bytes += StringFootprint(key) + block.block.ApproximateMemoryUsage() +
+             sizeof(LiveBlock) - sizeof(SketchBlock) + sizeof(void*) * 2;
+  }
+  return bytes;
+}
+
+}  // namespace sketchlink

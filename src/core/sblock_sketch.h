@@ -1,0 +1,148 @@
+#ifndef SKETCHLINK_CORE_SBLOCK_SKETCH_H_
+#define SKETCHLINK_CORE_SBLOCK_SKETCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/block_sketch.h"
+#include "kv/db.h"
+
+namespace sketchlink {
+
+/// Block replacement policies for the ablation study. The paper's policy is
+/// kEvictionStatus: es = e^(w*xi - alpha); kLru / kFifo are the classic
+/// baselines it is compared against in bench_ablation_eviction.
+enum class EvictionPolicy { kEvictionStatus, kLru, kFifo };
+
+/// Tuning parameters of SBlockSketch.
+struct SBlockSketchOptions {
+  BlockSketchOptions sketch;
+  /// Maximum number of live (in-memory) blocks — the paper's mu, a function
+  /// of available main memory.
+  size_t mu = 10000;
+  /// Weight w of a block's successes xi in its eviction status (Fig. 5 uses
+  /// w = 1.5).
+  double w = 1.5;
+  EvictionPolicy policy = EvictionPolicy::kEvictionStatus;
+};
+
+/// Counters for the experiments.
+struct SBlockSketchStats {
+  uint64_t inserts = 0;
+  uint64_t queries = 0;
+  uint64_t live_hits = 0;    // operations served from the hash table T
+  uint64_t disk_loads = 0;   // blocks pulled back from secondary storage
+  uint64_t evictions = 0;    // blocks spilled to secondary storage
+  uint64_t representative_comparisons = 0;
+  uint64_t candidates_returned = 0;
+};
+
+/// SBlockSketch (paper Sec. 6): BlockSketch for unbounded streams under a
+/// constant memory budget. At most mu blocks stay live in a hash table T;
+/// when a new block must come in and T is full, the live block with the
+/// minimum eviction status es = e^(w*xi - alpha) is serialized into the
+/// key/value store (Algorithm 4). xi counts how often a block was chosen as
+/// target; alpha counts the evictions it survived, so stale unselective
+/// blocks decay exponentially and get replaced first.
+class SBlockSketch {
+ public:
+  /// `spill_db` receives evicted blocks and must outlive this object.
+  SBlockSketch(const SBlockSketchOptions& options, kv::Db* spill_db,
+               KeyDistanceFn distance = DefaultKeyDistance());
+
+  SBlockSketch(const SBlockSketch&) = delete;
+  SBlockSketch& operator=(const SBlockSketch&) = delete;
+
+  /// Routes one stream record into its target sub-block, faulting the block
+  /// in from secondary storage (or creating it) as needed.
+  Status Insert(const std::string& block_key, std::string_view key_values,
+                RecordId id);
+
+  /// Candidate ids for a query — same contract as BlockSketch::Candidates,
+  /// but may trigger a load/eviction, hence non-const and fallible.
+  Result<std::vector<RecordId>> Candidates(const std::string& block_key,
+                                           std::string_view key_values);
+
+  /// Live blocks currently in T (always <= mu).
+  size_t num_live_blocks() const { return live_.size(); }
+
+  const SBlockSketchStats& stats() const { return stats_; }
+  const SBlockSketchOptions& options() const { return options_; }
+
+  /// Bytes held by T (the paper's O(mu * lambda) bound) — constant in the
+  /// stream length, which is the point of Problem Statement 3.
+  size_t ApproximateMemoryUsage() const;
+
+  /// Eviction score of a live block, exposed for tests: w*xi - alpha
+  /// (the logarithm of the paper's es, monotone in it).
+  static double EvictionScore(double w, uint64_t xi, uint64_t alpha) {
+    return w * static_cast<double>(xi) - static_cast<double>(alpha);
+  }
+
+ private:
+  struct LiveBlock {
+    SketchBlock block;
+    uint64_t xi = 0;             // times chosen as target block
+    uint64_t admit_evictions = 0;  // global eviction count at admission
+    uint64_t last_access = 0;    // for the LRU ablation
+    uint64_t admitted_at = 0;    // for the FIFO ablation
+    uint64_t version = 0;        // invalidates stale priority-queue entries
+  };
+
+  // Priority-queue entry (lazy deletion: stale versions are skipped on
+  // poll). `score` orders ascending-eviction-status. For the paper's
+  // policy the aging term alpha = E - admit_evictions shifts every live
+  // block equally as the global eviction counter E grows, so the ORDER of
+  // eviction statuses is fully captured by w*xi + admit_evictions — that is
+  // what the queue stores, keeping per-operation maintenance O(log mu)
+  // instead of rebuilding on every eviction.
+  struct QueueEntry {
+    double score;
+    uint64_t version;
+    std::string key;
+    bool operator>(const QueueEntry& other) const {
+      return score > other.score;
+    }
+  };
+
+  std::string SpillKey(const std::string& block_key) const {
+    return "blk\x01" + block_key;
+  }
+
+  /// Returns the live block for `block_key`, loading it from the spill
+  /// store or creating it; evicts first when T is full (Algorithm 4).
+  Result<LiveBlock*> EnsureLive(const std::string& block_key);
+
+  /// Spills the block with the minimum eviction status.
+  Status EvictOne();
+
+  /// Current queue score of a block under the configured policy.
+  double QueueScore(const LiveBlock& block) const;
+
+  /// Re-enqueues `key` with its current score and a fresh version.
+  void Requeue(const std::string& key, LiveBlock* block);
+
+  /// Drops stale entries and rebuilds the heap when lazy deletion lets it
+  /// grow far beyond the live set.
+  void MaybeCompactQueue();
+
+  SBlockSketchOptions options_;
+  SketchPolicy policy_;
+  kv::Db* spill_db_;
+  mutable SBlockSketchStats stats_;
+  std::unordered_map<std::string, LiveBlock> live_;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue_;
+  uint64_t access_clock_ = 0;
+  uint64_t global_evictions_ = 0;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_CORE_SBLOCK_SKETCH_H_

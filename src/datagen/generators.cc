@@ -1,0 +1,180 @@
+#include "datagen/generators.h"
+
+#include <string>
+
+#include "common/random.h"
+#include "datagen/name_pools.h"
+#include "datagen/perturb.h"
+
+namespace sketchlink::datagen {
+
+namespace {
+
+// Draws a pool value with Zipf-skewed frequency. Each pool gets its own
+// sampler so skew applies within the pool's own rank order.
+class PoolDrawer {
+ public:
+  PoolDrawer(Pool pool, double skew, uint64_t seed)
+      : pool_(pool), zipf_(pool.size, skew, seed) {}
+
+  std::string_view Draw() { return pool_.values[zipf_.Next()]; }
+
+ private:
+  Pool pool_;
+  ZipfSampler zipf_;
+};
+
+Record MakeDblpRecord(uint64_t entity, PoolDrawer& given, PoolDrawer& surname,
+                      PoolDrawer& venue, PoolDrawer& words, Rng& rng) {
+  Record record;
+  record.id = entity;
+  record.entity_id = entity;
+  // author: "SURNAME GIVEN" with an occasional middle initial.
+  std::string author(surname.Draw());
+  author.push_back(' ');
+  author.append(given.Draw());
+  if (rng.Bernoulli(0.3)) {
+    author.push_back(' ');
+    author.push_back(static_cast<char>('A' + rng.UniformUint64(26)));
+  }
+  // venue: conference/journal plus an occasional workshop word, so venue
+  // strings vary in length like real DBLP venue fields do.
+  std::string venue_str(venue.Draw());
+  if (rng.Bernoulli(0.2)) {
+    venue_str.append(" WORKSHOP ");
+    venue_str.append(words.Draw());
+  }
+  const int year = 1970 + static_cast<int>(rng.UniformUint64(50));
+  record.fields = {std::move(author), std::move(venue_str),
+                   std::to_string(year)};
+  return record;
+}
+
+Record MakeNcvrRecord(uint64_t entity, PoolDrawer& given, PoolDrawer& surname,
+                      PoolDrawer& street, PoolDrawer& town, Rng& rng) {
+  Record record;
+  record.id = entity;
+  record.entity_id = entity;
+  std::string address = std::to_string(1 + rng.UniformUint64(9999));
+  address.push_back(' ');
+  address.append(street.Draw());
+  record.fields = {std::string(given.Draw()), std::string(surname.Draw()),
+                   std::move(address), std::string(town.Draw())};
+  return record;
+}
+
+Record MakeLabRecord(uint64_t entity, PoolDrawer& assay, PoolDrawer& result,
+                     Rng& rng) {
+  Record record;
+  record.id = entity;
+  record.entity_id = entity;
+  // Assay results are continuous measurements, so the result field is
+  // high-cardinality as in real laboratory data. (A shared unit suffix or a
+  // small categorical pool would let unrelated same-assay records score
+  // spuriously high under Jaro-Winkler.)
+  (void)result;
+  const uint64_t whole = rng.UniformUint64(200);
+  const uint64_t frac = rng.UniformUint64(100);
+  std::string result_str = std::to_string(whole) + "." +
+                           (frac < 10 ? "0" : "") + std::to_string(frac);
+  const int year = 2000 + static_cast<int>(rng.UniformUint64(20));
+  record.fields = {std::string(assay.Draw()), std::move(result_str),
+                   std::to_string(year)};
+  return record;
+}
+
+}  // namespace
+
+std::string_view DatasetKindName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kDblp:
+      return "DBLP";
+    case DatasetKind::kNcvr:
+      return "NCVR";
+    case DatasetKind::kLab:
+      return "LAB";
+  }
+  return "UNKNOWN";
+}
+
+Schema SchemaFor(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kDblp:
+      return Schema({"author", "venue", "year"});
+    case DatasetKind::kNcvr:
+      return Schema({"given_name", "surname", "address", "town"});
+    case DatasetKind::kLab:
+      return Schema({"assay", "result", "year"});
+  }
+  return Schema(std::vector<std::string>{});
+}
+
+Dataset GenerateBase(DatasetKind kind, size_t n, uint64_t seed,
+                     double zipf_skew) {
+  Dataset dataset(SchemaFor(kind));
+  Rng rng(seed);
+  switch (kind) {
+    case DatasetKind::kDblp: {
+      PoolDrawer given(GivenNames(), zipf_skew, seed ^ 0x11);
+      PoolDrawer surname(Surnames(), zipf_skew, seed ^ 0x22);
+      PoolDrawer venue(Venues(), zipf_skew, seed ^ 0x33);
+      PoolDrawer words(TitleWords(), zipf_skew, seed ^ 0x44);
+      for (size_t i = 0; i < n; ++i) {
+        dataset.Add(MakeDblpRecord(i + 1, given, surname, venue, words, rng));
+      }
+      break;
+    }
+    case DatasetKind::kNcvr: {
+      PoolDrawer given(GivenNames(), zipf_skew, seed ^ 0x11);
+      PoolDrawer surname(Surnames(), zipf_skew, seed ^ 0x22);
+      PoolDrawer street(Streets(), zipf_skew, seed ^ 0x33);
+      PoolDrawer town(Towns(), zipf_skew, seed ^ 0x44);
+      for (size_t i = 0; i < n; ++i) {
+        dataset.Add(MakeNcvrRecord(i + 1, given, surname, street, town, rng));
+      }
+      break;
+    }
+    case DatasetKind::kLab: {
+      PoolDrawer assay(Assays(), zipf_skew, seed ^ 0x11);
+      PoolDrawer result(AssayResults(), zipf_skew, seed ^ 0x22);
+      for (size_t i = 0; i < n; ++i) {
+        dataset.Add(MakeLabRecord(i + 1, assay, result, rng));
+      }
+      break;
+    }
+  }
+  return dataset;
+}
+
+Workload MakeWorkload(const WorkloadSpec& spec) {
+  Workload workload;
+  workload.q = GenerateBase(spec.kind, spec.num_entities, spec.seed,
+                            spec.zipf_skew);
+  workload.a = Dataset(SchemaFor(spec.kind));
+
+  Perturbator perturbator(spec.seed ^ 0x9999, spec.max_perturb_ops,
+                          spec.min_perturb_ops);
+  RecordId next_id = spec.num_entities + 1;
+  for (const Record& base : workload.q.records()) {
+    for (size_t c = 0; c < spec.copies_per_entity; ++c) {
+      workload.a.Add(perturbator.PerturbRecord(base, next_id++));
+    }
+  }
+  return workload;
+}
+
+Dataset MakeStream(const Dataset& base, size_t total, int max_perturb_ops,
+                   uint64_t seed) {
+  Dataset stream(base.schema());
+  if (base.empty()) return stream;
+  Perturbator perturbator(seed ^ 0x5a5a, max_perturb_ops);
+  Rng rng(seed);
+  RecordId next_id = 1'000'000'000ULL;  // disjoint from base ids
+  for (size_t i = 0; i < total; ++i) {
+    const Record& source = base[rng.UniformIndex(base.size())];
+    stream.Add(perturbator.PerturbRecord(source, next_id++));
+  }
+  return stream;
+}
+
+}  // namespace sketchlink::datagen

@@ -1,0 +1,64 @@
+#ifndef SKETCHLINK_DATAGEN_GENERATORS_H_
+#define SKETCHLINK_DATAGEN_GENERATORS_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "record/record.h"
+
+namespace sketchlink::datagen {
+
+/// The three real-world data sets of the paper's evaluation (Table 1),
+/// reproduced synthetically (see DESIGN.md, substitutions):
+///  - kDblp: bibliographic records  (author, venue, year)
+///  - kNcvr: voter registrations    (given name, surname, address, town)
+///  - kLab : biological assays      (assay, result, year)
+enum class DatasetKind { kDblp, kNcvr, kLab };
+
+/// "DBLP" / "NCVR" / "LAB".
+std::string_view DatasetKindName(DatasetKind kind);
+
+/// Field layout of each synthetic data set.
+Schema SchemaFor(DatasetKind kind);
+
+/// Parameters for one synthetic workload. Following the paper: Q holds the
+/// base records, A holds `copies_per_entity` perturbed copies of each
+/// (the paper uses 1,000 copies; the scaled defaults keep the same ratio
+/// structure at laptop scale).
+struct WorkloadSpec {
+  DatasetKind kind = DatasetKind::kNcvr;
+  size_t num_entities = 1000;
+  size_t copies_per_entity = 10;
+  /// "At most four" operations per copy (paper Sec. 7): the count applied is
+  /// uniform in [min_perturb_ops, max_perturb_ops]; 0 leaves the copy exact.
+  int max_perturb_ops = 4;
+  int min_perturb_ops = 0;
+  /// Zipf exponent for value-pool draws; 0 = uniform. Name-like data is
+  /// heavily skewed, assay panels moderately.
+  double zipf_skew = 0.8;
+  uint64_t seed = 42;
+};
+
+/// A generated workload: the query set Q and the perturbed set A, with
+/// shared entity ids as ground truth.
+struct Workload {
+  Dataset q;
+  Dataset a;
+};
+
+/// Generates `n` base records of the given kind.
+Dataset GenerateBase(DatasetKind kind, size_t n, uint64_t seed,
+                     double zipf_skew);
+
+/// Generates Q (base) and A (perturbed copies) per `spec`.
+Workload MakeWorkload(const WorkloadSpec& spec);
+
+/// Emits an endless-style stream of perturbed records: `total` records drawn
+/// from `base` round-robin with fresh perturbations, in randomized entity
+/// order. Used by the SBlockSketch (streaming) experiments.
+Dataset MakeStream(const Dataset& base, size_t total, int max_perturb_ops,
+                   uint64_t seed);
+
+}  // namespace sketchlink::datagen
+
+#endif  // SKETCHLINK_DATAGEN_GENERATORS_H_

@@ -1,0 +1,45 @@
+#ifndef SKETCHLINK_DATAGEN_NAME_POOLS_H_
+#define SKETCHLINK_DATAGEN_NAME_POOLS_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace sketchlink::datagen {
+
+/// Value pools backing the synthetic data sets. The three generators draw
+/// from these with Zipf-skewed frequencies so that blocking keys exhibit the
+/// hot/cold distribution of real name data (a handful of "JOHNSON"-sized
+/// blocks plus a long tail), which is the property SkipBloom's sampling and
+/// SBlockSketch's eviction policy are sensitive to.
+struct Pool {
+  const std::string_view* values;
+  size_t size;
+};
+
+/// US-census style surnames (high-frequency first).
+Pool Surnames();
+
+/// Given names.
+Pool GivenNames();
+
+/// Town names (NCVR-like).
+Pool Towns();
+
+/// Street names for address synthesis.
+Pool Streets();
+
+/// Venue names (DBLP-like).
+Pool Venues();
+
+/// Title/keyword words used to build author bibliographies.
+Pool TitleWords();
+
+/// Laboratory assay names (LAB-like: albumin, hepatitis, creatinine, ...).
+Pool Assays();
+
+/// Assay result tokens (numeric ranges, positive/negative, units).
+Pool AssayResults();
+
+}  // namespace sketchlink::datagen
+
+#endif  // SKETCHLINK_DATAGEN_NAME_POOLS_H_

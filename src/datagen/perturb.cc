@@ -1,0 +1,89 @@
+#include "datagen/perturb.h"
+
+namespace sketchlink::datagen {
+
+char Perturbator::RandomChar() {
+  // Letters dominate realistic typos; digits appear for numeric fields.
+  const uint64_t roll = rng_.UniformUint64(36);
+  if (roll < 26) return static_cast<char>('A' + roll);
+  return static_cast<char>('0' + (roll - 26));
+}
+
+void Perturbator::Substitute(std::string* value) {
+  if (value->empty()) return;
+  const size_t pos = rng_.UniformIndex(value->size());
+  char replacement = RandomChar();
+  // Ensure the operation actually changes the string.
+  if (replacement == (*value)[pos]) {
+    replacement = static_cast<char>(replacement == 'Z' ? 'A'
+                                                       : replacement + 1);
+  }
+  (*value)[pos] = replacement;
+}
+
+void Perturbator::Delete(std::string* value) {
+  if (value->empty()) return;
+  value->erase(rng_.UniformIndex(value->size()), 1);
+}
+
+void Perturbator::Insert(std::string* value) {
+  const size_t pos = rng_.UniformIndex(value->size() + 1);
+  value->insert(value->begin() + static_cast<ptrdiff_t>(pos), RandomChar());
+}
+
+void Perturbator::Transpose(std::string* value) {
+  if (value->size() < 2) return;
+  const size_t pos = rng_.UniformIndex(value->size() - 1);
+  std::swap((*value)[pos], (*value)[pos + 1]);
+}
+
+void Perturbator::ApplyRandomOp(std::string* value) {
+  switch (rng_.UniformUint64(4)) {
+    case 0:
+      Substitute(value);
+      break;
+    case 1:
+      Delete(value);
+      break;
+    case 2:
+      Insert(value);
+      break;
+    default:
+      Transpose(value);
+      break;
+  }
+}
+
+Record Perturbator::PerturbRecord(const Record& base, RecordId new_id) {
+  Record copy = base;
+  copy.id = new_id;
+  if (copy.fields.empty()) return copy;
+  const int span = max_ops_ - min_ops_;
+  const int ops =
+      min_ops_ + (span > 0
+                      ? static_cast<int>(rng_.UniformUint64(
+                            static_cast<uint64_t>(span) + 1))
+                      : 0);
+  for (int i = 0; i < ops; ++i) {
+    // Typos hit longer fields more often: pick the target field with
+    // probability proportional to its current length (position-uniform
+    // corruption over the whole record).
+    size_t total_length = 0;
+    for (const std::string& field : copy.fields) total_length += field.size();
+    std::string* target = &copy.fields[rng_.UniformIndex(copy.fields.size())];
+    if (total_length > 0) {
+      uint64_t roll = rng_.UniformUint64(total_length);
+      for (std::string& field : copy.fields) {
+        if (roll < field.size()) {
+          target = &field;
+          break;
+        }
+        roll -= field.size();
+      }
+    }
+    ApplyRandomOp(target);
+  }
+  return copy;
+}
+
+}  // namespace sketchlink::datagen

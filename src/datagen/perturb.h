@@ -1,0 +1,42 @@
+#ifndef SKETCHLINK_DATAGEN_PERTURB_H_
+#define SKETCHLINK_DATAGEN_PERTURB_H_
+
+#include <string>
+
+#include "common/random.h"
+#include "record/record.h"
+
+namespace sketchlink::datagen {
+
+/// Character-level corruption engine reproducing the paper's protocol
+/// (Sec. 7): "we perturbed all the available fields using at most four edit
+/// [substitute], delete, insert, or transpose operations, chosen at random".
+class Perturbator {
+ public:
+  /// `max_ops` random operations are spread over the record's fields
+  /// (the number applied per record is uniform in [min_ops, max_ops]).
+  Perturbator(uint64_t seed, int max_ops = 4, int min_ops = 1)
+      : rng_(seed), max_ops_(max_ops), min_ops_(min_ops) {}
+
+  /// Returns a perturbed copy of `base` with a fresh record id; entity_id is
+  /// preserved, which is what ground-truth scoring keys on.
+  Record PerturbRecord(const Record& base, RecordId new_id);
+
+  /// Applies one random operation in place; exposed for tests.
+  void ApplyRandomOp(std::string* value);
+
+ private:
+  void Substitute(std::string* value);
+  void Delete(std::string* value);
+  void Insert(std::string* value);
+  void Transpose(std::string* value);
+  char RandomChar();
+
+  Rng rng_;
+  int max_ops_;
+  int min_ops_;
+};
+
+}  // namespace sketchlink::datagen
+
+#endif  // SKETCHLINK_DATAGEN_PERTURB_H_

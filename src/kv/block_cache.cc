@@ -1,0 +1,63 @@
+#include "kv/block_cache.h"
+
+namespace sketchlink::kv {
+
+bool BlockCache::Lookup(const std::string& key, std::string* value) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+  *value = it->second->value;
+  return true;
+}
+
+void BlockCache::Insert(const std::string& key, const std::string& value) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    used_bytes_ -= EntryBytes(*it->second);
+    it->second->value = value;
+    used_bytes_ += EntryBytes(*it->second);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    EvictUntilFits();
+    return;
+  }
+  Entry entry{key, value};
+  const size_t bytes = EntryBytes(entry);
+  if (bytes > capacity_bytes_) return;  // would evict everything for nothing
+  lru_.push_front(std::move(entry));
+  map_[key] = lru_.begin();
+  used_bytes_ += bytes;
+  EvictUntilFits();
+}
+
+void BlockCache::EvictUntilFits() {
+  while (used_bytes_ > capacity_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    used_bytes_ -= EntryBytes(victim);
+    map_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+void BlockCache::EraseByPrefix(const std::string& prefix) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.compare(0, prefix.size(), prefix) == 0) {
+      used_bytes_ -= EntryBytes(*it);
+      map_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BlockCache::Clear() {
+  lru_.clear();
+  map_.clear();
+  used_bytes_ = 0;
+}
+
+}  // namespace sketchlink::kv

@@ -1,0 +1,67 @@
+#ifndef SKETCHLINK_KV_BLOCK_CACHE_H_
+#define SKETCHLINK_KV_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+namespace sketchlink::kv {
+
+/// Byte-bounded LRU cache for SSTable data blocks — the "cache structure"
+/// the paper's Algorithm 3 retrieves sub-blocks from before touching
+/// secondary storage. Keys are "<table-path>@<offset>"; values are the raw
+/// block bytes. Single-threaded like the rest of the store.
+class BlockCache {
+ public:
+  /// `capacity_bytes` bounds the sum of cached value sizes (keys and
+  /// bookkeeping are accounted on top with a fixed per-entry estimate).
+  explicit BlockCache(size_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  /// Copies the cached block into `*value` and marks it most-recently-used.
+  /// Returns false on miss.
+  bool Lookup(const std::string& key, std::string* value);
+
+  /// Inserts (or refreshes) a block, evicting LRU entries until the budget
+  /// holds. Values larger than the whole budget are not cached.
+  void Insert(const std::string& key, const std::string& value);
+
+  /// Drops every entry whose key starts with `prefix` (used when a table
+  /// file is deleted by compaction).
+  void EraseByPrefix(const std::string& prefix);
+
+  /// Drops everything.
+  void Clear();
+
+  size_t size_bytes() const { return used_bytes_; }
+  size_t num_entries() const { return map_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+  using Lru = std::list<Entry>;
+
+  void EvictUntilFits();
+  size_t EntryBytes(const Entry& entry) const {
+    return entry.key.size() + entry.value.size() + 64;
+  }
+
+  size_t capacity_bytes_;
+  size_t used_bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  Lru lru_;  // front = most recent
+  std::unordered_map<std::string, Lru::iterator> map_;
+};
+
+}  // namespace sketchlink::kv
+
+#endif  // SKETCHLINK_KV_BLOCK_CACHE_H_

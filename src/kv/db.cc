@@ -1,0 +1,347 @@
+#include "kv/db.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+#include "common/coding.h"
+#include "kv/merging_iterator.h"
+
+namespace sketchlink::kv {
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x534b4c4d;  // "SKLM"
+
+}  // namespace
+
+Db::~Db() {
+  if (wal_ != nullptr) {
+    (void)wal_->Sync();
+    (void)wal_->Close();
+  }
+}
+
+std::string Db::TableFileName(uint64_t number) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%06" PRIu64 ".sst", number);
+  return path_ + "/" + buf;
+}
+
+std::string Db::WalFileName() const { return path_ + "/wal.log"; }
+
+std::string Db::ManifestFileName() const { return path_ + "/MANIFEST"; }
+
+Result<std::unique_ptr<Db>> Db::Open(const std::string& path,
+                                     const Options& options) {
+  if (options.create_if_missing) {
+    SKETCHLINK_RETURN_IF_ERROR(CreateDirIfMissing(path));
+  } else if (!FileExists(path)) {
+    return Status::NotFound("database directory missing: " + path);
+  }
+  auto db = std::unique_ptr<Db>(new Db(path, options));
+  if (options.block_cache_bytes > 0) {
+    db->block_cache_ = std::make_unique<BlockCache>(options.block_cache_bytes);
+  }
+  SKETCHLINK_RETURN_IF_ERROR(db->Recover());
+  return db;
+}
+
+Status Db::Recover() {
+  // 1. Manifest -> table list.
+  if (FileExists(ManifestFileName())) {
+    std::string manifest;
+    SKETCHLINK_RETURN_IF_ERROR(ReadFileToString(ManifestFileName(), &manifest));
+    if (manifest.size() < 8) return Status::Corruption("manifest too small");
+    std::string_view body(manifest.data(), manifest.size() - 8);
+    std::string_view tail(manifest.data() + manifest.size() - 8, 8);
+    uint32_t crc, magic;
+    GetFixed32(&tail, &crc);
+    GetFixed32(&tail, &magic);
+    if (magic != kManifestMagic || Crc32c(body) != crc) {
+      return Status::Corruption("bad manifest checksum");
+    }
+    std::string_view input = body;
+    uint64_t next_number;
+    uint32_t count;
+    if (!GetVarint64(&input, &next_number) || !GetVarint32(&input, &count)) {
+      return Status::Corruption("bad manifest header");
+    }
+    next_file_number_ = next_number;
+    for (uint32_t i = 0; i < count; ++i) {
+      std::string_view name;
+      if (!GetLengthPrefixed(&input, &name)) {
+        return Status::Corruption("bad manifest entry");
+      }
+      auto table =
+          Table::Open(path_ + "/" + std::string(name), block_cache_.get());
+      if (!table.ok()) return table.status();
+      tables_.push_back(std::move(*table));
+    }
+  }
+
+  // 2. Replay the WAL into a fresh memtable.
+  if (FileExists(WalFileName())) {
+    auto records = ReadWal(WalFileName());
+    if (!records.ok()) return records.status();
+    for (const WalRecord& record : *records) {
+      SKETCHLINK_RETURN_IF_ERROR(ApplyToMemtable(record));
+    }
+  }
+
+  // 3. Re-open the WAL for appending. Re-writing the replayed records keeps
+  // the implementation simple (single WAL segment) at the cost of one
+  // rewrite on recovery.
+  auto wal = WalWriter::Open(WalFileName() + ".new", options_.sync_writes);
+  if (!wal.ok()) return wal.status();
+  wal_ = std::move(*wal);
+  for (auto it = mem_.NewIterator(); it.Valid(); it.Next()) {
+    if (it.value().tombstone) {
+      SKETCHLINK_RETURN_IF_ERROR(wal_->AppendDelete(it.key()));
+    } else {
+      SKETCHLINK_RETURN_IF_ERROR(wal_->AppendPut(it.key(), it.value().value));
+    }
+  }
+  SKETCHLINK_RETURN_IF_ERROR(wal_->Sync());
+  return RenameFile(WalFileName() + ".new", WalFileName());
+}
+
+Status Db::ApplyToMemtable(const WalRecord& record) {
+  if (record.op == WalRecord::Op::kPut) {
+    mem_.Put(record.key, record.value);
+  } else {
+    mem_.Delete(record.key);
+  }
+  return Status::OK();
+}
+
+Status Db::WriteManifest() {
+  std::string body;
+  PutVarint64(&body, next_file_number_);
+  PutVarint32(&body, static_cast<uint32_t>(tables_.size()));
+  for (const auto& table : tables_) {
+    const std::string& path = table->path();
+    const size_t slash = path.find_last_of('/');
+    PutLengthPrefixed(&body,
+                      slash == std::string::npos ? path
+                                                 : path.substr(slash + 1));
+  }
+  std::string file = body;
+  PutFixed32(&file, Crc32c(body));
+  PutFixed32(&file, kManifestMagic);
+  return WriteStringToFileSync(ManifestFileName(), file);
+}
+
+Status Db::Put(std::string_view key, std::string_view value) {
+  SKETCHLINK_RETURN_IF_ERROR(wal_->AppendPut(key, value));
+  mem_.Put(std::string(key), std::string(value));
+  ++stats_.puts;
+  return MaybeFlushAndCompact();
+}
+
+Status Db::Delete(std::string_view key) {
+  SKETCHLINK_RETURN_IF_ERROR(wal_->AppendDelete(key));
+  mem_.Delete(std::string(key));
+  ++stats_.deletes;
+  return MaybeFlushAndCompact();
+}
+
+Status Db::MaybeFlushAndCompact() {
+  if (mem_.payload_bytes() >= options_.memtable_bytes) {
+    SKETCHLINK_RETURN_IF_ERROR(FlushLocked());
+    SKETCHLINK_RETURN_IF_ERROR(Compact(false));
+  }
+  return Status::OK();
+}
+
+Status Db::Get(std::string_view key, std::string* value) {
+  ++stats_.gets;
+  const std::string k(key);
+  switch (mem_.Get(k, value)) {
+    case MemTable::LookupState::kFound:
+      ++stats_.memtable_hits;
+      return Status::OK();
+    case MemTable::LookupState::kDeleted:
+      return Status::NotFound(k);
+    case MemTable::LookupState::kAbsent:
+      break;
+  }
+  // Newest run first: the most recent version of a key wins.
+  for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
+    if ((*it)->DefinitelyAbsent(key)) {
+      ++stats_.bloom_skips;
+      continue;
+    }
+    ++stats_.sstable_reads;
+    auto state = (*it)->Get(key, value);
+    if (!state.ok()) return state.status();
+    if (*state == Table::LookupState::kFound) return Status::OK();
+    if (*state == Table::LookupState::kDeleted) return Status::NotFound(k);
+  }
+  return Status::NotFound(k);
+}
+
+bool Db::Contains(std::string_view key) {
+  std::string scratch;
+  return Get(key, &scratch).ok();
+}
+
+Status Db::Flush() {
+  if (mem_.empty()) return Status::OK();
+  return FlushLocked();
+}
+
+Status Db::FlushLocked() {
+  const uint64_t number = next_file_number_++;
+  const std::string table_path = TableFileName(number);
+  auto builder = TableBuilder::Open(table_path, options_);
+  if (!builder.ok()) return builder.status();
+  for (auto it = mem_.NewIterator(); it.Valid(); it.Next()) {
+    SKETCHLINK_RETURN_IF_ERROR(
+        (*builder)->Add(it.key(), it.value().value, it.value().tombstone));
+  }
+  SKETCHLINK_RETURN_IF_ERROR((*builder)->Finish());
+  auto table = Table::Open(table_path, block_cache_.get());
+  if (!table.ok()) return table.status();
+  tables_.push_back(std::move(*table));
+  SKETCHLINK_RETURN_IF_ERROR(WriteManifest());
+
+  // Reset the memtable + WAL: everything buffered is now durable in the run.
+  mem_.Clear();
+  SKETCHLINK_RETURN_IF_ERROR(wal_->Close());
+  auto wal = WalWriter::Open(WalFileName(), options_.sync_writes);
+  if (!wal.ok()) return wal.status();
+  wal_ = std::move(*wal);
+  ++stats_.flushes;
+  return Status::OK();
+}
+
+Status Db::Compact(bool force) {
+  if (!force && tables_.size() < options_.compaction_trigger) {
+    return Status::OK();
+  }
+  if (tables_.size() <= 1) return Status::OK();
+
+  // Stream a merge of all runs (newest first) straight into the builder —
+  // no materialized map, so compaction memory is O(stride), not O(data).
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.reserve(tables_.size());
+  for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
+    children.push_back((*it)->NewIterator());
+  }
+  auto merged = NewMergingIterator(std::move(children));
+
+  const uint64_t number = next_file_number_++;
+  const std::string table_path = TableFileName(number);
+  auto builder = TableBuilder::Open(table_path, options_);
+  if (!builder.ok()) return builder.status();
+  for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+    // The merged output is the only (hence oldest) run: tombstones have
+    // nothing left to shadow and can be dropped.
+    if (merged->tombstone()) continue;
+    SKETCHLINK_RETURN_IF_ERROR(
+        (*builder)->Add(merged->key(), merged->value(), false));
+  }
+  SKETCHLINK_RETURN_IF_ERROR(merged->status());
+  SKETCHLINK_RETURN_IF_ERROR((*builder)->Finish());
+
+  auto table = Table::Open(table_path, block_cache_.get());
+  if (!table.ok()) return table.status();
+
+  std::vector<std::string> obsolete;
+  obsolete.reserve(tables_.size());
+  for (const auto& old_table : tables_) obsolete.push_back(old_table->path());
+  tables_.clear();
+  tables_.push_back(std::move(*table));
+  SKETCHLINK_RETURN_IF_ERROR(WriteManifest());
+  for (const std::string& old_path : obsolete) {
+    (void)RemoveFile(old_path);  // best effort; manifest no longer refs them
+    if (block_cache_ != nullptr) block_cache_->EraseByPrefix(old_path + "@");
+  }
+  ++stats_.compactions;
+  return Status::OK();
+}
+
+namespace {
+
+// DB-level cursor: merged view with tombstones suppressed.
+class DbIterator : public Iterator {
+ public:
+  explicit DbIterator(std::unique_ptr<Iterator> merged)
+      : merged_(std::move(merged)) {}
+
+  bool Valid() const override { return merged_->Valid(); }
+  void SeekToFirst() override {
+    merged_->SeekToFirst();
+    SkipTombstones();
+  }
+  void Seek(std::string_view target) override {
+    merged_->Seek(target);
+    SkipTombstones();
+  }
+  void Next() override {
+    merged_->Next();
+    SkipTombstones();
+  }
+  std::string_view key() const override { return merged_->key(); }
+  std::string_view value() const override { return merged_->value(); }
+  bool tombstone() const override { return false; }
+  Status status() const override { return merged_->status(); }
+
+ private:
+  void SkipTombstones() {
+    while (merged_->Valid() && merged_->tombstone()) {
+      merged_->Next();
+    }
+  }
+
+  std::unique_ptr<Iterator> merged_;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> Db::NewIterator() const {
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.reserve(tables_.size() + 1);
+  children.push_back(mem_.NewKvIterator());  // newest layer first
+  for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
+    children.push_back((*it)->NewIterator());
+  }
+  return std::make_unique<DbIterator>(NewMergingIterator(std::move(children)));
+}
+
+Result<std::vector<TableEntry>> Db::ScanAll() {
+  std::vector<TableEntry> out;
+  auto it = NewIterator();
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    out.push_back(TableEntry{std::string(it->key()),
+                             std::string(it->value()), false});
+  }
+  SKETCHLINK_RETURN_IF_ERROR(it->status());
+  return out;
+}
+
+Result<std::vector<TableEntry>> Db::ScanPrefix(std::string_view prefix) {
+  std::vector<TableEntry> out;
+  auto it = NewIterator();
+  for (it->Seek(prefix); it->Valid(); it->Next()) {
+    const std::string_view key = it->key();
+    if (key.size() < prefix.size() ||
+        key.substr(0, prefix.size()) != prefix) {
+      break;  // sorted order: past the prefix range
+    }
+    out.push_back(TableEntry{std::string(key), std::string(it->value()),
+                             false});
+  }
+  SKETCHLINK_RETURN_IF_ERROR(it->status());
+  return out;
+}
+
+size_t Db::ApproximateMemoryUsage() const {
+  size_t bytes = sizeof(*this) + mem_.ApproximateMemoryUsage();
+  for (const auto& table : tables_) bytes += table->ApproximateMemoryUsage();
+  return bytes;
+}
+
+}  // namespace sketchlink::kv

@@ -1,0 +1,118 @@
+#ifndef SKETCHLINK_KV_DB_H_
+#define SKETCHLINK_KV_DB_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "kv/block_cache.h"
+#include "kv/env.h"
+#include "kv/iterator.h"
+#include "kv/memtable.h"
+#include "kv/options.h"
+#include "kv/sstable.h"
+#include "kv/wal.h"
+
+namespace sketchlink::kv {
+
+/// Embedded log-structured key/value store: WAL + skip-list memtable +
+/// size-tiered sorted runs, our stand-in for the LevelDB instance the paper
+/// uses as persistent block storage (Secs. 4-6). Point lookups are O(log n)
+/// in the number of stored keys (memtable skip list + per-run sparse index
+/// binary search), matching the complexity the paper assumes for
+/// `retrieve(k)`.
+///
+/// Single-threaded by design: the record-linkage pipelines in this library
+/// drive it from one thread.
+class Db {
+ public:
+  ~Db();
+
+  Db(const Db&) = delete;
+  Db& operator=(const Db&) = delete;
+
+  /// Opens (or creates) a database rooted at directory `path`, replaying any
+  /// WAL left by a previous process.
+  static Result<std::unique_ptr<Db>> Open(const std::string& path,
+                                          const Options& options = Options());
+
+  /// Inserts or overwrites `key`.
+  Status Put(std::string_view key, std::string_view value);
+
+  /// Removes `key` (idempotent).
+  Status Delete(std::string_view key);
+
+  /// Point lookup; NotFound status when absent.
+  Status Get(std::string_view key, std::string* value);
+
+  /// True if `key` exists (no value copy).
+  bool Contains(std::string_view key);
+
+  /// Forces the memtable out to an SSTable.
+  Status Flush();
+
+  /// Runs a full merge of all sorted runs if the compaction trigger is met
+  /// (or `force` is true).
+  Status Compact(bool force = false);
+
+  /// Streaming cursor over the live entries (tombstones hidden) in key
+  /// order: a merge of the memtable and every sorted run, newest layer
+  /// winning per key. The iterator pins the runs it reads (compaction may
+  /// retire them concurrently-in-program-order) but is invalidated by
+  /// writes to the memtable; iterate-then-write, as the linkage pipelines
+  /// do.
+  std::unique_ptr<Iterator> NewIterator() const;
+
+  /// Returns every live entry in key order (merged view). Intended for
+  /// tests, examples and small scans, not for bulk workloads.
+  Result<std::vector<TableEntry>> ScanAll();
+
+  /// Returns live entries whose key starts with `prefix`, in key order;
+  /// seeks directly to the prefix instead of scanning the whole store.
+  Result<std::vector<TableEntry>> ScanPrefix(std::string_view prefix);
+
+  /// Operation counters.
+  const DbStats& stats() const { return stats_; }
+
+  /// The shared block cache, or nullptr when disabled (hit/miss counters
+  /// live on the cache itself).
+  const BlockCache* block_cache() const { return block_cache_.get(); }
+
+  /// Number of sorted runs currently on disk.
+  size_t num_tables() const { return tables_.size(); }
+
+  /// In-memory footprint: memtable + per-run indexes/bloom filters.
+  size_t ApproximateMemoryUsage() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Db(std::string path, Options options)
+      : path_(std::move(path)), options_(options) {}
+
+  std::string TableFileName(uint64_t number) const;
+  std::string WalFileName() const;
+  std::string ManifestFileName() const;
+
+  Status Recover();
+  Status WriteManifest();
+  Status FlushLocked();
+  Status ApplyToMemtable(const WalRecord& record);
+  Status MaybeFlushAndCompact();
+
+  std::string path_;
+  Options options_;
+  std::unique_ptr<BlockCache> block_cache_;
+  MemTable mem_;
+  std::unique_ptr<WalWriter> wal_;
+  // Sorted runs, oldest first; lookups scan newest -> oldest.
+  std::vector<std::shared_ptr<Table>> tables_;
+  uint64_t next_file_number_ = 1;
+  DbStats stats_;
+};
+
+}  // namespace sketchlink::kv
+
+#endif  // SKETCHLINK_KV_DB_H_

@@ -1,0 +1,167 @@
+#include "kv/env.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace sketchlink::kv {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Status ErrnoStatus(const std::string& context) {
+  return Status::IOError(context + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+WritableFile::~WritableFile() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<WritableFile>> WritableFile::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return ErrnoStatus("open " + path);
+  return std::unique_ptr<WritableFile>(new WritableFile(path, f));
+}
+
+Status WritableFile::Append(std::string_view data) {
+  if (file_ == nullptr) return Status::FailedPrecondition("file closed");
+  if (data.empty()) return Status::OK();
+  if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+    return ErrnoStatus("write " + path_);
+  }
+  size_ += data.size();
+  return Status::OK();
+}
+
+Status WritableFile::Flush() {
+  if (file_ == nullptr) return Status::FailedPrecondition("file closed");
+  if (std::fflush(file_) != 0) return ErrnoStatus("flush " + path_);
+  return Status::OK();
+}
+
+Status WritableFile::Sync() {
+  SKETCHLINK_RETURN_IF_ERROR(Flush());
+  // fileno + fsync; fflush alone leaves data in the page cache, which is
+  // fine for crash-consistency within the process but not across power
+  // loss. Our durability contract matches LevelDB's default (no fsync per
+  // write); Sync() is called on WAL rotation and manifest swaps.
+  if (fsync(fileno(file_)) != 0) return ErrnoStatus("fsync " + path_);
+  return Status::OK();
+}
+
+Status WritableFile::Close() {
+  if (file_ == nullptr) return Status::OK();
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return ErrnoStatus("close " + path_);
+  return Status::OK();
+}
+
+RandomAccessFile::~RandomAccessFile() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<RandomAccessFile>> RandomAccessFile::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (errno == ENOENT) return Status::NotFound(path);
+    return ErrnoStatus("open " + path);
+  }
+  std::error_code ec;
+  const uint64_t size = fs::file_size(path, ec);
+  if (ec) {
+    std::fclose(f);
+    return Status::IOError("stat " + path + ": " + ec.message());
+  }
+  return std::unique_ptr<RandomAccessFile>(
+      new RandomAccessFile(path, f, size));
+}
+
+Status RandomAccessFile::Read(uint64_t offset, size_t length,
+                              std::string* out) const {
+  out->resize(length);
+  if (length == 0) return Status::OK();
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return ErrnoStatus("seek " + path_);
+  }
+  if (std::fread(out->data(), 1, length, file_) != length) {
+    return Status::IOError("short read from " + path_);
+  }
+  return Status::OK();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  auto file = RandomAccessFile::Open(path);
+  if (!file.ok()) return file.status();
+  return (*file)->Read(0, (*file)->size(), out);
+}
+
+Status WriteStringToFileSync(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  auto file = WritableFile::Open(tmp);
+  if (!file.ok()) return file.status();
+  SKETCHLINK_RETURN_IF_ERROR((*file)->Append(data));
+  SKETCHLINK_RETURN_IF_ERROR((*file)->Sync());
+  SKETCHLINK_RETURN_IF_ERROR((*file)->Close());
+  return RenameFile(tmp, path);
+}
+
+Status CreateDirIfMissing(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) return Status::IOError("mkdir " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Status RemoveFile(const std::string& path) {
+  std::error_code ec;
+  if (!fs::remove(path, ec)) {
+    if (ec) return Status::IOError("remove " + path + ": " + ec.message());
+    return Status::NotFound(path);
+  }
+  return Status::OK();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec) {
+    return Status::IOError("rename " + from + " -> " + to + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  if (ec) return Status::IOError("list " + dir + ": " + ec.message());
+  return names;
+}
+
+Status RemoveDirRecursively(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(path, ec);
+  if (ec) return Status::IOError("rmtree " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+}  // namespace sketchlink::kv

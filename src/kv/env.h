@@ -1,0 +1,107 @@
+#ifndef SKETCHLINK_KV_ENV_H_
+#define SKETCHLINK_KV_ENV_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sketchlink::kv {
+
+/// Buffered append-only file used for WAL segments, SSTables and manifests.
+class WritableFile {
+ public:
+  ~WritableFile();
+
+  WritableFile(const WritableFile&) = delete;
+  WritableFile& operator=(const WritableFile&) = delete;
+
+  /// Opens (creates/truncates) `path` for writing.
+  static Result<std::unique_ptr<WritableFile>> Open(const std::string& path);
+
+  /// Appends bytes to the file buffer.
+  Status Append(std::string_view data);
+
+  /// Flushes user-space buffers to the OS.
+  Status Flush();
+
+  /// Flushes and fsyncs.
+  Status Sync();
+
+  /// Flushes and closes; further calls are invalid.
+  Status Close();
+
+  /// Bytes appended so far.
+  uint64_t size() const { return size_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  WritableFile(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  std::string path_;
+  std::FILE* file_;
+  uint64_t size_ = 0;
+};
+
+/// Positional-read file used to serve SSTable lookups.
+class RandomAccessFile {
+ public:
+  ~RandomAccessFile();
+
+  RandomAccessFile(const RandomAccessFile&) = delete;
+  RandomAccessFile& operator=(const RandomAccessFile&) = delete;
+
+  /// Opens `path` for reading.
+  static Result<std::unique_ptr<RandomAccessFile>> Open(
+      const std::string& path);
+
+  /// Reads exactly `length` bytes at `offset` into `*out` (resized).
+  Status Read(uint64_t offset, size_t length, std::string* out) const;
+
+  /// Total file size.
+  uint64_t size() const { return size_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  RandomAccessFile(std::string path, std::FILE* file, uint64_t size)
+      : path_(std::move(path)), file_(file), size_(size) {}
+
+  std::string path_;
+  std::FILE* file_;
+  uint64_t size_;
+};
+
+/// Reads an entire file into `*out`.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// Writes `data` to `path` atomically (tmp file + rename).
+Status WriteStringToFileSync(const std::string& path, std::string_view data);
+
+/// Creates directory `path` (and parents) if missing.
+Status CreateDirIfMissing(const std::string& path);
+
+/// Removes a file; NotFound if absent.
+Status RemoveFile(const std::string& path);
+
+/// Renames a file, replacing the destination.
+Status RenameFile(const std::string& from, const std::string& to);
+
+/// True if `path` exists.
+bool FileExists(const std::string& path);
+
+/// Lists regular files (names only, not paths) inside directory `dir`.
+Result<std::vector<std::string>> ListDir(const std::string& dir);
+
+/// Recursively deletes a directory tree (used by tests and benchmarks to
+/// reset scratch databases).
+Status RemoveDirRecursively(const std::string& path);
+
+}  // namespace sketchlink::kv
+
+#endif  // SKETCHLINK_KV_ENV_H_

@@ -1,0 +1,49 @@
+#ifndef SKETCHLINK_KV_ITERATOR_H_
+#define SKETCHLINK_KV_ITERATOR_H_
+
+#include <string_view>
+
+#include "common/status.h"
+
+namespace sketchlink::kv {
+
+/// Ordered cursor over key/value entries. Internal iterators (memtable,
+/// SSTable, merging) surface tombstones so layering can shadow correctly;
+/// the DB-level iterator hides them.
+///
+/// Usage:
+///   for (it->SeekToFirst(); it->Valid(); it->Next()) { ... }
+/// After the loop, check status() — I/O errors invalidate the iterator.
+class Iterator {
+ public:
+  virtual ~Iterator() = default;
+
+  /// True when positioned on an entry; key()/value() are then valid.
+  virtual bool Valid() const = 0;
+
+  /// Positions at the smallest key.
+  virtual void SeekToFirst() = 0;
+
+  /// Positions at the first key >= target.
+  virtual void Seek(std::string_view target) = 0;
+
+  /// Advances to the next key in order. Requires Valid().
+  virtual void Next() = 0;
+
+  /// Current key; the view is valid until the next mutation of the cursor.
+  virtual std::string_view key() const = 0;
+
+  /// Current value (empty for tombstones).
+  virtual std::string_view value() const = 0;
+
+  /// True when the current entry is a deletion marker.
+  virtual bool tombstone() const = 0;
+
+  /// OK, or the first error the cursor hit (an erroring iterator turns
+  /// invalid).
+  virtual Status status() const = 0;
+};
+
+}  // namespace sketchlink::kv
+
+#endif  // SKETCHLINK_KV_ITERATOR_H_

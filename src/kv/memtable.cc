@@ -1,0 +1,33 @@
+#include "kv/memtable.h"
+
+namespace sketchlink::kv {
+
+namespace {
+
+class MemTableIterator : public Iterator {
+ public:
+  explicit MemTableIterator(const MemTable* mem)
+      : it_(mem->NewIterator()) {}
+
+  bool Valid() const override { return it_.Valid(); }
+  void SeekToFirst() override { it_.SeekToFirst(); }
+  void Seek(std::string_view target) override {
+    it_.Seek(std::string(target));
+  }
+  void Next() override { it_.Next(); }
+  std::string_view key() const override { return it_.key(); }
+  std::string_view value() const override { return it_.value().value; }
+  bool tombstone() const override { return it_.value().tombstone; }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  MemTable::Table::Iterator it_;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> MemTable::NewKvIterator() const {
+  return std::make_unique<MemTableIterator>(this);
+}
+
+}  // namespace sketchlink::kv

@@ -1,0 +1,87 @@
+#ifndef SKETCHLINK_KV_MEMTABLE_H_
+#define SKETCHLINK_KV_MEMTABLE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/memory_tracker.h"
+#include "kv/iterator.h"
+#include "skiplist/skip_list.h"
+
+namespace sketchlink::kv {
+
+/// Value stored in the memtable: either a live value or a tombstone that
+/// shadows older SSTable versions of the key.
+struct MemValue {
+  bool tombstone = false;
+  std::string value;
+};
+
+/// In-memory write buffer of the key/value store: a skip list from key to
+/// MemValue, with byte accounting to drive flush decisions.
+class MemTable {
+ public:
+  explicit MemTable(uint64_t seed = 0xbeefULL) : table_(seed) {}
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  /// Inserts or overwrites `key`.
+  void Put(const std::string& key, const std::string& value) {
+    AccountBytes(key, value.size());
+    table_.InsertOrAssign(key, MemValue{false, value});
+  }
+
+  /// Records a deletion of `key`.
+  void Delete(const std::string& key) {
+    AccountBytes(key, 0);
+    table_.InsertOrAssign(key, MemValue{true, {}});
+  }
+
+  /// Lookup result: found (live or tombstone) vs absent.
+  enum class LookupState { kFound, kDeleted, kAbsent };
+
+  LookupState Get(const std::string& key, std::string* value) const {
+    const auto* node = table_.Find(key);
+    if (node == nullptr) return LookupState::kAbsent;
+    if (node->value.tombstone) return LookupState::kDeleted;
+    *value = node->value.value;
+    return LookupState::kFound;
+  }
+
+  /// Number of distinct keys (live + tombstones).
+  size_t size() const { return table_.size(); }
+  bool empty() const { return table_.empty(); }
+
+  /// Approximate payload bytes buffered (drives flush).
+  size_t payload_bytes() const { return payload_bytes_; }
+
+  /// Drops all buffered entries (after a flush made them durable).
+  void Clear() {
+    table_.Clear();
+    payload_bytes_ = 0;
+  }
+
+  using Table = SkipList<std::string, MemValue>;
+  Table::Iterator NewIterator() const { return table_.NewIterator(); }
+
+  /// Polymorphic cursor over the memtable (tombstones surfaced), for the
+  /// merging iterator. Invalidated by writes; the memtable must outlive it.
+  std::unique_ptr<Iterator> NewKvIterator() const;
+
+  size_t ApproximateMemoryUsage() const {
+    return table_.ApproximateNodeMemory() + payload_bytes_;
+  }
+
+ private:
+  void AccountBytes(const std::string& key, size_t value_size) {
+    payload_bytes_ += key.size() + value_size + 16;  // + node overhead guess
+  }
+
+  Table table_;
+  size_t payload_bytes_ = 0;
+};
+
+}  // namespace sketchlink::kv
+
+#endif  // SKETCHLINK_KV_MEMTABLE_H_

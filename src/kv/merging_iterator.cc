@@ -1,0 +1,80 @@
+#include "kv/merging_iterator.h"
+
+#include <string>
+
+namespace sketchlink::kv {
+
+namespace {
+
+class MergingIterator : public Iterator {
+ public:
+  explicit MergingIterator(std::vector<std::unique_ptr<Iterator>> children)
+      : children_(std::move(children)) {}
+
+  bool Valid() const override {
+    return status_.ok() && current_ != nullptr;
+  }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) {
+      child->SeekToFirst();
+    }
+    PickCurrent();
+  }
+
+  void Seek(std::string_view target) override {
+    for (auto& child : children_) {
+      child->Seek(target);
+    }
+    PickCurrent();
+  }
+
+  void Next() override {
+    // Advance every child positioned at the current key, so shadowed older
+    // versions are consumed together with the winner.
+    const std::string current_key(current_->key());
+    for (auto& child : children_) {
+      if (child->Valid() && child->key() == current_key) {
+        child->Next();
+      }
+    }
+    PickCurrent();
+  }
+
+  std::string_view key() const override { return current_->key(); }
+  std::string_view value() const override { return current_->value(); }
+  bool tombstone() const override { return current_->tombstone(); }
+  Status status() const override { return status_; }
+
+ private:
+  // Selects the child with the smallest key; among equals the FIRST child
+  // (the newest layer) wins. A linear scan per step is fine: the store
+  // keeps at most a handful of runs.
+  void PickCurrent() {
+    current_ = nullptr;
+    for (auto& child : children_) {
+      if (!child->status().ok()) {
+        status_ = child->status();
+        current_ = nullptr;
+        return;
+      }
+      if (!child->Valid()) continue;
+      if (current_ == nullptr || child->key() < current_->key()) {
+        current_ = child.get();
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<Iterator>> children_;
+  Iterator* current_ = nullptr;
+  Status status_;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> NewMergingIterator(
+    std::vector<std::unique_ptr<Iterator>> children) {
+  return std::make_unique<MergingIterator>(std::move(children));
+}
+
+}  // namespace sketchlink::kv

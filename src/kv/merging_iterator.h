@@ -1,0 +1,21 @@
+#ifndef SKETCHLINK_KV_MERGING_ITERATOR_H_
+#define SKETCHLINK_KV_MERGING_ITERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "kv/iterator.h"
+
+namespace sketchlink::kv {
+
+/// Merges several sorted child cursors into one sorted stream. Children are
+/// ordered NEWEST FIRST; when multiple children carry the same key, the
+/// newest version wins and older versions are skipped. Tombstones are
+/// surfaced (the DB-level iterator filters them), so layers below a
+/// deletion stay shadowed.
+std::unique_ptr<Iterator> NewMergingIterator(
+    std::vector<std::unique_ptr<Iterator>> children);
+
+}  // namespace sketchlink::kv
+
+#endif  // SKETCHLINK_KV_MERGING_ITERATOR_H_

@@ -1,0 +1,51 @@
+#ifndef SKETCHLINK_KV_OPTIONS_H_
+#define SKETCHLINK_KV_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sketchlink::kv {
+
+/// Tuning knobs for the embedded key/value store. Defaults are sized for the
+/// scaled-down experiments in this repository (single core, small heap).
+struct Options {
+  /// Memtable is flushed to an SSTable once it holds this many bytes of
+  /// key+value payload.
+  size_t memtable_bytes = 4 << 20;  // 4 MiB
+
+  /// Sparse-index stride: one index entry per this many data records.
+  size_t index_interval = 16;
+
+  /// Per-SSTable Bloom filter false-positive rate (0 disables the filter).
+  double sstable_bloom_fp = 0.01;
+
+  /// Merge all sorted runs into one when their count reaches this threshold
+  /// (size-tiered compaction trigger).
+  size_t compaction_trigger = 6;
+
+  /// Byte budget of the shared LRU block cache serving SSTable reads
+  /// (0 disables caching).
+  size_t block_cache_bytes = 4 << 20;  // 4 MiB
+
+  /// fsync WAL appends (off by default, matching LevelDB's default).
+  bool sync_writes = false;
+
+  /// Create the database directory if it does not exist.
+  bool create_if_missing = true;
+};
+
+/// Counters exposed by DB::stats() for the benchmark harness.
+struct DbStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t deletes = 0;
+  uint64_t memtable_hits = 0;
+  uint64_t sstable_reads = 0;   // lookups that touched at least one SSTable
+  uint64_t bloom_skips = 0;     // SSTables skipped by their Bloom filter
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+};
+
+}  // namespace sketchlink::kv
+
+#endif  // SKETCHLINK_KV_OPTIONS_H_

@@ -1,0 +1,347 @@
+#include "kv/sstable.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace sketchlink::kv {
+
+namespace {
+
+constexpr uint32_t kTableMagic = 0x534b4c54;  // "SKLT"
+constexpr size_t kFooterSize = 8 * 5 + 4 + 4;
+
+void AppendRecord(std::string* dst, std::string_view key,
+                  std::string_view value, bool tombstone) {
+  PutVarint32(dst, static_cast<uint32_t>(key.size()));
+  dst->append(key);
+  PutVarint32(dst,
+              (static_cast<uint32_t>(value.size()) << 1) | (tombstone ? 1 : 0));
+  dst->append(value);
+}
+
+}  // namespace
+
+TableBuilder::TableBuilder(std::unique_ptr<WritableFile> file,
+                           const Options& options)
+    : file_(std::move(file)), options_(options) {}
+
+Result<std::unique_ptr<TableBuilder>> TableBuilder::Open(
+    const std::string& path, const Options& options) {
+  auto file = WritableFile::Open(path);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<TableBuilder>(
+      new TableBuilder(std::move(*file), options));
+}
+
+Status TableBuilder::Add(std::string_view key, std::string_view value,
+                         bool tombstone) {
+  if (finished_) return Status::FailedPrecondition("builder finished");
+  if (num_entries_ > 0 && key <= last_key_) {
+    return Status::InvalidArgument("keys must be added in increasing order");
+  }
+  if (num_entries_ % options_.index_interval == 0) {
+    index_.emplace_back(std::string(key), file_->size());
+  }
+  std::string record;
+  record.reserve(key.size() + value.size() + 10);
+  AppendRecord(&record, key, value, tombstone);
+  SKETCHLINK_RETURN_IF_ERROR(file_->Append(record));
+  if (options_.sstable_bloom_fp > 0) {
+    keys_for_bloom_.emplace_back(key);
+  }
+  last_key_.assign(key);
+  ++num_entries_;
+  return Status::OK();
+}
+
+Status TableBuilder::Finish() {
+  if (finished_) return Status::FailedPrecondition("builder finished");
+  finished_ = true;
+
+  const uint64_t index_offset = file_->size();
+  std::string index_block;
+  for (const auto& [key, offset] : index_) {
+    PutLengthPrefixed(&index_block, key);
+    PutVarint64(&index_block, offset);
+  }
+  SKETCHLINK_RETURN_IF_ERROR(file_->Append(index_block));
+
+  const uint64_t bloom_offset = file_->size();
+  std::string bloom_block;
+  if (options_.sstable_bloom_fp > 0 && !keys_for_bloom_.empty()) {
+    BloomFilter bloom = BloomFilter::WithCapacity(keys_for_bloom_.size(),
+                                                  options_.sstable_bloom_fp);
+    for (const std::string& key : keys_for_bloom_) bloom.Insert(key);
+    bloom.EncodeTo(&bloom_block);
+  }
+  SKETCHLINK_RETURN_IF_ERROR(file_->Append(bloom_block));
+
+  std::string footer;
+  PutFixed64(&footer, index_offset);
+  PutFixed64(&footer, index_block.size());
+  PutFixed64(&footer, bloom_offset);
+  PutFixed64(&footer, bloom_block.size());
+  PutFixed64(&footer, num_entries_);
+  PutFixed32(&footer, Crc32c(footer));
+  PutFixed32(&footer, kTableMagic);
+  SKETCHLINK_RETURN_IF_ERROR(file_->Append(footer));
+  SKETCHLINK_RETURN_IF_ERROR(file_->Sync());
+  return file_->Close();
+}
+
+Result<std::shared_ptr<Table>> Table::Open(const std::string& path,
+                                           BlockCache* cache) {
+  auto file = RandomAccessFile::Open(path);
+  if (!file.ok()) return file.status();
+  auto table = std::shared_ptr<Table>(new Table());
+  table->file_ = std::move(*file);
+  table->cache_ = cache;
+
+  const uint64_t size = table->file_->size();
+  if (size < kFooterSize) return Status::Corruption("table too small: " + path);
+
+  std::string footer;
+  SKETCHLINK_RETURN_IF_ERROR(
+      table->file_->Read(size - kFooterSize, kFooterSize, &footer));
+  std::string_view fv(footer);
+  uint64_t index_offset, index_size, bloom_offset, bloom_size, num_entries;
+  uint32_t crc, magic;
+  GetFixed64(&fv, &index_offset);
+  GetFixed64(&fv, &index_size);
+  GetFixed64(&fv, &bloom_offset);
+  GetFixed64(&fv, &bloom_size);
+  GetFixed64(&fv, &num_entries);
+  GetFixed32(&fv, &crc);
+  GetFixed32(&fv, &magic);
+  if (magic != kTableMagic) {
+    return Status::Corruption("bad table magic: " + path);
+  }
+  if (Crc32c(std::string_view(footer).substr(0, 40)) != crc) {
+    return Status::Corruption("bad footer checksum: " + path);
+  }
+  table->data_size_ = index_offset;
+  table->num_entries_ = num_entries;
+
+  std::string index_block;
+  SKETCHLINK_RETURN_IF_ERROR(
+      table->file_->Read(index_offset, index_size, &index_block));
+  std::string_view iv(index_block);
+  while (!iv.empty()) {
+    std::string_view key;
+    uint64_t offset;
+    if (!GetLengthPrefixed(&iv, &key) || !GetVarint64(&iv, &offset)) {
+      return Status::Corruption("bad index block: " + path);
+    }
+    table->index_.emplace_back(std::string(key), offset);
+  }
+
+  if (bloom_size > 0) {
+    std::string bloom_block;
+    SKETCHLINK_RETURN_IF_ERROR(
+        table->file_->Read(bloom_offset, bloom_size, &bloom_block));
+    std::string_view bv(bloom_block);
+    auto bloom = BloomFilter::DecodeFrom(&bv);
+    if (!bloom.ok()) return bloom.status();
+    table->bloom_.emplace(std::move(*bloom));
+  }
+
+  if (!table->index_.empty()) {
+    table->min_key_ = table->index_.front().first;
+    // The max key requires reading the final stride; do it once at open.
+    std::vector<TableEntry> tail;
+    const uint64_t tail_offset = table->index_.back().second;
+    std::string block;
+    SKETCHLINK_RETURN_IF_ERROR(table->file_->Read(
+        tail_offset, table->data_size_ - tail_offset, &block));
+    SKETCHLINK_RETURN_IF_ERROR(ParseRecords(block, &tail));
+    if (!tail.empty()) table->max_key_ = tail.back().key;
+  }
+  return table;
+}
+
+Status Table::ParseRecords(std::string_view block,
+                           std::vector<TableEntry>* out) {
+  while (!block.empty()) {
+    uint32_t klen;
+    if (!GetVarint32(&block, &klen) || block.size() < klen) {
+      return Status::Corruption("bad record key");
+    }
+    TableEntry entry;
+    entry.key.assign(block.substr(0, klen));
+    block.remove_prefix(klen);
+    uint32_t vtag;
+    if (!GetVarint32(&block, &vtag)) {
+      return Status::Corruption("bad record value tag");
+    }
+    const uint32_t vlen = vtag >> 1;
+    entry.tombstone = (vtag & 1) != 0;
+    if (block.size() < vlen) return Status::Corruption("bad record value");
+    entry.value.assign(block.substr(0, vlen));
+    block.remove_prefix(vlen);
+    out->push_back(std::move(entry));
+  }
+  return Status::OK();
+}
+
+Result<Table::LookupState> Table::Get(std::string_view key,
+                                      std::string* value) const {
+  if (index_.empty()) return LookupState::kAbsent;
+  if (DefinitelyAbsent(key)) return LookupState::kAbsent;
+
+  // Binary search for the last index entry with first_key <= key.
+  auto it = std::upper_bound(
+      index_.begin(), index_.end(), key,
+      [](std::string_view k, const auto& entry) { return k < entry.first; });
+  if (it == index_.begin()) return LookupState::kAbsent;
+  --it;
+  const uint64_t begin = it->second;
+  const uint64_t end =
+      (std::next(it) == index_.end()) ? data_size_ : std::next(it)->second;
+
+  std::string block;
+  SKETCHLINK_RETURN_IF_ERROR(ReadDataRange(begin, end, &block));
+  std::vector<TableEntry> entries;
+  SKETCHLINK_RETURN_IF_ERROR(ParseRecords(block, &entries));
+  for (const TableEntry& entry : entries) {
+    if (entry.key == key) {
+      if (entry.tombstone) return LookupState::kDeleted;
+      *value = entry.value;
+      return LookupState::kFound;
+    }
+    if (entry.key > key) break;  // records are sorted
+  }
+  return LookupState::kAbsent;
+}
+
+Status Table::ReadDataRange(uint64_t begin, uint64_t end,
+                            std::string* out) const {
+  if (cache_ == nullptr) {
+    return file_->Read(begin, end - begin, out);
+  }
+  std::string key = file_->path();
+  key.push_back('@');
+  key.append(std::to_string(begin));
+  if (cache_->Lookup(key, out)) return Status::OK();
+  SKETCHLINK_RETURN_IF_ERROR(file_->Read(begin, end - begin, out));
+  cache_->Insert(key, *out);
+  return Status::OK();
+}
+
+Status Table::Scan(std::vector<TableEntry>* out) const {
+  std::string data;
+  SKETCHLINK_RETURN_IF_ERROR(file_->Read(0, data_size_, &data));
+  return ParseRecords(data, out);
+}
+
+namespace {
+
+// Stride-buffered cursor: holds the decoded entries of one sparse-index
+// stride; crossing the stride boundary loads the next range (through the
+// table's block cache when attached).
+class TableIterator : public Iterator {
+ public:
+  explicit TableIterator(std::shared_ptr<const Table> table,
+                         const std::vector<std::pair<std::string, uint64_t>>&
+                             index,
+                         uint64_t data_size)
+      : table_(std::move(table)), index_(index), data_size_(data_size) {}
+
+  bool Valid() const override {
+    return status_.ok() && pos_ < entries_.size();
+  }
+
+  void SeekToFirst() override {
+    status_ = Status::OK();
+    LoadStride(0);
+    pos_ = 0;
+  }
+
+  void Seek(std::string_view target) override {
+    status_ = Status::OK();
+    if (index_.empty()) {
+      entries_.clear();
+      pos_ = 0;
+      return;
+    }
+    // Last stride whose first key <= target (or the first stride when the
+    // target precedes everything).
+    auto it = std::upper_bound(
+        index_.begin(), index_.end(), target,
+        [](std::string_view k, const auto& e) { return k < e.first; });
+    size_t stride =
+        (it == index_.begin())
+            ? 0
+            : static_cast<size_t>(std::distance(index_.begin(), it)) - 1;
+    LoadStride(stride);
+    pos_ = 0;
+    while (status_.ok()) {
+      while (pos_ < entries_.size() && entries_[pos_].key < target) ++pos_;
+      if (pos_ < entries_.size() || stride + 1 >= index_.size()) break;
+      LoadStride(++stride);
+      pos_ = 0;
+    }
+  }
+
+  void Next() override {
+    ++pos_;
+    if (pos_ >= entries_.size() && status_.ok() &&
+        stride_ + 1 < index_.size()) {
+      LoadStride(stride_ + 1);
+      pos_ = 0;
+    }
+  }
+
+  std::string_view key() const override { return entries_[pos_].key; }
+  std::string_view value() const override { return entries_[pos_].value; }
+  bool tombstone() const override { return entries_[pos_].tombstone; }
+  Status status() const override { return status_; }
+
+ private:
+  void LoadStride(size_t stride) {
+    stride_ = stride;
+    entries_.clear();
+    if (stride >= index_.size()) return;
+    const uint64_t begin = index_[stride].second;
+    const uint64_t end =
+        (stride + 1 < index_.size()) ? index_[stride + 1].second : data_size_;
+    std::string block;
+    Status status = table_->ReadDataRangeForIterator(begin, end, &block);
+    if (!status.ok()) {
+      status_ = status;
+      return;
+    }
+    status_ = Table::ParseRecords(block, &entries_);
+  }
+
+  std::shared_ptr<const Table> table_;
+  const std::vector<std::pair<std::string, uint64_t>>& index_;
+  uint64_t data_size_;
+  size_t stride_ = 0;
+  size_t pos_ = 0;
+  std::vector<TableEntry> entries_;
+  Status status_;
+};
+
+}  // namespace
+
+Status Table::ReadDataRangeForIterator(uint64_t begin, uint64_t end,
+                                       std::string* out) const {
+  return ReadDataRange(begin, end, out);
+}
+
+std::unique_ptr<Iterator> Table::NewIterator() const {
+  return std::make_unique<TableIterator>(shared_from_this(), index_,
+                                         data_size_);
+}
+
+size_t Table::ApproximateMemoryUsage() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [key, offset] : index_) {
+    bytes += sizeof(key) + key.capacity() + sizeof(offset);
+  }
+  if (bloom_.has_value()) bytes += bloom_->ApproximateMemoryUsage();
+  return bytes;
+}
+
+}  // namespace sketchlink::kv

@@ -1,0 +1,133 @@
+#ifndef SKETCHLINK_KV_SSTABLE_H_
+#define SKETCHLINK_KV_SSTABLE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "common/status.h"
+#include "kv/block_cache.h"
+#include "kv/env.h"
+#include "kv/iterator.h"
+#include "kv/options.h"
+
+namespace sketchlink::kv {
+
+/// One key/value entry surfaced from an SSTable scan. Tombstones are kept in
+/// the file so newer runs can shadow older ones; they are dropped when the
+/// merge output is the oldest surviving run.
+struct TableEntry {
+  std::string key;
+  std::string value;
+  bool tombstone = false;
+};
+
+/// Builds an immutable sorted-run file (SSTable). Keys must be added in
+/// strictly increasing order. Layout:
+///   data records  : varint32 klen | key | varint32 (vlen<<1 | tomb) | value
+///   sparse index  : one (first_key, offset) pair per `index_interval` records
+///   bloom filter  : optional, over all keys
+///   footer        : fixed offsets/sizes + entry count + crc + magic
+class TableBuilder {
+ public:
+  /// Starts building at `path`.
+  static Result<std::unique_ptr<TableBuilder>> Open(const std::string& path,
+                                                    const Options& options);
+
+  /// Appends an entry; `key` must exceed the previous key.
+  Status Add(std::string_view key, std::string_view value, bool tombstone);
+
+  /// Writes index/bloom/footer and closes the file.
+  Status Finish();
+
+  /// Number of entries added.
+  uint64_t num_entries() const { return num_entries_; }
+
+  /// File bytes written so far (data section only until Finish()).
+  uint64_t file_size() const { return file_->size(); }
+
+ private:
+  TableBuilder(std::unique_ptr<WritableFile> file, const Options& options);
+
+  std::unique_ptr<WritableFile> file_;
+  Options options_;
+  uint64_t num_entries_ = 0;
+  std::string last_key_;
+  // Pending index entries: (first key of stride, file offset of stride).
+  std::vector<std::pair<std::string, uint64_t>> index_;
+  std::vector<std::string> keys_for_bloom_;
+  bool finished_ = false;
+};
+
+/// Read-side handle for one SSTable: holds the parsed sparse index and Bloom
+/// filter in memory (O(n / index_interval) entries) and serves point lookups
+/// with a single ranged read, giving the O(log n) disk-seek behaviour the
+/// paper attributes to LevelDB.
+class Table : public std::enable_shared_from_this<Table> {
+ public:
+  /// Opens and validates `path`, loading index + bloom. `cache` (optional,
+  /// not owned, must outlive the table) serves repeated data-block reads.
+  static Result<std::shared_ptr<Table>> Open(const std::string& path,
+                                             BlockCache* cache = nullptr);
+
+  /// Point lookup. Returns kFound/kDeleted/kAbsent like the memtable.
+  enum class LookupState { kFound, kDeleted, kAbsent };
+  Result<LookupState> Get(std::string_view key, std::string* value) const;
+
+  /// Sequentially reads every entry in key order (used by compaction and by
+  /// full scans).
+  Status Scan(std::vector<TableEntry>* out) const;
+
+  /// Streaming cursor over the table in key order, stride-buffered: one
+  /// sparse-index stride is resident at a time, read through the block
+  /// cache. The iterator keeps the table alive.
+  std::unique_ptr<Iterator> NewIterator() const;
+
+  uint64_t num_entries() const { return num_entries_; }
+  const std::string& path() const { return file_->path(); }
+  uint64_t file_size() const { return file_->size(); }
+
+  /// Smallest and largest key in the table.
+  const std::string& min_key() const { return min_key_; }
+  const std::string& max_key() const { return max_key_; }
+
+  /// True when the Bloom filter proves `key` absent.
+  bool DefinitelyAbsent(std::string_view key) const {
+    return bloom_.has_value() && !bloom_->MayContain(key);
+  }
+
+  /// In-memory footprint (index + bloom).
+  size_t ApproximateMemoryUsage() const;
+
+  /// Parses records from `block`, appending to `out` (exposed for the
+  /// table iterator).
+  static Status ParseRecords(std::string_view block,
+                             std::vector<TableEntry>* out);
+
+  /// Iterator hook: cached ranged read of the data section.
+  Status ReadDataRangeForIterator(uint64_t begin, uint64_t end,
+                                  std::string* out) const;
+
+ private:
+  Table() = default;
+
+  // Reads [begin, end) of the data section, through the block cache when
+  // one is attached.
+  Status ReadDataRange(uint64_t begin, uint64_t end, std::string* out) const;
+
+  std::unique_ptr<RandomAccessFile> file_;
+  BlockCache* cache_ = nullptr;
+  uint64_t data_size_ = 0;  // bytes before the index section
+  uint64_t num_entries_ = 0;
+  std::vector<std::pair<std::string, uint64_t>> index_;
+  std::optional<BloomFilter> bloom_;
+  std::string min_key_;
+  std::string max_key_;
+};
+
+}  // namespace sketchlink::kv
+
+#endif  // SKETCHLINK_KV_SSTABLE_H_

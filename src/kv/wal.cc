@@ -1,0 +1,97 @@
+#include "kv/wal.h"
+
+#include "common/coding.h"
+
+namespace sketchlink::kv {
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                   bool sync_each_record) {
+  auto file = WritableFile::Open(path);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(std::move(*file), sync_each_record));
+}
+
+Status WalWriter::AppendRecord(std::string_view payload) {
+  std::string frame;
+  frame.reserve(payload.size() + 9);
+  PutFixed32(&frame, Crc32c(payload));
+  PutVarint32(&frame, static_cast<uint32_t>(payload.size()));
+  frame.append(payload);
+  SKETCHLINK_RETURN_IF_ERROR(file_->Append(frame));
+  if (sync_each_record_) return file_->Sync();
+  return Status::OK();
+}
+
+Status WalWriter::AppendPut(std::string_view key, std::string_view value) {
+  std::string payload;
+  payload.reserve(key.size() + value.size() + 11);
+  payload.push_back(static_cast<char>(WalRecord::Op::kPut));
+  PutLengthPrefixed(&payload, key);
+  PutLengthPrefixed(&payload, value);
+  return AppendRecord(payload);
+}
+
+Status WalWriter::AppendDelete(std::string_view key) {
+  std::string payload;
+  payload.reserve(key.size() + 6);
+  payload.push_back(static_cast<char>(WalRecord::Op::kDelete));
+  PutLengthPrefixed(&payload, key);
+  return AppendRecord(payload);
+}
+
+Status WalWriter::Sync() { return file_->Sync(); }
+
+Status WalWriter::Close() { return file_->Close(); }
+
+Result<std::vector<WalRecord>> ReadWal(const std::string& path) {
+  std::string contents;
+  SKETCHLINK_RETURN_IF_ERROR(ReadFileToString(path, &contents));
+
+  std::vector<WalRecord> records;
+  std::string_view input(contents);
+  while (!input.empty()) {
+    uint32_t expected_crc;
+    uint32_t length;
+    std::string_view frame_start = input;
+    if (!GetFixed32(&input, &expected_crc) || !GetVarint32(&input, &length) ||
+        input.size() < length) {
+      // Torn tail from a crash mid-append: recover everything before it.
+      (void)frame_start;
+      break;
+    }
+    const std::string_view payload = input.substr(0, length);
+    input.remove_prefix(length);
+    if (Crc32c(payload) != expected_crc) {
+      // A bad checksum with more data after it means real corruption, not a
+      // torn tail.
+      if (input.empty()) break;
+      return Status::Corruption("WAL checksum mismatch in " + path);
+    }
+
+    std::string_view body = payload;
+    if (body.empty()) return Status::Corruption("empty WAL payload");
+    const auto op = static_cast<WalRecord::Op>(body.front());
+    body.remove_prefix(1);
+    WalRecord record;
+    record.op = op;
+    std::string_view key;
+    if (!GetLengthPrefixed(&body, &key)) {
+      return Status::Corruption("bad WAL key in " + path);
+    }
+    record.key.assign(key);
+    if (op == WalRecord::Op::kPut) {
+      std::string_view value;
+      if (!GetLengthPrefixed(&body, &value)) {
+        return Status::Corruption("bad WAL value in " + path);
+      }
+      record.value.assign(value);
+    } else if (op != WalRecord::Op::kDelete) {
+      return Status::Corruption("unknown WAL op in " + path);
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace sketchlink::kv

@@ -1,0 +1,64 @@
+#ifndef SKETCHLINK_KV_WAL_H_
+#define SKETCHLINK_KV_WAL_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "kv/env.h"
+
+namespace sketchlink::kv {
+
+/// One logical operation recovered from (or appended to) the write-ahead log.
+struct WalRecord {
+  enum class Op : uint8_t { kPut = 1, kDelete = 2 };
+  Op op;
+  std::string key;
+  std::string value;  // empty for kDelete
+};
+
+/// Append-only write-ahead log. Each record is framed as
+///   crc32c(payload) : fixed32
+///   len(payload)    : varint32
+///   payload         : op byte, length-prefixed key, length-prefixed value
+/// so recovery can detect torn tails and stop at the first bad frame.
+class WalWriter {
+ public:
+  /// Creates/truncates the log at `path`.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 bool sync_each_record);
+
+  /// Appends a put record.
+  Status AppendPut(std::string_view key, std::string_view value);
+
+  /// Appends a delete record.
+  Status AppendDelete(std::string_view key);
+
+  /// Flushes (and fsyncs when configured).
+  Status Sync();
+
+  /// Closes the underlying file.
+  Status Close();
+
+  uint64_t size() const { return file_->size(); }
+
+ private:
+  WalWriter(std::unique_ptr<WritableFile> file, bool sync_each_record)
+      : file_(std::move(file)), sync_each_record_(sync_each_record) {}
+
+  Status AppendRecord(std::string_view payload);
+
+  std::unique_ptr<WritableFile> file_;
+  bool sync_each_record_;
+};
+
+/// Replays a WAL file. Parsing stops cleanly at a truncated or corrupt tail
+/// (the normal shape of a crash), returning every record before it; corrupt
+/// frames in the middle yield a Corruption status.
+Result<std::vector<WalRecord>> ReadWal(const std::string& path);
+
+}  // namespace sketchlink::kv
+
+#endif  // SKETCHLINK_KV_WAL_H_

@@ -1,0 +1,47 @@
+#include "linkage/engine.h"
+
+#include "common/stopwatch.h"
+
+namespace sketchlink {
+
+Status LinkageEngine::BuildIndex(const Dataset& a) {
+  Stopwatch watch;
+  for (const Record& record : a.records()) {
+    const std::vector<std::string> keys = blocker_->Keys(record);
+    const std::string key_values = blocker_->KeyValues(record);
+    SKETCHLINK_RETURN_IF_ERROR(matcher_->Insert(record, keys, key_values));
+  }
+  blocking_seconds_ += watch.ElapsedSeconds();
+  return Status::OK();
+}
+
+Result<std::vector<RecordId>> LinkageEngine::ResolveOne(const Record& query) {
+  const std::vector<std::string> keys = blocker_->Keys(query);
+  const std::string key_values = blocker_->KeyValues(query);
+  return matcher_->Resolve(query, keys, key_values);
+}
+
+Result<LinkageReport> LinkageEngine::ResolveAll(const Dataset& q,
+                                                const GroundTruth& truth) {
+  LinkageReport report;
+  report.method = matcher_->name();
+  report.blocking = blocker_->name();
+  report.blocking_seconds = blocking_seconds_;
+
+  QualityScorer scorer(&truth);
+  Stopwatch watch;
+  for (const Record& query : q.records()) {
+    auto matches = ResolveOne(query);
+    if (!matches.ok()) return matches.status();
+    scorer.AddQueryResult(query, *matches);
+  }
+  report.matching_seconds = watch.ElapsedSeconds();
+  report.avg_query_seconds =
+      q.empty() ? 0.0 : report.matching_seconds / static_cast<double>(q.size());
+  report.comparisons = matcher_->comparisons();
+  report.matcher_memory_bytes = matcher_->ApproximateMemoryUsage();
+  report.quality = scorer.Finalize();
+  return report;
+}
+
+}  // namespace sketchlink

@@ -1,0 +1,61 @@
+#ifndef SKETCHLINK_LINKAGE_ENGINE_H_
+#define SKETCHLINK_LINKAGE_ENGINE_H_
+
+#include <string>
+
+#include "blocking/blocker.h"
+#include "common/status.h"
+#include "linkage/matcher.h"
+#include "linkage/metrics.h"
+#include "linkage/similarity.h"
+#include "record/record.h"
+
+namespace sketchlink {
+
+/// Timing/quality summary of one end-to-end linkage run — one row of the
+/// paper's Figs. 7-9 / Table 4.
+struct LinkageReport {
+  std::string method;
+  std::string blocking;
+  double blocking_seconds = 0.0;      // time to index A (blocking phase)
+  double matching_seconds = 0.0;      // time to resolve all of Q
+  double avg_query_seconds = 0.0;     // matching_seconds / |Q|
+  uint64_t comparisons = 0;           // similarity computations
+  size_t matcher_memory_bytes = 0;
+  QualityMetrics quality;
+};
+
+/// Orchestrates one experiment: pushes the data set A through blocking into
+/// the matcher, then resolves every query of Q, timing both phases and
+/// scoring the result sets against ground truth.
+class LinkageEngine {
+ public:
+  /// All pointers must outlive the engine.
+  LinkageEngine(const Blocker* blocker, OnlineMatcher* matcher,
+                RecordSimilarity similarity)
+      : blocker_(blocker),
+        matcher_(matcher),
+        similarity_(std::move(similarity)) {}
+
+  /// Blocking phase: indexes every record of `a`.
+  Status BuildIndex(const Dataset& a);
+
+  /// Matching phase: resolves every record of `q` and fills a report.
+  /// `truth` scores result sets; pass the GroundTruth built over `a`.
+  Result<LinkageReport> ResolveAll(const Dataset& q, const GroundTruth& truth);
+
+  /// Resolves a single query (for interactive / example use).
+  Result<std::vector<RecordId>> ResolveOne(const Record& query);
+
+  double blocking_seconds() const { return blocking_seconds_; }
+
+ private:
+  const Blocker* blocker_;
+  OnlineMatcher* matcher_;
+  RecordSimilarity similarity_;
+  double blocking_seconds_ = 0.0;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_LINKAGE_ENGINE_H_

@@ -1,0 +1,48 @@
+#ifndef SKETCHLINK_LINKAGE_MATCHER_H_
+#define SKETCHLINK_LINKAGE_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "record/record.h"
+
+namespace sketchlink {
+
+/// Common driver interface for every online record-linkage method in the
+/// evaluation (BlockSketch, SBlockSketch, the naive full-block scan, and
+/// the INV / EO baselines). The engine feeds data-set records through
+/// Insert() during the blocking phase and resolves query records through
+/// Resolve() during the matching phase.
+class OnlineMatcher {
+ public:
+  virtual ~OnlineMatcher() = default;
+
+  /// Indexes one data-set record under its blocking `keys`. `key_values` is
+  /// the record's untruncated, normalized blocking-field string (what
+  /// BlockSketch measures distances on); methods that don't need it may
+  /// ignore it.
+  virtual Status Insert(const Record& record,
+                        const std::vector<std::string>& keys,
+                        const std::string& key_values) = 0;
+
+  /// Resolves a query record: returns the ids of the records this method
+  /// reports as matches (its "result set"). Precision/recall are computed
+  /// over exactly these pairs.
+  virtual Result<std::vector<RecordId>> Resolve(
+      const Record& query, const std::vector<std::string>& keys,
+      const std::string& key_values) = 0;
+
+  /// Similarity computations performed so far (the cost driver the paper
+  /// tracks).
+  virtual uint64_t comparisons() const = 0;
+
+  /// In-memory footprint of the method's own structures.
+  virtual size_t ApproximateMemoryUsage() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_LINKAGE_MATCHER_H_

@@ -1,0 +1,51 @@
+#include "linkage/metrics.h"
+
+namespace sketchlink {
+
+GroundTruth::GroundTruth(const Dataset& dataset) {
+  entity_of_.reserve(dataset.size());
+  for (const Record& record : dataset.records()) {
+    entity_of_[record.id] = record.entity_id;
+    ++entity_count_[record.entity_id];
+  }
+}
+
+uint64_t GroundTruth::EntityOf(RecordId id) const {
+  auto it = entity_of_.find(id);
+  return it == entity_of_.end() ? 0 : it->second;
+}
+
+size_t GroundTruth::EntityCount(uint64_t entity) const {
+  auto it = entity_count_.find(entity);
+  return it == entity_count_.end() ? 0 : it->second;
+}
+
+void QualityScorer::AddQueryResult(const Record& query,
+                                   const std::vector<RecordId>& reported) {
+  totals_.true_pairs += truth_->EntityCount(query.entity_id);
+  totals_.reported_pairs += reported.size();
+  for (RecordId id : reported) {
+    if (truth_->EntityOf(id) == query.entity_id && query.entity_id != 0) {
+      ++totals_.correct_pairs;
+    }
+  }
+}
+
+QualityMetrics QualityScorer::Finalize() const {
+  QualityMetrics metrics = totals_;
+  if (metrics.true_pairs > 0) {
+    metrics.recall = static_cast<double>(metrics.correct_pairs) /
+                     static_cast<double>(metrics.true_pairs);
+  }
+  if (metrics.reported_pairs > 0) {
+    metrics.precision = static_cast<double>(metrics.correct_pairs) /
+                        static_cast<double>(metrics.reported_pairs);
+  }
+  if (metrics.recall + metrics.precision > 0) {
+    metrics.f1 = 2.0 * metrics.recall * metrics.precision /
+                 (metrics.recall + metrics.precision);
+  }
+  return metrics;
+}
+
+}  // namespace sketchlink

@@ -1,0 +1,66 @@
+#ifndef SKETCHLINK_LINKAGE_METRICS_H_
+#define SKETCHLINK_LINKAGE_METRICS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "record/record.h"
+
+namespace sketchlink {
+
+/// Ground truth derived from generated data: records sharing an entity_id
+/// are true matches. (With real data this would come from manual labels;
+/// our generator plants it — see DESIGN.md substitutions.)
+class GroundTruth {
+ public:
+  /// Indexes the data set that queries are resolved against (the paper's A).
+  explicit GroundTruth(const Dataset& dataset);
+
+  /// Entity of a record id (0 when unknown).
+  uint64_t EntityOf(RecordId id) const;
+
+  /// Number of indexed records belonging to `entity`.
+  size_t EntityCount(uint64_t entity) const;
+
+  size_t num_records() const { return entity_of_.size(); }
+
+ private:
+  std::unordered_map<RecordId, uint64_t> entity_of_;
+  std::unordered_map<uint64_t, size_t> entity_count_;
+};
+
+/// Pair-level quality of a linkage run. Following the blocking literature
+/// (and consistent with the paper's Fig. 7 discussion):
+///   recall    = correct reported pairs / true matching pairs,
+///   precision = correct reported pairs / reported pairs.
+struct QualityMetrics {
+  uint64_t true_pairs = 0;      // ground-truth matching pairs
+  uint64_t reported_pairs = 0;  // pairs the method put in its result set
+  uint64_t correct_pairs = 0;   // reported pairs that are true matches
+  double recall = 0.0;
+  double precision = 0.0;
+  double f1 = 0.0;
+};
+
+/// Accumulates per-query results into QualityMetrics.
+class QualityScorer {
+ public:
+  /// `truth` must outlive the scorer.
+  explicit QualityScorer(const GroundTruth* truth) : truth_(truth) {}
+
+  /// Records the result set of one query.
+  void AddQueryResult(const Record& query,
+                      const std::vector<RecordId>& reported);
+
+  /// Computes the final rates.
+  QualityMetrics Finalize() const;
+
+ private:
+  const GroundTruth* truth_;
+  QualityMetrics totals_;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_LINKAGE_METRICS_H_

@@ -1,0 +1,45 @@
+#include "linkage/record_store.h"
+
+#include "common/coding.h"
+#include "common/memory_tracker.h"
+
+namespace sketchlink {
+
+std::string RecordStore::DbKey(RecordId id) const {
+  std::string key = "rec\x01";
+  PutFixed64(&key, id);
+  return key;
+}
+
+Status RecordStore::Put(const Record& record) {
+  if (db_ != nullptr) {
+    std::string encoded;
+    record.EncodeTo(&encoded);
+    SKETCHLINK_RETURN_IF_ERROR(db_->Put(DbKey(record.id), encoded));
+  }
+  cache_[record.id] = record;
+  return Status::OK();
+}
+
+Result<Record> RecordStore::Get(RecordId id) const {
+  auto it = cache_.find(id);
+  if (it != cache_.end()) return it->second;
+  if (db_ != nullptr) {
+    std::string encoded;
+    SKETCHLINK_RETURN_IF_ERROR(db_->Get(DbKey(id), &encoded));
+    std::string_view input(encoded);
+    return Record::DecodeFrom(&input);
+  }
+  return Status::NotFound("record " + std::to_string(id));
+}
+
+size_t RecordStore::ApproximateMemoryUsage() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [id, record] : cache_) {
+    bytes += sizeof(id) + record.ApproximateMemoryUsage() +
+             sizeof(void*) * 2;
+  }
+  return bytes;
+}
+
+}  // namespace sketchlink

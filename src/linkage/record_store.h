@@ -1,0 +1,51 @@
+#ifndef SKETCHLINK_LINKAGE_RECORD_STORE_H_
+#define SKETCHLINK_LINKAGE_RECORD_STORE_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "kv/db.h"
+#include "record/record.h"
+
+namespace sketchlink {
+
+/// Id-addressed record storage. The paper keeps full records in a key/value
+/// database and only ids inside the summarization structures; this store
+/// mirrors that split. It can run purely in memory (default) or persist
+/// through the embedded key/value store with a small write-through cache.
+class RecordStore {
+ public:
+  /// In-memory store.
+  RecordStore() = default;
+
+  /// KV-backed store; `db` must outlive this object.
+  explicit RecordStore(kv::Db* db) : db_(db) {}
+
+  RecordStore(const RecordStore&) = delete;
+  RecordStore& operator=(const RecordStore&) = delete;
+
+  /// Inserts (or overwrites) a record.
+  Status Put(const Record& record);
+
+  /// Fetches a record by id; NotFound when absent.
+  Result<Record> Get(RecordId id) const;
+
+  /// Number of records stored (in-memory index size).
+  size_t size() const { return cache_.size(); }
+
+  size_t ApproximateMemoryUsage() const;
+
+ private:
+  std::string DbKey(RecordId id) const;
+
+  kv::Db* db_ = nullptr;
+  // In-memory mode: the authoritative map. KV mode: a full index of ids with
+  // cached payloads (records are small; the experiments need fast repeated
+  // access while remaining faithful about writing through to storage).
+  std::unordered_map<RecordId, Record> cache_;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_LINKAGE_RECORD_STORE_H_

@@ -1,0 +1,72 @@
+#ifndef SKETCHLINK_LINKAGE_SIMILARITY_H_
+#define SKETCHLINK_LINKAGE_SIMILARITY_H_
+
+#include <string>
+#include <vector>
+
+#include "record/record.h"
+
+namespace sketchlink {
+
+/// Per-field comparator selection. The paper's evaluation uses Jaro-Winkler
+/// everywhere; the other kinds are configuration for data whose fields are
+/// not name-like (numeric results, categorical codes, multi-token author
+/// lists, noisy free text).
+enum class FieldComparatorKind {
+  kJaroWinkler,    // the evaluation default
+  kExact,          // 1.0 / 0.0
+  kNumeric,        // 1 - |a-b| / max(|a|,|b|); falls back to JW if unparsable
+  kMongeElkan,     // token-reordering-tolerant (JW inner)
+  kSmithWaterman,  // local alignment (ignores flanking junk)
+};
+
+/// One compared field: index, comparator, and weight in the record score.
+struct FieldSpec {
+  int field_index = 0;
+  FieldComparatorKind comparator = FieldComparatorKind::kJaroWinkler;
+  double weight = 1.0;
+};
+
+/// Record-pair similarity used by the matching phase of every method in the
+/// evaluation: the weighted mean of per-field similarities over the
+/// normalized match fields (the paper uses Jaro-Winkler on every field with
+/// threshold theta' = 0.75, which is what the index-list constructor
+/// configures).
+class RecordSimilarity {
+ public:
+  /// `match_fields` lists the field indexes compared with Jaro-Winkler at
+  /// weight 1 (the paper's setup); `threshold` is theta'.
+  RecordSimilarity(std::vector<int> match_fields, double threshold = 0.75);
+
+  /// Fully typed configuration: per-field comparators and weights.
+  RecordSimilarity(std::vector<FieldSpec> fields, double threshold);
+
+  /// Mean Jaro-Winkler similarity over the match fields, in [0, 1].
+  double Similarity(const Record& a, const Record& b) const;
+
+  /// True when Similarity(a, b) >= threshold.
+  bool Matches(const Record& a, const Record& b) const {
+    return Similarity(a, b) >= threshold_;
+  }
+
+  /// The '#'-joined normalized match-field values of a record — the "key
+  /// values" BlockSketch measures distances on (footnote 7 of the paper).
+  std::string KeyValues(const Record& record) const;
+
+  double threshold() const { return threshold_; }
+  const std::vector<int>& match_fields() const { return match_fields_; }
+  const std::vector<FieldSpec>& field_specs() const { return specs_; }
+
+ private:
+  std::vector<int> match_fields_;  // plain index view (kept for callers)
+  std::vector<FieldSpec> specs_;
+  double threshold_;
+};
+
+/// Similarity of two normalized values under one comparator kind.
+double CompareFieldValues(FieldComparatorKind kind, const std::string& a,
+                          const std::string& b);
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_LINKAGE_SIMILARITY_H_

@@ -1,0 +1,130 @@
+#ifndef SKETCHLINK_LINKAGE_SKETCH_MATCHERS_H_
+#define SKETCHLINK_LINKAGE_SKETCH_MATCHERS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/block_sketch.h"
+#include "core/sblock_sketch.h"
+#include "linkage/matcher.h"
+#include "linkage/record_store.h"
+#include "linkage/similarity.h"
+
+namespace sketchlink {
+
+/// Result-set semantics shared by the sketch matchers.
+///
+/// kSubBlock is the paper's semantics (Sec. 5): "the pairs formulated in
+/// this sub-block constitute the final result set" — a query pays only the
+/// lambda*rho representative comparisons and reports the chosen sub-block's
+/// members directly, which is what makes the matching phase constant-time.
+/// kVerified additionally compares the query against each member and keeps
+/// only pairs above the similarity threshold (one comparison per member, so
+/// resolution is linear in the sub-block — an extension, not the paper).
+enum class ResolveMode { kSubBlock, kVerified };
+
+/// BlockSketch wrapped as an OnlineMatcher: blocking routes records into
+/// sub-blocks; resolution routes the query via the representatives and
+/// reports its target sub-block (see ResolveMode). Duplicate candidate
+/// pairs arising from redundant (LSH) blocking are discarded with a
+/// per-query set, as in the paper (Sec. 7.2, footnote 17).
+class BlockSketchMatcher : public OnlineMatcher {
+ public:
+  /// `store` must outlive the matcher.
+  BlockSketchMatcher(const BlockSketchOptions& options,
+                     RecordSimilarity similarity, RecordStore* store,
+                     ResolveMode mode = ResolveMode::kSubBlock)
+      : sketch_(options),
+        similarity_(std::move(similarity)),
+        store_(store),
+        mode_(mode) {}
+
+  Status Insert(const Record& record, const std::vector<std::string>& keys,
+                const std::string& key_values) override;
+  Result<std::vector<RecordId>> Resolve(
+      const Record& query, const std::vector<std::string>& keys,
+      const std::string& key_values) override;
+
+  uint64_t comparisons() const override {
+    return comparisons_ + sketch_.stats().representative_comparisons;
+  }
+  size_t ApproximateMemoryUsage() const override {
+    return sketch_.ApproximateMemoryUsage();
+  }
+  std::string name() const override { return "BlockSketch"; }
+
+  const BlockSketch& sketch() const { return sketch_; }
+
+ private:
+  BlockSketch sketch_;
+  RecordSimilarity similarity_;
+  RecordStore* store_;
+  ResolveMode mode_;
+  uint64_t comparisons_ = 0;
+};
+
+/// SBlockSketch wrapped as an OnlineMatcher (streaming variant; live blocks
+/// bounded by mu, spilled blocks served from the key/value store).
+class SBlockSketchMatcher : public OnlineMatcher {
+ public:
+  SBlockSketchMatcher(const SBlockSketchOptions& options, kv::Db* spill_db,
+                      RecordSimilarity similarity, RecordStore* store,
+                      ResolveMode mode = ResolveMode::kSubBlock)
+      : sketch_(options, spill_db),
+        similarity_(std::move(similarity)),
+        store_(store),
+        mode_(mode) {}
+
+  Status Insert(const Record& record, const std::vector<std::string>& keys,
+                const std::string& key_values) override;
+  Result<std::vector<RecordId>> Resolve(
+      const Record& query, const std::vector<std::string>& keys,
+      const std::string& key_values) override;
+
+  uint64_t comparisons() const override {
+    return comparisons_ + sketch_.stats().representative_comparisons;
+  }
+  size_t ApproximateMemoryUsage() const override {
+    return sketch_.ApproximateMemoryUsage();
+  }
+  std::string name() const override { return "SBlockSketch"; }
+
+  const SBlockSketch& sketch() const { return sketch_; }
+
+ private:
+  SBlockSketch sketch_;
+  RecordSimilarity similarity_;
+  RecordStore* store_;
+  ResolveMode mode_;
+  uint64_t comparisons_ = 0;
+};
+
+/// The naive matching phase the paper's methods replace: a query is compared
+/// against every record of its target block(s). Used as the "linear"
+/// reference point in benchmarks and tests.
+class NaiveBlockMatcher : public OnlineMatcher {
+ public:
+  NaiveBlockMatcher(RecordSimilarity similarity, RecordStore* store)
+      : similarity_(std::move(similarity)), store_(store) {}
+
+  Status Insert(const Record& record, const std::vector<std::string>& keys,
+                const std::string& key_values) override;
+  Result<std::vector<RecordId>> Resolve(
+      const Record& query, const std::vector<std::string>& keys,
+      const std::string& key_values) override;
+
+  uint64_t comparisons() const override { return comparisons_; }
+  size_t ApproximateMemoryUsage() const override;
+  std::string name() const override { return "NaiveBlockScan"; }
+
+ private:
+  RecordSimilarity similarity_;
+  RecordStore* store_;
+  std::unordered_map<std::string, std::vector<RecordId>> blocks_;
+  uint64_t comparisons_ = 0;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_LINKAGE_SKETCH_MATCHERS_H_

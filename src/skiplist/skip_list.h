@@ -1,0 +1,199 @@
+#ifndef SKETCHLINK_SKIPLIST_SKIP_LIST_H_
+#define SKETCHLINK_SKIPLIST_SKIP_LIST_H_
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+
+namespace sketchlink {
+
+/// Probabilistic ordered map (W. Pugh, CACM 1990; paper Sec. 3.1): a tower of
+/// linked lists where each inserted key joins level l+1 with probability 1/2
+/// (fair coin toss), giving O(log n) expected search, insert and
+/// less-or-equal lookup. The base level holds all keys in sorted order.
+///
+/// Two of this library's components sit on top of it:
+///  - SkipBloom stores its Bernoulli-sampled blocking keys here and needs
+///    FindLessOrEqual ("alphabetically the nearest key from the left").
+///  - The key/value store's memtable needs ordered iteration for flushes.
+///
+/// Not thread-safe; callers serialize access.
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class SkipList {
+ public:
+  struct Node {
+    Key key;
+    Value value;
+    // next_[l] links to the following node at level l; size() is the node's
+    // height.
+    std::vector<Node*> next_;
+
+    Node(Key k, Value v, int height)
+        : key(std::move(k)), value(std::move(v)), next_(height, nullptr) {}
+  };
+
+  explicit SkipList(uint64_t seed = 0xdecafULL, Compare cmp = Compare())
+      : cmp_(cmp), rng_(seed), head_(Key(), Value(), kMaxHeight) {}
+
+  ~SkipList() { Clear(); }
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  /// Inserts `key`; if it already exists, overwrites its value. Returns the
+  /// node holding the key.
+  Node* InsertOrAssign(const Key& key, Value value) {
+    Node* prev[kMaxHeight];
+    Node* node = FindGreaterOrEqual(key, prev);
+    if (node != nullptr && Equal(node->key, key)) {
+      node->value = std::move(value);
+      return node;
+    }
+    const int height = RandomHeight();
+    if (height > current_height_) {
+      for (int l = current_height_; l < height; ++l) prev[l] = &head_;
+      current_height_ = height;
+    }
+    Node* fresh = new Node(key, std::move(value), height);
+    for (int l = 0; l < height; ++l) {
+      fresh->next_[l] = prev[l]->next_[l];
+      prev[l]->next_[l] = fresh;
+    }
+    ++size_;
+    return fresh;
+  }
+
+  /// Returns the node with exactly `key`, or nullptr.
+  Node* Find(const Key& key) const {
+    Node* node = FindGreaterOrEqual(key, nullptr);
+    return (node != nullptr && Equal(node->key, key)) ? node : nullptr;
+  }
+
+  /// Returns true if `key` is present.
+  bool Contains(const Key& key) const { return Find(key) != nullptr; }
+
+  /// Returns the node with the greatest key <= `key`, or nullptr when every
+  /// stored key is greater (i.e. `key` precedes the whole list). This is the
+  /// skip-list query SkipBloom issues to locate a blocking key's target
+  /// block.
+  Node* FindLessOrEqual(const Key& key) const {
+    Node* x = const_cast<Node*>(&head_);
+    for (int level = current_height_ - 1; level >= 0; --level) {
+      while (x->next_[level] != nullptr &&
+             !cmp_(key, x->next_[level]->key)) {  // next->key <= key
+        x = x->next_[level];
+      }
+    }
+    return (x == &head_) ? nullptr : x;
+  }
+
+  /// First node in key order, or nullptr when empty.
+  Node* First() const { return head_.next_[0]; }
+
+  /// Number of stored keys.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Current tower height.
+  int height() const { return current_height_; }
+
+  /// Removes every node.
+  void Clear() {
+    Node* x = head_.next_[0];
+    while (x != nullptr) {
+      Node* next = x->next_[0];
+      delete x;
+      x = next;
+    }
+    for (int l = 0; l < kMaxHeight; ++l) head_.next_[l] = nullptr;
+    current_height_ = 1;
+    size_ = 0;
+  }
+
+  /// Bytes consumed by the node structures (excluding heap owned by Key and
+  /// Value payloads, which callers account separately).
+  size_t ApproximateNodeMemory() const {
+    size_t bytes = sizeof(*this);
+    for (Node* x = head_.next_[0]; x != nullptr; x = x->next_[0]) {
+      bytes += sizeof(Node) + x->next_.capacity() * sizeof(Node*);
+    }
+    return bytes;
+  }
+
+  /// Forward iterator over the base level (sorted order).
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list)
+        : list_(list), node_(list->head_.next_[0]) {}
+
+    bool Valid() const { return node_ != nullptr; }
+    const Key& key() const {
+      assert(Valid());
+      return node_->key;
+    }
+    const Value& value() const {
+      assert(Valid());
+      return node_->value;
+    }
+    Value& mutable_value() {
+      assert(Valid());
+      return node_->value;
+    }
+    void Next() {
+      assert(Valid());
+      node_ = node_->next_[0];
+    }
+    /// Positions at the first node with key >= `target`.
+    void Seek(const Key& target) {
+      node_ = list_->FindGreaterOrEqual(target, nullptr);
+    }
+    void SeekToFirst() { node_ = list_->head_.next_[0]; }
+
+   private:
+    const SkipList* list_;
+    Node* node_;
+  };
+
+  Iterator NewIterator() const { return Iterator(this); }
+
+ private:
+  static constexpr int kMaxHeight = 20;
+
+  bool Equal(const Key& a, const Key& b) const {
+    return !cmp_(a, b) && !cmp_(b, a);
+  }
+
+  // Fair coin toss per level (paper Sec. 3.1 footnote: keep adding levels
+  // while tails comes up).
+  int RandomHeight() {
+    int height = 1;
+    while (height < kMaxHeight && rng_.CoinFlip()) ++height;
+    return height;
+  }
+
+  // Returns the first node >= key; fills prev[l] with the rightmost node
+  // < key at each level when `prev` is non-null.
+  Node* FindGreaterOrEqual(const Key& key, Node** prev) const {
+    Node* x = const_cast<Node*>(&head_);
+    for (int level = kMaxHeight - 1; level >= 0; --level) {
+      while (x->next_[level] != nullptr && cmp_(x->next_[level]->key, key)) {
+        x = x->next_[level];
+      }
+      if (prev != nullptr) prev[level] = x;
+    }
+    return x->next_[0];
+  }
+
+  Compare cmp_;
+  mutable Rng rng_;
+  Node head_;
+  int current_height_ = 1;
+  size_t size_ = 0;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_SKIPLIST_SKIP_LIST_H_

@@ -1,0 +1,628 @@
+#include "text/double_metaphone.h"
+
+#include <cctype>
+#include <initializer_list>
+
+namespace sketchlink::text {
+
+namespace {
+
+// Working state for one encoding pass. The input is uppercased and padded
+// with five spaces so lookahead never runs off the end (mirrors the layout
+// of Philips' reference implementation).
+class Encoder {
+ public:
+  Encoder(std::string_view word, size_t max_length)
+      : max_length_(max_length) {
+    word_.reserve(word.size() + 5);
+    for (char raw : word) {
+      unsigned char c = static_cast<unsigned char>(raw);
+      if (std::isalpha(c)) word_.push_back(static_cast<char>(std::toupper(c)));
+    }
+    length_ = word_.size();
+    word_.append(5, ' ');
+  }
+
+  MetaphoneCodes Encode();
+
+ private:
+  char At(size_t i) const { return i < word_.size() ? word_[i] : ' '; }
+
+  bool IsVowel(size_t i) const {
+    const char c = At(i);
+    return c == 'A' || c == 'E' || c == 'I' || c == 'O' || c == 'U' ||
+           c == 'Y';
+  }
+
+  // True if the substring of `length` starting at `start` equals any of the
+  // candidate strings.
+  bool StringAt(size_t start, size_t length,
+                std::initializer_list<const char*> candidates) const {
+    if (start > word_.size()) return false;
+    const std::string_view window =
+        std::string_view(word_).substr(start, length);
+    for (const char* cand : candidates) {
+      if (window == cand) return true;
+    }
+    return false;
+  }
+
+  bool SlavoGermanic() const {
+    return word_.find('W') != std::string::npos ||
+           word_.find('K') != std::string::npos ||
+           word_.find("CZ") != std::string::npos ||
+           word_.find("WITZ") != std::string::npos;
+  }
+
+  void Add(const char* primary, const char* secondary) {
+    primary_ += primary;
+    secondary_ += secondary;
+  }
+  void Add(const char* both) { Add(both, both); }
+
+  bool Done() const {
+    return primary_.size() >= max_length_ && secondary_.size() >= max_length_;
+  }
+
+  void HandleC(size_t& i);
+  void HandleG(size_t& i);
+
+  size_t max_length_;
+  std::string word_;
+  size_t length_ = 0;
+  std::string primary_;
+  std::string secondary_;
+};
+
+void Encoder::HandleC(size_t& i) {
+  // Various Germanic "ACH" contexts -> K.
+  if (i > 1 && !IsVowel(i - 2) && StringAt(i - 1, 3, {"ACH"}) &&
+      (At(i + 2) != 'I' &&
+       (At(i + 2) != 'E' || StringAt(i - 2, 6, {"BACHER", "MACHER"})))) {
+    Add("K");
+    i += 2;
+    return;
+  }
+  // Special case "CAESAR".
+  if (i == 0 && StringAt(i, 6, {"CAESAR"})) {
+    Add("S");
+    i += 2;
+    return;
+  }
+  // Italian "CHIANTI".
+  if (StringAt(i, 4, {"CHIA"})) {
+    Add("K");
+    i += 2;
+    return;
+  }
+  if (StringAt(i, 2, {"CH"})) {
+    // "MICHAEL"
+    if (i > 0 && StringAt(i, 4, {"CHAE"})) {
+      Add("K", "X");
+      i += 2;
+      return;
+    }
+    // Greek roots at word start, e.g. "CHARACTER", "CHORUS".
+    if (i == 0 &&
+        (StringAt(i + 1, 5, {"HARAC", "HARIS"}) ||
+         StringAt(i + 1, 3, {"HOR", "HYM", "HIA", "HEM"})) &&
+        !StringAt(0, 5, {"CHORE"})) {
+      Add("K");
+      i += 2;
+      return;
+    }
+    // Germanic/Greek "CH" -> K ("ORCHESTRA", "ARCHITECT", but not "ARCHER").
+    if ((StringAt(0, 4, {"VAN ", "VON "}) || StringAt(0, 3, {"SCH"})) ||
+        StringAt(i == 0 ? 0 : i - 2, 6,
+                 {"ORCHES", "ARCHIT", "ORCHID"}) ||
+        StringAt(i + 2, 1, {"T", "S"}) ||
+        ((StringAt(i == 0 ? 0 : i - 1, 1, {"A", "O", "U", "E"}) || i == 0) &&
+         StringAt(i + 2, 1,
+                  {"L", "R", "N", "M", "B", "H", "F", "V", "W", " "}))) {
+      Add("K");
+    } else {
+      if (i > 0) {
+        if (StringAt(0, 2, {"MC"})) {
+          Add("K");
+        } else {
+          Add("X", "K");
+        }
+      } else {
+        Add("X");
+      }
+    }
+    i += 2;
+    return;
+  }
+  // "CZERNY" -> S (X secondary).
+  if (StringAt(i, 2, {"CZ"}) &&
+      !(i >= 2 && StringAt(i - 2, 4, {"WICZ"}))) {
+    Add("S", "X");
+    i += 2;
+    return;
+  }
+  // "FOCACCIA".
+  if (StringAt(i + 1, 3, {"CIA"})) {
+    Add("X");
+    i += 3;
+    return;
+  }
+  // Double C, but not "MCCLELLAN".
+  if (StringAt(i, 2, {"CC"}) && !(i == 1 && At(0) == 'M')) {
+    // "BELLOCCHIO" but not "BACCHUS".
+    if (StringAt(i + 2, 1, {"I", "E", "H"}) &&
+        !StringAt(i + 2, 2, {"HU"})) {
+      // "ACCIDENT", "ACCEDE", "SUCCEED".
+      if ((i == 1 && At(i - 1) == 'A') ||
+          StringAt(i == 0 ? 0 : i - 1, 5, {"UCCEE", "UCCES"})) {
+        Add("KS");
+      } else {
+        // "BACCI", "BERTUCCI": Italian pronunciation.
+        Add("X");
+      }
+      i += 3;
+      return;
+    }
+    // Pierce's rule.
+    Add("K");
+    i += 2;
+    return;
+  }
+  if (StringAt(i, 2, {"CK", "CG", "CQ"})) {
+    Add("K");
+    i += 2;
+    return;
+  }
+  if (StringAt(i, 2, {"CI", "CE", "CY"})) {
+    // Italian vs. English.
+    if (StringAt(i, 3, {"CIO", "CIE", "CIA"})) {
+      Add("S", "X");
+    } else {
+      Add("S");
+    }
+    i += 2;
+    return;
+  }
+  Add("K");
+  // "MAC CAFFREY", "MAC GREGOR".
+  if (StringAt(i + 1, 2, {" C", " Q", " G"})) {
+    i += 3;
+  } else if (StringAt(i + 1, 1, {"C", "K", "Q"}) &&
+             !StringAt(i + 1, 2, {"CE", "CI"})) {
+    i += 2;
+  } else {
+    i += 1;
+  }
+}
+
+void Encoder::HandleG(size_t& i) {
+  if (At(i + 1) == 'H') {
+    if (i > 0 && !IsVowel(i - 1)) {
+      Add("K");
+      i += 2;
+      return;
+    }
+    if (i == 0) {
+      // "GHISLANE", "GHIRADELLI".
+      if (At(i + 2) == 'I') {
+        Add("J");
+      } else {
+        Add("K");
+      }
+      i += 2;
+      return;
+    }
+    // Parker's rule (with some further refinements): e.g. "HUGH".
+    if ((i > 1 && StringAt(i - 2, 1, {"B", "H", "D"})) ||
+        (i > 2 && StringAt(i - 3, 1, {"B", "H", "D"})) ||
+        (i > 3 && StringAt(i - 4, 1, {"B", "H"}))) {
+      i += 2;
+      return;
+    }
+    // "LAUGH", "MCLAUGHLIN", "COUGH", "GOUGH", "ROUGH", "TOUGH".
+    if (i > 2 && At(i - 1) == 'U' &&
+        StringAt(i - 3, 1, {"C", "G", "L", "R", "T"})) {
+      Add("F");
+    } else if (i > 0 && At(i - 1) != 'I') {
+      Add("K");
+    }
+    i += 2;
+    return;
+  }
+  if (At(i + 1) == 'N') {
+    if (i == 1 && IsVowel(0) && !SlavoGermanic()) {
+      Add("KN", "N");
+    } else if (!StringAt(i + 2, 2, {"EY"}) && At(i + 1) != 'Y' &&
+               !SlavoGermanic()) {
+      // Not e.g. "CAGNEY".
+      Add("N", "KN");
+    } else {
+      Add("KN");
+    }
+    i += 2;
+    return;
+  }
+  // "TAGLIARO".
+  if (StringAt(i + 1, 2, {"LI"}) && !SlavoGermanic()) {
+    Add("KL", "L");
+    i += 2;
+    return;
+  }
+  // -ges-, -gep-, -gel- at start.
+  if (i == 0 && (At(i + 1) == 'Y' ||
+                 StringAt(i + 1, 2,
+                          {"ES", "EP", "EB", "EL", "EY", "IB", "IL", "IN",
+                           "IE", "EI", "ER"}))) {
+    Add("K", "J");
+    i += 2;
+    return;
+  }
+  // -ger-, -gy-.
+  if ((StringAt(i + 1, 2, {"ER"}) || At(i + 1) == 'Y') &&
+      !StringAt(0, 6, {"DANGER", "RANGER", "MANGER"}) &&
+      !(i > 0 && StringAt(i - 1, 1, {"E", "I"})) &&
+      !(i > 0 && StringAt(i - 1, 3, {"RGY", "OGY"}))) {
+    Add("K", "J");
+    i += 2;
+    return;
+  }
+  // Italian "BIAGGI".
+  if (StringAt(i + 1, 1, {"E", "I", "Y"}) ||
+      (i > 0 && StringAt(i - 1, 4, {"AGGI", "OGGI"}))) {
+    // Germanic.
+    if (StringAt(0, 4, {"VAN ", "VON "}) || StringAt(0, 3, {"SCH"}) ||
+        StringAt(i + 1, 2, {"ET"})) {
+      Add("K");
+    } else if (StringAt(i + 1, 4, {"IER "})) {
+      // Always soft if French ending.
+      Add("J");
+    } else {
+      Add("J", "K");
+    }
+    i += 2;
+    return;
+  }
+  if (At(i + 1) == 'G') {
+    i += 2;
+  } else {
+    i += 1;
+  }
+  Add("K");
+}
+
+MetaphoneCodes Encoder::Encode() {
+  size_t i = 0;
+
+  // Skip silent first letters: "GN", "KN", "PN", "WR", "PS".
+  if (StringAt(0, 2, {"GN", "KN", "PN", "WR", "PS"})) i = 1;
+
+  // Initial 'X' is pronounced 'Z' (e.g. "XAVIER") -> S.
+  if (At(0) == 'X') {
+    Add("S");
+    i = 1;
+  }
+
+  while (i < length_ && !Done()) {
+    const char c = At(i);
+    switch (c) {
+      case 'A': case 'E': case 'I': case 'O': case 'U': case 'Y':
+        if (i == 0) Add("A");  // all initial vowels map to A
+        i += 1;
+        break;
+      case 'B':
+        Add("P");
+        i += (At(i + 1) == 'B') ? 2 : 1;
+        break;
+      case 'C':
+        HandleC(i);
+        break;
+      case 'D':
+        if (StringAt(i, 2, {"DG"})) {
+          if (StringAt(i + 2, 1, {"I", "E", "Y"})) {
+            // "EDGE" -> J.
+            Add("J");
+            i += 3;
+          } else {
+            // "EDGAR" -> TK.
+            Add("TK");
+            i += 2;
+          }
+          break;
+        }
+        if (StringAt(i, 2, {"DT", "DD"})) {
+          Add("T");
+          i += 2;
+          break;
+        }
+        Add("T");
+        i += 1;
+        break;
+      case 'F':
+        Add("F");
+        i += (At(i + 1) == 'F') ? 2 : 1;
+        break;
+      case 'G':
+        HandleG(i);
+        break;
+      case 'H':
+        // Only keep H between vowels or at start before a vowel.
+        if ((i == 0 || IsVowel(i - 1)) && IsVowel(i + 1)) {
+          Add("H");
+          i += 2;
+        } else {
+          i += 1;
+        }
+        break;
+      case 'J':
+        // "JOSE", "SAN JACINTO".
+        if (StringAt(i, 4, {"JOSE"}) || StringAt(0, 4, {"SAN "})) {
+          if ((i == 0 && At(i + 4) == ' ') || StringAt(0, 4, {"SAN "})) {
+            Add("H");
+          } else {
+            Add("J", "H");
+          }
+          i += 1;
+          break;
+        }
+        if (i == 0 && !StringAt(i, 4, {"JOSE"})) {
+          Add("J", "A");  // "YANKELOVICH" vs "JANKELOWICZ"
+        } else if (IsVowel(i == 0 ? 0 : i - 1) && !SlavoGermanic() &&
+                   (At(i + 1) == 'A' || At(i + 1) == 'O')) {
+          Add("J", "H");
+        } else if (i == length_ - 1) {
+          Add("J", "");
+        } else if (!StringAt(i + 1, 1,
+                             {"L", "T", "K", "S", "N", "M", "B", "Z"}) &&
+                   !(i > 0 && StringAt(i - 1, 1, {"S", "K", "L"}))) {
+          Add("J");
+        }
+        i += (At(i + 1) == 'J') ? 2 : 1;
+        break;
+      case 'K':
+        Add("K");
+        i += (At(i + 1) == 'K') ? 2 : 1;
+        break;
+      case 'L':
+        if (At(i + 1) == 'L') {
+          // Spanish "CABRILLO", "GALLEGOS".
+          if ((i == length_ - 3 &&
+               StringAt(i - 1, 4, {"ILLO", "ILLA", "ALLE"})) ||
+              ((StringAt(length_ >= 2 ? length_ - 2 : 0, 2, {"AS", "OS"}) ||
+                StringAt(length_ >= 1 ? length_ - 1 : 0, 1, {"A", "O"})) &&
+               i > 0 && StringAt(i - 1, 4, {"ALLE"}))) {
+            Add("L", "");
+            i += 2;
+            break;
+          }
+          i += 2;
+        } else {
+          i += 1;
+        }
+        Add("L");
+        break;
+      case 'M':
+        // "DUMB", "THUMB": silent B handled at B, silent M doubling here.
+        if ((i > 0 && StringAt(i - 1, 3, {"UMB"}) &&
+             (i + 1 == length_ - 1 || StringAt(i + 2, 2, {"ER"}))) ||
+            At(i + 1) == 'M') {
+          i += 2;
+        } else {
+          i += 1;
+        }
+        Add("M");
+        break;
+      case 'N':
+        Add("N");
+        i += (At(i + 1) == 'N') ? 2 : 1;
+        break;
+      case 'P':
+        if (At(i + 1) == 'H') {
+          Add("F");
+          i += 2;
+          break;
+        }
+        // "CAMPBELL", "RASPBERRY".
+        Add("P");
+        i += StringAt(i + 1, 1, {"P", "B"}) ? 2 : 1;
+        break;
+      case 'Q':
+        Add("K");
+        i += (At(i + 1) == 'Q') ? 2 : 1;
+        break;
+      case 'R':
+        // French "ROGIER" final silent R kept in secondary.
+        if (i == length_ - 1 && !SlavoGermanic() && i > 1 &&
+            StringAt(i - 2, 2, {"IE"}) &&
+            !(i >= 4 && StringAt(i - 4, 2, {"ME", "MA"}))) {
+          Add("", "R");
+        } else {
+          Add("R");
+        }
+        i += (At(i + 1) == 'R') ? 2 : 1;
+        break;
+      case 'S':
+        // Silent S in "ISLAND", "CARLISLE".
+        if (i > 0 && StringAt(i - 1, 3, {"ISL", "YSL"})) {
+          i += 1;
+          break;
+        }
+        // "SUGAR" special case.
+        if (i == 0 && StringAt(i, 5, {"SUGAR"})) {
+          Add("X", "S");
+          i += 1;
+          break;
+        }
+        if (StringAt(i, 2, {"SH"})) {
+          // Germanic "SHOLZ".
+          if (StringAt(i + 1, 4, {"HEIM", "HOEK", "HOLM", "HOLZ"})) {
+            Add("S");
+          } else {
+            Add("X");
+          }
+          i += 2;
+          break;
+        }
+        // Italian & Armenian "SIO"/"SIA".
+        if (StringAt(i, 3, {"SIO", "SIA"}) || StringAt(i, 4, {"SIAN"})) {
+          if (!SlavoGermanic()) {
+            Add("S", "X");
+          } else {
+            Add("S");
+          }
+          i += 3;
+          break;
+        }
+        // German-origin initial S+consonant ("SMITH" -> XMT secondary), and
+        // "SZ" (Hungarian).
+        if ((i == 0 && StringAt(i + 1, 1, {"M", "N", "L", "W"})) ||
+            StringAt(i + 1, 1, {"Z"})) {
+          Add("S", "X");
+          i += StringAt(i + 1, 1, {"Z"}) ? 2 : 1;
+          break;
+        }
+        if (StringAt(i, 2, {"SC"})) {
+          // Schlesinger's rule.
+          if (At(i + 2) == 'H') {
+            // Dutch origin "SCHOOL", "SCHOONER".
+            if (StringAt(i + 3, 2, {"OO", "ER", "EN", "UY", "ED", "EM"})) {
+              // "SCHERMERHORN", "SCHENKER".
+              if (StringAt(i + 3, 2, {"ER", "EN"})) {
+                Add("X", "SK");
+              } else {
+                Add("SK");
+              }
+              i += 3;
+              break;
+            }
+            if (i == 0 && !IsVowel(3) && At(3) != 'W') {
+              Add("X", "S");
+            } else {
+              Add("X");
+            }
+            i += 3;
+            break;
+          }
+          if (StringAt(i + 2, 1, {"I", "E", "Y"})) {
+            Add("S");
+            i += 3;
+            break;
+          }
+          Add("SK");
+          i += 3;
+          break;
+        }
+        // French "RESNAIS", "ARTOIS": final silent S.
+        if (i == length_ - 1 && i > 1 && StringAt(i - 2, 2, {"AI", "OI"})) {
+          Add("", "S");
+        } else {
+          Add("S");
+        }
+        i += StringAt(i + 1, 1, {"S", "Z"}) ? 2 : 1;
+        break;
+      case 'T':
+        if (StringAt(i, 4, {"TION"}) || StringAt(i, 3, {"TIA", "TCH"})) {
+          Add("X");
+          i += 3;
+          break;
+        }
+        if (StringAt(i, 2, {"TH"}) || StringAt(i, 3, {"TTH"})) {
+          // Germanic "THOMAS", "THAMES".
+          if (StringAt(i + 2, 2, {"OM", "AM"}) ||
+              StringAt(0, 4, {"VAN ", "VON "}) || StringAt(0, 3, {"SCH"})) {
+            Add("T");
+          } else {
+            Add("0", "T");  // '0' encodes the theta sound
+          }
+          i += 2;
+          break;
+        }
+        Add("T");
+        i += StringAt(i + 1, 1, {"T", "D"}) ? 2 : 1;
+        break;
+      case 'V':
+        Add("F");
+        i += (At(i + 1) == 'V') ? 2 : 1;
+        break;
+      case 'W':
+        // "WR" always becomes R.
+        if (StringAt(i, 2, {"WR"})) {
+          Add("R");
+          i += 2;
+          break;
+        }
+        if (i == 0 && (IsVowel(i + 1) || StringAt(i, 2, {"WH"}))) {
+          if (IsVowel(i + 1)) {
+            // "WASSERMAN" -> A, secondary F.
+            Add("A", "F");
+          } else {
+            // "WHIRLPOOL".
+            Add("A");
+          }
+          i += 1;
+          break;
+        }
+        // "ARNOW" -> secondary F.
+        if ((i == length_ - 1 && i > 0 && IsVowel(i - 1)) ||
+            (i > 0 &&
+             StringAt(i - 1, 5, {"EWSKI", "EWSKY", "OWSKI", "OWSKY"})) ||
+            StringAt(0, 3, {"SCH"})) {
+          Add("", "F");
+          i += 1;
+          break;
+        }
+        // Polish "FILIPOWICZ".
+        if (StringAt(i, 4, {"WICZ", "WITZ"})) {
+          Add("TS", "FX");
+          i += 4;
+          break;
+        }
+        i += 1;  // otherwise silent
+        break;
+      case 'X':
+        // French final "BREAUX" silent X.
+        if (!(i == length_ - 1 && i >= 3 &&
+              (StringAt(i - 3, 3, {"IAU", "EAU"}) ||
+               StringAt(i - 2, 2, {"AU", "OU"})))) {
+          Add("KS");
+        }
+        i += StringAt(i + 1, 1, {"C", "X"}) ? 2 : 1;
+        break;
+      case 'Z':
+        // Chinese pinyin "ZHAO".
+        if (At(i + 1) == 'H') {
+          Add("J");
+          i += 2;
+          break;
+        }
+        if (StringAt(i + 1, 2, {"ZO", "ZI", "ZA"}) ||
+            (SlavoGermanic() && i > 0 && At(i - 1) != 'T')) {
+          Add("S", "TS");
+        } else {
+          Add("S");
+        }
+        i += (At(i + 1) == 'Z') ? 2 : 1;
+        break;
+      default:
+        i += 1;
+        break;
+    }
+  }
+
+  MetaphoneCodes codes;
+  codes.primary = primary_.substr(0, max_length_);
+  codes.secondary = secondary_.substr(0, max_length_);
+  return codes;
+}
+
+}  // namespace
+
+MetaphoneCodes DoubleMetaphone(std::string_view word, size_t max_length) {
+  Encoder encoder(word, max_length);
+  return encoder.Encode();
+}
+
+std::string DoubleMetaphonePrimary(std::string_view word, size_t max_length) {
+  return DoubleMetaphone(word, max_length).primary;
+}
+
+}  // namespace sketchlink::text

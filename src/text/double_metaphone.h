@@ -1,0 +1,32 @@
+#ifndef SKETCHLINK_TEXT_DOUBLE_METAPHONE_H_
+#define SKETCHLINK_TEXT_DOUBLE_METAPHONE_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace sketchlink::text {
+
+/// Primary and secondary phonetic codes produced by Double Metaphone.
+/// When a word has no ambiguous pronunciation the two codes are equal.
+struct MetaphoneCodes {
+  std::string primary;
+  std::string secondary;
+};
+
+/// Double Metaphone (Lawrence Philips, 2000): encodes a word into one or two
+/// phonetic keys so that spelling variants of the same name collide
+/// ("SMITH" and "SMYTH" both encode to "SM0"). This is the encoding the
+/// INV baseline (Christen et al., CIKM'09) uses for its inverted-index
+/// blocking keys.
+///
+/// `max_length` caps the emitted code length (the conventional value is 4).
+MetaphoneCodes DoubleMetaphone(std::string_view word, size_t max_length = 4);
+
+/// Convenience: primary code only.
+std::string DoubleMetaphonePrimary(std::string_view word,
+                                   size_t max_length = 4);
+
+}  // namespace sketchlink::text
+
+#endif  // SKETCHLINK_TEXT_DOUBLE_METAPHONE_H_

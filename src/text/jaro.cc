@@ -1,0 +1,64 @@
+#include "text/jaro.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace sketchlink::text {
+
+double Jaro(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+
+  const size_t len_a = a.size();
+  const size_t len_b = b.size();
+  const size_t window =
+      std::max<size_t>(std::max(len_a, len_b) / 2, 1) - 1;
+
+  std::vector<bool> matched_a(len_a, false);
+  std::vector<bool> matched_b(len_b, false);
+
+  size_t matches = 0;
+  for (size_t i = 0; i < len_a; ++i) {
+    const size_t lo = (i > window) ? i - window : 0;
+    const size_t hi = std::min(i + window + 1, len_b);
+    for (size_t j = lo; j < hi; ++j) {
+      if (matched_b[j] || a[i] != b[j]) continue;
+      matched_a[i] = true;
+      matched_b[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Count transpositions between the matched subsequences.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < len_a; ++i) {
+    if (!matched_a[i]) continue;
+    while (!matched_b[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+
+  const double m = static_cast<double>(matches);
+  return (m / static_cast<double>(len_a) + m / static_cast<double>(len_b) +
+          (m - static_cast<double>(transpositions / 2)) / m) /
+         3.0;
+}
+
+double JaroWinkler(std::string_view a, std::string_view b,
+                   double prefix_scale) {
+  const double jaro = Jaro(a, b);
+  size_t prefix = 0;
+  const size_t limit = std::min({a.size(), b.size(), size_t{4}});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * prefix_scale * (1.0 - jaro);
+}
+
+double JaroWinklerDistance(std::string_view a, std::string_view b) {
+  return 1.0 - JaroWinkler(a, b);
+}
+
+}  // namespace sketchlink::text

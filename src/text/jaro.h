@@ -1,0 +1,24 @@
+#ifndef SKETCHLINK_TEXT_JARO_H_
+#define SKETCHLINK_TEXT_JARO_H_
+
+#include <string_view>
+
+namespace sketchlink::text {
+
+/// Jaro similarity in [0, 1]. Counts matching characters within a sliding
+/// window of half the longer string, then discounts transpositions.
+double Jaro(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler similarity: Jaro boosted by up to 4 characters of common
+/// prefix, scaled by `prefix_scale` (standard 0.1). This is the similarity
+/// function used throughout the paper's evaluation (threshold 0.75).
+double JaroWinkler(std::string_view a, std::string_view b,
+                   double prefix_scale = 0.1);
+
+/// Jaro-Winkler distance = 1 - JaroWinkler. The paper's sub-block rings use
+/// distances, so BlockSketch consumes this form.
+double JaroWinklerDistance(std::string_view a, std::string_view b);
+
+}  // namespace sketchlink::text
+
+#endif  // SKETCHLINK_TEXT_JARO_H_

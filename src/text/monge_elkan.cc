@@ -1,0 +1,55 @@
+#include "text/monge_elkan.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "text/jaro.h"
+
+namespace sketchlink::text {
+
+namespace {
+
+std::vector<std::string_view> Tokenize(std::string_view s) {
+  std::vector<std::string_view> tokens;
+  size_t begin = 0;
+  while (begin < s.size()) {
+    while (begin < s.size() && s[begin] == ' ') ++begin;
+    size_t end = begin;
+    while (end < s.size() && s[end] != ' ') ++end;
+    if (end > begin) tokens.push_back(s.substr(begin, end - begin));
+    begin = end;
+  }
+  return tokens;
+}
+
+}  // namespace
+
+double MongeElkan(std::string_view a, std::string_view b,
+                  const TokenSimilarityFn& inner) {
+  const auto tokens_a = Tokenize(a);
+  const auto tokens_b = Tokenize(b);
+  if (tokens_a.empty() && tokens_b.empty()) return 1.0;
+  if (tokens_a.empty() || tokens_b.empty()) return 0.0;
+  double total = 0.0;
+  for (std::string_view token_a : tokens_a) {
+    double best = 0.0;
+    for (std::string_view token_b : tokens_b) {
+      best = std::max(best, inner(token_a, token_b));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(tokens_a.size());
+}
+
+double MongeElkanJaroWinkler(std::string_view a, std::string_view b) {
+  return MongeElkan(a, b, [](std::string_view x, std::string_view y) {
+    return JaroWinkler(x, y);
+  });
+}
+
+double SymmetricMongeElkan(std::string_view a, std::string_view b,
+                           const TokenSimilarityFn& inner) {
+  return std::max(MongeElkan(a, b, inner), MongeElkan(b, a, inner));
+}
+
+}  // namespace sketchlink::text

@@ -1,0 +1,33 @@
+#ifndef SKETCHLINK_TEXT_MONGE_ELKAN_H_
+#define SKETCHLINK_TEXT_MONGE_ELKAN_H_
+
+#include <functional>
+#include <string_view>
+
+namespace sketchlink::text {
+
+/// Inner similarity used by Monge-Elkan (token-level, in [0,1]).
+using TokenSimilarityFn =
+    std::function<double(std::string_view, std::string_view)>;
+
+/// Monge-Elkan similarity: tokenizes both strings on whitespace and scores
+/// each token of `a` by its best match among `b`'s tokens, averaging the
+/// maxima. Robust to token reordering ("JOHNSON JAMES" vs "JAMES JOHNSON"),
+/// which plain Jaro-Winkler punishes — exactly the shape of multi-author
+/// DBLP strings and "SURNAME, GIVEN" conventions.
+///
+/// Note the measure is asymmetric; use SymmetricMongeElkan when both
+/// directions matter.
+double MongeElkan(std::string_view a, std::string_view b,
+                  const TokenSimilarityFn& inner);
+
+/// Monge-Elkan with Jaro-Winkler as the inner similarity.
+double MongeElkanJaroWinkler(std::string_view a, std::string_view b);
+
+/// max(ME(a,b), ME(b,a)) — the common symmetric variant.
+double SymmetricMongeElkan(std::string_view a, std::string_view b,
+                           const TokenSimilarityFn& inner);
+
+}  // namespace sketchlink::text
+
+#endif  // SKETCHLINK_TEXT_MONGE_ELKAN_H_

@@ -1,0 +1,70 @@
+#include "text/normalize.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+namespace sketchlink::text {
+
+std::string ToUpperAscii(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return out;
+}
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::string NormalizeField(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool pending_space = false;
+  for (char raw : Trim(s)) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isspace(c)) {
+      pending_space = !out.empty();
+      continue;
+    }
+    char up = static_cast<char>(std::toupper(c));
+    const bool keep = (up >= 'A' && up <= 'Z') || (up >= '0' && up <= '9') ||
+                      up == '\'' || up == '-';
+    if (!keep) continue;
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(up);
+  }
+  return out;
+}
+
+std::string_view Prefix(std::string_view s, size_t n) {
+  return s.substr(0, std::min(n, s.size()));
+}
+
+std::string_view FractionPrefix(std::string_view s, double fraction) {
+  if (fraction >= 1.0 || s.empty()) return s;
+  if (fraction <= 0.0) return s.substr(0, 0);
+  const size_t n = static_cast<size_t>(
+      std::ceil(fraction * static_cast<double>(s.size())));
+  return s.substr(0, std::max<size_t>(n, 1));
+}
+
+}  // namespace sketchlink::text

@@ -1,0 +1,66 @@
+#include "text/qgram.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sketchlink::text {
+
+std::vector<std::string> QGrams(std::string_view s, size_t q, bool pad) {
+  std::vector<std::string> grams;
+  if (q == 0) return grams;
+  std::string padded;
+  if (pad) {
+    padded.assign(q - 1, '#');
+    padded.append(s);
+    padded.append(q - 1, '$');
+  } else {
+    padded.assign(s);
+  }
+  if (padded.size() < q) {
+    if (!padded.empty()) grams.push_back(padded);
+    return grams;
+  }
+  grams.reserve(padded.size() - q + 1);
+  for (size_t i = 0; i + q <= padded.size(); ++i) {
+    grams.emplace_back(padded.substr(i, q));
+  }
+  return grams;
+}
+
+double QGramDice(std::string_view a, std::string_view b, size_t q) {
+  const auto ga = QGrams(a, q);
+  const auto gb = QGrams(b, q);
+  if (ga.empty() && gb.empty()) return 1.0;
+  if (ga.empty() || gb.empty()) return 0.0;
+
+  std::unordered_map<std::string, size_t> counts;
+  for (const auto& g : ga) ++counts[g];
+  size_t common = 0;
+  for (const auto& g : gb) {
+    auto it = counts.find(g);
+    if (it != counts.end() && it->second > 0) {
+      --it->second;
+      ++common;
+    }
+  }
+  return 2.0 * static_cast<double>(common) /
+         static_cast<double>(ga.size() + gb.size());
+}
+
+double QGramJaccard(std::string_view a, std::string_view b, size_t q) {
+  const auto ga = QGrams(a, q);
+  const auto gb = QGrams(b, q);
+  std::unordered_set<std::string> sa(ga.begin(), ga.end());
+  std::unordered_set<std::string> sb(gb.begin(), gb.end());
+  if (sa.empty() && sb.empty()) return 1.0;
+  size_t common = 0;
+  for (const auto& g : sa) {
+    common += sb.count(g);
+  }
+  const size_t uni = sa.size() + sb.size() - common;
+  return uni == 0 ? 1.0
+                  : static_cast<double>(common) / static_cast<double>(uni);
+}
+
+}  // namespace sketchlink::text

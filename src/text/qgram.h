@@ -1,0 +1,25 @@
+#ifndef SKETCHLINK_TEXT_QGRAM_H_
+#define SKETCHLINK_TEXT_QGRAM_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sketchlink::text {
+
+/// Extracts the multiset of q-grams of `s`. When `pad` is true the string is
+/// wrapped with q-1 copies of '#' / '$' sentinels, so boundary characters
+/// contribute as many grams as interior ones (the convention used when
+/// building record-level Bloom filters for Hamming LSH; Schnell et al.).
+std::vector<std::string> QGrams(std::string_view s, size_t q, bool pad = true);
+
+/// Dice coefficient of the q-gram multisets of a and b:
+/// 2*|A ∩ B| / (|A| + |B|). Returns 1 for two empty strings.
+double QGramDice(std::string_view a, std::string_view b, size_t q = 2);
+
+/// Jaccard coefficient of the q-gram sets (duplicates collapsed).
+double QGramJaccard(std::string_view a, std::string_view b, size_t q = 2);
+
+}  // namespace sketchlink::text
+
+#endif  // SKETCHLINK_TEXT_QGRAM_H_

@@ -1,0 +1,42 @@
+#include "text/smith_waterman.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace sketchlink::text {
+
+int SmithWaterman(std::string_view a, std::string_view b,
+                  const SwScores& scores) {
+  if (a.empty() || b.empty()) return 0;
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter: O(|b|) space
+
+  std::vector<int> row(b.size() + 1, 0);
+  int best = 0;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    int diag = 0;  // H[i-1][j-1]
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const int up = row[j];
+      const int score_sub =
+          diag + (a[i - 1] == b[j - 1] ? scores.match : scores.mismatch);
+      int h = std::max({0, score_sub, up + scores.gap,
+                        row[j - 1] + scores.gap});
+      row[j] = h;
+      diag = up;
+      best = std::max(best, h);
+    }
+  }
+  return best;
+}
+
+double SmithWatermanSimilarity(std::string_view a, std::string_view b,
+                               const SwScores& scores) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t shorter = std::min(a.size(), b.size());
+  if (shorter == 0) return 0.0;
+  const double ceiling =
+      static_cast<double>(scores.match) * static_cast<double>(shorter);
+  if (ceiling <= 0) return 0.0;
+  return static_cast<double>(SmithWaterman(a, b, scores)) / ceiling;
+}
+
+}  // namespace sketchlink::text

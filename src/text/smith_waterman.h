@@ -1,0 +1,31 @@
+#ifndef SKETCHLINK_TEXT_SMITH_WATERMAN_H_
+#define SKETCHLINK_TEXT_SMITH_WATERMAN_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace sketchlink::text {
+
+/// Scoring scheme for Smith-Waterman local alignment. Defaults follow the
+/// record-linkage convention (match +2, mismatch -1, gap -1).
+struct SwScores {
+  int match = 2;
+  int mismatch = -1;
+  int gap = -1;
+};
+
+/// Smith-Waterman local alignment score: the best-scoring pair of substrings
+/// under the scheme. O(|a|*|b|) time, O(min) space. Robust to leading/
+/// trailing junk ("DR JOHN SMITH MD" vs "JOHN SMITH"), where edit distance
+/// and Jaro-Winkler both suffer.
+int SmithWaterman(std::string_view a, std::string_view b,
+                  const SwScores& scores = SwScores());
+
+/// Normalized Smith-Waterman similarity in [0, 1]: score divided by the
+/// best achievable score for the shorter string (all-match).
+double SmithWatermanSimilarity(std::string_view a, std::string_view b,
+                               const SwScores& scores = SwScores());
+
+}  // namespace sketchlink::text
+
+#endif  // SKETCHLINK_TEXT_SMITH_WATERMAN_H_

@@ -1,0 +1,57 @@
+#include "text/soundex.h"
+
+#include <cctype>
+
+namespace sketchlink::text {
+
+namespace {
+
+// Soundex digit for an uppercase letter; 0 means the letter is not coded
+// (vowels and H/W/Y).
+char SoundexDigit(char c) {
+  switch (c) {
+    case 'B': case 'F': case 'P': case 'V':
+      return '1';
+    case 'C': case 'G': case 'J': case 'K': case 'Q': case 'S': case 'X':
+    case 'Z':
+      return '2';
+    case 'D': case 'T':
+      return '3';
+    case 'L':
+      return '4';
+    case 'M': case 'N':
+      return '5';
+    case 'R':
+      return '6';
+    default:
+      return '0';
+  }
+}
+
+}  // namespace
+
+std::string Soundex(std::string_view s) {
+  std::string letters;
+  letters.reserve(s.size());
+  for (char raw : s) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalpha(c)) letters.push_back(static_cast<char>(std::toupper(c)));
+  }
+  if (letters.empty()) return "0000";
+
+  std::string code(1, letters[0]);
+  char prev_digit = SoundexDigit(letters[0]);
+  for (size_t i = 1; i < letters.size() && code.size() < 4; ++i) {
+    const char c = letters[i];
+    const char digit = SoundexDigit(c);
+    // H and W are transparent: they do not reset the previous digit, so
+    // letters with the same code separated by H/W are coded once.
+    if (c == 'H' || c == 'W') continue;
+    if (digit != '0' && digit != prev_digit) code.push_back(digit);
+    prev_digit = digit;
+  }
+  code.append(4 - code.size(), '0');
+  return code;
+}
+
+}  // namespace sketchlink::text

@@ -1,0 +1,15 @@
+#ifndef SKETCHLINK_TEXT_SOUNDEX_H_
+#define SKETCHLINK_TEXT_SOUNDEX_H_
+
+#include <string>
+#include <string_view>
+
+namespace sketchlink::text {
+
+/// American Soundex code of `s` (letter + 3 digits, e.g. "ROBERT" -> "R163").
+/// Non-alphabetic characters are ignored; an empty input yields "0000".
+std::string Soundex(std::string_view s);
+
+}  // namespace sketchlink::text
+
+#endif  // SKETCHLINK_TEXT_SOUNDEX_H_

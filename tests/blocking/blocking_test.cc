@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "blocking/lsh_blocker.h"
+#include "blocking/presets.h"
+#include "blocking/standard_blocker.h"
+#include "datagen/generators.h"
+#include "datagen/perturb.h"
+
+namespace sketchlink {
+namespace {
+
+Record MakeNcvr(RecordId id, std::string given, std::string surname,
+                std::string address, std::string town) {
+  Record record;
+  record.id = id;
+  record.entity_id = id;
+  record.fields = {std::move(given), std::move(surname), std::move(address),
+                   std::move(town)};
+  return record;
+}
+
+TEST(StandardBlockerTest, NcvrPresetKey) {
+  auto blocker = MakeStandardBlocker(datagen::DatasetKind::kNcvr);
+  const Record record = MakeNcvr(1, "James", "Johnson", "1 Main St",
+                                 "Raleigh");
+  // given_name + surname[50%]: JAMES + JOHN (ceil(7*0.5)=4).
+  EXPECT_EQ(blocker->Key(record), "JAMES#JOHN");
+  EXPECT_EQ(blocker->Keys(record).size(), 1u);
+  EXPECT_EQ(blocker->keys_per_record(), 1u);
+}
+
+TEST(StandardBlockerTest, LabPresetUsesSixCharPrefixPlusResult) {
+  auto blocker = MakeStandardBlocker(datagen::DatasetKind::kLab);
+  Record record;
+  record.id = 1;
+  record.fields = {"CREATININE", "1.0 MG/DL", "2015"};
+  EXPECT_EQ(blocker->Key(record), "CREATI#10 MGDL");
+}
+
+TEST(StandardBlockerTest, KeyValuesAreUntruncatedBlockingFields) {
+  auto ncvr = MakeStandardBlocker(datagen::DatasetKind::kNcvr);
+  const Record record = MakeNcvr(1, "James", "Johnson", "1 Main St",
+                                 "Raleigh");
+  // Key truncates the surname, key values do not.
+  EXPECT_EQ(ncvr->Key(record), "JAMES#JOHN");
+  EXPECT_EQ(ncvr->KeyValues(record), "JAMES#JOHNSON");
+}
+
+TEST(StandardBlockerTest, DblpPresetCombinesAuthorAndVenue) {
+  auto blocker = MakeStandardBlocker(datagen::DatasetKind::kDblp);
+  Record record;
+  record.id = 1;
+  record.fields = {"JOHNSON JAMES", "VLDB", "2001"};
+  // author[50%]: ceil(13*0.5)=7 chars of "JOHNSON JAMES" -> "JOHNSON".
+  EXPECT_EQ(blocker->Key(record), "JOHNSON#VLDB");
+}
+
+TEST(StandardBlockerTest, MissingFieldsYieldEmptyComponents) {
+  StandardBlocker blocker({KeyPart{0, 0, 1.0}, KeyPart{5, 0, 1.0}});
+  Record record;
+  record.fields = {"ONLY"};
+  EXPECT_EQ(blocker.Key(record), "ONLY#");
+}
+
+TEST(StandardBlockerTest, NormalizationAppliesBeforeTruncation) {
+  StandardBlocker blocker({KeyPart{0, 0, 0.5}});
+  Record record;
+  record.fields = {"  o'brien  "};
+  // Normalized: O'BRIEN (7 chars) -> first 4.
+  EXPECT_EQ(blocker.Key(record), "O'BR");
+}
+
+TEST(StandardBlockerTest, IdenticalKeysForExactDuplicates) {
+  auto blocker = MakeStandardBlocker(datagen::DatasetKind::kNcvr);
+  const Record a = MakeNcvr(1, "MARY", "WILLIAMS", "2 Oak Ave", "DURHAM");
+  const Record b = MakeNcvr(2, "MARY", "WILLIAMS", "9 Elm St", "CARY");
+  EXPECT_EQ(blocker->Key(a), blocker->Key(b));
+}
+
+TEST(MatchFieldsTest, PerKindSelections) {
+  EXPECT_EQ(MatchFieldsFor(datagen::DatasetKind::kDblp),
+            (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(MatchFieldsFor(datagen::DatasetKind::kNcvr),
+            (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(MatchFieldsFor(datagen::DatasetKind::kLab),
+            (std::vector<int>{0, 1}));
+}
+
+TEST(LshBlockerTest, EmitsOneKeyPerTable) {
+  LshParams params;
+  params.num_tables = 6;
+  auto blocker = MakeLshBlocker(datagen::DatasetKind::kNcvr, params);
+  const Record record = MakeNcvr(1, "JAMES", "JOHNSON", "1 MAIN ST",
+                                 "RALEIGH");
+  const auto keys = blocker->Keys(record);
+  ASSERT_EQ(keys.size(), 6u);
+  EXPECT_EQ(blocker->keys_per_record(), 6u);
+  // Keys carry the table prefix (composite HashTableNo_Key format).
+  for (size_t t = 0; t < keys.size(); ++t) {
+    EXPECT_EQ(keys[t].rfind("T" + std::to_string(t) + "_", 0), 0u) << keys[t];
+  }
+}
+
+TEST(LshBlockerTest, DeterministicKeys) {
+  auto blocker = MakeLshBlocker(datagen::DatasetKind::kNcvr);
+  const Record record = MakeNcvr(1, "JAMES", "JOHNSON", "1 MAIN ST",
+                                 "RALEIGH");
+  EXPECT_EQ(blocker->Keys(record), blocker->Keys(record));
+}
+
+TEST(LshBlockerTest, IdenticalRecordsShareAllKeys) {
+  auto blocker = MakeLshBlocker(datagen::DatasetKind::kNcvr);
+  const Record a = MakeNcvr(1, "JAMES", "JOHNSON", "1 MAIN ST", "RALEIGH");
+  const Record b = MakeNcvr(2, "JAMES", "JOHNSON", "1 MAIN ST", "RALEIGH");
+  EXPECT_EQ(blocker->Keys(a), blocker->Keys(b));
+}
+
+TEST(LshBlockerTest, PerturbedRecordsShareSomeKey) {
+  // The redundancy property that gives LSH blocking its recall: small
+  // perturbations keep at least one of the L keys intact with high
+  // probability.
+  LshParams params;
+  params.num_tables = 10;
+  params.bits_per_key = 18;
+  auto blocker = MakeLshBlocker(datagen::DatasetKind::kNcvr, params);
+  datagen::Perturbator perturbator(11, 2);
+  int with_shared_key = 0;
+  const int trials = 100;
+  const Dataset base =
+      datagen::GenerateBase(datagen::DatasetKind::kNcvr, trials, 3, 0.6);
+  for (int i = 0; i < trials; ++i) {
+    const Record& original = base[i];
+    const Record copy = perturbator.PerturbRecord(original, 10000 + i);
+    const auto keys_a = blocker->Keys(original);
+    const auto keys_b = blocker->Keys(copy);
+    std::set<std::string> set_a(keys_a.begin(), keys_a.end());
+    bool shared = false;
+    for (const std::string& key : keys_b) {
+      if (set_a.count(key)) {
+        shared = true;
+        break;
+      }
+    }
+    if (shared) ++with_shared_key;
+  }
+  EXPECT_GT(with_shared_key, 80) << "LSH recall collapsed";
+}
+
+TEST(LshBlockerTest, UnrelatedRecordsRarelyCollide) {
+  LshParams params;
+  params.num_tables = 8;
+  params.bits_per_key = 24;
+  auto blocker = MakeLshBlocker(datagen::DatasetKind::kNcvr, params);
+  const Record a = MakeNcvr(1, "JAMES", "JOHNSON", "1 MAIN ST", "RALEIGH");
+  const Record b = MakeNcvr(2, "OLIVIA", "GUTIERREZ", "99 PINE ST",
+                            "ASHEVILLE");
+  const auto keys_a = blocker->Keys(a);
+  const auto keys_b = blocker->Keys(b);
+  int collisions = 0;
+  for (size_t t = 0; t < keys_a.size(); ++t) {
+    if (keys_a[t] == keys_b[t]) ++collisions;
+  }
+  EXPECT_LE(collisions, 1);
+}
+
+TEST(LshBlockerTest, PositionsAreDistinctAndSorted) {
+  LshParams params;
+  params.num_tables = 4;
+  params.bits_per_key = 30;
+  HammingLshBlocker blocker(params, {0, 1});
+  for (size_t t = 0; t < params.num_tables; ++t) {
+    const auto& positions = blocker.TablePositions(t);
+    ASSERT_EQ(positions.size(), params.bits_per_key);
+    for (size_t i = 1; i < positions.size(); ++i) {
+      EXPECT_LT(positions[i - 1], positions[i]);
+      EXPECT_LT(positions[i], params.embedding_bits);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sketchlink

@@ -1,0 +1,123 @@
+#include "blocking/minhash_blocker.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "blocking/presets.h"
+#include "datagen/generators.h"
+#include "datagen/perturb.h"
+
+namespace sketchlink {
+namespace {
+
+Record MakeNcvr(RecordId id, std::string given, std::string surname,
+                std::string address, std::string town) {
+  Record record;
+  record.id = id;
+  record.entity_id = id;
+  record.fields = {std::move(given), std::move(surname), std::move(address),
+                   std::move(town)};
+  return record;
+}
+
+MinHashBlocker MakeBlocker(size_t bands = 8, size_t rows = 4) {
+  MinHashParams params;
+  params.num_bands = bands;
+  params.rows_per_band = rows;
+  return MinHashBlocker(params, MatchFieldsFor(datagen::DatasetKind::kNcvr));
+}
+
+TEST(MinHashBlockerTest, OneKeyPerBandWithPrefix) {
+  const MinHashBlocker blocker = MakeBlocker(6, 3);
+  const Record record = MakeNcvr(1, "JAMES", "JOHNSON", "1 MAIN ST",
+                                 "RALEIGH");
+  const auto keys = blocker.Keys(record);
+  ASSERT_EQ(keys.size(), 6u);
+  for (size_t band = 0; band < keys.size(); ++band) {
+    EXPECT_EQ(keys[band].rfind("B" + std::to_string(band) + "_", 0), 0u)
+        << keys[band];
+  }
+  EXPECT_EQ(blocker.keys_per_record(), 6u);
+  EXPECT_EQ(blocker.name(), "minhash-lsh");
+}
+
+TEST(MinHashBlockerTest, DeterministicAndIdentityPreserving) {
+  const MinHashBlocker blocker = MakeBlocker();
+  const Record a = MakeNcvr(1, "JAMES", "JOHNSON", "1 MAIN ST", "RALEIGH");
+  const Record b = MakeNcvr(2, "JAMES", "JOHNSON", "1 MAIN ST", "RALEIGH");
+  EXPECT_EQ(blocker.Keys(a), blocker.Keys(a));
+  EXPECT_EQ(blocker.Keys(a), blocker.Keys(b));  // same values, same keys
+  EXPECT_EQ(blocker.Signature(a), blocker.Signature(b));
+}
+
+TEST(MinHashBlockerTest, SignatureAgreementTracksJaccard) {
+  const MinHashBlocker blocker = MakeBlocker(16, 1);  // 16 raw min-hashes
+  const Record base = MakeNcvr(1, "JAMES", "JOHNSON", "100 MAIN ST",
+                               "RALEIGH");
+  const Record close = MakeNcvr(2, "JAMES", "JOHNSN", "100 MAIN ST",
+                                "RALEIGH");
+  const Record far = MakeNcvr(3, "OLIVIA", "GUTIERREZ", "9 PINE RD",
+                              "ASHEVILLE");
+  const auto sig_base = blocker.Signature(base);
+  const auto sig_close = blocker.Signature(close);
+  const auto sig_far = blocker.Signature(far);
+  size_t agree_close = 0;
+  size_t agree_far = 0;
+  for (size_t i = 0; i < sig_base.size(); ++i) {
+    agree_close += sig_base[i] == sig_close[i];
+    agree_far += sig_base[i] == sig_far[i];
+  }
+  EXPECT_GT(agree_close, agree_far);
+  EXPECT_GT(agree_close, sig_base.size() / 2);
+}
+
+TEST(MinHashBlockerTest, PerturbedRecordsShareSomeKey) {
+  MinHashParams params;
+  params.num_bands = 10;
+  params.rows_per_band = 3;
+  const MinHashBlocker blocker(
+      params, MatchFieldsFor(datagen::DatasetKind::kNcvr));
+  datagen::Perturbator perturbator(17, 2);
+  const Dataset base =
+      datagen::GenerateBase(datagen::DatasetKind::kNcvr, 100, 5, 0.6);
+  int shared = 0;
+  for (size_t i = 0; i < base.size(); ++i) {
+    const Record copy = perturbator.PerturbRecord(base[i], 10000 + i);
+    const auto keys_a = blocker.Keys(base[i]);
+    const auto keys_b = blocker.Keys(copy);
+    const std::set<std::string> set_a(keys_a.begin(), keys_a.end());
+    for (const std::string& key : keys_b) {
+      if (set_a.count(key)) {
+        ++shared;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(shared, 80);
+}
+
+TEST(MinHashBlockerTest, UnrelatedRecordsRarelyCollide) {
+  const MinHashBlocker blocker = MakeBlocker(8, 4);
+  const Record a = MakeNcvr(1, "JAMES", "JOHNSON", "1 MAIN ST", "RALEIGH");
+  const Record b = MakeNcvr(2, "OLIVIA", "GUTIERREZ", "99 PINE ST",
+                            "ASHEVILLE");
+  const auto keys_a = blocker.Keys(a);
+  const auto keys_b = blocker.Keys(b);
+  int collisions = 0;
+  for (size_t i = 0; i < keys_a.size(); ++i) {
+    if (keys_a[i] == keys_b[i]) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(MinHashBlockerTest, KeyValuesJoinNormalizedFields) {
+  const MinHashBlocker blocker = MakeBlocker();
+  const Record record = MakeNcvr(1, " james ", "o'brien", "1 Main St",
+                                 "raleigh");
+  EXPECT_EQ(blocker.KeyValues(record),
+            "JAMES#O'BRIEN#1 MAIN ST#RALEIGH");
+}
+
+}  // namespace
+}  // namespace sketchlink

@@ -1,0 +1,100 @@
+#include "blocking/sorted_neighborhood.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "blocking/presets.h"
+#include "datagen/generators.h"
+
+namespace sketchlink {
+namespace {
+
+Record MakeNcvr(RecordId id, std::string given, std::string surname) {
+  Record record;
+  record.id = id;
+  record.entity_id = id;
+  record.fields = {std::move(given), std::move(surname), "1 MAIN ST",
+                   "RALEIGH"};
+  return record;
+}
+
+std::unique_ptr<SortedNeighborhoodIndex> MakeIndex(size_t window) {
+  return std::make_unique<SortedNeighborhoodIndex>(
+      MakeStandardBlocker(datagen::DatasetKind::kNcvr), window);
+}
+
+TEST(SortedNeighborhoodTest, EmptyIndexHasNoCandidates) {
+  auto index = MakeIndex(3);
+  EXPECT_TRUE(index->Candidates(MakeNcvr(1, "ANY", "ONE")).empty());
+  EXPECT_EQ(index->size(), 0u);
+}
+
+TEST(SortedNeighborhoodTest, ExactKeyIsAlwaysACandidate) {
+  auto index = MakeIndex(2);
+  index->Insert(MakeNcvr(1, "JAMES", "JOHNSON"));
+  index->Insert(MakeNcvr(2, "MARY", "WILLIAMS"));
+  const auto candidates = index->Candidates(MakeNcvr(9, "JAMES", "JOHNSON"));
+  EXPECT_NE(std::find(candidates.begin(), candidates.end(), RecordId{1}),
+            candidates.end());
+}
+
+TEST(SortedNeighborhoodTest, NeighborsWithinWindowAreFound) {
+  auto index = MakeIndex(2);
+  // Sort keys: ALICE#A.. < BOB#B.. < CARL#C.. < DAVE#D.. < ERIN#E..
+  index->Insert(MakeNcvr(1, "ALICE", "ADAMS"));
+  index->Insert(MakeNcvr(2, "BOB", "BAKER"));
+  index->Insert(MakeNcvr(3, "CARL", "CLARK"));
+  index->Insert(MakeNcvr(4, "DAVE", "DAVIS"));
+  index->Insert(MakeNcvr(5, "ERIN", "EVANS"));
+  const auto candidates = index->Candidates(MakeNcvr(9, "CARL", "CLARK"));
+  // Window 2 around CARL: BOB, ALICE backwards; CARL, DAVE forwards.
+  std::vector<RecordId> sorted = candidates;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<RecordId>{1, 2, 3, 4}));
+}
+
+TEST(SortedNeighborhoodTest, CandidateCountBoundedByTwoWindows) {
+  auto index = MakeIndex(3);
+  for (int i = 0; i < 100; ++i) {
+    index->Insert(MakeNcvr(i + 1, "NAME" + std::to_string(i), "SURNAME"));
+  }
+  const auto candidates =
+      index->Candidates(MakeNcvr(999, "NAME50", "SURNAME"));
+  EXPECT_LE(candidates.size(), 2u * index->window());
+  EXPECT_GE(candidates.size(), index->window());
+}
+
+TEST(SortedNeighborhoodTest, FirstCharacterTypoEscapesTheWindow) {
+  // The documented weakness (paper Sec. 2): 'JONES' vs 'KONES' sort far
+  // apart, so sorted-neighborhood never pairs them once enough records sit
+  // between.
+  auto index = MakeIndex(2);
+  index->Insert(MakeNcvr(1, "JAMES", "JONES"));
+  for (int i = 0; i < 50; ++i) {
+    index->Insert(MakeNcvr(100 + i, "JAMESA" + std::to_string(i), "FILL"));
+  }
+  const auto candidates = index->Candidates(MakeNcvr(999, "KAMES", "JONES"));
+  EXPECT_EQ(std::find(candidates.begin(), candidates.end(), RecordId{1}),
+            candidates.end());
+}
+
+TEST(SortedNeighborhoodTest, QueryBeyondEndsClamped) {
+  auto index = MakeIndex(5);
+  index->Insert(MakeNcvr(1, "MIDDLE", "NAME"));
+  // Query sorting before/after everything still returns in-range results.
+  EXPECT_EQ(index->Candidates(MakeNcvr(9, "AAAA", "AAAA")).size(), 1u);
+  EXPECT_EQ(index->Candidates(MakeNcvr(9, "ZZZZ", "ZZZZ")).size(), 1u);
+}
+
+TEST(SortedNeighborhoodTest, MemoryGrowsWithRecords) {
+  auto index = MakeIndex(2);
+  const size_t before = index->ApproximateMemoryUsage();
+  for (int i = 0; i < 1000; ++i) {
+    index->Insert(MakeNcvr(i, "N" + std::to_string(i), "S"));
+  }
+  EXPECT_GT(index->ApproximateMemoryUsage(), before + 1000 * 8);
+}
+
+}  // namespace
+}  // namespace sketchlink

@@ -1,0 +1,85 @@
+#include "bloom/annotated_bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace sketchlink {
+namespace {
+
+TEST(AnnotatedBloomFilterTest, TracksMinMax) {
+  AnnotatedBloomFilter filter(100, 0.05);
+  filter.Insert("MIDDLE");
+  EXPECT_EQ(filter.min_key(), "MIDDLE");
+  EXPECT_EQ(filter.max_key(), "MIDDLE");
+  filter.Insert("ALPHA");
+  filter.Insert("ZULU");
+  EXPECT_EQ(filter.min_key(), "ALPHA");
+  EXPECT_EQ(filter.max_key(), "ZULU");
+  EXPECT_EQ(filter.count(), 3u);
+}
+
+TEST(AnnotatedBloomFilterTest, RangeCoversOnlyInsertedSpan) {
+  AnnotatedBloomFilter filter(100, 0.05);
+  filter.Insert("GAMMA");
+  filter.Insert("OMEGA");
+  EXPECT_TRUE(filter.RangeCovers("GAMMA"));
+  EXPECT_TRUE(filter.RangeCovers("LAMBDA"));
+  EXPECT_TRUE(filter.RangeCovers("OMEGA"));
+  EXPECT_FALSE(filter.RangeCovers("ALPHA"));
+  EXPECT_FALSE(filter.RangeCovers("ZETA9"));
+}
+
+TEST(AnnotatedBloomFilterTest, EmptyCoversNothing) {
+  AnnotatedBloomFilter filter(100, 0.05);
+  EXPECT_FALSE(filter.RangeCovers(""));
+  EXPECT_FALSE(filter.RangeCovers("ANY"));
+  EXPECT_FALSE(filter.MayContain("ANY"));
+}
+
+TEST(AnnotatedBloomFilterTest, MayContainRequiresRangeAndBits) {
+  AnnotatedBloomFilter filter(100, 0.05);
+  filter.Insert("JOHNS");
+  filter.Insert("JORDAN");
+  EXPECT_TRUE(filter.MayContain("JOHNS"));
+  EXPECT_TRUE(filter.MayContain("JORDAN"));
+  // Out of range, even if the bits happened to collide.
+  EXPECT_FALSE(filter.MayContain("AARON"));
+  EXPECT_FALSE(filter.MayContain("ZZTOP"));
+}
+
+TEST(AnnotatedBloomFilterTest, FullAfterCapacityInserts) {
+  AnnotatedBloomFilter filter(3, 0.05);
+  EXPECT_FALSE(filter.Full());
+  filter.Insert("A");
+  filter.Insert("B");
+  EXPECT_FALSE(filter.Full());
+  filter.Insert("C");
+  EXPECT_TRUE(filter.Full());
+}
+
+TEST(AnnotatedBloomFilterTest, DuplicateInsertsCountTowardCapacity) {
+  AnnotatedBloomFilter filter(2, 0.05);
+  filter.Insert("X");
+  filter.Insert("X");
+  EXPECT_TRUE(filter.Full());
+  EXPECT_EQ(filter.min_key(), "X");
+  EXPECT_EQ(filter.max_key(), "X");
+}
+
+TEST(AnnotatedBloomFilterTest, ZeroCapacityClampedToOne) {
+  AnnotatedBloomFilter filter(0, 0.05);
+  filter.Insert("Y");
+  EXPECT_TRUE(filter.Full());
+  EXPECT_TRUE(filter.MayContain("Y"));
+}
+
+TEST(AnnotatedBloomFilterTest, MemoryIncludesFilterAndKeys) {
+  AnnotatedBloomFilter filter(1000, 0.01);
+  const size_t base = filter.ApproximateMemoryUsage();
+  EXPECT_GT(base, sizeof(AnnotatedBloomFilter));
+  filter.Insert(std::string(100, 'A'));
+  filter.Insert(std::string(100, 'Z'));
+  EXPECT_GT(filter.ApproximateMemoryUsage(), base);
+}
+
+}  // namespace
+}  // namespace sketchlink

@@ -1,0 +1,92 @@
+#include "bloom/counting_bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sketchlink {
+namespace {
+
+TEST(CountingBloomFilterTest, InsertThenContains) {
+  CountingBloomFilter filter = CountingBloomFilter::WithCapacity(1000, 0.01);
+  for (int i = 0; i < 1000; ++i) {
+    filter.Insert("key" + std::to_string(i));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(filter.MayContain("key" + std::to_string(i))) << i;
+  }
+}
+
+TEST(CountingBloomFilterTest, RemoveErasesMembership) {
+  CountingBloomFilter filter = CountingBloomFilter::WithCapacity(100, 0.01);
+  filter.Insert("alpha");
+  filter.Insert("beta");
+  ASSERT_TRUE(filter.MayContain("alpha"));
+  filter.Remove("alpha");
+  EXPECT_FALSE(filter.MayContain("alpha"));
+  // Other keys are untouched (with overwhelming probability at this load).
+  EXPECT_TRUE(filter.MayContain("beta"));
+}
+
+TEST(CountingBloomFilterTest, DuplicateInsertsNeedMatchingRemoves) {
+  CountingBloomFilter filter = CountingBloomFilter::WithCapacity(100, 0.01);
+  filter.Insert("dup");
+  filter.Insert("dup");
+  filter.Remove("dup");
+  EXPECT_TRUE(filter.MayContain("dup"));  // one copy still in
+  filter.Remove("dup");
+  EXPECT_FALSE(filter.MayContain("dup"));
+}
+
+TEST(CountingBloomFilterTest, FalsePositiveRateNearTarget) {
+  const double target = 0.01;
+  CountingBloomFilter filter =
+      CountingBloomFilter::WithCapacity(2000, target);
+  for (int i = 0; i < 2000; ++i) filter.Insert("in" + std::to_string(i));
+  int fp = 0;
+  const int probes = 20000;
+  for (int i = 0; i < probes; ++i) {
+    if (filter.MayContain("out" + std::to_string(i))) ++fp;
+  }
+  EXPECT_LT(static_cast<double>(fp) / probes, target * 3 + 0.001);
+}
+
+TEST(CountingBloomFilterTest, ChurnKeepsCorrectness) {
+  CountingBloomFilter filter = CountingBloomFilter::WithCapacity(500, 0.01);
+  // Insert/remove waves; present keys must always answer true.
+  for (int wave = 0; wave < 10; ++wave) {
+    for (int i = 0; i < 200; ++i) {
+      filter.Insert("w" + std::to_string(wave) + "k" + std::to_string(i));
+    }
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_TRUE(filter.MayContain("w" + std::to_string(wave) + "k" +
+                                    std::to_string(i)));
+    }
+    for (int i = 0; i < 200; ++i) {
+      filter.Remove("w" + std::to_string(wave) + "k" + std::to_string(i));
+    }
+  }
+  EXPECT_EQ(filter.insert_count(), 0u);
+}
+
+TEST(CountingBloomFilterTest, SaturationSticks) {
+  // A tiny filter hammered with one key: counters saturate and further
+  // removes cannot push them to zero (no false negatives for survivors).
+  CountingBloomFilter filter(16, 2);
+  for (int i = 0; i < 300; ++i) filter.Insert("hot");
+  EXPECT_GT(filter.saturated_count(), 0u);
+  for (int i = 0; i < 300; ++i) filter.Remove("hot");
+  // Saturated cells stick at 255, so membership persists (documented
+  // permanent-false-positive trade-off).
+  EXPECT_TRUE(filter.MayContain("hot"));
+}
+
+TEST(CountingBloomFilterTest, EmptyFilterContainsNothing) {
+  CountingBloomFilter filter(64, 3);
+  EXPECT_FALSE(filter.MayContain("anything"));
+  filter.Remove("anything");  // removing from empty is a no-op
+  EXPECT_FALSE(filter.MayContain("anything"));
+}
+
+}  // namespace
+}  // namespace sketchlink

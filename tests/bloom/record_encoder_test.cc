@@ -1,0 +1,95 @@
+#include "bloom/record_encoder.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sketchlink {
+namespace {
+
+TEST(BitVectorTest, SetAndGet) {
+  BitVector bits(128);
+  EXPECT_FALSE(bits.GetBit(0));
+  bits.SetBit(0);
+  bits.SetBit(63);
+  bits.SetBit(64);
+  bits.SetBit(127);
+  EXPECT_TRUE(bits.GetBit(0));
+  EXPECT_TRUE(bits.GetBit(63));
+  EXPECT_TRUE(bits.GetBit(64));
+  EXPECT_TRUE(bits.GetBit(127));
+  EXPECT_FALSE(bits.GetBit(1));
+  EXPECT_EQ(bits.CountSetBits(), 4u);
+}
+
+TEST(BitVectorTest, HammingDistanceBasic) {
+  BitVector a(64);
+  BitVector b(64);
+  EXPECT_EQ(a.HammingDistance(b), 0u);
+  a.SetBit(3);
+  EXPECT_EQ(a.HammingDistance(b), 1u);
+  b.SetBit(3);
+  EXPECT_EQ(a.HammingDistance(b), 0u);
+  b.SetBit(40);
+  a.SetBit(41);
+  EXPECT_EQ(a.HammingDistance(b), 2u);
+}
+
+TEST(BitVectorTest, HammingDistanceSymmetric) {
+  BitVector a(100);
+  BitVector b(100);
+  a.SetBit(10);
+  a.SetBit(20);
+  b.SetBit(20);
+  b.SetBit(99);
+  EXPECT_EQ(a.HammingDistance(b), b.HammingDistance(a));
+}
+
+TEST(RecordEncoderTest, DeterministicEncoding) {
+  RecordBloomEncoder encoder(500, 4);
+  const auto a = encoder.EncodeString("JOHNSON");
+  const auto b = encoder.EncodeString("JOHNSON");
+  EXPECT_EQ(a.HammingDistance(b), 0u);
+}
+
+TEST(RecordEncoderTest, SimilarStringsCloserThanDissimilar) {
+  RecordBloomEncoder encoder(1000, 4);
+  const auto base = encoder.EncodeString("JOHNSON");
+  const auto typo = encoder.EncodeString("JOHNSN");
+  const auto other = encoder.EncodeString("WILLIAMS");
+  EXPECT_LT(base.HammingDistance(typo), base.HammingDistance(other));
+}
+
+TEST(RecordEncoderTest, MultiFieldEncodingIsUnionOfGrams) {
+  RecordBloomEncoder encoder(1000, 4);
+  const auto joint = encoder.Encode({"JOHN", "SMITH"});
+  const auto first = encoder.EncodeString("JOHN");
+  // Every bit set by the single field is set in the joint encoding.
+  for (size_t i = 0; i < 1000; ++i) {
+    if (first.GetBit(i)) EXPECT_TRUE(joint.GetBit(i)) << i;
+  }
+}
+
+TEST(RecordEncoderTest, EmptyFieldsYieldEmptyVectorWithPadGrams) {
+  RecordBloomEncoder encoder(500, 4);
+  const auto empty = encoder.Encode({});
+  EXPECT_EQ(empty.CountSetBits(), 0u);
+  // An empty string still emits the pad gram "#$".
+  const auto empty_string = encoder.EncodeString("");
+  EXPECT_GT(empty_string.CountSetBits(), 0u);
+}
+
+TEST(RecordEncoderTest, RecordLevelPerturbationStaysClose) {
+  // The Hamming LSH premise: a perturbed record's embedding is much closer
+  // to its source than to an unrelated record's embedding.
+  RecordBloomEncoder encoder(1000, 4);
+  const auto original = encoder.Encode({"JAMES", "JOHNSON", "RALEIGH"});
+  const auto perturbed = encoder.Encode({"JAMS", "JOHNSONN", "RALEIGH"});
+  const auto unrelated = encoder.Encode({"MARY", "WILLIAMS", "DURHAM"});
+  EXPECT_LT(original.HammingDistance(perturbed) * 2,
+            original.HammingDistance(unrelated));
+}
+
+}  // namespace
+}  // namespace sketchlink

@@ -1,0 +1,146 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace sketchlink {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0);
+  PutFixed32(&buf, 1);
+  PutFixed32(&buf, 0xdeadbeef);
+  PutFixed32(&buf, UINT32_MAX);
+  std::string_view input(buf);
+  uint32_t value;
+  ASSERT_TRUE(GetFixed32(&input, &value));
+  EXPECT_EQ(value, 0u);
+  ASSERT_TRUE(GetFixed32(&input, &value));
+  EXPECT_EQ(value, 1u);
+  ASSERT_TRUE(GetFixed32(&input, &value));
+  EXPECT_EQ(value, 0xdeadbeef);
+  ASSERT_TRUE(GetFixed32(&input, &value));
+  EXPECT_EQ(value, UINT32_MAX);
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string buf;
+  const uint64_t values[] = {0, 1, 1ULL << 40, UINT64_MAX};
+  for (uint64_t v : values) PutFixed64(&buf, v);
+  std::string_view input(buf);
+  for (uint64_t expected : values) {
+    uint64_t value;
+    ASSERT_TRUE(GetFixed64(&input, &value));
+    EXPECT_EQ(value, expected);
+  }
+}
+
+TEST(CodingTest, FixedUnderflowFails) {
+  std::string buf = "abc";
+  std::string_view input(buf);
+  uint32_t v32;
+  EXPECT_FALSE(GetFixed32(&input, &v32));
+  uint64_t v64;
+  std::string_view input2(buf);
+  EXPECT_FALSE(GetFixed64(&input2, &v64));
+}
+
+TEST(CodingTest, Varint64RoundTripBoundaries) {
+  std::vector<uint64_t> values = {0, 1, 127, 128, 16383, 16384};
+  for (int shift = 3; shift < 64; shift += 7) {
+    values.push_back((1ULL << shift) - 1);
+    values.push_back(1ULL << shift);
+  }
+  values.push_back(UINT64_MAX);
+
+  std::string buf;
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  std::string_view input(buf);
+  for (uint64_t expected : values) {
+    uint64_t value;
+    ASSERT_TRUE(GetVarint64(&input, &value));
+    EXPECT_EQ(value, expected);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(CodingTest, Varint32RejectsOversizedValue) {
+  std::string buf;
+  PutVarint64(&buf, static_cast<uint64_t>(UINT32_MAX) + 1);
+  std::string_view input(buf);
+  uint32_t value;
+  EXPECT_FALSE(GetVarint32(&input, &value));
+}
+
+TEST(CodingTest, VarintTruncatedFails) {
+  std::string buf;
+  PutVarint64(&buf, 1ULL << 40);
+  buf.pop_back();
+  std::string_view input(buf);
+  uint64_t value;
+  EXPECT_FALSE(GetVarint64(&input, &value));
+}
+
+TEST(CodingTest, VarintLengthMatchesEncoding) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{127}, uint64_t{128},
+                     uint64_t{16384}, uint64_t{1} << 40, UINT64_MAX}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(static_cast<int>(buf.size()), VarintLength(v));
+  }
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, std::string(1000, 'z'));
+  std::string_view input(buf);
+  std::string_view value;
+  ASSERT_TRUE(GetLengthPrefixed(&input, &value));
+  EXPECT_EQ(value, "");
+  ASSERT_TRUE(GetLengthPrefixed(&input, &value));
+  EXPECT_EQ(value, "hello");
+  ASSERT_TRUE(GetLengthPrefixed(&input, &value));
+  EXPECT_EQ(value.size(), 1000u);
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(CodingTest, LengthPrefixedTruncatedPayloadFails) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  buf.pop_back();
+  std::string_view input(buf);
+  std::string_view value;
+  EXPECT_FALSE(GetLengthPrefixed(&input, &value));
+}
+
+TEST(CodingTest, Crc32cKnownVector) {
+  // RFC 3720 test vector: CRC32C of 32 zero bytes.
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros), 0x8a9136aaU);
+  // "123456789" -> 0xe3069283.
+  EXPECT_EQ(Crc32c("123456789"), 0xe3069283U);
+}
+
+TEST(CodingTest, Crc32cExtendMatchesWhole) {
+  const std::string data = "summarization algorithms for record linkage";
+  const uint32_t whole = Crc32c(data);
+  uint32_t split = Crc32c(data.substr(0, 10));
+  split = Crc32cExtend(split, data.substr(10));
+  EXPECT_EQ(whole, split);
+}
+
+TEST(CodingTest, Crc32cDetectsCorruption) {
+  std::string data = "payload";
+  const uint32_t before = Crc32c(data);
+  data[3] ^= 0x01;
+  EXPECT_NE(before, Crc32c(data));
+}
+
+}  // namespace
+}  // namespace sketchlink

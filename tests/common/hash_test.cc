@@ -1,0 +1,79 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace sketchlink {
+namespace {
+
+TEST(HashTest, Fnv1aKnownVectors) {
+  // Standard FNV-1a 64 test vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(HashTest, MurmurDeterministic) {
+  EXPECT_EQ(Murmur3_64("hello", 0), Murmur3_64("hello", 0));
+  EXPECT_EQ(Murmur3_128("hello", 7), Murmur3_128("hello", 7));
+}
+
+TEST(HashTest, MurmurSeedChangesOutput) {
+  EXPECT_NE(Murmur3_64("hello", 0), Murmur3_64("hello", 1));
+}
+
+TEST(HashTest, MurmurInputChangesOutput) {
+  EXPECT_NE(Murmur3_64("hello", 0), Murmur3_64("hellp", 0));
+  EXPECT_NE(Murmur3_64("", 0), Murmur3_64("x", 0));
+}
+
+TEST(HashTest, MurmurHandlesAllTailLengths) {
+  // Exercise every switch-case tail (lengths 0..16 cross one block).
+  std::set<uint64_t> hashes;
+  std::string input;
+  for (int len = 0; len <= 40; ++len) {
+    hashes.insert(Murmur3_64(input, 0));
+    input.push_back(static_cast<char>('a' + (len % 26)));
+  }
+  EXPECT_EQ(hashes.size(), 41u);  // all distinct
+}
+
+TEST(HashTest, MurmurLowCollisionOnSequentialKeys) {
+  std::set<uint64_t> hashes;
+  for (int i = 0; i < 100000; ++i) {
+    hashes.insert(Murmur3_64("key" + std::to_string(i), 0));
+  }
+  EXPECT_EQ(hashes.size(), 100000u);
+}
+
+TEST(DoubleHasherTest, ProbesStayInRange) {
+  DoubleHasher hasher("record-linkage", 3);
+  for (uint32_t i = 0; i < 64; ++i) {
+    EXPECT_LT(hasher.Probe(i, 1000), 1000u);
+  }
+}
+
+TEST(DoubleHasherTest, ProbesCoverPowerOfTwoRange) {
+  // With odd step, probes over a power-of-two range must hit every slot.
+  DoubleHasher hasher("cover", 1);
+  std::set<uint64_t> seen;
+  for (uint32_t i = 0; i < 64; ++i) {
+    seen.insert(hasher.Probe(i, 64));
+  }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(DoubleHasherTest, DifferentKeysDifferentProbes) {
+  DoubleHasher a("alpha", 0);
+  DoubleHasher b("beta", 0);
+  int same = 0;
+  for (uint32_t i = 0; i < 16; ++i) {
+    if (a.Probe(i, 1 << 20) == b.Probe(i, 1 << 20)) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+}  // namespace
+}  // namespace sketchlink

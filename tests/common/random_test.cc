@@ -1,0 +1,159 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace sketchlink {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformUint64(17), 17u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double value = rng.NextDouble();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(RngTest, CoinFlipRoughlyFair) {
+  Rng rng(11);
+  int heads = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.CoinFlip()) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / trials, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.Bernoulli(0.2)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.2, 0.01);
+}
+
+TEST(RngTest, GeometricSkipEdgeCases) {
+  Rng rng(17);
+  EXPECT_EQ(rng.GeometricSkip(1.0), 0u);
+  EXPECT_EQ(rng.GeometricSkip(0.0), UINT64_MAX);
+  EXPECT_EQ(rng.GeometricSkip(-0.5), UINT64_MAX);
+}
+
+TEST(RngTest, GeometricSkipMeanMatchesTheory) {
+  // E[skip] = (1-p)/p.
+  const double p = 0.1;
+  Rng rng(19);
+  double total = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    total += static_cast<double>(rng.GeometricSkip(p));
+  }
+  EXPECT_NEAR(total / trials, (1.0 - p) / p, 0.2);
+}
+
+TEST(BernoulliSamplerTest, SamplingRateMatchesP) {
+  const double p = 0.01;
+  BernoulliSampler sampler(p, 23);
+  const uint64_t stream = 1000000;
+  uint64_t sampled = 0;
+  for (uint64_t i = 0; i < stream; ++i) {
+    if (sampler.NextSample()) ++sampled;
+  }
+  EXPECT_EQ(sampler.seen(), stream);
+  EXPECT_EQ(sampler.sampled(), sampled);
+  EXPECT_NEAR(static_cast<double>(sampled) / static_cast<double>(stream), p,
+              p * 0.2);
+}
+
+TEST(BernoulliSamplerTest, ZeroProbabilityNeverSamples) {
+  BernoulliSampler sampler(0.0, 5);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(sampler.NextSample());
+}
+
+TEST(BernoulliSamplerTest, FullProbabilityAlwaysSamples) {
+  BernoulliSampler sampler(1.0, 5);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(sampler.NextSample());
+}
+
+TEST(ZipfSamplerTest, StaysInRange) {
+  ZipfSampler zipf(100, 1.0, 31);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Next(), 100u);
+  }
+}
+
+TEST(ZipfSamplerTest, SkewFavorsSmallRanks) {
+  ZipfSampler zipf(1000, 1.0, 37);
+  std::map<uint64_t, int> counts;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[zipf.Next()];
+  // Rank 0 should dominate rank 99 by roughly 100x under s = 1.
+  const int head = counts[0];
+  const int tail = counts[99];
+  EXPECT_GT(head, 20 * std::max(tail, 1));
+}
+
+TEST(ZipfSamplerTest, ZeroSkewIsUniform) {
+  ZipfSampler zipf(10, 0.0, 41);
+  std::map<uint64_t, int> counts;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[zipf.Next()];
+  for (const auto& [value, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / trials, 0.1, 0.02);
+  }
+}
+
+TEST(ZipfSamplerTest, SingleElementDomain) {
+  ZipfSampler zipf(1, 1.5, 43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Next(), 0u);
+}
+
+class ZipfSkewSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSkewSweep, FrequenciesAreMonotoneInRank) {
+  const double skew = GetParam();
+  ZipfSampler zipf(50, skew, 47);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 200000; ++i) ++counts[zipf.Next()];
+  // Aggregate into buckets to smooth noise, then demand monotone decrease.
+  const int head = counts[0] + counts[1] + counts[2] + counts[3] + counts[4];
+  int tail = 0;
+  for (int i = 45; i < 50; ++i) tail += counts[i];
+  EXPECT_GT(head, tail);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfSkewSweep,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.2, 2.0));
+
+}  // namespace
+}  // namespace sketchlink

@@ -1,0 +1,91 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace sketchlink {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoryCodesMatchPredicates) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_FALSE(Status::NotFound("x").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("key 7").ToString(), "not_found: key 7");
+  EXPECT_EQ(Status::Corruption().ToString(), "corruption");
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+}
+
+TEST(StatusTest, CopyAndMovePreserveContent) {
+  Status original = Status::IOError("disk gone");
+  Status copy = original;
+  EXPECT_TRUE(copy.IsIOError());
+  EXPECT_EQ(copy.message(), "disk gone");
+  Status moved = std::move(original);
+  EXPECT_TRUE(moved.IsIOError());
+  EXPECT_EQ(moved.message(), "disk gone");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string(100, 'x'));
+  ASSERT_TRUE(result.ok());
+  std::string taken = std::move(result).value();
+  EXPECT_EQ(taken.size(), 100u);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> result(std::string("abc"));
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto fails = []() -> Status { return Status::Corruption("bad"); };
+  auto wrapper = [&]() -> Status {
+    SKETCHLINK_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsCorruption());
+}
+
+TEST(StatusTest, CodeToStringCoversAllCodes) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "unimplemented");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "internal");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "resource_exhausted");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+            "failed_precondition");
+}
+
+}  // namespace
+}  // namespace sketchlink

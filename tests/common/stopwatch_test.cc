@@ -1,0 +1,42 @@
+#include "common/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace sketchlink {
+namespace {
+
+TEST(StopwatchTest, ElapsedIsMonotone) {
+  Stopwatch watch;
+  const uint64_t first = watch.ElapsedNanos();
+  const uint64_t second = watch.ElapsedNanos();
+  EXPECT_GE(second, first);
+}
+
+TEST(StopwatchTest, MeasuresSleep) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(watch.ElapsedMillis(), 15u);
+  EXPECT_LT(watch.ElapsedSeconds(), 5.0);
+}
+
+TEST(StopwatchTest, ResetRestarts) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedMillis(), 10u);
+}
+
+TEST(StopwatchTest, UnitConversionsAgree) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const uint64_t nanos = watch.ElapsedNanos();
+  EXPECT_NEAR(static_cast<double>(watch.ElapsedMicros()),
+              static_cast<double>(nanos) / 1000.0, 2000.0);
+  EXPECT_NEAR(watch.ElapsedSeconds(), static_cast<double>(nanos) * 1e-9,
+              0.01);
+}
+
+}  // namespace
+}  // namespace sketchlink

@@ -1,0 +1,211 @@
+#include "core/block_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+namespace sketchlink {
+namespace {
+
+BlockSketchOptions SmallOptions() {
+  BlockSketchOptions options;
+  options.lambda = 3;
+  options.delta = 0.1;
+  options.theta = 0.25;
+  options.seed = 0x77;
+  return options;
+}
+
+TEST(BlockSketchOptionsTest, RhoFollowsLemma51) {
+  BlockSketchOptions options;
+  options.lambda = 3;
+  options.delta = 0.1;
+  // rho = ceil(3 * ln(10)) = ceil(6.907) = 7.
+  EXPECT_EQ(options.rho(), 7u);
+  options.delta = 0.5;
+  EXPECT_EQ(options.rho(), 3u);  // ceil(3 * 0.693) = 3
+  options.lambda = 5;
+  options.delta = 0.01;
+  EXPECT_EQ(options.rho(), 24u);  // ceil(5 * 4.605) = 24
+}
+
+TEST(SketchBlockTest, EncodeDecodeRoundTrip) {
+  SketchBlock block(3);
+  block.subs[0].representatives = {"JOHN#JONES", "JOHN#JONAS"};
+  block.subs[0].members = {1, 2, 3};
+  block.subs[2].members = {99};
+  std::string encoded;
+  block.EncodeTo(&encoded);
+  std::string_view input(encoded);
+  auto decoded = SketchBlock::DecodeFrom(&input);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(input.empty());
+  ASSERT_EQ(decoded->subs.size(), 3u);
+  EXPECT_EQ(decoded->subs[0].representatives,
+            block.subs[0].representatives);
+  EXPECT_EQ(decoded->subs[0].members, block.subs[0].members);
+  EXPECT_TRUE(decoded->subs[1].members.empty());
+  EXPECT_EQ(decoded->subs[2].members, block.subs[2].members);
+  EXPECT_EQ(decoded->TotalMembers(), 4u);
+}
+
+TEST(SketchBlockTest, DecodeTruncatedFails) {
+  SketchBlock block(2);
+  block.subs[0].members = {1, 2};
+  std::string encoded;
+  block.EncodeTo(&encoded);
+  encoded.pop_back();
+  std::string_view input(encoded);
+  EXPECT_TRUE(SketchBlock::DecodeFrom(&input).status().IsCorruption());
+}
+
+TEST(BlockSketchTest, QueryUnknownBlockIsEmpty) {
+  BlockSketch sketch(SmallOptions());
+  EXPECT_TRUE(sketch.Candidates("NOPE", "NOPE#VALUES").empty());
+  EXPECT_FALSE(sketch.HasBlock("NOPE"));
+}
+
+TEST(BlockSketchTest, InsertCreatesBlockAndRoutesMember) {
+  BlockSketch sketch(SmallOptions());
+  sketch.Insert("JOHN#JON", "JOHN#JONES", 1);
+  EXPECT_TRUE(sketch.HasBlock("JOHN#JON"));
+  EXPECT_EQ(sketch.num_blocks(), 1u);
+  const SketchBlock* block = sketch.FindBlock("JOHN#JON");
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(block->TotalMembers(), 1u);
+  EXPECT_EQ(sketch.stats().blocks_created, 1u);
+}
+
+TEST(BlockSketchTest, SimilarKeysLandInSameSubBlock) {
+  BlockSketch sketch(SmallOptions());
+  // All of these are within theta of each other: they should co-locate and
+  // a query for any of them should return the others.
+  sketch.Insert("JOHN#JON", "JOHN#JONES", 1);
+  sketch.Insert("JOHN#JON", "JOHN#JONAS", 2);
+  sketch.Insert("JOHN#JON", "JOHN#JONES", 3);
+  const auto candidates = sketch.Candidates("JOHN#JON", "JOHN#JONES");
+  const std::set<RecordId> got(candidates.begin(), candidates.end());
+  EXPECT_TRUE(got.count(1));
+  EXPECT_TRUE(got.count(3));
+}
+
+TEST(BlockSketchTest, DistantKeysLandInDifferentSubBlocks) {
+  BlockSketchOptions options = SmallOptions();
+  BlockSketch sketch(options);
+  // Key values close to the block key vs very far from it.
+  sketch.Insert("JOHN#JON", "JOHN#JON", 1);          // distance ~0 -> ring 0
+  sketch.Insert("JOHN#JON", "XQZW#VVKP", 2);         // huge distance -> ring 2
+  const SketchBlock* block = sketch.FindBlock("JOHN#JON");
+  ASSERT_NE(block, nullptr);
+  size_t populated = 0;
+  for (const auto& sub : block->subs) {
+    if (!sub.members.empty()) ++populated;
+  }
+  EXPECT_EQ(populated, 2u);
+}
+
+TEST(BlockSketchTest, RepresentativeCountCappedAtRho) {
+  BlockSketchOptions options = SmallOptions();
+  BlockSketch sketch(options);
+  for (int i = 0; i < 500; ++i) {
+    sketch.Insert("KEY", "KEY#VALUE" + std::to_string(i), i);
+  }
+  const SketchBlock* block = sketch.FindBlock("KEY");
+  ASSERT_NE(block, nullptr);
+  for (const auto& sub : block->subs) {
+    EXPECT_LE(sub.representatives.size(), options.rho());
+  }
+  EXPECT_EQ(block->TotalMembers(), 500u);
+}
+
+TEST(BlockSketchTest, ComparisonsPerQueryAreBoundedByLambdaRho) {
+  // The core claim of Problem Statement 2: constant comparisons per
+  // operation regardless of block size.
+  BlockSketchOptions options = SmallOptions();
+  BlockSketch sketch(options);
+  for (int i = 0; i < 2000; ++i) {
+    sketch.Insert("BIGBLOCK", "BIGBLOCK#V" + std::to_string(i % 7), i);
+  }
+  const uint64_t before = sketch.stats().representative_comparisons;
+  (void)sketch.Candidates("BIGBLOCK", "BIGBLOCK#V3");
+  const uint64_t per_query =
+      sketch.stats().representative_comparisons - before;
+  EXPECT_LE(per_query, options.lambda * options.rho());
+  EXPECT_GE(per_query, 1u);
+}
+
+TEST(BlockSketchTest, MatchingPairDetectedWithHighProbability) {
+  // Lemma 5.1 end-to-end: insert pairs of similar key-values into the same
+  // block; the query must land in the sub-block that holds its match with
+  // probability >= 1 - delta.
+  BlockSketchOptions options = SmallOptions();
+  options.delta = 0.1;
+  BlockSketch sketch(options);
+
+  const int pairs = 400;
+  // Populate with varied values, one "planted" match per pair id.
+  for (int i = 0; i < pairs; ++i) {
+    const std::string value = "SMITH" + std::to_string(i) + "#JOHNSON";
+    sketch.Insert("SMI#J", value, i);
+  }
+  int found = 0;
+  for (int i = 0; i < pairs; ++i) {
+    // Query with a lightly perturbed version of the planted value.
+    const std::string value = "SMITH" + std::to_string(i) + "#JOHNSN";
+    const auto candidates = sketch.Candidates("SMI#J", value);
+    for (RecordId id : candidates) {
+      if (id == static_cast<RecordId>(i)) {
+        ++found;
+        break;
+      }
+    }
+  }
+  const double hit_rate = static_cast<double>(found) / pairs;
+  EXPECT_GE(hit_rate, 1.0 - options.delta - 0.08) << hit_rate;
+}
+
+TEST(BlockSketchTest, MemoryGrowsWithBlocks) {
+  BlockSketch sketch(SmallOptions());
+  const size_t empty_bytes = sketch.ApproximateMemoryUsage();
+  for (int i = 0; i < 100; ++i) {
+    sketch.Insert("BLOCK" + std::to_string(i), "VALUE", i);
+  }
+  EXPECT_GT(sketch.ApproximateMemoryUsage(), empty_bytes);
+}
+
+TEST(BlockSketchTest, CustomDistanceFunctionIsUsed) {
+  // A constant-zero distance routes everything into sub-block 0.
+  BlockSketchOptions options = SmallOptions();
+  BlockSketch sketch(options,
+                     [](std::string_view, std::string_view) { return 0.0; });
+  sketch.Insert("K", "COMPLETELY", 1);
+  sketch.Insert("K", "DIFFERENT", 2);
+  sketch.Insert("K", "STRINGS", 3);
+  const SketchBlock* block = sketch.FindBlock("K");
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(block->subs[0].members.size(), 3u);
+}
+
+class LambdaSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LambdaSweep, SubBlockCountMatchesLambda) {
+  BlockSketchOptions options = SmallOptions();
+  options.lambda = GetParam();
+  BlockSketch sketch(options);
+  sketch.Insert("K", "K#V", 1);
+  const SketchBlock* block = sketch.FindBlock("K");
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(block->subs.size(), GetParam());
+  // Query comparisons stay within lambda * rho.
+  (void)sketch.Candidates("K", "K#V");
+  EXPECT_LE(sketch.stats().representative_comparisons,
+            2 * GetParam() * options.rho() + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, LambdaSweep,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace sketchlink

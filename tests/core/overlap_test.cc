@@ -1,0 +1,123 @@
+#include "core/overlap.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sketchlink {
+namespace {
+
+// Builds two key sets with a controlled overlap fraction: `overlap` of B's
+// keys also appear in A.
+struct OverlapFixture {
+  std::vector<std::string> keys_a;
+  std::vector<std::string> keys_b;
+};
+
+OverlapFixture MakeFixture(size_t n, double overlap) {
+  OverlapFixture fixture;
+  const size_t shared = static_cast<size_t>(overlap * static_cast<double>(n));
+  for (size_t i = 0; i < n; ++i) {
+    fixture.keys_a.push_back("SHAREDORA" + std::to_string(i));
+  }
+  for (size_t i = 0; i < shared; ++i) {
+    fixture.keys_b.push_back("SHAREDORA" + std::to_string(i));  // in A
+  }
+  for (size_t i = shared; i < n; ++i) {
+    fixture.keys_b.push_back("ONLYB" + std::to_string(i));
+  }
+  return fixture;
+}
+
+SkipBloomOptions OptionsFor(size_t n) {
+  SkipBloomOptions options;
+  options.expected_keys = n;
+  options.seed = 0xabcdULL;
+  return options;
+}
+
+TEST(OverlapTest, ExactCoefficientBasics) {
+  EXPECT_DOUBLE_EQ(ExactOverlapCoefficient({"a", "b"}, {"b", "c"}), 0.5);
+  EXPECT_DOUBLE_EQ(ExactOverlapCoefficient({"a"}, {"a"}), 1.0);
+  EXPECT_DOUBLE_EQ(ExactOverlapCoefficient({"a"}, {"x"}), 0.0);
+  EXPECT_DOUBLE_EQ(ExactOverlapCoefficient({}, {}), 0.0);
+  // Duplicates collapse.
+  EXPECT_DOUBLE_EQ(ExactOverlapCoefficient({"a", "a"}, {"a", "a", "b", "b"}),
+                   0.5);
+}
+
+TEST(OverlapTest, RequiredSampleSizeFormula) {
+  // (eps^2 * theta)^-1.
+  EXPECT_EQ(RequiredSampleSize(0.1, 0.05), 2000u);
+  EXPECT_EQ(RequiredSampleSize(0.05, 0.05), 8000u);
+  EXPECT_GT(RequiredSampleSize(0.01), RequiredSampleSize(0.1));
+}
+
+TEST(OverlapTest, EstimateAgainstFullKeysIsAccurate) {
+  const double true_overlap = 0.30;
+  auto fixture = MakeFixture(20000, true_overlap);
+  SkipBloom synopsis_a(OptionsFor(fixture.keys_a.size()));
+  for (const auto& key : fixture.keys_a) synopsis_a.Insert(key);
+
+  const auto estimate =
+      EstimateOverlapAgainstKeys(synopsis_a, fixture.keys_b);
+  EXPECT_EQ(estimate.sample_size, fixture.keys_b.size());
+  // Full-key estimate errs only through Bloom false positives (upward).
+  EXPECT_GE(estimate.coefficient, true_overlap - 0.02);
+  EXPECT_LE(estimate.coefficient, true_overlap + 0.10);
+}
+
+class OverlapAccuracySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(OverlapAccuracySweep, SynopsisPairEstimateTracksTruth) {
+  // The Table 3 scenario: both custodians build synopses; B's sampled keys
+  // are queried against A's synopsis. With ~sqrt(n) samples the estimate
+  // carries Monte-Carlo error on top of the Bloom false positives.
+  const double true_overlap = GetParam();
+  const size_t n = 40000;
+  auto fixture = MakeFixture(n, true_overlap);
+
+  SkipBloom synopsis_a(OptionsFor(n));
+  for (const auto& key : fixture.keys_a) synopsis_a.Insert(key);
+  SkipBloom synopsis_b(OptionsFor(n));
+  for (const auto& key : fixture.keys_b) synopsis_b.Insert(key);
+
+  const auto estimate = EstimateOverlapCoefficient(synopsis_a, synopsis_b);
+  EXPECT_GT(estimate.sample_size, 50u);  // ~sqrt(40000) = 200
+  EXPECT_NEAR(estimate.coefficient, true_overlap, 0.12)
+      << "sample " << estimate.sample_size << ", hits " << estimate.hits;
+  const double exact =
+      ExactOverlapCoefficient(fixture.keys_a, fixture.keys_b);
+  EXPECT_NEAR(exact, true_overlap, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(TrueOverlaps, OverlapAccuracySweep,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+TEST(OverlapTest, EmptySynopsisBGivesZeroSample) {
+  SkipBloom synopsis_a(OptionsFor(100));
+  SkipBloom synopsis_b(OptionsFor(100));
+  synopsis_a.Insert("X");
+  const auto estimate = EstimateOverlapCoefficient(synopsis_a, synopsis_b);
+  EXPECT_EQ(estimate.sample_size, 0u);
+  EXPECT_DOUBLE_EQ(estimate.coefficient, 0.0);
+}
+
+TEST(OverlapTest, IdenticalSetsEstimateNearOne) {
+  const size_t n = 20000;
+  std::vector<std::string> keys;
+  for (size_t i = 0; i < n; ++i) keys.push_back("SAME" + std::to_string(i));
+  SkipBloom a(OptionsFor(n));
+  SkipBloom b(OptionsFor(n));
+  for (const auto& key : keys) {
+    a.Insert(key);
+    b.Insert(key);
+  }
+  const auto estimate = EstimateOverlapCoefficient(a, b);
+  // No false negatives => every sampled key of B is found in A.
+  EXPECT_DOUBLE_EQ(estimate.coefficient, 1.0);
+}
+
+}  // namespace
+}  // namespace sketchlink

@@ -1,0 +1,236 @@
+#include "core/sblock_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "kv/env.h"
+
+namespace sketchlink {
+namespace {
+
+class SBlockSketchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/sbs_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ASSERT_TRUE(kv::RemoveDirRecursively(dir_).ok());
+    auto db = kv::Db::Open(dir_);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+  }
+  void TearDown() override {
+    db_.reset();
+    (void)kv::RemoveDirRecursively(dir_);
+  }
+
+  SBlockSketchOptions Options(size_t mu) {
+    SBlockSketchOptions options;
+    options.mu = mu;
+    options.w = 1.5;
+    options.sketch.lambda = 3;
+    options.sketch.delta = 0.1;
+    options.sketch.theta = 0.25;
+    options.sketch.seed = 0x99;
+    return options;
+  }
+
+  std::string dir_;
+  std::unique_ptr<kv::Db> db_;
+};
+
+TEST_F(SBlockSketchTest, EvictionScoreFormula) {
+  // es = e^(w*xi - alpha); we test the (monotone) log form.
+  // Fig. 5's example: k4 (xi=0, alpha=3) evicted before k2 (xi=6, alpha=10).
+  const double k4 = SBlockSketch::EvictionScore(1.5, 0, 3);
+  const double k2 = SBlockSketch::EvictionScore(1.5, 6, 10);
+  const double k3 = SBlockSketch::EvictionScore(1.5, 1, 0);
+  const double k1 = SBlockSketch::EvictionScore(1.5, 8, 2);
+  EXPECT_LT(k4, k2);
+  EXPECT_LT(k2, k3);
+  EXPECT_LT(k3, k1);
+  EXPECT_DOUBLE_EQ(k4, -3.0);
+  EXPECT_DOUBLE_EQ(k2, -1.0);
+  EXPECT_DOUBLE_EQ(k3, 1.5);
+  EXPECT_DOUBLE_EQ(k1, 10.0);
+}
+
+TEST_F(SBlockSketchTest, InsertAndQueryWithoutEviction) {
+  SBlockSketch sketch(Options(100), db_.get());
+  ASSERT_TRUE(sketch.Insert("K1", "K1#VALUE", 1).ok());
+  ASSERT_TRUE(sketch.Insert("K1", "K1#VALUE", 2).ok());
+  auto candidates = sketch.Candidates("K1", "K1#VALUE");
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_EQ(candidates->size(), 2u);
+  EXPECT_EQ(sketch.num_live_blocks(), 1u);
+  EXPECT_EQ(sketch.stats().evictions, 0u);
+}
+
+TEST_F(SBlockSketchTest, LiveBlocksNeverExceedMu) {
+  const size_t mu = 8;
+  SBlockSketch sketch(Options(mu), db_.get());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        sketch.Insert("KEY" + std::to_string(i), "V" + std::to_string(i), i)
+            .ok());
+    EXPECT_LE(sketch.num_live_blocks(), mu);
+  }
+  EXPECT_EQ(sketch.stats().evictions, 100u - mu);
+}
+
+TEST_F(SBlockSketchTest, EvictedBlocksAreFaultedBackIntact) {
+  const size_t mu = 4;
+  SBlockSketch sketch(Options(mu), db_.get());
+  // Fill block A with members, then push it out with fresh blocks.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(sketch.Insert("AAA", "AAA#V", 100 + i).ok());
+  }
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(sketch.Insert("FILLER" + std::to_string(i), "F", i).ok());
+  }
+  // AAA must have been spilled by now; querying it reloads from the KV.
+  auto candidates = sketch.Candidates("AAA", "AAA#V");
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_EQ(candidates->size(), 5u);
+  EXPECT_GT(sketch.stats().disk_loads, 0u);
+}
+
+TEST_F(SBlockSketchTest, HotBlocksSurviveEviction) {
+  const size_t mu = 5;
+  SBlockSketch sketch(Options(mu), db_.get());
+  // Make HOT very selective (high xi).
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(sketch.Insert("HOT", "HOT#V", i).ok());
+  }
+  // Stream many one-shot cold blocks.
+  uint64_t loads_before = sketch.stats().disk_loads;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(sketch.Insert("COLD" + std::to_string(i), "C", 1000 + i).ok());
+  }
+  // HOT's eviction status (w*50 - alpha) dwarfs any cold block's; it should
+  // never have been spilled, so touching it now causes no disk load.
+  auto candidates = sketch.Candidates("HOT", "HOT#V");
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_EQ(sketch.stats().disk_loads, loads_before);
+  EXPECT_EQ(candidates->size(), 50u);
+}
+
+TEST_F(SBlockSketchTest, MemoryBoundedByMu) {
+  // Problem Statement 3: memory stays O(mu * lambda) no matter how many
+  // blocks stream through.
+  const size_t mu = 16;
+  SBlockSketch sketch(Options(mu), db_.get());
+  size_t peak = 0;
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(
+        sketch
+            .Insert("BLOCK" + std::to_string(i), "VAL" + std::to_string(i), i)
+            .ok());
+    peak = std::max(peak, sketch.ApproximateMemoryUsage());
+  }
+  // A full table at i=mu should cost about the same as at i=300.
+  EXPECT_LE(sketch.ApproximateMemoryUsage(), peak);
+  EXPECT_LE(sketch.num_live_blocks(), mu);
+  // And far less than an unbounded variant would: rough sanity ceiling.
+  EXPECT_LT(sketch.ApproximateMemoryUsage(), 200u * 1024u);
+}
+
+TEST_F(SBlockSketchTest, SurvivorsAgeOnEviction) {
+  const size_t mu = 3;
+  SBlockSketch sketch(Options(mu), db_.get());
+  ASSERT_TRUE(sketch.Insert("A", "A", 1).ok());
+  ASSERT_TRUE(sketch.Insert("B", "B", 2).ok());
+  ASSERT_TRUE(sketch.Insert("C", "C", 3).ok());
+  // Each new block now evicts the stalest untouched one: A first (all have
+  // xi=1 but ages tie-break via map order; just assert global invariants).
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(sketch.Insert("NEW" + std::to_string(i), "N", 10 + i).ok());
+  }
+  EXPECT_EQ(sketch.num_live_blocks(), mu);
+  EXPECT_EQ(sketch.stats().evictions, 10u);
+}
+
+TEST_F(SBlockSketchTest, LruPolicyEvictsLeastRecentlyUsed) {
+  SBlockSketchOptions options = Options(2);
+  options.policy = EvictionPolicy::kLru;
+  SBlockSketch sketch(options, db_.get());
+  ASSERT_TRUE(sketch.Insert("OLD", "O", 1).ok());
+  ASSERT_TRUE(sketch.Insert("FRESH", "F", 2).ok());
+  // Touch OLD so FRESH becomes the LRU victim.
+  ASSERT_TRUE(sketch.Insert("OLD", "O", 3).ok());
+  ASSERT_TRUE(sketch.Insert("NEWCOMER", "N", 4).ok());
+  // OLD should still be live (no disk load when touched).
+  const uint64_t loads_before = sketch.stats().disk_loads;
+  auto candidates = sketch.Candidates("OLD", "O");
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_EQ(sketch.stats().disk_loads, loads_before);
+}
+
+TEST_F(SBlockSketchTest, FifoPolicyEvictsOldestAdmission) {
+  SBlockSketchOptions options = Options(2);
+  options.policy = EvictionPolicy::kFifo;
+  SBlockSketch sketch(options, db_.get());
+  ASSERT_TRUE(sketch.Insert("FIRST", "F", 1).ok());
+  ASSERT_TRUE(sketch.Insert("SECOND", "S", 2).ok());
+  // Touching FIRST does not save it under FIFO.
+  ASSERT_TRUE(sketch.Insert("FIRST", "F", 3).ok());
+  ASSERT_TRUE(sketch.Insert("THIRD", "T", 4).ok());
+  // FIRST was admitted earliest -> evicted; touching it now loads from disk.
+  const uint64_t loads_before = sketch.stats().disk_loads;
+  auto candidates = sketch.Candidates("FIRST", "F");
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_EQ(sketch.stats().disk_loads, loads_before + 1);
+}
+
+TEST_F(SBlockSketchTest, StatsAreConsistent) {
+  SBlockSketch sketch(Options(4), db_.get());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(sketch.Insert("K" + std::to_string(i % 3), "V", i).ok());
+  }
+  EXPECT_EQ(sketch.stats().inserts, 10u);
+  auto result = sketch.Candidates("K0", "V");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(sketch.stats().queries, 1u);
+  EXPECT_GT(sketch.stats().live_hits, 0u);
+}
+
+class MuSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MuSweep, AllMembersRecoverableAtEveryMu) {
+  const std::string dir = ::testing::TempDir() + "/sbs_mu_" +
+                          std::to_string(GetParam());
+  ASSERT_TRUE(kv::RemoveDirRecursively(dir).ok());
+  auto db = kv::Db::Open(dir);
+  ASSERT_TRUE(db.ok());
+  SBlockSketchOptions options;
+  options.mu = GetParam();
+  options.sketch.seed = 0x31;
+  SBlockSketch sketch(options, db->get());
+
+  const int blocks = 40;
+  const int per_block = 4;
+  for (int b = 0; b < blocks; ++b) {
+    for (int m = 0; m < per_block; ++m) {
+      ASSERT_TRUE(sketch
+                      .Insert("BLK" + std::to_string(b),
+                              "BLK" + std::to_string(b) + "#V",
+                              b * 100 + m)
+                      .ok());
+    }
+  }
+  // Every block's members are reachable regardless of spills.
+  for (int b = 0; b < blocks; ++b) {
+    auto candidates = sketch.Candidates("BLK" + std::to_string(b),
+                                        "BLK" + std::to_string(b) + "#V");
+    ASSERT_TRUE(candidates.ok());
+    EXPECT_EQ(candidates->size(), static_cast<size_t>(per_block)) << b;
+  }
+  db->reset();
+  (void)kv::RemoveDirRecursively(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mus, MuSweep, ::testing::Values(1, 2, 5, 20, 100));
+
+}  // namespace
+}  // namespace sketchlink

@@ -1,0 +1,86 @@
+// Tests for SkipBloom's cardinality estimators (Horvitz-Thompson over the
+// Bernoulli sample): distinct-key count and range counts.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/skip_bloom.h"
+
+namespace sketchlink {
+namespace {
+
+// Fixed-width keys so lexicographic ranges equal numeric ranges.
+std::string PaddedKey(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "K%07d", i);
+  return buf;
+}
+
+TEST(SkipBloomEstimateTest, DistinctCountWithinRelativeError) {
+  const int n = 60000;
+  SkipBloomOptions options;
+  options.expected_keys = n;
+  options.seed = 0xE5;
+  SkipBloom synopsis(options);
+  for (int i = 0; i < n; ++i) synopsis.Insert(PaddedKey(i));
+  const double estimate = synopsis.EstimateDistinctKeys();
+  // ~sqrt(60000) = 245 samples -> ~6-7% standard error; allow 25%, plus the
+  // downward bias from Bloom-FP dedup skips.
+  EXPECT_GT(estimate, n * 0.6) << estimate;
+  EXPECT_LT(estimate, n * 1.3) << estimate;
+}
+
+TEST(SkipBloomEstimateTest, EmptySynopsisEstimatesZero) {
+  SkipBloom synopsis;
+  EXPECT_DOUBLE_EQ(synopsis.EstimateDistinctKeys(), 0.0);
+  EXPECT_DOUBLE_EQ(synopsis.EstimateRangeCount("A", "Z"), 0.0);
+}
+
+TEST(SkipBloomEstimateTest, RangeCountTracksRangeWidth) {
+  const int n = 60000;
+  SkipBloomOptions options;
+  options.expected_keys = n;
+  options.seed = 0xE6;
+  SkipBloom synopsis(options);
+  for (int i = 0; i < n; ++i) synopsis.Insert(PaddedKey(i));
+
+  // First half vs second half: both ~n/2.
+  const double first_half =
+      synopsis.EstimateRangeCount(PaddedKey(0), PaddedKey(n / 2 - 1));
+  const double second_half =
+      synopsis.EstimateRangeCount(PaddedKey(n / 2), PaddedKey(n - 1));
+  EXPECT_GT(first_half, n * 0.25);
+  EXPECT_LT(first_half, n * 0.8);
+  EXPECT_GT(second_half, n * 0.25);
+  EXPECT_LT(second_half, n * 0.8);
+  // The halves sum to roughly the whole.
+  EXPECT_NEAR(first_half + second_half, synopsis.EstimateDistinctKeys(),
+              1e-6);
+}
+
+TEST(SkipBloomEstimateTest, DisjointRangeEstimatesZero) {
+  SkipBloomOptions options;
+  options.expected_keys = 10000;
+  SkipBloom synopsis(options);
+  for (int i = 0; i < 10000; ++i) synopsis.Insert(PaddedKey(i));
+  EXPECT_DOUBLE_EQ(synopsis.EstimateRangeCount("Z", "ZZZZ"), 0.0);
+  EXPECT_DOUBLE_EQ(synopsis.EstimateRangeCount("B", "A"), 0.0);  // hi < lo
+}
+
+TEST(SkipBloomEstimateTest, NarrowRangeSmallerThanWideRange) {
+  const int n = 40000;
+  SkipBloomOptions options;
+  options.expected_keys = n;
+  options.seed = 0xE7;
+  SkipBloom synopsis(options);
+  for (int i = 0; i < n; ++i) synopsis.Insert(PaddedKey(i));
+  const double narrow =
+      synopsis.EstimateRangeCount(PaddedKey(0), PaddedKey(n / 10));
+  const double wide =
+      synopsis.EstimateRangeCount(PaddedKey(0), PaddedKey(n - 1));
+  EXPECT_LT(narrow, wide);
+}
+
+}  // namespace
+}  // namespace sketchlink

@@ -1,0 +1,231 @@
+#include "core/skip_bloom.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "baselines/map_summary.h"
+#include "common/random.h"
+
+namespace sketchlink {
+namespace {
+
+std::vector<std::string> MakeKeys(size_t n, uint64_t seed = 1) {
+  // Name-like keys with duplicates and shared prefixes.
+  static const char* stems[] = {"JOHNS", "JOHNSON", "JOHNSTON", "JORDAN",
+                                "JOLLY", "SMITH",   "SMYTHE",   "WILLIAMS",
+                                "BROWN", "GARCIA",  "MILLER",   "DAVIS"};
+  Rng rng(seed);
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::string key = stems[rng.UniformIndex(std::size(stems))];
+    key += std::to_string(rng.UniformUint64(n / 2 + 1));
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+SkipBloomOptions SmallOptions(uint64_t n) {
+  SkipBloomOptions options;
+  options.expected_keys = n;
+  options.filters_per_block = 5;
+  options.bloom_fp = 0.05;
+  options.seed = 0xfeedULL;
+  return options;
+}
+
+TEST(SkipBloomTest, EmptySynopsisRejectsEverything) {
+  SkipBloom synopsis(SmallOptions(1000));
+  EXPECT_FALSE(synopsis.Query("ANYTHING"));
+  EXPECT_EQ(synopsis.stats().inserts, 0u);
+}
+
+TEST(SkipBloomTest, NoFalseNegatives) {
+  // The defining guarantee (Sec. 4.2): if a key was inserted, Query must
+  // return true — errors are one-sided.
+  const auto keys = MakeKeys(20000);
+  SkipBloom synopsis(SmallOptions(keys.size()));
+  for (const auto& key : keys) synopsis.Insert(key);
+  for (const auto& key : keys) {
+    EXPECT_TRUE(synopsis.Query(key)) << key;
+  }
+}
+
+TEST(SkipBloomTest, FalsePositiveRateIsBounded) {
+  const auto keys = MakeKeys(20000);
+  SkipBloom synopsis(SmallOptions(keys.size()));
+  for (const auto& key : keys) synopsis.Insert(key);
+
+  std::set<std::string> inserted(keys.begin(), keys.end());
+  int false_positives = 0;
+  int probes = 0;
+  Rng rng(4242);
+  for (int i = 0; i < 20000; ++i) {
+    const std::string probe = "ABSENT" + std::to_string(rng.NextUint64());
+    if (inserted.count(probe)) continue;
+    ++probes;
+    if (synopsis.Query(probe)) ++false_positives;
+  }
+  // Per-block error is bounded by 1 - (1-fp)^m = 1 - 0.95^5 ~ 0.226; the
+  // observed rate on random probes should sit well under that bound.
+  const double observed = static_cast<double>(false_positives) / probes;
+  EXPECT_LT(observed, 0.25) << observed;
+}
+
+TEST(SkipBloomTest, SampledKeysAreSubsetAndRoughlySqrtN) {
+  const size_t n = 40000;
+  const auto keys = MakeKeys(n);
+  SkipBloom synopsis(SmallOptions(n));
+  for (const auto& key : keys) synopsis.Insert(key);
+
+  const auto sampled = synopsis.SampledKeys();
+  const std::set<std::string> universe(keys.begin(), keys.end());
+  for (const auto& key : sampled) {
+    EXPECT_TRUE(universe.count(key)) << key;
+  }
+  // With dedup on (default), sampling is Bernoulli(n^-1/2) over distinct
+  // keys, further thinned by Bloom false positives during the membership
+  // short-circuit; bound it loosely from both sides.
+  const double expected = static_cast<double>(universe.size()) /
+                          std::sqrt(static_cast<double>(n));
+  EXPECT_GT(sampled.size(), expected * 0.1);
+  EXPECT_LT(sampled.size(), expected * 2.0);
+
+  // With dedup off (the paper's footnote-5 variant) every insert draws a
+  // sampling decision: E[sampled] ~ inserts * n^-1/2 = sqrt(n).
+  SkipBloomOptions raw_options = SmallOptions(n);
+  raw_options.dedup_inserts = false;
+  SkipBloom raw(raw_options);
+  for (const auto& key : keys) raw.Insert(key);
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  EXPECT_GT(raw.SampledKeys().size(), sqrt_n * 0.5);
+  EXPECT_LT(raw.SampledKeys().size(), sqrt_n * 2.0);
+}
+
+TEST(SkipBloomTest, SampledKeysAreSorted) {
+  const auto keys = MakeKeys(10000);
+  SkipBloom synopsis(SmallOptions(keys.size()));
+  for (const auto& key : keys) synopsis.Insert(key);
+  const auto sampled = synopsis.SampledKeys();
+  for (size_t i = 1; i < sampled.size(); ++i) {
+    EXPECT_LE(sampled[i - 1], sampled[i]);
+  }
+}
+
+TEST(SkipBloomTest, DuplicateInsertsStillQueryTrue) {
+  SkipBloom synopsis(SmallOptions(100));
+  for (int i = 0; i < 50; ++i) synopsis.Insert("SAMEKEY");
+  EXPECT_TRUE(synopsis.Query("SAMEKEY"));
+}
+
+TEST(SkipBloomTest, KeysSmallerThanAllSampledAreFound) {
+  // Keys sorting before every sampled key land in the sentinel block; they
+  // must still be queryable.
+  SkipBloomOptions options = SmallOptions(100);
+  SkipBloom synopsis(options);
+  synopsis.Insert("AAAA");  // likely absorbed by the sentinel block
+  for (int i = 0; i < 200; ++i) {
+    synopsis.Insert("M" + std::to_string(i));
+  }
+  EXPECT_TRUE(synopsis.Query("AAAA"));
+}
+
+TEST(SkipBloomTest, MemoryIsSublinearInKeys) {
+  // The headline property (Fig. 6b): SkipBloom's footprint grows ~sqrt(n)
+  // while a hash map grows linearly. Compare growth factors over a 16x
+  // increase in keys.
+  const size_t small_n = 4000;
+  const size_t large_n = 64000;
+
+  SkipBloom small_synopsis(SmallOptions(small_n));
+  for (const auto& key : MakeKeys(small_n, 5)) small_synopsis.Insert(key);
+  SkipBloom large_synopsis(SmallOptions(large_n));
+  for (const auto& key : MakeKeys(large_n, 6)) large_synopsis.Insert(key);
+
+  const double synopsis_growth =
+      static_cast<double>(large_synopsis.ApproximateMemoryUsage()) /
+      static_cast<double>(small_synopsis.ApproximateMemoryUsage());
+
+  MapSummary small_map;
+  for (const auto& key : MakeKeys(small_n, 5)) small_map.Insert(key);
+  MapSummary large_map;
+  for (const auto& key : MakeKeys(large_n, 6)) large_map.Insert(key);
+  const double map_growth =
+      static_cast<double>(large_map.ApproximateMemoryUsage()) /
+      static_cast<double>(small_map.ApproximateMemoryUsage());
+
+  // sqrt(16x) = 4x for the synopsis vs ~16x for the map.
+  EXPECT_LT(synopsis_growth, map_growth * 0.7)
+      << "synopsis " << synopsis_growth << "x, map " << map_growth << "x";
+}
+
+TEST(SkipBloomTest, StatsAreTracked) {
+  SkipBloom synopsis(SmallOptions(1000));
+  const auto keys = MakeKeys(1000);
+  for (const auto& key : keys) synopsis.Insert(key);
+  EXPECT_EQ(synopsis.stats().inserts, keys.size());
+  (void)synopsis.Query("PROBE");
+  EXPECT_EQ(synopsis.stats().queries, 1u);
+  EXPECT_GT(synopsis.num_blocks(), 0u);
+  EXPECT_GT(synopsis.num_filters(), 0u);
+}
+
+TEST(SkipBloomTest, HandOffReferencesKeepConsistency) {
+  // Force the Fig. 2 scenario: insert many keys under one region so filters
+  // fill up, then (by construction with a high sampling rate) new sampled
+  // keys land between them and must still find older keys via references.
+  SkipBloomOptions options;
+  options.expected_keys = 64;  // p = 1/8: plenty of sampled keys
+  options.filters_per_block = 2;
+  options.bloom_fp = 0.01;
+  options.seed = 0x123;
+  SkipBloom synopsis(options);
+
+  std::vector<std::string> keys;
+  for (int i = 0; i < 2000; ++i) {
+    keys.push_back("KEY" + std::to_string(100000 + i));
+  }
+  for (const auto& key : keys) synopsis.Insert(key);
+  for (const auto& key : keys) {
+    EXPECT_TRUE(synopsis.Query(key)) << key;
+  }
+}
+
+TEST(SkipBloomTest, ConjunctionQueriesCompositeKeys) {
+  SkipBloom synopsis(SmallOptions(1000));
+  synopsis.Insert("GIVEN:JAMES");
+  synopsis.Insert("SURNAME:JOHNSON");
+  synopsis.Insert("TOWN:RALEIGH");
+  // All parts present -> true.
+  EXPECT_TRUE(synopsis.QueryConjunction(
+      {"GIVEN:JAMES", "SURNAME:JOHNSON", "TOWN:RALEIGH"}));
+  // Any absent part fails the conjunction.
+  EXPECT_FALSE(synopsis.QueryConjunction(
+      {"GIVEN:JAMES", "SURNAME:NOTTHERE"}));
+  // Empty conjunction is false by convention.
+  EXPECT_FALSE(synopsis.QueryConjunction({}));
+  // Single-element conjunction == plain query.
+  EXPECT_TRUE(synopsis.QueryConjunction({"TOWN:RALEIGH"}));
+}
+
+class SkipBloomScaleSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SkipBloomScaleSweep, NoFalseNegativesAtEveryScale) {
+  const size_t n = GetParam();
+  const auto keys = MakeKeys(n, n);
+  SkipBloom synopsis(SmallOptions(n));
+  for (const auto& key : keys) synopsis.Insert(key);
+  for (const auto& key : keys) {
+    ASSERT_TRUE(synopsis.Query(key)) << key << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, SkipBloomScaleSweep,
+                         ::testing::Values(10, 100, 1000, 10000, 50000));
+
+}  // namespace
+}  // namespace sketchlink

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "datagen/generators.h"
+#include "datagen/name_pools.h"
+#include "datagen/perturb.h"
+#include "text/edit_distance.h"
+
+namespace sketchlink::datagen {
+namespace {
+
+TEST(NamePoolsTest, PoolsAreNonEmptyAndUppercase) {
+  for (const Pool& pool :
+       {Surnames(), GivenNames(), Towns(), Streets(), Venues(), TitleWords(),
+        Assays(), AssayResults()}) {
+    ASSERT_GT(pool.size, 10u);
+    for (size_t i = 0; i < pool.size; ++i) {
+      for (char c : pool.values[i]) {
+        EXPECT_FALSE(c >= 'a' && c <= 'z')
+            << "lowercase in pool value " << pool.values[i];
+      }
+    }
+  }
+}
+
+TEST(NamePoolsTest, SurnamesAreDistinct) {
+  const Pool pool = Surnames();
+  std::set<std::string_view> seen(pool.values, pool.values + pool.size);
+  EXPECT_EQ(seen.size(), pool.size);
+}
+
+TEST(PerturbatorTest, OpsChangeStringBoundedly) {
+  Perturbator perturbator(1, /*max_ops=*/1, /*min_ops=*/1);
+  for (int i = 0; i < 200; ++i) {
+    std::string value = "JOHNSON";
+    perturbator.ApplyRandomOp(&value);
+    // One op moves edit distance by at most 1 (substitute/delete/insert) or
+    // is a transposition (OSA distance 1).
+    EXPECT_LE(text::DamerauOsa("JOHNSON", value), 1u) << value;
+  }
+}
+
+TEST(PerturbatorTest, PerturbRecordKeepsEntityChangesId) {
+  Record base;
+  base.id = 5;
+  base.entity_id = 5;
+  base.fields = {"JAMES", "JOHNSON", "100 MAIN ST", "RALEIGH"};
+  Perturbator perturbator(2);
+  const Record copy = perturbator.PerturbRecord(base, 999);
+  EXPECT_EQ(copy.id, 999u);
+  EXPECT_EQ(copy.entity_id, 5u);
+  EXPECT_EQ(copy.fields.size(), base.fields.size());
+}
+
+TEST(PerturbatorTest, MaxOpsBoundsTotalDamage) {
+  Record base;
+  base.id = 1;
+  base.entity_id = 1;
+  base.fields = {"ABCDEFGHIJ"};
+  Perturbator perturbator(3, /*max_ops=*/4, /*min_ops=*/1);
+  for (int i = 0; i < 200; ++i) {
+    const Record copy = perturbator.PerturbRecord(base, 2);
+    // Each op is 1 Levenshtein edit except transpose (2), so 4 ops move the
+    // string by at most 8. (Restricted-OSA distance can overcount op
+    // sequences, so it is not a valid bound here.)
+    EXPECT_LE(text::Levenshtein(base.fields[0], copy.fields[0]), 8u)
+        << copy.fields[0];
+  }
+}
+
+TEST(PerturbatorTest, EmptyFieldSurvives) {
+  Perturbator perturbator(5);
+  std::string empty;
+  for (int i = 0; i < 50; ++i) perturbator.ApplyRandomOp(&empty);
+  // Deletes/substitutes/transposes on empty strings are no-ops; inserts may
+  // grow it. Just verify no crash and sane size.
+  EXPECT_LE(empty.size(), 50u);
+}
+
+TEST(PerturbatorTest, DeterministicForSeed) {
+  Record base;
+  base.id = 1;
+  base.entity_id = 1;
+  base.fields = {"JOHNSON", "RALEIGH"};
+  Perturbator a(123);
+  Perturbator b(123);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.PerturbRecord(base, 10 + i).fields,
+              b.PerturbRecord(base, 10 + i).fields);
+  }
+}
+
+TEST(GeneratorsTest, KindNamesAndSchemas) {
+  EXPECT_EQ(DatasetKindName(DatasetKind::kDblp), "DBLP");
+  EXPECT_EQ(DatasetKindName(DatasetKind::kNcvr), "NCVR");
+  EXPECT_EQ(DatasetKindName(DatasetKind::kLab), "LAB");
+  EXPECT_EQ(SchemaFor(DatasetKind::kDblp).num_fields(), 3u);
+  EXPECT_EQ(SchemaFor(DatasetKind::kNcvr).num_fields(), 4u);
+  EXPECT_EQ(SchemaFor(DatasetKind::kLab).num_fields(), 3u);
+}
+
+class GenerateBaseAllKinds : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(GenerateBaseAllKinds, ProducesWellFormedRecords) {
+  const Dataset dataset = GenerateBase(GetParam(), 500, 42, 0.8);
+  ASSERT_EQ(dataset.size(), 500u);
+  const size_t expected_fields = SchemaFor(GetParam()).num_fields();
+  std::set<uint64_t> entities;
+  for (const Record& record : dataset.records()) {
+    EXPECT_EQ(record.fields.size(), expected_fields);
+    EXPECT_GT(record.id, 0u);
+    EXPECT_EQ(record.id, record.entity_id);  // base records are entities
+    EXPECT_FALSE(record.fields[0].empty());
+    entities.insert(record.entity_id);
+  }
+  EXPECT_EQ(entities.size(), 500u);
+}
+
+TEST_P(GenerateBaseAllKinds, DeterministicForSeed) {
+  const Dataset a = GenerateBase(GetParam(), 100, 7, 0.8);
+  const Dataset b = GenerateBase(GetParam(), 100, 7, 0.8);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].fields, b[i].fields);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, GenerateBaseAllKinds,
+                         ::testing::Values(DatasetKind::kDblp,
+                                           DatasetKind::kNcvr,
+                                           DatasetKind::kLab));
+
+TEST(GeneratorsTest, WorkloadSizesFollowSpec) {
+  WorkloadSpec spec;
+  spec.kind = DatasetKind::kNcvr;
+  spec.num_entities = 50;
+  spec.copies_per_entity = 10;
+  const Workload workload = MakeWorkload(spec);
+  EXPECT_EQ(workload.q.size(), 50u);
+  EXPECT_EQ(workload.a.size(), 500u);
+  // Every A record maps back to a Q entity; ids are disjoint from Q's.
+  for (const Record& record : workload.a.records()) {
+    EXPECT_GE(record.entity_id, 1u);
+    EXPECT_LE(record.entity_id, 50u);
+    EXPECT_GT(record.id, 50u);
+  }
+}
+
+TEST(GeneratorsTest, WorkloadPerturbationIsBounded) {
+  WorkloadSpec spec;
+  spec.kind = DatasetKind::kNcvr;
+  spec.num_entities = 20;
+  spec.copies_per_entity = 5;
+  spec.max_perturb_ops = 4;
+  const Workload workload = MakeWorkload(spec);
+  for (const Record& copy : workload.a.records()) {
+    const Record& base = workload.q[copy.entity_id - 1];
+    size_t total_damage = 0;
+    for (size_t f = 0; f < base.fields.size(); ++f) {
+      total_damage += text::Levenshtein(base.fields[f], copy.fields[f]);
+    }
+    // <= 4 ops, each at most 2 Levenshtein edits (transpose).
+    EXPECT_LE(total_damage, 8u);
+  }
+}
+
+TEST(GeneratorsTest, ZipfSkewConcentratesKeys) {
+  const Dataset skewed = GenerateBase(DatasetKind::kNcvr, 2000, 9, 1.0);
+  std::set<std::string> surnames;
+  for (const Record& record : skewed.records()) {
+    surnames.insert(record.fields[1]);
+  }
+  // With strong skew, far fewer distinct surnames than records.
+  EXPECT_LT(surnames.size(), 400u);
+}
+
+TEST(GeneratorsTest, StreamDrawsFromBaseEntities) {
+  const Dataset base = GenerateBase(DatasetKind::kLab, 30, 3, 0.5);
+  const Dataset stream = MakeStream(base, 200, 4, 99);
+  ASSERT_EQ(stream.size(), 200u);
+  for (const Record& record : stream.records()) {
+    EXPECT_GE(record.entity_id, 1u);
+    EXPECT_LE(record.entity_id, 30u);
+    EXPECT_GE(record.id, 1'000'000'000ULL);
+  }
+}
+
+TEST(GeneratorsTest, StreamFromEmptyBaseIsEmpty) {
+  Dataset empty(SchemaFor(DatasetKind::kLab));
+  EXPECT_TRUE(MakeStream(empty, 100, 4, 1).empty());
+}
+
+}  // namespace
+}  // namespace sketchlink::datagen

@@ -1,0 +1,128 @@
+#include "kv/block_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "kv/db.h"
+#include "kv/env.h"
+
+namespace sketchlink::kv {
+namespace {
+
+TEST(BlockCacheTest, MissThenHit) {
+  BlockCache cache(1024);
+  std::string value;
+  EXPECT_FALSE(cache.Lookup("k", &value));
+  cache.Insert("k", "block-bytes");
+  ASSERT_TRUE(cache.Lookup("k", &value));
+  EXPECT_EQ(value, "block-bytes");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(BlockCacheTest, OverwriteRefreshesValue) {
+  BlockCache cache(1024);
+  cache.Insert("k", "old");
+  cache.Insert("k", "new");
+  std::string value;
+  ASSERT_TRUE(cache.Lookup("k", &value));
+  EXPECT_EQ(value, "new");
+  EXPECT_EQ(cache.num_entries(), 1u);
+}
+
+TEST(BlockCacheTest, EvictsLeastRecentlyUsed) {
+  // Each entry costs ~64 + key + value bytes; budget fits about 3.
+  BlockCache cache(3 * 80);
+  cache.Insert("a", std::string(8, 'a'));
+  cache.Insert("b", std::string(8, 'b'));
+  cache.Insert("c", std::string(8, 'c'));
+  // Touch "a" so "b" is the LRU victim when "d" arrives.
+  std::string value;
+  ASSERT_TRUE(cache.Lookup("a", &value));
+  cache.Insert("d", std::string(8, 'd'));
+  EXPECT_TRUE(cache.Lookup("a", &value));
+  EXPECT_FALSE(cache.Lookup("b", &value));
+  EXPECT_TRUE(cache.Lookup("c", &value));
+  EXPECT_TRUE(cache.Lookup("d", &value));
+}
+
+TEST(BlockCacheTest, OversizedValueIsNotCached) {
+  BlockCache cache(128);
+  cache.Insert("big", std::string(1024, 'x'));
+  std::string value;
+  EXPECT_FALSE(cache.Lookup("big", &value));
+  EXPECT_EQ(cache.num_entries(), 0u);
+}
+
+TEST(BlockCacheTest, BudgetIsRespected) {
+  BlockCache cache(1000);
+  for (int i = 0; i < 100; ++i) {
+    cache.Insert("key" + std::to_string(i), std::string(50, 'v'));
+  }
+  EXPECT_LE(cache.size_bytes(), 1000u);
+  EXPECT_GT(cache.num_entries(), 0u);
+}
+
+TEST(BlockCacheTest, EraseByPrefix) {
+  BlockCache cache(4096);
+  cache.Insert("t1@0", "a");
+  cache.Insert("t1@100", "b");
+  cache.Insert("t2@0", "c");
+  cache.EraseByPrefix("t1@");
+  std::string value;
+  EXPECT_FALSE(cache.Lookup("t1@0", &value));
+  EXPECT_FALSE(cache.Lookup("t1@100", &value));
+  EXPECT_TRUE(cache.Lookup("t2@0", &value));
+}
+
+TEST(BlockCacheTest, ClearEmpties) {
+  BlockCache cache(4096);
+  cache.Insert("k", "v");
+  cache.Clear();
+  EXPECT_EQ(cache.num_entries(), 0u);
+  EXPECT_EQ(cache.size_bytes(), 0u);
+}
+
+TEST(BlockCacheIntegrationTest, RepeatedGetsHitTheCache) {
+  const std::string dir = ::testing::TempDir() + "/block_cache_integration";
+  ASSERT_TRUE(RemoveDirRecursively(dir).ok());
+  Options options;
+  options.block_cache_bytes = 1 << 20;
+  auto db = Db::Open(dir, options);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE((*db)->Put("key" + std::to_string(i), "value").ok());
+  }
+  ASSERT_TRUE((*db)->Flush().ok());
+
+  std::string value;
+  ASSERT_TRUE((*db)->Get("key123", &value).ok());
+  const BlockCache* cache = (*db)->block_cache();
+  ASSERT_NE(cache, nullptr);
+  const uint64_t misses_after_first = cache->misses();
+  // Same stride re-read: served from cache, no new miss.
+  ASSERT_TRUE((*db)->Get("key123", &value).ok());
+  EXPECT_GT(cache->hits(), 0u);
+  EXPECT_EQ(cache->misses(), misses_after_first);
+  (void)RemoveDirRecursively(dir);
+}
+
+TEST(BlockCacheIntegrationTest, DisabledCacheStillServesReads) {
+  const std::string dir = ::testing::TempDir() + "/block_cache_disabled";
+  ASSERT_TRUE(RemoveDirRecursively(dir).ok());
+  Options options;
+  options.block_cache_bytes = 0;
+  auto db = Db::Open(dir, options);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->block_cache(), nullptr);
+  ASSERT_TRUE((*db)->Put("k", "v").ok());
+  ASSERT_TRUE((*db)->Flush().ok());
+  std::string value;
+  ASSERT_TRUE((*db)->Get("k", &value).ok());
+  EXPECT_EQ(value, "v");
+  (void)RemoveDirRecursively(dir);
+}
+
+}  // namespace
+}  // namespace sketchlink::kv

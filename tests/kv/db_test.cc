@@ -1,0 +1,266 @@
+#include "kv/db.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "kv/env.h"
+
+namespace sketchlink::kv {
+namespace {
+
+class DbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/db_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ASSERT_TRUE(RemoveDirRecursively(dir_).ok());
+  }
+  void TearDown() override { (void)RemoveDirRecursively(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(DbTest, PutGetDelete) {
+  auto db = Db::Open(dir_);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_TRUE((*db)->Put("k1", "v1").ok());
+  ASSERT_TRUE((*db)->Put("k2", "v2").ok());
+  std::string value;
+  ASSERT_TRUE((*db)->Get("k1", &value).ok());
+  EXPECT_EQ(value, "v1");
+  ASSERT_TRUE((*db)->Delete("k1").ok());
+  EXPECT_TRUE((*db)->Get("k1", &value).IsNotFound());
+  ASSERT_TRUE((*db)->Get("k2", &value).ok());
+  EXPECT_EQ(value, "v2");
+}
+
+TEST_F(DbTest, OverwriteReturnsLatest) {
+  auto db = Db::Open(dir_);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Put("k", "old").ok());
+  ASSERT_TRUE((*db)->Put("k", "new").ok());
+  std::string value;
+  ASSERT_TRUE((*db)->Get("k", &value).ok());
+  EXPECT_EQ(value, "new");
+}
+
+TEST_F(DbTest, GetMissingIsNotFound) {
+  auto db = Db::Open(dir_);
+  ASSERT_TRUE(db.ok());
+  std::string value;
+  EXPECT_TRUE((*db)->Get("absent", &value).IsNotFound());
+  EXPECT_FALSE((*db)->Contains("absent"));
+}
+
+TEST_F(DbTest, SurvivesFlush) {
+  auto db = Db::Open(dir_);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        (*db)->Put("key" + std::to_string(i), "val" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE((*db)->Flush().ok());
+  EXPECT_GE((*db)->num_tables(), 1u);
+  std::string value;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*db)->Get("key" + std::to_string(i), &value).ok()) << i;
+    EXPECT_EQ(value, "val" + std::to_string(i));
+  }
+}
+
+TEST_F(DbTest, DeleteShadowsFlushedValue) {
+  auto db = Db::Open(dir_);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Put("k", "v").ok());
+  ASSERT_TRUE((*db)->Flush().ok());
+  ASSERT_TRUE((*db)->Delete("k").ok());
+  std::string value;
+  EXPECT_TRUE((*db)->Get("k", &value).IsNotFound());
+  // Also after the tombstone itself is flushed.
+  ASSERT_TRUE((*db)->Flush().ok());
+  EXPECT_TRUE((*db)->Get("k", &value).IsNotFound());
+}
+
+TEST_F(DbTest, NewerRunWinsOverOlder) {
+  auto db = Db::Open(dir_);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Put("k", "first").ok());
+  ASSERT_TRUE((*db)->Flush().ok());
+  ASSERT_TRUE((*db)->Put("k", "second").ok());
+  ASSERT_TRUE((*db)->Flush().ok());
+  std::string value;
+  ASSERT_TRUE((*db)->Get("k", &value).ok());
+  EXPECT_EQ(value, "second");
+}
+
+TEST_F(DbTest, RecoversFromWalAfterReopen) {
+  {
+    auto db = Db::Open(dir_);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Put("persist", "me").ok());
+    ASSERT_TRUE((*db)->Delete("ghost").ok());
+    // No flush: data lives only in WAL + memtable.
+  }
+  auto db = Db::Open(dir_);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  std::string value;
+  ASSERT_TRUE((*db)->Get("persist", &value).ok());
+  EXPECT_EQ(value, "me");
+  EXPECT_TRUE((*db)->Get("ghost", &value).IsNotFound());
+}
+
+TEST_F(DbTest, RecoversTablesAfterReopen) {
+  {
+    auto db = Db::Open(dir_);
+    ASSERT_TRUE(db.ok());
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE((*db)->Put("t" + std::to_string(i), "v").ok());
+    }
+    ASSERT_TRUE((*db)->Flush().ok());
+    ASSERT_TRUE((*db)->Put("after-flush", "x").ok());
+  }
+  auto db = Db::Open(dir_);
+  ASSERT_TRUE(db.ok());
+  std::string value;
+  ASSERT_TRUE((*db)->Get("t42", &value).ok());
+  ASSERT_TRUE((*db)->Get("after-flush", &value).ok());
+  EXPECT_EQ(value, "x");
+}
+
+TEST_F(DbTest, CompactionMergesRunsAndDropsTombstones) {
+  Options options;
+  options.compaction_trigger = 100;  // manual compaction only
+  auto db = Db::Open(dir_, options);
+  ASSERT_TRUE(db.ok());
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE((*db)
+                      ->Put("k" + std::to_string(i),
+                            "round" + std::to_string(round))
+                      .ok());
+    }
+    ASSERT_TRUE((*db)->Delete("k0").ok());
+    ASSERT_TRUE((*db)->Flush().ok());
+  }
+  EXPECT_EQ((*db)->num_tables(), 4u);
+  ASSERT_TRUE((*db)->Compact(true).ok());
+  EXPECT_EQ((*db)->num_tables(), 1u);
+  std::string value;
+  EXPECT_TRUE((*db)->Get("k0", &value).IsNotFound());
+  ASSERT_TRUE((*db)->Get("k1", &value).ok());
+  EXPECT_EQ(value, "round3");
+  // Survives reopen after compaction.
+  db = Db::Open(dir_, options);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Get("k1", &value).ok());
+  EXPECT_EQ(value, "round3");
+}
+
+TEST_F(DbTest, AutomaticFlushOnMemtableLimit) {
+  Options options;
+  options.memtable_bytes = 4096;
+  auto db = Db::Open(dir_, options);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE((*db)->Put("key" + std::to_string(i),
+                           std::string(64, 'v'))
+                    .ok());
+  }
+  EXPECT_GT((*db)->stats().flushes, 0u);
+  std::string value;
+  ASSERT_TRUE((*db)->Get("key0", &value).ok());
+  ASSERT_TRUE((*db)->Get("key199", &value).ok());
+}
+
+TEST_F(DbTest, ScanAllMergesAllSources) {
+  auto db = Db::Open(dir_);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Put("b", "2").ok());
+  ASSERT_TRUE((*db)->Flush().ok());
+  ASSERT_TRUE((*db)->Put("a", "1").ok());
+  ASSERT_TRUE((*db)->Put("c", "3").ok());
+  ASSERT_TRUE((*db)->Delete("b").ok());
+  auto entries = (*db)->ScanAll();
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[0].key, "a");
+  EXPECT_EQ((*entries)[1].key, "c");
+}
+
+TEST_F(DbTest, ScanPrefix) {
+  auto db = Db::Open(dir_);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Put("blk/1", "a").ok());
+  ASSERT_TRUE((*db)->Put("blk/2", "b").ok());
+  ASSERT_TRUE((*db)->Put("rec/1", "c").ok());
+  auto entries = (*db)->ScanPrefix("blk/");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 2u);
+}
+
+TEST_F(DbTest, RandomizedAgainstStdMap) {
+  Options options;
+  options.memtable_bytes = 2048;  // force frequent flushes
+  options.compaction_trigger = 4;
+  auto db = Db::Open(dir_, options);
+  ASSERT_TRUE(db.ok());
+  std::map<std::string, std::string> reference;
+  Rng rng(77);
+  for (int op = 0; op < 3000; ++op) {
+    const std::string key = "k" + std::to_string(rng.UniformUint64(300));
+    if (rng.Bernoulli(0.25)) {
+      ASSERT_TRUE((*db)->Delete(key).ok());
+      reference.erase(key);
+    } else {
+      const std::string value = "v" + std::to_string(rng.NextUint64() % 1000);
+      ASSERT_TRUE((*db)->Put(key, value).ok());
+      reference[key] = value;
+    }
+  }
+  for (int i = 0; i < 300; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    std::string value;
+    const Status status = (*db)->Get(key, &value);
+    auto it = reference.find(key);
+    if (it == reference.end()) {
+      EXPECT_TRUE(status.IsNotFound()) << key;
+    } else {
+      ASSERT_TRUE(status.ok()) << key << " " << status.ToString();
+      EXPECT_EQ(value, it->second) << key;
+    }
+  }
+  // Merged scan equals the reference exactly.
+  auto entries = (*db)->ScanAll();
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), reference.size());
+  auto ref_it = reference.begin();
+  for (const TableEntry& entry : *entries) {
+    EXPECT_EQ(entry.key, ref_it->first);
+    EXPECT_EQ(entry.value, ref_it->second);
+    ++ref_it;
+  }
+}
+
+TEST_F(DbTest, StatsCountOperations) {
+  auto db = Db::Open(dir_);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Put("a", "1").ok());
+  std::string value;
+  ASSERT_TRUE((*db)->Get("a", &value).ok());
+  (void)(*db)->Get("zz", &value);
+  EXPECT_EQ((*db)->stats().puts, 1u);
+  EXPECT_EQ((*db)->stats().gets, 2u);
+  EXPECT_EQ((*db)->stats().memtable_hits, 1u);
+}
+
+TEST_F(DbTest, OpenWithoutCreateFailsOnMissingDir) {
+  Options options;
+  options.create_if_missing = false;
+  EXPECT_TRUE(Db::Open(dir_ + "/nope", options).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace sketchlink::kv

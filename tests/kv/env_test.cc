@@ -1,0 +1,114 @@
+#include "kv/env.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace sketchlink::kv {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/env_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ASSERT_TRUE(RemoveDirRecursively(dir_).ok());
+    ASSERT_TRUE(CreateDirIfMissing(dir_).ok());
+  }
+  void TearDown() override { (void)RemoveDirRecursively(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(EnvTest, WriteReadRoundTrip) {
+  const std::string path = dir_ + "/file.bin";
+  auto file = WritableFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("hello ").ok());
+  ASSERT_TRUE((*file)->Append("world").ok());
+  EXPECT_EQ((*file)->size(), 11u);
+  ASSERT_TRUE((*file)->Close().ok());
+
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(path, &contents).ok());
+  EXPECT_EQ(contents, "hello world");
+}
+
+TEST_F(EnvTest, RandomAccessReadsAtOffset) {
+  const std::string path = dir_ + "/ra.bin";
+  ASSERT_TRUE(WriteStringToFileSync(path, "0123456789").ok());
+  auto file = RandomAccessFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ((*file)->size(), 10u);
+  std::string chunk;
+  ASSERT_TRUE((*file)->Read(3, 4, &chunk).ok());
+  EXPECT_EQ(chunk, "3456");
+  ASSERT_TRUE((*file)->Read(0, 0, &chunk).ok());
+  EXPECT_TRUE(chunk.empty());
+}
+
+TEST_F(EnvTest, RandomAccessShortReadFails) {
+  const std::string path = dir_ + "/short.bin";
+  ASSERT_TRUE(WriteStringToFileSync(path, "abc").ok());
+  auto file = RandomAccessFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  std::string chunk;
+  EXPECT_TRUE((*file)->Read(1, 10, &chunk).IsIOError());
+}
+
+TEST_F(EnvTest, OpenMissingFileIsNotFound) {
+  EXPECT_TRUE(RandomAccessFile::Open(dir_ + "/missing").status().IsNotFound());
+  std::string contents;
+  EXPECT_TRUE(ReadFileToString(dir_ + "/missing", &contents).IsNotFound());
+}
+
+TEST_F(EnvTest, FileExistsAndRemove) {
+  const std::string path = dir_ + "/f";
+  EXPECT_FALSE(FileExists(path));
+  ASSERT_TRUE(WriteStringToFileSync(path, "x").ok());
+  EXPECT_TRUE(FileExists(path));
+  EXPECT_TRUE(RemoveFile(path).ok());
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_TRUE(RemoveFile(path).IsNotFound());
+}
+
+TEST_F(EnvTest, RenameReplaces) {
+  ASSERT_TRUE(WriteStringToFileSync(dir_ + "/a", "AAA").ok());
+  ASSERT_TRUE(WriteStringToFileSync(dir_ + "/b", "BBB").ok());
+  ASSERT_TRUE(RenameFile(dir_ + "/a", dir_ + "/b").ok());
+  EXPECT_FALSE(FileExists(dir_ + "/a"));
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(dir_ + "/b", &contents).ok());
+  EXPECT_EQ(contents, "AAA");
+}
+
+TEST_F(EnvTest, ListDirReturnsRegularFiles) {
+  ASSERT_TRUE(WriteStringToFileSync(dir_ + "/one", "1").ok());
+  ASSERT_TRUE(WriteStringToFileSync(dir_ + "/two", "2").ok());
+  ASSERT_TRUE(CreateDirIfMissing(dir_ + "/subdir").ok());
+  auto names = ListDir(dir_);
+  ASSERT_TRUE(names.ok());
+  std::sort(names->begin(), names->end());
+  EXPECT_EQ(*names, (std::vector<std::string>{"one", "two"}));
+}
+
+TEST_F(EnvTest, WriteStringToFileSyncIsAtomicReplacement) {
+  const std::string path = dir_ + "/atomic";
+  ASSERT_TRUE(WriteStringToFileSync(path, "first").ok());
+  ASSERT_TRUE(WriteStringToFileSync(path, "second").ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(path, &contents).ok());
+  EXPECT_EQ(contents, "second");
+  // No stray .tmp left behind.
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+}
+
+TEST_F(EnvTest, AppendAfterCloseFails) {
+  auto file = WritableFile::Open(dir_ + "/closed");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  EXPECT_FALSE((*file)->Append("data").ok());
+}
+
+}  // namespace
+}  // namespace sketchlink::kv

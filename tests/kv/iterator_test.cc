@@ -1,0 +1,257 @@
+// Tests for the iterator stack: memtable cursor, stride-buffered SSTable
+// cursor, k-way merging with newest-wins shadowing, and the DB-level view
+// with tombstone suppression.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "kv/db.h"
+#include "kv/env.h"
+#include "kv/memtable.h"
+#include "kv/merging_iterator.h"
+#include "kv/sstable.h"
+
+namespace sketchlink::kv {
+namespace {
+
+TEST(MemTableIteratorTest, OrderAndTombstones) {
+  MemTable mem;
+  mem.Put("b", "2");
+  mem.Put("a", "1");
+  mem.Delete("c");
+  auto it = mem.NewKvIterator();
+  it->SeekToFirst();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "a");
+  EXPECT_FALSE(it->tombstone());
+  it->Next();
+  EXPECT_EQ(it->key(), "b");
+  it->Next();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "c");
+  EXPECT_TRUE(it->tombstone());
+  it->Next();
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST(MemTableIteratorTest, Seek) {
+  MemTable mem;
+  for (const char* key : {"apple", "banana", "cherry"}) mem.Put(key, "v");
+  auto it = mem.NewKvIterator();
+  it->Seek("b");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "banana");
+  it->Seek("zzz");
+  EXPECT_FALSE(it->Valid());
+}
+
+class TableIteratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/table_iter_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ASSERT_TRUE(RemoveDirRecursively(dir_).ok());
+    ASSERT_TRUE(CreateDirIfMissing(dir_).ok());
+  }
+  void TearDown() override { (void)RemoveDirRecursively(dir_); }
+
+  std::shared_ptr<Table> Build(int n, size_t index_interval) {
+    Options options;
+    options.index_interval = index_interval;
+    const std::string path = dir_ + "/t.sst";
+    auto builder = TableBuilder::Open(path, options);
+    EXPECT_TRUE(builder.ok());
+    char key[16];
+    for (int i = 0; i < n; ++i) {
+      std::snprintf(key, sizeof(key), "k%05d", i);
+      EXPECT_TRUE((*builder)->Add(key, std::to_string(i), i % 7 == 3).ok());
+    }
+    EXPECT_TRUE((*builder)->Finish().ok());
+    auto table = Table::Open(path);
+    EXPECT_TRUE(table.ok());
+    return *table;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(TableIteratorTest, FullScanMatchesEntryCount) {
+  auto table = Build(333, 16);
+  auto it = table->NewIterator();
+  int count = 0;
+  std::string previous;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    if (count > 0) EXPECT_LT(previous, it->key());
+    previous.assign(it->key());
+    ++count;
+  }
+  ASSERT_TRUE(it->status().ok());
+  EXPECT_EQ(count, 333);
+}
+
+TEST_F(TableIteratorTest, TombstonesAreSurfaced) {
+  auto table = Build(50, 8);
+  auto it = table->NewIterator();
+  int tombstones = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    if (it->tombstone()) ++tombstones;
+  }
+  EXPECT_EQ(tombstones, 7);  // i % 7 == 3 for i in [0, 50)
+}
+
+TEST_F(TableIteratorTest, SeekLandsOnFirstKeyNotLess) {
+  auto table = Build(100, 4);
+  auto it = table->NewIterator();
+  it->Seek("k00042");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "k00042");
+  it->Seek("k00042x");  // between keys
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "k00043");
+  it->Seek("a");  // before everything
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "k00000");
+  it->Seek("z");  // past everything
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_F(TableIteratorTest, EmptyTable) {
+  Options options;
+  const std::string path = dir_ + "/empty.sst";
+  auto builder = TableBuilder::Open(path, options);
+  ASSERT_TRUE(builder.ok());
+  ASSERT_TRUE((*builder)->Finish().ok());
+  auto table = Table::Open(path);
+  ASSERT_TRUE(table.ok());
+  auto it = (*table)->NewIterator();
+  it->SeekToFirst();
+  EXPECT_FALSE(it->Valid());
+  it->Seek("anything");
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST(MergingIteratorTest, NewestLayerWinsPerKey) {
+  MemTable newest;
+  newest.Put("a", "new-a");
+  newest.Delete("b");
+  MemTable oldest;
+  oldest.Put("a", "old-a");
+  oldest.Put("b", "old-b");
+  oldest.Put("c", "old-c");
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(newest.NewKvIterator());
+  children.push_back(oldest.NewKvIterator());
+  auto merged = NewMergingIterator(std::move(children));
+
+  merged->SeekToFirst();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(merged->key(), "a");
+  EXPECT_EQ(merged->value(), "new-a");
+  merged->Next();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(merged->key(), "b");
+  EXPECT_TRUE(merged->tombstone());  // deletion shadows old-b
+  merged->Next();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(merged->key(), "c");
+  EXPECT_EQ(merged->value(), "old-c");
+  merged->Next();
+  EXPECT_FALSE(merged->Valid());
+}
+
+TEST(MergingIteratorTest, SeekAcrossChildren) {
+  MemTable even;
+  MemTable odd;
+  for (int i = 0; i < 20; ++i) {
+    (i % 2 == 0 ? even : odd).Put("k" + std::to_string(100 + i), "v");
+  }
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(even.NewKvIterator());
+  children.push_back(odd.NewKvIterator());
+  auto merged = NewMergingIterator(std::move(children));
+  merged->Seek("k110");
+  int count = 0;
+  for (; merged->Valid(); merged->Next()) ++count;
+  EXPECT_EQ(count, 10);
+}
+
+class DbIteratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/db_iter_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ASSERT_TRUE(RemoveDirRecursively(dir_).ok());
+  }
+  void TearDown() override { (void)RemoveDirRecursively(dir_); }
+  std::string dir_;
+};
+
+TEST_F(DbIteratorTest, MergedViewAcrossLayersMatchesReference) {
+  Options options;
+  options.memtable_bytes = 1024;  // frequent flushes -> several runs
+  options.compaction_trigger = 100;
+  auto db = Db::Open(dir_, options);
+  ASSERT_TRUE(db.ok());
+  std::map<std::string, std::string> reference;
+  Rng rng(55);
+  for (int op = 0; op < 2000; ++op) {
+    const std::string key = "k" + std::to_string(rng.UniformUint64(200));
+    if (rng.Bernoulli(0.3)) {
+      ASSERT_TRUE((*db)->Delete(key).ok());
+      reference.erase(key);
+    } else {
+      const std::string value = "v" + std::to_string(op);
+      ASSERT_TRUE((*db)->Put(key, value).ok());
+      reference[key] = value;
+    }
+  }
+  EXPECT_GT((*db)->num_tables(), 2u);  // the merge is actually multi-layer
+
+  auto it = (*db)->NewIterator();
+  auto ref_it = reference.begin();
+  for (it->SeekToFirst(); it->Valid(); it->Next(), ++ref_it) {
+    ASSERT_NE(ref_it, reference.end());
+    EXPECT_EQ(it->key(), ref_it->first);
+    EXPECT_EQ(it->value(), ref_it->second);
+    EXPECT_FALSE(it->tombstone());
+  }
+  EXPECT_EQ(ref_it, reference.end());
+  EXPECT_TRUE(it->status().ok());
+}
+
+TEST_F(DbIteratorTest, SeekSkipsDeletedRange) {
+  auto db = Db::Open(dir_);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Put("a1", "v").ok());
+  ASSERT_TRUE((*db)->Put("a2", "v").ok());
+  ASSERT_TRUE((*db)->Flush().ok());
+  ASSERT_TRUE((*db)->Delete("a1").ok());
+  ASSERT_TRUE((*db)->Delete("a2").ok());
+  ASSERT_TRUE((*db)->Put("b1", "v").ok());
+  auto it = (*db)->NewIterator();
+  it->Seek("a");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "b1");  // tombstoned a1/a2 are invisible
+}
+
+TEST_F(DbIteratorTest, ScanPrefixUsesSortedBreakout) {
+  auto db = Db::Open(dir_);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE((*db)->Put("blk/" + std::to_string(1000 + i), "x").ok());
+    ASSERT_TRUE((*db)->Put("rec/" + std::to_string(1000 + i), "y").ok());
+  }
+  ASSERT_TRUE((*db)->Flush().ok());
+  auto entries = (*db)->ScanPrefix("blk/");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 50u);
+  for (const TableEntry& entry : *entries) {
+    EXPECT_EQ(entry.key.substr(0, 4), "blk/");
+  }
+}
+
+}  // namespace
+}  // namespace sketchlink::kv

@@ -1,0 +1,89 @@
+#include "kv/memtable.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sketchlink::kv {
+namespace {
+
+TEST(MemTableTest, PutGet) {
+  MemTable mem;
+  mem.Put("k", "v");
+  std::string value;
+  EXPECT_EQ(mem.Get("k", &value), MemTable::LookupState::kFound);
+  EXPECT_EQ(value, "v");
+  EXPECT_EQ(mem.Get("other", &value), MemTable::LookupState::kAbsent);
+}
+
+TEST(MemTableTest, DeleteLeavesTombstone) {
+  MemTable mem;
+  mem.Put("k", "v");
+  mem.Delete("k");
+  std::string value;
+  EXPECT_EQ(mem.Get("k", &value), MemTable::LookupState::kDeleted);
+  // A tombstone is an entry, not an absence: flushes must persist it.
+  EXPECT_EQ(mem.size(), 1u);
+}
+
+TEST(MemTableTest, DeleteOfAbsentKeyIsRecorded) {
+  MemTable mem;
+  mem.Delete("ghost");
+  std::string value;
+  EXPECT_EQ(mem.Get("ghost", &value), MemTable::LookupState::kDeleted);
+}
+
+TEST(MemTableTest, OverwriteKeepsLatest) {
+  MemTable mem;
+  mem.Put("k", "old");
+  mem.Put("k", "new");
+  std::string value;
+  EXPECT_EQ(mem.Get("k", &value), MemTable::LookupState::kFound);
+  EXPECT_EQ(value, "new");
+  EXPECT_EQ(mem.size(), 1u);
+}
+
+TEST(MemTableTest, PutAfterDeleteRevives) {
+  MemTable mem;
+  mem.Put("k", "v1");
+  mem.Delete("k");
+  mem.Put("k", "v2");
+  std::string value;
+  EXPECT_EQ(mem.Get("k", &value), MemTable::LookupState::kFound);
+  EXPECT_EQ(value, "v2");
+}
+
+TEST(MemTableTest, PayloadBytesGrow) {
+  MemTable mem;
+  EXPECT_EQ(mem.payload_bytes(), 0u);
+  mem.Put("key", std::string(1000, 'x'));
+  EXPECT_GE(mem.payload_bytes(), 1000u);
+}
+
+TEST(MemTableTest, IterationIsSorted) {
+  MemTable mem;
+  mem.Put("charlie", "3");
+  mem.Put("alpha", "1");
+  mem.Delete("bravo");
+  std::string previous;
+  size_t count = 0;
+  for (auto it = mem.NewIterator(); it.Valid(); it.Next()) {
+    if (count > 0) EXPECT_LT(previous, it.key());
+    previous = it.key();
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(MemTableTest, ClearResetsEverything) {
+  MemTable mem;
+  mem.Put("k", "v");
+  mem.Clear();
+  EXPECT_TRUE(mem.empty());
+  EXPECT_EQ(mem.payload_bytes(), 0u);
+  std::string value;
+  EXPECT_EQ(mem.Get("k", &value), MemTable::LookupState::kAbsent);
+}
+
+}  // namespace
+}  // namespace sketchlink::kv

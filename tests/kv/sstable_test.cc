@@ -1,0 +1,217 @@
+#include "kv/sstable.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "kv/env.h"
+
+namespace sketchlink::kv {
+namespace {
+
+class SstableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/sst_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ASSERT_TRUE(RemoveDirRecursively(dir_).ok());
+    ASSERT_TRUE(CreateDirIfMissing(dir_).ok());
+    path_ = dir_ + "/000001.sst";
+  }
+  void TearDown() override { (void)RemoveDirRecursively(dir_); }
+
+  // Builds a table with `n` entries key%04d -> value-<i>.
+  void BuildTable(int n, const Options& options = Options()) {
+    auto builder = TableBuilder::Open(path_, options);
+    ASSERT_TRUE(builder.ok());
+    char key[16];
+    for (int i = 0; i < n; ++i) {
+      std::snprintf(key, sizeof(key), "key%04d", i);
+      ASSERT_TRUE(
+          (*builder)->Add(key, "value-" + std::to_string(i), false).ok());
+    }
+    ASSERT_TRUE((*builder)->Finish().ok());
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(SstableTest, PointLookupsFindEveryKey) {
+  BuildTable(500);
+  auto table = Table::Open(path_);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ((*table)->num_entries(), 500u);
+  char key[16];
+  std::string value;
+  for (int i = 0; i < 500; ++i) {
+    std::snprintf(key, sizeof(key), "key%04d", i);
+    auto state = (*table)->Get(key, &value);
+    ASSERT_TRUE(state.ok());
+    EXPECT_EQ(*state, Table::LookupState::kFound) << key;
+    EXPECT_EQ(value, "value-" + std::to_string(i));
+  }
+}
+
+TEST_F(SstableTest, AbsentKeysReturnAbsent) {
+  BuildTable(100);
+  auto table = Table::Open(path_);
+  ASSERT_TRUE(table.ok());
+  std::string value;
+  auto state = (*table)->Get("missing", &value);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, Table::LookupState::kAbsent);
+  // Before the first key.
+  state = (*table)->Get("aaa", &value);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, Table::LookupState::kAbsent);
+  // Between two keys.
+  state = (*table)->Get("key0000x", &value);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, Table::LookupState::kAbsent);
+}
+
+TEST_F(SstableTest, TombstonesAreVisible) {
+  Options options;
+  auto builder = TableBuilder::Open(path_, options);
+  ASSERT_TRUE(builder.ok());
+  ASSERT_TRUE((*builder)->Add("alive", "v", false).ok());
+  ASSERT_TRUE((*builder)->Add("dead", "", true).ok());
+  ASSERT_TRUE((*builder)->Finish().ok());
+
+  auto table = Table::Open(path_);
+  ASSERT_TRUE(table.ok());
+  std::string value;
+  auto state = (*table)->Get("dead", &value);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, Table::LookupState::kDeleted);
+  state = (*table)->Get("alive", &value);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, Table::LookupState::kFound);
+}
+
+TEST_F(SstableTest, OutOfOrderAddRejected) {
+  auto builder = TableBuilder::Open(path_, Options());
+  ASSERT_TRUE(builder.ok());
+  ASSERT_TRUE((*builder)->Add("b", "1", false).ok());
+  EXPECT_TRUE((*builder)->Add("a", "2", false).IsInvalidArgument());
+  EXPECT_TRUE((*builder)->Add("b", "3", false).IsInvalidArgument());
+}
+
+TEST_F(SstableTest, ScanReturnsAllInOrder) {
+  BuildTable(257);  // not a multiple of the index interval
+  auto table = Table::Open(path_);
+  ASSERT_TRUE(table.ok());
+  std::vector<TableEntry> entries;
+  ASSERT_TRUE((*table)->Scan(&entries).ok());
+  ASSERT_EQ(entries.size(), 257u);
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LT(entries[i - 1].key, entries[i].key);
+  }
+}
+
+TEST_F(SstableTest, MinMaxKeysExposed) {
+  BuildTable(50);
+  auto table = Table::Open(path_);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->min_key(), "key0000");
+  EXPECT_EQ((*table)->max_key(), "key0049");
+}
+
+TEST_F(SstableTest, BloomFilterSkipsAbsentKeys) {
+  Options options;
+  options.sstable_bloom_fp = 0.01;
+  BuildTable(1000, options);
+  auto table = Table::Open(path_);
+  ASSERT_TRUE(table.ok());
+  int definite_absent = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if ((*table)->DefinitelyAbsent("nothere" + std::to_string(i))) {
+      ++definite_absent;
+    }
+  }
+  EXPECT_GT(definite_absent, 950);  // ~99% pruned
+  // Never claims a present key absent.
+  EXPECT_FALSE((*table)->DefinitelyAbsent("key0123"));
+}
+
+TEST_F(SstableTest, NoBloomMode) {
+  Options options;
+  options.sstable_bloom_fp = 0.0;
+  BuildTable(10, options);
+  auto table = Table::Open(path_);
+  ASSERT_TRUE(table.ok());
+  EXPECT_FALSE((*table)->DefinitelyAbsent("anything"));
+  std::string value;
+  auto state = (*table)->Get("key0005", &value);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, Table::LookupState::kFound);
+}
+
+TEST_F(SstableTest, CorruptFooterDetected) {
+  BuildTable(10);
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(path_, &contents).ok());
+  contents[contents.size() - 1] ^= 0xff;  // clobber magic
+  ASSERT_TRUE(WriteStringToFileSync(path_, contents).ok());
+  EXPECT_TRUE(Table::Open(path_).status().IsCorruption());
+}
+
+TEST_F(SstableTest, TruncatedFileDetected) {
+  BuildTable(10);
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(path_, &contents).ok());
+  ASSERT_TRUE(WriteStringToFileSync(path_, contents.substr(0, 10)).ok());
+  EXPECT_TRUE(Table::Open(path_).status().IsCorruption());
+}
+
+TEST_F(SstableTest, EmptyTableIsServable) {
+  auto builder = TableBuilder::Open(path_, Options());
+  ASSERT_TRUE(builder.ok());
+  ASSERT_TRUE((*builder)->Finish().ok());
+  auto table = Table::Open(path_);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_entries(), 0u);
+  std::string value;
+  auto state = (*table)->Get("x", &value);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, Table::LookupState::kAbsent);
+}
+
+class IndexIntervalSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(IndexIntervalSweep, LookupsWorkAtEveryStride) {
+  const std::string dir = ::testing::TempDir() + "/sst_stride_" +
+                          std::to_string(GetParam());
+  ASSERT_TRUE(RemoveDirRecursively(dir).ok());
+  ASSERT_TRUE(CreateDirIfMissing(dir).ok());
+  const std::string path = dir + "/t.sst";
+  Options options;
+  options.index_interval = GetParam();
+  auto builder = TableBuilder::Open(path, options);
+  ASSERT_TRUE(builder.ok());
+  char key[16];
+  for (int i = 0; i < 100; ++i) {
+    std::snprintf(key, sizeof(key), "k%03d", i);
+    ASSERT_TRUE((*builder)->Add(key, std::to_string(i), false).ok());
+  }
+  ASSERT_TRUE((*builder)->Finish().ok());
+  auto table = Table::Open(path);
+  ASSERT_TRUE(table.ok());
+  std::string value;
+  for (int i = 0; i < 100; ++i) {
+    std::snprintf(key, sizeof(key), "k%03d", i);
+    auto state = (*table)->Get(key, &value);
+    ASSERT_TRUE(state.ok());
+    EXPECT_EQ(*state, Table::LookupState::kFound)
+        << key << " stride " << GetParam();
+    EXPECT_EQ(value, std::to_string(i));
+  }
+  (void)RemoveDirRecursively(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, IndexIntervalSweep,
+                         ::testing::Values(1, 2, 7, 16, 64, 1000));
+
+}  // namespace
+}  // namespace sketchlink::kv

@@ -1,0 +1,138 @@
+#include "kv/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "kv/env.h"
+
+namespace sketchlink::kv {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/wal_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ASSERT_TRUE(RemoveDirRecursively(dir_).ok());
+    ASSERT_TRUE(CreateDirIfMissing(dir_).ok());
+    path_ = dir_ + "/wal.log";
+  }
+  void TearDown() override { (void)RemoveDirRecursively(dir_); }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(WalTest, RoundTripPutsAndDeletes) {
+  {
+    auto writer = WalWriter::Open(path_, false);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->AppendPut("alpha", "1").ok());
+    ASSERT_TRUE((*writer)->AppendDelete("beta").ok());
+    ASSERT_TRUE((*writer)->AppendPut("gamma", std::string(1000, 'g')).ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  auto records = ReadWal(path_);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[0].op, WalRecord::Op::kPut);
+  EXPECT_EQ((*records)[0].key, "alpha");
+  EXPECT_EQ((*records)[0].value, "1");
+  EXPECT_EQ((*records)[1].op, WalRecord::Op::kDelete);
+  EXPECT_EQ((*records)[1].key, "beta");
+  EXPECT_TRUE((*records)[1].value.empty());
+  EXPECT_EQ((*records)[2].value.size(), 1000u);
+}
+
+TEST_F(WalTest, EmptyLogYieldsNoRecords) {
+  {
+    auto writer = WalWriter::Open(path_, false);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  auto records = ReadWal(path_);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+TEST_F(WalTest, TornTailIsRecoveredGracefully) {
+  {
+    auto writer = WalWriter::Open(path_, false);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->AppendPut("intact", "yes").ok());
+    ASSERT_TRUE((*writer)->AppendPut("torn", "lost").ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  // Chop bytes off the tail: simulates a crash mid-append.
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(path_, &contents).ok());
+  contents.resize(contents.size() - 5);
+  ASSERT_TRUE(WriteStringToFileSync(path_, contents).ok());
+
+  auto records = ReadWal(path_);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].key, "intact");
+}
+
+TEST_F(WalTest, MidFileCorruptionIsReported) {
+  {
+    auto writer = WalWriter::Open(path_, false);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->AppendPut("first", "1").ok());
+    ASSERT_TRUE((*writer)->AppendPut("second", "2").ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(path_, &contents).ok());
+  // Flip a payload byte inside the first record (skip 4-byte crc + 1-byte
+  // length varint).
+  contents[6] ^= 0x40;
+  ASSERT_TRUE(WriteStringToFileSync(path_, contents).ok());
+  EXPECT_TRUE(ReadWal(path_).status().IsCorruption());
+}
+
+TEST_F(WalTest, SyncEachRecordModeWorks) {
+  auto writer = WalWriter::Open(path_, true);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendPut("durable", "v").ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+  auto records = ReadWal(path_);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 1u);
+}
+
+TEST_F(WalTest, EmptyKeysAndValuesSurvive) {
+  {
+    auto writer = WalWriter::Open(path_, false);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->AppendPut("", "").ok());
+    ASSERT_TRUE((*writer)->AppendDelete("").ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  auto records = ReadWal(path_);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].key, "");
+  EXPECT_EQ((*records)[0].op, WalRecord::Op::kPut);
+  EXPECT_EQ((*records)[1].op, WalRecord::Op::kDelete);
+}
+
+TEST_F(WalTest, BinaryKeysSurvive) {
+  std::string binary_key("\x00\x01\xff\x7f", 4);
+  {
+    auto writer = WalWriter::Open(path_, false);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->AppendPut(binary_key, std::string("\0v\0", 3)).ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  auto records = ReadWal(path_);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].key, binary_key);
+  EXPECT_EQ((*records)[0].value.size(), 3u);
+}
+
+}  // namespace
+}  // namespace sketchlink::kv

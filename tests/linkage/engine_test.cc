@@ -1,0 +1,144 @@
+// LinkageEngine-level tests: phase timing, report plumbing, and engine
+// behaviour around edge cases (empty data sets, unseen queries, repeated
+// builds).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "blocking/presets.h"
+#include "datagen/generators.h"
+#include "linkage/engine.h"
+#include "linkage/sketch_matchers.h"
+
+namespace sketchlink {
+namespace {
+
+using datagen::DatasetKind;
+
+datagen::Workload SmallWorkload() {
+  datagen::WorkloadSpec spec;
+  spec.kind = DatasetKind::kNcvr;
+  spec.num_entities = 50;
+  spec.copies_per_entity = 4;
+  spec.seed = 31337;
+  return datagen::MakeWorkload(spec);
+}
+
+TEST(EngineTest, ReportFieldsArePopulated) {
+  const datagen::Workload workload = SmallWorkload();
+  auto blocker = MakeStandardBlocker(DatasetKind::kNcvr);
+  const RecordSimilarity similarity(MatchFieldsFor(DatasetKind::kNcvr));
+  RecordStore store;
+  BlockSketchMatcher matcher(BlockSketchOptions(), similarity, &store);
+  LinkageEngine engine(blocker.get(), &matcher, similarity);
+
+  ASSERT_TRUE(engine.BuildIndex(workload.a).ok());
+  const GroundTruth truth(workload.a);
+  auto report = engine.ResolveAll(workload.q, truth);
+  ASSERT_TRUE(report.ok());
+
+  EXPECT_EQ(report->method, "BlockSketch");
+  EXPECT_EQ(report->blocking, "standard");
+  EXPECT_GE(report->blocking_seconds, 0.0);
+  EXPECT_GT(report->matching_seconds, 0.0);
+  EXPECT_NEAR(report->avg_query_seconds,
+              report->matching_seconds / workload.q.size(), 1e-12);
+  EXPECT_GT(report->comparisons, 0u);
+  EXPECT_GT(report->matcher_memory_bytes, 0u);
+  EXPECT_GT(report->quality.true_pairs, 0u);
+}
+
+TEST(EngineTest, EmptyQuerySetYieldsEmptyReport) {
+  const datagen::Workload workload = SmallWorkload();
+  auto blocker = MakeStandardBlocker(DatasetKind::kNcvr);
+  const RecordSimilarity similarity(MatchFieldsFor(DatasetKind::kNcvr));
+  RecordStore store;
+  BlockSketchMatcher matcher(BlockSketchOptions(), similarity, &store);
+  LinkageEngine engine(blocker.get(), &matcher, similarity);
+  ASSERT_TRUE(engine.BuildIndex(workload.a).ok());
+
+  Dataset empty_q(workload.q.schema());
+  const GroundTruth truth(workload.a);
+  auto report = engine.ResolveAll(empty_q, truth);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->quality.true_pairs, 0u);
+  EXPECT_EQ(report->quality.reported_pairs, 0u);
+  EXPECT_DOUBLE_EQ(report->avg_query_seconds, 0.0);
+}
+
+TEST(EngineTest, EmptyIndexResolvesToNothing) {
+  auto blocker = MakeStandardBlocker(DatasetKind::kNcvr);
+  const RecordSimilarity similarity(MatchFieldsFor(DatasetKind::kNcvr));
+  RecordStore store;
+  BlockSketchMatcher matcher(BlockSketchOptions(), similarity, &store);
+  LinkageEngine engine(blocker.get(), &matcher, similarity);
+
+  Record query;
+  query.id = 1;
+  query.fields = {"JAMES", "JOHNSON", "1 MAIN ST", "RALEIGH"};
+  auto matches = engine.ResolveOne(query);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_TRUE(matches->empty());
+}
+
+TEST(EngineTest, IncrementalBuildsAccumulate) {
+  const datagen::Workload workload = SmallWorkload();
+  auto blocker = MakeStandardBlocker(DatasetKind::kNcvr);
+  const RecordSimilarity similarity(MatchFieldsFor(DatasetKind::kNcvr));
+  RecordStore store;
+  BlockSketchMatcher matcher(BlockSketchOptions(), similarity, &store);
+  LinkageEngine engine(blocker.get(), &matcher, similarity);
+
+  // Feed A in two halves; resolution must see both.
+  Dataset first_half(workload.a.schema());
+  Dataset second_half(workload.a.schema());
+  for (size_t i = 0; i < workload.a.size(); ++i) {
+    (i % 2 == 0 ? first_half : second_half).Add(workload.a[i]);
+  }
+  ASSERT_TRUE(engine.BuildIndex(first_half).ok());
+  const double after_first = engine.blocking_seconds();
+  ASSERT_TRUE(engine.BuildIndex(second_half).ok());
+  EXPECT_GE(engine.blocking_seconds(), after_first);
+
+  const GroundTruth truth(workload.a);
+  auto report = engine.ResolveAll(workload.q, truth);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->quality.correct_pairs, 0u);
+}
+
+TEST(EngineTest, VerifiedModeIsSubsetOfSubBlockMode) {
+  // kVerified filters the sub-block result by the similarity threshold, so
+  // per query its result set is a subset and precision can only rise.
+  const datagen::Workload workload = SmallWorkload();
+  auto blocker = MakeStandardBlocker(DatasetKind::kNcvr);
+  const RecordSimilarity similarity(MatchFieldsFor(DatasetKind::kNcvr),
+                                    0.75);
+  const GroundTruth truth(workload.a);
+
+  RecordStore store_raw;
+  BlockSketchMatcher raw(BlockSketchOptions(), similarity, &store_raw,
+                         ResolveMode::kSubBlock);
+  LinkageEngine engine_raw(blocker.get(), &raw, similarity);
+  ASSERT_TRUE(engine_raw.BuildIndex(workload.a).ok());
+  auto raw_report = engine_raw.ResolveAll(workload.q, truth);
+  ASSERT_TRUE(raw_report.ok());
+
+  RecordStore store_verified;
+  BlockSketchMatcher verified(BlockSketchOptions(), similarity,
+                              &store_verified, ResolveMode::kVerified);
+  LinkageEngine engine_verified(blocker.get(), &verified, similarity);
+  ASSERT_TRUE(engine_verified.BuildIndex(workload.a).ok());
+  auto verified_report = engine_verified.ResolveAll(workload.q, truth);
+  ASSERT_TRUE(verified_report.ok());
+
+  EXPECT_LE(verified_report->quality.reported_pairs,
+            raw_report->quality.reported_pairs);
+  EXPECT_GE(verified_report->quality.precision,
+            raw_report->quality.precision - 1e-9);
+  EXPECT_LE(verified_report->quality.recall,
+            raw_report->quality.recall + 1e-9);
+}
+
+}  // namespace
+}  // namespace sketchlink

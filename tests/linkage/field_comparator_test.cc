@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "linkage/similarity.h"
+
+namespace sketchlink {
+namespace {
+
+Record MakeRecord(std::vector<std::string> fields) {
+  Record record;
+  record.id = 1;
+  record.fields = std::move(fields);
+  return record;
+}
+
+TEST(FieldComparatorTest, ExactComparator) {
+  EXPECT_DOUBLE_EQ(
+      CompareFieldValues(FieldComparatorKind::kExact, "SAME", "SAME"), 1.0);
+  EXPECT_DOUBLE_EQ(
+      CompareFieldValues(FieldComparatorKind::kExact, "SAME", "SAMe"), 0.0);
+}
+
+TEST(FieldComparatorTest, NumericComparator) {
+  EXPECT_DOUBLE_EQ(
+      CompareFieldValues(FieldComparatorKind::kNumeric, "100", "100"), 1.0);
+  EXPECT_NEAR(
+      CompareFieldValues(FieldComparatorKind::kNumeric, "100", "90"), 0.9,
+      1e-9);
+  EXPECT_DOUBLE_EQ(
+      CompareFieldValues(FieldComparatorKind::kNumeric, "100", "0"), 0.0);
+  // Hugely different magnitudes floor near zero (1 - 999/1000).
+  EXPECT_NEAR(
+      CompareFieldValues(FieldComparatorKind::kNumeric, "1", "1000"), 0.001,
+      1e-9);
+  EXPECT_DOUBLE_EQ(
+      CompareFieldValues(FieldComparatorKind::kNumeric, "0", "1000"), 0.0);
+  // Decimal values.
+  EXPECT_NEAR(
+      CompareFieldValues(FieldComparatorKind::kNumeric, "4.5", "4.05"), 0.9,
+      1e-9);
+}
+
+TEST(FieldComparatorTest, NumericFallsBackToJaroWinkler) {
+  // Non-numeric content: behaves like the JW comparator.
+  EXPECT_DOUBLE_EQ(
+      CompareFieldValues(FieldComparatorKind::kNumeric, "ABC", "ABC"), 1.0);
+  EXPECT_GT(
+      CompareFieldValues(FieldComparatorKind::kNumeric, "JOHNSON", "JOHNSN"),
+      0.9);
+}
+
+TEST(FieldComparatorTest, MongeElkanForgivesTokenOrder) {
+  EXPECT_DOUBLE_EQ(CompareFieldValues(FieldComparatorKind::kMongeElkan,
+                                      "JOHNSON JAMES", "JAMES JOHNSON"),
+                   1.0);
+}
+
+TEST(FieldComparatorTest, SmithWatermanIgnoresFlanks) {
+  EXPECT_DOUBLE_EQ(CompareFieldValues(FieldComparatorKind::kSmithWaterman,
+                                      "DR JOHN SMITH MD", "JOHN SMITH"),
+                   1.0);
+}
+
+TEST(TypedSimilarityTest, WeightedMixture) {
+  // Field 0: exact id-like code, weight 2; field 1: JW name, weight 1.
+  RecordSimilarity similarity(
+      {FieldSpec{0, FieldComparatorKind::kExact, 2.0},
+       FieldSpec{1, FieldComparatorKind::kJaroWinkler, 1.0}},
+      0.75);
+  const Record a = MakeRecord({"CODE1", "JOHNSON"});
+  const Record same_code = MakeRecord({"CODE1", "XXXXXXX"});
+  const Record diff_code = MakeRecord({"CODE2", "JOHNSON"});
+  // Exact code dominates via its weight.
+  EXPECT_GT(similarity.Similarity(a, same_code), 0.6);
+  // JW contributes only a third of the mass.
+  EXPECT_LT(similarity.Similarity(a, diff_code), 0.75);
+}
+
+TEST(TypedSimilarityTest, NumericFieldFixesJwOnDigits) {
+  // Plain-JW scoring of numeric lab results is deceptively high; the typed
+  // comparator is not fooled.
+  RecordSimilarity jw({0, 1}, 0.75);
+  RecordSimilarity typed({FieldSpec{0, FieldComparatorKind::kJaroWinkler},
+                          FieldSpec{1, FieldComparatorKind::kNumeric}},
+                         0.75);
+  const Record a = MakeRecord({"ALBUMIN", "151.72"});
+  const Record b = MakeRecord({"ALBUMIN", "165.04"});
+  EXPECT_GT(jw.Similarity(a, b), 0.80);       // JW is fooled
+  EXPECT_LT(typed.Similarity(a, b), 0.99);    // numeric difference counted
+  EXPECT_GT(typed.Similarity(a, b), 0.85);    // ...but values ARE close
+  const Record c = MakeRecord({"ALBUMIN", "15.72"});
+  EXPECT_LT(typed.Similarity(a, c), 0.6);     // order-of-magnitude error
+}
+
+TEST(TypedSimilarityTest, IndexListConstructorMatchesLegacyBehaviour) {
+  RecordSimilarity legacy({0, 1}, 0.75);
+  RecordSimilarity typed({FieldSpec{0}, FieldSpec{1}}, 0.75);
+  const Record a = MakeRecord({"JAMES", "JOHNSON"});
+  const Record b = MakeRecord({"JAMS", "JOHNSONN"});
+  EXPECT_DOUBLE_EQ(legacy.Similarity(a, b), typed.Similarity(a, b));
+  EXPECT_EQ(legacy.match_fields(), typed.match_fields());
+}
+
+TEST(TypedSimilarityTest, ZeroWeightsYieldZero) {
+  RecordSimilarity similarity(
+      {FieldSpec{0, FieldComparatorKind::kExact, 0.0}}, 0.5);
+  const Record a = MakeRecord({"X"});
+  EXPECT_DOUBLE_EQ(similarity.Similarity(a, a), 0.0);
+}
+
+}  // namespace
+}  // namespace sketchlink

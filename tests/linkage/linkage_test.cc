@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "kv/env.h"
+#include "linkage/metrics.h"
+#include "linkage/record_store.h"
+#include "linkage/similarity.h"
+
+namespace sketchlink {
+namespace {
+
+Record MakeRecord(RecordId id, uint64_t entity,
+                  std::vector<std::string> fields) {
+  Record record;
+  record.id = id;
+  record.entity_id = entity;
+  record.fields = std::move(fields);
+  return record;
+}
+
+TEST(RecordSimilarityTest, IdenticalRecordsScoreOne) {
+  RecordSimilarity similarity({0, 1});
+  const Record a = MakeRecord(1, 1, {"JAMES", "JOHNSON"});
+  EXPECT_DOUBLE_EQ(similarity.Similarity(a, a), 1.0);
+  EXPECT_TRUE(similarity.Matches(a, a));
+}
+
+TEST(RecordSimilarityTest, AveragesAcrossFields) {
+  RecordSimilarity similarity({0, 1}, 0.75);
+  const Record a = MakeRecord(1, 1, {"JAMES", "JOHNSON"});
+  const Record b = MakeRecord(2, 2, {"JAMES", "XXXXXXX"});
+  const double sim = similarity.Similarity(a, b);
+  EXPECT_GT(sim, 0.4);
+  EXPECT_LT(sim, 0.75);
+  EXPECT_FALSE(similarity.Matches(a, b));
+}
+
+TEST(RecordSimilarityTest, NormalizesBeforeComparing) {
+  RecordSimilarity similarity({0});
+  const Record a = MakeRecord(1, 1, {"  james  "});
+  const Record b = MakeRecord(2, 2, {"JAMES"});
+  EXPECT_DOUBLE_EQ(similarity.Similarity(a, b), 1.0);
+}
+
+TEST(RecordSimilarityTest, MissingFieldsTreatedAsEmpty) {
+  RecordSimilarity similarity({0, 3});
+  const Record a = MakeRecord(1, 1, {"JAMES"});
+  const Record b = MakeRecord(2, 2, {"JAMES"});
+  // Field 3 absent on both: Jaro("", "") = 1.
+  EXPECT_DOUBLE_EQ(similarity.Similarity(a, b), 1.0);
+}
+
+TEST(RecordSimilarityTest, KeyValuesJoinsNormalizedFields) {
+  RecordSimilarity similarity({0, 1});
+  const Record a = MakeRecord(1, 1, {" james ", "o'brien"});
+  EXPECT_EQ(similarity.KeyValues(a), "JAMES#O'BRIEN");
+}
+
+TEST(RecordSimilarityTest, PerturbedRecordStaysAboveThreshold) {
+  RecordSimilarity similarity({0, 1, 2, 3}, 0.75);
+  const Record a =
+      MakeRecord(1, 1, {"JAMES", "JOHNSON", "100 MAIN ST", "RALEIGH"});
+  const Record b =
+      MakeRecord(2, 1, {"JAMS", "JOHNSONN", "100 MIAN ST", "RALEIGH"});
+  EXPECT_TRUE(similarity.Matches(a, b));
+}
+
+TEST(RecordStoreTest, InMemoryPutGet) {
+  RecordStore store;
+  ASSERT_TRUE(store.Put(MakeRecord(7, 1, {"X"})).ok());
+  auto record = store.Get(7);
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->fields[0], "X");
+  EXPECT_TRUE(store.Get(8).status().IsNotFound());
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(RecordStoreTest, OverwriteKeepsLatest) {
+  RecordStore store;
+  ASSERT_TRUE(store.Put(MakeRecord(1, 1, {"OLD"})).ok());
+  ASSERT_TRUE(store.Put(MakeRecord(1, 1, {"NEW"})).ok());
+  auto record = store.Get(1);
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->fields[0], "NEW");
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(RecordStoreTest, KvBackedWritesThrough) {
+  const std::string dir = ::testing::TempDir() + "/record_store_kv";
+  ASSERT_TRUE(kv::RemoveDirRecursively(dir).ok());
+  auto db = kv::Db::Open(dir);
+  ASSERT_TRUE(db.ok());
+  {
+    RecordStore store(db->get());
+    ASSERT_TRUE(store.Put(MakeRecord(3, 1, {"DURABLE"})).ok());
+  }
+  // A fresh store over the same DB sees the record (cache empty -> KV read).
+  RecordStore fresh(db->get());
+  auto record = fresh.Get(3);
+  ASSERT_TRUE(record.ok()) << record.status().ToString();
+  EXPECT_EQ(record->fields[0], "DURABLE");
+  db->reset();
+  (void)kv::RemoveDirRecursively(dir);
+}
+
+TEST(GroundTruthTest, EntityLookupAndCounts) {
+  Dataset dataset;
+  dataset.Add(MakeRecord(1, 100, {}));
+  dataset.Add(MakeRecord(2, 100, {}));
+  dataset.Add(MakeRecord(3, 200, {}));
+  GroundTruth truth(dataset);
+  EXPECT_EQ(truth.EntityOf(1), 100u);
+  EXPECT_EQ(truth.EntityOf(99), 0u);
+  EXPECT_EQ(truth.EntityCount(100), 2u);
+  EXPECT_EQ(truth.EntityCount(999), 0u);
+  EXPECT_EQ(truth.num_records(), 3u);
+}
+
+TEST(QualityScorerTest, PerfectResult) {
+  Dataset dataset;
+  dataset.Add(MakeRecord(1, 100, {}));
+  dataset.Add(MakeRecord(2, 100, {}));
+  GroundTruth truth(dataset);
+  QualityScorer scorer(&truth);
+  scorer.AddQueryResult(MakeRecord(50, 100, {}), {1, 2});
+  const QualityMetrics metrics = scorer.Finalize();
+  EXPECT_EQ(metrics.true_pairs, 2u);
+  EXPECT_EQ(metrics.reported_pairs, 2u);
+  EXPECT_EQ(metrics.correct_pairs, 2u);
+  EXPECT_DOUBLE_EQ(metrics.recall, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.precision, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.f1, 1.0);
+}
+
+TEST(QualityScorerTest, FalsePositivesHurtPrecisionOnly) {
+  Dataset dataset;
+  dataset.Add(MakeRecord(1, 100, {}));
+  dataset.Add(MakeRecord(2, 200, {}));
+  GroundTruth truth(dataset);
+  QualityScorer scorer(&truth);
+  scorer.AddQueryResult(MakeRecord(50, 100, {}), {1, 2});  // 2 is wrong
+  const QualityMetrics metrics = scorer.Finalize();
+  EXPECT_DOUBLE_EQ(metrics.recall, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.precision, 0.5);
+}
+
+TEST(QualityScorerTest, MissesHurtRecallOnly) {
+  Dataset dataset;
+  dataset.Add(MakeRecord(1, 100, {}));
+  dataset.Add(MakeRecord(2, 100, {}));
+  GroundTruth truth(dataset);
+  QualityScorer scorer(&truth);
+  scorer.AddQueryResult(MakeRecord(50, 100, {}), {1});
+  const QualityMetrics metrics = scorer.Finalize();
+  EXPECT_DOUBLE_EQ(metrics.recall, 0.5);
+  EXPECT_DOUBLE_EQ(metrics.precision, 1.0);
+}
+
+TEST(QualityScorerTest, EmptyResultsGiveZeroRates) {
+  Dataset dataset;
+  dataset.Add(MakeRecord(1, 100, {}));
+  GroundTruth truth(dataset);
+  QualityScorer scorer(&truth);
+  scorer.AddQueryResult(MakeRecord(50, 100, {}), {});
+  const QualityMetrics metrics = scorer.Finalize();
+  EXPECT_DOUBLE_EQ(metrics.recall, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.precision, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.f1, 0.0);
+}
+
+TEST(QualityScorerTest, AccumulatesAcrossQueries) {
+  Dataset dataset;
+  dataset.Add(MakeRecord(1, 100, {}));
+  dataset.Add(MakeRecord(2, 200, {}));
+  GroundTruth truth(dataset);
+  QualityScorer scorer(&truth);
+  scorer.AddQueryResult(MakeRecord(50, 100, {}), {1});
+  scorer.AddQueryResult(MakeRecord(51, 200, {}), {2});
+  const QualityMetrics metrics = scorer.Finalize();
+  EXPECT_EQ(metrics.true_pairs, 2u);
+  EXPECT_EQ(metrics.correct_pairs, 2u);
+  EXPECT_DOUBLE_EQ(metrics.f1, 1.0);
+}
+
+}  // namespace
+}  // namespace sketchlink

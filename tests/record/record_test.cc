@@ -1,0 +1,142 @@
+#include "record/record.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "kv/env.h"
+
+namespace sketchlink {
+namespace {
+
+Record MakeRecord(RecordId id, uint64_t entity,
+                  std::vector<std::string> fields) {
+  Record record;
+  record.id = id;
+  record.entity_id = entity;
+  record.fields = std::move(fields);
+  return record;
+}
+
+TEST(RecordTest, EncodeDecodeRoundTrip) {
+  const Record original = MakeRecord(42, 7, {"JOHN", "SMITH", "1970"});
+  std::string encoded;
+  original.EncodeTo(&encoded);
+  std::string_view input(encoded);
+  auto decoded = Record::DecodeFrom(&input);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(input.empty());
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST(RecordTest, EncodeDecodeEmptyFields) {
+  const Record original = MakeRecord(1, 1, {"", "", ""});
+  std::string encoded;
+  original.EncodeTo(&encoded);
+  std::string_view input(encoded);
+  auto decoded = Record::DecodeFrom(&input);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->fields.size(), 3u);
+}
+
+TEST(RecordTest, DecodeTruncatedFails) {
+  const Record original = MakeRecord(42, 7, {"FIELD"});
+  std::string encoded;
+  original.EncodeTo(&encoded);
+  encoded.resize(encoded.size() - 2);
+  std::string_view input(encoded);
+  EXPECT_TRUE(Record::DecodeFrom(&input).status().IsCorruption());
+}
+
+TEST(RecordTest, MultipleRecordsInOneBuffer) {
+  std::string buffer;
+  MakeRecord(1, 1, {"A"}).EncodeTo(&buffer);
+  MakeRecord(2, 2, {"B", "C"}).EncodeTo(&buffer);
+  std::string_view input(buffer);
+  auto first = Record::DecodeFrom(&input);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->id, 1u);
+  auto second = Record::DecodeFrom(&input);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->fields.size(), 2u);
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(SchemaTest, FieldIndexLookup) {
+  Schema schema({"given", "surname", "town"});
+  EXPECT_EQ(schema.num_fields(), 3u);
+  EXPECT_EQ(schema.FieldIndex("surname"), 1);
+  EXPECT_EQ(schema.FieldIndex("missing"), -1);
+}
+
+TEST(DatasetTest, AddAndAccess) {
+  Dataset dataset(Schema({"f1"}));
+  dataset.Add(MakeRecord(1, 1, {"a"}));
+  dataset.Add(MakeRecord(2, 1, {"b"}));
+  EXPECT_EQ(dataset.size(), 2u);
+  EXPECT_EQ(dataset[1].fields[0], "b");
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/csv_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".csv";
+    (void)kv::RemoveFile(path_);
+  }
+  void TearDown() override { (void)kv::RemoveFile(path_); }
+  std::string path_;
+};
+
+TEST_F(CsvTest, WriteReadRoundTrip) {
+  Dataset dataset(Schema({"name", "town"}));
+  dataset.Add(MakeRecord(1, 10, {"JAMES", "RALEIGH"}));
+  dataset.Add(MakeRecord(2, 20, {"MARY", "DURHAM"}));
+  ASSERT_TRUE(dataset.WriteCsv(path_).ok());
+
+  auto loaded = Dataset::ReadCsv(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->schema().field_names(),
+            (std::vector<std::string>{"name", "town"}));
+  EXPECT_EQ((*loaded)[0].id, 1u);
+  EXPECT_EQ((*loaded)[0].entity_id, 10u);
+  EXPECT_EQ((*loaded)[1].fields[1], "DURHAM");
+}
+
+TEST_F(CsvTest, QuotingRoundTrip) {
+  Dataset dataset(Schema({"tricky"}));
+  dataset.Add(MakeRecord(1, 1, {"comma, inside"}));
+  dataset.Add(MakeRecord(2, 2, {"quote \" inside"}));
+  ASSERT_TRUE(dataset.WriteCsv(path_).ok());
+  auto loaded = Dataset::ReadCsv(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)[0].fields[0], "comma, inside");
+  EXPECT_EQ((*loaded)[1].fields[0], "quote \" inside");
+}
+
+TEST_F(CsvTest, RejectsBadHeader) {
+  ASSERT_TRUE(kv::WriteStringToFileSync(path_, "foo,bar\n1,2\n").ok());
+  EXPECT_TRUE(Dataset::ReadCsv(path_).status().IsCorruption());
+}
+
+TEST_F(CsvTest, RejectsWidthMismatch) {
+  ASSERT_TRUE(kv::WriteStringToFileSync(
+                  path_, "id,entity_id,name\n1,1,a,EXTRA\n")
+                  .ok());
+  EXPECT_TRUE(Dataset::ReadCsv(path_).status().IsCorruption());
+}
+
+TEST_F(CsvTest, MissingFileIsIOError) {
+  EXPECT_FALSE(Dataset::ReadCsv("/nonexistent/nope.csv").ok());
+}
+
+TEST(RecordTest, MemoryUsageGrowsWithFieldSize) {
+  const Record small = MakeRecord(1, 1, {"a"});
+  const Record large = MakeRecord(1, 1, {std::string(1000, 'x')});
+  EXPECT_GT(large.ApproximateMemoryUsage(), small.ApproximateMemoryUsage());
+}
+
+}  // namespace
+}  // namespace sketchlink

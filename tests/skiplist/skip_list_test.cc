@@ -1,0 +1,179 @@
+#include "skiplist/skip_list.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace sketchlink {
+namespace {
+
+using StringList = SkipList<std::string, int>;
+
+TEST(SkipListTest, EmptyList) {
+  StringList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.Find("x"), nullptr);
+  EXPECT_EQ(list.First(), nullptr);
+  EXPECT_EQ(list.FindLessOrEqual("x"), nullptr);
+  EXPECT_FALSE(list.NewIterator().Valid());
+}
+
+TEST(SkipListTest, InsertAndFind) {
+  StringList list;
+  list.InsertOrAssign("b", 2);
+  list.InsertOrAssign("a", 1);
+  list.InsertOrAssign("c", 3);
+  EXPECT_EQ(list.size(), 3u);
+  ASSERT_NE(list.Find("a"), nullptr);
+  EXPECT_EQ(list.Find("a")->value, 1);
+  EXPECT_EQ(list.Find("b")->value, 2);
+  EXPECT_EQ(list.Find("c")->value, 3);
+  EXPECT_EQ(list.Find("d"), nullptr);
+}
+
+TEST(SkipListTest, InsertOrAssignOverwrites) {
+  StringList list;
+  list.InsertOrAssign("k", 1);
+  list.InsertOrAssign("k", 2);
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.Find("k")->value, 2);
+}
+
+TEST(SkipListTest, IterationIsSorted) {
+  StringList list(7);
+  const std::vector<std::string> keys = {"delta", "alpha", "echo", "bravo",
+                                         "charlie"};
+  for (size_t i = 0; i < keys.size(); ++i) {
+    list.InsertOrAssign(keys[i], static_cast<int>(i));
+  }
+  std::vector<std::string> seen;
+  for (auto it = list.NewIterator(); it.Valid(); it.Next()) {
+    seen.push_back(it.key());
+  }
+  std::vector<std::string> expected = keys;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(SkipListTest, FindLessOrEqualSemantics) {
+  StringList list;
+  for (const char* key : {"b", "d", "f"}) list.InsertOrAssign(key, 0);
+  EXPECT_EQ(list.FindLessOrEqual("a"), nullptr);  // before first
+  ASSERT_NE(list.FindLessOrEqual("b"), nullptr);
+  EXPECT_EQ(list.FindLessOrEqual("b")->key, "b");  // exact
+  EXPECT_EQ(list.FindLessOrEqual("c")->key, "b");  // between
+  EXPECT_EQ(list.FindLessOrEqual("e")->key, "d");
+  EXPECT_EQ(list.FindLessOrEqual("z")->key, "f");  // after last
+}
+
+TEST(SkipListTest, IteratorSeek) {
+  StringList list;
+  for (const char* key : {"apple", "banana", "cherry"}) {
+    list.InsertOrAssign(key, 0);
+  }
+  auto it = list.NewIterator();
+  it.Seek("b");
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), "banana");
+  it.Seek("cherry");
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), "cherry");
+  it.Seek("zzz");
+  EXPECT_FALSE(it.Valid());
+  it.SeekToFirst();
+  EXPECT_EQ(it.key(), "apple");
+}
+
+TEST(SkipListTest, ClearEmptiesAndReuses) {
+  StringList list;
+  for (int i = 0; i < 100; ++i) list.InsertOrAssign(std::to_string(i), i);
+  list.Clear();
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.Find("5"), nullptr);
+  list.InsertOrAssign("again", 1);
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_NE(list.Find("again"), nullptr);
+}
+
+TEST(SkipListTest, RandomizedAgainstStdMap) {
+  SkipList<std::string, uint64_t> list(13);
+  std::map<std::string, uint64_t> reference;
+  Rng rng(13);
+  for (int op = 0; op < 20000; ++op) {
+    const std::string key = "k" + std::to_string(rng.UniformUint64(3000));
+    const uint64_t value = rng.NextUint64();
+    list.InsertOrAssign(key, value);
+    reference[key] = value;
+  }
+  EXPECT_EQ(list.size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    auto* node = list.Find(key);
+    ASSERT_NE(node, nullptr) << key;
+    EXPECT_EQ(node->value, value);
+  }
+  // Ordered iteration must agree with std::map exactly.
+  auto it = list.NewIterator();
+  for (const auto& [key, value] : reference) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key(), key);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(SkipListTest, RandomizedFindLessOrEqualAgainstStdMap) {
+  SkipList<std::string, int> list(17);
+  std::map<std::string, int> reference;
+  Rng rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    const std::string key = "k" + std::to_string(rng.UniformUint64(5000));
+    list.InsertOrAssign(key, 0);
+    reference[key] = 0;
+  }
+  for (int probe = 0; probe < 5000; ++probe) {
+    const std::string key = "k" + std::to_string(rng.UniformUint64(6000));
+    auto* node = list.FindLessOrEqual(key);
+    auto it = reference.upper_bound(key);
+    if (it == reference.begin()) {
+      EXPECT_EQ(node, nullptr) << key;
+    } else {
+      --it;
+      ASSERT_NE(node, nullptr) << key;
+      EXPECT_EQ(node->key, it->first) << key;
+    }
+  }
+}
+
+TEST(SkipListTest, HeightGrowsLogarithmically) {
+  StringList list(23);
+  for (int i = 0; i < 10000; ++i) list.InsertOrAssign(std::to_string(i), i);
+  // With p = 1/2, expected height ~ log2(10000) ~ 13.3; allow generous slack.
+  EXPECT_GE(list.height(), 8);
+  EXPECT_LE(list.height(), 20);
+}
+
+TEST(SkipListTest, IntegerKeysWork) {
+  SkipList<int, std::string> list;
+  list.InsertOrAssign(5, "five");
+  list.InsertOrAssign(1, "one");
+  list.InsertOrAssign(9, "nine");
+  EXPECT_EQ(list.FindLessOrEqual(7)->value, "five");
+  EXPECT_EQ(list.FindLessOrEqual(9)->value, "nine");
+  EXPECT_EQ(list.FindLessOrEqual(0), nullptr);
+}
+
+TEST(SkipListTest, MemoryGrowsWithNodes) {
+  StringList list;
+  const size_t empty_bytes = list.ApproximateNodeMemory();
+  for (int i = 0; i < 1000; ++i) list.InsertOrAssign(std::to_string(i), i);
+  EXPECT_GT(list.ApproximateNodeMemory(), empty_bytes + 1000 * sizeof(void*));
+}
+
+}  // namespace
+}  // namespace sketchlink

@@ -1,0 +1,97 @@
+#include "text/jaro.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+
+namespace sketchlink::text {
+namespace {
+
+TEST(JaroTest, IdenticalStrings) {
+  EXPECT_DOUBLE_EQ(Jaro("MARTHA", "MARTHA"), 1.0);
+  EXPECT_DOUBLE_EQ(Jaro("", ""), 1.0);
+}
+
+TEST(JaroTest, CompletelyDifferent) {
+  EXPECT_DOUBLE_EQ(Jaro("ABC", "XYZ"), 0.0);
+}
+
+TEST(JaroTest, EmptyVersusNonEmpty) {
+  EXPECT_DOUBLE_EQ(Jaro("", "ABC"), 0.0);
+  EXPECT_DOUBLE_EQ(Jaro("ABC", ""), 0.0);
+}
+
+TEST(JaroTest, ClassicTextbookValues) {
+  // Winkler's canonical examples.
+  EXPECT_NEAR(Jaro("MARTHA", "MARHTA"), 0.944444, 1e-5);
+  EXPECT_NEAR(Jaro("DIXON", "DICKSONX"), 0.766667, 1e-5);
+  EXPECT_NEAR(Jaro("DWAYNE", "DUANE"), 0.822222, 1e-5);
+}
+
+TEST(JaroWinklerTest, ClassicTextbookValues) {
+  EXPECT_NEAR(JaroWinkler("MARTHA", "MARHTA"), 0.961111, 1e-5);
+  EXPECT_NEAR(JaroWinkler("DIXON", "DICKSONX"), 0.813333, 1e-5);
+  EXPECT_NEAR(JaroWinkler("DWAYNE", "DUANE"), 0.840000, 1e-5);
+}
+
+TEST(JaroWinklerTest, PrefixBoostNeverHurts) {
+  Rng rng(55);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string a, b;
+    for (size_t i = 0, n = 1 + rng.UniformUint64(10); i < n; ++i) {
+      a.push_back(static_cast<char>('a' + rng.UniformUint64(6)));
+    }
+    for (size_t i = 0, n = 1 + rng.UniformUint64(10); i < n; ++i) {
+      b.push_back(static_cast<char>('a' + rng.UniformUint64(6)));
+    }
+    EXPECT_GE(JaroWinkler(a, b) + 1e-12, Jaro(a, b)) << a << " vs " << b;
+  }
+}
+
+TEST(JaroWinklerTest, SymmetricOnRandomInputs) {
+  Rng rng(57);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string a, b;
+    for (size_t i = 0, n = rng.UniformUint64(12); i < n; ++i) {
+      a.push_back(static_cast<char>('a' + rng.UniformUint64(5)));
+    }
+    for (size_t i = 0, n = rng.UniformUint64(12); i < n; ++i) {
+      b.push_back(static_cast<char>('a' + rng.UniformUint64(5)));
+    }
+    EXPECT_NEAR(JaroWinkler(a, b), JaroWinkler(b, a), 1e-12);
+  }
+}
+
+TEST(JaroWinklerTest, BoundedInUnitInterval) {
+  Rng rng(59);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string a, b;
+    for (size_t i = 0, n = rng.UniformUint64(15); i < n; ++i) {
+      a.push_back(static_cast<char>('a' + rng.UniformUint64(26)));
+    }
+    for (size_t i = 0, n = rng.UniformUint64(15); i < n; ++i) {
+      b.push_back(static_cast<char>('a' + rng.UniformUint64(26)));
+    }
+    const double sim = JaroWinkler(a, b);
+    EXPECT_GE(sim, 0.0);
+    EXPECT_LE(sim, 1.0);
+  }
+}
+
+TEST(JaroWinklerDistanceTest, ComplementOfSimilarity) {
+  EXPECT_DOUBLE_EQ(JaroWinklerDistance("SAME", "SAME"), 0.0);
+  EXPECT_NEAR(JaroWinklerDistance("MARTHA", "MARHTA"), 1.0 - 0.961111, 1e-5);
+}
+
+TEST(JaroWinklerTest, TypoStaysAboveMatchThreshold) {
+  // The paper's matching threshold is 0.75; small perturbations of realistic
+  // names must stay above it or the whole pipeline would find nothing.
+  EXPECT_GT(JaroWinkler("JOHNSON", "JOHNSN"), 0.75);
+  EXPECT_GT(JaroWinkler("WILLIAMS", "WILIAMS"), 0.75);
+  EXPECT_GT(JaroWinkler("RODRIGUEZ", "RODRIGEUZ"), 0.75);
+}
+
+}  // namespace
+}  // namespace sketchlink::text

@@ -1,0 +1,72 @@
+#include "text/monge_elkan.h"
+
+#include <gtest/gtest.h>
+
+#include "text/jaro.h"
+
+namespace sketchlink::text {
+namespace {
+
+TEST(MongeElkanTest, IdenticalStrings) {
+  EXPECT_DOUBLE_EQ(MongeElkanJaroWinkler("JAMES JOHNSON", "JAMES JOHNSON"),
+                   1.0);
+  EXPECT_DOUBLE_EQ(MongeElkanJaroWinkler("", ""), 1.0);
+}
+
+TEST(MongeElkanTest, EmptyVsNonEmpty) {
+  EXPECT_DOUBLE_EQ(MongeElkanJaroWinkler("", "JAMES"), 0.0);
+  EXPECT_DOUBLE_EQ(MongeElkanJaroWinkler("JAMES", ""), 0.0);
+}
+
+TEST(MongeElkanTest, TokenReorderingIsForgiven) {
+  // The property plain Jaro-Winkler lacks: swapped name order.
+  const double me = MongeElkanJaroWinkler("JOHNSON JAMES", "JAMES JOHNSON");
+  const double jw = JaroWinkler("JOHNSON JAMES", "JAMES JOHNSON");
+  EXPECT_DOUBLE_EQ(me, 1.0);
+  EXPECT_LT(jw, 1.0);
+}
+
+TEST(MongeElkanTest, PartialTokenOverlap) {
+  // One shared token of two: score ~ (1.0 + weak) / 2.
+  const double sim = MongeElkanJaroWinkler("JAMES JOHNSON", "JAMES XQZWV");
+  EXPECT_GT(sim, 0.5);
+  EXPECT_LT(sim, 0.9);
+}
+
+TEST(MongeElkanTest, AsymmetryAndSymmetricVariant) {
+  const TokenSimilarityFn inner = [](std::string_view a, std::string_view b) {
+    return JaroWinkler(a, b);
+  };
+  // "A" vs "A B": every token of the left has a perfect partner (score 1);
+  // the reverse direction averages in the unmatched token.
+  const double left = MongeElkan("JAMES", "JAMES JOHNSON", inner);
+  const double right = MongeElkan("JAMES JOHNSON", "JAMES", inner);
+  EXPECT_DOUBLE_EQ(left, 1.0);
+  EXPECT_LT(right, 1.0);
+  EXPECT_DOUBLE_EQ(SymmetricMongeElkan("JAMES", "JAMES JOHNSON", inner),
+                   1.0);
+}
+
+TEST(MongeElkanTest, WhitespaceHandling) {
+  EXPECT_DOUBLE_EQ(MongeElkanJaroWinkler("  JAMES   JOHNSON  ",
+                                         "JAMES JOHNSON"),
+                   1.0);
+}
+
+TEST(MongeElkanTest, TypoToleranceThroughInnerSimilarity) {
+  const double sim =
+      MongeElkanJaroWinkler("JAMES JOHNSON RALEIGH", "JAMES JOHNSN RALEIGH");
+  EXPECT_GT(sim, 0.9);
+}
+
+TEST(MongeElkanTest, CustomInnerSimilarity) {
+  // Exact-match inner: ME degenerates to token-overlap fraction.
+  const TokenSimilarityFn exact = [](std::string_view a, std::string_view b) {
+    return a == b ? 1.0 : 0.0;
+  };
+  EXPECT_DOUBLE_EQ(MongeElkan("A B C D", "A C", exact), 0.5);
+  EXPECT_DOUBLE_EQ(MongeElkan("A C", "A B C D", exact), 1.0);
+}
+
+}  // namespace
+}  // namespace sketchlink::text

@@ -1,0 +1,56 @@
+#include "text/normalize.h"
+
+#include <gtest/gtest.h>
+
+namespace sketchlink::text {
+namespace {
+
+TEST(NormalizeTest, UpperAndLower) {
+  EXPECT_EQ(ToUpperAscii("Hello World"), "HELLO WORLD");
+  EXPECT_EQ(ToLowerAscii("Hello World"), "hello world");
+  EXPECT_EQ(ToUpperAscii(""), "");
+}
+
+TEST(NormalizeTest, Trim) {
+  EXPECT_EQ(Trim("  abc  "), "abc");
+  EXPECT_EQ(Trim("abc"), "abc");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("\t a b \n"), "a b");
+}
+
+TEST(NormalizeFieldTest, UppercasesAndCollapsesWhitespace) {
+  EXPECT_EQ(NormalizeField("  john   smith "), "JOHN SMITH");
+}
+
+TEST(NormalizeFieldTest, DropsNoiseCharacters) {
+  EXPECT_EQ(NormalizeField("O'Brien, Jr."), "O'BRIEN JR");
+  EXPECT_EQ(NormalizeField("smith-jones"), "SMITH-JONES");
+  EXPECT_EQ(NormalizeField("a\tb"), "A B");
+  EXPECT_EQ(NormalizeField("@#$%"), "");
+}
+
+TEST(NormalizeFieldTest, KeepsDigits) {
+  EXPECT_EQ(NormalizeField("123 Main St."), "123 MAIN ST");
+}
+
+TEST(PrefixTest, ClampsToLength) {
+  EXPECT_EQ(Prefix("JOHNSON", 3), "JOH");
+  EXPECT_EQ(Prefix("AB", 10), "AB");
+  EXPECT_EQ(Prefix("", 5), "");
+}
+
+TEST(FractionPrefixTest, HalfTakesCeiling) {
+  EXPECT_EQ(FractionPrefix("JOHNSON", 0.5), "JOHN");  // ceil(3.5) = 4
+  EXPECT_EQ(FractionPrefix("ABCD", 0.5), "AB");
+  EXPECT_EQ(FractionPrefix("A", 0.5), "A");  // at least one char
+}
+
+TEST(FractionPrefixTest, BoundaryFractions) {
+  EXPECT_EQ(FractionPrefix("ABCD", 1.0), "ABCD");
+  EXPECT_EQ(FractionPrefix("ABCD", 0.0), "");
+  EXPECT_EQ(FractionPrefix("", 0.5), "");
+}
+
+}  // namespace
+}  // namespace sketchlink::text

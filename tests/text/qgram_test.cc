@@ -1,0 +1,86 @@
+#include "text/qgram.h"
+
+#include <gtest/gtest.h>
+
+namespace sketchlink::text {
+namespace {
+
+TEST(QGramTest, PaddedBigramsOfShortString) {
+  const auto grams = QGrams("AB", 2, /*pad=*/true);
+  // #A, AB, B$
+  ASSERT_EQ(grams.size(), 3u);
+  EXPECT_EQ(grams[0], "#A");
+  EXPECT_EQ(grams[1], "AB");
+  EXPECT_EQ(grams[2], "B$");
+}
+
+TEST(QGramTest, UnpaddedGrams) {
+  const auto grams = QGrams("ABCD", 2, /*pad=*/false);
+  ASSERT_EQ(grams.size(), 3u);
+  EXPECT_EQ(grams[0], "AB");
+  EXPECT_EQ(grams[2], "CD");
+}
+
+TEST(QGramTest, EmptyStringPadded) {
+  const auto grams = QGrams("", 2, /*pad=*/true);
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_EQ(grams[0], "#$");
+}
+
+TEST(QGramTest, EmptyStringUnpadded) {
+  EXPECT_TRUE(QGrams("", 2, /*pad=*/false).empty());
+}
+
+TEST(QGramTest, ZeroQYieldsNothing) {
+  EXPECT_TRUE(QGrams("abc", 0).empty());
+}
+
+TEST(QGramTest, TrigramCount) {
+  // padded length = 3-1 + 5 + 3-1 = 9 -> 7 grams
+  EXPECT_EQ(QGrams("SMITH", 3, true).size(), 7u);
+}
+
+TEST(QGramDiceTest, IdenticalStrings) {
+  EXPECT_DOUBLE_EQ(QGramDice("SMITH", "SMITH"), 1.0);
+  EXPECT_DOUBLE_EQ(QGramDice("", ""), 1.0);
+}
+
+TEST(QGramDiceTest, DisjointStrings) {
+  EXPECT_DOUBLE_EQ(QGramDice("AAAA", "BBBB"), 0.0);
+}
+
+TEST(QGramDiceTest, SimilarStringsScoreHigh) {
+  EXPECT_GT(QGramDice("JOHNSON", "JOHNSN"), 0.7);
+  EXPECT_LT(QGramDice("JOHNSON", "WILLIAMS"), 0.3);
+}
+
+TEST(QGramDiceTest, MultisetSemantics) {
+  // Repeated grams must not be double counted on one side only.
+  const double sim = QGramDice("AAA", "A");
+  EXPECT_GT(sim, 0.0);
+  EXPECT_LT(sim, 1.0);
+}
+
+TEST(QGramJaccardTest, BasicProperties) {
+  EXPECT_DOUBLE_EQ(QGramJaccard("SMITH", "SMITH"), 1.0);
+  EXPECT_DOUBLE_EQ(QGramJaccard("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(QGramJaccard("AAAA", "BBBB"), 0.0);
+  const double j = QGramJaccard("JOHNSON", "JOHNSTON");
+  EXPECT_GT(j, 0.4);
+  EXPECT_LT(j, 1.0);
+}
+
+TEST(QGramJaccardTest, NeverExceedsDice) {
+  // Jaccard <= Dice for any pair (J = D / (2 - D)).
+  const char* pairs[][2] = {{"JOHNSON", "JOHNSTON"},
+                            {"SMITH", "SMYTHE"},
+                            {"ABC", "ABD"},
+                            {"HELLO", "WORLD"}};
+  for (const auto& pair : pairs) {
+    EXPECT_LE(QGramJaccard(pair[0], pair[1]),
+              QGramDice(pair[0], pair[1]) + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace sketchlink::text

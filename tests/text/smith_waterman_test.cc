@@ -1,0 +1,70 @@
+#include "text/smith_waterman.h"
+
+#include <gtest/gtest.h>
+
+#include "text/jaro.h"
+
+namespace sketchlink::text {
+namespace {
+
+TEST(SmithWatermanTest, IdenticalStringsScoreFullMatch) {
+  EXPECT_EQ(SmithWaterman("JOHNSON", "JOHNSON"), 14);  // 7 * match(2)
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("JOHNSON", "JOHNSON"), 1.0);
+}
+
+TEST(SmithWatermanTest, EmptyInputs) {
+  EXPECT_EQ(SmithWaterman("", "ABC"), 0);
+  EXPECT_EQ(SmithWaterman("ABC", ""), 0);
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("", "ABC"), 0.0);
+}
+
+TEST(SmithWatermanTest, DisjointAlphabetsScoreAtMostOneMismatchChain) {
+  EXPECT_EQ(SmithWaterman("AAAA", "BBBB"), 0);
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("AAAA", "BBBB"), 0.0);
+}
+
+TEST(SmithWatermanTest, LocalAlignmentIgnoresFlankingJunk) {
+  // The local property: embedded exact substring scores as if alone.
+  const double embedded =
+      SmithWatermanSimilarity("DR JOHN SMITH MD PHD", "JOHN SMITH");
+  EXPECT_DOUBLE_EQ(embedded, 1.0);
+  // Jaro-Winkler punishes the same pair heavily.
+  EXPECT_LT(JaroWinkler("DR JOHN SMITH MD PHD", "JOHN SMITH"), 0.9);
+}
+
+TEST(SmithWatermanTest, SymmetricScore) {
+  EXPECT_EQ(SmithWaterman("KITTEN", "SITTING"),
+            SmithWaterman("SITTING", "KITTEN"));
+}
+
+TEST(SmithWatermanTest, TypoCostsOneAlignmentStep) {
+  const int clean = SmithWaterman("JOHNSON", "JOHNSON");
+  const int typo = SmithWaterman("JOHNSON", "JOHNSSON");  // insertion
+  EXPECT_LT(typo, clean + 1);
+  EXPECT_GE(typo, clean - 3);
+  EXPECT_GT(SmithWatermanSimilarity("JOHNSON", "JOHNSSON"), 0.8);
+}
+
+TEST(SmithWatermanTest, CustomScores) {
+  SwScores harsh;
+  harsh.match = 1;
+  harsh.mismatch = -10;
+  harsh.gap = -10;
+  // Longest common substring semantics under harsh penalties.
+  EXPECT_EQ(SmithWaterman("ABCXXDEF", "ABCYYDEF", harsh), 3);  // "ABC"/"DEF"
+}
+
+TEST(SmithWatermanTest, SimilarityBounded) {
+  const char* samples[] = {"A", "AB", "JOHN", "JOHNSON", "XQZW", ""};
+  for (const char* a : samples) {
+    for (const char* b : samples) {
+      const double sim = SmithWatermanSimilarity(a, b);
+      EXPECT_GE(sim, 0.0) << a << "/" << b;
+      EXPECT_LE(sim, 1.0) << a << "/" << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sketchlink::text

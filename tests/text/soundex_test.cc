@@ -1,0 +1,44 @@
+#include "text/soundex.h"
+
+#include <gtest/gtest.h>
+
+namespace sketchlink::text {
+namespace {
+
+TEST(SoundexTest, ClassicCodes) {
+  EXPECT_EQ(Soundex("ROBERT"), "R163");
+  EXPECT_EQ(Soundex("RUPERT"), "R163");
+  EXPECT_EQ(Soundex("ASHCRAFT"), "A261");  // H is transparent
+  EXPECT_EQ(Soundex("ASHCROFT"), "A261");
+  EXPECT_EQ(Soundex("TYMCZAK"), "T522");
+  EXPECT_EQ(Soundex("PFISTER"), "P236");
+  EXPECT_EQ(Soundex("HONEYMAN"), "H555");
+}
+
+TEST(SoundexTest, CaseInsensitive) {
+  EXPECT_EQ(Soundex("robert"), Soundex("ROBERT"));
+  EXPECT_EQ(Soundex("RoBeRt"), "R163");
+}
+
+TEST(SoundexTest, IgnoresNonAlpha) {
+  EXPECT_EQ(Soundex("O'Brien"), Soundex("OBRIEN"));
+  EXPECT_EQ(Soundex("SMITH-JONES"), Soundex("SMITHJONES"));
+}
+
+TEST(SoundexTest, EmptyAndNonAlphaInputs) {
+  EXPECT_EQ(Soundex(""), "0000");
+  EXPECT_EQ(Soundex("123"), "0000");
+}
+
+TEST(SoundexTest, PadsShortCodes) {
+  EXPECT_EQ(Soundex("A"), "A000");
+  EXPECT_EQ(Soundex("LEE"), "L000");
+}
+
+TEST(SoundexTest, SpellingVariantsCollide) {
+  EXPECT_EQ(Soundex("SMITH"), Soundex("SMYTH"));
+  EXPECT_EQ(Soundex("JOHNSON"), Soundex("JONSON"));
+}
+
+}  // namespace
+}  // namespace sketchlink::text

@@ -1,0 +1,58 @@
+# End-to-end smoke test of sketchlink_cli, run by ctest:
+#   generate -> synopsis x2 -> overlap -> link
+# Fails on any non-zero exit or missing expected output.
+
+if(NOT DEFINED CLI)
+  message(FATAL_ERROR "pass -DCLI=<path to sketchlink_cli>")
+endif()
+
+set(WORK "${CMAKE_CURRENT_BINARY_DIR}/cli_test_scratch")
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+
+function(run_cli)
+  execute_process(COMMAND "${CLI}" ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "sketchlink_cli ${ARGN} failed (${rc}): ${out}${err}")
+  endif()
+  set(LAST_OUTPUT "${out}" PARENT_SCOPE)
+endfunction()
+
+run_cli(generate --kind=ncvr --entities=200 --copies=6
+        --q=${WORK}/q.csv --a=${WORK}/a.csv --seed=7)
+if(NOT EXISTS "${WORK}/q.csv" OR NOT EXISTS "${WORK}/a.csv")
+  message(FATAL_ERROR "generate did not write the CSV files")
+endif()
+
+run_cli(synopsis --in=${WORK}/a.csv --out=${WORK}/a.sketch --kind=ncvr)
+run_cli(synopsis --in=${WORK}/q.csv --out=${WORK}/q.sketch --kind=ncvr)
+
+run_cli(overlap --a=${WORK}/a.sketch --b=${WORK}/q.sketch)
+if(NOT LAST_OUTPUT MATCHES "overlap coefficient")
+  message(FATAL_ERROR "overlap output missing coefficient: ${LAST_OUTPUT}")
+endif()
+
+run_cli(link --a=${WORK}/a.csv --q=${WORK}/q.csv --kind=ncvr
+        --method=blocksketch --blocking=standard)
+if(NOT LAST_OUTPUT MATCHES "recall")
+  message(FATAL_ERROR "link output missing recall: ${LAST_OUTPUT}")
+endif()
+
+# Unknown commands and bad flags must fail loudly.
+execute_process(COMMAND "${CLI}" frobnicate RESULT_VARIABLE rc
+                OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "unknown command unexpectedly succeeded")
+endif()
+execute_process(COMMAND "${CLI}" link --a=${WORK}/missing.csv
+                --q=${WORK}/q.csv RESULT_VARIABLE rc
+                OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "link with missing input unexpectedly succeeded")
+endif()
+
+file(REMOVE_RECURSE "${WORK}")
+message(STATUS "sketchlink_cli end-to-end OK")

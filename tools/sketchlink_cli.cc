@@ -1,0 +1,254 @@
+// sketchlink command-line tool: drive the library's pipelines from the
+// shell without writing C++.
+//
+//   sketchlink_cli generate --kind=ncvr --entities=1000 --copies=10 \
+//       --q=q.csv --a=a.csv [--seed=42] [--max-ops=4]
+//   sketchlink_cli synopsis --in=a.csv --out=a.sketch [--expected-keys=N]
+//   sketchlink_cli overlap --a=a.sketch --b=b.sketch
+//   sketchlink_cli link --a=a.csv --q=q.csv --kind=ncvr
+//       [--method=blocksketch|eo|inv|naive] [--blocking=standard|lsh]
+//
+// `generate` writes a Q/A workload as CSV; `synopsis` compiles a SkipBloom
+// from a data set's blocking keys and serializes it (the artifact the
+// Fig. 3 protocol ships between custodians); `overlap` estimates the
+// overlap coefficient from two synopsis files; `link` runs a full
+// blocking+matching experiment and prints the report.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baselines/edge_ordering.h"
+#include "baselines/inv_index.h"
+#include "baselines/oracle.h"
+#include "blocking/presets.h"
+#include "core/overlap.h"
+#include "core/skip_bloom.h"
+#include "datagen/generators.h"
+#include "kv/env.h"
+#include "linkage/engine.h"
+#include "linkage/sketch_matchers.h"
+
+namespace sketchlink::cli {
+namespace {
+
+using datagen::DatasetKind;
+
+// --flag=value argument parsing into a map.
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags[arg] = "true";
+    } else {
+      flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+std::string Get(const std::map<std::string, std::string>& flags,
+                const std::string& name, const std::string& fallback = "") {
+  auto it = flags.find(name);
+  return it == flags.end() ? fallback : it->second;
+}
+
+uint64_t GetInt(const std::map<std::string, std::string>& flags,
+                const std::string& name, uint64_t fallback) {
+  auto it = flags.find(name);
+  return it == flags.end() ? fallback
+                           : std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+bool ParseKind(const std::string& name, DatasetKind* kind) {
+  if (name == "dblp") *kind = DatasetKind::kDblp;
+  else if (name == "ncvr") *kind = DatasetKind::kNcvr;
+  else if (name == "lab") *kind = DatasetKind::kLab;
+  else return false;
+  return true;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int Generate(const std::map<std::string, std::string>& flags) {
+  DatasetKind kind;
+  if (!ParseKind(Get(flags, "kind", "ncvr"), &kind)) {
+    return Fail("--kind must be dblp|ncvr|lab");
+  }
+  datagen::WorkloadSpec spec;
+  spec.kind = kind;
+  spec.num_entities = GetInt(flags, "entities", 1000);
+  spec.copies_per_entity = GetInt(flags, "copies", 10);
+  spec.max_perturb_ops = static_cast<int>(GetInt(flags, "max-ops", 4));
+  spec.seed = GetInt(flags, "seed", 42);
+  const std::string q_path = Get(flags, "q", "q.csv");
+  const std::string a_path = Get(flags, "a", "a.csv");
+
+  const datagen::Workload workload = datagen::MakeWorkload(spec);
+  Status status = workload.q.WriteCsv(q_path);
+  if (!status.ok()) return Fail(status.ToString());
+  status = workload.a.WriteCsv(a_path);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("wrote %zu query records to %s and %zu data records to %s\n",
+              workload.q.size(), q_path.c_str(), workload.a.size(),
+              a_path.c_str());
+  return 0;
+}
+
+int Synopsis(const std::map<std::string, std::string>& flags) {
+  const std::string in = Get(flags, "in");
+  const std::string out = Get(flags, "out");
+  if (in.empty() || out.empty()) return Fail("--in and --out are required");
+  auto dataset = Dataset::ReadCsv(in);
+  if (!dataset.ok()) return Fail(dataset.status().ToString());
+
+  DatasetKind kind;
+  if (!ParseKind(Get(flags, "kind", "ncvr"), &kind)) {
+    return Fail("--kind must be dblp|ncvr|lab");
+  }
+  auto blocker = MakeStandardBlocker(kind);
+
+  SkipBloomOptions options;
+  options.expected_keys =
+      GetInt(flags, "expected-keys", dataset->size());
+  SkipBloom synopsis(options);
+  for (const Record& record : dataset->records()) {
+    synopsis.Insert(blocker->Key(record));
+  }
+  std::string encoded;
+  synopsis.EncodeTo(&encoded);
+  Status status = kv::WriteStringToFileSync(out, encoded);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf(
+      "summarized %zu records (%llu distinct-ish keys sampled into %zu "
+      "blocks) into %s (%zu bytes)\n",
+      dataset->size(),
+      static_cast<unsigned long long>(synopsis.stats().sampled_keys),
+      synopsis.num_blocks(), out.c_str(), encoded.size());
+  return 0;
+}
+
+int Overlap(const std::map<std::string, std::string>& flags) {
+  const std::string path_a = Get(flags, "a");
+  const std::string path_b = Get(flags, "b");
+  if (path_a.empty() || path_b.empty()) {
+    return Fail("--a and --b synopsis files are required");
+  }
+  std::string bytes_a;
+  std::string bytes_b;
+  Status status = kv::ReadFileToString(path_a, &bytes_a);
+  if (!status.ok()) return Fail(status.ToString());
+  status = kv::ReadFileToString(path_b, &bytes_b);
+  if (!status.ok()) return Fail(status.ToString());
+
+  std::string_view view_a(bytes_a);
+  auto synopsis_a = SkipBloom::DecodeFrom(&view_a);
+  if (!synopsis_a.ok()) return Fail(synopsis_a.status().ToString());
+  std::string_view view_b(bytes_b);
+  auto synopsis_b = SkipBloom::DecodeFrom(&view_b);
+  if (!synopsis_b.ok()) return Fail(synopsis_b.status().ToString());
+
+  const OverlapEstimate estimate =
+      EstimateOverlapCoefficient(**synopsis_a, **synopsis_b);
+  std::printf(
+      "estimated overlap coefficient |A∩B|/|B| = %.4f  (%zu sampled keys, "
+      "%zu found in A)\n",
+      estimate.coefficient, estimate.sample_size, estimate.hits);
+  return 0;
+}
+
+int Link(const std::map<std::string, std::string>& flags) {
+  DatasetKind kind;
+  if (!ParseKind(Get(flags, "kind", "ncvr"), &kind)) {
+    return Fail("--kind must be dblp|ncvr|lab");
+  }
+  auto a = Dataset::ReadCsv(Get(flags, "a", "a.csv"));
+  if (!a.ok()) return Fail(a.status().ToString());
+  auto q = Dataset::ReadCsv(Get(flags, "q", "q.csv"));
+  if (!q.ok()) return Fail(q.status().ToString());
+
+  const std::string blocking = Get(flags, "blocking", "standard");
+  std::unique_ptr<Blocker> blocker;
+  if (blocking == "standard") {
+    blocker = MakeStandardBlocker(kind);
+  } else if (blocking == "lsh") {
+    blocker = MakeLshBlocker(kind);
+  } else {
+    return Fail("--blocking must be standard|lsh");
+  }
+
+  const RecordSimilarity similarity(MatchFieldsFor(kind), 0.75);
+  RecordStore store;
+  Oracle oracle;
+  std::unique_ptr<OnlineMatcher> matcher;
+  const std::string method = Get(flags, "method", "blocksketch");
+  if (method == "blocksketch") {
+    matcher = std::make_unique<BlockSketchMatcher>(BlockSketchOptions(),
+                                                   similarity, &store);
+  } else if (method == "eo") {
+    matcher = std::make_unique<EdgeOrderingMatcher>(EoOptions(), similarity,
+                                                    &store, &oracle);
+  } else if (method == "inv") {
+    matcher =
+        std::make_unique<InvIndexMatcher>(InvOptions(), similarity, &store);
+  } else if (method == "naive") {
+    matcher = std::make_unique<NaiveBlockMatcher>(similarity, &store);
+  } else {
+    return Fail("--method must be blocksketch|eo|inv|naive");
+  }
+
+  LinkageEngine engine(blocker.get(), matcher.get(), similarity);
+  Status status = engine.BuildIndex(*a);
+  if (!status.ok()) return Fail(status.ToString());
+  const GroundTruth truth(*a);
+  auto report = engine.ResolveAll(*q, truth);
+  if (!report.ok()) return Fail(report.status().ToString());
+
+  std::printf("method           %s\n", report->method.c_str());
+  std::printf("blocking         %s\n", report->blocking.c_str());
+  std::printf("blocking time    %.3f s\n", report->blocking_seconds);
+  std::printf("matching time    %.3f s (%.1f us/query)\n",
+              report->matching_seconds, report->avg_query_seconds * 1e6);
+  std::printf("comparisons      %llu\n",
+              static_cast<unsigned long long>(report->comparisons));
+  std::printf("matcher memory   %s\n",
+              FormatBytes(report->matcher_memory_bytes).c_str());
+  std::printf("recall           %.4f\n", report->quality.recall);
+  std::printf("precision        %.4f\n", report->quality.precision);
+  std::printf("f1               %.4f\n", report->quality.f1);
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: sketchlink_cli <generate|synopsis|overlap|link> "
+               "[--flag=value ...]\n(see the header of tools/sketchlink_cli"
+               ".cc for the full flag reference)\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const auto flags = ParseFlags(argc, argv, 2);
+  if (command == "generate") return Generate(flags);
+  if (command == "synopsis") return Synopsis(flags);
+  if (command == "overlap") return Overlap(flags);
+  if (command == "link") return Link(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace sketchlink::cli
+
+int main(int argc, char** argv) { return sketchlink::cli::Main(argc, argv); }
