@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_blocksketch.dir/bench_ablation_blocksketch.cc.o"
+  "CMakeFiles/bench_ablation_blocksketch.dir/bench_ablation_blocksketch.cc.o.d"
+  "bench_ablation_blocksketch"
+  "bench_ablation_blocksketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_blocksketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_pprl.dir/bench_extension_pprl.cc.o"
+  "CMakeFiles/bench_extension_pprl.dir/bench_extension_pprl.cc.o.d"
+  "bench_extension_pprl"
+  "bench_extension_pprl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_pprl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_sblocksketch.dir/bench_fig9_sblocksketch.cc.o"
+  "CMakeFiles/bench_fig9_sblocksketch.dir/bench_fig9_sblocksketch.cc.o.d"
+  "bench_fig9_sblocksketch"
+  "bench_fig9_sblocksketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_sblocksketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workload_stats.dir/bench_workload_stats.cc.o"
+  "CMakeFiles/bench_workload_stats.dir/bench_workload_stats.cc.o.d"
+  "bench_workload_stats"
+  "bench_workload_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workload_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

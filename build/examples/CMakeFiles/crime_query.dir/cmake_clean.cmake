@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crime_query.dir/crime_query.cpp.o"
+  "CMakeFiles/crime_query.dir/crime_query.cpp.o.d"
+  "crime_query"
+  "crime_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crime_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

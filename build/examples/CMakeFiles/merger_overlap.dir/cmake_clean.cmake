@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merger_overlap.dir/merger_overlap.cpp.o"
+  "CMakeFiles/merger_overlap.dir/merger_overlap.cpp.o.d"
+  "merger_overlap"
+  "merger_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merger_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_linkage.dir/private_linkage.cpp.o"
+  "CMakeFiles/private_linkage.dir/private_linkage.cpp.o.d"
+  "private_linkage"
+  "private_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

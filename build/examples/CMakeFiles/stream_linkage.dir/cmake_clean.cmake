@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_linkage.dir/stream_linkage.cpp.o"
+  "CMakeFiles/stream_linkage.dir/stream_linkage.cpp.o.d"
+  "stream_linkage"
+  "stream_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketchlink_baselines.dir/edge_ordering.cc.o"
+  "CMakeFiles/sketchlink_baselines.dir/edge_ordering.cc.o.d"
+  "CMakeFiles/sketchlink_baselines.dir/inv_index.cc.o"
+  "CMakeFiles/sketchlink_baselines.dir/inv_index.cc.o.d"
+  "libsketchlink_baselines.a"
+  "libsketchlink_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketchlink_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blocking/lsh_blocker.cc" "src/blocking/CMakeFiles/sketchlink_blocking.dir/lsh_blocker.cc.o" "gcc" "src/blocking/CMakeFiles/sketchlink_blocking.dir/lsh_blocker.cc.o.d"
+  "/root/repo/src/blocking/minhash_blocker.cc" "src/blocking/CMakeFiles/sketchlink_blocking.dir/minhash_blocker.cc.o" "gcc" "src/blocking/CMakeFiles/sketchlink_blocking.dir/minhash_blocker.cc.o.d"
+  "/root/repo/src/blocking/presets.cc" "src/blocking/CMakeFiles/sketchlink_blocking.dir/presets.cc.o" "gcc" "src/blocking/CMakeFiles/sketchlink_blocking.dir/presets.cc.o.d"
+  "/root/repo/src/blocking/sorted_neighborhood.cc" "src/blocking/CMakeFiles/sketchlink_blocking.dir/sorted_neighborhood.cc.o" "gcc" "src/blocking/CMakeFiles/sketchlink_blocking.dir/sorted_neighborhood.cc.o.d"
+  "/root/repo/src/blocking/standard_blocker.cc" "src/blocking/CMakeFiles/sketchlink_blocking.dir/standard_blocker.cc.o" "gcc" "src/blocking/CMakeFiles/sketchlink_blocking.dir/standard_blocker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sketchlink_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sketchlink_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/sketchlink_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/record/CMakeFiles/sketchlink_record.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sketchlink_datagen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketchlink_blocking.dir/lsh_blocker.cc.o"
+  "CMakeFiles/sketchlink_blocking.dir/lsh_blocker.cc.o.d"
+  "CMakeFiles/sketchlink_blocking.dir/minhash_blocker.cc.o"
+  "CMakeFiles/sketchlink_blocking.dir/minhash_blocker.cc.o.d"
+  "CMakeFiles/sketchlink_blocking.dir/presets.cc.o"
+  "CMakeFiles/sketchlink_blocking.dir/presets.cc.o.d"
+  "CMakeFiles/sketchlink_blocking.dir/sorted_neighborhood.cc.o"
+  "CMakeFiles/sketchlink_blocking.dir/sorted_neighborhood.cc.o.d"
+  "CMakeFiles/sketchlink_blocking.dir/standard_blocker.cc.o"
+  "CMakeFiles/sketchlink_blocking.dir/standard_blocker.cc.o.d"
+  "libsketchlink_blocking.a"
+  "libsketchlink_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketchlink_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bloom/annotated_bloom_filter.cc" "src/bloom/CMakeFiles/sketchlink_bloom.dir/annotated_bloom_filter.cc.o" "gcc" "src/bloom/CMakeFiles/sketchlink_bloom.dir/annotated_bloom_filter.cc.o.d"
+  "/root/repo/src/bloom/bloom_filter.cc" "src/bloom/CMakeFiles/sketchlink_bloom.dir/bloom_filter.cc.o" "gcc" "src/bloom/CMakeFiles/sketchlink_bloom.dir/bloom_filter.cc.o.d"
+  "/root/repo/src/bloom/counting_bloom_filter.cc" "src/bloom/CMakeFiles/sketchlink_bloom.dir/counting_bloom_filter.cc.o" "gcc" "src/bloom/CMakeFiles/sketchlink_bloom.dir/counting_bloom_filter.cc.o.d"
+  "/root/repo/src/bloom/record_encoder.cc" "src/bloom/CMakeFiles/sketchlink_bloom.dir/record_encoder.cc.o" "gcc" "src/bloom/CMakeFiles/sketchlink_bloom.dir/record_encoder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sketchlink_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sketchlink_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

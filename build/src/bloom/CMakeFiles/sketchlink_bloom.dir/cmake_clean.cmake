@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketchlink_bloom.dir/annotated_bloom_filter.cc.o"
+  "CMakeFiles/sketchlink_bloom.dir/annotated_bloom_filter.cc.o.d"
+  "CMakeFiles/sketchlink_bloom.dir/bloom_filter.cc.o"
+  "CMakeFiles/sketchlink_bloom.dir/bloom_filter.cc.o.d"
+  "CMakeFiles/sketchlink_bloom.dir/counting_bloom_filter.cc.o"
+  "CMakeFiles/sketchlink_bloom.dir/counting_bloom_filter.cc.o.d"
+  "CMakeFiles/sketchlink_bloom.dir/record_encoder.cc.o"
+  "CMakeFiles/sketchlink_bloom.dir/record_encoder.cc.o.d"
+  "libsketchlink_bloom.a"
+  "libsketchlink_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketchlink_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

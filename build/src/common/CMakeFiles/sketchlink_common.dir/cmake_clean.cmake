@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketchlink_common.dir/coding.cc.o"
+  "CMakeFiles/sketchlink_common.dir/coding.cc.o.d"
+  "CMakeFiles/sketchlink_common.dir/hash.cc.o"
+  "CMakeFiles/sketchlink_common.dir/hash.cc.o.d"
+  "CMakeFiles/sketchlink_common.dir/memory_tracker.cc.o"
+  "CMakeFiles/sketchlink_common.dir/memory_tracker.cc.o.d"
+  "CMakeFiles/sketchlink_common.dir/random.cc.o"
+  "CMakeFiles/sketchlink_common.dir/random.cc.o.d"
+  "CMakeFiles/sketchlink_common.dir/status.cc.o"
+  "CMakeFiles/sketchlink_common.dir/status.cc.o.d"
+  "libsketchlink_common.a"
+  "libsketchlink_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketchlink_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/block_sketch.cc" "src/core/CMakeFiles/sketchlink_core.dir/block_sketch.cc.o" "gcc" "src/core/CMakeFiles/sketchlink_core.dir/block_sketch.cc.o.d"
+  "/root/repo/src/core/overlap.cc" "src/core/CMakeFiles/sketchlink_core.dir/overlap.cc.o" "gcc" "src/core/CMakeFiles/sketchlink_core.dir/overlap.cc.o.d"
+  "/root/repo/src/core/sblock_sketch.cc" "src/core/CMakeFiles/sketchlink_core.dir/sblock_sketch.cc.o" "gcc" "src/core/CMakeFiles/sketchlink_core.dir/sblock_sketch.cc.o.d"
+  "/root/repo/src/core/skip_bloom.cc" "src/core/CMakeFiles/sketchlink_core.dir/skip_bloom.cc.o" "gcc" "src/core/CMakeFiles/sketchlink_core.dir/skip_bloom.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sketchlink_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sketchlink_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/sketchlink_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/sketchlink_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/record/CMakeFiles/sketchlink_record.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketchlink_core.dir/block_sketch.cc.o"
+  "CMakeFiles/sketchlink_core.dir/block_sketch.cc.o.d"
+  "CMakeFiles/sketchlink_core.dir/overlap.cc.o"
+  "CMakeFiles/sketchlink_core.dir/overlap.cc.o.d"
+  "CMakeFiles/sketchlink_core.dir/sblock_sketch.cc.o"
+  "CMakeFiles/sketchlink_core.dir/sblock_sketch.cc.o.d"
+  "CMakeFiles/sketchlink_core.dir/skip_bloom.cc.o"
+  "CMakeFiles/sketchlink_core.dir/skip_bloom.cc.o.d"
+  "libsketchlink_core.a"
+  "libsketchlink_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketchlink_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

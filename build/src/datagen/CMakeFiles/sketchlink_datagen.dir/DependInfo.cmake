@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/generators.cc" "src/datagen/CMakeFiles/sketchlink_datagen.dir/generators.cc.o" "gcc" "src/datagen/CMakeFiles/sketchlink_datagen.dir/generators.cc.o.d"
+  "/root/repo/src/datagen/name_pools.cc" "src/datagen/CMakeFiles/sketchlink_datagen.dir/name_pools.cc.o" "gcc" "src/datagen/CMakeFiles/sketchlink_datagen.dir/name_pools.cc.o.d"
+  "/root/repo/src/datagen/perturb.cc" "src/datagen/CMakeFiles/sketchlink_datagen.dir/perturb.cc.o" "gcc" "src/datagen/CMakeFiles/sketchlink_datagen.dir/perturb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sketchlink_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/record/CMakeFiles/sketchlink_record.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

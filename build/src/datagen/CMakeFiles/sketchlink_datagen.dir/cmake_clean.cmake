@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketchlink_datagen.dir/generators.cc.o"
+  "CMakeFiles/sketchlink_datagen.dir/generators.cc.o.d"
+  "CMakeFiles/sketchlink_datagen.dir/name_pools.cc.o"
+  "CMakeFiles/sketchlink_datagen.dir/name_pools.cc.o.d"
+  "CMakeFiles/sketchlink_datagen.dir/perturb.cc.o"
+  "CMakeFiles/sketchlink_datagen.dir/perturb.cc.o.d"
+  "libsketchlink_datagen.a"
+  "libsketchlink_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketchlink_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

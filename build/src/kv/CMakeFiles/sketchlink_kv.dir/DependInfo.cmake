@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/block_cache.cc" "src/kv/CMakeFiles/sketchlink_kv.dir/block_cache.cc.o" "gcc" "src/kv/CMakeFiles/sketchlink_kv.dir/block_cache.cc.o.d"
+  "/root/repo/src/kv/db.cc" "src/kv/CMakeFiles/sketchlink_kv.dir/db.cc.o" "gcc" "src/kv/CMakeFiles/sketchlink_kv.dir/db.cc.o.d"
+  "/root/repo/src/kv/env.cc" "src/kv/CMakeFiles/sketchlink_kv.dir/env.cc.o" "gcc" "src/kv/CMakeFiles/sketchlink_kv.dir/env.cc.o.d"
+  "/root/repo/src/kv/memtable.cc" "src/kv/CMakeFiles/sketchlink_kv.dir/memtable.cc.o" "gcc" "src/kv/CMakeFiles/sketchlink_kv.dir/memtable.cc.o.d"
+  "/root/repo/src/kv/merging_iterator.cc" "src/kv/CMakeFiles/sketchlink_kv.dir/merging_iterator.cc.o" "gcc" "src/kv/CMakeFiles/sketchlink_kv.dir/merging_iterator.cc.o.d"
+  "/root/repo/src/kv/sstable.cc" "src/kv/CMakeFiles/sketchlink_kv.dir/sstable.cc.o" "gcc" "src/kv/CMakeFiles/sketchlink_kv.dir/sstable.cc.o.d"
+  "/root/repo/src/kv/wal.cc" "src/kv/CMakeFiles/sketchlink_kv.dir/wal.cc.o" "gcc" "src/kv/CMakeFiles/sketchlink_kv.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sketchlink_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/sketchlink_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sketchlink_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

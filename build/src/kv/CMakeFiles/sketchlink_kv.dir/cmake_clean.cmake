@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketchlink_kv.dir/block_cache.cc.o"
+  "CMakeFiles/sketchlink_kv.dir/block_cache.cc.o.d"
+  "CMakeFiles/sketchlink_kv.dir/db.cc.o"
+  "CMakeFiles/sketchlink_kv.dir/db.cc.o.d"
+  "CMakeFiles/sketchlink_kv.dir/env.cc.o"
+  "CMakeFiles/sketchlink_kv.dir/env.cc.o.d"
+  "CMakeFiles/sketchlink_kv.dir/memtable.cc.o"
+  "CMakeFiles/sketchlink_kv.dir/memtable.cc.o.d"
+  "CMakeFiles/sketchlink_kv.dir/merging_iterator.cc.o"
+  "CMakeFiles/sketchlink_kv.dir/merging_iterator.cc.o.d"
+  "CMakeFiles/sketchlink_kv.dir/sstable.cc.o"
+  "CMakeFiles/sketchlink_kv.dir/sstable.cc.o.d"
+  "CMakeFiles/sketchlink_kv.dir/wal.cc.o"
+  "CMakeFiles/sketchlink_kv.dir/wal.cc.o.d"
+  "libsketchlink_kv.a"
+  "libsketchlink_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketchlink_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

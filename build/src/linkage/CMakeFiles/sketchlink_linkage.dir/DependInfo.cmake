@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linkage/engine.cc" "src/linkage/CMakeFiles/sketchlink_linkage.dir/engine.cc.o" "gcc" "src/linkage/CMakeFiles/sketchlink_linkage.dir/engine.cc.o.d"
+  "/root/repo/src/linkage/metrics.cc" "src/linkage/CMakeFiles/sketchlink_linkage.dir/metrics.cc.o" "gcc" "src/linkage/CMakeFiles/sketchlink_linkage.dir/metrics.cc.o.d"
+  "/root/repo/src/linkage/pprl_matcher.cc" "src/linkage/CMakeFiles/sketchlink_linkage.dir/pprl_matcher.cc.o" "gcc" "src/linkage/CMakeFiles/sketchlink_linkage.dir/pprl_matcher.cc.o.d"
+  "/root/repo/src/linkage/record_store.cc" "src/linkage/CMakeFiles/sketchlink_linkage.dir/record_store.cc.o" "gcc" "src/linkage/CMakeFiles/sketchlink_linkage.dir/record_store.cc.o.d"
+  "/root/repo/src/linkage/similarity.cc" "src/linkage/CMakeFiles/sketchlink_linkage.dir/similarity.cc.o" "gcc" "src/linkage/CMakeFiles/sketchlink_linkage.dir/similarity.cc.o.d"
+  "/root/repo/src/linkage/sketch_matchers.cc" "src/linkage/CMakeFiles/sketchlink_linkage.dir/sketch_matchers.cc.o" "gcc" "src/linkage/CMakeFiles/sketchlink_linkage.dir/sketch_matchers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sketchlink_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sketchlink_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/record/CMakeFiles/sketchlink_record.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocking/CMakeFiles/sketchlink_blocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sketchlink_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/sketchlink_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sketchlink_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/sketchlink_bloom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketchlink_linkage.dir/engine.cc.o"
+  "CMakeFiles/sketchlink_linkage.dir/engine.cc.o.d"
+  "CMakeFiles/sketchlink_linkage.dir/metrics.cc.o"
+  "CMakeFiles/sketchlink_linkage.dir/metrics.cc.o.d"
+  "CMakeFiles/sketchlink_linkage.dir/pprl_matcher.cc.o"
+  "CMakeFiles/sketchlink_linkage.dir/pprl_matcher.cc.o.d"
+  "CMakeFiles/sketchlink_linkage.dir/record_store.cc.o"
+  "CMakeFiles/sketchlink_linkage.dir/record_store.cc.o.d"
+  "CMakeFiles/sketchlink_linkage.dir/similarity.cc.o"
+  "CMakeFiles/sketchlink_linkage.dir/similarity.cc.o.d"
+  "CMakeFiles/sketchlink_linkage.dir/sketch_matchers.cc.o"
+  "CMakeFiles/sketchlink_linkage.dir/sketch_matchers.cc.o.d"
+  "libsketchlink_linkage.a"
+  "libsketchlink_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketchlink_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketchlink_record.dir/record.cc.o"
+  "CMakeFiles/sketchlink_record.dir/record.cc.o.d"
+  "libsketchlink_record.a"
+  "libsketchlink_record.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketchlink_record.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

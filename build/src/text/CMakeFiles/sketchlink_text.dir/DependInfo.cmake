@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/double_metaphone.cc" "src/text/CMakeFiles/sketchlink_text.dir/double_metaphone.cc.o" "gcc" "src/text/CMakeFiles/sketchlink_text.dir/double_metaphone.cc.o.d"
+  "/root/repo/src/text/edit_distance.cc" "src/text/CMakeFiles/sketchlink_text.dir/edit_distance.cc.o" "gcc" "src/text/CMakeFiles/sketchlink_text.dir/edit_distance.cc.o.d"
+  "/root/repo/src/text/jaro.cc" "src/text/CMakeFiles/sketchlink_text.dir/jaro.cc.o" "gcc" "src/text/CMakeFiles/sketchlink_text.dir/jaro.cc.o.d"
+  "/root/repo/src/text/monge_elkan.cc" "src/text/CMakeFiles/sketchlink_text.dir/monge_elkan.cc.o" "gcc" "src/text/CMakeFiles/sketchlink_text.dir/monge_elkan.cc.o.d"
+  "/root/repo/src/text/normalize.cc" "src/text/CMakeFiles/sketchlink_text.dir/normalize.cc.o" "gcc" "src/text/CMakeFiles/sketchlink_text.dir/normalize.cc.o.d"
+  "/root/repo/src/text/qgram.cc" "src/text/CMakeFiles/sketchlink_text.dir/qgram.cc.o" "gcc" "src/text/CMakeFiles/sketchlink_text.dir/qgram.cc.o.d"
+  "/root/repo/src/text/smith_waterman.cc" "src/text/CMakeFiles/sketchlink_text.dir/smith_waterman.cc.o" "gcc" "src/text/CMakeFiles/sketchlink_text.dir/smith_waterman.cc.o.d"
+  "/root/repo/src/text/soundex.cc" "src/text/CMakeFiles/sketchlink_text.dir/soundex.cc.o" "gcc" "src/text/CMakeFiles/sketchlink_text.dir/soundex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sketchlink_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

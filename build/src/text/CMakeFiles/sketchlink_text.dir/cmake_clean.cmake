@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketchlink_text.dir/double_metaphone.cc.o"
+  "CMakeFiles/sketchlink_text.dir/double_metaphone.cc.o.d"
+  "CMakeFiles/sketchlink_text.dir/edit_distance.cc.o"
+  "CMakeFiles/sketchlink_text.dir/edit_distance.cc.o.d"
+  "CMakeFiles/sketchlink_text.dir/jaro.cc.o"
+  "CMakeFiles/sketchlink_text.dir/jaro.cc.o.d"
+  "CMakeFiles/sketchlink_text.dir/monge_elkan.cc.o"
+  "CMakeFiles/sketchlink_text.dir/monge_elkan.cc.o.d"
+  "CMakeFiles/sketchlink_text.dir/normalize.cc.o"
+  "CMakeFiles/sketchlink_text.dir/normalize.cc.o.d"
+  "CMakeFiles/sketchlink_text.dir/qgram.cc.o"
+  "CMakeFiles/sketchlink_text.dir/qgram.cc.o.d"
+  "CMakeFiles/sketchlink_text.dir/smith_waterman.cc.o"
+  "CMakeFiles/sketchlink_text.dir/smith_waterman.cc.o.d"
+  "CMakeFiles/sketchlink_text.dir/soundex.cc.o"
+  "CMakeFiles/sketchlink_text.dir/soundex.cc.o.d"
+  "libsketchlink_text.a"
+  "libsketchlink_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketchlink_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("text")
+subdirs("bloom")
+subdirs("skiplist")
+subdirs("kv")
+subdirs("record")
+subdirs("datagen")
+subdirs("blocking")
+subdirs("core")
+subdirs("baselines")
+subdirs("linkage")

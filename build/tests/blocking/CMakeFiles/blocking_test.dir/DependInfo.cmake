@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/blocking/blocking_test.cc" "tests/blocking/CMakeFiles/blocking_test.dir/blocking_test.cc.o" "gcc" "tests/blocking/CMakeFiles/blocking_test.dir/blocking_test.cc.o.d"
+  "/root/repo/tests/blocking/minhash_blocker_test.cc" "tests/blocking/CMakeFiles/blocking_test.dir/minhash_blocker_test.cc.o" "gcc" "tests/blocking/CMakeFiles/blocking_test.dir/minhash_blocker_test.cc.o.d"
+  "/root/repo/tests/blocking/sorted_neighborhood_test.cc" "tests/blocking/CMakeFiles/blocking_test.dir/sorted_neighborhood_test.cc.o" "gcc" "tests/blocking/CMakeFiles/blocking_test.dir/sorted_neighborhood_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/sketchlink_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/linkage/CMakeFiles/sketchlink_linkage.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocking/CMakeFiles/sketchlink_blocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sketchlink_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sketchlink_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/sketchlink_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/sketchlink_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sketchlink_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/record/CMakeFiles/sketchlink_record.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sketchlink_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bloom_test.dir/annotated_bloom_filter_test.cc.o"
+  "CMakeFiles/bloom_test.dir/annotated_bloom_filter_test.cc.o.d"
+  "CMakeFiles/bloom_test.dir/bloom_filter_test.cc.o"
+  "CMakeFiles/bloom_test.dir/bloom_filter_test.cc.o.d"
+  "CMakeFiles/bloom_test.dir/counting_bloom_filter_test.cc.o"
+  "CMakeFiles/bloom_test.dir/counting_bloom_filter_test.cc.o.d"
+  "CMakeFiles/bloom_test.dir/record_encoder_test.cc.o"
+  "CMakeFiles/bloom_test.dir/record_encoder_test.cc.o.d"
+  "bloom_test"
+  "bloom_test.pdb"
+  "bloom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bloom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

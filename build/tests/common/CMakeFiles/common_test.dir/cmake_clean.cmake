@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test.dir/coding_test.cc.o"
+  "CMakeFiles/common_test.dir/coding_test.cc.o.d"
+  "CMakeFiles/common_test.dir/hash_test.cc.o"
+  "CMakeFiles/common_test.dir/hash_test.cc.o.d"
+  "CMakeFiles/common_test.dir/memory_tracker_test.cc.o"
+  "CMakeFiles/common_test.dir/memory_tracker_test.cc.o.d"
+  "CMakeFiles/common_test.dir/random_test.cc.o"
+  "CMakeFiles/common_test.dir/random_test.cc.o.d"
+  "CMakeFiles/common_test.dir/status_test.cc.o"
+  "CMakeFiles/common_test.dir/status_test.cc.o.d"
+  "CMakeFiles/common_test.dir/stopwatch_test.cc.o"
+  "CMakeFiles/common_test.dir/stopwatch_test.cc.o.d"
+  "common_test"
+  "common_test.pdb"
+  "common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

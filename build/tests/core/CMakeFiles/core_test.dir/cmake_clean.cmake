@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/block_sketch_test.cc.o"
+  "CMakeFiles/core_test.dir/block_sketch_test.cc.o.d"
+  "CMakeFiles/core_test.dir/overlap_test.cc.o"
+  "CMakeFiles/core_test.dir/overlap_test.cc.o.d"
+  "CMakeFiles/core_test.dir/sblock_sketch_test.cc.o"
+  "CMakeFiles/core_test.dir/sblock_sketch_test.cc.o.d"
+  "CMakeFiles/core_test.dir/sketch_policy_test.cc.o"
+  "CMakeFiles/core_test.dir/sketch_policy_test.cc.o.d"
+  "CMakeFiles/core_test.dir/skip_bloom_estimate_test.cc.o"
+  "CMakeFiles/core_test.dir/skip_bloom_estimate_test.cc.o.d"
+  "CMakeFiles/core_test.dir/skip_bloom_reference_test.cc.o"
+  "CMakeFiles/core_test.dir/skip_bloom_reference_test.cc.o.d"
+  "CMakeFiles/core_test.dir/skip_bloom_serialization_test.cc.o"
+  "CMakeFiles/core_test.dir/skip_bloom_serialization_test.cc.o.d"
+  "CMakeFiles/core_test.dir/skip_bloom_test.cc.o"
+  "CMakeFiles/core_test.dir/skip_bloom_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_test.dir/block_cache_test.cc.o"
+  "CMakeFiles/kv_test.dir/block_cache_test.cc.o.d"
+  "CMakeFiles/kv_test.dir/db_test.cc.o"
+  "CMakeFiles/kv_test.dir/db_test.cc.o.d"
+  "CMakeFiles/kv_test.dir/env_test.cc.o"
+  "CMakeFiles/kv_test.dir/env_test.cc.o.d"
+  "CMakeFiles/kv_test.dir/fault_test.cc.o"
+  "CMakeFiles/kv_test.dir/fault_test.cc.o.d"
+  "CMakeFiles/kv_test.dir/iterator_test.cc.o"
+  "CMakeFiles/kv_test.dir/iterator_test.cc.o.d"
+  "CMakeFiles/kv_test.dir/memtable_test.cc.o"
+  "CMakeFiles/kv_test.dir/memtable_test.cc.o.d"
+  "CMakeFiles/kv_test.dir/sstable_test.cc.o"
+  "CMakeFiles/kv_test.dir/sstable_test.cc.o.d"
+  "CMakeFiles/kv_test.dir/wal_test.cc.o"
+  "CMakeFiles/kv_test.dir/wal_test.cc.o.d"
+  "kv_test"
+  "kv_test.pdb"
+  "kv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

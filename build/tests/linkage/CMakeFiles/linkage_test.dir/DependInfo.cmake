@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/linkage/engine_test.cc" "tests/linkage/CMakeFiles/linkage_test.dir/engine_test.cc.o" "gcc" "tests/linkage/CMakeFiles/linkage_test.dir/engine_test.cc.o.d"
+  "/root/repo/tests/linkage/field_comparator_test.cc" "tests/linkage/CMakeFiles/linkage_test.dir/field_comparator_test.cc.o" "gcc" "tests/linkage/CMakeFiles/linkage_test.dir/field_comparator_test.cc.o.d"
+  "/root/repo/tests/linkage/integration_test.cc" "tests/linkage/CMakeFiles/linkage_test.dir/integration_test.cc.o" "gcc" "tests/linkage/CMakeFiles/linkage_test.dir/integration_test.cc.o.d"
+  "/root/repo/tests/linkage/linkage_test.cc" "tests/linkage/CMakeFiles/linkage_test.dir/linkage_test.cc.o" "gcc" "tests/linkage/CMakeFiles/linkage_test.dir/linkage_test.cc.o.d"
+  "/root/repo/tests/linkage/pprl_matcher_test.cc" "tests/linkage/CMakeFiles/linkage_test.dir/pprl_matcher_test.cc.o" "gcc" "tests/linkage/CMakeFiles/linkage_test.dir/pprl_matcher_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/sketchlink_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/linkage/CMakeFiles/sketchlink_linkage.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocking/CMakeFiles/sketchlink_blocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sketchlink_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sketchlink_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/sketchlink_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/sketchlink_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sketchlink_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/record/CMakeFiles/sketchlink_record.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sketchlink_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

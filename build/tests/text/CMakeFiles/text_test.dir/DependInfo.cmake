@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/text/double_metaphone_test.cc" "tests/text/CMakeFiles/text_test.dir/double_metaphone_test.cc.o" "gcc" "tests/text/CMakeFiles/text_test.dir/double_metaphone_test.cc.o.d"
+  "/root/repo/tests/text/edit_distance_test.cc" "tests/text/CMakeFiles/text_test.dir/edit_distance_test.cc.o" "gcc" "tests/text/CMakeFiles/text_test.dir/edit_distance_test.cc.o.d"
+  "/root/repo/tests/text/jaro_test.cc" "tests/text/CMakeFiles/text_test.dir/jaro_test.cc.o" "gcc" "tests/text/CMakeFiles/text_test.dir/jaro_test.cc.o.d"
+  "/root/repo/tests/text/monge_elkan_test.cc" "tests/text/CMakeFiles/text_test.dir/monge_elkan_test.cc.o" "gcc" "tests/text/CMakeFiles/text_test.dir/monge_elkan_test.cc.o.d"
+  "/root/repo/tests/text/normalize_test.cc" "tests/text/CMakeFiles/text_test.dir/normalize_test.cc.o" "gcc" "tests/text/CMakeFiles/text_test.dir/normalize_test.cc.o.d"
+  "/root/repo/tests/text/qgram_test.cc" "tests/text/CMakeFiles/text_test.dir/qgram_test.cc.o" "gcc" "tests/text/CMakeFiles/text_test.dir/qgram_test.cc.o.d"
+  "/root/repo/tests/text/smith_waterman_test.cc" "tests/text/CMakeFiles/text_test.dir/smith_waterman_test.cc.o" "gcc" "tests/text/CMakeFiles/text_test.dir/smith_waterman_test.cc.o.d"
+  "/root/repo/tests/text/soundex_test.cc" "tests/text/CMakeFiles/text_test.dir/soundex_test.cc.o" "gcc" "tests/text/CMakeFiles/text_test.dir/soundex_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/sketchlink_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/linkage/CMakeFiles/sketchlink_linkage.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocking/CMakeFiles/sketchlink_blocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sketchlink_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sketchlink_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/sketchlink_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/sketchlink_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sketchlink_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/record/CMakeFiles/sketchlink_record.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sketchlink_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_test.dir/double_metaphone_test.cc.o"
+  "CMakeFiles/text_test.dir/double_metaphone_test.cc.o.d"
+  "CMakeFiles/text_test.dir/edit_distance_test.cc.o"
+  "CMakeFiles/text_test.dir/edit_distance_test.cc.o.d"
+  "CMakeFiles/text_test.dir/jaro_test.cc.o"
+  "CMakeFiles/text_test.dir/jaro_test.cc.o.d"
+  "CMakeFiles/text_test.dir/monge_elkan_test.cc.o"
+  "CMakeFiles/text_test.dir/monge_elkan_test.cc.o.d"
+  "CMakeFiles/text_test.dir/normalize_test.cc.o"
+  "CMakeFiles/text_test.dir/normalize_test.cc.o.d"
+  "CMakeFiles/text_test.dir/qgram_test.cc.o"
+  "CMakeFiles/text_test.dir/qgram_test.cc.o.d"
+  "CMakeFiles/text_test.dir/smith_waterman_test.cc.o"
+  "CMakeFiles/text_test.dir/smith_waterman_test.cc.o.d"
+  "CMakeFiles/text_test.dir/soundex_test.cc.o"
+  "CMakeFiles/text_test.dir/soundex_test.cc.o.d"
+  "text_test"
+  "text_test.pdb"
+  "text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketchlink_cli.dir/sketchlink_cli.cc.o"
+  "CMakeFiles/sketchlink_cli.dir/sketchlink_cli.cc.o.d"
+  "sketchlink_cli"
+  "sketchlink_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketchlink_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
