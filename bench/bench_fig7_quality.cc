@@ -14,17 +14,20 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "quality_runner.h"
 
 namespace sketchlink::bench {
 namespace {
 
-void Run() {
+void Run(size_t threads) {
   Banner("Figure 7 — recall & precision, BlockSketch vs EO vs INV",
          "Sub-figures: (a) recall/standard, (b) recall/LSH, (c) precision/"
          "standard, (d) precision/LSH.");
+  std::printf("threads: %zu\n", threads);
 
-  const auto results = RunQualityMatrix(/*entities=*/3000, /*copies=*/12);
+  const auto results =
+      RunQualityMatrix(/*entities=*/3000, /*copies=*/12, threads);
 
   const auto print_section = [&](const char* title, const char* blocking,
                                  bool recall) {
@@ -44,12 +47,20 @@ void Run() {
   print_section("Fig. 7b  recall, LSH blocking", "lsh", true);
   print_section("Fig. 7c  precision, standard blocking", "standard", false);
   print_section("Fig. 7d  precision, LSH blocking", "lsh", false);
+
+  BenchJsonWriter json("fig7_quality", threads);
+  for (const ExperimentResult& result : results) {
+    JsonFields& row = json.AddResult();
+    row.Add("dataset", result.dataset);
+    AddReportFields(&row, result.report);
+  }
+  json.Finish();
 }
 
 }  // namespace
 }  // namespace sketchlink::bench
 
-int main() {
-  sketchlink::bench::Run();
+int main(int argc, char** argv) {
+  sketchlink::bench::Run(sketchlink::bench::ParseThreads(argc, argv));
   return 0;
 }

@@ -11,17 +11,20 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "quality_runner.h"
 
 namespace sketchlink::bench {
 namespace {
 
-void Run() {
+void Run(size_t threads) {
   Banner("Figure 8 — blocking & matching times",
          "Sub-figures: (a) blocking/standard, (b) blocking/LSH, (c) "
          "matching/standard, (d) matching/LSH.");
+  std::printf("threads: %zu\n", threads);
 
-  const auto results = RunQualityMatrix(/*entities=*/3000, /*copies=*/12);
+  const auto results =
+      RunQualityMatrix(/*entities=*/3000, /*copies=*/12, threads);
 
   const auto print_section = [&](const char* title, const char* blocking,
                                  bool blocking_phase) {
@@ -42,12 +45,20 @@ void Run() {
   print_section("Fig. 8b  blocking time, LSH", "lsh", true);
   print_section("Fig. 8c  matching time, standard", "standard", false);
   print_section("Fig. 8d  matching time, LSH", "lsh", false);
+
+  BenchJsonWriter json("fig8_blocking_matching", threads);
+  for (const ExperimentResult& result : results) {
+    JsonFields& row = json.AddResult();
+    row.Add("dataset", result.dataset);
+    AddReportFields(&row, result.report);
+  }
+  json.Finish();
 }
 
 }  // namespace
 }  // namespace sketchlink::bench
 
-int main() {
-  sketchlink::bench::Run();
+int main(int argc, char** argv) {
+  sketchlink::bench::Run(sketchlink::bench::ParseThreads(argc, argv));
   return 0;
 }

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "linkage/sketch_matchers.h"
 
@@ -27,6 +28,8 @@ constexpr size_t kMu = 400;
 
 struct RunResult {
   double seconds = 0;
+  double queries_per_second = 0;
+  uint64_t comparisons = 0;
   uint64_t evictions = 0;
   uint64_t disk_loads = 0;
   size_t blocks = 0;
@@ -34,7 +37,8 @@ struct RunResult {
 
 RunResult RunOne(const datagen::Workload& workload,
                  const RecordSimilarity& similarity, const GroundTruth& truth,
-                 const Blocker* blocker, size_t mu, const std::string& tag) {
+                 const Blocker* blocker, size_t mu, size_t threads,
+                 const std::string& tag) {
   RunResult result;
   ScratchDir scratch("fig9_" + tag);
   auto db = kv::Db::Open(scratch.path());
@@ -43,22 +47,28 @@ RunResult RunOne(const datagen::Workload& workload,
   options.mu = mu;
   RecordStore store;
   SBlockSketchMatcher matcher(options, db->get(), similarity, &store);
-  LinkageEngine engine(blocker, &matcher, similarity);
+  EngineOptions engine_options;
+  engine_options.num_threads = threads;
+  LinkageEngine engine(blocker, &matcher, similarity, engine_options);
   Stopwatch watch;
   if (!engine.BuildIndex(workload.a).ok()) return result;
   auto report = engine.ResolveAll(workload.q, truth);
   if (!report.ok()) return result;
   result.seconds = watch.ElapsedSeconds();
+  result.queries_per_second = report->queries_per_second;
+  result.comparisons = report->comparisons;
   result.evictions = matcher.sketch().stats().evictions;
   result.disk_loads = matcher.sketch().stats().disk_loads;
   result.blocks = matcher.sketch().num_live_blocks();
   return result;
 }
 
-void Run() {
+void Run(size_t threads) {
   Banner("Figure 9 — SBlockSketch vs BlockSketch running time",
          "Total time to block A and resolve Q; BlockSketch = same code with "
          "unbounded mu.");
+  std::printf("threads: %zu\n", threads);
+  BenchJsonWriter json("fig9_sblocksketch", threads);
 
   for (const char* blocking : {"standard", "lsh"}) {
     std::printf("\n--- Fig. 9%s  running time, %s blocking ---\n",
@@ -82,9 +92,25 @@ void Run() {
 
       const RunResult unbounded =
           RunOne(workload, similarity, truth, blocker.get(), SIZE_MAX,
-                 tag + "_unbounded");
-      const RunResult bounded = RunOne(workload, similarity, truth,
-                                       blocker.get(), kMu, tag + "_bounded");
+                 threads, tag + "_unbounded");
+      const RunResult bounded =
+          RunOne(workload, similarity, truth, blocker.get(), kMu, threads,
+                 tag + "_bounded");
+
+      for (const auto* variant : {"unbounded", "bounded"}) {
+        const RunResult& r =
+            std::string(variant) == "unbounded" ? unbounded : bounded;
+        JsonFields& row = json.AddResult();
+        row.Add("dataset", std::string(datagen::DatasetKindName(kind)));
+        row.Add("blocking", blocking);
+        row.Add("variant", variant);
+        row.Add("total_seconds", r.seconds);
+        row.Add("queries_per_second", r.queries_per_second);
+        row.Add("comparisons", r.comparisons);
+        row.Add("evictions", r.evictions);
+        row.Add("disk_loads", r.disk_loads);
+        row.Add("live_blocks", static_cast<uint64_t>(r.blocks));
+      }
 
       std::printf("%8s %10zu %16.3f %16.3f %9.1f%% %12llu %12llu\n",
                   std::string(datagen::DatasetKindName(kind)).c_str(),
@@ -100,12 +126,13 @@ void Run() {
       "times longer in absolute terms. The\npaper reports ~10%% overhead at "
       "its (much coarser) timescale, where each operation\nalready pays a "
       "LevelDB round trip in the baseline.\n");
+  json.Finish();
 }
 
 }  // namespace
 }  // namespace sketchlink::bench
 
-int main() {
-  sketchlink::bench::Run();
+int main(int argc, char** argv) {
+  sketchlink::bench::Run(sketchlink::bench::ParseThreads(argc, argv));
   return 0;
 }

@@ -1,0 +1,155 @@
+#ifndef SKETCHLINK_BENCH_BENCH_JSON_H_
+#define SKETCHLINK_BENCH_BENCH_JSON_H_
+
+// Machine-readable results sidecar: every bench binary writes a
+// BENCH_<name>.json next to its stdout tables, so speedup comparisons across
+// thread counts (and regressions across commits) can be scripted instead of
+// scraped. The format is flat on purpose: one object per result row with
+// whatever fields the experiment reports, plus the bench name, thread count
+// and peak RSS at the top level.
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sketchlink::bench {
+
+/// Peak resident set size of this process in bytes (VmHWM), or 0 when
+/// /proc is unavailable.
+inline uint64_t PeakRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      std::sscanf(line + 6, "%" SCNu64, &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+/// One flat JSON object built field by field (insertion order preserved).
+class JsonFields {
+ public:
+  void Add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + Escape(value) + "\"");
+  }
+  void Add(const std::string& key, const char* value) {
+    Add(key, std::string(value));
+  }
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    fields_.emplace_back(key, buf);
+  }
+  void Add(const std::string& key, uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+
+  std::string ToJson() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + Escape(fields_[i].first) + "\": " + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Accumulates result rows and writes BENCH_<name>.json into the working
+/// directory on Finish().
+class BenchJsonWriter {
+ public:
+  BenchJsonWriter(std::string bench_name, size_t threads)
+      : bench_name_(std::move(bench_name)), threads_(threads) {}
+
+  /// Starts a new result row; fill it via the returned reference.
+  JsonFields& AddResult() {
+    results_.emplace_back();
+    return results_.back();
+  }
+
+  /// Writes the file; returns false (and prints to stderr) on IO failure.
+  bool Finish() const {
+    const std::string path = "BENCH_" + bench_name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::string out = "{\n  \"bench\": \"" + bench_name_ + "\",\n";
+    out += "  \"threads\": " + std::to_string(threads_) + ",\n";
+    out += "  \"peak_rss_bytes\": " + std::to_string(PeakRssBytes()) + ",\n";
+    out += "  \"results\": [\n";
+    for (size_t i = 0; i < results_.size(); ++i) {
+      out += "    " + results_[i].ToJson();
+      if (i + 1 < results_.size()) out += ",";
+      out += "\n";
+    }
+    out += "  ]\n}\n";
+    const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+    std::fclose(f);
+    if (ok) std::printf("wrote %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  std::string bench_name_;
+  size_t threads_;
+  std::vector<JsonFields> results_;
+};
+
+/// Adds the standard per-run fields of a LinkageReport to a result row.
+template <typename Report>
+void AddReportFields(JsonFields* row, const Report& report) {
+  row->Add("method", report.method);
+  row->Add("blocking", report.blocking);
+  row->Add("threads", static_cast<uint64_t>(report.threads));
+  row->Add("blocking_seconds", report.blocking_seconds);
+  row->Add("matching_seconds", report.matching_seconds);
+  row->Add("avg_query_seconds", report.avg_query_seconds);
+  row->Add("queries_per_second", report.queries_per_second);
+  row->Add("comparisons", report.comparisons);
+  row->Add("matcher_memory_bytes",
+           static_cast<uint64_t>(report.matcher_memory_bytes));
+  row->Add("recall", report.quality.recall);
+  row->Add("precision", report.quality.precision);
+  row->Add("f1", report.quality.f1);
+}
+
+}  // namespace sketchlink::bench
+
+#endif  // SKETCHLINK_BENCH_BENCH_JSON_H_

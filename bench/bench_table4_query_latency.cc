@@ -8,16 +8,19 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "quality_runner.h"
 
 namespace sketchlink::bench {
 namespace {
 
-void Run() {
+void Run(size_t threads) {
   Banner("Table 4 — average time to resolve one query record",
          "Standard blocking; matching phase only (paper's Table 4).");
+  std::printf("threads: %zu\n", threads);
 
-  const auto results = RunQualityMatrix(/*entities=*/3000, /*copies=*/12);
+  const auto results =
+      RunQualityMatrix(/*entities=*/3000, /*copies=*/12, threads);
 
   std::printf("%8s %14s %18s\n", "dataset", "method", "avg_query_us");
   for (const ExperimentResult& result : results) {
@@ -29,12 +32,20 @@ void Run() {
   std::printf(
       "\nExpected shape: BlockSketch stable and smallest; EO roughly 2x, "
       "INV in between,\nboth varying with block size (paper Table 4).\n");
+
+  BenchJsonWriter json("table4_query_latency", threads);
+  for (const ExperimentResult& result : results) {
+    JsonFields& row = json.AddResult();
+    row.Add("dataset", result.dataset);
+    AddReportFields(&row, result.report);
+  }
+  json.Finish();
 }
 
 }  // namespace
 }  // namespace sketchlink::bench
 
-int main() {
-  sketchlink::bench::Run();
+int main(int argc, char** argv) {
+  sketchlink::bench::Run(sketchlink::bench::ParseThreads(argc, argv));
   return 0;
 }

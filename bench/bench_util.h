@@ -7,9 +7,13 @@
 // paper reports; see EXPERIMENTS.md for the scale mapping.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "common/thread_pool.h"
 
 #include "blocking/presets.h"
 #include "common/memory_tracker.h"
@@ -26,6 +30,23 @@ namespace sketchlink::bench {
 inline std::vector<datagen::DatasetKind> AllKinds() {
   return {datagen::DatasetKind::kDblp, datagen::DatasetKind::kNcvr,
           datagen::DatasetKind::kLab};
+}
+
+/// Parses `--threads N` from the command line; defaults to
+/// hardware_concurrency(); non-numeric or non-positive values fall back to
+/// the default. Match results, comparison counts and quality metrics are
+/// identical at every setting — the flag trades wall-clock only. (The
+/// bounded SBlockSketch's eviction/disk-load telemetry is the exception:
+/// concurrent queries interleave differently across stripes, like cache
+/// statistics.)
+inline size_t ParseThreads(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      const long value = std::atol(argv[i + 1]);
+      if (value > 0) return static_cast<size_t>(value);
+    }
+  }
+  return ThreadPool::DefaultThreads();
 }
 
 /// Prints a banner naming the experiment being reproduced.

@@ -32,8 +32,11 @@ struct ExperimentResult {
 // dominated by true matches; the scaled default (entities=600, copies=25)
 // preserves that copies >> cross-entity collisions regime.
 inline std::vector<ExperimentResult> RunQualityMatrix(size_t entities,
-                                                      size_t copies) {
+                                                      size_t copies,
+                                                      size_t threads = 1) {
   std::vector<ExperimentResult> results;
+  EngineOptions engine_options;
+  engine_options.num_threads = threads;
   for (datagen::DatasetKind kind : AllKinds()) {
     const datagen::Workload workload =
         MakeScaledWorkload(kind, entities, copies);
@@ -46,7 +49,7 @@ inline std::vector<ExperimentResult> RunQualityMatrix(size_t entities,
 
     const auto run = [&](const Blocker* blocker, OnlineMatcher* matcher,
                          const char* blocking_name) {
-      LinkageEngine engine(blocker, matcher, similarity);
+      LinkageEngine engine(blocker, matcher, similarity, engine_options);
       Status status = engine.BuildIndex(workload.a);
       if (!status.ok()) {
         std::fprintf(stderr, "build failed: %s\n", status.ToString().c_str());

@@ -1,0 +1,51 @@
+#ifndef SKETCHLINK_COMMON_COUNTER_H_
+#define SKETCHLINK_COMMON_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace sketchlink {
+
+/// Copyable drop-in replacement for a uint64_t statistics field that may be
+/// bumped from several threads at once (e.g. the mutable counters a const
+/// query path increments). Uses relaxed atomics: individual increments are
+/// race-free, but a snapshot of several counters is not a consistent cut —
+/// exactly the guarantee plain statistics need, at plain-integer cost on
+/// x86/ARM.
+class RelaxedCounter {
+ public:
+  RelaxedCounter(uint64_t value = 0) : value_(value) {}  // NOLINT: implicit
+
+  RelaxedCounter(const RelaxedCounter& other) : value_(other.value()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) {
+    value_.store(other.value(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(uint64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Current value (relaxed load).
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  operator uint64_t() const { return value(); }  // NOLINT: implicit
+
+  RelaxedCounter& operator++() {
+    value_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  uint64_t operator++(int) {
+    return value_.fetch_add(1, std::memory_order_relaxed);
+  }
+  RelaxedCounter& operator+=(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<uint64_t> value_;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_COMMON_COUNTER_H_

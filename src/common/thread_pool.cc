@@ -1,0 +1,118 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace sketchlink {
+
+size_t ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreads();
+  workers_.reserve(num_threads - 1);
+  for (size_t i = 0; i + 1 < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::DrainBatch(const std::shared_ptr<Batch>& batch) {
+  for (;;) {
+    const size_t shard =
+        batch->next_shard.fetch_add(1, std::memory_order_relaxed);
+    if (shard >= batch->total) return;
+    // A successful claim implies the submitter is still blocked in
+    // RunShards (it leaves only once `completed == total`, and this shard
+    // has not completed), so dereferencing `fn` is safe.
+    try {
+      (*batch->fn)(shard);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!batch->error) batch->error = std::current_exception();
+    }
+    if (batch->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        batch->total) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || batch_generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = batch_generation_;
+      batch = current_batch_;
+    }
+    if (batch != nullptr) DrainBatch(batch);
+  }
+}
+
+void ThreadPool::RunShards(size_t num_shards,
+                           const std::function<void(size_t)>& fn) {
+  if (num_shards == 0) return;
+  if (workers_.empty() || num_shards == 1) {
+    for (size_t shard = 0; shard < num_shards; ++shard) fn(shard);
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->total = num_shards;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_batch_ = batch;
+    ++batch_generation_;
+  }
+  work_cv_.notify_all();
+
+  DrainBatch(batch);
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return batch->completed.load(std::memory_order_acquire) ==
+             batch->total;
+    });
+    if (current_batch_ == batch) current_batch_ = nullptr;
+    error = batch->error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  const size_t chunks = std::min(num_threads(), n);
+  if (chunks <= 1) {
+    fn(0, n);
+    return;
+  }
+  RunShards(chunks, [&](size_t chunk) {
+    // Balanced static partition: chunk c covers [c*n/C, (c+1)*n/C).
+    const size_t begin = chunk * n / chunks;
+    const size_t end = (chunk + 1) * n / chunks;
+    if (begin < end) fn(begin, end);
+  });
+}
+
+}  // namespace sketchlink

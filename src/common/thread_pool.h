@@ -1,0 +1,86 @@
+#ifndef SKETCHLINK_COMMON_THREAD_POOL_H_
+#define SKETCHLINK_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sketchlink {
+
+/// Fixed-size worker pool driving the parallel linkage pipeline.
+///
+/// Work is always submitted as a batch of independent shards and partitioned
+/// statically: the shard boundaries depend only on the shard count, never on
+/// thread scheduling. Callers that need reproducible results therefore only
+/// have to make each *shard* deterministic; which OS thread happens to
+/// execute a shard is irrelevant. The calling thread participates in every
+/// batch, so a pool constructed with N threads applies N-way parallelism
+/// using N-1 background workers.
+///
+/// Exception-safe: the first exception thrown by a shard is captured and
+/// rethrown on the calling thread after every shard of the batch has
+/// finished (no shard is left half-running).
+class ThreadPool {
+ public:
+  /// Creates a pool applying `num_threads`-way parallelism (the calling
+  /// thread counts as one). 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Parallelism degree (background workers + the calling thread).
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs fn(shard) for every shard in [0, num_shards), blocking until all
+  /// shards completed. Shards are claimed dynamically but each runs exactly
+  /// once; the calling thread participates.
+  void RunShards(size_t num_shards, const std::function<void(size_t)>& fn);
+
+  /// Chunked parallel-for over [0, n): calls fn(begin, end) on contiguous
+  /// chunks, one chunk per thread (balanced static partition). fn(0, n) when
+  /// the pool is sequential.
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t, size_t)>& fn);
+
+  /// std::thread::hardware_concurrency() clamped to >= 1.
+  static size_t DefaultThreads();
+
+ private:
+  // One submitted batch. Heap-allocated and shared with the workers so a
+  // worker that wakes late (after the batch completed and a new one was
+  // submitted) still claims from ITS batch's exhausted counters instead of
+  // stealing shards from the new batch.
+  struct Batch {
+    const std::function<void(size_t)>* fn = nullptr;  // owned by RunShards
+    size_t total = 0;
+    std::atomic<size_t> next_shard{0};
+    std::atomic<size_t> completed{0};
+    std::exception_ptr error;  // first thrown; guarded by pool mutex_
+  };
+
+  void WorkerLoop();
+  /// Claims and runs shards of `batch` until it is exhausted.
+  void DrainBatch(const std::shared_ptr<Batch>& batch);
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers: a new batch is available
+  std::condition_variable done_cv_;  // submitter: the batch completed
+  bool shutdown_ = false;
+  uint64_t batch_generation_ = 0;          // guarded by mutex_
+  std::shared_ptr<Batch> current_batch_;   // guarded by mutex_
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_COMMON_THREAD_POOL_H_

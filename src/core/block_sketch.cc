@@ -7,6 +7,7 @@
 #include "common/coding.h"
 #include "common/memory_tracker.h"
 #include "text/jaro.h"
+#include "text/qgram.h"
 
 namespace sketchlink {
 
@@ -28,13 +29,27 @@ size_t SketchBlock::TotalMembers() const {
   return total;
 }
 
+namespace {
+
+size_t ProfileHeapBytes(const QGramProfile& profile) {
+  size_t bytes = profile.capacity() * sizeof(std::string);
+  for (const std::string& gram : profile) bytes += StringHeapBytes(gram);
+  return bytes;
+}
+
+}  // namespace
+
 size_t SketchBlock::ApproximateMemoryUsage() const {
   size_t bytes = sizeof(*this) + StringHeapBytes(anchor) +
+                 ProfileHeapBytes(anchor_profile) +
                  subs.capacity() * sizeof(SketchSubBlock);
   for (const SketchSubBlock& sub : subs) {
     bytes += sub.representatives.capacity() * sizeof(std::string);
     for (const std::string& rep : sub.representatives) {
       bytes += StringHeapBytes(rep);
+    }
+    for (const QGramProfile& profile : sub.rep_profiles) {
+      bytes += sizeof(QGramProfile) + ProfileHeapBytes(profile);
     }
     bytes += sub.members.capacity() * sizeof(RecordId);
   }
@@ -99,12 +114,70 @@ SketchPolicy::SketchPolicy(const BlockSketchOptions& options,
       distance_(std::move(distance)),
       rng_(options.seed ^ 0x7e97e9ULL) {}
 
+QGramProfile SketchPolicy::MakeProfile(std::string_view text) const {
+  QGramProfile profile = text::QGrams(text, options_.qgram);
+  std::sort(profile.begin(), profile.end());
+  return profile;
+}
+
+double SketchPolicy::ProfileDistance(const QGramProfile& a,
+                                     const QGramProfile& b) {
+  // Multiset Dice over pre-sorted profiles; mirrors text::QGramDice exactly
+  // (including its empty-string conventions) without re-tokenizing.
+  if (a.empty() && b.empty()) return 0.0;
+  if (a.empty() || b.empty()) return 1.0;
+  size_t common = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const int cmp = a[i].compare(b[j]);
+    if (cmp < 0) {
+      ++i;
+    } else if (cmp > 0) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  const double dice = 2.0 * static_cast<double>(common) /
+                      static_cast<double>(a.size() + b.size());
+  return 1.0 - dice;
+}
+
+void SketchPolicy::SeedAnchor(SketchBlock* block,
+                              std::string_view key_values) const {
+  block->anchor.assign(key_values);
+  if (UsesProfiles()) block->anchor_profile = MakeProfile(key_values);
+}
+
+void SketchPolicy::RehydrateProfiles(SketchBlock* block) const {
+  if (!UsesProfiles()) return;
+  block->anchor_profile = MakeProfile(block->anchor);
+  for (SketchSubBlock& sub : block->subs) {
+    sub.rep_profiles.clear();
+    sub.rep_profiles.reserve(sub.representatives.size());
+    for (const std::string& rep : sub.representatives) {
+      sub.rep_profiles.push_back(MakeProfile(rep));
+    }
+  }
+}
+
 size_t SketchPolicy::ChooseSubBlock(const SketchBlock& block,
                                     std::string_view key_values,
                                     uint64_t* comparisons) const {
+  const bool profiles = UsesProfiles();
+  // Under kQGramDice the query side is tokenized once per routing decision;
+  // every representative comparison then reuses the cached profiles.
+  QGramProfile query_profile;
+  if (profiles) query_profile = MakeProfile(key_values);
+
   // Distance ring of the key, measured from the block anchor (the
   // <=theta, <=2*theta, ..., <=lambda*theta bands of Sec. 5).
-  const double anchor_distance = distance_(key_values, block.anchor);
+  const double anchor_distance =
+      profiles ? ProfileDistance(query_profile, block.anchor_profile)
+               : distance_(key_values, block.anchor);
   if (comparisons != nullptr) ++*comparisons;
   const double theta = std::max(options_.theta, 1e-9);
   const size_t ring = std::min(static_cast<size_t>(anchor_distance / theta),
@@ -119,8 +192,11 @@ size_t SketchPolicy::ChooseSubBlock(const SketchBlock& block,
   size_t best = ring;
   double best_distance = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < block.subs.size(); ++i) {
-    for (const std::string& rep : block.subs[i].representatives) {
-      const double d = distance_(key_values, rep);
+    const SketchSubBlock& sub = block.subs[i];
+    for (size_t r = 0; r < sub.representatives.size(); ++r) {
+      const double d =
+          profiles ? ProfileDistance(query_profile, sub.rep_profiles[r])
+                   : distance_(key_values, sub.representatives[r]);
       if (comparisons != nullptr) ++*comparisons;
       if (d < best_distance) {
         best = i;
@@ -136,6 +212,7 @@ void SketchPolicy::MaybeAddRepresentative(SketchSubBlock* sub,
   const size_t rho = options_.rho();
   if (sub->representatives.size() < rho) {
     sub->representatives.emplace_back(key_values);
+    if (UsesProfiles()) sub->rep_profiles.push_back(MakeProfile(key_values));
     return;
   }
   if (rho == 0) return;
@@ -144,6 +221,7 @@ void SketchPolicy::MaybeAddRepresentative(SketchSubBlock* sub,
   if (rng_.CoinFlip()) {
     const size_t victim = rng_.UniformIndex(sub->representatives.size());
     sub->representatives[victim].assign(key_values);
+    if (UsesProfiles()) sub->rep_profiles[victim] = MakeProfile(key_values);
   }
 }
 
@@ -158,7 +236,7 @@ void BlockSketch::Insert(const std::string& block_key,
       blocks_.try_emplace(block_key, policy_.options().lambda);
   if (created) {
     ++stats_.blocks_created;
-    it->second.anchor.assign(key_values);
+    policy_.SeedAnchor(&it->second, key_values);
   }
   SketchBlock& block = it->second;
   const size_t sub = policy_.ChooseSubBlock(

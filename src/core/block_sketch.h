@@ -23,6 +23,23 @@ using KeyDistanceFn =
 /// Returns the library default distance (Jaro-Winkler distance).
 KeyDistanceFn DefaultKeyDistance();
 
+/// Sorted q-gram multiset of a key-value string. Cached per representative
+/// (and per block anchor) at insert time, so q-gram-based routing tokenizes
+/// each representative exactly once instead of once per query — the
+/// memoized input of the similarity hot path.
+using QGramProfile = std::vector<std::string>;
+
+/// Distance used for routing keys into sub-blocks.
+enum class KeyDistanceKind {
+  /// Jaro-Winkler distance on the raw strings (the paper's evaluation).
+  kJaroWinkler,
+  /// 1 - Dice coefficient over q-gram profiles. Profiles of representatives
+  /// are computed once at insert time and cached in the sketch; a query
+  /// tokenizes its own key values once per routing decision instead of once
+  /// per representative comparison.
+  kQGramDice,
+};
+
 /// Tuning parameters shared by BlockSketch and SBlockSketch.
 struct BlockSketchOptions {
   /// Number of sub-blocks (distance rings <=theta, <=2*theta, ...).
@@ -33,6 +50,11 @@ struct BlockSketchOptions {
   /// Ring width: the distance threshold between the keys of a matching pair.
   double theta = 0.25;
   uint64_t seed = 0x5ce7cULL;
+  /// Routing distance. kQGramDice enables the cached-profile fast path; the
+  /// default reproduces the paper's numbers.
+  KeyDistanceKind distance_kind = KeyDistanceKind::kJaroWinkler;
+  /// q-gram width of the kQGramDice profiles.
+  size_t qgram = 2;
 
   /// Representatives per sub-block (Lemma 5.1, ceiling applied).
   size_t rho() const;
@@ -42,6 +64,11 @@ struct BlockSketchOptions {
 /// plus the ids of every record routed here.
 struct SketchSubBlock {
   std::vector<std::string> representatives;
+  /// Parallel to `representatives` when the q-gram distance is active:
+  /// rep_profiles[i] is the cached profile of representatives[i]. Empty
+  /// under kJaroWinkler. Derived data — never serialized; rebuilt by
+  /// SketchPolicy::RehydrateProfiles after a block is decoded.
+  std::vector<QGramProfile> rep_profiles;
   std::vector<RecordId> members;
 };
 
@@ -52,6 +79,9 @@ struct SketchBlock {
   /// itself cannot serve: it may be truncated (standard blocking) or a bit
   /// pattern outside value space entirely (LSH blocking).
   std::string anchor;
+  /// Cached q-gram profile of `anchor` (empty under kJaroWinkler). Derived;
+  /// not serialized.
+  QGramProfile anchor_profile;
   std::vector<SketchSubBlock> subs;
 
   explicit SketchBlock(size_t lambda = 0) : subs(lambda) {}
@@ -82,6 +112,9 @@ struct BlockSketchStats {
 /// differ only in where blocks live) delegate here.
 class SketchPolicy {
  public:
+  /// `distance` overrides the routing metric; when options.distance_kind is
+  /// kQGramDice a custom distance must be null (the cached-profile path owns
+  /// the metric).
   SketchPolicy(const BlockSketchOptions& options, KeyDistanceFn distance);
 
   /// Routing rule. The distance ring of `key_values` (measured from the
@@ -99,10 +132,29 @@ class SketchPolicy {
   void MaybeAddRepresentative(SketchSubBlock* sub,
                               std::string_view key_values) const;
 
+  /// Seeds a fresh block from its first key: stores the anchor and, under
+  /// kQGramDice, its cached profile.
+  void SeedAnchor(SketchBlock* block, std::string_view key_values) const;
+
+  /// Rebuilds the derived profile caches (anchor_profile, rep_profiles) of a
+  /// block that was just decoded from its serialized form. No-op under
+  /// kJaroWinkler.
+  void RehydrateProfiles(SketchBlock* block) const;
+
+  /// Sorted q-gram multiset of `text` per options().qgram.
+  QGramProfile MakeProfile(std::string_view text) const;
+
+  /// 1 - Dice coefficient of two profiles (sorted-merge intersection).
+  static double ProfileDistance(const QGramProfile& a, const QGramProfile& b);
+
   const BlockSketchOptions& options() const { return options_; }
   const KeyDistanceFn& distance() const { return distance_; }
 
  private:
+  bool UsesProfiles() const {
+    return options_.distance_kind == KeyDistanceKind::kQGramDice;
+  }
+
   BlockSketchOptions options_;
   KeyDistanceFn distance_;
   mutable Rng rng_;

@@ -90,6 +90,8 @@ Result<SBlockSketch::LiveBlock*> SBlockSketch::EnsureLive(
     auto decoded = SketchBlock::DecodeFrom(&input);
     if (!decoded.ok()) return decoded.status();
     fresh.block = std::move(*decoded);
+    // Profile caches are derived data and not part of the spill format.
+    policy_.RehydrateProfiles(&fresh.block);
     ++stats_.disk_loads;
   } else if (load.IsNotFound()) {
     fresh.block = SketchBlock(options_.sketch.lambda);
@@ -120,7 +122,7 @@ Status SBlockSketch::Insert(const std::string& block_key,
   ++block->xi;  // the block was chosen as target by an incoming record
   Requeue(block_key, block);
   if (block->block.anchor.empty() && block->block.TotalMembers() == 0) {
-    block->block.anchor.assign(key_values);
+    policy_.SeedAnchor(&block->block, key_values);
   }
   const size_t sub = policy_.ChooseSubBlock(
       block->block, key_values, &stats_.representative_comparisons);
@@ -138,7 +140,7 @@ Result<std::vector<RecordId>> SBlockSketch::Candidates(
   ++block->xi;
   Requeue(block_key, block);
   if (block->block.anchor.empty() && block->block.TotalMembers() == 0) {
-    block->block.anchor.assign(key_values);
+    policy_.SeedAnchor(&block->block, key_values);
   }
   const size_t sub = policy_.ChooseSubBlock(
       block->block, key_values, &stats_.representative_comparisons);

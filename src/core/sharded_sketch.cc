@@ -1,0 +1,220 @@
+#include "core/sharded_sketch.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace sketchlink {
+
+namespace {
+
+/// Decorrelates the stripes' coin-flip streams: each stripe gets its own RNG
+/// seed derived from the base seed, so stripe s makes the same decisions in
+/// every run (and at every thread count) but different stripes do not march
+/// in lockstep.
+uint64_t StripeSeed(uint64_t base_seed, size_t stripe) {
+  return base_seed ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(stripe + 1));
+}
+
+/// Splits the live-block budget evenly; SIZE_MAX (unbounded) passes through.
+size_t StripeMu(size_t mu, size_t num_stripes) {
+  if (mu == SIZE_MAX) return SIZE_MAX;
+  return std::max<size_t>(1, (mu + num_stripes - 1) / num_stripes);
+}
+
+/// Buckets a batch per stripe preserving submission order within each
+/// stripe — the load-bearing step of the determinism guarantee.
+template <typename StripeOfFn>
+std::vector<std::vector<const SketchInsert*>> BucketByStripe(
+    const std::vector<SketchInsert>& entries, size_t num_stripes,
+    const StripeOfFn& stripe_of) {
+  std::vector<std::vector<const SketchInsert*>> buckets(num_stripes);
+  for (const SketchInsert& entry : entries) {
+    buckets[stripe_of(*entry.block_key)].push_back(&entry);
+  }
+  return buckets;
+}
+
+}  // namespace
+
+ShardedBlockSketch::ShardedBlockSketch(const BlockSketchOptions& options,
+                                       KeyDistanceFn distance,
+                                       size_t num_stripes)
+    : options_(options) {
+  if (num_stripes == 0) num_stripes = 1;
+  stripes_.reserve(num_stripes);
+  for (size_t s = 0; s < num_stripes; ++s) {
+    BlockSketchOptions stripe_options = options;
+    stripe_options.seed = StripeSeed(options.seed, s);
+    stripes_.push_back(std::make_unique<Stripe>(stripe_options, distance));
+  }
+}
+
+size_t ShardedBlockSketch::StripeOf(std::string_view block_key) const {
+  return Fnv1a64(block_key) % stripes_.size();
+}
+
+void ShardedBlockSketch::Insert(const std::string& block_key,
+                                std::string_view key_values, RecordId id) {
+  Stripe& stripe = *stripes_[StripeOf(block_key)];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  stripe.sketch.Insert(block_key, key_values, id);
+}
+
+void ShardedBlockSketch::InsertBatch(const std::vector<SketchInsert>& entries,
+                                     ThreadPool* pool) {
+  const auto buckets = BucketByStripe(
+      entries, stripes_.size(),
+      [this](const std::string& key) { return StripeOf(key); });
+  const auto drain = [&](size_t s) {
+    Stripe& stripe = *stripes_[s];
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    for (const SketchInsert* entry : buckets[s]) {
+      stripe.sketch.Insert(*entry->block_key, *entry->key_values, entry->id);
+    }
+  };
+  if (pool != nullptr) {
+    pool->RunShards(stripes_.size(), drain);
+  } else {
+    for (size_t s = 0; s < stripes_.size(); ++s) drain(s);
+  }
+}
+
+std::vector<RecordId> ShardedBlockSketch::Candidates(
+    const std::string& block_key, std::string_view key_values) const {
+  const Stripe& stripe = *stripes_[StripeOf(block_key)];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  return stripe.sketch.Candidates(block_key, key_values);
+}
+
+size_t ShardedBlockSketch::num_blocks() const {
+  size_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mutex);
+    total += stripe->sketch.num_blocks();
+  }
+  return total;
+}
+
+BlockSketchStats ShardedBlockSketch::stats() const {
+  BlockSketchStats total;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mutex);
+    const BlockSketchStats& s = stripe->sketch.stats();
+    total.inserts += s.inserts;
+    total.queries += s.queries;
+    total.representative_comparisons += s.representative_comparisons;
+    total.blocks_created += s.blocks_created;
+    total.candidates_returned += s.candidates_returned;
+  }
+  return total;
+}
+
+size_t ShardedBlockSketch::ApproximateMemoryUsage() const {
+  size_t total = sizeof(*this);
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mutex);
+    total += sizeof(Stripe) + stripe->sketch.ApproximateMemoryUsage();
+  }
+  return total;
+}
+
+ShardedSBlockSketch::ShardedSBlockSketch(const SBlockSketchOptions& options,
+                                         kv::Db* spill_db,
+                                         KeyDistanceFn distance,
+                                         size_t num_stripes)
+    : options_(options) {
+  if (num_stripes == 0) num_stripes = 1;
+  stripes_.reserve(num_stripes);
+  for (size_t s = 0; s < num_stripes; ++s) {
+    SBlockSketchOptions stripe_options = options;
+    stripe_options.sketch.seed = StripeSeed(options.sketch.seed, s);
+    stripe_options.mu = StripeMu(options.mu, num_stripes);
+    stripes_.push_back(
+        std::make_unique<Stripe>(stripe_options, spill_db, distance));
+  }
+}
+
+size_t ShardedSBlockSketch::StripeOf(std::string_view block_key) const {
+  return Fnv1a64(block_key) % stripes_.size();
+}
+
+Status ShardedSBlockSketch::Insert(const std::string& block_key,
+                                   std::string_view key_values, RecordId id) {
+  Stripe& stripe = *stripes_[StripeOf(block_key)];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  return stripe.sketch.Insert(block_key, key_values, id);
+}
+
+Status ShardedSBlockSketch::InsertBatch(
+    const std::vector<SketchInsert>& entries, ThreadPool* pool) {
+  const auto buckets = BucketByStripe(
+      entries, stripes_.size(),
+      [this](const std::string& key) { return StripeOf(key); });
+  std::vector<Status> results(stripes_.size());
+  const auto drain = [&](size_t s) {
+    Stripe& stripe = *stripes_[s];
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    for (const SketchInsert* entry : buckets[s]) {
+      Status status =
+          stripe.sketch.Insert(*entry->block_key, *entry->key_values,
+                               entry->id);
+      if (!status.ok()) {
+        results[s] = std::move(status);
+        return;
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->RunShards(stripes_.size(), drain);
+  } else {
+    for (size_t s = 0; s < stripes_.size(); ++s) drain(s);
+  }
+  for (Status& status : results) {
+    if (!status.ok()) return std::move(status);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<RecordId>> ShardedSBlockSketch::Candidates(
+    const std::string& block_key, std::string_view key_values) {
+  Stripe& stripe = *stripes_[StripeOf(block_key)];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  return stripe.sketch.Candidates(block_key, key_values);
+}
+
+size_t ShardedSBlockSketch::num_live_blocks() const {
+  size_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mutex);
+    total += stripe->sketch.num_live_blocks();
+  }
+  return total;
+}
+
+SBlockSketchStats ShardedSBlockSketch::stats() const {
+  SBlockSketchStats total;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mutex);
+    const SBlockSketchStats& s = stripe->sketch.stats();
+    total.inserts += s.inserts;
+    total.queries += s.queries;
+    total.live_hits += s.live_hits;
+    total.disk_loads += s.disk_loads;
+    total.evictions += s.evictions;
+    total.representative_comparisons += s.representative_comparisons;
+    total.candidates_returned += s.candidates_returned;
+  }
+  return total;
+}
+
+size_t ShardedSBlockSketch::ApproximateMemoryUsage() const {
+  size_t total = sizeof(*this);
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mutex);
+    total += sizeof(Stripe) + stripe->sketch.ApproximateMemoryUsage();
+  }
+  return total;
+}
+
+}  // namespace sketchlink

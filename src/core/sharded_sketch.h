@@ -1,0 +1,144 @@
+#ifndef SKETCHLINK_CORE_SHARDED_SKETCH_H_
+#define SKETCHLINK_CORE_SHARDED_SKETCH_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/block_sketch.h"
+#include "core/sblock_sketch.h"
+
+namespace sketchlink {
+
+/// One record routed into a sketch: pointers into caller-owned storage that
+/// must stay valid for the duration of an InsertBatch call.
+struct SketchInsert {
+  const std::string* block_key;
+  const std::string* key_values;
+  RecordId id;
+};
+
+/// Striped wrapper making BlockSketch safe for concurrent use: the blocking
+/// key hashes to one of `num_stripes` independent sub-sketches, each behind
+/// its own mutex, so operations on different stripes never contend.
+///
+/// Determinism: stripe selection depends only on the key and the (fixed)
+/// stripe count — never on the thread count. InsertBatch buckets its input
+/// per stripe in submission order before fanning out, and each stripe is
+/// drained by exactly one task, so every sub-sketch observes the same insert
+/// sequence (and therefore makes the same coin-flip decisions) whether the
+/// batch runs on 1 thread or 16. Results are bit-identical for any pool
+/// size; only wall-clock changes.
+class ShardedBlockSketch {
+ public:
+  static constexpr size_t kDefaultStripes = 16;
+
+  explicit ShardedBlockSketch(const BlockSketchOptions& options = {},
+                              KeyDistanceFn distance = DefaultKeyDistance(),
+                              size_t num_stripes = kDefaultStripes);
+
+  ShardedBlockSketch(const ShardedBlockSketch&) = delete;
+  ShardedBlockSketch& operator=(const ShardedBlockSketch&) = delete;
+
+  /// Single insert; takes the stripe lock. Safe to call concurrently, but
+  /// concurrent single inserts make the per-stripe order scheduling-
+  /// dependent — use InsertBatch for reproducible parallel builds.
+  void Insert(const std::string& block_key, std::string_view key_values,
+              RecordId id);
+
+  /// Deterministic parallel build: buckets `entries` per stripe in order,
+  /// then runs one task per stripe on `pool` (sequentially when pool is
+  /// null).
+  void InsertBatch(const std::vector<SketchInsert>& entries, ThreadPool* pool);
+
+  /// Thread-safe candidate lookup (locks only the key's stripe).
+  std::vector<RecordId> Candidates(const std::string& block_key,
+                                   std::string_view key_values) const;
+
+  size_t num_blocks() const;
+  size_t num_stripes() const { return stripes_.size(); }
+
+  /// Aggregated counters across stripes (by value: a consistent-enough
+  /// snapshot for statistics, not a linearizable cut).
+  BlockSketchStats stats() const;
+
+  const BlockSketchOptions& options() const { return options_; }
+
+  size_t ApproximateMemoryUsage() const;
+
+ private:
+  struct Stripe {
+    mutable std::mutex mutex;
+    BlockSketch sketch;
+
+    Stripe(const BlockSketchOptions& options, KeyDistanceFn distance)
+        : sketch(options, std::move(distance)) {}
+  };
+
+  size_t StripeOf(std::string_view block_key) const;
+
+  BlockSketchOptions options_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+/// Striped wrapper for SBlockSketch with the same contract as
+/// ShardedBlockSketch. The memory budget mu is split evenly across stripes
+/// (each stripe evicts independently once its share is full); all stripes
+/// share the caller's spill store, which must itself be thread-safe
+/// (kv::Db is). Keys never cross stripes, so spilled blocks cannot collide.
+class ShardedSBlockSketch {
+ public:
+  static constexpr size_t kDefaultStripes = 16;
+
+  explicit ShardedSBlockSketch(const SBlockSketchOptions& options,
+                               kv::Db* spill_db,
+                               KeyDistanceFn distance = DefaultKeyDistance(),
+                               size_t num_stripes = kDefaultStripes);
+
+  ShardedSBlockSketch(const ShardedSBlockSketch&) = delete;
+  ShardedSBlockSketch& operator=(const ShardedSBlockSketch&) = delete;
+
+  Status Insert(const std::string& block_key, std::string_view key_values,
+                RecordId id);
+
+  /// Deterministic parallel build; returns the first per-stripe error in
+  /// stripe order (all stripes still run to completion).
+  Status InsertBatch(const std::vector<SketchInsert>& entries,
+                     ThreadPool* pool);
+
+  /// Thread-safe candidate lookup. May fault blocks in from the spill store
+  /// and evict others within the key's stripe; stripes evict independently.
+  Result<std::vector<RecordId>> Candidates(const std::string& block_key,
+                                           std::string_view key_values);
+
+  size_t num_live_blocks() const;
+  size_t num_stripes() const { return stripes_.size(); }
+
+  SBlockSketchStats stats() const;
+
+  const SBlockSketchOptions& options() const { return options_; }
+
+  size_t ApproximateMemoryUsage() const;
+
+ private:
+  struct Stripe {
+    mutable std::mutex mutex;
+    SBlockSketch sketch;
+
+    Stripe(const SBlockSketchOptions& options, kv::Db* spill_db,
+           KeyDistanceFn distance)
+        : sketch(options, spill_db, std::move(distance)) {}
+  };
+
+  size_t StripeOf(std::string_view block_key) const;
+
+  SBlockSketchOptions options_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_CORE_SHARDED_SKETCH_H_

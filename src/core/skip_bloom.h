@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bloom/annotated_bloom_filter.h"
+#include "common/counter.h"
 #include "common/random.h"
 #include "skiplist/skip_list.h"
 
@@ -33,13 +34,15 @@ struct SkipBloomOptions {
   uint64_t seed = 0xb10cULL;
 };
 
-/// Usage counters exposed for the experiments.
+/// Usage counters exposed for the experiments. RelaxedCounter fields make
+/// the const Query path (which bumps queries/filter_probes through the
+/// mutable stats) race-free under concurrent readers.
 struct SkipBloomStats {
-  uint64_t inserts = 0;
-  uint64_t sampled_keys = 0;   // keys promoted to the skip list
-  uint64_t duplicate_skips = 0;  // inserts short-circuited by membership
-  uint64_t queries = 0;
-  uint64_t filter_probes = 0;  // Bloom filters touched across all queries
+  RelaxedCounter inserts = 0;
+  RelaxedCounter sampled_keys = 0;   // keys promoted to the skip list
+  RelaxedCounter duplicate_skips = 0;  // inserts short-circuited by membership
+  RelaxedCounter queries = 0;
+  RelaxedCounter filter_probes = 0;  // Bloom filters touched across all queries
 };
 
 /// SkipBloom (paper Sec. 4): a synopsis of the universe of blocking keys.

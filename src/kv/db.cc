@@ -134,28 +134,35 @@ Status Db::WriteManifest() {
 }
 
 Status Db::Put(std::string_view key, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mutex_);
   SKETCHLINK_RETURN_IF_ERROR(wal_->AppendPut(key, value));
   mem_.Put(std::string(key), std::string(value));
   ++stats_.puts;
-  return MaybeFlushAndCompact();
+  return MaybeFlushAndCompactLocked();
 }
 
 Status Db::Delete(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mutex_);
   SKETCHLINK_RETURN_IF_ERROR(wal_->AppendDelete(key));
   mem_.Delete(std::string(key));
   ++stats_.deletes;
-  return MaybeFlushAndCompact();
+  return MaybeFlushAndCompactLocked();
 }
 
-Status Db::MaybeFlushAndCompact() {
+Status Db::MaybeFlushAndCompactLocked() {
   if (mem_.payload_bytes() >= options_.memtable_bytes) {
     SKETCHLINK_RETURN_IF_ERROR(FlushLocked());
-    SKETCHLINK_RETURN_IF_ERROR(Compact(false));
+    SKETCHLINK_RETURN_IF_ERROR(CompactLocked(false));
   }
   return Status::OK();
 }
 
 Status Db::Get(std::string_view key, std::string* value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return GetLocked(key, value);
+}
+
+Status Db::GetLocked(std::string_view key, std::string* value) {
   ++stats_.gets;
   const std::string k(key);
   switch (mem_.Get(k, value)) {
@@ -183,11 +190,13 @@ Status Db::Get(std::string_view key, std::string* value) {
 }
 
 bool Db::Contains(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::string scratch;
-  return Get(key, &scratch).ok();
+  return GetLocked(key, &scratch).ok();
 }
 
 Status Db::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (mem_.empty()) return Status::OK();
   return FlushLocked();
 }
@@ -218,6 +227,11 @@ Status Db::FlushLocked() {
 }
 
 Status Db::Compact(bool force) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return CompactLocked(force);
+}
+
+Status Db::CompactLocked(bool force) {
   if (!force && tables_.size() < options_.compaction_trigger) {
     return Status::OK();
   }
@@ -302,6 +316,11 @@ class DbIterator : public Iterator {
 }  // namespace
 
 std::unique_ptr<Iterator> Db::NewIterator() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return NewIteratorLocked();
+}
+
+std::unique_ptr<Iterator> Db::NewIteratorLocked() const {
   std::vector<std::unique_ptr<Iterator>> children;
   children.reserve(tables_.size() + 1);
   children.push_back(mem_.NewKvIterator());  // newest layer first
@@ -312,8 +331,9 @@ std::unique_ptr<Iterator> Db::NewIterator() const {
 }
 
 Result<std::vector<TableEntry>> Db::ScanAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<TableEntry> out;
-  auto it = NewIterator();
+  auto it = NewIteratorLocked();
   for (it->SeekToFirst(); it->Valid(); it->Next()) {
     out.push_back(TableEntry{std::string(it->key()),
                              std::string(it->value()), false});
@@ -323,8 +343,9 @@ Result<std::vector<TableEntry>> Db::ScanAll() {
 }
 
 Result<std::vector<TableEntry>> Db::ScanPrefix(std::string_view prefix) {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<TableEntry> out;
-  auto it = NewIterator();
+  auto it = NewIteratorLocked();
   for (it->Seek(prefix); it->Valid(); it->Next()) {
     const std::string_view key = it->key();
     if (key.size() < prefix.size() ||
@@ -339,6 +360,7 @@ Result<std::vector<TableEntry>> Db::ScanPrefix(std::string_view prefix) {
 }
 
 size_t Db::ApproximateMemoryUsage() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   size_t bytes = sizeof(*this) + mem_.ApproximateMemoryUsage();
   for (const auto& table : tables_) bytes += table->ApproximateMemoryUsage();
   return bytes;

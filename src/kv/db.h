@@ -2,6 +2,7 @@
 #define SKETCHLINK_KV_DB_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,8 +25,12 @@ namespace sketchlink::kv {
 /// binary search), matching the complexity the paper assumes for
 /// `retrieve(k)`.
 ///
-/// Single-threaded by design: the record-linkage pipelines in this library
-/// drive it from one thread.
+/// Thread-safe for point operations: Put/Delete/Get/Contains/Flush/Compact
+/// and the scan helpers serialize on one internal mutex (a spill store is
+/// latency-bound, not lock-bound — the sharded sketches above it keep their
+/// own finer-grained locks). NewIterator is the exception: the returned
+/// cursor reads the memtable without holding the lock, so iteration must be
+/// externally synchronized against writers.
 class Db {
  public:
   ~Db();
@@ -61,8 +66,8 @@ class Db {
   /// order: a merge of the memtable and every sorted run, newest layer
   /// winning per key. The iterator pins the runs it reads (compaction may
   /// retire them concurrently-in-program-order) but is invalidated by
-  /// writes to the memtable; iterate-then-write, as the linkage pipelines
-  /// do.
+  /// writes to the memtable; iterate-then-write, externally synchronized
+  /// against concurrent writers, as the linkage pipelines do.
   std::unique_ptr<Iterator> NewIterator() const;
 
   /// Returns every live entry in key order (merged view). Intended for
@@ -98,10 +103,15 @@ class Db {
 
   Status Recover();
   Status WriteManifest();
-  Status FlushLocked();
   Status ApplyToMemtable(const WalRecord& record);
-  Status MaybeFlushAndCompact();
+  // *Locked methods expect mutex_ to be held by the caller.
+  Status GetLocked(std::string_view key, std::string* value);
+  Status FlushLocked();
+  Status CompactLocked(bool force);
+  Status MaybeFlushAndCompactLocked();
+  std::unique_ptr<Iterator> NewIteratorLocked() const;
 
+  mutable std::mutex mutex_;
   std::string path_;
   Options options_;
   std::unique_ptr<BlockCache> block_cache_;

@@ -1,16 +1,46 @@
 #include "linkage/engine.h"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "common/stopwatch.h"
 
 namespace sketchlink {
 
+LinkageEngine::LinkageEngine(const Blocker* blocker, OnlineMatcher* matcher,
+                             RecordSimilarity similarity,
+                             const EngineOptions& options)
+    : blocker_(blocker),
+      matcher_(matcher),
+      similarity_(std::move(similarity)) {
+  const size_t threads = options.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                                  : options.num_threads;
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
 Status LinkageEngine::BuildIndex(const Dataset& a) {
   Stopwatch watch;
-  for (const Record& record : a.records()) {
-    const std::vector<std::string> keys = blocker_->Keys(record);
-    const std::string key_values = blocker_->KeyValues(record);
-    SKETCHLINK_RETURN_IF_ERROR(matcher_->Insert(record, keys, key_values));
+  const std::vector<Record>& records = a.records();
+
+  // Key extraction is a pure function of the record: prepare the whole batch
+  // in parallel (each index written by exactly one chunk), then hand it to
+  // the matcher in dataset order.
+  std::vector<PreparedRecord> batch(records.size());
+  const auto prepare = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      batch[i].record = &records[i];
+      batch[i].keys = blocker_->Keys(records[i]);
+      batch[i].key_values = blocker_->KeyValues(records[i]);
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(records.size(), prepare);
+  } else {
+    prepare(0, records.size());
   }
+
+  SKETCHLINK_RETURN_IF_ERROR(matcher_->InsertBatch(batch, pool_.get()));
   blocking_seconds_ += watch.ElapsedSeconds();
   return Status::OK();
 }
@@ -26,18 +56,51 @@ Result<LinkageReport> LinkageEngine::ResolveAll(const Dataset& q,
   LinkageReport report;
   report.method = matcher_->name();
   report.blocking = blocker_->name();
+  report.threads = num_threads();
   report.blocking_seconds = blocking_seconds_;
 
   QualityScorer scorer(&truth);
   Stopwatch watch;
-  for (const Record& query : q.records()) {
-    auto matches = ResolveOne(query);
-    if (!matches.ok()) return matches.status();
-    scorer.AddQueryResult(query, *matches);
+  if (pool_ != nullptr && matcher_->SupportsConcurrentResolve()) {
+    // Fan the queries across the pool with one scorer and one status per
+    // chunk. Chunk boundaries depend only on |Q| and the thread count; the
+    // scorer totals are integer sums, so merging them in chunk order
+    // reproduces the sequential counts exactly.
+    const std::vector<Record>& queries = q.records();
+    const size_t chunks = std::min(pool_->num_threads(),
+                                   std::max<size_t>(queries.size(), 1));
+    std::vector<QualityScorer> chunk_scorers(chunks, QualityScorer(&truth));
+    std::vector<Status> chunk_status(chunks);
+    pool_->RunShards(chunks, [&](size_t chunk) {
+      const size_t begin = chunk * queries.size() / chunks;
+      const size_t end = (chunk + 1) * queries.size() / chunks;
+      for (size_t i = begin; i < end; ++i) {
+        auto matches = ResolveOne(queries[i]);
+        if (!matches.ok()) {
+          chunk_status[chunk] = matches.status();
+          return;
+        }
+        chunk_scorers[chunk].AddQueryResult(queries[i], *matches);
+      }
+    });
+    for (size_t chunk = 0; chunk < chunks; ++chunk) {
+      if (!chunk_status[chunk].ok()) return chunk_status[chunk];
+      scorer.Merge(chunk_scorers[chunk]);
+    }
+  } else {
+    for (const Record& query : q.records()) {
+      auto matches = ResolveOne(query);
+      if (!matches.ok()) return matches.status();
+      scorer.AddQueryResult(query, *matches);
+    }
   }
   report.matching_seconds = watch.ElapsedSeconds();
   report.avg_query_seconds =
       q.empty() ? 0.0 : report.matching_seconds / static_cast<double>(q.size());
+  report.queries_per_second =
+      report.matching_seconds > 0.0
+          ? static_cast<double>(q.size()) / report.matching_seconds
+          : 0.0;
   report.comparisons = matcher_->comparisons();
   report.matcher_memory_bytes = matcher_->ApproximateMemoryUsage();
   report.quality = scorer.Finalize();

@@ -1,10 +1,12 @@
 #ifndef SKETCHLINK_LINKAGE_ENGINE_H_
 #define SKETCHLINK_LINKAGE_ENGINE_H_
 
+#include <memory>
 #include <string>
 
 #include "blocking/blocker.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "linkage/matcher.h"
 #include "linkage/metrics.h"
 #include "linkage/similarity.h"
@@ -17,12 +19,22 @@ namespace sketchlink {
 struct LinkageReport {
   std::string method;
   std::string blocking;
+  size_t threads = 1;                 // parallelism the run was driven with
   double blocking_seconds = 0.0;      // time to index A (blocking phase)
   double matching_seconds = 0.0;      // time to resolve all of Q
   double avg_query_seconds = 0.0;     // matching_seconds / |Q|
+  double queries_per_second = 0.0;    // |Q| / matching_seconds
   uint64_t comparisons = 0;           // similarity computations
   size_t matcher_memory_bytes = 0;
   QualityMetrics quality;
+};
+
+/// Parallelism knobs of the engine.
+struct EngineOptions {
+  /// Worker threads driving BuildIndex/ResolveAll; 0 picks
+  /// hardware_concurrency(). Results are identical at every setting — only
+  /// wall-clock changes (see DESIGN.md, Threading model).
+  size_t num_threads = 1;
 };
 
 /// Orchestrates one experiment: pushes the data set A through blocking into
@@ -32,16 +44,19 @@ class LinkageEngine {
  public:
   /// All pointers must outlive the engine.
   LinkageEngine(const Blocker* blocker, OnlineMatcher* matcher,
-                RecordSimilarity similarity)
-      : blocker_(blocker),
-        matcher_(matcher),
-        similarity_(std::move(similarity)) {}
+                RecordSimilarity similarity,
+                const EngineOptions& options = EngineOptions());
 
-  /// Blocking phase: indexes every record of `a`.
+  /// Blocking phase: indexes every record of `a`. Blocking-key extraction is
+  /// parallelized across the pool; the insert order seen by the matcher is
+  /// the dataset order regardless of thread count.
   Status BuildIndex(const Dataset& a);
 
   /// Matching phase: resolves every record of `q` and fills a report.
   /// `truth` scores result sets; pass the GroundTruth built over `a`.
+  /// Queries fan out across the pool when the matcher supports concurrent
+  /// resolution; per-thread quality accumulators are merged exactly, so the
+  /// report is identical at every thread count.
   Result<LinkageReport> ResolveAll(const Dataset& q, const GroundTruth& truth);
 
   /// Resolves a single query (for interactive / example use).
@@ -49,10 +64,16 @@ class LinkageEngine {
 
   double blocking_seconds() const { return blocking_seconds_; }
 
+  /// Effective parallelism (1 when no pool was created).
+  size_t num_threads() const {
+    return pool_ == nullptr ? 1 : pool_->num_threads();
+  }
+
  private:
   const Blocker* blocker_;
   OnlineMatcher* matcher_;
   RecordSimilarity similarity_;
+  std::unique_ptr<ThreadPool> pool_;  // null when running single-threaded
   double blocking_seconds_ = 0.0;
 };
 

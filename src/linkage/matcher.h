@@ -9,6 +9,18 @@
 
 namespace sketchlink {
 
+class ThreadPool;
+
+/// One data-set record with its blocking keys already computed. BuildIndex
+/// prepares these in parallel (key extraction is pure), then hands the whole
+/// batch to the matcher. `record` points into the dataset and must outlive
+/// the batch.
+struct PreparedRecord {
+  const Record* record;
+  std::vector<std::string> keys;
+  std::string key_values;
+};
+
 /// Common driver interface for every online record-linkage method in the
 /// evaluation (BlockSketch, SBlockSketch, the naive full-block scan, and
 /// the INV / EO baselines). The engine feeds data-set records through
@@ -25,6 +37,26 @@ class OnlineMatcher {
   virtual Status Insert(const Record& record,
                         const std::vector<std::string>& keys,
                         const std::string& key_values) = 0;
+
+  /// Indexes a whole prepared batch, using `pool` (may be null) where the
+  /// method supports parallel builds. The default keeps sequential insertion
+  /// semantics; overriding methods must produce results identical to the
+  /// sequential loop at every pool size.
+  virtual Status InsertBatch(const std::vector<PreparedRecord>& batch,
+                             ThreadPool* pool) {
+    (void)pool;
+    for (const PreparedRecord& prepared : batch) {
+      Status status =
+          Insert(*prepared.record, prepared.keys, prepared.key_values);
+      if (!status.ok()) return status;
+    }
+    return Status::OK();
+  }
+
+  /// True when Resolve may be called from several threads at once. Methods
+  /// whose resolution mutates shared state without internal locking (EO,
+  /// INV) keep the default.
+  virtual bool SupportsConcurrentResolve() const { return false; }
 
   /// Resolves a query record: returns the ids of the records this method
   /// reports as matches (its "result set"). Precision/recall are computed

@@ -31,6 +31,12 @@ void QualityScorer::AddQueryResult(const Record& query,
   }
 }
 
+void QualityScorer::Merge(const QualityScorer& other) {
+  totals_.true_pairs += other.totals_.true_pairs;
+  totals_.reported_pairs += other.totals_.reported_pairs;
+  totals_.correct_pairs += other.totals_.correct_pairs;
+}
+
 QualityMetrics QualityScorer::Finalize() const {
   QualityMetrics metrics = totals_;
   if (metrics.true_pairs > 0) {

@@ -53,6 +53,11 @@ class QualityScorer {
   void AddQueryResult(const Record& query,
                       const std::vector<RecordId>& reported);
 
+  /// Folds another scorer's totals into this one. The totals are plain
+  /// integer sums, so merging per-thread scorers in any order yields exactly
+  /// the counts a single sequential scorer would have produced.
+  void Merge(const QualityScorer& other);
+
   /// Computes the final rates.
   QualityMetrics Finalize() const;
 

@@ -12,12 +12,15 @@ namespace {
 /// members ARE the result set (paper Sec. 5 semantics, constant work per
 /// query). In kVerified mode each member is fetched and compared against
 /// the query, and only pairs above the similarity threshold survive.
+/// `comparisons` is bumped once with the query's total so concurrent
+/// resolvers don't contend per member.
 Result<std::vector<RecordId>> FinishResolve(
     const Record& query, const std::vector<std::vector<RecordId>>& candidates,
     ResolveMode mode, const RecordSimilarity& similarity,
-    const RecordStore& store, uint64_t* comparisons) {
+    const RecordStore& store, std::atomic<uint64_t>* comparisons) {
   std::unordered_set<RecordId> seen;
   std::vector<RecordId> matches;
+  uint64_t local_comparisons = 0;
   for (const std::vector<RecordId>& group : candidates) {
     for (RecordId id : group) {
       if (!seen.insert(id).second) continue;  // footnote 17: drop dup pairs
@@ -27,13 +30,33 @@ Result<std::vector<RecordId>> FinishResolve(
       }
       auto record = store.Get(id);
       if (!record.ok()) return record.status();
-      ++*comparisons;
+      ++local_comparisons;
       if (similarity.Matches(query, *record)) {
         matches.push_back(id);
       }
     }
   }
+  if (local_comparisons > 0) {
+    comparisons->fetch_add(local_comparisons, std::memory_order_relaxed);
+  }
   return matches;
+}
+
+/// Flattens a prepared batch into per-(key, record) sketch inserts, in batch
+/// order. The pointers reference the batch, which outlives the call.
+std::vector<SketchInsert> FlattenBatch(
+    const std::vector<PreparedRecord>& batch) {
+  size_t total = 0;
+  for (const PreparedRecord& prepared : batch) total += prepared.keys.size();
+  std::vector<SketchInsert> entries;
+  entries.reserve(total);
+  for (const PreparedRecord& prepared : batch) {
+    for (const std::string& key : prepared.keys) {
+      entries.push_back(
+          SketchInsert{&key, &prepared.key_values, prepared.record->id});
+    }
+  }
+  return entries;
 }
 
 }  // namespace
@@ -45,6 +68,17 @@ Status BlockSketchMatcher::Insert(const Record& record,
   for (const std::string& key : keys) {
     sketch_.Insert(key, key_values, record.id);
   }
+  return Status::OK();
+}
+
+Status BlockSketchMatcher::InsertBatch(const std::vector<PreparedRecord>& batch,
+                                       ThreadPool* pool) {
+  // The record store is a plain hash map: fill it sequentially, then let the
+  // striped sketch absorb the flattened batch in parallel.
+  for (const PreparedRecord& prepared : batch) {
+    SKETCHLINK_RETURN_IF_ERROR(store_->Put(*prepared.record));
+  }
+  sketch_.InsertBatch(FlattenBatch(batch), pool);
   return Status::OK();
 }
 
@@ -68,6 +102,14 @@ Status SBlockSketchMatcher::Insert(const Record& record,
     SKETCHLINK_RETURN_IF_ERROR(sketch_.Insert(key, key_values, record.id));
   }
   return Status::OK();
+}
+
+Status SBlockSketchMatcher::InsertBatch(
+    const std::vector<PreparedRecord>& batch, ThreadPool* pool) {
+  for (const PreparedRecord& prepared : batch) {
+    SKETCHLINK_RETURN_IF_ERROR(store_->Put(*prepared.record));
+  }
+  return sketch_.InsertBatch(FlattenBatch(batch), pool);
 }
 
 Result<std::vector<RecordId>> SBlockSketchMatcher::Resolve(

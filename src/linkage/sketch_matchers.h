@@ -1,12 +1,14 @@
 #ifndef SKETCHLINK_LINKAGE_SKETCH_MATCHERS_H_
 #define SKETCHLINK_LINKAGE_SKETCH_MATCHERS_H_
 
+#include <atomic>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/block_sketch.h"
 #include "core/sblock_sketch.h"
+#include "core/sharded_sketch.h"
 #include "linkage/matcher.h"
 #include "linkage/record_store.h"
 #include "linkage/similarity.h"
@@ -29,6 +31,10 @@ enum class ResolveMode { kSubBlock, kVerified };
 /// reports its target sub-block (see ResolveMode). Duplicate candidate
 /// pairs arising from redundant (LSH) blocking are discarded with a
 /// per-query set, as in the paper (Sec. 7.2, footnote 17).
+///
+/// Backed by a striped sketch: builds shard across a thread pool and
+/// queries run concurrently, with results identical to a sequential run at
+/// every thread count (see DESIGN.md, Threading model).
 class BlockSketchMatcher : public OnlineMatcher {
  public:
   /// `store` must outlive the matcher.
@@ -42,30 +48,36 @@ class BlockSketchMatcher : public OnlineMatcher {
 
   Status Insert(const Record& record, const std::vector<std::string>& keys,
                 const std::string& key_values) override;
+  Status InsertBatch(const std::vector<PreparedRecord>& batch,
+                     ThreadPool* pool) override;
   Result<std::vector<RecordId>> Resolve(
       const Record& query, const std::vector<std::string>& keys,
       const std::string& key_values) override;
+  bool SupportsConcurrentResolve() const override { return true; }
 
   uint64_t comparisons() const override {
-    return comparisons_ + sketch_.stats().representative_comparisons;
+    return comparisons_.load(std::memory_order_relaxed) +
+           sketch_.stats().representative_comparisons;
   }
   size_t ApproximateMemoryUsage() const override {
     return sketch_.ApproximateMemoryUsage();
   }
   std::string name() const override { return "BlockSketch"; }
 
-  const BlockSketch& sketch() const { return sketch_; }
+  const ShardedBlockSketch& sketch() const { return sketch_; }
 
  private:
-  BlockSketch sketch_;
+  ShardedBlockSketch sketch_;
   RecordSimilarity similarity_;
   RecordStore* store_;
   ResolveMode mode_;
-  uint64_t comparisons_ = 0;
+  std::atomic<uint64_t> comparisons_{0};
 };
 
 /// SBlockSketch wrapped as an OnlineMatcher (streaming variant; live blocks
-/// bounded by mu, spilled blocks served from the key/value store).
+/// bounded by mu, spilled blocks served from the key/value store). Striped
+/// like BlockSketchMatcher; the per-stripe eviction queues serialize on
+/// their stripe lock, and all stripes share the (thread-safe) spill store.
 class SBlockSketchMatcher : public OnlineMatcher {
  public:
   SBlockSketchMatcher(const SBlockSketchOptions& options, kv::Db* spill_db,
@@ -78,31 +90,36 @@ class SBlockSketchMatcher : public OnlineMatcher {
 
   Status Insert(const Record& record, const std::vector<std::string>& keys,
                 const std::string& key_values) override;
+  Status InsertBatch(const std::vector<PreparedRecord>& batch,
+                     ThreadPool* pool) override;
   Result<std::vector<RecordId>> Resolve(
       const Record& query, const std::vector<std::string>& keys,
       const std::string& key_values) override;
+  bool SupportsConcurrentResolve() const override { return true; }
 
   uint64_t comparisons() const override {
-    return comparisons_ + sketch_.stats().representative_comparisons;
+    return comparisons_.load(std::memory_order_relaxed) +
+           sketch_.stats().representative_comparisons;
   }
   size_t ApproximateMemoryUsage() const override {
     return sketch_.ApproximateMemoryUsage();
   }
   std::string name() const override { return "SBlockSketch"; }
 
-  const SBlockSketch& sketch() const { return sketch_; }
+  const ShardedSBlockSketch& sketch() const { return sketch_; }
 
  private:
-  SBlockSketch sketch_;
+  ShardedSBlockSketch sketch_;
   RecordSimilarity similarity_;
   RecordStore* store_;
   ResolveMode mode_;
-  uint64_t comparisons_ = 0;
+  std::atomic<uint64_t> comparisons_{0};
 };
 
 /// The naive matching phase the paper's methods replace: a query is compared
 /// against every record of its target block(s). Used as the "linear"
-/// reference point in benchmarks and tests.
+/// reference point in benchmarks and tests. Resolution only reads the block
+/// index, so concurrent queries are safe once the build finished.
 class NaiveBlockMatcher : public OnlineMatcher {
  public:
   NaiveBlockMatcher(RecordSimilarity similarity, RecordStore* store)
@@ -113,8 +130,11 @@ class NaiveBlockMatcher : public OnlineMatcher {
   Result<std::vector<RecordId>> Resolve(
       const Record& query, const std::vector<std::string>& keys,
       const std::string& key_values) override;
+  bool SupportsConcurrentResolve() const override { return true; }
 
-  uint64_t comparisons() const override { return comparisons_; }
+  uint64_t comparisons() const override {
+    return comparisons_.load(std::memory_order_relaxed);
+  }
   size_t ApproximateMemoryUsage() const override;
   std::string name() const override { return "NaiveBlockScan"; }
 
@@ -122,7 +142,7 @@ class NaiveBlockMatcher : public OnlineMatcher {
   RecordSimilarity similarity_;
   RecordStore* store_;
   std::unordered_map<std::string, std::vector<RecordId>> blocks_;
-  uint64_t comparisons_ = 0;
+  std::atomic<uint64_t> comparisons_{0};
 };
 
 }  // namespace sketchlink

@@ -1,0 +1,73 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace sketchlink {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryShardExactlyOnce) {
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    std::vector<std::atomic<int>> hits(100);
+    pool.RunShards(hits.size(), [&](size_t shard) { ++hits[shard]; });
+    for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroShardsIsANoop) {
+  ThreadPool pool(4);
+  pool.RunShards(0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.RunShards(7, [&](size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 7u * 50u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeDisjointly) {
+  for (size_t threads : {size_t{1}, size_t{3}, size_t{8}}) {
+    ThreadPool pool(threads);
+    for (size_t n : {size_t{1}, size_t{7}, size_t{1000}}) {
+      std::vector<std::atomic<int>> hits(n);
+      pool.ParallelFor(n, [&](size_t begin, size_t end) {
+        ASSERT_LE(begin, end);
+        for (size_t i = begin; i < end; ++i) ++hits[i];
+      });
+      for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, PropagatesShardException) {
+  ThreadPool pool(4);
+  std::atomic<size_t> completed{0};
+  EXPECT_THROW(
+      pool.RunShards(16,
+                     [&](size_t shard) {
+                       if (shard == 5) throw std::runtime_error("boom");
+                       ++completed;
+                     }),
+      std::runtime_error);
+  // Every other shard still ran: the pool stays usable after a failure.
+  EXPECT_EQ(completed.load(), 15u);
+  std::atomic<size_t> after{0};
+  pool.RunShards(4, [&](size_t) { ++after; });
+  EXPECT_EQ(after.load(), 4u);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
+}
+
+}  // namespace
+}  // namespace sketchlink

@@ -1,0 +1,225 @@
+#include "core/sharded_sketch.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "kv/env.h"
+#include "text/qgram.h"
+
+namespace sketchlink {
+namespace {
+
+/// Synthetic workload: `n` inserts spread over `distinct` blocking keys with
+/// slightly perturbed key values.
+std::vector<std::pair<std::string, std::string>> MakeEntries(size_t n,
+                                                             size_t distinct) {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(n);
+  Rng rng(4711);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t block = rng.UniformIndex(distinct);
+    std::string value = "smith#john#" + std::to_string(block);
+    if (i % 3 == 1) value[1] = 'y';
+    if (i % 5 == 2) value += "x";
+    out.emplace_back("key" + std::to_string(block), std::move(value));
+  }
+  return out;
+}
+
+std::vector<SketchInsert> AsInserts(
+    const std::vector<std::pair<std::string, std::string>>& entries) {
+  std::vector<SketchInsert> inserts;
+  inserts.reserve(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    inserts.push_back(SketchInsert{&entries[i].first, &entries[i].second,
+                                   static_cast<RecordId>(i + 1)});
+  }
+  return inserts;
+}
+
+TEST(ShardedBlockSketchTest, InsertBatchIdenticalAtEveryPoolSize) {
+  const auto entries = MakeEntries(3000, 80);
+  const auto inserts = AsInserts(entries);
+
+  // Reference: sequential drain (null pool). Snapshot the build-phase stats
+  // before any queries mutate the counters.
+  ShardedBlockSketch reference;
+  reference.InsertBatch(inserts, nullptr);
+  const BlockSketchStats ref_build_stats = reference.stats();
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    ThreadPool pool(threads);
+    ShardedBlockSketch sketch;
+    sketch.InsertBatch(inserts, &pool);
+
+    EXPECT_EQ(sketch.num_blocks(), reference.num_blocks());
+    EXPECT_EQ(sketch.stats().inserts, ref_build_stats.inserts);
+    EXPECT_EQ(sketch.stats().blocks_created, ref_build_stats.blocks_created);
+    EXPECT_EQ(sketch.stats().representative_comparisons,
+              ref_build_stats.representative_comparisons);
+
+    // Every query routes identically: the sub-sketch states are equal.
+    for (const auto& [key, value] : entries) {
+      EXPECT_EQ(sketch.Candidates(key, value), reference.Candidates(key, value))
+          << "key=" << key;
+    }
+  }
+}
+
+TEST(ShardedBlockSketchTest, ConcurrentQueriesReturnConsistentResults) {
+  const auto entries = MakeEntries(2000, 50);
+  ShardedBlockSketch sketch;
+  sketch.InsertBatch(AsInserts(entries), nullptr);
+
+  // Expected answers from a sequential pass.
+  std::vector<std::vector<RecordId>> expected;
+  expected.reserve(entries.size());
+  for (const auto& [key, value] : entries) {
+    expected.push_back(sketch.Candidates(key, value));
+  }
+
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  for (size_t t = 0; t < 8; ++t) {
+    workers.emplace_back([&, t] {
+      for (size_t i = t; i < entries.size(); i += 8) {
+        if (sketch.Candidates(entries[i].first, entries[i].second) !=
+            expected[i]) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ShardedSBlockSketchTest, InsertBatchIdenticalAtEveryPoolSize) {
+  const auto entries = MakeEntries(1500, 60);
+  const auto inserts = AsInserts(entries);
+  SBlockSketchOptions options;
+  options.mu = 32;  // small budget: stripes evict and reload
+
+  struct Run {
+    std::vector<std::vector<RecordId>> answers;
+    uint64_t inserts = 0;
+  };
+  const auto run_at = [&](size_t threads) {
+    const std::string dir =
+        "/tmp/sketchlink_sharded_test_" + std::to_string(threads);
+    (void)kv::RemoveDirRecursively(dir);
+    auto db = kv::Db::Open(dir);
+    EXPECT_TRUE(db.ok());
+    Run run;
+    {
+      ShardedSBlockSketch sketch(options, db->get());
+      if (threads == 0) {
+        EXPECT_TRUE(sketch.InsertBatch(inserts, nullptr).ok());
+      } else {
+        ThreadPool pool(threads);
+        EXPECT_TRUE(sketch.InsertBatch(inserts, &pool).ok());
+      }
+      for (const auto& [key, value] : entries) {
+        auto candidates = sketch.Candidates(key, value);
+        EXPECT_TRUE(candidates.ok());
+        run.answers.push_back(std::move(*candidates));
+      }
+      run.inserts = sketch.stats().inserts;
+    }
+    (void)kv::RemoveDirRecursively(dir);
+    return run;
+  };
+
+  const Run reference = run_at(0);
+  EXPECT_EQ(reference.inserts, inserts.size());
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    const Run run = run_at(threads);
+    EXPECT_EQ(run.inserts, reference.inserts);
+    EXPECT_EQ(run.answers, reference.answers) << "threads=" << threads;
+  }
+}
+
+TEST(ShardedSBlockSketchTest, ConcurrentMixedStress) {
+  const std::string dir = "/tmp/sketchlink_sharded_stress";
+  (void)kv::RemoveDirRecursively(dir);
+  auto db = kv::Db::Open(dir);
+  ASSERT_TRUE(db.ok());
+  SBlockSketchOptions options;
+  options.mu = 16;  // tiny: constant eviction/reload churn across stripes
+  {
+    ShardedSBlockSketch sketch(options, db->get());
+
+    constexpr size_t kThreads = 8;
+    constexpr size_t kOpsPerThread = 800;
+    std::atomic<int> errors{0};
+    std::vector<std::thread> workers;
+    for (size_t t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        Rng rng(t * 977 + 13);
+        for (size_t i = 0; i < kOpsPerThread; ++i) {
+          const std::string key = "blk" + std::to_string(rng.UniformIndex(90));
+          const std::string value = "val#" + std::to_string(i % 17);
+          if (i % 2 == 0) {
+            if (!sketch
+                     .Insert(key, value,
+                             static_cast<RecordId>(t * kOpsPerThread + i))
+                     .ok()) {
+              ++errors;
+            }
+          } else {
+            if (!sketch.Candidates(key, value).ok()) ++errors;
+          }
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+
+    EXPECT_EQ(errors.load(), 0);
+    EXPECT_EQ(sketch.stats().inserts, kThreads * kOpsPerThread / 2);
+    EXPECT_EQ(sketch.stats().queries, kThreads * kOpsPerThread / 2);
+    // The per-stripe budget holds even under contention.
+    EXPECT_LE(sketch.num_live_blocks(),
+              sketch.num_stripes() *
+                  ((options.mu + sketch.num_stripes() - 1) /
+                   sketch.num_stripes()));
+  }
+  (void)kv::RemoveDirRecursively(dir);
+}
+
+TEST(BlockSketchQGramTest, CachedProfilesMatchDirectDistance) {
+  // The cached-profile fast path must route exactly like a policy that
+  // recomputes 1 - QGramDice from the raw strings on every comparison.
+  BlockSketchOptions cached_options;
+  cached_options.distance_kind = KeyDistanceKind::kQGramDice;
+  cached_options.qgram = 2;
+  BlockSketch cached(cached_options);
+
+  BlockSketchOptions direct_options;  // kJaroWinkler kind, custom fn below
+  BlockSketch direct(direct_options, [](std::string_view a,
+                                        std::string_view b) {
+    return 1.0 - text::QGramDice(a, b, 2);
+  });
+
+  const auto entries = MakeEntries(2500, 40);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    cached.Insert(entries[i].first, entries[i].second,
+                  static_cast<RecordId>(i + 1));
+    direct.Insert(entries[i].first, entries[i].second,
+                  static_cast<RecordId>(i + 1));
+  }
+
+  EXPECT_EQ(cached.num_blocks(), direct.num_blocks());
+  for (const auto& [key, value] : entries) {
+    EXPECT_EQ(cached.Candidates(key, value), direct.Candidates(key, value))
+        << "key=" << key << " value=" << value;
+  }
+  EXPECT_EQ(cached.stats().representative_comparisons,
+            direct.stats().representative_comparisons);
+}
+
+}  // namespace
+}  // namespace sketchlink

@@ -1,0 +1,187 @@
+// Determinism-under-parallelism tests: the engine must produce bit-identical
+// match sets, comparison counts and quality metrics at every thread count
+// (ISSUE: parallel matching pipeline). Covers the BlockSketch and
+// SBlockSketch matchers end to end, including per-query ResolveOne checks.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blocking/presets.h"
+#include "datagen/generators.h"
+#include "kv/env.h"
+#include "linkage/engine.h"
+#include "linkage/sketch_matchers.h"
+
+namespace sketchlink {
+namespace {
+
+using datagen::DatasetKind;
+
+datagen::Workload MediumWorkload() {
+  datagen::WorkloadSpec spec;
+  spec.kind = DatasetKind::kNcvr;
+  spec.num_entities = 200;
+  spec.copies_per_entity = 6;
+  spec.seed = 90210;
+  return datagen::MakeWorkload(spec);
+}
+
+struct RunOutput {
+  LinkageReport report;
+  std::vector<std::vector<RecordId>> per_query;
+};
+
+RunOutput RunBlockSketch(const datagen::Workload& workload, size_t threads) {
+  auto blocker = MakeStandardBlocker(DatasetKind::kNcvr);
+  const RecordSimilarity similarity(MatchFieldsFor(DatasetKind::kNcvr));
+  RecordStore store;
+  BlockSketchMatcher matcher(BlockSketchOptions(), similarity, &store);
+  EngineOptions options;
+  options.num_threads = threads;
+  LinkageEngine engine(blocker.get(), &matcher, similarity, options);
+
+  RunOutput out;
+  EXPECT_TRUE(engine.BuildIndex(workload.a).ok());
+  const GroundTruth truth(workload.a);
+  auto report = engine.ResolveAll(workload.q, truth);
+  EXPECT_TRUE(report.ok());
+  out.report = *report;
+  // Per-query results after the parallel phase: resolution only reads the
+  // sketch, so the answers must match the parallel run's scoring exactly.
+  for (const Record& query : workload.q.records()) {
+    auto matches = engine.ResolveOne(query);
+    EXPECT_TRUE(matches.ok());
+    out.per_query.push_back(std::move(*matches));
+  }
+  return out;
+}
+
+TEST(ParallelEngineTest, BlockSketchIdenticalAcrossThreadCounts) {
+  const datagen::Workload workload = MediumWorkload();
+  const RunOutput reference = RunBlockSketch(workload, 1);
+  EXPECT_EQ(reference.report.threads, 1u);
+  EXPECT_GT(reference.report.queries_per_second, 0.0);
+
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    const RunOutput run = RunBlockSketch(workload, threads);
+    EXPECT_EQ(run.report.threads, threads);
+    EXPECT_EQ(run.per_query, reference.per_query) << "threads=" << threads;
+    EXPECT_EQ(run.report.quality.true_pairs,
+              reference.report.quality.true_pairs);
+    EXPECT_EQ(run.report.quality.reported_pairs,
+              reference.report.quality.reported_pairs);
+    EXPECT_EQ(run.report.quality.correct_pairs,
+              reference.report.quality.correct_pairs);
+    EXPECT_DOUBLE_EQ(run.report.quality.recall,
+                     reference.report.quality.recall);
+    EXPECT_DOUBLE_EQ(run.report.quality.precision,
+                     reference.report.quality.precision);
+  }
+}
+
+TEST(ParallelEngineTest, BlockSketchComparisonsIdenticalAcrossThreadCounts) {
+  // comparisons() is read before the extra ResolveOne sweep here, so the
+  // counter totals of build + ResolveAll are compared exactly.
+  const datagen::Workload workload = MediumWorkload();
+  auto blocker = MakeStandardBlocker(DatasetKind::kNcvr);
+  const RecordSimilarity similarity(MatchFieldsFor(DatasetKind::kNcvr));
+  const GroundTruth truth(workload.a);
+
+  uint64_t reference_comparisons = 0;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    RecordStore store;
+    BlockSketchMatcher matcher(BlockSketchOptions(), similarity, &store,
+                               ResolveMode::kVerified);
+    EngineOptions options;
+    options.num_threads = threads;
+    LinkageEngine engine(blocker.get(), &matcher, similarity, options);
+    ASSERT_TRUE(engine.BuildIndex(workload.a).ok());
+    auto report = engine.ResolveAll(workload.q, truth);
+    ASSERT_TRUE(report.ok());
+    if (threads == 1) {
+      reference_comparisons = report->comparisons;
+    } else {
+      EXPECT_EQ(report->comparisons, reference_comparisons)
+          << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelEngineTest, SBlockSketchIdenticalAcrossThreadCounts) {
+  const datagen::Workload workload = MediumWorkload();
+  auto blocker = MakeStandardBlocker(DatasetKind::kNcvr);
+  const RecordSimilarity similarity(MatchFieldsFor(DatasetKind::kNcvr));
+  const GroundTruth truth(workload.a);
+
+  struct Output {
+    QualityMetrics quality;
+    std::vector<std::vector<RecordId>> per_query;
+  };
+  const auto run_at = [&](size_t threads) {
+    const std::string dir =
+        "/tmp/sketchlink_parallel_engine_" + std::to_string(threads);
+    (void)kv::RemoveDirRecursively(dir);
+    auto db = kv::Db::Open(dir);
+    EXPECT_TRUE(db.ok());
+    Output out;
+    {
+      SBlockSketchOptions options;
+      options.mu = 64;  // forces spills so the kv store is on the hot path
+      RecordStore store;
+      SBlockSketchMatcher matcher(options, db->get(), similarity, &store);
+      EngineOptions engine_options;
+      engine_options.num_threads = threads;
+      LinkageEngine engine(blocker.get(), &matcher, similarity,
+                           engine_options);
+      EXPECT_TRUE(engine.BuildIndex(workload.a).ok());
+      auto report = engine.ResolveAll(workload.q, truth);
+      EXPECT_TRUE(report.ok());
+      out.quality = report->quality;
+      for (const Record& query : workload.q.records()) {
+        auto matches = engine.ResolveOne(query);
+        EXPECT_TRUE(matches.ok());
+        out.per_query.push_back(std::move(*matches));
+      }
+    }
+    (void)kv::RemoveDirRecursively(dir);
+    return out;
+  };
+
+  const Output reference = run_at(1);
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    const Output run = run_at(threads);
+    EXPECT_EQ(run.quality.true_pairs, reference.quality.true_pairs);
+    EXPECT_EQ(run.quality.reported_pairs, reference.quality.reported_pairs);
+    EXPECT_EQ(run.quality.correct_pairs, reference.quality.correct_pairs);
+    EXPECT_EQ(run.per_query, reference.per_query) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelEngineTest, SequentialMatchersStillWorkThroughBatchPath) {
+  // EO keeps the default InsertBatch/SupportsConcurrentResolve: a
+  // multi-threaded engine must fall back to sequential resolution and still
+  // produce a valid report.
+  const datagen::Workload workload = MediumWorkload();
+  auto blocker = MakeStandardBlocker(DatasetKind::kNcvr);
+  const RecordSimilarity similarity(MatchFieldsFor(DatasetKind::kNcvr));
+  const GroundTruth truth(workload.a);
+
+  RecordStore store;
+  NaiveBlockMatcher naive(similarity, &store);
+  EXPECT_TRUE(naive.SupportsConcurrentResolve());
+
+  EngineOptions options;
+  options.num_threads = 4;
+  LinkageEngine engine(blocker.get(), &naive, similarity, options);
+  ASSERT_TRUE(engine.BuildIndex(workload.a).ok());
+  auto report = engine.ResolveAll(workload.q, truth);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->quality.true_pairs, 0u);
+  EXPECT_GT(report->comparisons, 0u);
+}
+
+}  // namespace
+}  // namespace sketchlink
