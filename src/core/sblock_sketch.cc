@@ -70,7 +70,7 @@ Status SBlockSketch::EvictOne() {
 }
 
 Result<SBlockSketch::LiveBlock*> SBlockSketch::EnsureLive(
-    const std::string& block_key) {
+    const std::string& block_key, bool create_if_missing) {
   ++access_clock_;
 
   // Algorithm 4, line 2: try the hash table T first.
@@ -84,6 +84,7 @@ Result<SBlockSketch::LiveBlock*> SBlockSketch::EnsureLive(
   // Line 4: resort to secondary storage.
   LiveBlock fresh;
   std::string encoded;
+  bool loaded = false;
   const Status load = spill_db_->Get(SpillKey(block_key), &encoded);
   if (load.ok()) {
     std::string_view input(encoded);
@@ -92,8 +93,10 @@ Result<SBlockSketch::LiveBlock*> SBlockSketch::EnsureLive(
     fresh.block = std::move(*decoded);
     // Profile caches are derived data and not part of the spill format.
     policy_.RehydrateProfiles(&fresh.block);
+    loaded = true;
     ++stats_.disk_loads;
   } else if (load.IsNotFound()) {
+    if (!create_if_missing) return static_cast<LiveBlock*>(nullptr);
     fresh.block = SketchBlock(options_.sketch.lambda);
   } else {
     return load;
@@ -110,13 +113,21 @@ Result<SBlockSketch::LiveBlock*> SBlockSketch::EnsureLive(
   (void)ok;
   Requeue(inserted->first, &inserted->second);
   MaybeCompactQueue();
+  if (loaded) {
+    // The live copy is now authoritative; a leftover spill entry would
+    // resurrect stale state on a later load. Deleting only after the
+    // emplace means a failure here (surfaced to the caller) cannot lose
+    // the block.
+    const Status drop = spill_db_->Delete(SpillKey(block_key));
+    if (!drop.ok() && !drop.IsNotFound()) return drop;
+  }
   return &inserted->second;
 }
 
 Status SBlockSketch::Insert(const std::string& block_key,
                             std::string_view key_values, RecordId id) {
   ++stats_.inserts;
-  auto live = EnsureLive(block_key);
+  auto live = EnsureLive(block_key, /*create_if_missing=*/true);
   if (!live.ok()) return live.status();
   LiveBlock* block = *live;
   ++block->xi;  // the block was chosen as target by an incoming record
@@ -134,14 +145,19 @@ Status SBlockSketch::Insert(const std::string& block_key,
 Result<std::vector<RecordId>> SBlockSketch::Candidates(
     const std::string& block_key, std::string_view key_values) {
   ++stats_.queries;
-  auto live = EnsureLive(block_key);
+  auto live = EnsureLive(block_key, /*create_if_missing=*/false);
   if (!live.ok()) return live.status();
+  if (*live == nullptr) {
+    // The stream never produced this block: there is nothing to compare
+    // against. Admitting an empty block here would evict a live one and
+    // seed its anchor from the *query's* key values, skewing every later
+    // sub-block choice.
+    ++stats_.query_misses;
+    return std::vector<RecordId>();
+  }
   LiveBlock* block = *live;
   ++block->xi;
   Requeue(block_key, block);
-  if (block->block.anchor.empty() && block->block.TotalMembers() == 0) {
-    policy_.SeedAnchor(&block->block, key_values);
-  }
   const size_t sub = policy_.ChooseSubBlock(
       block->block, key_values, &stats_.representative_comparisons);
   std::vector<RecordId> members = block->block.subs[sub].members;

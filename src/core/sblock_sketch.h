@@ -38,6 +38,7 @@ struct SBlockSketchStats {
   uint64_t live_hits = 0;    // operations served from the hash table T
   uint64_t disk_loads = 0;   // blocks pulled back from secondary storage
   uint64_t evictions = 0;    // blocks spilled to secondary storage
+  uint64_t query_misses = 0; // queries for block keys the stream never made
   uint64_t representative_comparisons = 0;
   uint64_t candidates_returned = 0;
 };
@@ -64,7 +65,10 @@ class SBlockSketch {
                 RecordId id);
 
   /// Candidate ids for a query — same contract as BlockSketch::Candidates,
-  /// but may trigger a load/eviction, hence non-const and fallible.
+  /// but may trigger a load/eviction, hence non-const and fallible. A query
+  /// for a block key the stream never produced is a miss: it returns an
+  /// empty list without admitting (or anchor-seeding) a block, so probes
+  /// cannot evict live state.
   Result<std::vector<RecordId>> Candidates(const std::string& block_key,
                                            std::string_view key_values);
 
@@ -115,8 +119,12 @@ class SBlockSketch {
   }
 
   /// Returns the live block for `block_key`, loading it from the spill
-  /// store or creating it; evicts first when T is full (Algorithm 4).
-  Result<LiveBlock*> EnsureLive(const std::string& block_key);
+  /// store (and dropping the now-stale spill entry) or — only when
+  /// `create_if_missing` — creating it; evicts first when T is full
+  /// (Algorithm 4). nullptr (with OK status) means the block exists
+  /// nowhere and creation was not requested.
+  Result<LiveBlock*> EnsureLive(const std::string& block_key,
+                                bool create_if_missing);
 
   /// Spills the block with the minimum eviction status.
   Status EvictOne();

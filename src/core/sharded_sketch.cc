@@ -202,6 +202,7 @@ SBlockSketchStats ShardedSBlockSketch::stats() const {
     total.live_hits += s.live_hits;
     total.disk_loads += s.disk_loads;
     total.evictions += s.evictions;
+    total.query_misses += s.query_misses;
     total.representative_comparisons += s.representative_comparisons;
     total.candidates_returned += s.candidates_returned;
   }

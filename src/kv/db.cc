@@ -35,9 +35,10 @@ std::string Db::ManifestFileName() const { return path_ + "/MANIFEST"; }
 
 Result<std::unique_ptr<Db>> Db::Open(const std::string& path,
                                      const Options& options) {
+  Env* env = options.env != nullptr ? options.env : Env::Default();
   if (options.create_if_missing) {
-    SKETCHLINK_RETURN_IF_ERROR(CreateDirIfMissing(path));
-  } else if (!FileExists(path)) {
+    SKETCHLINK_RETURN_IF_ERROR(env->CreateDirIfMissing(path));
+  } else if (!env->FileExists(path)) {
     return Status::NotFound("database directory missing: " + path);
   }
   auto db = std::unique_ptr<Db>(new Db(path, options));
@@ -50,9 +51,10 @@ Result<std::unique_ptr<Db>> Db::Open(const std::string& path,
 
 Status Db::Recover() {
   // 1. Manifest -> table list.
-  if (FileExists(ManifestFileName())) {
+  if (env_->FileExists(ManifestFileName())) {
     std::string manifest;
-    SKETCHLINK_RETURN_IF_ERROR(ReadFileToString(ManifestFileName(), &manifest));
+    SKETCHLINK_RETURN_IF_ERROR(
+        env_->ReadFileToString(ManifestFileName(), &manifest));
     if (manifest.size() < 8) return Status::Corruption("manifest too small");
     std::string_view body(manifest.data(), manifest.size() - 8);
     std::string_view tail(manifest.data() + manifest.size() - 8, 8);
@@ -74,37 +76,72 @@ Status Db::Recover() {
       if (!GetLengthPrefixed(&input, &name)) {
         return Status::Corruption("bad manifest entry");
       }
-      auto table =
-          Table::Open(path_ + "/" + std::string(name), block_cache_.get());
+      auto table = Table::Open(path_ + "/" + std::string(name),
+                               block_cache_.get(), env_);
       if (!table.ok()) return table.status();
       tables_.push_back(std::move(*table));
     }
   }
 
-  // 2. Replay the WAL into a fresh memtable.
-  if (FileExists(WalFileName())) {
-    auto records = ReadWal(WalFileName());
+  // 2. Sweep .sst files the manifest never adopted: a crash between writing
+  // a run and committing the manifest leaves an orphan whose number may be
+  // reused. Best effort — an undeletable orphan is only wasted space.
+  if (auto listing = env_->ListDir(path_); listing.ok()) {
+    for (const std::string& name : *listing) {
+      if (name.size() < 4 || name.substr(name.size() - 4) != ".sst") continue;
+      const std::string full = path_ + "/" + name;
+      const bool live = std::any_of(
+          tables_.begin(), tables_.end(),
+          [&](const auto& table) { return table->path() == full; });
+      if (!live) (void)env_->RemoveFile(full);
+    }
+  }
+
+  // 3. Replay the WAL into a fresh memtable.
+  if (env_->FileExists(WalFileName())) {
+    auto records =
+        ReadWal(WalFileName(), env_, options_.best_effort_wal_recovery);
     if (!records.ok()) return records.status();
     for (const WalRecord& record : *records) {
       SKETCHLINK_RETURN_IF_ERROR(ApplyToMemtable(record));
     }
   }
 
-  // 3. Re-open the WAL for appending. Re-writing the replayed records keeps
+  // 4. Re-open the WAL for appending. Re-writing the replayed records keeps
   // the implementation simple (single WAL segment) at the cost of one
   // rewrite on recovery.
-  auto wal = WalWriter::Open(WalFileName() + ".new", options_.sync_writes);
-  if (!wal.ok()) return wal.status();
-  wal_ = std::move(*wal);
-  for (auto it = mem_.NewIterator(); it.Valid(); it.Next()) {
-    if (it.value().tombstone) {
-      SKETCHLINK_RETURN_IF_ERROR(wal_->AppendDelete(it.key()));
-    } else {
-      SKETCHLINK_RETURN_IF_ERROR(wal_->AppendPut(it.key(), it.value().value));
+  return RotateWalLocked();
+}
+
+Status Db::RotateWalLocked() {
+  if (wal_ != nullptr) (void)wal_->Close();
+  wal_ = nullptr;
+  auto rotate = [&]() -> Status {
+    const std::string tmp = WalFileName() + ".new";
+    auto wal = WalWriter::Open(tmp, options_.sync_writes, env_);
+    if (!wal.ok()) return wal.status();
+    for (auto it = mem_.NewIterator(); it.Valid(); it.Next()) {
+      if (it.value().tombstone) {
+        SKETCHLINK_RETURN_IF_ERROR((*wal)->AppendDelete(it.key()));
+      } else {
+        SKETCHLINK_RETURN_IF_ERROR(
+            (*wal)->AppendPut(it.key(), it.value().value));
+      }
     }
-  }
-  SKETCHLINK_RETURN_IF_ERROR(wal_->Sync());
-  return RenameFile(WalFileName() + ".new", WalFileName());
+    SKETCHLINK_RETURN_IF_ERROR((*wal)->Sync());
+    // The writer keeps its handle across the rename: appends land in the
+    // newly-named live log.
+    SKETCHLINK_RETURN_IF_ERROR(env_->RenameFile(tmp, WalFileName()));
+    wal_ = std::move(*wal);
+    return Status::OK();
+  };
+  wal_status_ = rotate();
+  return wal_status_;
+}
+
+Status Db::EnsureWalLocked() {
+  if (wal_status_.ok() && wal_ != nullptr) return Status::OK();
+  return RotateWalLocked();
 }
 
 Status Db::ApplyToMemtable(const WalRecord& record) {
@@ -130,11 +167,12 @@ Status Db::WriteManifest() {
   std::string file = body;
   PutFixed32(&file, Crc32c(body));
   PutFixed32(&file, kManifestMagic);
-  return WriteStringToFileSync(ManifestFileName(), file);
+  return env_->WriteStringToFileSync(ManifestFileName(), file);
 }
 
 Status Db::Put(std::string_view key, std::string_view value) {
   std::lock_guard<std::mutex> lock(mutex_);
+  SKETCHLINK_RETURN_IF_ERROR(EnsureWalLocked());
   SKETCHLINK_RETURN_IF_ERROR(wal_->AppendPut(key, value));
   mem_.Put(std::string(key), std::string(value));
   ++stats_.puts;
@@ -143,6 +181,7 @@ Status Db::Put(std::string_view key, std::string_view value) {
 
 Status Db::Delete(std::string_view key) {
   std::lock_guard<std::mutex> lock(mutex_);
+  SKETCHLINK_RETURN_IF_ERROR(EnsureWalLocked());
   SKETCHLINK_RETURN_IF_ERROR(wal_->AppendDelete(key));
   mem_.Delete(std::string(key));
   ++stats_.deletes;
@@ -211,19 +250,17 @@ Status Db::FlushLocked() {
         (*builder)->Add(it.key(), it.value().value, it.value().tombstone));
   }
   SKETCHLINK_RETURN_IF_ERROR((*builder)->Finish());
-  auto table = Table::Open(table_path, block_cache_.get());
+  auto table = Table::Open(table_path, block_cache_.get(), env_);
   if (!table.ok()) return table.status();
   tables_.push_back(std::move(*table));
   SKETCHLINK_RETURN_IF_ERROR(WriteManifest());
 
   // Reset the memtable + WAL: everything buffered is now durable in the run.
+  // A failed rotation poisons the write path (the flushed data itself is
+  // safe) until EnsureWalLocked heals it.
   mem_.Clear();
-  SKETCHLINK_RETURN_IF_ERROR(wal_->Close());
-  auto wal = WalWriter::Open(WalFileName(), options_.sync_writes);
-  if (!wal.ok()) return wal.status();
-  wal_ = std::move(*wal);
   ++stats_.flushes;
-  return Status::OK();
+  return RotateWalLocked();
 }
 
 Status Db::Compact(bool force) {
@@ -260,7 +297,7 @@ Status Db::CompactLocked(bool force) {
   SKETCHLINK_RETURN_IF_ERROR(merged->status());
   SKETCHLINK_RETURN_IF_ERROR((*builder)->Finish());
 
-  auto table = Table::Open(table_path, block_cache_.get());
+  auto table = Table::Open(table_path, block_cache_.get(), env_);
   if (!table.ok()) return table.status();
 
   std::vector<std::string> obsolete;
@@ -270,7 +307,8 @@ Status Db::CompactLocked(bool force) {
   tables_.push_back(std::move(*table));
   SKETCHLINK_RETURN_IF_ERROR(WriteManifest());
   for (const std::string& old_path : obsolete) {
-    (void)RemoveFile(old_path);  // best effort; manifest no longer refs them
+    // Best effort; manifest no longer refs them, and recovery re-sweeps.
+    (void)env_->RemoveFile(old_path);
     if (block_cache_ != nullptr) block_cache_->EraseByPrefix(old_path + "@");
   }
   ++stats_.compactions;

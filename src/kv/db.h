@@ -43,10 +43,12 @@ class Db {
   static Result<std::unique_ptr<Db>> Open(const std::string& path,
                                           const Options& options = Options());
 
-  /// Inserts or overwrites `key`.
+  /// Inserts or overwrites `key`. After a failed WAL rotation the store is
+  /// poisoned: writes fail with the sticky rotation error (retrying the
+  /// rotation first) instead of acknowledging updates the log never saw.
   Status Put(std::string_view key, std::string_view value);
 
-  /// Removes `key` (idempotent).
+  /// Removes `key` (idempotent). Same poisoning contract as Put.
   Status Delete(std::string_view key);
 
   /// Point lookup; NotFound status when absent.
@@ -95,7 +97,9 @@ class Db {
 
  private:
   Db(std::string path, Options options)
-      : path_(std::move(path)), options_(options) {}
+      : path_(std::move(path)),
+        options_(options),
+        env_(options.env != nullptr ? options.env : Env::Default()) {}
 
   std::string TableFileName(uint64_t number) const;
   std::string WalFileName() const;
@@ -109,14 +113,24 @@ class Db {
   Status FlushLocked();
   Status CompactLocked(bool force);
   Status MaybeFlushAndCompactLocked();
+  // Rebuilds the WAL from the current memtable (fresh file beside the live
+  // one, sync, atomic rename). On failure wal_ is dropped and wal_status_
+  // keeps the error, poisoning the write path.
+  Status RotateWalLocked();
+  // Write-path gate: OK when the WAL is healthy, otherwise retries the
+  // rotation so a transient failure can heal.
+  Status EnsureWalLocked();
   std::unique_ptr<Iterator> NewIteratorLocked() const;
 
   mutable std::mutex mutex_;
   std::string path_;
   Options options_;
+  Env* env_;  // never null: resolved to Env::Default() at construction
   std::unique_ptr<BlockCache> block_cache_;
   MemTable mem_;
   std::unique_ptr<WalWriter> wal_;
+  // Sticky result of the last WAL rotation; non-OK poisons Put/Delete.
+  Status wal_status_;
   // Sorted runs, oldest first; lookups scan newest -> oldest.
   std::vector<std::shared_ptr<Table>> tables_;
   uint64_t next_file_number_ = 1;

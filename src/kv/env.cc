@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <system_error>
@@ -17,96 +18,185 @@ Status ErrnoStatus(const std::string& context) {
   return Status::IOError(context + ": " + std::strerror(errno));
 }
 
+/// stdio-backed writable file: buffered appends, explicit fsync on Sync().
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  ~PosixWritableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (file_ == nullptr) return Status::FailedPrecondition("file closed");
+    if (data.empty()) return Status::OK();
+    if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+      return ErrnoStatus("write " + path_);
+    }
+    size_ += data.size();
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    if (file_ == nullptr) return Status::FailedPrecondition("file closed");
+    if (std::fflush(file_) != 0) return ErrnoStatus("flush " + path_);
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    SKETCHLINK_RETURN_IF_ERROR(Flush());
+    // fileno + fsync; fflush alone leaves data in the page cache, which is
+    // fine for crash-consistency within the process but not across power
+    // loss. Our durability contract matches LevelDB's default (no fsync per
+    // write); Sync() is called on WAL rotation and manifest swaps.
+    if (fsync(fileno(file_)) != 0) return ErrnoStatus("fsync " + path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::OK();
+    const int rc = std::fclose(file_);
+    file_ = nullptr;
+    if (rc != 0) return ErrnoStatus("close " + path_);
+    return Status::OK();
+  }
+
+  uint64_t size() const override { return size_; }
+  const std::string& path() const override { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_;
+  uint64_t size_ = 0;
+};
+
+/// stdio-backed positional reader.
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string path, std::FILE* file, uint64_t size)
+      : path_(std::move(path)), file_(file), size_(size) {}
+
+  ~PosixRandomAccessFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Read(uint64_t offset, size_t length,
+              std::string* out) const override {
+    out->resize(length);
+    if (length == 0) return Status::OK();
+    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return ErrnoStatus("seek " + path_);
+    }
+    if (std::fread(out->data(), 1, length, file_) != length) {
+      return Status::IOError("short read from " + path_);
+    }
+    return Status::OK();
+  }
+
+  uint64_t size() const override { return size_; }
+  const std::string& path() const override { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_;
+  uint64_t size_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return ErrnoStatus("open " + path);
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(path, f));
+  }
+
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      if (errno == ENOENT) return Status::NotFound(path);
+      return ErrnoStatus("open " + path);
+    }
+    std::error_code ec;
+    const uint64_t size = fs::file_size(path, ec);
+    if (ec) {
+      std::fclose(f);
+      return Status::IOError("stat " + path + ": " + ec.message());
+    }
+    return std::unique_ptr<RandomAccessFile>(
+        new PosixRandomAccessFile(path, f, size));
+  }
+
+  Status CreateDirIfMissing(const std::string& path) override {
+    std::error_code ec;
+    fs::create_directories(path, ec);
+    if (ec) return Status::IOError("mkdir " + path + ": " + ec.message());
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    std::error_code ec;
+    if (!fs::remove(path, ec)) {
+      if (ec) return Status::IOError("remove " + path + ": " + ec.message());
+      return Status::NotFound(path);
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    std::error_code ec;
+    fs::rename(from, to, ec);
+    if (ec) {
+      return Status::IOError("rename " + from + " -> " + to + ": " +
+                             ec.message());
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    std::error_code ec;
+    return fs::exists(path, ec);
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      if (entry.is_regular_file()) {
+        names.push_back(entry.path().filename().string());
+      }
+    }
+    if (ec) return Status::IOError("list " + dir + ": " + ec.message());
+    return names;
+  }
+
+  Status RemoveDirRecursively(const std::string& path) override {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+    if (ec) return Status::IOError("rmtree " + path + ": " + ec.message());
+    return Status::OK();
+  }
+};
+
 }  // namespace
 
-WritableFile::~WritableFile() {
-  if (file_ != nullptr) std::fclose(file_);
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();  // leaked: outlives every Db
+  return env;
 }
 
-Result<std::unique_ptr<WritableFile>> WritableFile::Open(
-    const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return ErrnoStatus("open " + path);
-  return std::unique_ptr<WritableFile>(new WritableFile(path, f));
-}
-
-Status WritableFile::Append(std::string_view data) {
-  if (file_ == nullptr) return Status::FailedPrecondition("file closed");
-  if (data.empty()) return Status::OK();
-  if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
-    return ErrnoStatus("write " + path_);
-  }
-  size_ += data.size();
-  return Status::OK();
-}
-
-Status WritableFile::Flush() {
-  if (file_ == nullptr) return Status::FailedPrecondition("file closed");
-  if (std::fflush(file_) != 0) return ErrnoStatus("flush " + path_);
-  return Status::OK();
-}
-
-Status WritableFile::Sync() {
-  SKETCHLINK_RETURN_IF_ERROR(Flush());
-  // fileno + fsync; fflush alone leaves data in the page cache, which is
-  // fine for crash-consistency within the process but not across power
-  // loss. Our durability contract matches LevelDB's default (no fsync per
-  // write); Sync() is called on WAL rotation and manifest swaps.
-  if (fsync(fileno(file_)) != 0) return ErrnoStatus("fsync " + path_);
-  return Status::OK();
-}
-
-Status WritableFile::Close() {
-  if (file_ == nullptr) return Status::OK();
-  const int rc = std::fclose(file_);
-  file_ = nullptr;
-  if (rc != 0) return ErrnoStatus("close " + path_);
-  return Status::OK();
-}
-
-RandomAccessFile::~RandomAccessFile() {
-  if (file_ != nullptr) std::fclose(file_);
-}
-
-Result<std::unique_ptr<RandomAccessFile>> RandomAccessFile::Open(
-    const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    if (errno == ENOENT) return Status::NotFound(path);
-    return ErrnoStatus("open " + path);
-  }
-  std::error_code ec;
-  const uint64_t size = fs::file_size(path, ec);
-  if (ec) {
-    std::fclose(f);
-    return Status::IOError("stat " + path + ": " + ec.message());
-  }
-  return std::unique_ptr<RandomAccessFile>(
-      new RandomAccessFile(path, f, size));
-}
-
-Status RandomAccessFile::Read(uint64_t offset, size_t length,
-                              std::string* out) const {
-  out->resize(length);
-  if (length == 0) return Status::OK();
-  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
-    return ErrnoStatus("seek " + path_);
-  }
-  if (std::fread(out->data(), 1, length, file_) != length) {
-    return Status::IOError("short read from " + path_);
-  }
-  return Status::OK();
-}
-
-Status ReadFileToString(const std::string& path, std::string* out) {
-  auto file = RandomAccessFile::Open(path);
+Status Env::ReadFileToString(const std::string& path, std::string* out) {
+  auto file = NewRandomAccessFile(path);
   if (!file.ok()) return file.status();
   return (*file)->Read(0, (*file)->size(), out);
 }
 
-Status WriteStringToFileSync(const std::string& path, std::string_view data) {
+Status Env::WriteStringToFileSync(const std::string& path,
+                                  std::string_view data) {
   const std::string tmp = path + ".tmp";
-  auto file = WritableFile::Open(tmp);
+  auto file = NewWritableFile(tmp);
   if (!file.ok()) return file.status();
   SKETCHLINK_RETURN_IF_ERROR((*file)->Append(data));
   SKETCHLINK_RETURN_IF_ERROR((*file)->Sync());
@@ -114,54 +204,46 @@ Status WriteStringToFileSync(const std::string& path, std::string_view data) {
   return RenameFile(tmp, path);
 }
 
+Result<std::unique_ptr<WritableFile>> WritableFile::Open(
+    const std::string& path) {
+  return Env::Default()->NewWritableFile(path);
+}
+
+Result<std::unique_ptr<RandomAccessFile>> RandomAccessFile::Open(
+    const std::string& path) {
+  return Env::Default()->NewRandomAccessFile(path);
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  return Env::Default()->ReadFileToString(path, out);
+}
+
+Status WriteStringToFileSync(const std::string& path, std::string_view data) {
+  return Env::Default()->WriteStringToFileSync(path, data);
+}
+
 Status CreateDirIfMissing(const std::string& path) {
-  std::error_code ec;
-  fs::create_directories(path, ec);
-  if (ec) return Status::IOError("mkdir " + path + ": " + ec.message());
-  return Status::OK();
+  return Env::Default()->CreateDirIfMissing(path);
 }
 
 Status RemoveFile(const std::string& path) {
-  std::error_code ec;
-  if (!fs::remove(path, ec)) {
-    if (ec) return Status::IOError("remove " + path + ": " + ec.message());
-    return Status::NotFound(path);
-  }
-  return Status::OK();
+  return Env::Default()->RemoveFile(path);
 }
 
 Status RenameFile(const std::string& from, const std::string& to) {
-  std::error_code ec;
-  fs::rename(from, to, ec);
-  if (ec) {
-    return Status::IOError("rename " + from + " -> " + to + ": " +
-                           ec.message());
-  }
-  return Status::OK();
+  return Env::Default()->RenameFile(from, to);
 }
 
 bool FileExists(const std::string& path) {
-  std::error_code ec;
-  return fs::exists(path, ec);
+  return Env::Default()->FileExists(path);
 }
 
 Result<std::vector<std::string>> ListDir(const std::string& dir) {
-  std::vector<std::string> names;
-  std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(dir, ec)) {
-    if (entry.is_regular_file()) {
-      names.push_back(entry.path().filename().string());
-    }
-  }
-  if (ec) return Status::IOError("list " + dir + ": " + ec.message());
-  return names;
+  return Env::Default()->ListDir(dir);
 }
 
 Status RemoveDirRecursively(const std::string& path) {
-  std::error_code ec;
-  fs::remove_all(path, ec);
-  if (ec) return Status::IOError("rmtree " + path + ": " + ec.message());
-  return Status::OK();
+  return Env::Default()->RemoveDirRecursively(path);
 }
 
 }  // namespace sketchlink::kv

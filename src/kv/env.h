@@ -1,7 +1,7 @@
 #ifndef SKETCHLINK_KV_ENV_H_
 #define SKETCHLINK_KV_ENV_H_
 
-#include <cstdio>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -12,94 +12,131 @@
 namespace sketchlink::kv {
 
 /// Buffered append-only file used for WAL segments, SSTables and manifests.
+/// Obtained from Env::NewWritableFile. Bytes merely Append()ed may sit in
+/// user-space or page-cache buffers; Sync() is the durability point the
+/// store's crash-consistency argument leans on (see DESIGN.md, Durability).
 class WritableFile {
  public:
-  ~WritableFile();
+  virtual ~WritableFile() = default;
 
   WritableFile(const WritableFile&) = delete;
   WritableFile& operator=(const WritableFile&) = delete;
 
-  /// Opens (creates/truncates) `path` for writing.
+  /// Opens (creates/truncates) `path` through the default Env.
   static Result<std::unique_ptr<WritableFile>> Open(const std::string& path);
 
   /// Appends bytes to the file buffer.
-  Status Append(std::string_view data);
+  virtual Status Append(std::string_view data) = 0;
 
   /// Flushes user-space buffers to the OS.
-  Status Flush();
+  virtual Status Flush() = 0;
 
   /// Flushes and fsyncs.
-  Status Sync();
+  virtual Status Sync() = 0;
 
   /// Flushes and closes; further calls are invalid.
-  Status Close();
+  virtual Status Close() = 0;
 
   /// Bytes appended so far.
-  uint64_t size() const { return size_; }
+  virtual uint64_t size() const = 0;
 
-  const std::string& path() const { return path_; }
+  virtual const std::string& path() const = 0;
 
- private:
-  WritableFile(std::string path, std::FILE* file)
-      : path_(std::move(path)), file_(file) {}
-
-  std::string path_;
-  std::FILE* file_;
-  uint64_t size_ = 0;
+ protected:
+  WritableFile() = default;
 };
 
-/// Positional-read file used to serve SSTable lookups.
+/// Positional-read file used to serve SSTable lookups. Obtained from
+/// Env::NewRandomAccessFile.
 class RandomAccessFile {
  public:
-  ~RandomAccessFile();
+  virtual ~RandomAccessFile() = default;
 
   RandomAccessFile(const RandomAccessFile&) = delete;
   RandomAccessFile& operator=(const RandomAccessFile&) = delete;
 
-  /// Opens `path` for reading.
+  /// Opens `path` through the default Env.
   static Result<std::unique_ptr<RandomAccessFile>> Open(
       const std::string& path);
 
   /// Reads exactly `length` bytes at `offset` into `*out` (resized).
-  Status Read(uint64_t offset, size_t length, std::string* out) const;
+  virtual Status Read(uint64_t offset, size_t length, std::string* out)
+      const = 0;
 
   /// Total file size.
-  uint64_t size() const { return size_; }
+  virtual uint64_t size() const = 0;
 
-  const std::string& path() const { return path_; }
+  virtual const std::string& path() const = 0;
 
- private:
-  RandomAccessFile(std::string path, std::FILE* file, uint64_t size)
-      : path_(std::move(path)), file_(file), size_(size) {}
-
-  std::string path_;
-  std::FILE* file_;
-  uint64_t size_;
+ protected:
+  RandomAccessFile() = default;
 };
 
-/// Reads an entire file into `*out`.
+/// The file system the store runs on. Production code uses the process-wide
+/// POSIX implementation (Env::Default()); tests plug a FaultInjectionEnv
+/// into Options::env to script failures into any I/O call the store makes.
+/// Implementations must be thread-safe: kv::Db serializes its own state but
+/// several Db instances may share one Env.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  /// The process-wide POSIX environment. Never null, never destroyed.
+  static Env* Default();
+
+  /// Opens (creates/truncates) `path` for appending.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  /// Opens `path` for positional reads; NotFound if absent.
+  virtual Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) = 0;
+
+  /// Creates directory `path` (and parents) if missing.
+  virtual Status CreateDirIfMissing(const std::string& path) = 0;
+
+  /// Removes a file; NotFound if absent.
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Renames a file, replacing the destination.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  /// True if `path` exists.
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Lists regular files (names only, not paths) inside directory `dir`.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+
+  /// Recursively deletes a directory tree (used by tests and benchmarks to
+  /// reset scratch databases).
+  virtual Status RemoveDirRecursively(const std::string& path) = 0;
+
+  /// Reads an entire file into `*out`. Composed from NewRandomAccessFile so
+  /// injected read faults apply.
+  Status ReadFileToString(const std::string& path, std::string* out);
+
+  /// Writes `data` to `path` atomically (tmp file + sync + rename).
+  /// Composed from the virtual primitives so injected faults apply to every
+  /// step.
+  Status WriteStringToFileSync(const std::string& path, std::string_view data);
+
+ protected:
+  Env() = default;
+};
+
+/// Free-function conveniences over Env::Default(), used by tests, examples
+/// and benchmarks that do not need fault injection.
 Status ReadFileToString(const std::string& path, std::string* out);
-
-/// Writes `data` to `path` atomically (tmp file + rename).
 Status WriteStringToFileSync(const std::string& path, std::string_view data);
-
-/// Creates directory `path` (and parents) if missing.
 Status CreateDirIfMissing(const std::string& path);
-
-/// Removes a file; NotFound if absent.
 Status RemoveFile(const std::string& path);
-
-/// Renames a file, replacing the destination.
 Status RenameFile(const std::string& from, const std::string& to);
-
-/// True if `path` exists.
 bool FileExists(const std::string& path);
-
-/// Lists regular files (names only, not paths) inside directory `dir`.
 Result<std::vector<std::string>> ListDir(const std::string& dir);
-
-/// Recursively deletes a directory tree (used by tests and benchmarks to
-/// reset scratch databases).
 Status RemoveDirRecursively(const std::string& path);
 
 }  // namespace sketchlink::kv

@@ -1,0 +1,288 @@
+#include "kv/fault_injection_env.h"
+
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+namespace sketchlink::kv {
+
+namespace fs = std::filesystem;
+
+std::string_view IoOpName(IoOp op) {
+  switch (op) {
+    case IoOp::kOpenWritable: return "open-writable";
+    case IoOp::kAppend: return "append";
+    case IoOp::kFlush: return "flush";
+    case IoOp::kSync: return "sync";
+    case IoOp::kClose: return "close";
+    case IoOp::kOpenRandomAccess: return "open-random-access";
+    case IoOp::kRead: return "read";
+    case IoOp::kRename: return "rename";
+    case IoOp::kRemove: return "remove";
+    case IoOp::kCreateDir: return "create-dir";
+  }
+  return "unknown";
+}
+
+bool FaultInjectionEnv::IsMutating(IoOp op) {
+  switch (op) {
+    case IoOp::kOpenWritable:
+    case IoOp::kAppend:
+    case IoOp::kFlush:
+    case IoOp::kSync:
+    case IoOp::kClose:
+    case IoOp::kRename:
+    case IoOp::kRemove:
+    case IoOp::kCreateDir:
+      return true;
+    case IoOp::kOpenRandomAccess:
+    case IoOp::kRead:
+      return false;
+  }
+  return false;
+}
+
+/// Writable file that routes every call through the env's fault machinery.
+/// Tracks itself by id so sync state follows the file through renames.
+class FaultWritableFile final : public WritableFile {
+ public:
+  FaultWritableFile(FaultInjectionEnv* env, uint64_t id,
+                    std::unique_ptr<WritableFile> base)
+      : env_(env), id_(id), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override {
+    // Only the call that hits the fault/crash point tears; once the disk
+    // is frozen, later appends must leave no trace at all.
+    const bool was_crashed = env_->crashed();
+    const Status fault = env_->CheckOp(IoOp::kAppend);
+    if (!fault.ok()) {
+      if (!was_crashed && env_->partial_appends() && data.size() > 1) {
+        // Torn write: half the payload lands before the "crash".
+        (void)base_->Append(data.substr(0, data.size() / 2));
+      }
+      return fault;
+    }
+    return base_->Append(data);
+  }
+
+  Status Flush() override {
+    SKETCHLINK_RETURN_IF_ERROR(env_->CheckOp(IoOp::kFlush));
+    return base_->Flush();
+  }
+
+  Status Sync() override {
+    SKETCHLINK_RETURN_IF_ERROR(env_->CheckOp(IoOp::kSync));
+    SKETCHLINK_RETURN_IF_ERROR(base_->Sync());
+    env_->NoteSynced(id_, base_->size());
+    return Status::OK();
+  }
+
+  Status Close() override {
+    SKETCHLINK_RETURN_IF_ERROR(env_->CheckOp(IoOp::kClose));
+    return base_->Close();
+  }
+
+  uint64_t size() const override { return base_->size(); }
+  const std::string& path() const override { return base_->path(); }
+
+ private:
+  FaultInjectionEnv* const env_;
+  const uint64_t id_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+/// Read-side counterpart: lets tests fail the Nth positional read.
+class FaultRandomAccessFile final : public RandomAccessFile {
+ public:
+  FaultRandomAccessFile(FaultInjectionEnv* env,
+                        std::unique_ptr<RandomAccessFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Read(uint64_t offset, size_t length,
+              std::string* out) const override {
+    SKETCHLINK_RETURN_IF_ERROR(env_->CheckOp(IoOp::kRead));
+    return base_->Read(offset, length, out);
+  }
+
+  uint64_t size() const override { return base_->size(); }
+  const std::string& path() const override { return base_->path(); }
+
+ private:
+  FaultInjectionEnv* const env_;
+  std::unique_ptr<RandomAccessFile> base_;
+};
+
+void FaultInjectionEnv::FailNth(IoOp op, uint64_t nth, Status status) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  faults_.push_back(ScheduledFault{op, nth, std::move(status)});
+}
+
+void FaultInjectionEnv::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  faults_.clear();
+}
+
+void FaultInjectionEnv::set_partial_appends(bool on) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  partial_appends_ = on;
+}
+
+bool FaultInjectionEnv::partial_appends() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return partial_appends_;
+}
+
+void FaultInjectionEnv::CrashAfter(uint64_t budget) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crash_armed_ = true;
+  crashed_ = false;
+  crash_budget_ = budget;
+}
+
+bool FaultInjectionEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crashed_;
+}
+
+void FaultInjectionEnv::ClearCrash() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crash_armed_ = false;
+  crashed_ = false;
+  crash_budget_ = 0;
+}
+
+uint64_t FaultInjectionEnv::mutating_ops() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return mutating_ops_;
+}
+
+Status FaultInjectionEnv::CheckOp(IoOp op) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (IsMutating(op)) {
+    ++mutating_ops_;
+    if (crashed_) {
+      return Status::IOError("crash point tripped (" +
+                             std::string(IoOpName(op)) + ")");
+    }
+    if (crash_armed_) {
+      if (crash_budget_ == 0) {
+        crashed_ = true;
+        return Status::IOError("crash point tripped (" +
+                               std::string(IoOpName(op)) + ")");
+      }
+      --crash_budget_;
+    }
+  }
+  Status result;
+  for (auto it = faults_.begin(); it != faults_.end();) {
+    if (it->op != op) {
+      ++it;
+      continue;
+    }
+    if (it->remaining == 0 && result.ok()) {
+      result = std::move(it->status);
+      it = faults_.erase(it);
+    } else {
+      if (it->remaining > 0) --it->remaining;
+      ++it;
+    }
+  }
+  return result;
+}
+
+void FaultInjectionEnv::NoteSynced(uint64_t id, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(id);
+  if (it != files_.end()) it->second.synced = bytes;
+}
+
+Status FaultInjectionEnv::DropUnsyncedWrites() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [id, state] : files_) {
+    std::error_code ec;
+    const uint64_t on_disk = fs::file_size(state.path, ec);
+    if (ec) continue;  // already gone: nothing survived to truncate
+    if (on_disk > state.synced) {
+      fs::resize_file(state.path, state.synced, ec);
+      if (ec) {
+        return Status::IOError("truncate " + state.path + ": " + ec.message());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path) {
+  SKETCHLINK_RETURN_IF_ERROR(CheckOp(IoOp::kOpenWritable));
+  auto base = base_->NewWritableFile(path);
+  if (!base.ok()) return base.status();
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // The open truncated `path`: older generations tracking the same path
+    // are obsolete.
+    for (auto it = files_.begin(); it != files_.end();) {
+      it = it->second.path == path ? files_.erase(it) : std::next(it);
+    }
+    id = next_file_id_++;
+    files_[id] = TrackedFile{path, 0};
+  }
+  return std::unique_ptr<WritableFile>(
+      new FaultWritableFile(this, id, std::move(*base)));
+}
+
+Result<std::unique_ptr<RandomAccessFile>>
+FaultInjectionEnv::NewRandomAccessFile(const std::string& path) {
+  SKETCHLINK_RETURN_IF_ERROR(CheckOp(IoOp::kOpenRandomAccess));
+  auto base = base_->NewRandomAccessFile(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<RandomAccessFile>(
+      new FaultRandomAccessFile(this, std::move(*base)));
+}
+
+Status FaultInjectionEnv::CreateDirIfMissing(const std::string& path) {
+  SKETCHLINK_RETURN_IF_ERROR(CheckOp(IoOp::kCreateDir));
+  return base_->CreateDirIfMissing(path);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  SKETCHLINK_RETURN_IF_ERROR(CheckOp(IoOp::kRemove));
+  SKETCHLINK_RETURN_IF_ERROR(base_->RemoveFile(path));
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = files_.begin(); it != files_.end();) {
+    it = it->second.path == path ? files_.erase(it) : std::next(it);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  SKETCHLINK_RETURN_IF_ERROR(CheckOp(IoOp::kRename));
+  SKETCHLINK_RETURN_IF_ERROR(base_->RenameFile(from, to));
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The destination's old content is gone; sync state follows the source
+  // (the renamed inode may still be open and syncing under its old path).
+  for (auto it = files_.begin(); it != files_.end();) {
+    it = it->second.path == to ? files_.erase(it) : std::next(it);
+  }
+  for (auto& [id, state] : files_) {
+    if (state.path == from) state.path = to;
+  }
+  return Status::OK();
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Result<std::vector<std::string>> FaultInjectionEnv::ListDir(
+    const std::string& dir) {
+  return base_->ListDir(dir);
+}
+
+Status FaultInjectionEnv::RemoveDirRecursively(const std::string& path) {
+  return base_->RemoveDirRecursively(path);
+}
+
+}  // namespace sketchlink::kv

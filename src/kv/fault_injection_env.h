@@ -1,0 +1,145 @@
+#ifndef SKETCHLINK_KV_FAULT_INJECTION_ENV_H_
+#define SKETCHLINK_KV_FAULT_INJECTION_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "kv/env.h"
+
+namespace sketchlink::kv {
+
+/// One Env entry point that can be made to fail. kAppend/kFlush/kSync/
+/// kClose apply to writable files, kRead to random-access files; the rest
+/// name the Env method directly.
+enum class IoOp {
+  kOpenWritable,
+  kAppend,
+  kFlush,
+  kSync,
+  kClose,
+  kOpenRandomAccess,
+  kRead,
+  kRename,
+  kRemove,
+  kCreateDir,
+};
+
+/// Returns the canonical name of an op ("append", "sync", ...), for test
+/// failure messages.
+std::string_view IoOpName(IoOp op);
+
+/// Test double wrapping a real Env (the files live on the actual file
+/// system) that can script the failures a production stream service sees:
+///
+///   (a) FailNth(op, n, status) fails the n-th future call of `op` with a
+///       chosen Status — the call has no effect on disk, except that with
+///       set_partial_appends(true) a failed Append first writes the first
+///       half of its data, simulating a torn write.
+///   (b) DropUnsyncedWrites() simulates power loss: every tracked file is
+///       truncated back to its last Sync()ed size. Call it only after all
+///       writers are closed/destroyed (i.e. after the "process" died).
+///   (c) CrashAfter(n) trips a crash point: after n more mutating ops
+///       succeed, the on-disk state freezes — every later mutating op fails
+///       with IOError and has no effect — so tests can reopen the exact
+///       mid-sequence state. mutating_ops() after a clean run enumerates
+///       the crash points to sweep.
+///
+/// Mutating ops are kOpenWritable, kAppend, kFlush, kSync, kClose, kRename,
+/// kRemove and kCreateDir; reads never trip the crash point. Thread-safe.
+/// The env must outlive every file handle it returned, and `base` must be
+/// the POSIX env (or another env whose files land on the real file system,
+/// which DropUnsyncedWrites truncates directly).
+class FaultInjectionEnv final : public Env {
+ public:
+  explicit FaultInjectionEnv(Env* base = Env::Default()) : base_(base) {}
+
+  // --- fault scripting ------------------------------------------------
+
+  /// Fails the nth (0 = the very next) future call of `op` with `status`.
+  /// Multiple schedules may be active at once.
+  void FailNth(IoOp op, uint64_t nth, Status status);
+
+  /// Drops every scheduled fault (crash state is separate; see ClearCrash).
+  void ClearFaults();
+
+  /// When on, a failed or crashed Append first writes the first half of its
+  /// payload — the torn tail a real crash mid-write leaves behind.
+  void set_partial_appends(bool on);
+
+  /// Freezes the disk after `budget` more successful mutating ops.
+  void CrashAfter(uint64_t budget);
+
+  /// True once the crash point tripped.
+  bool crashed() const;
+
+  /// Un-freezes the disk (the scheduled crash budget is also cleared).
+  void ClearCrash();
+
+  /// Power loss: truncates every tracked file back to its last synced size.
+  /// Requires all writable files obtained from this env to be destroyed.
+  Status DropUnsyncedWrites();
+
+  /// Mutating ops observed so far (attempted, whether or not they failed).
+  /// Run a workload once cleanly, read this, then sweep CrashAfter(0..n).
+  uint64_t mutating_ops() const;
+
+  // --- Env ------------------------------------------------------------
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override;
+  Status CreateDirIfMissing(const std::string& path) override;
+  Status RemoveFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  bool FileExists(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status RemoveDirRecursively(const std::string& path) override;
+
+ private:
+  friend class FaultWritableFile;
+  friend class FaultRandomAccessFile;
+
+  struct ScheduledFault {
+    IoOp op;
+    uint64_t remaining;  // matching calls to let through first
+    Status status;
+  };
+
+  /// Sync state of one file this env created, keyed by handle id so it
+  /// follows the inode through renames. Untracked files are assumed fully
+  /// durable.
+  struct TrackedFile {
+    std::string path;
+    uint64_t synced = 0;  // byte count known to survive power loss
+  };
+
+  /// Applies crash + scheduled-fault bookkeeping for one call of `op`.
+  /// Non-OK means the caller must bail out without touching the base env.
+  Status CheckOp(IoOp op);
+
+  /// Marks handle `id`'s first `bytes` bytes as surviving power loss.
+  void NoteSynced(uint64_t id, uint64_t bytes);
+
+  bool partial_appends() const;
+
+  static bool IsMutating(IoOp op);
+
+  Env* const base_;
+  mutable std::mutex mutex_;
+  std::vector<ScheduledFault> faults_;
+  bool partial_appends_ = false;
+  bool crashed_ = false;
+  bool crash_armed_ = false;
+  uint64_t crash_budget_ = 0;
+  uint64_t mutating_ops_ = 0;
+  uint64_t next_file_id_ = 1;
+  std::map<uint64_t, TrackedFile> files_;
+};
+
+}  // namespace sketchlink::kv
+
+#endif  // SKETCHLINK_KV_FAULT_INJECTION_ENV_H_

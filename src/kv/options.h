@@ -6,9 +6,15 @@
 
 namespace sketchlink::kv {
 
+class Env;
+
 /// Tuning knobs for the embedded key/value store. Defaults are sized for the
 /// scaled-down experiments in this repository (single core, small heap).
 struct Options {
+  /// File system the store runs on; nullptr means Env::Default() (POSIX).
+  /// Tests plug in a FaultInjectionEnv to script I/O failures. Not owned;
+  /// must outlive the Db.
+  Env* env = nullptr;
   /// Memtable is flushed to an SSTable once it holds this many bytes of
   /// key+value payload.
   size_t memtable_bytes = 4 << 20;  // 4 MiB
@@ -32,6 +38,13 @@ struct Options {
 
   /// Create the database directory if it does not exist.
   bool create_if_missing = true;
+
+  /// Escape hatch for damaged logs: when true, WAL replay stops at the
+  /// first bad frame and recovers the prefix instead of failing the open.
+  /// Off by default — a checksum-corrupt record whose frame is fully
+  /// present on disk is bit rot, not a torn write, and is surfaced as
+  /// Corruption.
+  bool best_effort_wal_recovery = false;
 };
 
 /// Counters exposed by DB::stats() for the benchmark harness.

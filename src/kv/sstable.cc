@@ -28,7 +28,8 @@ TableBuilder::TableBuilder(std::unique_ptr<WritableFile> file,
 
 Result<std::unique_ptr<TableBuilder>> TableBuilder::Open(
     const std::string& path, const Options& options) {
-  auto file = WritableFile::Open(path);
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+  auto file = env->NewWritableFile(path);
   if (!file.ok()) return file.status();
   return std::unique_ptr<TableBuilder>(
       new TableBuilder(std::move(*file), options));
@@ -91,8 +92,9 @@ Status TableBuilder::Finish() {
 }
 
 Result<std::shared_ptr<Table>> Table::Open(const std::string& path,
-                                           BlockCache* cache) {
-  auto file = RandomAccessFile::Open(path);
+                                           BlockCache* cache, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  auto file = env->NewRandomAccessFile(path);
   if (!file.ok()) return file.status();
   auto table = std::shared_ptr<Table>(new Table());
   table->file_ = std::move(*file);

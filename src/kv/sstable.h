@@ -33,7 +33,7 @@ struct TableEntry {
 ///   footer        : fixed offsets/sizes + entry count + crc + magic
 class TableBuilder {
  public:
-  /// Starts building at `path`.
+  /// Starts building at `path` on `options.env` (nullptr: Env::Default()).
   static Result<std::unique_ptr<TableBuilder>> Open(const std::string& path,
                                                     const Options& options);
 
@@ -69,9 +69,11 @@ class TableBuilder {
 class Table : public std::enable_shared_from_this<Table> {
  public:
   /// Opens and validates `path`, loading index + bloom. `cache` (optional,
-  /// not owned, must outlive the table) serves repeated data-block reads.
+  /// not owned, must outlive the table) serves repeated data-block reads;
+  /// `env` (nullptr: Env::Default()) supplies the file system.
   static Result<std::shared_ptr<Table>> Open(const std::string& path,
-                                             BlockCache* cache = nullptr);
+                                             BlockCache* cache = nullptr,
+                                             Env* env = nullptr);
 
   /// Point lookup. Returns kFound/kDeleted/kAbsent like the memtable.
   enum class LookupState { kFound, kDeleted, kAbsent };

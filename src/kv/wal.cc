@@ -5,8 +5,10 @@
 namespace sketchlink::kv {
 
 Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
-                                                   bool sync_each_record) {
-  auto file = WritableFile::Open(path);
+                                                   bool sync_each_record,
+                                                   Env* env) {
+  if (env == nullptr) env = Env::Default();
+  auto file = env->NewWritableFile(path);
   if (!file.ok()) return file.status();
   return std::unique_ptr<WalWriter>(
       new WalWriter(std::move(*file), sync_each_record));
@@ -44,28 +46,30 @@ Status WalWriter::Sync() { return file_->Sync(); }
 
 Status WalWriter::Close() { return file_->Close(); }
 
-Result<std::vector<WalRecord>> ReadWal(const std::string& path) {
+Result<std::vector<WalRecord>> ReadWal(const std::string& path, Env* env,
+                                       bool best_effort) {
+  if (env == nullptr) env = Env::Default();
   std::string contents;
-  SKETCHLINK_RETURN_IF_ERROR(ReadFileToString(path, &contents));
+  SKETCHLINK_RETURN_IF_ERROR(env->ReadFileToString(path, &contents));
 
   std::vector<WalRecord> records;
   std::string_view input(contents);
   while (!input.empty()) {
     uint32_t expected_crc;
     uint32_t length;
-    std::string_view frame_start = input;
     if (!GetFixed32(&input, &expected_crc) || !GetVarint32(&input, &length) ||
         input.size() < length) {
-      // Torn tail from a crash mid-append: recover everything before it.
-      (void)frame_start;
+      // Incomplete frame: a torn tail from a crash mid-append. Recover
+      // everything before it.
       break;
     }
     const std::string_view payload = input.substr(0, length);
     input.remove_prefix(length);
     if (Crc32c(payload) != expected_crc) {
-      // A bad checksum with more data after it means real corruption, not a
-      // torn tail.
-      if (input.empty()) break;
+      // The whole frame is present on disk, so this is bit rot — even at
+      // the tail — not a torn write. Surface it unless the caller opted
+      // into best-effort prefix recovery.
+      if (best_effort) break;
       return Status::Corruption("WAL checksum mismatch in " + path);
     }
 

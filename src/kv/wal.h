@@ -26,9 +26,10 @@ struct WalRecord {
 /// so recovery can detect torn tails and stop at the first bad frame.
 class WalWriter {
  public:
-  /// Creates/truncates the log at `path`.
+  /// Creates/truncates the log at `path` on `env` (nullptr: Env::Default()).
   static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
-                                                 bool sync_each_record);
+                                                 bool sync_each_record,
+                                                 Env* env = nullptr);
 
   /// Appends a put record.
   Status AppendPut(std::string_view key, std::string_view value);
@@ -54,10 +55,15 @@ class WalWriter {
   bool sync_each_record_;
 };
 
-/// Replays a WAL file. Parsing stops cleanly at a truncated or corrupt tail
-/// (the normal shape of a crash), returning every record before it; corrupt
-/// frames in the middle yield a Corruption status.
-Result<std::vector<WalRecord>> ReadWal(const std::string& path);
+/// Replays a WAL file from `env` (nullptr: Env::Default()). Parsing stops
+/// cleanly at an *incomplete* tail frame — the shape a crash mid-append
+/// leaves — returning every record before it. A checksum mismatch on a
+/// frame whose bytes are all present is bit rot, not a torn write, and
+/// yields Corruption wherever it sits; `best_effort` downgrades that to
+/// stop-at-first-bad-frame prefix recovery (Options::best_effort_wal_recovery).
+Result<std::vector<WalRecord>> ReadWal(const std::string& path,
+                                       Env* env = nullptr,
+                                       bool best_effort = false);
 
 }  // namespace sketchlink::kv
 

@@ -1,6 +1,7 @@
 #include "linkage/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 #include <vector>
 
@@ -71,13 +72,19 @@ Result<LinkageReport> LinkageEngine::ResolveAll(const Dataset& q,
                                    std::max<size_t>(queries.size(), 1));
     std::vector<QualityScorer> chunk_scorers(chunks, QualityScorer(&truth));
     std::vector<Status> chunk_status(chunks);
+    // One chunk hitting a storage error (e.g. a poisoned spill Db) stops
+    // the others at their next query instead of letting them grind through
+    // a failing store; the first chunk's status in index order is returned.
+    std::atomic<bool> failed{false};
     pool_->RunShards(chunks, [&](size_t chunk) {
       const size_t begin = chunk * queries.size() / chunks;
       const size_t end = (chunk + 1) * queries.size() / chunks;
       for (size_t i = begin; i < end; ++i) {
+        if (failed.load(std::memory_order_relaxed)) return;
         auto matches = ResolveOne(queries[i]);
         if (!matches.ok()) {
           chunk_status[chunk] = matches.status();
+          failed.store(true, std::memory_order_relaxed);
           return;
         }
         chunk_scorers[chunk].AddQueryResult(queries[i], *matches);

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "kv/env.h"
+#include "kv/fault_injection_env.h"
 
 namespace sketchlink {
 namespace {
@@ -193,6 +194,121 @@ TEST_F(SBlockSketchTest, StatsAreConsistent) {
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(sketch.stats().queries, 1u);
   EXPECT_GT(sketch.stats().live_hits, 0u);
+}
+
+// Regression: querying a block key the stream never produced used to admit
+// an empty block (evicting a live one when T was full) and seed its anchor
+// from the *query's* key values. A miss must be a no-op returning nothing.
+TEST_F(SBlockSketchTest, QueryMissReturnsEmptyWithoutAdmission) {
+  SBlockSketch sketch(Options(2), db_.get());
+  ASSERT_TRUE(sketch.Insert("A", "A#V", 1).ok());
+  ASSERT_TRUE(sketch.Insert("B", "B#V", 2).ok());  // T is now full
+  auto miss = sketch.Candidates("NEVER_SEEN", "QUERY#V");
+  ASSERT_TRUE(miss.ok());
+  EXPECT_TRUE(miss->empty());
+  EXPECT_EQ(sketch.stats().query_misses, 1u);
+  EXPECT_EQ(sketch.stats().evictions, 0u);      // nothing was pushed out
+  EXPECT_EQ(sketch.num_live_blocks(), 2u);      // and nothing was admitted
+  // Both real blocks are still live: touching them costs no disk load.
+  const uint64_t loads = sketch.stats().disk_loads;
+  ASSERT_TRUE(sketch.Candidates("A", "A#V").ok());
+  ASSERT_TRUE(sketch.Candidates("B", "B#V").ok());
+  EXPECT_EQ(sketch.stats().disk_loads, loads);
+  // A later insert under that key starts a real block whose anchor comes
+  // from the inserted record, not the earlier query probe.
+  ASSERT_TRUE(sketch.Insert("NEVER_SEEN", "REAL#V", 3).ok());
+  auto hit = sketch.Candidates("NEVER_SEEN", "REAL#V");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->size(), 1u);
+}
+
+TEST_F(SBlockSketchTest, QueryMissForSpilledBlockStillLoads) {
+  // A miss means "exists nowhere" — spilled blocks must still fault in.
+  SBlockSketch sketch(Options(1), db_.get());
+  ASSERT_TRUE(sketch.Insert("AAA", "AAA#V", 1).ok());
+  ASSERT_TRUE(sketch.Insert("BBB", "BBB#V", 2).ok());  // spills AAA
+  auto candidates = sketch.Candidates("AAA", "AAA#V");
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_EQ(candidates->size(), 1u);
+  EXPECT_EQ(sketch.stats().query_misses, 0u);
+}
+
+// Regression: reloading a spilled block used to leave the spill entry in
+// the KV store, so the next reload after more inserts resurrected the
+// stale snapshot (and the store grew a dead copy per reload).
+TEST_F(SBlockSketchTest, ReloadDeletesStaleSpillEntry) {
+  const std::string spill_key = std::string("blk\x01") + "AAA";
+  SBlockSketch sketch(Options(1), db_.get());
+  ASSERT_TRUE(sketch.Insert("AAA", "AAA#V", 1).ok());
+  ASSERT_TRUE(sketch.Insert("FILL", "F#V", 2).ok());  // spills AAA
+  EXPECT_TRUE(db_->Contains(spill_key));
+  ASSERT_TRUE(sketch.Insert("AAA", "AAA#V", 3).ok());  // reloads AAA
+  EXPECT_FALSE(db_->Contains(spill_key));
+  // The reloaded (now 2-member) block is the only truth; spill it again
+  // and fault it back to prove no stale 1-member snapshot shadowed it.
+  ASSERT_TRUE(sketch.Insert("FILL", "F#V", 4).ok());
+  auto candidates = sketch.Candidates("AAA", "AAA#V");
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_EQ(candidates->size(), 2u);
+}
+
+class SBlockSketchFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/sbs_fault_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ASSERT_TRUE(kv::RemoveDirRecursively(dir_).ok());
+    kv::Options options;
+    options.env = &env_;
+    auto db = kv::Db::Open(dir_, options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+  }
+  void TearDown() override {
+    db_.reset();
+    (void)kv::RemoveDirRecursively(dir_);
+  }
+
+  SBlockSketchOptions Options(size_t mu) {
+    SBlockSketchOptions options;
+    options.mu = mu;
+    options.sketch.lambda = 3;
+    options.sketch.seed = 0x99;
+    return options;
+  }
+
+  std::string dir_;
+  kv::FaultInjectionEnv env_;
+  std::unique_ptr<kv::Db> db_;
+};
+
+TEST_F(SBlockSketchFaultTest, EvictionFailureSurfacesAndLosesNothing) {
+  SBlockSketch sketch(Options(1), db_.get());
+  ASSERT_TRUE(sketch.Insert("AAA", "AAA#V", 1).ok());
+  // The eviction's spill Put is the next WAL append; fail it.
+  env_.FailNth(kv::IoOp::kAppend, 0, Status::IOError("injected spill"));
+  EXPECT_TRUE(sketch.Insert("BBB", "BBB#V", 2).IsIOError());
+  // AAA was never displaced and is still queryable without a disk load.
+  auto candidates = sketch.Candidates("AAA", "AAA#V");
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_EQ(candidates->size(), 1u);
+  EXPECT_EQ(sketch.stats().disk_loads, 0u);
+  // The store healed: the insert goes through on retry.
+  ASSERT_TRUE(sketch.Insert("BBB", "BBB#V", 2).ok());
+}
+
+TEST_F(SBlockSketchFaultTest, SpillDeleteFailureKeepsReloadedBlockLive) {
+  SBlockSketch sketch(Options(1), db_.get());
+  ASSERT_TRUE(sketch.Insert("AAA", "AAA#V", 1).ok());
+  ASSERT_TRUE(sketch.Insert("FILL", "F#V", 2).ok());  // spills AAA
+  // Reloading AAA first spills FILL (append #0 lets that through), then
+  // deletes AAA's spill entry (append #1 fails).
+  env_.FailNth(kv::IoOp::kAppend, 1, Status::IOError("injected delete"));
+  EXPECT_TRUE(sketch.Candidates("AAA", "AAA#V").status().IsIOError());
+  // The error must not have lost the block: it is live and intact.
+  auto candidates = sketch.Candidates("AAA", "AAA#V");
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_EQ(candidates->size(), 1u);
 }
 
 class MuSweep : public ::testing::TestWithParam<size_t> {};

@@ -88,6 +88,49 @@ TEST_F(DbFaultTest, TruncatedWalRecoversPrefix) {
   EXPECT_TRUE((*db)->Get("flushed17", &value).ok());
 }
 
+// Regression: a checksum-corrupt *final* WAL record used to be silently
+// dropped as if it were a torn tail. The frame's bytes are all present, so
+// this is bit rot and must fail the open.
+TEST_F(DbFaultTest, CorruptFinalWalRecordIsCorruption) {
+  Populate();
+  Corrupt("wal.log", 0);  // flip the last payload byte: frame complete
+  EXPECT_TRUE(Db::Open(dir_).status().IsCorruption());
+}
+
+TEST_F(DbFaultTest, BestEffortRecoveryAcceptsCorruptFinalRecord) {
+  Populate();
+  Corrupt("wal.log", 0);
+  Options options;
+  options.best_effort_wal_recovery = true;
+  auto db = Db::Open(dir_, options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  std::string value;
+  EXPECT_TRUE((*db)->Get("flushed17", &value).ok());
+  // The damaged record itself is lost — that is the escape hatch's deal.
+  EXPECT_TRUE((*db)->Get("walonly", &value).IsNotFound());
+}
+
+TEST_F(DbFaultTest, CorruptInteriorWalRecordIsCorruption) {
+  {
+    auto db = Db::Open(dir_);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Put("first", "1").ok());
+    ASSERT_TRUE((*db)->Put("second", "2").ok());
+  }
+  // Flip a byte inside the first record's payload (the frames are 14 and
+  // 15 bytes; 20 from the end of the 29-byte log lands in the first).
+  Corrupt("wal.log", 20);
+  EXPECT_TRUE(Db::Open(dir_).status().IsCorruption());
+  Options options;
+  options.best_effort_wal_recovery = true;
+  auto db = Db::Open(dir_, options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  std::string value;
+  // Best effort stops at the bad frame: everything after it is gone too.
+  EXPECT_TRUE((*db)->Get("first", &value).IsNotFound());
+  EXPECT_TRUE((*db)->Get("second", &value).IsNotFound());
+}
+
 TEST_F(DbFaultTest, MissingWalIsFine) {
   Populate();
   ASSERT_TRUE(RemoveFile(dir_ + "/wal.log").ok());
