@@ -17,14 +17,15 @@
 namespace sketchlink::bench {
 namespace {
 
-void Run(size_t threads) {
+void Run(size_t threads, const std::string& metrics_out) {
   Banner("Figure 8 — blocking & matching times",
          "Sub-figures: (a) blocking/standard, (b) blocking/LSH, (c) "
          "matching/standard, (d) matching/LSH.");
   std::printf("threads: %zu\n", threads);
 
+  MetricsSession metrics(metrics_out);
   const auto results =
-      RunQualityMatrix(/*entities=*/3000, /*copies=*/12, threads);
+      RunQualityMatrix(/*entities=*/3000, /*copies=*/12, threads, &metrics);
 
   const auto print_section = [&](const char* title, const char* blocking,
                                  bool blocking_phase) {
@@ -53,12 +54,14 @@ void Run(size_t threads) {
     AddReportFields(&row, result.report);
   }
   json.Finish();
+  metrics.Finish();
 }
 
 }  // namespace
 }  // namespace sketchlink::bench
 
 int main(int argc, char** argv) {
-  sketchlink::bench::Run(sketchlink::bench::ParseThreads(argc, argv));
+  sketchlink::bench::Run(sketchlink::bench::ParseThreads(argc, argv),
+                         sketchlink::bench::ParseMetricsOut(argc, argv));
   return 0;
 }

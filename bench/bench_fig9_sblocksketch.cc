@@ -38,10 +38,13 @@ struct RunResult {
 RunResult RunOne(const datagen::Workload& workload,
                  const RecordSimilarity& similarity, const GroundTruth& truth,
                  const Blocker* blocker, size_t mu, size_t threads,
-                 const std::string& tag) {
+                 const std::string& tag, MetricsSession* metrics) {
   RunResult result;
   ScratchDir scratch("fig9_" + tag);
-  auto db = kv::Db::Open(scratch.path());
+  kv::Options db_options;
+  db_options.registry = metrics->registry();
+  db_options.metrics_instance = "fig9_spill";
+  auto db = kv::Db::Open(scratch.path(), db_options);
   if (!db.ok()) return result;
   SBlockSketchOptions options;
   options.mu = mu;
@@ -49,6 +52,7 @@ RunResult RunOne(const datagen::Workload& workload,
   SBlockSketchMatcher matcher(options, db->get(), similarity, &store);
   EngineOptions engine_options;
   engine_options.num_threads = threads;
+  engine_options.registry = metrics->registry();
   LinkageEngine engine(blocker, &matcher, similarity, engine_options);
   Stopwatch watch;
   if (!engine.BuildIndex(workload.a).ok()) return result;
@@ -60,15 +64,18 @@ RunResult RunOne(const datagen::Workload& workload,
   result.evictions = matcher.sketch().stats().evictions;
   result.disk_loads = matcher.sketch().stats().disk_loads;
   result.blocks = matcher.sketch().num_live_blocks();
+  // Snapshot before the matcher/db/engine deregister their instruments.
+  metrics->Capture(tag);
   return result;
 }
 
-void Run(size_t threads) {
+void Run(size_t threads, const std::string& metrics_out) {
   Banner("Figure 9 — SBlockSketch vs BlockSketch running time",
          "Total time to block A and resolve Q; BlockSketch = same code with "
          "unbounded mu.");
   std::printf("threads: %zu\n", threads);
   BenchJsonWriter json("fig9_sblocksketch", threads);
+  MetricsSession metrics(metrics_out);
 
   for (const char* blocking : {"standard", "lsh"}) {
     std::printf("\n--- Fig. 9%s  running time, %s blocking ---\n",
@@ -92,10 +99,10 @@ void Run(size_t threads) {
 
       const RunResult unbounded =
           RunOne(workload, similarity, truth, blocker.get(), SIZE_MAX,
-                 threads, tag + "_unbounded");
+                 threads, tag + "_unbounded", &metrics);
       const RunResult bounded =
           RunOne(workload, similarity, truth, blocker.get(), kMu, threads,
-                 tag + "_bounded");
+                 tag + "_bounded", &metrics);
 
       for (const auto* variant : {"unbounded", "bounded"}) {
         const RunResult& r =
@@ -127,12 +134,14 @@ void Run(size_t threads) {
       "its (much coarser) timescale, where each operation\nalready pays a "
       "LevelDB round trip in the baseline.\n");
   json.Finish();
+  metrics.Finish();
 }
 
 }  // namespace
 }  // namespace sketchlink::bench
 
 int main(int argc, char** argv) {
-  sketchlink::bench::Run(sketchlink::bench::ParseThreads(argc, argv));
+  sketchlink::bench::Run(sketchlink::bench::ParseThreads(argc, argv),
+                         sketchlink::bench::ParseMetricsOut(argc, argv));
   return 0;
 }

@@ -6,7 +6,8 @@
 // thread counts (and regressions across commits) can be scripted instead of
 // scraped. The format is flat on purpose: one object per result row with
 // whatever fields the experiment reports, plus the bench name, thread count
-// and peak RSS at the top level.
+// and peak RSS at the top level. The JSON primitives live in obs/json.h and
+// are shared with the metrics exporters.
 
 #include <cinttypes>
 #include <cstdint>
@@ -16,7 +17,11 @@
 #include <utility>
 #include <vector>
 
+#include "obs/json.h"
+
 namespace sketchlink::bench {
+
+using JsonFields = obs::JsonFields;
 
 /// Peak resident set size of this process in bytes (VmHWM), or 0 when
 /// /proc is unavailable.
@@ -34,60 +39,6 @@ inline uint64_t PeakRssBytes() {
   std::fclose(f);
   return kb * 1024;
 }
-
-/// One flat JSON object built field by field (insertion order preserved).
-class JsonFields {
- public:
-  void Add(const std::string& key, const std::string& value) {
-    fields_.emplace_back(key, "\"" + Escape(value) + "\"");
-  }
-  void Add(const std::string& key, const char* value) {
-    Add(key, std::string(value));
-  }
-  void Add(const std::string& key, double value) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.9g", value);
-    fields_.emplace_back(key, buf);
-  }
-  void Add(const std::string& key, uint64_t value) {
-    fields_.emplace_back(key, std::to_string(value));
-  }
-
-  std::string ToJson() const {
-    std::string out = "{";
-    for (size_t i = 0; i < fields_.size(); ++i) {
-      if (i > 0) out += ", ";
-      out += "\"" + Escape(fields_[i].first) + "\": " + fields_[i].second;
-    }
-    out += "}";
-    return out;
-  }
-
- private:
-  static std::string Escape(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-      switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-            out += buf;
-          } else {
-            out += c;
-          }
-      }
-    }
-    return out;
-  }
-
-  std::vector<std::pair<std::string, std::string>> fields_;
-};
 
 /// Accumulates result rows and writes BENCH_<name>.json into the working
 /// directory on Finish().

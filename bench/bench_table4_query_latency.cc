@@ -14,13 +14,14 @@
 namespace sketchlink::bench {
 namespace {
 
-void Run(size_t threads) {
+void Run(size_t threads, const std::string& metrics_out) {
   Banner("Table 4 — average time to resolve one query record",
          "Standard blocking; matching phase only (paper's Table 4).");
   std::printf("threads: %zu\n", threads);
 
+  MetricsSession metrics(metrics_out);
   const auto results =
-      RunQualityMatrix(/*entities=*/3000, /*copies=*/12, threads);
+      RunQualityMatrix(/*entities=*/3000, /*copies=*/12, threads, &metrics);
 
   std::printf("%8s %14s %18s\n", "dataset", "method", "avg_query_us");
   for (const ExperimentResult& result : results) {
@@ -40,12 +41,14 @@ void Run(size_t threads) {
     AddReportFields(&row, result.report);
   }
   json.Finish();
+  metrics.Finish();
 }
 
 }  // namespace
 }  // namespace sketchlink::bench
 
 int main(int argc, char** argv) {
-  sketchlink::bench::Run(sketchlink::bench::ParseThreads(argc, argv));
+  sketchlink::bench::Run(sketchlink::bench::ParseThreads(argc, argv),
+                         sketchlink::bench::ParseMetricsOut(argc, argv));
   return 0;
 }

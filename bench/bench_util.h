@@ -23,6 +23,9 @@
 #include "datagen/perturb.h"
 #include "kv/env.h"
 #include "linkage/engine.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/registry.h"
 
 namespace sketchlink::bench {
 
@@ -53,6 +56,72 @@ inline size_t ParseThreads(int argc, char** argv) {
 inline void Banner(const char* experiment, const char* description) {
   std::printf("\n==== %s ====\n%s\n\n", experiment, description);
 }
+
+/// Parses `--metrics-out PATH` from the command line; empty when absent.
+/// Benches that support the flag attach a MetricRegistry to their pipeline
+/// and write registry snapshots to PATH next to their BENCH_<name>.json
+/// sidecar (see MetricsSession).
+inline std::string ParseMetricsOut(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0) return argv[i + 1];
+  }
+  return "";
+}
+
+/// Owns the optional per-run MetricRegistry behind `--metrics-out`. Without
+/// the flag registry() is nullptr and the pipeline runs unobserved (no
+/// latency timing, nothing exported — the zero-cost default). With it,
+/// Capture() labels a snapshot while the instrumented components are still
+/// alive (the registry is pull-based: a component deregisters its metrics
+/// on destruction), and Finish() writes all captured snapshots as JSON to
+/// PATH plus the last one in Prometheus text format to PATH.prom.
+class MetricsSession {
+ public:
+  explicit MetricsSession(std::string path) : path_(std::move(path)) {
+    if (!path_.empty()) registry_ = std::make_unique<obs::MetricRegistry>();
+  }
+
+  /// nullptr when --metrics-out was not given.
+  obs::Registry* registry() { return registry_ == nullptr ? nullptr : registry_.get(); }
+
+  /// Snapshots the registry now under `label`. No-op without a registry.
+  void Capture(const std::string& label) {
+    if (registry_ == nullptr) return;
+    last_snapshot_ = registry_->TakeSnapshot();
+    obs::JsonFields row;
+    row.Add("label", label);
+    row.AddRaw("metrics", obs::ExportJson(last_snapshot_));
+    captured_.push_back(row.ToJson());
+  }
+
+  /// Writes the sidecars; returns true (quietly) without a registry.
+  bool Finish() {
+    if (registry_ == nullptr) return true;
+    if (captured_.empty()) Capture("final");
+    std::string out = "{\n  \"snapshots\": [\n";
+    for (size_t i = 0; i < captured_.size(); ++i) {
+      out += "    " + captured_[i];
+      if (i + 1 < captured_.size()) out += ",";
+      out += "\n";
+    }
+    out += "  ]\n}\n";
+    const Status json = obs::WriteFile(path_, out);
+    const Status prom = obs::WriteFile(
+        path_ + ".prom", obs::ExportPrometheusText(last_snapshot_));
+    if (!json.ok() || !prom.ok()) {
+      std::fprintf(stderr, "cannot write metrics sidecar %s\n", path_.c_str());
+      return false;
+    }
+    std::printf("wrote %s and %s.prom\n", path_.c_str(), path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::unique_ptr<obs::MetricRegistry> registry_;
+  obs::RegistrySnapshot last_snapshot_;
+  std::vector<std::string> captured_;
+};
 
 /// Builds the paper's workload shape for one data set: Q base records and
 /// copies_per_entity perturbed records per entity in A (the paper uses 1000

@@ -31,12 +31,17 @@ struct ExperimentResult {
 // The paper's A holds 1000 perturbed copies of every Q record, so blocks are
 // dominated by true matches; the scaled default (entities=600, copies=25)
 // preserves that copies >> cross-entity collisions regime.
-inline std::vector<ExperimentResult> RunQualityMatrix(size_t entities,
-                                                      size_t copies,
-                                                      size_t threads = 1) {
+/// `session` (optional) attaches a MetricRegistry to every engine of the
+/// matrix and captures one labelled snapshot per cell while the engine and
+/// matcher are still alive — required because instruments deregister when
+/// their component is destroyed at the end of the cell.
+inline std::vector<ExperimentResult> RunQualityMatrix(
+    size_t entities, size_t copies, size_t threads = 1,
+    MetricsSession* session = nullptr) {
   std::vector<ExperimentResult> results;
   EngineOptions engine_options;
   engine_options.num_threads = threads;
+  if (session != nullptr) engine_options.registry = session->registry();
   for (datagen::DatasetKind kind : AllKinds()) {
     const datagen::Workload workload =
         MakeScaledWorkload(kind, entities, copies);
@@ -63,6 +68,9 @@ inline std::vector<ExperimentResult> RunQualityMatrix(size_t entities,
       }
       results.push_back(
           ExperimentResult{dataset, blocking_name, matcher->name(), *report});
+      if (session != nullptr) {
+        session->Capture(dataset + "/" + blocking_name + "/" + matcher->name());
+      }
     };
 
     for (const char* blocking : {"standard", "lsh"}) {

@@ -41,6 +41,8 @@ void ThreadPool::DrainBatch(const std::shared_ptr<Batch>& batch) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!batch->error) batch->error = std::current_exception();
     }
+    metrics_.shards.Inc();
+    metrics_.queue_depth.Sub(1);
     if (batch->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         batch->total) {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -69,8 +71,24 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::RunShards(size_t num_shards,
                            const std::function<void(size_t)>& fn) {
   if (num_shards == 0) return;
+  obs::LatencyTimer timer(timing_enabled_.load(std::memory_order_relaxed)
+                              ? &metrics_.batch_latency_nanos
+                              : nullptr);
+  metrics_.batches.Inc();
+  metrics_.queue_depth.Add(static_cast<int64_t>(num_shards));
   if (workers_.empty() || num_shards == 1) {
-    for (size_t shard = 0; shard < num_shards; ++shard) fn(shard);
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+      try {
+        fn(shard);
+      } catch (...) {
+        // Unwind the depth for this and the never-started shards so the
+        // gauge does not drift on the exception path.
+        metrics_.queue_depth.Sub(static_cast<int64_t>(num_shards - shard));
+        throw;
+      }
+      metrics_.shards.Inc();
+      metrics_.queue_depth.Sub(1);
+    }
     return;
   }
 

@@ -12,7 +12,22 @@
 #include <thread>
 #include <vector>
 
+// Header-only instruments: no link dependency on sketchlink_obs, so the
+// library layering (obs links common) stays acyclic. Registration with a
+// registry happens in higher layers (the engine), which link obs properly.
+#include "obs/instruments.h"
+
 namespace sketchlink {
+
+/// Live instruments of one ThreadPool. The queue-depth gauge always tracks
+/// (two relaxed updates per batch + one per shard); the batch-latency
+/// histogram only receives samples after EnableLatencyTiming.
+struct ThreadPoolMetrics {
+  obs::Counter batches;          // RunShards batches submitted
+  obs::Counter shards;           // shards executed across all batches
+  obs::Gauge queue_depth;        // shards submitted but not yet completed
+  obs::Histogram batch_latency_nanos;  // RunShards wall time per batch
+};
 
 /// Fixed-size worker pool driving the parallel linkage pipeline.
 ///
@@ -54,6 +69,15 @@ class ThreadPool {
   /// std::thread::hardware_concurrency() clamped to >= 1.
   static size_t DefaultThreads();
 
+  /// Live instruments (higher layers register read closures over these).
+  const ThreadPoolMetrics& metrics() const { return metrics_; }
+
+  /// Arms per-batch latency measurement (one extra clock pair per batch).
+  /// Safe to call concurrently with running batches.
+  void EnableLatencyTiming() {
+    timing_enabled_.store(true, std::memory_order_relaxed);
+  }
+
  private:
   // One submitted batch. Heap-allocated and shared with the workers so a
   // worker that wakes late (after the batch completed and a new one was
@@ -79,6 +103,9 @@ class ThreadPool {
   std::shared_ptr<Batch> current_batch_;   // guarded by mutex_
 
   std::vector<std::thread> workers_;
+
+  mutable ThreadPoolMetrics metrics_;
+  std::atomic<bool> timing_enabled_{false};
 };
 
 }  // namespace sketchlink

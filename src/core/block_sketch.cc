@@ -231,29 +231,36 @@ BlockSketch::BlockSketch(const BlockSketchOptions& options,
 
 void BlockSketch::Insert(const std::string& block_key,
                          std::string_view key_values, RecordId id) {
-  ++stats_.inserts;
+  obs::LatencyTimer timer(
+      SKETCHLINK_OBS_SAMPLE_HIT() ? metrics_.insert_timer() : nullptr);
+  metrics_.inserts.Inc();
   auto [it, created] =
       blocks_.try_emplace(block_key, policy_.options().lambda);
   if (created) {
-    ++stats_.blocks_created;
+    metrics_.blocks_created.Inc();
     policy_.SeedAnchor(&it->second, key_values);
   }
   SketchBlock& block = it->second;
-  const size_t sub = policy_.ChooseSubBlock(
-      block, key_values, &stats_.representative_comparisons);
+  uint64_t comparisons = 0;
+  const size_t sub = policy_.ChooseSubBlock(block, key_values, &comparisons);
+  metrics_.representative_comparisons.Add(comparisons);
   block.subs[sub].members.push_back(id);
   policy_.MaybeAddRepresentative(&block.subs[sub], key_values);
 }
 
 std::vector<RecordId> BlockSketch::Candidates(
     const std::string& block_key, std::string_view key_values) const {
-  ++stats_.queries;
+  obs::LatencyTimer timer(
+      SKETCHLINK_OBS_SAMPLE_HIT() ? metrics_.query_timer() : nullptr);
+  metrics_.queries.Inc();
   auto it = blocks_.find(block_key);
   if (it == blocks_.end()) return {};
-  const size_t sub = policy_.ChooseSubBlock(
-      it->second, key_values, &stats_.representative_comparisons);
+  uint64_t comparisons = 0;
+  const size_t sub =
+      policy_.ChooseSubBlock(it->second, key_values, &comparisons);
+  metrics_.representative_comparisons.Add(comparisons);
   const std::vector<RecordId>& members = it->second.subs[sub].members;
-  stats_.candidates_returned += members.size();
+  metrics_.candidates_returned.Add(members.size());
   return members;
 }
 

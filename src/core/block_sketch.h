@@ -10,6 +10,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "core/sketch_metrics.h"
 #include "record/record.h"
 
 namespace sketchlink {
@@ -93,18 +94,6 @@ struct SketchBlock {
   /// key/value store.
   void EncodeTo(std::string* dst) const;
   static Result<SketchBlock> DecodeFrom(std::string_view* input);
-};
-
-/// Counters for the experiments.
-struct BlockSketchStats {
-  uint64_t inserts = 0;
-  uint64_t queries = 0;
-  /// Distance computations against representatives (the paper's "constant
-  /// number of comparisons": lambda * rho per operation).
-  uint64_t representative_comparisons = 0;
-  uint64_t blocks_created = 0;
-  /// Candidates handed to the matcher across all queries.
-  uint64_t candidates_returned = 0;
 };
 
 /// Shared routing logic: picks the target sub-block for a key and maintains
@@ -194,14 +183,23 @@ class BlockSketch {
   /// Direct access for diagnostics/tests; nullptr when absent.
   const SketchBlock* FindBlock(const std::string& block_key) const;
 
-  const BlockSketchStats& stats() const { return stats_; }
+  /// Thin view over the live instruments (see core/sketch_metrics.h); kept
+  /// by-value so historical callers keep compiling unchanged.
+  BlockSketchStats stats() const { return metrics_.ToStats(); }
   const BlockSketchOptions& options() const { return policy_.options(); }
+
+  /// Live instruments; shard owners merge these via MergeFrom.
+  const BlockSketchMetrics& metrics() const { return metrics_; }
+
+  /// Arms the per-operation latency histograms (clock reads). Follows the
+  /// owner's synchronization, like every other mutation of this sketch.
+  void EnableLatencyTiming() { metrics_.timing_enabled = true; }
 
   size_t ApproximateMemoryUsage() const;
 
  private:
   SketchPolicy policy_;
-  mutable BlockSketchStats stats_;
+  mutable BlockSketchMetrics metrics_;
   std::unordered_map<std::string, SketchBlock> blocks_;
 };
 

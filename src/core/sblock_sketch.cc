@@ -58,11 +58,15 @@ Status SBlockSketch::EvictOne() {
       continue;  // stale
     }
     // Algorithm 4, line 8: transfer the victim to secondary storage.
+    obs::LatencyTimer timer(metrics_.timing_enabled
+                                ? &metrics_.spill_write_latency_nanos
+                                : nullptr);
     std::string encoded;
     it->second.block.EncodeTo(&encoded);
     SKETCHLINK_RETURN_IF_ERROR(spill_db_->Put(SpillKey(entry.key), encoded));
+    timer.Stop();
     live_.erase(it);
-    ++stats_.evictions;
+    metrics_.evictions.Inc();
     ++global_evictions_;  // survivors age implicitly (alpha = E - admit)
     return Status::OK();
   }
@@ -76,15 +80,20 @@ Result<SBlockSketch::LiveBlock*> SBlockSketch::EnsureLive(
   // Algorithm 4, line 2: try the hash table T first.
   auto it = live_.find(block_key);
   if (it != live_.end()) {
-    ++stats_.live_hits;
+    metrics_.live_hits.Inc();
     it->second.last_access = access_clock_;
     return &it->second;
   }
 
-  // Line 4: resort to secondary storage.
+  // Line 4: resort to secondary storage. The timer is armed speculatively
+  // and cancelled when the probe turns out to be a miss, so the spill-load
+  // histogram measures actual reloads only.
   LiveBlock fresh;
   std::string encoded;
   bool loaded = false;
+  obs::LatencyTimer load_timer(metrics_.timing_enabled
+                                   ? &metrics_.spill_load_latency_nanos
+                                   : nullptr);
   const Status load = spill_db_->Get(SpillKey(block_key), &encoded);
   if (load.ok()) {
     std::string_view input(encoded);
@@ -93,12 +102,15 @@ Result<SBlockSketch::LiveBlock*> SBlockSketch::EnsureLive(
     fresh.block = std::move(*decoded);
     // Profile caches are derived data and not part of the spill format.
     policy_.RehydrateProfiles(&fresh.block);
+    load_timer.Stop();
     loaded = true;
-    ++stats_.disk_loads;
+    metrics_.disk_loads.Inc();
   } else if (load.IsNotFound()) {
+    load_timer.Cancel();
     if (!create_if_missing) return static_cast<LiveBlock*>(nullptr);
     fresh.block = SketchBlock(options_.sketch.lambda);
   } else {
+    load_timer.Cancel();
     return load;
   }
 
@@ -126,7 +138,9 @@ Result<SBlockSketch::LiveBlock*> SBlockSketch::EnsureLive(
 
 Status SBlockSketch::Insert(const std::string& block_key,
                             std::string_view key_values, RecordId id) {
-  ++stats_.inserts;
+  obs::LatencyTimer timer(
+      SKETCHLINK_OBS_SAMPLE_HIT() ? metrics_.insert_timer() : nullptr);
+  metrics_.inserts.Inc();
   auto live = EnsureLive(block_key, /*create_if_missing=*/true);
   if (!live.ok()) return live.status();
   LiveBlock* block = *live;
@@ -135,8 +149,10 @@ Status SBlockSketch::Insert(const std::string& block_key,
   if (block->block.anchor.empty() && block->block.TotalMembers() == 0) {
     policy_.SeedAnchor(&block->block, key_values);
   }
-  const size_t sub = policy_.ChooseSubBlock(
-      block->block, key_values, &stats_.representative_comparisons);
+  uint64_t comparisons = 0;
+  const size_t sub =
+      policy_.ChooseSubBlock(block->block, key_values, &comparisons);
+  metrics_.representative_comparisons.Add(comparisons);
   block->block.subs[sub].members.push_back(id);
   policy_.MaybeAddRepresentative(&block->block.subs[sub], key_values);
   return Status::OK();
@@ -144,7 +160,9 @@ Status SBlockSketch::Insert(const std::string& block_key,
 
 Result<std::vector<RecordId>> SBlockSketch::Candidates(
     const std::string& block_key, std::string_view key_values) {
-  ++stats_.queries;
+  obs::LatencyTimer timer(
+      SKETCHLINK_OBS_SAMPLE_HIT() ? metrics_.query_timer() : nullptr);
+  metrics_.queries.Inc();
   auto live = EnsureLive(block_key, /*create_if_missing=*/false);
   if (!live.ok()) return live.status();
   if (*live == nullptr) {
@@ -152,16 +170,18 @@ Result<std::vector<RecordId>> SBlockSketch::Candidates(
     // against. Admitting an empty block here would evict a live one and
     // seed its anchor from the *query's* key values, skewing every later
     // sub-block choice.
-    ++stats_.query_misses;
+    metrics_.query_misses.Inc();
     return std::vector<RecordId>();
   }
   LiveBlock* block = *live;
   ++block->xi;
   Requeue(block_key, block);
-  const size_t sub = policy_.ChooseSubBlock(
-      block->block, key_values, &stats_.representative_comparisons);
+  uint64_t comparisons = 0;
+  const size_t sub =
+      policy_.ChooseSubBlock(block->block, key_values, &comparisons);
+  metrics_.representative_comparisons.Add(comparisons);
   std::vector<RecordId> members = block->block.subs[sub].members;
-  stats_.candidates_returned += members.size();
+  metrics_.candidates_returned.Add(members.size());
   return members;
 }
 

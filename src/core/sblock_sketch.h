@@ -31,18 +31,6 @@ struct SBlockSketchOptions {
   EvictionPolicy policy = EvictionPolicy::kEvictionStatus;
 };
 
-/// Counters for the experiments.
-struct SBlockSketchStats {
-  uint64_t inserts = 0;
-  uint64_t queries = 0;
-  uint64_t live_hits = 0;    // operations served from the hash table T
-  uint64_t disk_loads = 0;   // blocks pulled back from secondary storage
-  uint64_t evictions = 0;    // blocks spilled to secondary storage
-  uint64_t query_misses = 0; // queries for block keys the stream never made
-  uint64_t representative_comparisons = 0;
-  uint64_t candidates_returned = 0;
-};
-
 /// SBlockSketch (paper Sec. 6): BlockSketch for unbounded streams under a
 /// constant memory budget. At most mu blocks stay live in a hash table T;
 /// when a new block must come in and T is full, the live block with the
@@ -75,8 +63,17 @@ class SBlockSketch {
   /// Live blocks currently in T (always <= mu).
   size_t num_live_blocks() const { return live_.size(); }
 
-  const SBlockSketchStats& stats() const { return stats_; }
+  /// Thin view over the live instruments (see core/sketch_metrics.h); kept
+  /// by-value so historical callers keep compiling unchanged.
+  SBlockSketchStats stats() const { return metrics_.ToStats(); }
   const SBlockSketchOptions& options() const { return options_; }
+
+  /// Live instruments; shard owners merge these via MergeFrom.
+  const SBlockSketchMetrics& metrics() const { return metrics_; }
+
+  /// Arms the per-operation latency histograms (clock reads). Follows the
+  /// owner's synchronization, like every other mutation of this sketch.
+  void EnableLatencyTiming() { metrics_.timing_enabled = true; }
 
   /// Bytes held by T (the paper's O(mu * lambda) bound) — constant in the
   /// stream length, which is the point of Problem Statement 3.
@@ -142,7 +139,7 @@ class SBlockSketch {
   SBlockSketchOptions options_;
   SketchPolicy policy_;
   kv::Db* spill_db_;
-  mutable SBlockSketchStats stats_;
+  mutable SBlockSketchMetrics metrics_;
   std::unordered_map<std::string, LiveBlock> live_;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>,
                       std::greater<QueueEntry>>

@@ -96,18 +96,80 @@ size_t ShardedBlockSketch::num_blocks() const {
   return total;
 }
 
+void ShardedBlockSketch::MergeMetricsInto(BlockSketchMetrics* out) const {
+  // Instrument reads are relaxed-atomic, so no stripe locks: a merge racing
+  // with writers yields a consistent-enough cut, same contract as a
+  // registry snapshot.
+  for (const auto& stripe : stripes_) {
+    out->MergeFrom(stripe->sketch.metrics());
+  }
+}
+
 BlockSketchStats ShardedBlockSketch::stats() const {
-  BlockSketchStats total;
+  BlockSketchMetrics merged;
+  MergeMetricsInto(&merged);
+  return merged.ToStats();
+}
+
+void ShardedBlockSketch::EnableLatencyTiming() {
   for (const auto& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe->mutex);
-    const BlockSketchStats& s = stripe->sketch.stats();
-    total.inserts += s.inserts;
-    total.queries += s.queries;
-    total.representative_comparisons += s.representative_comparisons;
-    total.blocks_created += s.blocks_created;
-    total.candidates_returned += s.candidates_returned;
+    stripe->sketch.EnableLatencyTiming();
   }
-  return total;
+}
+
+std::vector<obs::Registration> ShardedBlockSketch::RegisterMetrics(
+    obs::Registry* registry, const std::string& instance) {
+  std::vector<obs::Registration> regs;
+  if (registry == nullptr) return regs;
+  if (registry->enabled()) EnableLatencyTiming();
+  const std::vector<std::pair<std::string, std::string>> labels = {
+      {"instance", instance}, {"kind", "block"}};
+  const auto add_counter = [&](const char* name, const char* help,
+                               obs::Counter BlockSketchMetrics::*field) {
+    regs.push_back(registry->AddCounterFn(
+        obs::MetricId(name, help, labels), [this, field] {
+          BlockSketchMetrics merged;
+          MergeMetricsInto(&merged);
+          return (merged.*field).value();
+        }));
+  };
+  const auto add_histogram = [&](const char* name, const char* help,
+                                 obs::Histogram BlockSketchMetrics::*field) {
+    regs.push_back(registry->AddHistogramFn(
+        obs::MetricId(name, help, labels), [this, field] {
+          BlockSketchMetrics merged;
+          MergeMetricsInto(&merged);
+          return (merged.*field).Snapshot();
+        }));
+  };
+  add_counter("sketchlink_sketch_inserts_total", "Records routed into the sketch",
+              &BlockSketchMetrics::inserts);
+  add_counter("sketchlink_sketch_queries_total", "Candidate queries served",
+              &BlockSketchMetrics::queries);
+  add_counter("sketchlink_sketch_representative_comparisons_total",
+              "Distance computations against representatives",
+              &BlockSketchMetrics::representative_comparisons);
+  add_counter("sketchlink_sketch_blocks_created_total",
+              "Blocks created on first contact",
+              &BlockSketchMetrics::blocks_created);
+  add_counter("sketchlink_sketch_candidates_returned_total",
+              "Candidate ids handed to the matcher",
+              &BlockSketchMetrics::candidates_returned);
+  add_histogram("sketchlink_sketch_query_latency_nanos",
+                "Per-query sketch latency",
+                &BlockSketchMetrics::query_latency_nanos);
+  add_histogram("sketchlink_sketch_insert_latency_nanos",
+                "Per-insert sketch latency",
+                &BlockSketchMetrics::insert_latency_nanos);
+  regs.push_back(registry->AddCallbackGauge(
+      obs::MetricId("sketchlink_sketch_blocks", "Blocks summarized", labels),
+      [this] { return static_cast<double>(num_blocks()); }));
+  regs.push_back(registry->AddCallbackGauge(
+      obs::MetricId("sketchlink_sketch_memory_bytes",
+                    "Approximate sketch memory", labels),
+      [this] { return static_cast<double>(ApproximateMemoryUsage()); }));
+  return regs;
 }
 
 size_t ShardedBlockSketch::ApproximateMemoryUsage() const {
@@ -192,21 +254,94 @@ size_t ShardedSBlockSketch::num_live_blocks() const {
   return total;
 }
 
+void ShardedSBlockSketch::MergeMetricsInto(SBlockSketchMetrics* out) const {
+  // Relaxed-atomic reads; no stripe locks (see ShardedBlockSketch).
+  for (const auto& stripe : stripes_) {
+    out->MergeFrom(stripe->sketch.metrics());
+  }
+}
+
 SBlockSketchStats ShardedSBlockSketch::stats() const {
-  SBlockSketchStats total;
+  SBlockSketchMetrics merged;
+  MergeMetricsInto(&merged);
+  return merged.ToStats();
+}
+
+void ShardedSBlockSketch::EnableLatencyTiming() {
   for (const auto& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe->mutex);
-    const SBlockSketchStats& s = stripe->sketch.stats();
-    total.inserts += s.inserts;
-    total.queries += s.queries;
-    total.live_hits += s.live_hits;
-    total.disk_loads += s.disk_loads;
-    total.evictions += s.evictions;
-    total.query_misses += s.query_misses;
-    total.representative_comparisons += s.representative_comparisons;
-    total.candidates_returned += s.candidates_returned;
+    stripe->sketch.EnableLatencyTiming();
   }
-  return total;
+}
+
+std::vector<obs::Registration> ShardedSBlockSketch::RegisterMetrics(
+    obs::Registry* registry, const std::string& instance) {
+  std::vector<obs::Registration> regs;
+  if (registry == nullptr) return regs;
+  if (registry->enabled()) EnableLatencyTiming();
+  const std::vector<std::pair<std::string, std::string>> labels = {
+      {"instance", instance}, {"kind", "sblock"}};
+  const auto add_counter = [&](const char* name, const char* help,
+                               obs::Counter SBlockSketchMetrics::*field) {
+    regs.push_back(registry->AddCounterFn(
+        obs::MetricId(name, help, labels), [this, field] {
+          SBlockSketchMetrics merged;
+          MergeMetricsInto(&merged);
+          return (merged.*field).value();
+        }));
+  };
+  const auto add_histogram = [&](const char* name, const char* help,
+                                 obs::Histogram SBlockSketchMetrics::*field) {
+    regs.push_back(registry->AddHistogramFn(
+        obs::MetricId(name, help, labels), [this, field] {
+          SBlockSketchMetrics merged;
+          MergeMetricsInto(&merged);
+          return (merged.*field).Snapshot();
+        }));
+  };
+  add_counter("sketchlink_sketch_inserts_total", "Records routed into the sketch",
+              &SBlockSketchMetrics::inserts);
+  add_counter("sketchlink_sketch_queries_total", "Candidate queries served",
+              &SBlockSketchMetrics::queries);
+  add_counter("sketchlink_sketch_live_hits_total",
+              "Operations served from the live table",
+              &SBlockSketchMetrics::live_hits);
+  add_counter("sketchlink_sketch_disk_loads_total",
+              "Blocks reloaded from the spill store",
+              &SBlockSketchMetrics::disk_loads);
+  add_counter("sketchlink_sketch_evictions_total",
+              "Blocks spilled to secondary storage",
+              &SBlockSketchMetrics::evictions);
+  add_counter("sketchlink_sketch_query_misses_total",
+              "Queries for block keys the stream never produced",
+              &SBlockSketchMetrics::query_misses);
+  add_counter("sketchlink_sketch_representative_comparisons_total",
+              "Distance computations against representatives",
+              &SBlockSketchMetrics::representative_comparisons);
+  add_counter("sketchlink_sketch_candidates_returned_total",
+              "Candidate ids handed to the matcher",
+              &SBlockSketchMetrics::candidates_returned);
+  add_histogram("sketchlink_sketch_query_latency_nanos",
+                "Per-query sketch latency",
+                &SBlockSketchMetrics::query_latency_nanos);
+  add_histogram("sketchlink_sketch_insert_latency_nanos",
+                "Per-insert sketch latency",
+                &SBlockSketchMetrics::insert_latency_nanos);
+  add_histogram("sketchlink_sketch_spill_load_latency_nanos",
+                "Reload-from-spill latency (actual loads only)",
+                &SBlockSketchMetrics::spill_load_latency_nanos);
+  add_histogram("sketchlink_sketch_spill_write_latency_nanos",
+                "Eviction encode+write latency",
+                &SBlockSketchMetrics::spill_write_latency_nanos);
+  regs.push_back(registry->AddCallbackGauge(
+      obs::MetricId("sketchlink_sketch_live_blocks",
+                    "Blocks currently live in the hash table T", labels),
+      [this] { return static_cast<double>(num_live_blocks()); }));
+  regs.push_back(registry->AddCallbackGauge(
+      obs::MetricId("sketchlink_sketch_memory_bytes",
+                    "Approximate sketch memory", labels),
+      [this] { return static_cast<double>(ApproximateMemoryUsage()); }));
+  return regs;
 }
 
 size_t ShardedSBlockSketch::ApproximateMemoryUsage() const {

@@ -10,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "core/block_sketch.h"
 #include "core/sblock_sketch.h"
+#include "obs/registry.h"
 
 namespace sketchlink {
 
@@ -62,8 +63,25 @@ class ShardedBlockSketch {
   size_t num_stripes() const { return stripes_.size(); }
 
   /// Aggregated counters across stripes (by value: a consistent-enough
-  /// snapshot for statistics, not a linearizable cut).
+  /// snapshot for statistics, not a linearizable cut). Produced by merging
+  /// the per-stripe instruments — see MergeMetricsInto.
   BlockSketchStats stats() const;
+
+  /// Merges every stripe's live instruments into `*out`: counters add,
+  /// histograms merge bucket-wise (an exact re-bucketing of the union of
+  /// samples — percentiles are extracted from the merged buckets, never
+  /// averaged across shards). Reads are relaxed-atomic; no stripe locks.
+  void MergeMetricsInto(BlockSketchMetrics* out) const;
+
+  /// Arms per-operation latency timing in every stripe.
+  void EnableLatencyTiming();
+
+  /// Registers the merged instruments (plus block-count and memory gauges)
+  /// under `instance` and enables latency timing when `registry` is
+  /// enabled. The returned handles must be dropped before this sketch; they
+  /// hold closures reading it.
+  std::vector<obs::Registration> RegisterMetrics(obs::Registry* registry,
+                                                 const std::string& instance);
 
   const BlockSketchOptions& options() const { return options_; }
 
@@ -117,7 +135,22 @@ class ShardedSBlockSketch {
   size_t num_live_blocks() const;
   size_t num_stripes() const { return stripes_.size(); }
 
+  /// Aggregated counters across stripes, via instrument merge (see
+  /// ShardedBlockSketch::stats).
   SBlockSketchStats stats() const;
+
+  /// Merges every stripe's live instruments into `*out` (same contract as
+  /// ShardedBlockSketch::MergeMetricsInto).
+  void MergeMetricsInto(SBlockSketchMetrics* out) const;
+
+  /// Arms per-operation latency timing in every stripe.
+  void EnableLatencyTiming();
+
+  /// Registers the merged instruments (plus live-block and memory gauges)
+  /// under `instance` and enables latency timing when `registry` is
+  /// enabled. The returned handles must be dropped before this sketch.
+  std::vector<obs::Registration> RegisterMetrics(obs::Registry* registry,
+                                                 const std::string& instance);
 
   const SBlockSketchOptions& options() const { return options_; }
 

@@ -46,7 +46,81 @@ Result<std::unique_ptr<Db>> Db::Open(const std::string& path,
     db->block_cache_ = std::make_unique<BlockCache>(options.block_cache_bytes);
   }
   SKETCHLINK_RETURN_IF_ERROR(db->Recover());
+  if (options.registry != nullptr) {
+    db->RegisterMetrics(options.registry, options.metrics_instance);
+  }
   return db;
+}
+
+void Db::RegisterMetrics(obs::Registry* registry, const std::string& instance) {
+  if (registry == nullptr) return;
+  registry_ = registry;
+  if (registry->enabled()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    metrics_.timing_enabled = true;
+  }
+  auto& regs = metric_registrations_;
+  const std::vector<std::pair<std::string, std::string>> labels = {
+      {"instance", instance}};
+  const auto add_counter = [&](const char* name, const char* help,
+                               const obs::Counter* counter) {
+    regs.push_back(
+        registry->AddCounter(obs::MetricId(name, help, labels), counter));
+  };
+  add_counter("sketchlink_kv_puts_total", "Put operations", &metrics_.puts);
+  add_counter("sketchlink_kv_gets_total", "Get operations", &metrics_.gets);
+  add_counter("sketchlink_kv_deletes_total", "Delete operations",
+              &metrics_.deletes);
+  add_counter("sketchlink_kv_memtable_hits_total",
+              "Lookups answered by the memtable", &metrics_.memtable_hits);
+  add_counter("sketchlink_kv_sstable_reads_total",
+              "Lookups that touched at least one SSTable",
+              &metrics_.sstable_reads);
+  add_counter("sketchlink_kv_bloom_skips_total",
+              "SSTables skipped by their Bloom filter", &metrics_.bloom_skips);
+  add_counter("sketchlink_kv_flushes_total", "Memtable flushes",
+              &metrics_.flushes);
+  add_counter("sketchlink_kv_compactions_total", "Full merges of sorted runs",
+              &metrics_.compactions);
+  add_counter("sketchlink_kv_wal_appends_total",
+              "Records appended to the write-ahead log",
+              &metrics_.wal_appends);
+  add_counter("sketchlink_kv_wal_rotations_total",
+              "Successful write-ahead log rotations",
+              &metrics_.wal_rotations);
+  add_counter("sketchlink_kv_wal_syncs_total",
+              "fsyncs issued on the write-ahead log", &metrics_.wal_syncs);
+  add_counter("sketchlink_kv_flush_bytes_total",
+              "Key+value payload flushed to sorted runs",
+              &metrics_.flush_bytes);
+  add_counter("sketchlink_kv_compaction_bytes_total",
+              "Key+value payload rewritten by compactions",
+              &metrics_.compaction_bytes);
+  regs.push_back(registry->AddHistogram(
+      obs::MetricId("sketchlink_kv_flush_duration_nanos",
+                    "Memtable flush duration", labels),
+      &metrics_.flush_duration_nanos));
+  regs.push_back(registry->AddHistogram(
+      obs::MetricId("sketchlink_kv_compaction_duration_nanos",
+                    "Compaction duration", labels),
+      &metrics_.compaction_duration_nanos));
+  regs.push_back(registry->AddCallbackGauge(
+      obs::MetricId("sketchlink_kv_tables", "Sorted runs on disk", labels),
+      [this] {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return static_cast<double>(tables_.size());
+      }));
+  regs.push_back(registry->AddCallbackGauge(
+      obs::MetricId("sketchlink_kv_memtable_bytes",
+                    "Key+value payload buffered in the memtable", labels),
+      [this] {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return static_cast<double>(mem_.payload_bytes());
+      }));
+  regs.push_back(registry->AddCallbackGauge(
+      obs::MetricId("sketchlink_kv_memory_bytes",
+                    "Approximate in-memory footprint", labels),
+      [this] { return static_cast<double>(ApproximateMemoryUsage()); }));
 }
 
 Status Db::Recover() {
@@ -127,8 +201,10 @@ Status Db::RotateWalLocked() {
         SKETCHLINK_RETURN_IF_ERROR(
             (*wal)->AppendPut(it.key(), it.value().value));
       }
+      metrics_.wal_appends.Inc();
     }
     SKETCHLINK_RETURN_IF_ERROR((*wal)->Sync());
+    metrics_.wal_syncs.Inc();
     // The writer keeps its handle across the rename: appends land in the
     // newly-named live log.
     SKETCHLINK_RETURN_IF_ERROR(env_->RenameFile(tmp, WalFileName()));
@@ -136,6 +212,7 @@ Status Db::RotateWalLocked() {
     return Status::OK();
   };
   wal_status_ = rotate();
+  if (wal_status_.ok()) metrics_.wal_rotations.Inc();
   return wal_status_;
 }
 
@@ -174,8 +251,10 @@ Status Db::Put(std::string_view key, std::string_view value) {
   std::lock_guard<std::mutex> lock(mutex_);
   SKETCHLINK_RETURN_IF_ERROR(EnsureWalLocked());
   SKETCHLINK_RETURN_IF_ERROR(wal_->AppendPut(key, value));
+  metrics_.wal_appends.Inc();
+  if (options_.sync_writes) metrics_.wal_syncs.Inc();
   mem_.Put(std::string(key), std::string(value));
-  ++stats_.puts;
+  metrics_.puts.Inc();
   return MaybeFlushAndCompactLocked();
 }
 
@@ -183,8 +262,10 @@ Status Db::Delete(std::string_view key) {
   std::lock_guard<std::mutex> lock(mutex_);
   SKETCHLINK_RETURN_IF_ERROR(EnsureWalLocked());
   SKETCHLINK_RETURN_IF_ERROR(wal_->AppendDelete(key));
+  metrics_.wal_appends.Inc();
+  if (options_.sync_writes) metrics_.wal_syncs.Inc();
   mem_.Delete(std::string(key));
-  ++stats_.deletes;
+  metrics_.deletes.Inc();
   return MaybeFlushAndCompactLocked();
 }
 
@@ -202,11 +283,11 @@ Status Db::Get(std::string_view key, std::string* value) {
 }
 
 Status Db::GetLocked(std::string_view key, std::string* value) {
-  ++stats_.gets;
+  metrics_.gets.Inc();
   const std::string k(key);
   switch (mem_.Get(k, value)) {
     case MemTable::LookupState::kFound:
-      ++stats_.memtable_hits;
+      metrics_.memtable_hits.Inc();
       return Status::OK();
     case MemTable::LookupState::kDeleted:
       return Status::NotFound(k);
@@ -216,10 +297,10 @@ Status Db::GetLocked(std::string_view key, std::string* value) {
   // Newest run first: the most recent version of a key wins.
   for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
     if ((*it)->DefinitelyAbsent(key)) {
-      ++stats_.bloom_skips;
+      metrics_.bloom_skips.Inc();
       continue;
     }
-    ++stats_.sstable_reads;
+    metrics_.sstable_reads.Inc();
     auto state = (*it)->Get(key, value);
     if (!state.ok()) return state.status();
     if (*state == Table::LookupState::kFound) return Status::OK();
@@ -241,6 +322,8 @@ Status Db::Flush() {
 }
 
 Status Db::FlushLocked() {
+  obs::LatencyTimer timer(
+      metrics_.timing_enabled ? &metrics_.flush_duration_nanos : nullptr);
   const uint64_t number = next_file_number_++;
   const std::string table_path = TableFileName(number);
   auto builder = TableBuilder::Open(table_path, options_);
@@ -258,9 +341,12 @@ Status Db::FlushLocked() {
   // Reset the memtable + WAL: everything buffered is now durable in the run.
   // A failed rotation poisons the write path (the flushed data itself is
   // safe) until EnsureWalLocked heals it.
+  metrics_.flush_bytes.Add(mem_.payload_bytes());
   mem_.Clear();
-  ++stats_.flushes;
-  return RotateWalLocked();
+  metrics_.flushes.Inc();
+  const Status rotated = RotateWalLocked();
+  if (registry_ != nullptr) registry_->TraceSlow("kv", "flush", timer.Stop());
+  return rotated;
 }
 
 Status Db::Compact(bool force) {
@@ -273,6 +359,9 @@ Status Db::CompactLocked(bool force) {
     return Status::OK();
   }
   if (tables_.size() <= 1) return Status::OK();
+
+  obs::LatencyTimer timer(
+      metrics_.timing_enabled ? &metrics_.compaction_duration_nanos : nullptr);
 
   // Stream a merge of all runs (newest first) straight into the builder —
   // no materialized map, so compaction memory is O(stride), not O(data).
@@ -287,10 +376,12 @@ Status Db::CompactLocked(bool force) {
   const std::string table_path = TableFileName(number);
   auto builder = TableBuilder::Open(table_path, options_);
   if (!builder.ok()) return builder.status();
+  uint64_t rewritten_bytes = 0;
   for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
     // The merged output is the only (hence oldest) run: tombstones have
     // nothing left to shadow and can be dropped.
     if (merged->tombstone()) continue;
+    rewritten_bytes += merged->key().size() + merged->value().size();
     SKETCHLINK_RETURN_IF_ERROR(
         (*builder)->Add(merged->key(), merged->value(), false));
   }
@@ -311,7 +402,11 @@ Status Db::CompactLocked(bool force) {
     (void)env_->RemoveFile(old_path);
     if (block_cache_ != nullptr) block_cache_->EraseByPrefix(old_path + "@");
   }
-  ++stats_.compactions;
+  metrics_.compaction_bytes.Add(rewritten_bytes);
+  metrics_.compactions.Inc();
+  if (registry_ != nullptr) {
+    registry_->TraceSlow("kv", "compact", timer.Stop());
+  }
   return Status::OK();
 }
 

@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "kv/block_cache.h"
+#include "obs/registry.h"
 #include "kv/env.h"
 #include "kv/iterator.h"
 #include "kv/memtable.h"
@@ -17,6 +18,42 @@
 #include "kv/wal.h"
 
 namespace sketchlink::kv {
+
+/// Live instruments of one Db (see obs/instruments.h). Counters always
+/// count; the duration histograms only receive samples while
+/// `timing_enabled` is set, which happens when the store is registered with
+/// an enabled registry. The DbStats accessor is a thin view over these.
+struct DbMetrics {
+  obs::Counter puts;
+  obs::Counter gets;
+  obs::Counter deletes;
+  obs::Counter memtable_hits;
+  obs::Counter sstable_reads;
+  obs::Counter bloom_skips;
+  obs::Counter flushes;
+  obs::Counter compactions;
+  obs::Counter wal_appends;    // records appended (incl. rotation rewrites)
+  obs::Counter wal_rotations;  // successful log rotations
+  obs::Counter wal_syncs;      // fsyncs issued on the log
+  obs::Counter flush_bytes;       // key+value payload flushed to runs
+  obs::Counter compaction_bytes;  // key+value payload rewritten by merges
+  obs::Histogram flush_duration_nanos;
+  obs::Histogram compaction_duration_nanos;
+  bool timing_enabled = false;  // guarded by the Db mutex
+
+  DbStats ToStats() const {
+    DbStats stats;
+    stats.puts = puts.value();
+    stats.gets = gets.value();
+    stats.deletes = deletes.value();
+    stats.memtable_hits = memtable_hits.value();
+    stats.sstable_reads = sstable_reads.value();
+    stats.bloom_skips = bloom_skips.value();
+    stats.flushes = flushes.value();
+    stats.compactions = compactions.value();
+    return stats;
+  }
+};
 
 /// Embedded log-structured key/value store: WAL + skip-list memtable +
 /// size-tiered sorted runs, our stand-in for the LevelDB instance the paper
@@ -80,8 +117,18 @@ class Db {
   /// seeks directly to the prefix instead of scanning the whole store.
   Result<std::vector<TableEntry>> ScanPrefix(std::string_view prefix);
 
-  /// Operation counters.
-  const DbStats& stats() const { return stats_; }
+  /// Operation counters: a thin by-value view over the live instruments, so
+  /// historical callers keep compiling unchanged.
+  DbStats stats() const { return metrics_.ToStats(); }
+
+  /// Live instruments (registry closures and tests read these directly).
+  const DbMetrics& metrics() const { return metrics_; }
+
+  /// Attaches this store's instruments to `registry` under the `instance`
+  /// label and arms flush/compaction timing when the registry is enabled.
+  /// Called by Open when Options::registry is set; the Db owns the handles,
+  /// so destruction deregisters them.
+  void RegisterMetrics(obs::Registry* registry, const std::string& instance);
 
   /// The shared block cache, or nullptr when disabled (hit/miss counters
   /// live on the cache itself).
@@ -134,7 +181,11 @@ class Db {
   // Sorted runs, oldest first; lookups scan newest -> oldest.
   std::vector<std::shared_ptr<Table>> tables_;
   uint64_t next_file_number_ = 1;
-  DbStats stats_;
+  mutable DbMetrics metrics_;
+  obs::Registry* registry_ = nullptr;  // for slow-op traces; may be null
+  // Declared last: deregistration (whose closures read this Db) must run
+  // before any other member is torn down.
+  std::vector<obs::Registration> metric_registrations_;
 };
 
 }  // namespace sketchlink::kv

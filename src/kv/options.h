@@ -3,6 +3,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+
+namespace sketchlink::obs {
+class Registry;
+}  // namespace sketchlink::obs
 
 namespace sketchlink::kv {
 
@@ -45,6 +50,16 @@ struct Options {
   /// present on disk is bit rot, not a torn write, and is surfaced as
   /// Corruption.
   bool best_effort_wal_recovery = false;
+
+  /// Metric registry the store reports into (counters, flush/compaction
+  /// latency, WAL activity, memory gauges). nullptr leaves the store
+  /// unregistered: counters still count (relaxed atomics), but no latency
+  /// timing happens and nothing is exported. Not owned; must outlive the Db.
+  obs::Registry* registry = nullptr;
+
+  /// Value of the `instance` label the store's metrics are registered under
+  /// (distinguishes several stores sharing one registry).
+  std::string metrics_instance = "kv";
 };
 
 /// Counters exposed by DB::stats() for the benchmark harness.

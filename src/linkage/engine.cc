@@ -9,6 +9,14 @@
 
 namespace sketchlink {
 
+namespace {
+
+uint64_t SecondsToNanos(double seconds) {
+  return seconds <= 0.0 ? 0 : static_cast<uint64_t>(seconds * 1e9);
+}
+
+}  // namespace
+
 LinkageEngine::LinkageEngine(const Blocker* blocker, OnlineMatcher* matcher,
                              RecordSimilarity similarity,
                              const EngineOptions& options)
@@ -18,6 +26,68 @@ LinkageEngine::LinkageEngine(const Blocker* blocker, OnlineMatcher* matcher,
   const size_t threads = options.num_threads == 0 ? ThreadPool::DefaultThreads()
                                                   : options.num_threads;
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+  if (options.registry != nullptr) {
+    RegisterMetrics(options.registry, options.metrics_instance);
+  }
+}
+
+void LinkageEngine::RegisterMetrics(obs::Registry* registry,
+                                    const std::string& instance) {
+  registry_ = registry;
+  metrics_.timing_enabled = registry->enabled();
+  matcher_->RegisterMetrics(registry, instance);
+  auto& regs = metric_registrations_;
+  const std::vector<std::pair<std::string, std::string>> labels = {
+      {"instance", instance}};
+  regs.push_back(registry->AddCounter(
+      obs::MetricId("sketchlink_engine_builds_total", "BuildIndex calls",
+                    labels),
+      &metrics_.builds));
+  regs.push_back(registry->AddCounter(
+      obs::MetricId("sketchlink_engine_records_indexed_total",
+                    "Records pushed through the blocking phase", labels),
+      &metrics_.records_indexed));
+  regs.push_back(registry->AddCounter(
+      obs::MetricId("sketchlink_engine_resolve_runs_total",
+                    "ResolveAll calls", labels),
+      &metrics_.resolve_runs));
+  regs.push_back(registry->AddCounter(
+      obs::MetricId("sketchlink_engine_queries_resolved_total",
+                    "Queries resolved", labels),
+      &metrics_.queries_resolved));
+  regs.push_back(registry->AddHistogram(
+      obs::MetricId("sketchlink_engine_build_duration_nanos",
+                    "Blocking-phase duration per BuildIndex call", labels),
+      &metrics_.build_duration_nanos));
+  regs.push_back(registry->AddHistogram(
+      obs::MetricId("sketchlink_engine_resolve_duration_nanos",
+                    "Matching-phase duration per ResolveAll call", labels),
+      &metrics_.resolve_duration_nanos));
+  regs.push_back(registry->AddHistogramFn(
+      obs::MetricId("sketchlink_engine_query_latency_nanos",
+                    "Per-query resolution latency", labels),
+      [this] { return metrics_.query_latency_nanos.Snapshot(); }));
+  if (pool_ != nullptr) {
+    if (registry->enabled()) pool_->EnableLatencyTiming();
+    regs.push_back(registry->AddCallbackGauge(
+        obs::MetricId("sketchlink_pool_queue_depth",
+                      "Shards submitted but not yet completed", labels),
+        [this] {
+          return static_cast<double>(pool_->metrics().queue_depth.value());
+        }));
+    regs.push_back(registry->AddCounter(
+        obs::MetricId("sketchlink_pool_batches_total",
+                      "Shard batches submitted to the pool", labels),
+        &pool_->metrics().batches));
+    regs.push_back(registry->AddCounter(
+        obs::MetricId("sketchlink_pool_shards_total",
+                      "Shards executed by the pool", labels),
+        &pool_->metrics().shards));
+    regs.push_back(registry->AddHistogram(
+        obs::MetricId("sketchlink_pool_batch_latency_nanos",
+                      "RunShards wall time per batch", labels),
+        &pool_->metrics().batch_latency_nanos));
+  }
 }
 
 Status LinkageEngine::BuildIndex(const Dataset& a) {
@@ -42,14 +112,35 @@ Status LinkageEngine::BuildIndex(const Dataset& a) {
   }
 
   SKETCHLINK_RETURN_IF_ERROR(matcher_->InsertBatch(batch, pool_.get()));
-  blocking_seconds_ += watch.ElapsedSeconds();
+  const double seconds = watch.ElapsedSeconds();
+  blocking_seconds_ += seconds;
+  metrics_.builds.Inc();
+  metrics_.records_indexed.Add(records.size());
+  if (metrics_.timing_enabled) {
+    // Recorded from the Stopwatch the report needs anyway — no extra clock.
+    const uint64_t nanos = SecondsToNanos(seconds);
+    metrics_.build_duration_nanos.Record(nanos);
+    if (registry_ != nullptr) {
+      registry_->TraceSlow("engine", "build_index", nanos);
+    }
+  }
   return Status::OK();
 }
 
 Result<std::vector<RecordId>> LinkageEngine::ResolveOne(const Record& query) {
+  obs::StripedLatencyTimer timer(
+      metrics_.timing_enabled && SKETCHLINK_OBS_SAMPLE_HIT()
+          ? &metrics_.query_latency_nanos
+          : nullptr);
   const std::vector<std::string> keys = blocker_->Keys(query);
   const std::string key_values = blocker_->KeyValues(query);
-  return matcher_->Resolve(query, keys, key_values);
+  auto result = matcher_->Resolve(query, keys, key_values);
+  metrics_.queries_resolved.Inc();
+  const uint64_t nanos = timer.Stop();
+  if (registry_ != nullptr && nanos > 0) {
+    registry_->TraceSlow("engine", "query", nanos);
+  }
+  return result;
 }
 
 Result<LinkageReport> LinkageEngine::ResolveAll(const Dataset& q,
@@ -102,6 +193,11 @@ Result<LinkageReport> LinkageEngine::ResolveAll(const Dataset& q,
     }
   }
   report.matching_seconds = watch.ElapsedSeconds();
+  metrics_.resolve_runs.Inc();
+  if (metrics_.timing_enabled) {
+    metrics_.resolve_duration_nanos.Record(
+        SecondsToNanos(report.matching_seconds));
+  }
   report.avg_query_seconds =
       q.empty() ? 0.0 : report.matching_seconds / static_cast<double>(q.size());
   report.queries_per_second =

@@ -35,6 +35,31 @@ struct EngineOptions {
   /// hardware_concurrency(). Results are identical at every setting — only
   /// wall-clock changes (see DESIGN.md, Threading model).
   size_t num_threads = 1;
+
+  /// Metric registry the engine (and its matcher + thread pool) report
+  /// into. nullptr or a NullRegistry leaves the pipeline unobserved: no
+  /// per-query clock reads happen. Not owned; must outlive the engine.
+  obs::Registry* registry = nullptr;
+
+  /// `instance` label for this engine's metrics.
+  std::string metrics_instance = "engine";
+};
+
+/// Live instruments of one LinkageEngine. Phase durations are recorded from
+/// the Stopwatch measurements the LinkageReport needs anyway (no extra
+/// clock reads); the per-query histogram is armed only with an enabled
+/// registry.
+struct EngineMetrics {
+  obs::Counter builds;            // BuildIndex calls
+  obs::Counter records_indexed;   // records pushed through blocking
+  obs::Counter resolve_runs;      // ResolveAll calls
+  obs::Counter queries_resolved;  // queries resolved (incl. ResolveOne)
+  obs::Histogram build_duration_nanos;
+  obs::Histogram resolve_duration_nanos;
+  // Striped: every worker thread records here on every query, and a single
+  // histogram's cache lines would serialize them (see StripedHistogram).
+  obs::StripedHistogram query_latency_nanos;
+  bool timing_enabled = false;  // set once at construction
 };
 
 /// Orchestrates one experiment: pushes the data set A through blocking into
@@ -69,12 +94,22 @@ class LinkageEngine {
     return pool_ == nullptr ? 1 : pool_->num_threads();
   }
 
+  /// Live instruments (registry closures and tests read these directly).
+  const EngineMetrics& metrics() const { return metrics_; }
+
  private:
+  void RegisterMetrics(obs::Registry* registry, const std::string& instance);
+
   const Blocker* blocker_;
   OnlineMatcher* matcher_;
   RecordSimilarity similarity_;
   std::unique_ptr<ThreadPool> pool_;  // null when running single-threaded
   double blocking_seconds_ = 0.0;
+  mutable EngineMetrics metrics_;
+  obs::Registry* registry_ = nullptr;  // for slow-query traces; may be null
+  // Declared last: deregistration (whose closures read this engine and its
+  // pool) must run before the members they read are torn down.
+  std::vector<obs::Registration> metric_registrations_;
 };
 
 }  // namespace sketchlink

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/registry.h"
 #include "record/record.h"
 
 namespace sketchlink {
@@ -73,6 +74,16 @@ class OnlineMatcher {
   virtual size_t ApproximateMemoryUsage() const = 0;
 
   virtual std::string name() const = 0;
+
+  /// Attaches this matcher's instruments to `registry` under the `instance`
+  /// label, enabling latency timing when the registry is enabled. The
+  /// matcher owns the registration handles, so its destruction deregisters
+  /// them. Default: nothing to export.
+  virtual void RegisterMetrics(obs::Registry* registry,
+                               const std::string& instance) {
+    (void)registry;
+    (void)instance;
+  }
 };
 
 }  // namespace sketchlink

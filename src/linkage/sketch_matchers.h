@@ -64,6 +64,11 @@ class BlockSketchMatcher : public OnlineMatcher {
   }
   std::string name() const override { return "BlockSketch"; }
 
+  void RegisterMetrics(obs::Registry* registry,
+                       const std::string& instance) override {
+    metric_registrations_ = sketch_.RegisterMetrics(registry, instance);
+  }
+
   const ShardedBlockSketch& sketch() const { return sketch_; }
 
  private:
@@ -72,6 +77,9 @@ class BlockSketchMatcher : public OnlineMatcher {
   RecordStore* store_;
   ResolveMode mode_;
   std::atomic<uint64_t> comparisons_{0};
+  // Declared after sketch_ so deregistration (which reads the sketch) runs
+  // before the sketch is torn down.
+  std::vector<obs::Registration> metric_registrations_;
 };
 
 /// SBlockSketch wrapped as an OnlineMatcher (streaming variant; live blocks
@@ -106,6 +114,11 @@ class SBlockSketchMatcher : public OnlineMatcher {
   }
   std::string name() const override { return "SBlockSketch"; }
 
+  void RegisterMetrics(obs::Registry* registry,
+                       const std::string& instance) override {
+    metric_registrations_ = sketch_.RegisterMetrics(registry, instance);
+  }
+
   const ShardedSBlockSketch& sketch() const { return sketch_; }
 
  private:
@@ -114,6 +127,9 @@ class SBlockSketchMatcher : public OnlineMatcher {
   RecordStore* store_;
   ResolveMode mode_;
   std::atomic<uint64_t> comparisons_{0};
+  // Declared after sketch_ so deregistration (which reads the sketch) runs
+  // before the sketch is torn down.
+  std::vector<obs::Registration> metric_registrations_;
 };
 
 /// The naive matching phase the paper's methods replace: a query is compared

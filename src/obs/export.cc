@@ -1,0 +1,210 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+
+#include "obs/json.h"
+
+namespace sketchlink::obs {
+
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Anything else maps
+/// to '_'.
+std::string SanitizeName(const std::string& name) {
+  std::string out = name.empty() ? std::string("_") : name;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const bool ok = std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+                    c == ':' || (i > 0 && std::isdigit(static_cast<unsigned char>(c)));
+    if (!ok) out[i] = '_';
+  }
+  return out;
+}
+
+/// Escapes a label value per the text format: backslash, quote, newline.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders `{key="value",...}` (empty string when no labels). `extra` is an
+/// optional pre-rendered label (the histogram `le`).
+std::string RenderLabels(const MetricId& id, const std::string& extra = {}) {
+  if (id.labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : id.labels) {
+    if (!first) out += ",";
+    first = false;
+    out += SanitizeName(key) + "=\"" + EscapeLabelValue(value) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out += ",";
+    out += extra;
+  }
+  out += "}";
+  return out;
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+std::string FormatU64(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return buf;
+}
+
+void EmitFamilyHeader(std::string* out, std::set<std::string>* seen,
+                      const std::string& name, const std::string& help,
+                      const char* type) {
+  if (!seen->insert(name).second) return;
+  if (!help.empty()) *out += "# HELP " + name + " " + help + "\n";
+  *out += "# TYPE " + name + " " + std::string(type) + "\n";
+}
+
+}  // namespace
+
+std::string ExportPrometheusText(const RegistrySnapshot& snapshot) {
+  std::string out;
+  std::set<std::string> seen_families;
+  for (const MetricSnapshot& metric : snapshot.metrics) {
+    const std::string name = SanitizeName(metric.id.name);
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        EmitFamilyHeader(&out, &seen_families, name, metric.id.help, "counter");
+        out += name + RenderLabels(metric.id) + " " +
+               FormatU64(metric.counter_value) + "\n";
+        break;
+      case MetricKind::kGauge:
+        EmitFamilyHeader(&out, &seen_families, name, metric.id.help, "gauge");
+        out += name + RenderLabels(metric.id) + " " +
+               FormatDouble(metric.gauge_value) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        EmitFamilyHeader(&out, &seen_families, name, metric.id.help,
+                         "histogram");
+        const HistogramSnapshot& hist = metric.histogram;
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < kHistogramBuckets; ++i) {
+          if (hist.buckets[i] == 0) continue;  // cumulative encoding: elidable
+          cumulative += hist.buckets[i];
+          out += name + "_bucket" +
+                 RenderLabels(metric.id,
+                              "le=\"" +
+                                  FormatU64(HistogramSnapshot::BucketUpperBound(
+                                      i)) +
+                                  "\"") +
+                 " " + FormatU64(cumulative) + "\n";
+        }
+        out += name + "_bucket" + RenderLabels(metric.id, "le=\"+Inf\"") + " " +
+               FormatU64(cumulative) + "\n";
+        out += name + "_sum" + RenderLabels(metric.id) + " " +
+               FormatU64(hist.sum) + "\n";
+        out += name + "_count" + RenderLabels(metric.id) + " " +
+               FormatU64(cumulative) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string ExportJson(const RegistrySnapshot& snapshot) {
+  std::string out = "{\n  \"metrics\": [\n";
+  for (size_t m = 0; m < snapshot.metrics.size(); ++m) {
+    const MetricSnapshot& metric = snapshot.metrics[m];
+    JsonFields fields;
+    fields.Add("name", metric.id.name);
+    if (!metric.id.labels.empty()) {
+      JsonFields labels;
+      for (const auto& [key, value] : metric.id.labels) {
+        labels.Add(key, value);
+      }
+      fields.AddRaw("labels", labels.ToJson());
+    }
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        fields.Add("kind", "counter");
+        fields.Add("value", metric.counter_value);
+        break;
+      case MetricKind::kGauge:
+        fields.Add("kind", "gauge");
+        fields.Add("value", metric.gauge_value);
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramSnapshot& hist = metric.histogram;
+        fields.Add("kind", "histogram");
+        fields.Add("count", hist.count());
+        fields.Add("sum", hist.sum);
+        fields.Add("max", hist.max);
+        fields.Add("mean", hist.Mean());
+        fields.Add("p50", hist.p50());
+        fields.Add("p95", hist.p95());
+        fields.Add("p99", hist.p99());
+        std::string buckets = "[";
+        bool first = true;
+        for (size_t i = 0; i < kHistogramBuckets; ++i) {
+          if (hist.buckets[i] == 0) continue;
+          if (!first) buckets += ", ";
+          first = false;
+          JsonFields bucket;
+          bucket.Add("le", HistogramSnapshot::BucketUpperBound(i));
+          bucket.Add("count", hist.buckets[i]);
+          buckets += bucket.ToJson();
+        }
+        buckets += "]";
+        fields.AddRaw("buckets", std::move(buckets));
+        break;
+      }
+    }
+    out += "    " + fields.ToJson();
+    if (m + 1 < snapshot.metrics.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string ExportTraceJson(const std::vector<TraceEvent>& events) {
+  std::string out = "[\n";
+  for (size_t i = 0; i < events.size(); ++i) {
+    JsonFields fields;
+    fields.Add("sequence", events[i].sequence);
+    fields.Add("category", events[i].category);
+    fields.Add("label", events[i].label);
+    fields.Add("duration_nanos", events[i].duration_nanos);
+    out += "  " + fields.ToJson();
+    if (i + 1 < events.size()) out += ",";
+    out += "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed) return Status::IOError("cannot write " + path);
+  return Status::OK();
+}
+
+}  // namespace sketchlink::obs

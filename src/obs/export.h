@@ -1,0 +1,36 @@
+#ifndef SKETCHLINK_OBS_EXPORT_H_
+#define SKETCHLINK_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/registry.h"
+#include "obs/trace_ring.h"
+
+namespace sketchlink::obs {
+
+/// Renders a snapshot in the Prometheus text exposition format (version
+/// 0.0.4): `# HELP` / `# TYPE` comments per family, `name{labels} value`
+/// samples, histograms as cumulative `_bucket{le=...}` series plus `_sum`
+/// and `_count` (bucket boundaries are the histogram's power-of-two upper
+/// bounds; empty buckets are elided, which the cumulative encoding allows).
+std::string ExportPrometheusText(const RegistrySnapshot& snapshot);
+
+/// Renders a snapshot as one JSON document:
+///   {"metrics": [{"name": ..., "labels": {...}, "kind": "counter"|"gauge"|
+///    "histogram", ...}]}
+/// Histogram entries carry count/sum/max/mean/p50/p95/p99 plus the
+/// non-empty buckets as [{"le": upper, "count": n}, ...].
+std::string ExportJson(const RegistrySnapshot& snapshot);
+
+/// Renders trace-ring events as a JSON array (oldest first).
+std::string ExportTraceJson(const std::vector<TraceEvent>& events);
+
+/// Writes `content` to `path` (stdio, no Env dependency — exporters run in
+/// tools/benches, not in the durability-audited store paths).
+Status WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace sketchlink::obs
+
+#endif  // SKETCHLINK_OBS_EXPORT_H_

@@ -1,0 +1,54 @@
+#include "obs/instruments.h"
+
+namespace sketchlink::obs {
+
+uint64_t HistogramSnapshot::count() const {
+  uint64_t total = 0;
+  for (uint64_t bucket : buckets) total += bucket;
+  return total;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  for (size_t i = 0; i < kHistogramBuckets; ++i) buckets[i] += other.buckets[i];
+  sum += other.sum;
+  if (other.max > max) max = other.max;
+}
+
+uint64_t HistogramSnapshot::BucketLowerBound(size_t index) {
+  if (index == 0) return 0;
+  return uint64_t{1} << (index - 1);
+}
+
+uint64_t HistogramSnapshot::BucketUpperBound(size_t index) {
+  if (index == 0) return 0;
+  if (index >= 64) return UINT64_MAX;
+  return (uint64_t{1} << index) - 1;
+}
+
+uint64_t HistogramSnapshot::Percentile(double p) const {
+  const uint64_t total = count();
+  if (total == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Nearest rank: the target sample is the ceil(p * n)-th smallest.
+  uint64_t target = static_cast<uint64_t>(p * static_cast<double>(total));
+  if (static_cast<double>(target) < p * static_cast<double>(total)) ++target;
+  if (target == 0) target = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= target) {
+      const uint64_t upper = BucketUpperBound(i);
+      return upper > max ? max : upper;
+    }
+  }
+  return max;  // unreachable: cumulative == total >= target
+}
+
+double HistogramSnapshot::Mean() const {
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  return static_cast<double>(sum) / static_cast<double>(total);
+}
+
+}  // namespace sketchlink::obs

@@ -1,0 +1,302 @@
+#ifndef SKETCHLINK_OBS_INSTRUMENTS_H_
+#define SKETCHLINK_OBS_INSTRUMENTS_H_
+
+// Hot-path observability instruments. Everything in this header is designed
+// to sit inside a component (by value, not behind a pointer) and be updated
+// from several threads at plain-integer cost: counters and histogram buckets
+// are relaxed atomics, so individual updates are race-free while a snapshot
+// of several instruments is a consistent-enough cut for dashboards, not a
+// linearizable one (see DESIGN.md, Observability).
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/counter.h"
+
+namespace sketchlink::obs {
+
+/// Monotone event counter. A thin veneer over RelaxedCounter so call sites
+/// read as instrumentation, plus the Merge operation shard aggregation uses.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter& other) : value_(other.value()) {}
+  Counter& operator=(const Counter& other) {
+    value_ = other.value();
+    return *this;
+  }
+
+  void Inc() { ++value_; }
+  void Add(uint64_t delta) { value_ += delta; }
+  uint64_t value() const { return value_.value(); }
+
+  /// Shard aggregation: adds `other`'s current value into this counter.
+  void Merge(const Counter& other) { value_ += other.value(); }
+
+ private:
+  RelaxedCounter value_;
+};
+
+/// Last-value instrument for levels (queue depth, live blocks, bytes).
+/// Signed so deltas can go negative; relaxed like the counters.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge& other) : value_(other.value()) {}
+  Gauge& operator=(const Gauge& other) {
+    Set(other.value());
+    return *this;
+  }
+
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Sub(int64_t delta) { value_.fetch_sub(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Running maximum maintained with a relaxed CAS loop.
+class RelaxedMax {
+ public:
+  RelaxedMax() = default;
+  RelaxedMax(const RelaxedMax& other) : value_(other.value()) {}
+  RelaxedMax& operator=(const RelaxedMax& other) {
+    value_.store(other.value(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void Update(uint64_t candidate) {
+    uint64_t current = value_.load(std::memory_order_relaxed);
+    while (candidate > current &&
+           !value_.compare_exchange_weak(current, candidate,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  void Merge(const RelaxedMax& other) { Update(other.value()); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Number of histogram buckets: one for the value 0 plus one per power of
+/// two, covering the whole uint64 range (nanosecond latencies up to ~585
+/// years fit with room to spare).
+inline constexpr size_t kHistogramBuckets = 65;
+
+/// Point-in-time copy of a histogram, and the unit of shard aggregation:
+/// because every histogram shares the same power-of-two bucket boundaries,
+/// Merge is exact bucket-wise addition (a true re-bucketing of the union of
+/// samples), never an average of derived quantiles.
+struct HistogramSnapshot {
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+  uint64_t sum = 0;
+  uint64_t max = 0;
+
+  /// Total samples (always the sum over buckets, so count and buckets are
+  /// self-consistent even when the snapshot raced with writers).
+  uint64_t count() const;
+
+  /// Exact union: adds `other`'s buckets/sum and takes the larger max.
+  void Merge(const HistogramSnapshot& other);
+
+  /// Nearest-rank percentile, p in (0, 1]. Reports the upper bound of the
+  /// bucket holding the target rank (clamped to the observed max), so the
+  /// estimate is never below the true percentile and at most one bucket
+  /// width (2x) above it. 0 when empty.
+  uint64_t Percentile(double p) const;
+
+  uint64_t p50() const { return Percentile(0.50); }
+  uint64_t p95() const { return Percentile(0.95); }
+  uint64_t p99() const { return Percentile(0.99); }
+  double Mean() const;
+
+  /// Inclusive value range of bucket `index`: bucket 0 holds only 0, bucket
+  /// i >= 1 holds [2^(i-1), 2^i - 1].
+  static uint64_t BucketLowerBound(size_t index);
+  static uint64_t BucketUpperBound(size_t index);
+};
+
+/// Mergeable log-bucketed histogram for latency/size distributions. Record
+/// is three relaxed atomic updates (bucket, sum, max) — cheap enough for
+/// per-query paths; percentile extraction happens on snapshots, off the hot
+/// path.
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)] += 1;
+    sum_ += value;
+    max_.Update(value);
+  }
+
+  /// Bucket-wise addition of `other`'s current contents (exact merge; both
+  /// histograms share the same boundaries).
+  void Merge(const Histogram& other) {
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      buckets_[i] += other.buckets_[i].value();
+    }
+    sum_ += other.sum_.value();
+    max_.Merge(other.max_);
+  }
+
+  /// Adds a previously taken snapshot (used when aggregating shard
+  /// snapshots into one mergeable accumulator).
+  void MergeSnapshot(const HistogramSnapshot& snap) {
+    for (size_t i = 0; i < kHistogramBuckets; ++i) buckets_[i] += snap.buckets[i];
+    sum_ += snap.sum;
+    max_.Update(snap.max);
+  }
+
+  HistogramSnapshot Snapshot() const {
+    HistogramSnapshot snap;
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      snap.buckets[i] = buckets_[i].value();
+    }
+    snap.sum = sum_.value();
+    snap.max = max_.value();
+    return snap;
+  }
+
+  uint64_t count() const {
+    uint64_t total = 0;
+    for (const auto& bucket : buckets_) total += bucket.value();
+    return total;
+  }
+
+  /// Bucket of `value`: 0 for 0, otherwise its bit width (1..64).
+  static size_t BucketIndex(uint64_t value) {
+    return static_cast<size_t>(std::bit_width(value));
+  }
+
+ private:
+  std::array<RelaxedCounter, kHistogramBuckets> buckets_;
+  RelaxedCounter sum_;
+  RelaxedMax max_;
+};
+
+/// Histogram for per-query paths shared by many threads. A plain Histogram
+/// puts every recording thread on the same two or three cache lines (the
+/// hot buckets plus sum/max), and at µs-scale operations that ping-pong
+/// dominates the operation itself. Each thread records into one of a few
+/// cache-line-aligned stripes instead; Snapshot() is the exact bucket-wise
+/// merge, so nothing about the exported distribution changes.
+class StripedHistogram {
+ public:
+  static constexpr size_t kStripes = 8;
+
+  void Record(uint64_t value) { stripes_[StripeIndex()].hist.Record(value); }
+
+  /// Exact union of all stripes (same boundaries, bucket-wise addition).
+  HistogramSnapshot Snapshot() const {
+    HistogramSnapshot snap;
+    for (const auto& stripe : stripes_) snap.Merge(stripe.hist.Snapshot());
+    return snap;
+  }
+
+  uint64_t count() const {
+    uint64_t total = 0;
+    for (const auto& stripe : stripes_) total += stripe.hist.count();
+    return total;
+  }
+
+ private:
+  struct alignas(64) Stripe {
+    Histogram hist;
+  };
+
+  /// Threads are assigned stripes round-robin on first use; the modulo only
+  /// matters beyond kStripes concurrent threads, where stripes are shared
+  /// (still correct, just contended again).
+  static size_t StripeIndex() {
+    static std::atomic<size_t> next{0};
+    thread_local const size_t index =
+        next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+    return index;
+  }
+
+  std::array<Stripe, kStripes> stripes_;
+};
+
+/// Scoped latency measurement. Constructed with a null histogram it does
+/// nothing — not even read the clock — which is how components keep the
+/// disabled-observability path at zero added cost. `H` is Histogram or
+/// StripedHistogram.
+template <typename H>
+class BasicLatencyTimer {
+ public:
+  explicit BasicLatencyTimer(H* histogram) : histogram_(histogram) {
+    if (histogram_ != nullptr) start_ = Clock::now();
+  }
+  ~BasicLatencyTimer() {
+    if (histogram_ != nullptr) Stop();
+  }
+
+  BasicLatencyTimer(const BasicLatencyTimer&) = delete;
+  BasicLatencyTimer& operator=(const BasicLatencyTimer&) = delete;
+
+  /// Records the elapsed time now and detaches; returns the recorded
+  /// nanoseconds (0 when the timer is disabled). Idempotent via detach.
+  uint64_t Stop() {
+    if (histogram_ == nullptr) return 0;
+    const uint64_t nanos = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+    histogram_->Record(nanos);
+    histogram_ = nullptr;
+    return nanos;
+  }
+
+  /// Detaches without recording — for speculative measurements where the
+  /// interesting case (e.g. an actual disk load) is only known afterwards.
+  void Cancel() { histogram_ = nullptr; }
+
+  bool enabled() const { return histogram_ != nullptr; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  H* histogram_;
+  Clock::time_point start_;
+};
+
+using LatencyTimer = BasicLatencyTimer<Histogram>;
+using StripedLatencyTimer = BasicLatencyTimer<StripedHistogram>;
+
+/// Latency sampling period (as log2) for microsecond-scale hot paths: a
+/// timer pair costs two clock reads (~40ns each on a tsc clocksource, far
+/// more on VMs without a vDSO clock), which is >5% of a single µs-scale
+/// query. Timing every 2^3 = 8th operation keeps the histogram's percentile
+/// estimates (hundreds of samples per second on any busy path) while the
+/// amortized cost drops under 1%. Millisecond-scale operations (flush,
+/// compaction, spill I/O, batch submission) are timed unconditionally.
+inline constexpr uint32_t kLatencySamplePeriodLog2 = 3;
+
+}  // namespace sketchlink::obs
+
+/// True on every 2^kLatencySamplePeriodLog2-th evaluation per thread *and*
+/// per call site (the lambda gives each expansion its own thread_local
+/// tick, so nested sampled sections do not steal each other's ticks).
+/// Sampled histograms count samples, not operations — pair them with an
+/// always-on counter for rates (see DESIGN.md, Observability).
+#define SKETCHLINK_OBS_SAMPLE_HIT()                                          \
+  ([] {                                                                      \
+    thread_local uint32_t obs_sample_tick = 0;                               \
+    return (obs_sample_tick++ &                                              \
+            ((1u << ::sketchlink::obs::kLatencySamplePeriodLog2) - 1)) == 0; \
+  }())
+
+namespace sketchlink::obs {
+
+}  // namespace sketchlink::obs
+
+#endif  // SKETCHLINK_OBS_INSTRUMENTS_H_

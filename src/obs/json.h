@@ -1,0 +1,77 @@
+#ifndef SKETCHLINK_OBS_JSON_H_
+#define SKETCHLINK_OBS_JSON_H_
+
+// Minimal JSON building blocks shared by the metrics JSON exporter and the
+// benchmark sidecar writer (bench/bench_json.h) — moved here from the bench
+// tree so src/ code can emit JSON without reaching into bench/.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sketchlink::obs {
+
+/// Escapes `s` for embedding inside a JSON string literal.
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// One flat JSON object built field by field (insertion order preserved).
+class JsonFields {
+ public:
+  void Add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+  }
+  void Add(const std::string& key, const char* value) {
+    Add(key, std::string(value));
+  }
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    fields_.emplace_back(key, buf);
+  }
+  void Add(const std::string& key, uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  /// Splices a pre-rendered JSON value (object/array) under `key`.
+  void AddRaw(const std::string& key, std::string json) {
+    fields_.emplace_back(key, std::move(json));
+  }
+
+  std::string ToJson() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + JsonEscape(fields_[i].first) + "\": " + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace sketchlink::obs
+
+#endif  // SKETCHLINK_OBS_JSON_H_

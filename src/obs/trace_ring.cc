@@ -1,0 +1,42 @@
+#include "obs/trace_ring.h"
+
+#include <algorithm>
+
+namespace sketchlink::obs {
+
+TraceRing::TraceRing(size_t capacity) : capacity_(std::max<size_t>(capacity, 1)) {
+  slots_.reserve(capacity_);
+}
+
+void TraceRing::Record(std::string_view category, std::string_view label,
+                       uint64_t duration_nanos) {
+  TraceEvent event;
+  event.category.assign(category.data(), category.size());
+  event.label.assign(label.data(), label.size());
+  event.duration_nanos = duration_nanos;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  event.sequence = next_sequence_++;
+  if (slots_.size() < capacity_) {
+    slots_.push_back(std::move(event));
+  } else {
+    slots_[event.sequence % capacity_] = std::move(event);
+  }
+}
+
+std::vector<TraceEvent> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out(slots_.begin(), slots_.end());
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.sequence < b.sequence;
+            });
+  return out;
+}
+
+uint64_t TraceRing::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_sequence_;
+}
+
+}  // namespace sketchlink::obs

@@ -1,0 +1,57 @@
+#ifndef SKETCHLINK_OBS_TRACE_RING_H_
+#define SKETCHLINK_OBS_TRACE_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sketchlink::obs {
+
+/// One recorded slow operation. `sequence` is a process-lifetime ordinal
+/// (monotone across wraparounds), so consumers can tell how many events the
+/// ring dropped between two snapshots.
+struct TraceEvent {
+  uint64_t sequence = 0;
+  std::string category;  // e.g. "engine.query", "db.compaction"
+  std::string label;     // operation-specific detail (key, phase, path)
+  uint64_t duration_nanos = 0;
+};
+
+/// Fixed-size ring buffer of recent slow operations. Lock-light in the sense
+/// that the mutex is only ever taken for operations that already crossed the
+/// registry's slow-op threshold (tens of milliseconds of work), never on the
+/// per-query fast path; the critical section itself is a couple of string
+/// moves. Capacity is fixed at construction — a full ring overwrites the
+/// oldest event.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Appends an event, overwriting the oldest when full.
+  void Record(std::string_view category, std::string_view label,
+              uint64_t duration_nanos);
+
+  /// Events currently held, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Events recorded over the ring's lifetime (>= Snapshot().size()).
+  uint64_t total_recorded() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> slots_;  // guarded by mutex_
+  uint64_t next_sequence_ = 0;     // guarded by mutex_
+};
+
+}  // namespace sketchlink::obs
+
+#endif  // SKETCHLINK_OBS_TRACE_RING_H_

@@ -1,0 +1,299 @@
+#include "obs/instruments.h"
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace sketchlink::obs {
+namespace {
+
+TEST(CounterTest, IncAddAndMerge) {
+  Counter a;
+  EXPECT_EQ(a.value(), 0u);
+  a.Inc();
+  a.Add(41);
+  EXPECT_EQ(a.value(), 42u);
+
+  Counter b;
+  b.Add(8);
+  b.Merge(a);
+  EXPECT_EQ(b.value(), 50u);
+  EXPECT_EQ(a.value(), 42u);  // merge reads, never mutates the source
+}
+
+TEST(GaugeTest, AddSubSet) {
+  Gauge gauge;
+  gauge.Add(10);
+  gauge.Sub(3);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.Sub(10);
+  EXPECT_EQ(gauge.value(), -3);  // signed: transient negatives are valid
+  gauge.Set(5);
+  EXPECT_EQ(gauge.value(), 5);
+}
+
+TEST(RelaxedMaxTest, KeepsLargest) {
+  RelaxedMax max;
+  max.Update(7);
+  max.Update(3);
+  EXPECT_EQ(max.value(), 7u);
+  max.Update(100);
+  EXPECT_EQ(max.value(), 100u);
+}
+
+// --- Bucket boundaries --------------------------------------------------
+
+TEST(HistogramTest, BucketIndexBoundaries) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  // Every power of two opens a new bucket; its predecessor closes one.
+  for (size_t bit = 1; bit < 64; ++bit) {
+    const uint64_t pow = uint64_t{1} << bit;
+    EXPECT_EQ(Histogram::BucketIndex(pow), bit + 1) << "value 2^" << bit;
+    EXPECT_EQ(Histogram::BucketIndex(pow - 1), bit) << "value 2^" << bit
+                                                    << " - 1";
+  }
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), 64u);
+}
+
+TEST(HistogramTest, BucketBoundsContainTheirValues) {
+  for (uint64_t value : {uint64_t{0}, uint64_t{1}, uint64_t{2}, uint64_t{3},
+                         uint64_t{17}, uint64_t{1023}, uint64_t{1024},
+                         uint64_t{123456789}, UINT64_MAX}) {
+    const size_t index = Histogram::BucketIndex(value);
+    EXPECT_GE(value, HistogramSnapshot::BucketLowerBound(index));
+    EXPECT_LE(value, HistogramSnapshot::BucketUpperBound(index));
+  }
+  // Buckets tile the axis with no gaps or overlaps.
+  for (size_t i = 1; i < kHistogramBuckets - 1; ++i) {
+    EXPECT_EQ(HistogramSnapshot::BucketLowerBound(i + 1),
+              HistogramSnapshot::BucketUpperBound(i) + 1);
+  }
+}
+
+// --- Recording and percentiles ------------------------------------------
+
+TEST(HistogramTest, RecordSumMaxCount) {
+  Histogram hist;
+  hist.Record(0);
+  hist.Record(1);
+  hist.Record(3);
+  hist.Record(1000);
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count(), 4u);
+  EXPECT_EQ(snap.sum, 1004u);
+  EXPECT_EQ(snap.max, 1000u);
+  EXPECT_EQ(snap.buckets[0], 1u);   // 0
+  EXPECT_EQ(snap.buckets[1], 1u);   // 1
+  EXPECT_EQ(snap.buckets[2], 1u);   // 3
+  EXPECT_EQ(snap.buckets[10], 1u);  // 1000 in [512, 1023]
+  EXPECT_DOUBLE_EQ(snap.Mean(), 251.0);
+}
+
+TEST(HistogramTest, PercentileIsEmptySafe) {
+  const HistogramSnapshot empty;
+  EXPECT_EQ(empty.Percentile(0.5), 0u);
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.Mean(), 0.0);
+}
+
+TEST(HistogramTest, PercentileExactAtBucketBoundary) {
+  // All samples share the value 7 = the inclusive upper bound of bucket 3,
+  // so the reported percentile is exact, not an overestimate.
+  Histogram hist;
+  for (int i = 0; i < 8; ++i) hist.Record(7);
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.Percentile(0.50), 7u);
+  EXPECT_EQ(snap.Percentile(0.99), 7u);
+}
+
+TEST(HistogramTest, PercentileClampedToObservedMax) {
+  // 5 lands in bucket [4, 7]; the upper bound overshoots the sample, so the
+  // estimate clamps to the observed max.
+  Histogram hist;
+  hist.Record(5);
+  EXPECT_EQ(hist.Snapshot().Percentile(0.99), 5u);
+}
+
+TEST(HistogramTest, PercentileNearestRankGuarantee) {
+  // Values 1..100: the estimate must never undershoot the true nearest-rank
+  // percentile and can overshoot by at most one bucket width (2x).
+  Histogram hist;
+  for (uint64_t v = 1; v <= 100; ++v) hist.Record(v);
+  const HistogramSnapshot snap = hist.Snapshot();
+  for (double p : {0.50, 0.90, 0.95, 0.99}) {
+    const uint64_t true_value =
+        static_cast<uint64_t>(p * 100.0 + 0.9999);  // nearest rank == value
+    const uint64_t estimate = snap.Percentile(p);
+    EXPECT_GE(estimate, true_value) << "p=" << p;
+    EXPECT_LE(estimate, 2 * true_value) << "p=" << p;
+  }
+  // p99: rank 99 falls in bucket [64, 127], clamped to the observed max.
+  EXPECT_EQ(snap.Percentile(0.99), 100u);
+}
+
+// --- Merge exactness (the sharded-aggregation regression) ---------------
+
+TEST(HistogramTest, MergeIsExactUnionOfSamples) {
+  Histogram a;
+  Histogram b;
+  Histogram expected;
+  for (uint64_t v : {1ull, 3ull, 900ull}) {
+    a.Record(v);
+    expected.Record(v);
+  }
+  for (uint64_t v : {2ull, 70000ull}) {
+    b.Record(v);
+    expected.Record(v);
+  }
+  a.Merge(b);
+  const HistogramSnapshot merged = a.Snapshot();
+  const HistogramSnapshot want = expected.Snapshot();
+  EXPECT_EQ(merged.buckets, want.buckets);
+  EXPECT_EQ(merged.sum, want.sum);
+  EXPECT_EQ(merged.max, want.max);
+}
+
+TEST(HistogramTest, MergedPercentileIsNotAnAverageOfShardPercentiles) {
+  // Regression for the sharded-stats aggregation: shard A is uniformly
+  // fast, shard B uniformly slow. The p99 of the union is the slow value;
+  // averaging per-shard p99s would report something in between and
+  // under-report tail latency by ~2x.
+  Histogram fast_shard;
+  Histogram slow_shard;
+  for (int i = 0; i < 50; ++i) fast_shard.Record(1);
+  for (int i = 0; i < 50; ++i) slow_shard.Record(1 << 20);
+
+  const uint64_t fast_p99 = fast_shard.Snapshot().p99();
+  const uint64_t slow_p99 = slow_shard.Snapshot().p99();
+  const uint64_t averaged = (fast_p99 + slow_p99) / 2;
+
+  HistogramSnapshot merged = fast_shard.Snapshot();
+  merged.Merge(slow_shard.Snapshot());
+  EXPECT_EQ(merged.count(), 100u);
+  EXPECT_EQ(merged.p99(), uint64_t{1} << 20);  // the union's true tail
+  EXPECT_NE(merged.p99(), averaged);
+  EXPECT_GT(merged.p99(), averaged);
+}
+
+TEST(HistogramTest, MergeSnapshotMatchesMerge) {
+  Histogram a;
+  Histogram b;
+  for (uint64_t v : {4ull, 5ull, 6ull}) a.Record(v);
+  for (uint64_t v : {1000ull, 2000ull}) b.Record(v);
+
+  Histogram via_snapshot;
+  via_snapshot.MergeSnapshot(a.Snapshot());
+  via_snapshot.MergeSnapshot(b.Snapshot());
+
+  a.Merge(b);
+  EXPECT_EQ(via_snapshot.Snapshot().buckets, a.Snapshot().buckets);
+  EXPECT_EQ(via_snapshot.Snapshot().sum, a.Snapshot().sum);
+  EXPECT_EQ(via_snapshot.Snapshot().max, a.Snapshot().max);
+}
+
+// --- StripedHistogram ---------------------------------------------------
+
+TEST(StripedHistogramTest, SnapshotIsExactUnionAcrossThreads) {
+  StripedHistogram striped;
+  Histogram expected;
+  for (uint64_t v : {10ull, 20ull, 30ull}) {
+    striped.Record(v);
+    expected.Record(v);
+  }
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&striped, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        striped.Record(static_cast<uint64_t>(t * 1000 + i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      expected.Record(static_cast<uint64_t>(t * 1000 + i));
+    }
+  }
+  const HistogramSnapshot got = striped.Snapshot();
+  const HistogramSnapshot want = expected.Snapshot();
+  EXPECT_EQ(got.buckets, want.buckets);
+  EXPECT_EQ(got.sum, want.sum);
+  EXPECT_EQ(got.max, want.max);
+  EXPECT_EQ(striped.count(), want.count());
+}
+
+// --- LatencyTimer -------------------------------------------------------
+
+TEST(LatencyTimerTest, NullHistogramDoesNothing) {
+  LatencyTimer timer(nullptr);
+  EXPECT_FALSE(timer.enabled());
+  EXPECT_EQ(timer.Stop(), 0u);
+}
+
+TEST(LatencyTimerTest, StopRecordsOnceAndDetaches) {
+  Histogram hist;
+  LatencyTimer timer(&hist);
+  EXPECT_TRUE(timer.enabled());
+  timer.Stop();
+  timer.Stop();  // idempotent: detached after the first stop
+  EXPECT_EQ(hist.count(), 1u);
+}
+
+TEST(LatencyTimerTest, DestructorRecords) {
+  Histogram hist;
+  { LatencyTimer timer(&hist); }
+  EXPECT_EQ(hist.count(), 1u);
+}
+
+TEST(LatencyTimerTest, CancelDropsTheMeasurement) {
+  Histogram hist;
+  {
+    LatencyTimer timer(&hist);
+    timer.Cancel();
+  }
+  EXPECT_EQ(hist.count(), 0u);
+}
+
+TEST(LatencyTimerTest, StripedVariantRecords) {
+  StripedHistogram hist;
+  { StripedLatencyTimer timer(&hist); }
+  EXPECT_EQ(hist.count(), 1u);
+}
+
+// --- Sampling gate ------------------------------------------------------
+
+TEST(SamplingTest, HitsEveryPeriodPerCallSite) {
+  // This test is this call site's only user, so the thread-local tick
+  // starts at zero here: hit on the first call, then every 2^log2-th.
+  const uint32_t period = 1u << kLatencySamplePeriodLog2;
+  int hits = 0;
+  for (uint32_t i = 0; i < 2 * period; ++i) {
+    if (SKETCHLINK_OBS_SAMPLE_HIT()) ++hits;
+  }
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SamplingTest, CallSitesHaveIndependentTicks) {
+  // Two interleaved sites must not steal each other's ticks: each still
+  // hits exactly once per period.
+  const uint32_t period = 1u << kLatencySamplePeriodLog2;
+  int hits_a = 0;
+  int hits_b = 0;
+  for (uint32_t i = 0; i < period; ++i) {
+    if (SKETCHLINK_OBS_SAMPLE_HIT()) ++hits_a;
+    if (SKETCHLINK_OBS_SAMPLE_HIT()) ++hits_b;
+  }
+  EXPECT_EQ(hits_a, 1);
+  EXPECT_EQ(hits_b, 1);
+}
+
+}  // namespace
+}  // namespace sketchlink::obs

@@ -1,0 +1,285 @@
+#include "obs/registry.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace sketchlink::obs {
+namespace {
+
+TEST(MetricRegistryTest, SnapshotCarriesKindsAndValues) {
+  MetricRegistry registry;
+  Counter counter;
+  counter.Add(42);
+  Gauge gauge;
+  gauge.Set(-7);
+  Histogram hist;
+  hist.Record(3);
+  hist.Record(1000);
+
+  auto r1 = registry.AddCounter(
+      MetricId("test_events_total", "Events", {{"instance", "a"}}), &counter);
+  auto r2 = registry.AddGauge(MetricId("test_depth", "Depth"), &gauge);
+  auto r3 = registry.AddHistogram(MetricId("test_latency_nanos", "Latency"),
+                                  &hist);
+  auto r4 = registry.AddCallbackGauge(MetricId("test_live", "Live value"),
+                                      [] { return 2.5; });
+  EXPECT_EQ(registry.num_metrics(), 4u);
+
+  const RegistrySnapshot snap = registry.TakeSnapshot();
+  ASSERT_EQ(snap.metrics.size(), 4u);
+
+  const MetricSnapshot* events = snap.Find("test_events_total", "a");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->kind, MetricKind::kCounter);
+  EXPECT_EQ(events->counter_value, 42u);
+  EXPECT_EQ(events->id.help, "Events");
+
+  const MetricSnapshot* depth = snap.Find("test_depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->kind, MetricKind::kGauge);
+  EXPECT_DOUBLE_EQ(depth->gauge_value, -7.0);
+
+  const MetricSnapshot* latency = snap.Find("test_latency_nanos");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->kind, MetricKind::kHistogram);
+  EXPECT_EQ(latency->histogram.count(), 2u);
+  EXPECT_EQ(latency->histogram.sum, 1003u);
+
+  const MetricSnapshot* live = snap.Find("test_live");
+  ASSERT_NE(live, nullptr);
+  EXPECT_DOUBLE_EQ(live->gauge_value, 2.5);
+
+  // Find with a wrong instance label or unknown name comes back empty.
+  EXPECT_EQ(snap.Find("test_events_total", "b"), nullptr);
+  EXPECT_EQ(snap.Find("no_such_metric"), nullptr);
+}
+
+TEST(MetricRegistryTest, SnapshotIsPullBased) {
+  MetricRegistry registry;
+  Counter counter;
+  auto reg = registry.AddCounter(MetricId("pull_total", "Pull"), &counter);
+  EXPECT_EQ(registry.TakeSnapshot().Find("pull_total")->counter_value, 0u);
+  counter.Add(5);
+  // No re-registration needed: the closure reads the live instrument.
+  EXPECT_EQ(registry.TakeSnapshot().Find("pull_total")->counter_value, 5u);
+}
+
+TEST(MetricRegistryTest, RegistrationDropDeregisters) {
+  MetricRegistry registry;
+  Counter counter;
+  {
+    Registration reg =
+        registry.AddCounter(MetricId("scoped_total", "Scoped"), &counter);
+    EXPECT_TRUE(reg.active());
+    EXPECT_EQ(registry.num_metrics(), 1u);
+  }
+  EXPECT_EQ(registry.num_metrics(), 0u);
+  EXPECT_EQ(registry.TakeSnapshot().metrics.size(), 0u);
+}
+
+TEST(MetricRegistryTest, RegistrationMoveTransfersOwnership) {
+  MetricRegistry registry;
+  Counter counter;
+  Registration first =
+      registry.AddCounter(MetricId("moved_total", "Moved"), &counter);
+  Registration second = std::move(first);
+  EXPECT_FALSE(first.active());  // NOLINT(bugprone-use-after-move): testing it
+  EXPECT_TRUE(second.active());
+  EXPECT_EQ(registry.num_metrics(), 1u);
+
+  // Move-assignment over an active registration releases the old one.
+  Registration third =
+      registry.AddCounter(MetricId("moved_too_total", "Moved too"), &counter);
+  EXPECT_EQ(registry.num_metrics(), 2u);
+  third = std::move(second);
+  EXPECT_EQ(registry.num_metrics(), 1u);
+  EXPECT_TRUE(third.active());
+}
+
+TEST(MetricRegistryTest, ReleaseIsIdempotent) {
+  MetricRegistry registry;
+  Counter counter;
+  Registration reg =
+      registry.AddCounter(MetricId("released_total", "Released"), &counter);
+  reg.Release();
+  EXPECT_FALSE(reg.active());
+  EXPECT_EQ(registry.num_metrics(), 0u);
+  reg.Release();  // no-op
+  EXPECT_EQ(registry.num_metrics(), 0u);
+}
+
+TEST(MetricRegistryTest, SnapshotPreservesRegistrationOrder) {
+  MetricRegistry registry;
+  Counter a;
+  Counter b;
+  Counter c;
+  auto r1 = registry.AddCounter(MetricId("order_a", ""), &a);
+  auto r2 = registry.AddCounter(MetricId("order_b", ""), &b);
+  auto r3 = registry.AddCounter(MetricId("order_c", ""), &c);
+  r2.Release();
+  const RegistrySnapshot snap = registry.TakeSnapshot();
+  ASSERT_EQ(snap.metrics.size(), 2u);
+  EXPECT_EQ(snap.metrics[0].id.name, "order_a");
+  EXPECT_EQ(snap.metrics[1].id.name, "order_c");
+}
+
+TEST(NullRegistryTest, IsInertAndZeroCost) {
+  NullRegistry* null_registry = NullRegistry::Get();
+  ASSERT_NE(null_registry, nullptr);
+  EXPECT_EQ(null_registry, NullRegistry::Get());  // shared instance
+  EXPECT_FALSE(null_registry->enabled());
+  EXPECT_EQ(null_registry->trace_ring(), nullptr);
+  EXPECT_EQ(null_registry->slow_op_threshold_nanos(), UINT64_MAX);
+
+  Counter counter;
+  Registration reg =
+      null_registry->AddCounter(MetricId("dropped_total", "Dropped"), &counter);
+  EXPECT_FALSE(reg.active());
+  EXPECT_EQ(null_registry->TakeSnapshot().metrics.size(), 0u);
+
+  // TraceSlow never records (threshold is UINT64_MAX and the ring is null).
+  null_registry->TraceSlow("test", "op", UINT64_MAX);
+}
+
+TEST(NullRegistryTest, TimingEnabledGate) {
+  EXPECT_FALSE(TimingEnabled(nullptr));
+  EXPECT_FALSE(TimingEnabled(NullRegistry::Get()));
+  MetricRegistry registry;
+  EXPECT_TRUE(TimingEnabled(&registry));
+}
+
+TEST(DefaultRegistryTest, IsASharedEnabledInstance) {
+  MetricRegistry& a = DefaultRegistry();
+  MetricRegistry& b = DefaultRegistry();
+  EXPECT_EQ(&a, &b);
+  EXPECT_TRUE(a.enabled());
+}
+
+// --- Trace ring ---------------------------------------------------------
+
+TEST(TraceRingTest, RecordsInOrderUntilFull) {
+  TraceRing ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  ring.Record("engine", "q1", 100);
+  ring.Record("engine", "q2", 200);
+  const auto events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].sequence, 0u);
+  EXPECT_EQ(events[0].category, "engine");
+  EXPECT_EQ(events[0].label, "q1");
+  EXPECT_EQ(events[0].duration_nanos, 100u);
+  EXPECT_EQ(events[1].sequence, 1u);
+  EXPECT_EQ(ring.total_recorded(), 2u);
+}
+
+TEST(TraceRingTest, WraparoundKeepsNewestAndCountsDrops) {
+  TraceRing ring(4);
+  for (uint64_t i = 0; i < 6; ++i) {
+    ring.Record("kv", "op" + std::to_string(i), i * 10);
+  }
+  const auto events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 4u);  // oldest two overwritten
+  // Oldest-first, sequences are the process-lifetime ordinals 2..5, so the
+  // consumer can compute drops: total_recorded - capacity.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].sequence, i + 2);
+    EXPECT_EQ(events[i].label, "op" + std::to_string(i + 2));
+  }
+  EXPECT_EQ(ring.total_recorded(), 6u);
+}
+
+TEST(TraceRingTest, ZeroCapacityClampsToOne) {
+  TraceRing ring(0);
+  EXPECT_EQ(ring.capacity(), 1u);
+  ring.Record("a", "x", 1);
+  ring.Record("a", "y", 2);
+  const auto events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].label, "y");
+}
+
+TEST(MetricRegistryTest, TraceSlowFiltersBelowThreshold) {
+  MetricRegistry::Options options;
+  options.slow_op_threshold_nanos = 1000;
+  options.trace_capacity = 8;
+  MetricRegistry registry(options);
+  EXPECT_EQ(registry.slow_op_threshold_nanos(), 1000u);
+
+  registry.TraceSlow("engine", "fast", 999);
+  EXPECT_EQ(registry.trace_ring()->Snapshot().size(), 0u);
+  registry.TraceSlow("engine", "at_threshold", 1000);
+  registry.TraceSlow("engine", "slow", 5000);
+  const auto events = registry.trace_ring()->Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].label, "at_threshold");
+  EXPECT_EQ(events[1].label, "slow");
+}
+
+// --- Concurrency (exercised under TSan via the sanitizer presets) --------
+
+TEST(MetricRegistryTest, ConcurrentRegisterUpdateSnapshotUnregister) {
+  MetricRegistry registry;
+  Counter shared_counter;
+  Histogram shared_hist;
+  auto keep_counter = registry.AddCounter(
+      MetricId("concurrent_total", "Shared counter"), &shared_counter);
+  auto keep_hist = registry.AddHistogram(
+      MetricId("concurrent_latency_nanos", "Shared histogram"), &shared_hist);
+
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 200;
+  std::atomic<bool> stop{false};
+
+  // One thread snapshots continuously while the others update shared
+  // instruments, churn registrations, and write the trace ring.
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const RegistrySnapshot snap = registry.TakeSnapshot();
+      for (const MetricSnapshot& metric : snap.metrics) {
+        if (metric.kind == MetricKind::kHistogram) {
+          // count() derives from buckets, so it is always self-consistent.
+          EXPECT_LE(metric.histogram.count(),
+                    static_cast<uint64_t>(kThreads) * kIterations);
+        }
+      }
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, &shared_counter, &shared_hist, t] {
+      Counter own_counter;
+      for (int i = 0; i < kIterations; ++i) {
+        shared_counter.Inc();
+        shared_hist.Record(static_cast<uint64_t>(i));
+        Registration churn = registry.AddCounter(
+            MetricId("churn_total", "Churn",
+                     {{"thread", std::to_string(t)}}),
+            &own_counter);
+        own_counter.Inc();
+        registry.TraceSlow("test", "churn",
+                           registry.slow_op_threshold_nanos() + 1);
+        // `churn` drops here: deregistration races with TakeSnapshot.
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  stop.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+
+  const RegistrySnapshot snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.Find("concurrent_total")->counter_value,
+            static_cast<uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(snap.Find("concurrent_latency_nanos")->histogram.count(),
+            static_cast<uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(registry.num_metrics(), 2u);  // all churn registrations dropped
+  EXPECT_EQ(registry.trace_ring()->total_recorded(),
+            static_cast<uint64_t>(kThreads) * kIterations);
+}
+
+}  // namespace
+}  // namespace sketchlink::obs

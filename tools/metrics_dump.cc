@@ -1,0 +1,166 @@
+// metrics_dump: run an instrumented linkage pipeline and dump the metric
+// registry — the quickest way to see every exported series, validate an
+// exporter against a scrape target, or eyeball latency distributions.
+//
+//   metrics_dump [--kind=ncvr] [--entities=500] [--copies=8]
+//       [--method=blocksketch|sblocksketch] [--mu=200] [--threads=1]
+//       [--format=prometheus|json|trace] [--out=PATH] [--slow-ms=20]
+//
+// The pipeline is self-contained (synthetic workload, scratch spill store
+// for sblocksketch); the dump goes to stdout unless --out is given.
+// --format=trace prints the slow-op ring (lower --slow-ms to populate it on
+// fast machines).
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "blocking/presets.h"
+#include "datagen/generators.h"
+#include "kv/db.h"
+#include "kv/env.h"
+#include "linkage/engine.h"
+#include "linkage/sketch_matchers.h"
+#include "obs/export.h"
+#include "obs/registry.h"
+
+namespace sketchlink::cli {
+namespace {
+
+using datagen::DatasetKind;
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags[arg] = "true";
+    } else {
+      flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+std::string Get(const std::map<std::string, std::string>& flags,
+                const std::string& name, const std::string& fallback = "") {
+  auto it = flags.find(name);
+  return it == flags.end() ? fallback : it->second;
+}
+
+uint64_t GetInt(const std::map<std::string, std::string>& flags,
+                const std::string& name, uint64_t fallback) {
+  auto it = flags.find(name);
+  return it == flags.end() ? fallback
+                           : std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  const auto flags = ParseFlags(argc, argv);
+
+  DatasetKind kind;
+  const std::string kind_name = Get(flags, "kind", "ncvr");
+  if (kind_name == "dblp") kind = DatasetKind::kDblp;
+  else if (kind_name == "ncvr") kind = DatasetKind::kNcvr;
+  else if (kind_name == "lab") kind = DatasetKind::kLab;
+  else return Fail("--kind must be dblp|ncvr|lab");
+
+  const std::string format = Get(flags, "format", "prometheus");
+  if (format != "prometheus" && format != "json" && format != "trace") {
+    return Fail("--format must be prometheus|json|trace");
+  }
+  const std::string method = Get(flags, "method", "blocksketch");
+  if (method != "blocksketch" && method != "sblocksketch") {
+    return Fail("--method must be blocksketch|sblocksketch");
+  }
+
+  obs::MetricRegistry::Options registry_options;
+  registry_options.slow_op_threshold_nanos =
+      GetInt(flags, "slow-ms", 20) * 1'000'000;
+  obs::MetricRegistry registry(registry_options);
+
+  // Build and run the instrumented pipeline.
+  datagen::WorkloadSpec spec;
+  spec.kind = kind;
+  spec.num_entities = GetInt(flags, "entities", 500);
+  spec.copies_per_entity = GetInt(flags, "copies", 8);
+  spec.max_perturb_ops = 4;
+  spec.seed = GetInt(flags, "seed", 42);
+  const datagen::Workload workload = datagen::MakeWorkload(spec);
+
+  auto blocker = MakeStandardBlocker(kind);
+  const RecordSimilarity similarity(MatchFieldsFor(kind), 0.75);
+  RecordStore store;
+
+  std::unique_ptr<kv::Db> spill_db;
+  std::string scratch;
+  std::unique_ptr<OnlineMatcher> matcher;
+  if (method == "sblocksketch") {
+    scratch = "/tmp/sketchlink_metrics_dump_spill";
+    (void)kv::RemoveDirRecursively(scratch);
+    (void)kv::CreateDirIfMissing(scratch);
+    kv::Options db_options;
+    db_options.registry = &registry;
+    db_options.metrics_instance = "spill";
+    auto db = kv::Db::Open(scratch, db_options);
+    if (!db.ok()) return Fail(db.status().ToString());
+    spill_db = std::move(*db);
+    SBlockSketchOptions options;
+    options.mu = GetInt(flags, "mu", 200);
+    matcher = std::make_unique<SBlockSketchMatcher>(options, spill_db.get(),
+                                                    similarity, &store);
+  } else {
+    matcher = std::make_unique<BlockSketchMatcher>(BlockSketchOptions(),
+                                                   similarity, &store);
+  }
+
+  EngineOptions engine_options;
+  engine_options.num_threads = GetInt(flags, "threads", 1);
+  engine_options.registry = &registry;
+  engine_options.metrics_instance = "dump";
+  LinkageEngine engine(blocker.get(), matcher.get(), similarity,
+                       engine_options);
+  Status status = engine.BuildIndex(workload.a);
+  if (!status.ok()) return Fail(status.ToString());
+  const GroundTruth truth(workload.a);
+  auto report = engine.ResolveAll(workload.q, truth);
+  if (!report.ok()) return Fail(report.status().ToString());
+
+  // Snapshot while the engine/matcher/db still hold their registrations.
+  std::string output;
+  if (format == "prometheus") {
+    output = obs::ExportPrometheusText(registry.TakeSnapshot());
+  } else if (format == "json") {
+    output = obs::ExportJson(registry.TakeSnapshot());
+  } else {
+    output = obs::ExportTraceJson(registry.trace_ring()->Snapshot());
+    output += "\n";
+  }
+
+  const std::string out_path = Get(flags, "out");
+  if (out_path.empty()) {
+    std::fputs(output.c_str(), stdout);
+  } else {
+    status = obs::WriteFile(out_path, output);
+    if (!status.ok()) return Fail(status.ToString());
+    std::fprintf(stderr, "wrote %zu bytes to %s\n", output.size(),
+                 out_path.c_str());
+  }
+  if (!scratch.empty()) (void)kv::RemoveDirRecursively(scratch);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sketchlink::cli
+
+int main(int argc, char** argv) { return sketchlink::cli::Main(argc, argv); }

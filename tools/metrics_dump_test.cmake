@@ -1,0 +1,104 @@
+# Smoke test of metrics_dump, run by ctest: run an instrumented pipeline and
+# validate every line of the Prometheus text exposition against the format
+# grammar (names, label blocks, numeric samples) without external tooling,
+# then sanity-check the JSON and trace outputs.
+
+if(NOT DEFINED TOOL)
+  message(FATAL_ERROR "pass -DTOOL=<path to metrics_dump>")
+endif()
+
+set(WORK "${CMAKE_CURRENT_BINARY_DIR}/metrics_dump_scratch")
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+
+function(run_tool)
+  execute_process(COMMAND "${TOOL}" ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "metrics_dump ${ARGN} failed (${rc}): ${out}${err}")
+  endif()
+  set(LAST_OUTPUT "${out}" PARENT_SCOPE)
+endfunction()
+
+# The sblocksketch pipeline exercises every layer: engine, sketch, spill db.
+run_tool(--kind=ncvr --entities=150 --copies=5 --method=sblocksketch --mu=50
+         --format=prometheus --out=${WORK}/metrics.prom)
+if(NOT EXISTS "${WORK}/metrics.prom")
+  message(FATAL_ERROR "metrics_dump did not write metrics.prom")
+endif()
+
+file(READ "${WORK}/metrics.prom" PROM)
+
+# --- Prometheus line-format validator (text format 0.0.4) ---------------
+# Comment lines must be HELP/TYPE with a valid family name; sample lines
+# must be name, optional {labels}, one numeric value, nothing else.
+string(REPLACE ";" ":" PROM_LINES "${PROM}")
+string(REGEX REPLACE "\n" ";" PROM_LINES "${PROM_LINES}")
+set(NAME_RE "[a-zA-Z_:][a-zA-Z0-9_:]*")
+set(VALUE_RE "-?([0-9]+(\\.[0-9]*)?(e[+-]?[0-9]+)?|[0-9]*\\.[0-9]+(e[+-]?[0-9]+)?|inf|nan)")
+set(SAMPLES 0)
+foreach(line IN LISTS PROM_LINES)
+  if(line STREQUAL "")
+    continue()
+  endif()
+  if(line MATCHES "^#")
+    if(NOT line MATCHES "^# HELP ${NAME_RE} .+$" AND
+       NOT line MATCHES "^# TYPE ${NAME_RE} (counter|gauge|histogram)$")
+      message(FATAL_ERROR "invalid comment line: '${line}'")
+    endif()
+  else()
+    if(NOT line MATCHES "^${NAME_RE}({[^}]*})? ${VALUE_RE}$")
+      message(FATAL_ERROR "invalid sample line: '${line}'")
+    endif()
+    math(EXPR SAMPLES "${SAMPLES} + 1")
+  endif()
+endforeach()
+if(SAMPLES LESS 20)
+  message(FATAL_ERROR "only ${SAMPLES} samples exported — pipeline not instrumented?")
+endif()
+message(STATUS "validated ${SAMPLES} Prometheus samples")
+
+# Every layer must show up in the scrape.
+foreach(family
+    "# TYPE sketchlink_engine_builds_total counter"
+    "# TYPE sketchlink_engine_query_latency_nanos histogram"
+    "# TYPE sketchlink_sketch_inserts_total counter"
+    "# TYPE sketchlink_kv_puts_total counter"
+    "# TYPE sketchlink_kv_tables gauge")
+  string(FIND "${PROM}" "${family}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "missing expected family: '${family}'")
+  endif()
+endforeach()
+if(NOT PROM MATCHES "le=\"[+]Inf\"")
+  message(FATAL_ERROR "histograms missing the +Inf bucket")
+endif()
+
+# --- JSON export --------------------------------------------------------
+run_tool(--kind=ncvr --entities=150 --copies=5 --format=json
+         --out=${WORK}/metrics.json)
+file(READ "${WORK}/metrics.json" JSON)
+if(NOT JSON MATCHES "\"metrics\": \\[" OR
+   NOT JSON MATCHES "\"kind\": \"histogram\"" OR
+   NOT JSON MATCHES "\"p99\"")
+  message(FATAL_ERROR "JSON export missing expected structure")
+endif()
+
+# --- Trace ring ---------------------------------------------------------
+# slow-ms=0 records every traced operation, so the ring cannot be empty.
+run_tool(--kind=ncvr --entities=150 --copies=5 --format=trace --slow-ms=0)
+if(NOT LAST_OUTPUT MATCHES "\"duration_nanos\"")
+  message(FATAL_ERROR "trace dump has no events at slow-ms=0: ${LAST_OUTPUT}")
+endif()
+
+# Bad flags must fail loudly.
+execute_process(COMMAND "${TOOL}" --format=xml RESULT_VARIABLE rc
+                OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "invalid --format unexpectedly succeeded")
+endif()
+
+file(REMOVE_RECURSE "${WORK}")
+message(STATUS "metrics_dump smoke test OK")
