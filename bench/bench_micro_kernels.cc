@@ -1,0 +1,253 @@
+// Microbenchmark of the bit-parallel similarity kernels (src/simd) against
+// their scalar references (src/text): single-pair throughput for every
+// instruction-set tier this CPU can run, plus the batched routing path
+// (BatchQuery::Score) that BlockSketch/SBlockSketch use to pick a sub-block.
+// Results land in BENCH_kernels.json so kernel regressions can be scripted;
+// the end-to-end effect on the match phase is bench_table4_query_latency.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/block_sketch.h"
+#include "simd/bit_profile.h"
+#include "simd/dispatch.h"
+#include "simd/jaro_pattern.h"
+#include "simd/score_batch.h"
+#include "text/edit_distance.h"
+#include "text/jaro.h"
+#include "text/qgram.h"
+
+namespace sketchlink::bench {
+namespace {
+
+// Accumulating into a global keeps the optimizer from eliding the kernels.
+double g_sink = 0.0;
+
+std::vector<std::string> MakeStrings(size_t count, size_t length,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> strings(count);
+  for (auto& s : strings) {
+    // +/- 25% length jitter so the pairs exercise the length-mismatch paths.
+    const size_t len = length - length / 4 + rng.UniformIndex(length / 2 + 1);
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>('A' + rng.UniformUint64(26)));
+    }
+  }
+  return strings;
+}
+
+/// Runs `sweep` (which performs `ops_per_sweep` kernel calls) until ~0.2 s
+/// has elapsed and returns the mean ns per call.
+template <typename Fn>
+double TimeNsPerOp(size_t ops_per_sweep, Fn&& sweep) {
+  using Clock = std::chrono::steady_clock;
+  sweep();  // warm-up: faults in the corpus, primes caches
+  const auto start = Clock::now();
+  size_t sweeps = 0;
+  double elapsed = 0.0;
+  do {
+    sweep();
+    ++sweeps;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < 0.2);
+  return elapsed * 1e9 / static_cast<double>(sweeps * ops_per_sweep);
+}
+
+void Report(BenchJsonWriter* json, const char* kernel, const char* tier,
+            size_t length, double kernel_ns, double scalar_ns) {
+  const double speedup = scalar_ns / kernel_ns;
+  char label[96];
+  std::snprintf(label, sizeof(label), "%s/%s len=%zu (%.2fx)", kernel, tier,
+                length, speedup);
+  PrintRow(label, kernel_ns, "ns/op");
+  JsonFields& row = json->AddResult();
+  row.Add("kernel", kernel);
+  row.Add("tier", tier);
+  row.Add("length", static_cast<uint64_t>(length));
+  row.Add("kernel_ns_per_op", kernel_ns);
+  row.Add("scalar_ns_per_op", scalar_ns);
+  row.Add("speedup", speedup);
+}
+
+struct JaroCorpus {
+  std::vector<std::string> strings;
+  std::vector<simd::JaroPattern> patterns;
+};
+
+JaroCorpus MakeJaroCorpus(size_t count, size_t length, uint64_t seed) {
+  JaroCorpus corpus;
+  corpus.strings = MakeStrings(count, length, seed);
+  corpus.patterns.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    simd::BuildJaroPattern(corpus.strings[i], &corpus.patterns[i]);
+  }
+  return corpus;
+}
+
+void BenchJaro(BenchJsonWriter* json, const simd::KernelOps& ops,
+               size_t length) {
+  const JaroCorpus corpus = MakeJaroCorpus(512, length, 0xa1 + length);
+  const size_t n = corpus.strings.size();
+  const double scalar_ns = TimeNsPerOp(n, [&] {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += text::Jaro(corpus.strings[i], corpus.strings[(i + 1) % n]);
+    }
+    g_sink += sum;
+  });
+  const double kernel_ns = TimeNsPerOp(n, [&] {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t j = (i + 1) % n;
+      sum += ops.jaro(corpus.strings[i], corpus.strings[j],
+                      corpus.patterns[j]);
+    }
+    g_sink += sum;
+  });
+  Report(json, "jaro", ops.name, length, kernel_ns, scalar_ns);
+}
+
+void BenchLevenshtein(BenchJsonWriter* json, const simd::KernelOps& ops,
+                      size_t length) {
+  const auto strings = MakeStrings(512, length, 0xb2 + length);
+  const size_t n = strings.size();
+  const double scalar_ns = TimeNsPerOp(n, [&] {
+    size_t sum = 0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += text::Levenshtein(strings[i], strings[(i + 1) % n]);
+    }
+    g_sink += static_cast<double>(sum);
+  });
+  const double kernel_ns = TimeNsPerOp(n, [&] {
+    size_t sum = 0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += ops.levenshtein(strings[i], strings[(i + 1) % n]);
+    }
+    g_sink += static_cast<double>(sum);
+  });
+  Report(json, "levenshtein", ops.name, length, kernel_ns, scalar_ns);
+}
+
+void BenchDice(BenchJsonWriter* json, const simd::KernelOps& ops,
+               size_t length, size_t q) {
+  const auto strings = MakeStrings(512, length, 0xc3 + length);
+  const size_t n = strings.size();
+  std::vector<QGramProfile> legacy(n);
+  std::vector<simd::BitProfile> bits(n);
+  for (size_t i = 0; i < n; ++i) {
+    legacy[i] = text::QGrams(strings[i], q);
+    std::sort(legacy[i].begin(), legacy[i].end());
+    bits[i] = simd::MakeBitProfile(strings[i], q);
+  }
+  const double scalar_ns = TimeNsPerOp(n, [&] {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += SketchPolicy::ProfileDistance(legacy[i], legacy[(i + 1) % n]);
+    }
+    g_sink += sum;
+  });
+  const double kernel_ns = TimeNsPerOp(n, [&] {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += ops.profile_dice_distance(bits[i], bits[(i + 1) % n]);
+    }
+    g_sink += sum;
+  });
+  Report(json, "profile_dice", ops.name, length, kernel_ns, scalar_ns);
+}
+
+/// The routing shape: one query scored against lambda*rho cached
+/// representatives. The scalar reference is the legacy per-representative
+/// JaroWinklerDistance loop with the strict-< argmin.
+void BenchBatch(BenchJsonWriter* json, const char* tier, size_t batch_size) {
+  const JaroCorpus corpus = MakeJaroCorpus(batch_size + 64, 14, 0xd4);
+  std::vector<simd::BatchCandidate> candidates(batch_size);
+  for (size_t i = 0; i < batch_size; ++i) {
+    candidates[i] = {corpus.strings[i], &corpus.patterns[i], nullptr};
+  }
+  const std::string& query = corpus.strings[batch_size];
+  const simd::BatchQuery batch(simd::BatchMetric::kJaroWinkler, query);
+  const simd::BatchResult once = batch.Score(candidates.data(), batch_size);
+  const double prune_rate =
+      batch_size == 0 ? 0.0
+                      : static_cast<double>(once.pruned) /
+                            static_cast<double>(batch_size);
+
+  const double scalar_ns = TimeNsPerOp(batch_size, [&] {
+    size_t best = SIZE_MAX;
+    double best_distance = 2.0;
+    for (size_t i = 0; i < batch_size; ++i) {
+      const double d = text::JaroWinklerDistance(query, corpus.strings[i]);
+      if (d < best_distance) {
+        best_distance = d;
+        best = i;
+      }
+    }
+    g_sink += best_distance + static_cast<double>(best);
+  });
+  const double kernel_ns = TimeNsPerOp(batch_size, [&] {
+    const simd::BatchResult result = batch.Score(candidates.data(), batch_size);
+    g_sink += result.best_distance + static_cast<double>(result.best_index);
+  });
+
+  const double speedup = scalar_ns / kernel_ns;
+  char label[96];
+  std::snprintf(label, sizeof(label), "score_batch/%s n=%zu (%.2fx)", tier,
+                batch_size, speedup);
+  PrintRow(label, kernel_ns, "ns/candidate");
+  JsonFields& row = json->AddResult();
+  row.Add("kernel", "score_batch_jw");
+  row.Add("tier", tier);
+  row.Add("batch_size", static_cast<uint64_t>(batch_size));
+  row.Add("kernel_ns_per_op", kernel_ns);
+  row.Add("scalar_ns_per_op", scalar_ns);
+  row.Add("speedup", speedup);
+  row.Add("prune_rate", prune_rate);
+}
+
+int Run() {
+  Banner("micro_kernels",
+         "Bit-parallel similarity kernels vs their scalar references, per\n"
+         "instruction-set tier, plus the batched sub-block routing path.");
+  if (!simd::KernelsEnabled()) {
+    std::printf("kernels disabled via SKETCHLINK_SIMD=off; nothing to do\n");
+    return 0;
+  }
+  std::printf("detected CPU tier: %s\n\n",
+              simd::KernelLevelName(simd::DetectedCpuLevel()));
+
+  BenchJsonWriter json("kernels", /*threads=*/1);
+  for (int level = 0; level <= 2; ++level) {
+    const auto tier = static_cast<simd::KernelLevel>(level);
+    const simd::KernelOps* ops = simd::OpsForLevel(tier);
+    if (ops == nullptr) continue;
+    for (const size_t length : {8, 16, 32}) BenchJaro(&json, *ops, length);
+    for (const size_t length : {16, 48, 200}) {
+      BenchLevenshtein(&json, *ops, length);
+    }
+    BenchDice(&json, *ops, /*length=*/16, /*q=*/2);
+
+    // Score the batch with this tier active (Score dispatches internally).
+    simd::SetActiveLevelForTesting(tier);
+    for (const size_t batch_size : {8, 24, 64}) {
+      BenchBatch(&json, ops->name, batch_size);
+    }
+    simd::ResetActiveLevelForTesting();
+    std::printf("\n");
+  }
+  if (!json.Finish()) return 1;
+  if (g_sink == 12345.6789) std::printf("sink %f\n", g_sink);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sketchlink::bench
+
+int main() { return sketchlink::bench::Run(); }

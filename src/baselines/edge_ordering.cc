@@ -64,11 +64,15 @@ Result<std::vector<RecordId>> EdgeOrderingMatcher::Resolve(
   };
   std::vector<Edge> edges;
   edges.reserve(candidates.size());
+  // The scorer normalizes the query's match fields once for the whole
+  // block instead of once per edge; scores are bit-identical (see
+  // SimilarityScorer).
+  const SimilarityScorer scorer(similarity_, query);
   for (RecordId id : candidates) {
     auto record = store_->Get(id);
     if (!record.ok()) return record.status();
     ++comparisons_;
-    edges.push_back(Edge{id, similarity_.Similarity(query, *record)});
+    edges.push_back(Edge{id, scorer.Similarity(*record)});
   }
 
   // Phase 2 — order edges by decreasing estimate (the "edge ordering").

@@ -4,6 +4,7 @@
 
 #include "common/memory_tracker.h"
 #include "text/double_metaphone.h"
+#include "simd/kernels.h"
 #include "text/jaro.h"
 #include "text/normalize.h"
 
@@ -51,7 +52,7 @@ Status InvIndexMatcher::Insert(const Record& record,
     std::vector<std::string>& bucket = code_buckets_[code];
     auto& row = sim_cache_[value];
     for (const std::string& other : bucket) {
-      const double sim = text::JaroWinkler(value, other);
+      const double sim = simd::JaroWinkler(value, other);
       row[other] = sim;
       sim_cache_[other][value] = sim;
       ++build_comparisons_;
@@ -100,7 +101,7 @@ Result<std::vector<RecordId>> InvIndexMatcher::Resolve(
           sim = *entry;
           ++cache_hits_;
         } else {
-          sim = text::JaroWinkler(value, other);
+          sim = simd::JaroWinkler(value, other);
           ++query_comparisons_;
         }
       }

@@ -6,6 +6,9 @@
 
 #include "common/coding.h"
 #include "common/memory_tracker.h"
+#include "simd/dispatch.h"
+#include "simd/score_batch.h"
+#include "text/edit_distance.h"
 #include "text/jaro.h"
 #include "text/qgram.h"
 
@@ -43,6 +46,7 @@ size_t SketchBlock::ApproximateMemoryUsage() const {
   size_t bytes = sizeof(*this) + StringHeapBytes(anchor) +
                  ProfileHeapBytes(anchor_profile) +
                  subs.capacity() * sizeof(SketchSubBlock);
+  bytes += anchor_bits.HeapBytes();
   for (const SketchSubBlock& sub : subs) {
     bytes += sub.representatives.capacity() * sizeof(std::string);
     for (const std::string& rep : sub.representatives) {
@@ -50,6 +54,11 @@ size_t SketchBlock::ApproximateMemoryUsage() const {
     }
     for (const QGramProfile& profile : sub.rep_profiles) {
       bytes += sizeof(QGramProfile) + ProfileHeapBytes(profile);
+    }
+    bytes += sub.rep_patterns.capacity() * sizeof(simd::JaroPattern);
+    bytes += sub.rep_bits.capacity() * sizeof(simd::BitProfile);
+    for (const simd::BitProfile& bits : sub.rep_bits) {
+      bytes += bits.HeapBytes();
     }
     bytes += sub.members.capacity() * sizeof(RecordId);
   }
@@ -146,20 +155,87 @@ double SketchPolicy::ProfileDistance(const QGramProfile& a,
   return 1.0 - dice;
 }
 
+bool SketchPolicy::KernelRoutingActive() const {
+  return !distance_ && simd::KernelsEnabled();
+}
+
+double SketchPolicy::ScalarKeyDistance(std::string_view a,
+                                       std::string_view b) const {
+  if (distance_) return distance_(a, b);
+  switch (options_.distance_kind) {
+    case KeyDistanceKind::kJaroWinkler:
+      return text::JaroWinklerDistance(a, b);
+    case KeyDistanceKind::kQGramDice:
+      // Unreachable: kQGramDice routes through the profile caches.
+      return 1.0 - text::QGramDice(a, b, options_.qgram);
+    case KeyDistanceKind::kLevenshtein:
+      return text::NormalizedLevenshteinDistance(a, b);
+  }
+  return 0.0;
+}
+
+void SketchPolicy::UpdateKernelCaches(SketchSubBlock* sub,
+                                      size_t replace_index,
+                                      std::string_view key_values) const {
+  if (!KernelRoutingActive()) return;
+  switch (options_.distance_kind) {
+    case KeyDistanceKind::kJaroWinkler: {
+      if (replace_index == SIZE_MAX) sub->rep_patterns.emplace_back();
+      simd::JaroPattern& pattern = replace_index == SIZE_MAX
+                                       ? sub->rep_patterns.back()
+                                       : sub->rep_patterns[replace_index];
+      simd::BuildJaroPattern(key_values, &pattern);
+      break;
+    }
+    case KeyDistanceKind::kQGramDice: {
+      simd::BitProfile bits = simd::MakeBitProfile(key_values, options_.qgram);
+      if (replace_index == SIZE_MAX) {
+        sub->rep_bits.push_back(std::move(bits));
+      } else {
+        sub->rep_bits[replace_index] = std::move(bits);
+      }
+      break;
+    }
+    case KeyDistanceKind::kLevenshtein:
+      break;  // the Myers kernel needs only the strings themselves
+  }
+}
+
 void SketchPolicy::SeedAnchor(SketchBlock* block,
                               std::string_view key_values) const {
   block->anchor.assign(key_values);
   if (UsesProfiles()) block->anchor_profile = MakeProfile(key_values);
+  if (KernelRoutingActive()) {
+    if (options_.distance_kind == KeyDistanceKind::kJaroWinkler) {
+      simd::BuildJaroPattern(block->anchor, &block->anchor_pattern);
+    } else if (options_.distance_kind == KeyDistanceKind::kQGramDice) {
+      block->anchor_bits = simd::MakeBitProfile(block->anchor, options_.qgram);
+    }
+  }
 }
 
 void SketchPolicy::RehydrateProfiles(SketchBlock* block) const {
-  if (!UsesProfiles()) return;
-  block->anchor_profile = MakeProfile(block->anchor);
+  if (UsesProfiles()) {
+    block->anchor_profile = MakeProfile(block->anchor);
+    for (SketchSubBlock& sub : block->subs) {
+      sub.rep_profiles.clear();
+      sub.rep_profiles.reserve(sub.representatives.size());
+      for (const std::string& rep : sub.representatives) {
+        sub.rep_profiles.push_back(MakeProfile(rep));
+      }
+    }
+  }
+  if (!KernelRoutingActive()) return;
+  if (options_.distance_kind == KeyDistanceKind::kJaroWinkler) {
+    simd::BuildJaroPattern(block->anchor, &block->anchor_pattern);
+  } else if (options_.distance_kind == KeyDistanceKind::kQGramDice) {
+    block->anchor_bits = simd::MakeBitProfile(block->anchor, options_.qgram);
+  }
   for (SketchSubBlock& sub : block->subs) {
-    sub.rep_profiles.clear();
-    sub.rep_profiles.reserve(sub.representatives.size());
+    sub.rep_patterns.clear();
+    sub.rep_bits.clear();
     for (const std::string& rep : sub.representatives) {
-      sub.rep_profiles.push_back(MakeProfile(rep));
+      UpdateKernelCaches(&sub, SIZE_MAX, rep);
     }
   }
 }
@@ -167,6 +243,20 @@ void SketchPolicy::RehydrateProfiles(SketchBlock* block) const {
 size_t SketchPolicy::ChooseSubBlock(const SketchBlock& block,
                                     std::string_view key_values,
                                     uint64_t* comparisons) const {
+  const RouteDecision decision = Route(block, key_values);
+  if (comparisons != nullptr) *comparisons += decision.comparisons;
+  return decision.sub;
+}
+
+SketchPolicy::RouteDecision SketchPolicy::Route(
+    const SketchBlock& block, std::string_view key_values) const {
+  return KernelRoutingActive() ? RouteWithKernels(block, key_values)
+                               : RouteScalar(block, key_values);
+}
+
+SketchPolicy::RouteDecision SketchPolicy::RouteScalar(
+    const SketchBlock& block, std::string_view key_values) const {
+  RouteDecision decision;
   const bool profiles = UsesProfiles();
   // Under kQGramDice the query side is tokenized once per routing decision;
   // every representative comparison then reuses the cached profiles.
@@ -177,15 +267,18 @@ size_t SketchPolicy::ChooseSubBlock(const SketchBlock& block,
   // <=theta, <=2*theta, ..., <=lambda*theta bands of Sec. 5).
   const double anchor_distance =
       profiles ? ProfileDistance(query_profile, block.anchor_profile)
-               : distance_(key_values, block.anchor);
-  if (comparisons != nullptr) ++*comparisons;
+               : ScalarKeyDistance(key_values, block.anchor);
+  ++decision.comparisons;
   const double theta = std::max(options_.theta, 1e-9);
   const size_t ring = std::min(static_cast<size_t>(anchor_distance / theta),
                                options_.lambda - 1);
 
   // A key whose ring is still unrepresented seeds it: this is how the
   // farther sub-blocks of Fig. 4 acquire their first representative.
-  if (block.subs[ring].representatives.empty()) return ring;
+  if (block.subs[ring].representatives.empty()) {
+    decision.sub = ring;
+    return decision;
+  }
 
   // Algorithm 3: otherwise the sub-block whose representative exhibits the
   // smallest distance from the key values wins.
@@ -196,15 +289,106 @@ size_t SketchPolicy::ChooseSubBlock(const SketchBlock& block,
     for (size_t r = 0; r < sub.representatives.size(); ++r) {
       const double d =
           profiles ? ProfileDistance(query_profile, sub.rep_profiles[r])
-                   : distance_(key_values, sub.representatives[r]);
-      if (comparisons != nullptr) ++*comparisons;
+                   : ScalarKeyDistance(key_values, sub.representatives[r]);
+      ++decision.comparisons;
+      ++decision.evaluated;
       if (d < best_distance) {
         best = i;
         best_distance = d;
       }
     }
   }
-  return best;
+  decision.sub = best;
+  return decision;
+}
+
+SketchPolicy::RouteDecision SketchPolicy::RouteWithKernels(
+    const SketchBlock& block, std::string_view key_values) const {
+  RouteDecision decision;
+
+  simd::BatchMetric metric = simd::BatchMetric::kJaroWinkler;
+  switch (options_.distance_kind) {
+    case KeyDistanceKind::kJaroWinkler:
+      metric = simd::BatchMetric::kJaroWinkler;
+      break;
+    case KeyDistanceKind::kQGramDice:
+      metric = simd::BatchMetric::kQGramDice;
+      break;
+    case KeyDistanceKind::kLevenshtein:
+      metric = simd::BatchMetric::kLevenshtein;
+      break;
+  }
+  // Query-side preprocessing happens once per routing decision, like the
+  // legacy query_profile.
+  simd::BitProfile query_bits;
+  if (metric == simd::BatchMetric::kQGramDice) {
+    query_bits = simd::MakeBitProfile(key_values, options_.qgram);
+  }
+  const simd::BatchQuery query =
+      metric == simd::BatchMetric::kQGramDice
+          ? simd::BatchQuery(metric, key_values, &query_bits)
+          : simd::BatchQuery(metric, key_values);
+
+  const simd::BatchCandidate anchor{block.anchor, &block.anchor_pattern,
+                                    &block.anchor_bits};
+  const double anchor_distance = query.Distance(anchor);
+  ++decision.comparisons;
+  const double theta = std::max(options_.theta, 1e-9);
+  const size_t ring = std::min(static_cast<size_t>(anchor_distance / theta),
+                               options_.lambda - 1);
+  if (block.subs[ring].representatives.empty()) {
+    decision.sub = ring;
+    return decision;
+  }
+
+  // One batch over all lambda*rho representatives, flat (sub, rep) order —
+  // the exact scan order of the scalar loop, so the first-minimum argmin is
+  // identical.
+  size_t total = 0;
+  for (const SketchSubBlock& sub : block.subs) {
+    total += sub.representatives.size();
+  }
+  constexpr size_t kInlineCandidates = 64;
+  simd::BatchCandidate inline_buf[kInlineCandidates];
+  std::vector<simd::BatchCandidate> heap_buf;
+  simd::BatchCandidate* candidates = inline_buf;
+  if (total > kInlineCandidates) {
+    heap_buf.resize(total);
+    candidates = heap_buf.data();
+  }
+  size_t k = 0;
+  for (const SketchSubBlock& sub : block.subs) {
+    const bool has_patterns =
+        sub.rep_patterns.size() == sub.representatives.size();
+    const bool has_bits = sub.rep_bits.size() == sub.representatives.size();
+    for (size_t r = 0; r < sub.representatives.size(); ++r) {
+      candidates[k].text = sub.representatives[r];
+      candidates[k].jaro = has_patterns ? &sub.rep_patterns[r] : nullptr;
+      candidates[k].profile = has_bits ? &sub.rep_bits[r] : nullptr;
+      ++k;
+    }
+  }
+
+  const simd::BatchResult result = query.Score(candidates, total);
+  decision.comparisons += total;  // historical accounting: one per rep
+  decision.evaluated = result.evaluated;
+  decision.pruned = result.pruned;
+  decision.batch_size = total;
+  decision.batched = true;
+
+  decision.sub = ring;
+  if (result.best_index != SIZE_MAX) {
+    size_t offset = result.best_index;
+    for (size_t i = 0; i < block.subs.size(); ++i) {
+      const size_t count = block.subs[i].representatives.size();
+      if (offset < count) {
+        decision.sub = i;
+        break;
+      }
+      offset -= count;
+    }
+  }
+  return decision;
 }
 
 void SketchPolicy::MaybeAddRepresentative(SketchSubBlock* sub,
@@ -213,6 +397,7 @@ void SketchPolicy::MaybeAddRepresentative(SketchSubBlock* sub,
   if (sub->representatives.size() < rho) {
     sub->representatives.emplace_back(key_values);
     if (UsesProfiles()) sub->rep_profiles.push_back(MakeProfile(key_values));
+    UpdateKernelCaches(sub, SIZE_MAX, key_values);
     return;
   }
   if (rho == 0) return;
@@ -222,6 +407,7 @@ void SketchPolicy::MaybeAddRepresentative(SketchSubBlock* sub,
     const size_t victim = rng_.UniformIndex(sub->representatives.size());
     sub->representatives[victim].assign(key_values);
     if (UsesProfiles()) sub->rep_profiles[victim] = MakeProfile(key_values);
+    UpdateKernelCaches(sub, victim, key_values);
   }
 }
 
@@ -241,11 +427,15 @@ void BlockSketch::Insert(const std::string& block_key,
     policy_.SeedAnchor(&it->second, key_values);
   }
   SketchBlock& block = it->second;
-  uint64_t comparisons = 0;
-  const size_t sub = policy_.ChooseSubBlock(block, key_values, &comparisons);
-  metrics_.representative_comparisons.Add(comparisons);
-  block.subs[sub].members.push_back(id);
-  policy_.MaybeAddRepresentative(&block.subs[sub], key_values);
+  const SketchPolicy::RouteDecision decision = policy_.Route(block, key_values);
+  metrics_.representative_comparisons.Add(decision.comparisons);
+  if (decision.batched) {
+    metrics_.route_batches.Inc();
+    metrics_.reps_pruned.Add(decision.pruned);
+    metrics_.route_batch_size.Record(decision.batch_size);
+  }
+  block.subs[decision.sub].members.push_back(id);
+  policy_.MaybeAddRepresentative(&block.subs[decision.sub], key_values);
 }
 
 std::vector<RecordId> BlockSketch::Candidates(
@@ -255,11 +445,15 @@ std::vector<RecordId> BlockSketch::Candidates(
   metrics_.queries.Inc();
   auto it = blocks_.find(block_key);
   if (it == blocks_.end()) return {};
-  uint64_t comparisons = 0;
-  const size_t sub =
-      policy_.ChooseSubBlock(it->second, key_values, &comparisons);
-  metrics_.representative_comparisons.Add(comparisons);
-  const std::vector<RecordId>& members = it->second.subs[sub].members;
+  const SketchPolicy::RouteDecision decision =
+      policy_.Route(it->second, key_values);
+  metrics_.representative_comparisons.Add(decision.comparisons);
+  if (decision.batched) {
+    metrics_.route_batches.Inc();
+    metrics_.reps_pruned.Add(decision.pruned);
+    metrics_.route_batch_size.Record(decision.batch_size);
+  }
+  const std::vector<RecordId>& members = it->second.subs[decision.sub].members;
   metrics_.candidates_returned.Add(members.size());
   return members;
 }

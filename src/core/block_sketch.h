@@ -12,6 +12,8 @@
 #include "common/status.h"
 #include "core/sketch_metrics.h"
 #include "record/record.h"
+#include "simd/bit_profile.h"
+#include "simd/jaro_pattern.h"
 
 namespace sketchlink {
 
@@ -21,7 +23,12 @@ namespace sketchlink {
 using KeyDistanceFn =
     std::function<double(std::string_view, std::string_view)>;
 
-/// Returns the library default distance (Jaro-Winkler distance).
+/// Returns the library default distance (Jaro-Winkler distance). Passing an
+/// explicit KeyDistanceFn — this one included — routes through the legacy
+/// scalar comparison loop; leaving the sketch's distance empty selects the
+/// built-in metric of the configured KeyDistanceKind, which additionally
+/// unlocks the batched bit-parallel kernel path (src/simd) with identical
+/// results.
 KeyDistanceFn DefaultKeyDistance();
 
 /// Sorted q-gram multiset of a key-value string. Cached per representative
@@ -39,6 +46,9 @@ enum class KeyDistanceKind {
   /// tokenizes its own key values once per routing decision instead of once
   /// per representative comparison.
   kQGramDice,
+  /// Normalized Levenshtein distance (edit distance / max length), computed
+  /// with Myers' bit-parallel recurrence on the kernel path.
+  kLevenshtein,
 };
 
 /// Tuning parameters shared by BlockSketch and SBlockSketch.
@@ -70,6 +80,13 @@ struct SketchSubBlock {
   /// under kJaroWinkler. Derived data — never serialized; rebuilt by
   /// SketchPolicy::RehydrateProfiles after a block is decoded.
   std::vector<QGramProfile> rep_profiles;
+  /// Kernel caches, parallel to `representatives` when the batched kernel
+  /// path is active (built-in metric + kernels enabled). rep_patterns backs
+  /// the bit-parallel Jaro (kJaroWinkler); rep_bits the popcount Dice
+  /// (kQGramDice). Derived data — never serialized; rebuilt alongside
+  /// rep_profiles.
+  std::vector<simd::JaroPattern> rep_patterns;
+  std::vector<simd::BitProfile> rep_bits;
   std::vector<RecordId> members;
 };
 
@@ -83,6 +100,10 @@ struct SketchBlock {
   /// Cached q-gram profile of `anchor` (empty under kJaroWinkler). Derived;
   /// not serialized.
   QGramProfile anchor_profile;
+  /// Kernel caches of `anchor` (see SketchSubBlock). Derived; not
+  /// serialized.
+  simd::JaroPattern anchor_pattern;
+  simd::BitProfile anchor_bits;
   std::vector<SketchSubBlock> subs;
 
   explicit SketchBlock(size_t lambda = 0) : subs(lambda) {}
@@ -101,9 +122,26 @@ struct SketchBlock {
 /// differ only in where blocks live) delegate here.
 class SketchPolicy {
  public:
-  /// `distance` overrides the routing metric; when options.distance_kind is
-  /// kQGramDice a custom distance must be null (the cached-profile path owns
-  /// the metric).
+  /// Telemetry of one routing decision. `comparisons` keeps the historical
+  /// accounting — one per representative considered (plus the anchor) —
+  /// whether or not the kernel batch pruned the actual evaluation, so the
+  /// paper's "constant number of comparisons" metric is identical on every
+  /// path. evaluated/pruned/batch_size describe the kernel batch itself.
+  struct RouteDecision {
+    size_t sub = 0;
+    uint64_t comparisons = 0;
+    uint64_t evaluated = 0;
+    uint64_t pruned = 0;
+    uint64_t batch_size = 0;
+    bool batched = false;
+  };
+
+  /// `distance` overrides the routing metric and forces the legacy scalar
+  /// comparison loop; leave it empty to use the built-in metric of
+  /// options.distance_kind (and, when the CPU/env allow, the batched
+  /// bit-parallel kernels — same results, differentially tested). When
+  /// options.distance_kind is kQGramDice a custom distance must be null
+  /// (the cached-profile path owns the metric).
   SketchPolicy(const BlockSketchOptions& options, KeyDistanceFn distance);
 
   /// Routing rule. The distance ring of `key_values` (measured from the
@@ -114,6 +152,14 @@ class SketchPolicy {
   /// the number of distance computations to `*comparisons`.
   size_t ChooseSubBlock(const SketchBlock& block, std::string_view key_values,
                         uint64_t* comparisons) const;
+
+  /// ChooseSubBlock with full telemetry: one batched kernel evaluation of
+  /// the query against all lambda*rho representatives when the built-in
+  /// metric is in use, the scalar loop otherwise. The chosen sub-block is
+  /// identical on both paths (strict-< first-minimum argmin; kernel prune
+  /// bounds only skip candidates that provably cannot win).
+  RouteDecision Route(const SketchBlock& block,
+                      std::string_view key_values) const;
 
   /// Algorithm 3, line 16: coin-toss representative maintenance. Fills the
   /// reservoir up to rho unconditionally, then replaces a uniformly random
@@ -144,6 +190,26 @@ class SketchPolicy {
     return options_.distance_kind == KeyDistanceKind::kQGramDice;
   }
 
+  /// True when routing may take the batched kernel path: built-in metric
+  /// (no custom KeyDistanceFn) and kernels not disabled via SKETCHLINK_SIMD.
+  /// The kernel caches (rep_patterns / rep_bits) are maintained under the
+  /// same condition.
+  bool KernelRoutingActive() const;
+
+  /// The scalar distance of the configured built-in metric (or the custom
+  /// distance_ when set) — the reference the kernel path must match.
+  double ScalarKeyDistance(std::string_view a, std::string_view b) const;
+
+  /// Appends (or replaces, when `replace_index` != SIZE_MAX) the kernel
+  /// caches of one representative.
+  void UpdateKernelCaches(SketchSubBlock* sub, size_t replace_index,
+                          std::string_view key_values) const;
+
+  RouteDecision RouteWithKernels(const SketchBlock& block,
+                                 std::string_view key_values) const;
+  RouteDecision RouteScalar(const SketchBlock& block,
+                            std::string_view key_values) const;
+
   BlockSketchOptions options_;
   KeyDistanceFn distance_;
   mutable Rng rng_;
@@ -156,8 +222,12 @@ class SketchPolicy {
 /// chosen sub-block — never against the whole block (Problem Statement 2).
 class BlockSketch {
  public:
+  /// An empty `distance` (the default) selects the built-in metric of
+  /// options.distance_kind and enables the batched kernel routing path;
+  /// passing a function (DefaultKeyDistance() included) pins the legacy
+  /// scalar loop with that exact callable.
   explicit BlockSketch(const BlockSketchOptions& options = {},
-                       KeyDistanceFn distance = DefaultKeyDistance());
+                       KeyDistanceFn distance = {});
 
   BlockSketch(const BlockSketch&) = delete;
   BlockSketch& operator=(const BlockSketch&) = delete;

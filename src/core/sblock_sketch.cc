@@ -149,12 +149,16 @@ Status SBlockSketch::Insert(const std::string& block_key,
   if (block->block.anchor.empty() && block->block.TotalMembers() == 0) {
     policy_.SeedAnchor(&block->block, key_values);
   }
-  uint64_t comparisons = 0;
-  const size_t sub =
-      policy_.ChooseSubBlock(block->block, key_values, &comparisons);
-  metrics_.representative_comparisons.Add(comparisons);
-  block->block.subs[sub].members.push_back(id);
-  policy_.MaybeAddRepresentative(&block->block.subs[sub], key_values);
+  const SketchPolicy::RouteDecision decision =
+      policy_.Route(block->block, key_values);
+  metrics_.representative_comparisons.Add(decision.comparisons);
+  if (decision.batched) {
+    metrics_.route_batches.Inc();
+    metrics_.reps_pruned.Add(decision.pruned);
+    metrics_.route_batch_size.Record(decision.batch_size);
+  }
+  block->block.subs[decision.sub].members.push_back(id);
+  policy_.MaybeAddRepresentative(&block->block.subs[decision.sub], key_values);
   return Status::OK();
 }
 
@@ -176,11 +180,15 @@ Result<std::vector<RecordId>> SBlockSketch::Candidates(
   LiveBlock* block = *live;
   ++block->xi;
   Requeue(block_key, block);
-  uint64_t comparisons = 0;
-  const size_t sub =
-      policy_.ChooseSubBlock(block->block, key_values, &comparisons);
-  metrics_.representative_comparisons.Add(comparisons);
-  std::vector<RecordId> members = block->block.subs[sub].members;
+  const SketchPolicy::RouteDecision decision =
+      policy_.Route(block->block, key_values);
+  metrics_.representative_comparisons.Add(decision.comparisons);
+  if (decision.batched) {
+    metrics_.route_batches.Inc();
+    metrics_.reps_pruned.Add(decision.pruned);
+    metrics_.route_batch_size.Record(decision.batch_size);
+  }
+  std::vector<RecordId> members = block->block.subs[decision.sub].members;
   metrics_.candidates_returned.Add(members.size());
   return members;
 }

@@ -40,9 +40,12 @@ struct SBlockSketchOptions {
 /// blocks decay exponentially and get replaced first.
 class SBlockSketch {
  public:
-  /// `spill_db` receives evicted blocks and must outlive this object.
+  /// `spill_db` receives evicted blocks and must outlive this object. An
+  /// empty `distance` (the default) selects the built-in metric of
+  /// options.distance_kind and enables the batched kernel routing path;
+  /// passing a function pins the legacy scalar loop.
   SBlockSketch(const SBlockSketchOptions& options, kv::Db* spill_db,
-               KeyDistanceFn distance = DefaultKeyDistance());
+               KeyDistanceFn distance = {});
 
   SBlockSketch(const SBlockSketch&) = delete;
   SBlockSketch& operator=(const SBlockSketch&) = delete;

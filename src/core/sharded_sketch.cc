@@ -156,6 +156,15 @@ std::vector<obs::Registration> ShardedBlockSketch::RegisterMetrics(
   add_counter("sketchlink_sketch_candidates_returned_total",
               "Candidate ids handed to the matcher",
               &BlockSketchMetrics::candidates_returned);
+  add_counter("sketchlink_sketch_route_batches_total",
+              "Routing decisions taken by the batched kernel path",
+              &BlockSketchMetrics::route_batches);
+  add_counter("sketchlink_sketch_reps_pruned_total",
+              "Representatives skipped by kernel prune bounds",
+              &BlockSketchMetrics::reps_pruned);
+  add_histogram("sketchlink_sketch_route_batch_size",
+                "Representatives per batched routing decision",
+                &BlockSketchMetrics::route_batch_size);
   add_histogram("sketchlink_sketch_query_latency_nanos",
                 "Per-query sketch latency",
                 &BlockSketchMetrics::query_latency_nanos);
@@ -321,6 +330,15 @@ std::vector<obs::Registration> ShardedSBlockSketch::RegisterMetrics(
   add_counter("sketchlink_sketch_candidates_returned_total",
               "Candidate ids handed to the matcher",
               &SBlockSketchMetrics::candidates_returned);
+  add_counter("sketchlink_sketch_route_batches_total",
+              "Routing decisions taken by the batched kernel path",
+              &SBlockSketchMetrics::route_batches);
+  add_counter("sketchlink_sketch_reps_pruned_total",
+              "Representatives skipped by kernel prune bounds",
+              &SBlockSketchMetrics::reps_pruned);
+  add_histogram("sketchlink_sketch_route_batch_size",
+                "Representatives per batched routing decision",
+                &SBlockSketchMetrics::route_batch_size);
   add_histogram("sketchlink_sketch_query_latency_nanos",
                 "Per-query sketch latency",
                 &SBlockSketchMetrics::query_latency_nanos);

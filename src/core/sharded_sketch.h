@@ -37,8 +37,11 @@ class ShardedBlockSketch {
  public:
   static constexpr size_t kDefaultStripes = 16;
 
+  /// An empty `distance` (the default) selects the built-in metric of
+  /// options.distance_kind and enables the batched kernel routing path in
+  /// every stripe; passing a function pins the legacy scalar loop.
   explicit ShardedBlockSketch(const BlockSketchOptions& options = {},
-                              KeyDistanceFn distance = DefaultKeyDistance(),
+                              KeyDistanceFn distance = {},
                               size_t num_stripes = kDefaultStripes);
 
   ShardedBlockSketch(const ShardedBlockSketch&) = delete;
@@ -111,9 +114,11 @@ class ShardedSBlockSketch {
  public:
   static constexpr size_t kDefaultStripes = 16;
 
+  /// An empty `distance` (the default) enables the batched kernel routing
+  /// path (see ShardedBlockSketch).
   explicit ShardedSBlockSketch(const SBlockSketchOptions& options,
                                kv::Db* spill_db,
-                               KeyDistanceFn distance = DefaultKeyDistance(),
+                               KeyDistanceFn distance = {},
                                size_t num_stripes = kDefaultStripes);
 
   ShardedSBlockSketch(const ShardedSBlockSketch&) = delete;

@@ -50,6 +50,13 @@ struct BlockSketchMetrics {
   obs::Counter representative_comparisons;
   obs::Counter blocks_created;
   obs::Counter candidates_returned;
+  /// Kernel-path telemetry: routing decisions that took the batched kernel
+  /// scan, representatives skipped by its prune bounds (pruning never
+  /// changes the chosen sub-block), and the size distribution of those
+  /// batches. All zero on the legacy scalar path.
+  obs::Counter route_batches;
+  obs::Counter reps_pruned;
+  obs::Histogram route_batch_size;
   obs::Histogram query_latency_nanos;
   obs::Histogram insert_latency_nanos;
   bool timing_enabled = false;
@@ -63,6 +70,9 @@ struct BlockSketchMetrics {
     representative_comparisons.Merge(other.representative_comparisons);
     blocks_created.Merge(other.blocks_created);
     candidates_returned.Merge(other.candidates_returned);
+    route_batches.Merge(other.route_batches);
+    reps_pruned.Merge(other.reps_pruned);
+    route_batch_size.Merge(other.route_batch_size);
     query_latency_nanos.Merge(other.query_latency_nanos);
     insert_latency_nanos.Merge(other.insert_latency_nanos);
   }
@@ -98,6 +108,10 @@ struct SBlockSketchMetrics {
   obs::Counter query_misses;
   obs::Counter representative_comparisons;
   obs::Counter candidates_returned;
+  /// Kernel-path telemetry (see BlockSketchMetrics).
+  obs::Counter route_batches;
+  obs::Counter reps_pruned;
+  obs::Histogram route_batch_size;
   obs::Histogram query_latency_nanos;
   obs::Histogram insert_latency_nanos;
   obs::Histogram spill_load_latency_nanos;   // reload from secondary storage
@@ -113,6 +127,9 @@ struct SBlockSketchMetrics {
     query_misses.Merge(other.query_misses);
     representative_comparisons.Merge(other.representative_comparisons);
     candidates_returned.Merge(other.candidates_returned);
+    route_batches.Merge(other.route_batches);
+    reps_pruned.Merge(other.reps_pruned);
+    route_batch_size.Merge(other.route_batch_size);
     query_latency_nanos.Merge(other.query_latency_nanos);
     insert_latency_nanos.Merge(other.insert_latency_nanos);
     spill_load_latency_nanos.Merge(other.spill_load_latency_nanos);

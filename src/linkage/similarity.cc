@@ -3,7 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
-#include "text/jaro.h"
+#include "simd/kernels.h"
 #include "text/monge_elkan.h"
 #include "text/normalize.h"
 #include "text/smith_waterman.h"
@@ -26,7 +26,10 @@ double CompareFieldValues(FieldComparatorKind kind, const std::string& a,
                           const std::string& b) {
   switch (kind) {
     case FieldComparatorKind::kJaroWinkler:
-      return text::JaroWinkler(a, b);
+      // The bit-parallel kernel wrapper: == text::JaroWinkler bit for bit
+      // (differentially tested), falling back to the scalar reference for
+      // strings beyond the kernel limits.
+      return simd::JaroWinkler(a, b);
     case FieldComparatorKind::kExact:
       return a == b ? 1.0 : 0.0;
     case FieldComparatorKind::kNumeric: {
@@ -37,12 +40,12 @@ double CompareFieldValues(FieldComparatorKind kind, const std::string& a,
             std::max({std::abs(value_a), std::abs(value_b), 1e-9});
         return std::max(0.0, 1.0 - std::abs(value_a - value_b) / denom);
       }
-      return text::JaroWinkler(a, b);  // non-numeric fallback
+      return simd::JaroWinkler(a, b);  // non-numeric fallback
     }
     case FieldComparatorKind::kMongeElkan:
       return text::SymmetricMongeElkan(
           a, b, [](std::string_view x, std::string_view y) {
-            return text::JaroWinkler(x, y);
+            return simd::JaroWinkler(x, y);
           });
     case FieldComparatorKind::kSmithWaterman:
       return text::SmithWatermanSimilarity(a, b);
@@ -81,6 +84,42 @@ double RecordSimilarity::Similarity(const Record& a, const Record& b) const {
         index < b.fields.size() ? text::NormalizeField(b.fields[index]) : "";
     total += spec.weight * CompareFieldValues(spec.comparator, va, vb);
     total_weight += spec.weight;
+  }
+  return total_weight <= 0 ? 0.0 : total / total_weight;
+}
+
+SimilarityScorer::SimilarityScorer(const RecordSimilarity& similarity,
+                                   const Record& query)
+    : threshold_(similarity.threshold()) {
+  const std::vector<FieldSpec>& specs = similarity.field_specs();
+  fields_.reserve(specs.size());
+  for (const FieldSpec& spec : specs) {
+    const size_t index = static_cast<size_t>(spec.field_index);
+    QueryField field;
+    field.spec = spec;
+    field.value = index < query.fields.size()
+                      ? text::NormalizeField(query.fields[index])
+                      : "";
+    fields_.push_back(std::move(field));
+  }
+}
+
+double SimilarityScorer::Similarity(const Record& candidate) const {
+  // Mirrors RecordSimilarity::Similarity exactly (same accumulation order,
+  // same empty-field conventions); only the query-side normalization is
+  // memoized.
+  if (fields_.empty()) return 0.0;
+  double total = 0.0;
+  double total_weight = 0.0;
+  for (const QueryField& field : fields_) {
+    const size_t index = static_cast<size_t>(field.spec.field_index);
+    const std::string vb =
+        index < candidate.fields.size()
+            ? text::NormalizeField(candidate.fields[index])
+            : "";
+    total += field.spec.weight *
+             CompareFieldValues(field.spec.comparator, field.value, vb);
+    total_weight += field.spec.weight;
   }
   return total_weight <= 0 ? 0.0 : total / total_weight;
 }

@@ -67,6 +67,33 @@ class RecordSimilarity {
 double CompareFieldValues(FieldComparatorKind kind, const std::string& a,
                           const std::string& b);
 
+/// Query-side-memoized similarity: RecordSimilarity::Similarity normalizes
+/// BOTH records' fields on every call, so verifying one query against k
+/// candidates re-normalizes the query k times. A scorer normalizes the
+/// query's match fields once at construction and returns exactly
+/// RecordSimilarity::Similarity(query, candidate) afterwards — the verified
+/// matchers build one per Resolve.
+class SimilarityScorer {
+ public:
+  SimilarityScorer(const RecordSimilarity& similarity, const Record& query);
+
+  /// == similarity.Similarity(query, candidate), bit for bit.
+  double Similarity(const Record& candidate) const;
+
+  /// == similarity.Matches(query, candidate).
+  bool Matches(const Record& candidate) const {
+    return Similarity(candidate) >= threshold_;
+  }
+
+ private:
+  struct QueryField {
+    FieldSpec spec;
+    std::string value;  // normalized query-side field value
+  };
+  std::vector<QueryField> fields_;
+  double threshold_;
+};
+
 }  // namespace sketchlink
 
 #endif  // SKETCHLINK_LINKAGE_SIMILARITY_H_

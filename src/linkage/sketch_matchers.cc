@@ -1,5 +1,6 @@
 #include "linkage/sketch_matchers.h"
 
+#include <optional>
 #include <unordered_set>
 
 #include "common/memory_tracker.h"
@@ -21,6 +22,12 @@ Result<std::vector<RecordId>> FinishResolve(
   std::unordered_set<RecordId> seen;
   std::vector<RecordId> matches;
   uint64_t local_comparisons = 0;
+  // The scorer normalizes the query's match fields once for the whole
+  // candidate set instead of once per verified pair; same scores bit for
+  // bit (see SimilarityScorer). kSubBlock mode never compares, so it skips
+  // the construction too.
+  std::optional<SimilarityScorer> scorer;
+  if (mode == ResolveMode::kVerified) scorer.emplace(similarity, query);
   for (const std::vector<RecordId>& group : candidates) {
     for (RecordId id : group) {
       if (!seen.insert(id).second) continue;  // footnote 17: drop dup pairs
@@ -31,7 +38,7 @@ Result<std::vector<RecordId>> FinishResolve(
       auto record = store.Get(id);
       if (!record.ok()) return record.status();
       ++local_comparisons;
-      if (similarity.Matches(query, *record)) {
+      if (scorer->Matches(*record)) {
         matches.push_back(id);
       }
     }

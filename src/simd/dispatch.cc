@@ -1,0 +1,125 @@
+#include "simd/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace sketchlink::simd {
+
+namespace {
+
+const char* const kEnvVar = "SKETCHLINK_SIMD";
+
+KernelLevel ProbeCpu() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("bmi") &&
+      __builtin_cpu_supports("bmi2") && __builtin_cpu_supports("popcnt")) {
+    return KernelLevel::kAVX2;
+  }
+  if (__builtin_cpu_supports("sse4.2") && __builtin_cpu_supports("popcnt")) {
+    return KernelLevel::kSSE42;
+  }
+#endif
+  return KernelLevel::kScalar;
+}
+
+struct Config {
+  bool enabled;
+  KernelLevel level;
+};
+
+KernelLevel Clamp(KernelLevel requested, KernelLevel detected) {
+  return static_cast<int>(requested) > static_cast<int>(detected) ? detected
+                                                                  : requested;
+}
+
+/// Startup config: the detected tier, lowered or disabled by SKETCHLINK_SIMD.
+/// Unknown values are ignored (detected tier wins) rather than erroring, so a
+/// typo degrades gracefully instead of changing results — every tier is
+/// bit-identical anyway.
+Config ReadConfig(KernelLevel detected) {
+  Config config{true, detected};
+  const char* env = std::getenv(kEnvVar);
+  if (env == nullptr || *env == '\0') return config;
+  if (std::strcmp(env, "off") == 0) {
+    config.enabled = false;
+    config.level = KernelLevel::kScalar;
+  } else if (std::strcmp(env, "scalar") == 0) {
+    config.level = KernelLevel::kScalar;
+  } else if (std::strcmp(env, "sse42") == 0) {
+    config.level = Clamp(KernelLevel::kSSE42, detected);
+  } else if (std::strcmp(env, "avx2") == 0) {
+    config.level = Clamp(KernelLevel::kAVX2, detected);
+  }
+  return config;
+}
+
+// Packed {enabled, level} so the hot-path load is a single relaxed atomic.
+// Encoding: -1 = disabled, otherwise the KernelLevel value.
+std::atomic<int>& ActiveState() {
+  static std::atomic<int> state = [] {
+    const Config config = ReadConfig(DetectedCpuLevel());
+    return config.enabled ? static_cast<int>(config.level) : -1;
+  }();
+  return state;
+}
+
+}  // namespace
+
+const char* KernelLevelName(KernelLevel level) {
+  switch (level) {
+    case KernelLevel::kScalar:
+      return "scalar";
+    case KernelLevel::kSSE42:
+      return "sse42";
+    case KernelLevel::kAVX2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+KernelLevel DetectedCpuLevel() {
+  static const KernelLevel detected = ProbeCpu();
+  return detected;
+}
+
+KernelLevel ActiveLevel() {
+  const int state = ActiveState().load(std::memory_order_relaxed);
+  return state < 0 ? KernelLevel::kScalar : static_cast<KernelLevel>(state);
+}
+
+bool KernelsEnabled() {
+  return ActiveState().load(std::memory_order_relaxed) >= 0;
+}
+
+const KernelOps* OpsForLevel(KernelLevel level) {
+  if (static_cast<int>(level) > static_cast<int>(DetectedCpuLevel())) {
+    return nullptr;
+  }
+  switch (level) {
+    case KernelLevel::kScalar:
+      return GetScalarKernels();
+    case KernelLevel::kSSE42:
+      return GetSse42Kernels();
+    case KernelLevel::kAVX2:
+      return GetAvx2Kernels();
+  }
+  return nullptr;
+}
+
+const KernelOps& Ops() { return *OpsForLevel(ActiveLevel()); }
+
+KernelLevel SetActiveLevelForTesting(KernelLevel level) {
+  const KernelLevel clamped = Clamp(level, DetectedCpuLevel());
+  ActiveState().store(static_cast<int>(clamped), std::memory_order_relaxed);
+  return clamped;
+}
+
+void ResetActiveLevelForTesting() {
+  const Config config = ReadConfig(DetectedCpuLevel());
+  ActiveState().store(config.enabled ? static_cast<int>(config.level) : -1,
+                      std::memory_order_relaxed);
+}
+
+}  // namespace sketchlink::simd

@@ -1,0 +1,27 @@
+#include "simd/jaro_pattern.h"
+
+namespace sketchlink::simd {
+
+void BuildJaroPattern(std::string_view b, JaroPattern* out) {
+  *out = JaroPattern{};
+  if (b.size() > 64) return;  // fits stays false; callers use scalar Jaro
+  out->length = static_cast<uint8_t>(b.size());
+  for (size_t j = 0; j < b.size(); ++j) {
+    const unsigned char c = static_cast<unsigned char>(b[j]);
+    size_t slot = 0;
+    while (slot < out->num_distinct && out->chars[slot] != c) ++slot;
+    if (slot == out->num_distinct) {
+      if (out->num_distinct == JaroPattern::kMaxDistinct) {
+        *out = JaroPattern{};
+        out->length = static_cast<uint8_t>(b.size());
+        return;  // too many distinct bytes for the fixed index
+      }
+      out->chars[slot] = c;
+      ++out->num_distinct;
+    }
+    out->masks[slot] |= uint64_t{1} << j;
+  }
+  out->fits = true;
+}
+
+}  // namespace sketchlink::simd

@@ -1,0 +1,39 @@
+#ifndef SKETCHLINK_SIMD_JARO_PATTERN_H_
+#define SKETCHLINK_SIMD_JARO_PATTERN_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace sketchlink::simd {
+
+/// Positional index of one comparison side of Jaro: for each distinct byte
+/// of `b`, a 64-bit mask of the positions where it occurs. The bit-parallel
+/// Jaro kernel replaces the scalar O(window) inner scan with one mask
+/// lookup + ctz, replicating the scalar greedy matching exactly (lowest
+/// unmatched position in the window wins).
+///
+/// `fits` is false when b is longer than 64 bytes or has more than
+/// kMaxDistinct distinct bytes; callers then use the scalar text::Jaro.
+/// Fixed arrays keep the pattern heap-free so it can be cached per sketch
+/// representative (~300B, cheaper than the q-gram profile cache).
+struct JaroPattern {
+  static constexpr size_t kMaxDistinct = 32;
+
+  uint8_t length = 0;
+  uint8_t num_distinct = 0;
+  bool fits = false;
+  /// Distinct bytes of b in first-occurrence order, zero-padded so SIMD
+  /// lookups can scan fixed-width blocks. A padded slot never yields a
+  /// match: its mask is 0.
+  std::array<unsigned char, kMaxDistinct> chars{};
+  std::array<uint64_t, kMaxDistinct> masks{};
+};
+
+/// Indexes `b`; sets fits=false (and leaves the arrays empty) when b does
+/// not meet the kernel's limits.
+void BuildJaroPattern(std::string_view b, JaroPattern* out);
+
+}  // namespace sketchlink::simd
+
+#endif  // SKETCHLINK_SIMD_JARO_PATTERN_H_

@@ -1,0 +1,48 @@
+// Portable scalar tier: plain C++ hooks, no ISA extensions. This tier is the
+// reference the SIMD tiers are differentially tested against, and the one
+// installed on CPUs without SSE4.2.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/jaro_pattern.h"
+
+namespace sketchlink::simd {
+namespace {
+
+uint64_t PatternLookup(const JaroPattern& pattern, unsigned char c) {
+  for (size_t s = 0; s < pattern.num_distinct; ++s) {
+    if (pattern.chars[s] == c) return pattern.masks[s];
+  }
+  return 0;
+}
+
+void IntersectPacked(const uint64_t* ga, const uint32_t* ca, size_t na,
+                     const uint64_t* gb, const uint32_t* cb, size_t nb,
+                     uint64_t* multiset_common, uint64_t* distinct_common) {
+  size_t i = 0;
+  size_t j = 0;
+  uint64_t common = 0;
+  uint64_t dc = 0;
+  while (i < na && j < nb) {
+    if (ga[i] < gb[j]) {
+      ++i;
+    } else if (ga[i] > gb[j]) {
+      ++j;
+    } else {
+      common += ca[i] < cb[j] ? ca[i] : cb[j];
+      ++dc;
+      ++i;
+      ++j;
+    }
+  }
+  *multiset_common = common;
+  *distinct_common = dc;
+}
+
+}  // namespace
+}  // namespace sketchlink::simd
+
+#define SKETCHLINK_KERNEL_NAME "scalar"
+#define SKETCHLINK_KERNEL_GETTER GetScalarKernels
+#include "simd/kernel_impl.inc"

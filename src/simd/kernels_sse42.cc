@@ -1,0 +1,64 @@
+// SSE4.2 tier (compiled with -msse4.2 -mpopcnt): 16-wide byte compares for
+// the Jaro pattern lookup and hardware popcount for signatures. The merge
+// stays scalar here; AVX2 adds the vectorized gallop.
+
+#include <nmmintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/jaro_pattern.h"
+
+namespace sketchlink::simd {
+namespace {
+
+uint64_t PatternLookup(const JaroPattern& pattern, unsigned char c) {
+  static_assert(JaroPattern::kMaxDistinct == 32,
+                "lookup scans two 16-byte blocks");
+  const __m128i needle = _mm_set1_epi8(static_cast<char>(c));
+  const __m128i lo = _mm_loadu_si128(
+      reinterpret_cast<const __m128i*>(pattern.chars.data()));
+  int mask = _mm_movemask_epi8(_mm_cmpeq_epi8(lo, needle));
+  if (mask != 0) {
+    // Padding slots carry zero masks, so a hit past num_distinct returns 0
+    // exactly like the scalar scan.
+    return pattern.masks[static_cast<size_t>(__builtin_ctz(mask))];
+  }
+  const __m128i hi = _mm_loadu_si128(
+      reinterpret_cast<const __m128i*>(pattern.chars.data() + 16));
+  mask = _mm_movemask_epi8(_mm_cmpeq_epi8(hi, needle));
+  if (mask != 0) {
+    return pattern.masks[16 + static_cast<size_t>(__builtin_ctz(mask))];
+  }
+  return 0;
+}
+
+void IntersectPacked(const uint64_t* ga, const uint32_t* ca, size_t na,
+                     const uint64_t* gb, const uint32_t* cb, size_t nb,
+                     uint64_t* multiset_common, uint64_t* distinct_common) {
+  size_t i = 0;
+  size_t j = 0;
+  uint64_t common = 0;
+  uint64_t dc = 0;
+  while (i < na && j < nb) {
+    if (ga[i] < gb[j]) {
+      ++i;
+    } else if (ga[i] > gb[j]) {
+      ++j;
+    } else {
+      common += ca[i] < cb[j] ? ca[i] : cb[j];
+      ++dc;
+      ++i;
+      ++j;
+    }
+  }
+  *multiset_common = common;
+  *distinct_common = dc;
+}
+
+}  // namespace
+}  // namespace sketchlink::simd
+
+#define SKETCHLINK_KERNEL_NAME "sse42"
+#define SKETCHLINK_KERNEL_GETTER GetSse42Kernels
+#include "simd/kernel_impl.inc"

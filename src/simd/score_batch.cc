@@ -1,0 +1,96 @@
+#include "simd/score_batch.h"
+
+#include <algorithm>
+
+#include "simd/dispatch.h"
+#include "text/jaro.h"
+
+namespace sketchlink::simd {
+
+namespace {
+
+/// The exact Winkler expression of text::JaroWinkler (0.1 scale), applied on
+/// top of a kernel- or reference-computed Jaro.
+double WinklerDistance(double jaro, std::string_view a, std::string_view b) {
+  size_t prefix = 0;
+  const size_t limit = std::min({a.size(), b.size(), size_t{4}});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return 1.0 - (jaro + static_cast<double>(prefix) * 0.1 * (1.0 - jaro));
+}
+
+}  // namespace
+
+BatchQuery::BatchQuery(BatchMetric metric, std::string_view query)
+    : metric_(metric), query_(query) {}
+
+BatchQuery::BatchQuery(BatchMetric metric, std::string_view query,
+                       const BitProfile* query_profile)
+    : metric_(metric), query_(query), query_profile_(query_profile) {}
+
+double BatchQuery::Distance(const BatchCandidate& candidate) const {
+  const KernelOps& ops = Ops();
+  switch (metric_) {
+    case BatchMetric::kJaroWinkler: {
+      const double jaro =
+          (candidate.jaro != nullptr && candidate.jaro->fits)
+              ? ops.jaro(query_, candidate.text, *candidate.jaro)
+              : text::Jaro(query_, candidate.text);
+      return WinklerDistance(jaro, query_, candidate.text);
+    }
+    case BatchMetric::kQGramDice:
+      return ops.profile_dice_distance(*query_profile_, *candidate.profile);
+    case BatchMetric::kLevenshtein: {
+      const size_t longest = std::max(query_.size(), candidate.text.size());
+      if (longest == 0) return 0.0;
+      return static_cast<double>(ops.levenshtein(query_, candidate.text)) /
+             static_cast<double>(longest);
+    }
+  }
+  return 0.0;
+}
+
+BatchResult BatchQuery::Score(const BatchCandidate* candidates,
+                              size_t n) const {
+  const KernelOps& ops = Ops();
+  BatchResult result;
+
+  constexpr size_t kChunk = 64;
+  uint32_t lens[kChunk];
+  double bounds[kChunk];
+  const bool length_bounds = metric_ != BatchMetric::kQGramDice;
+  const uint32_t query_len = static_cast<uint32_t>(query_.size());
+
+  for (size_t base = 0; base < n; base += kChunk) {
+    const size_t count = std::min(kChunk, n - base);
+    if (length_bounds) {
+      for (size_t i = 0; i < count; ++i) {
+        lens[i] = static_cast<uint32_t>(candidates[base + i].text.size());
+      }
+      if (metric_ == BatchMetric::kJaroWinkler) {
+        ops.jw_length_bounds(query_len, lens, count, bounds);
+      } else {
+        ops.lev_length_bounds(query_len, lens, count, bounds);
+      }
+    } else {
+      for (size_t i = 0; i < count; ++i) {
+        bounds[i] = ops.dice_distance_bound(*query_profile_,
+                                            *candidates[base + i].profile);
+      }
+    }
+    for (size_t i = 0; i < count; ++i) {
+      if (bounds[i] >= result.best_distance) {
+        ++result.pruned;
+        continue;
+      }
+      const double d = Distance(candidates[base + i]);
+      ++result.evaluated;
+      if (d < result.best_distance) {
+        result.best_distance = d;
+        result.best_index = base + i;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sketchlink::simd

@@ -1,0 +1,84 @@
+#ifndef SKETCHLINK_SIMD_SCORE_BATCH_H_
+#define SKETCHLINK_SIMD_SCORE_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+#include "simd/bit_profile.h"
+#include "simd/jaro_pattern.h"
+
+namespace sketchlink::simd {
+
+/// Distance metric of a batch; each mirrors a scalar routing metric exactly.
+enum class BatchMetric {
+  /// 1 - text::JaroWinkler (the paper's evaluation metric).
+  kJaroWinkler,
+  /// SketchPolicy::ProfileDistance over cached q-gram profiles.
+  kQGramDice,
+  /// Levenshtein / max(len) (text::NormalizedLevenshteinDistance).
+  kLevenshtein,
+};
+
+/// One candidate of a batch: the representative's text plus whatever caches
+/// the sketch holds for it. A null/unfit `jaro` pattern or a null `profile`
+/// degrades that candidate to the scalar reference path — same result,
+/// just slower.
+struct BatchCandidate {
+  std::string_view text;
+  const JaroPattern* jaro = nullptr;
+  const BitProfile* profile = nullptr;
+};
+
+/// Outcome of scoring one query against a candidate array.
+struct BatchResult {
+  /// Index of the argmin candidate (first minimum in array order — the
+  /// strict `<` update rule of SketchPolicy::ChooseSubBlock), or SIZE_MAX
+  /// for an empty batch.
+  size_t best_index = SIZE_MAX;
+  double best_distance = std::numeric_limits<double>::infinity();
+  /// Candidates whose exact distance was computed.
+  uint32_t evaluated = 0;
+  /// Candidates skipped because a lower bound already met or exceeded the
+  /// running best. Pruning never changes best_index/best_distance: a bound
+  /// b <= d with b >= best implies d >= best, which the scalar loop would
+  /// also discard.
+  uint32_t pruned = 0;
+};
+
+/// A query prepared for batch evaluation: per-query state (the q-gram
+/// profile under kQGramDice) is built once, then scored against all
+/// lambda*rho sub-block representatives in one pass with length/signature
+/// early-exit pruning.
+class BatchQuery {
+ public:
+  /// kJaroWinkler / kLevenshtein: no per-query preprocessing beyond lengths.
+  BatchQuery(BatchMetric metric, std::string_view query);
+
+  /// kQGramDice: `query_profile` must outlive the BatchQuery (the routing
+  /// code builds it once per decision, like the legacy query_profile).
+  BatchQuery(BatchMetric metric, std::string_view query,
+             const BitProfile* query_profile);
+
+  /// Exact distance to one candidate — the scalar reference value, bit for
+  /// bit, computed with the active kernel tier.
+  double Distance(const BatchCandidate& candidate) const;
+
+  /// Scores the query against candidates[0..n), returning the first-minimum
+  /// argmin under the exact metric. Equivalent to calling Distance on every
+  /// candidate with the `if (d < best)` update rule; bounds only skip
+  /// candidates that provably cannot win.
+  BatchResult Score(const BatchCandidate* candidates, size_t n) const;
+
+  BatchMetric metric() const { return metric_; }
+
+ private:
+  BatchMetric metric_;
+  std::string_view query_;
+  const BitProfile* query_profile_ = nullptr;
+};
+
+}  // namespace sketchlink::simd
+
+#endif  // SKETCHLINK_SIMD_SCORE_BATCH_H_

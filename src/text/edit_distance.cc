@@ -96,4 +96,11 @@ double LevenshteinSimilarity(std::string_view a, std::string_view b) {
                    static_cast<double>(longest);
 }
 
+double NormalizedLevenshteinDistance(std::string_view a, std::string_view b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 0.0;
+  return static_cast<double>(Levenshtein(a, b)) /
+         static_cast<double>(longest);
+}
+
 }  // namespace sketchlink::text

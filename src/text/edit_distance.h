@@ -27,6 +27,10 @@ size_t DamerauOsa(std::string_view a, std::string_view b);
 /// empty strings.
 double LevenshteinSimilarity(std::string_view a, std::string_view b);
 
+/// Normalized edit distance in [0,1]: dist/max(|a|,|b|); 0 for two empty
+/// strings. The routing metric behind KeyDistanceKind::kLevenshtein.
+double NormalizedLevenshteinDistance(std::string_view a, std::string_view b);
+
 }  // namespace sketchlink::text
 
 #endif  // SKETCHLINK_TEXT_EDIT_DISTANCE_H_

@@ -1,0 +1,13 @@
+// libFuzzer target for common/coding.cc. Build with -DSKETCHLINK_FUZZ=ON
+// (clang only: links -fsanitize=fuzzer). Run:
+//   ./tests/fuzz/fuzz_coding -max_total_time=60
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz_harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  sketchlink::fuzz::FuzzCoding(data, size);
+  return 0;
+}

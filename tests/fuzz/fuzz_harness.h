@@ -1,0 +1,162 @@
+#ifndef SKETCHLINK_TESTS_FUZZ_FUZZ_HARNESS_H_
+#define SKETCHLINK_TESTS_FUZZ_FUZZ_HARNESS_H_
+
+// Shared fuzz bodies. Each FuzzXxx function is the single source of truth
+// for one target: the libFuzzer entry points (built only under
+// -DSKETCHLINK_FUZZ=ON, which needs clang's -fsanitize=fuzzer) and the
+// tier-1 fuzz_smoke_test (plain gtest, random byte strings, runs on every
+// toolchain) both call it. A body must be total: any input either passes
+// its invariant checks or aborts — there is no "reject" path, so the smoke
+// run exercises exactly what the fuzzer would.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "common/coding.h"
+#include "text/normalize.h"
+
+namespace sketchlink::fuzz {
+
+namespace internal {
+
+inline void Check(bool ok, const char* what) {
+  if (!ok) {
+    // Both libFuzzer and the smoke test treat an abort as a crash with the
+    // offending input preserved (libFuzzer writes the reproducer; the smoke
+    // test logs the seed).
+    std::abort();
+  }
+  (void)what;
+}
+
+}  // namespace internal
+
+/// text/normalize.cc: every transform must be total over arbitrary bytes and
+/// the documented output invariants must hold.
+inline void FuzzNormalize(const uint8_t* data, size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  const std::string upper = text::ToUpperAscii(input);
+  const std::string lower = text::ToLowerAscii(input);
+  internal::Check(upper.size() == size, "ToUpperAscii preserves length");
+  internal::Check(lower.size() == size, "ToLowerAscii preserves length");
+  internal::Check(text::ToUpperAscii(lower) == upper,
+                  "upper(lower(x)) == upper(x)");
+
+  const std::string_view trimmed = text::Trim(input);
+  internal::Check(trimmed.size() <= size, "Trim never grows");
+  internal::Check(text::Trim(trimmed) == trimmed, "Trim is idempotent");
+
+  const std::string normalized = text::NormalizeField(input);
+  // Output alphabet: [A-Z0-9 '-], no leading/trailing/double spaces.
+  for (const char c : normalized) {
+    const bool ok = (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                    c == ' ' || c == '\'' || c == '-';
+    internal::Check(ok, "NormalizeField output alphabet");
+  }
+  internal::Check(normalized.find("  ") == std::string::npos,
+                  "no double spaces");
+  internal::Check(normalized.empty() || (normalized.front() != ' ' &&
+                                         normalized.back() != ' '),
+                  "no edge spaces");
+  internal::Check(text::NormalizeField(normalized) == normalized,
+                  "NormalizeField is idempotent");
+
+  // Prefix helpers must stay in bounds for any (s, n) / (s, fraction).
+  if (size > 0) {
+    const size_t n = data[0];
+    internal::Check(text::Prefix(input, n).size() <= input.size(),
+                    "Prefix bounded");
+    const double fraction =
+        static_cast<double>(1 + data[0] % 100) / 100.0;  // (0, 1]
+    internal::Check(text::FractionPrefix(input, fraction).size() <=
+                        input.size(),
+                    "FractionPrefix bounded");
+  }
+}
+
+/// common/coding.cc: decoders must be total over arbitrary bytes (never read
+/// out of bounds, never loop), and every value they accept must re-encode /
+/// re-decode to itself.
+inline void FuzzCoding(const uint8_t* data, size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  // Decode a stream of varint32s until the input rejects; every accepted
+  // value must round-trip.
+  {
+    std::string_view rest = input;
+    uint32_t value = 0;
+    while (GetVarint32(&rest, &value)) {
+      std::string encoded;
+      PutVarint32(&encoded, value);
+      std::string_view reread = encoded;
+      uint32_t back = 0;
+      internal::Check(GetVarint32(&reread, &back) && back == value &&
+                          reread.empty(),
+                      "varint32 round-trip");
+      internal::Check(VarintLength(value) ==
+                          static_cast<int>(encoded.size()),
+                      "VarintLength matches encoding");
+    }
+  }
+  {
+    std::string_view rest = input;
+    uint64_t value = 0;
+    while (GetVarint64(&rest, &value)) {
+      std::string encoded;
+      PutVarint64(&encoded, value);
+      std::string_view reread = encoded;
+      uint64_t back = 0;
+      internal::Check(GetVarint64(&reread, &back) && back == value &&
+                          reread.empty(),
+                      "varint64 round-trip");
+    }
+  }
+  // Length-prefixed strings: accepted slices must lie inside the input and
+  // round-trip exactly.
+  {
+    std::string_view rest = input;
+    std::string_view value;
+    while (GetLengthPrefixed(&rest, &value)) {
+      internal::Check(value.size() <= size, "length-prefixed in bounds");
+      std::string encoded;
+      PutLengthPrefixed(&encoded, value);
+      std::string_view reread = encoded;
+      std::string_view back;
+      internal::Check(GetLengthPrefixed(&reread, &back) && back == value &&
+                          reread.empty(),
+                      "length-prefixed round-trip");
+    }
+  }
+  // Fixed-width readers and the CRC must accept anything long enough.
+  if (size >= 4) {
+    std::string_view rest = input;
+    uint32_t v32 = 0;
+    internal::Check(GetFixed32(&rest, &v32), "GetFixed32 on >= 4 bytes");
+    std::string encoded;
+    PutFixed32(&encoded, v32);
+    internal::Check(DecodeFixed32(encoded.data()) == v32,
+                    "fixed32 round-trip");
+  }
+  if (size >= 8) {
+    std::string_view rest = input;
+    uint64_t v64 = 0;
+    internal::Check(GetFixed64(&rest, &v64), "GetFixed64 on >= 8 bytes");
+    std::string encoded;
+    PutFixed64(&encoded, v64);
+    internal::Check(DecodeFixed64(encoded.data()) == v64,
+                    "fixed64 round-trip");
+  }
+  const uint32_t crc = Crc32c(input);
+  internal::Check(Crc32cExtend(Crc32cExtend(0, input), std::string_view()) ==
+                      Crc32cExtend(0, input),
+                  "Crc32cExtend with empty tail is identity");
+  (void)crc;
+}
+
+}  // namespace sketchlink::fuzz
+
+#endif  // SKETCHLINK_TESTS_FUZZ_FUZZ_HARNESS_H_

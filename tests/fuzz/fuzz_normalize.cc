@@ -1,0 +1,13 @@
+// libFuzzer target for text/normalize.cc. Build with -DSKETCHLINK_FUZZ=ON
+// (clang only: links -fsanitize=fuzzer). Run:
+//   ./tests/fuzz/fuzz_normalize -max_total_time=60
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz_harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  sketchlink::fuzz::FuzzNormalize(data, size);
+  return 0;
+}

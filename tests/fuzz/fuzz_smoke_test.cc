@@ -1,0 +1,78 @@
+// Tier-1 smoke run of the fuzz bodies: ~5 seconds of random byte strings
+// through the exact functions the libFuzzer targets call, so the invariants
+// stay exercised on toolchains without -fsanitize=fuzzer (the default gcc
+// build). A violated invariant aborts, which gtest reports as a crash; the
+// seed is logged for replay via SKETCHLINK_TEST_SEED.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "fuzz_harness.h"
+
+namespace sketchlink {
+namespace {
+
+uint64_t TestSeed() {
+  const char* env = std::getenv("SKETCHLINK_TEST_SEED");
+  const uint64_t seed =
+      env != nullptr ? std::strtoull(env, nullptr, 10) : 20260805ULL;
+  std::cerr << "[fuzz_smoke] seed=" << seed
+            << " (override with SKETCHLINK_TEST_SEED)\n";
+  return seed;
+}
+
+/// Random inputs biased the way a fuzzer's corpus drifts: mostly short,
+/// occasionally long, sometimes structured (valid varints / length
+/// prefixes) so the accepting paths run too, not just the reject paths.
+std::vector<uint8_t> RandomInput(Rng& rng) {
+  const size_t size = rng.CoinFlip() ? rng.UniformIndex(32)
+                                     : rng.UniformIndex(512);
+  std::vector<uint8_t> data(size);
+  for (auto& byte : data) byte = static_cast<uint8_t>(rng.NextUint64());
+  if (size >= 2 && rng.UniformIndex(4) == 0) {
+    // Plant a plausible varint-encoded length at the front so the
+    // length-prefixed decoder accepts more often.
+    data[0] = static_cast<uint8_t>(rng.UniformIndex(size));
+  }
+  return data;
+}
+
+void SmokeRun(void (*body)(const uint8_t*, size_t), double seconds,
+              uint64_t salt) {
+  Rng rng(TestSeed() ^ salt);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  size_t executions = 0;
+  // Floor of iterations even on a loaded machine; the deadline caps the
+  // total so the tier-1 suite stays fast.
+  while (executions < 2000 ||
+         (std::chrono::steady_clock::now() < deadline &&
+          executions < 2000000)) {
+    const std::vector<uint8_t> input = RandomInput(rng);
+    body(input.data(), input.size());
+    ++executions;
+    if (executions >= 2000 && std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+  }
+  std::cerr << "[fuzz_smoke] " << executions << " executions\n";
+  EXPECT_GE(executions, 2000u);
+}
+
+TEST(FuzzSmokeTest, NormalizeSurvivesRandomBytes) {
+  SmokeRun(&fuzz::FuzzNormalize, 2.5, 0x4f1ULL);
+}
+
+TEST(FuzzSmokeTest, CodingSurvivesRandomBytes) {
+  SmokeRun(&fuzz::FuzzCoding, 2.5, 0xc0dULL);
+}
+
+}  // namespace
+}  // namespace sketchlink

@@ -1,0 +1,373 @@
+// Differential property harness for the src/simd kernel layer: every kernel
+// tier this CPU can run (scalar, SSE4.2, AVX2) must return *bit-identical*
+// results to the scalar references in src/text, across randomized corpora of
+// ASCII, arbitrary-byte (UTF-8-ish), long, short, empty, and all-equal
+// strings. The RNG seed is logged on every run and can be pinned with
+// SKETCHLINK_TEST_SEED, so any failure is replayable.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "simd/bit_profile.h"
+#include "simd/dispatch.h"
+#include "simd/jaro_pattern.h"
+#include "simd/kernels.h"
+#include "simd/score_batch.h"
+#include "text/edit_distance.h"
+#include "text/jaro.h"
+#include "text/qgram.h"
+
+namespace sketchlink {
+namespace {
+
+/// Per-test pair budgets. Each TEST below iterates exactly its constant, and
+/// HarnessMetMillionPairBudget asserts the static sum — ctest launches every
+/// case in its own process, so a runtime accumulator cannot see the whole
+/// suite. g_pairs still tracks the live count for in-process sanity checks.
+constexpr size_t kJaroPairs = 250000;
+constexpr size_t kJaroFallbackPairs = 50000;
+constexpr size_t kMyersPairs = 200000;
+constexpr size_t kBlockedMyersPairs = 20000;
+constexpr size_t kBoundedPairs = 100000;
+constexpr size_t kDiceIters = 50000;      // x6 q values = 300k pairs
+constexpr size_t kPruneBoundPairs = 100000;
+constexpr size_t kBatchIters = 3000;      // x3 tiers, >= 1 candidate each
+
+size_t g_pairs = 0;
+
+uint64_t TestSeed() {
+  static const uint64_t seed = [] {
+    const char* env = std::getenv("SKETCHLINK_TEST_SEED");
+    const uint64_t s =
+        env != nullptr ? std::strtoull(env, nullptr, 10) : 20260805ULL;
+    std::cerr << "[kernel_differential] seed=" << s
+              << " (override with SKETCHLINK_TEST_SEED)\n";
+    return s;
+  }();
+  return seed;
+}
+
+std::vector<const simd::KernelOps*> AllTiers() {
+  std::vector<const simd::KernelOps*> tiers;
+  for (int level = 0; level <= 2; ++level) {
+    const simd::KernelOps* ops =
+        simd::OpsForLevel(static_cast<simd::KernelLevel>(level));
+    if (ops != nullptr) tiers.push_back(ops);
+  }
+  EXPECT_GE(tiers.size(), 1u);
+  return tiers;
+}
+
+enum class Alphabet {
+  kLowercase,      // name-like ASCII
+  kBytes,          // arbitrary bytes 0..255 (exercises UTF-8 payloads)
+  kTiny,           // {a, b}: maximal duplicate grams / transpositions
+  kAllEqual,       // one repeated character
+};
+
+std::string RandomString(Rng& rng, size_t len, Alphabet alphabet) {
+  std::string s(len, '\0');
+  for (size_t i = 0; i < len; ++i) {
+    switch (alphabet) {
+      case Alphabet::kLowercase:
+        s[i] = static_cast<char>('a' + rng.UniformIndex(26));
+        break;
+      case Alphabet::kBytes:
+        s[i] = static_cast<char>(rng.NextUint64() & 0xff);
+        break;
+      case Alphabet::kTiny:
+        s[i] = static_cast<char>('a' + rng.UniformIndex(2));
+        break;
+      case Alphabet::kAllEqual:
+        s[i] = 'z';
+        break;
+    }
+  }
+  return s;
+}
+
+Alphabet RandomAlphabet(Rng& rng) {
+  switch (rng.UniformIndex(8)) {
+    case 0:
+    case 1:
+      return Alphabet::kBytes;
+    case 2:
+      return Alphabet::kTiny;
+    case 3:
+      return Alphabet::kAllEqual;
+    default:
+      return Alphabet::kLowercase;
+  }
+}
+
+/// A pair biased toward the interesting regimes: empties, equal strings,
+/// near-duplicates (the record-linkage case), unrelated strings, and exact
+/// word-boundary lengths (63/64/65 hit the single-word Myers and Jaro
+/// window-mask edges).
+std::pair<std::string, std::string> RandomPair(Rng& rng, size_t max_len) {
+  const Alphabet alphabet = RandomAlphabet(rng);
+  size_t len_a = rng.UniformIndex(max_len + 1);
+  if (rng.UniformIndex(16) == 0) len_a = 63 + rng.UniformIndex(3);
+  std::string a = RandomString(rng, len_a, alphabet);
+  switch (rng.UniformIndex(8)) {
+    case 0:
+      return {a, std::string()};
+    case 1:
+      return {std::string(), a};
+    case 2:
+      return {a, a};
+    case 3:
+    case 4: {
+      // Perturb a few positions / append — near-duplicates.
+      std::string b = a;
+      const size_t edits = 1 + rng.UniformIndex(3);
+      for (size_t e = 0; e < edits && !b.empty(); ++e) {
+        const size_t pos = rng.UniformIndex(b.size());
+        switch (rng.UniformIndex(3)) {
+          case 0:
+            b[pos] = static_cast<char>('a' + rng.UniformIndex(26));
+            break;
+          case 1:
+            b.erase(pos, 1);
+            break;
+          default:
+            b.insert(pos, 1, static_cast<char>('a' + rng.UniformIndex(26)));
+            break;
+        }
+      }
+      return {std::move(a), std::move(b)};
+    }
+    default:
+      return {std::move(a),
+              RandomString(rng, rng.UniformIndex(max_len + 1), alphabet)};
+  }
+}
+
+TEST(KernelDifferentialTest, JaroMatchesScalarOnEveryTier) {
+  Rng rng(TestSeed() ^ 0x1a401ULL);
+  const auto tiers = AllTiers();
+  size_t fits = 0;
+  for (size_t iter = 0; iter < kJaroPairs; ++iter) {
+    auto [a, b] = RandomPair(rng, 64);
+    simd::JaroPattern pattern;
+    simd::BuildJaroPattern(b, &pattern);
+    ++g_pairs;
+    if (!pattern.fits) continue;  // covered by JaroWrapperFallsBack
+    ++fits;
+    const double expected = text::Jaro(a, b);
+    for (const simd::KernelOps* ops : tiers) {
+      const double got = ops->jaro(a, b, pattern);
+      ASSERT_EQ(expected, got)
+          << ops->name << " Jaro(\"" << a << "\", \"" << b << "\")";
+    }
+  }
+  // The corpus must actually exercise the bit-parallel path.
+  EXPECT_GT(fits, kJaroPairs * 3 / 5);
+}
+
+TEST(KernelDifferentialTest, JaroWrapperFallsBackBeyondKernelLimits) {
+  Rng rng(TestSeed() ^ 0xfa11bacULL);
+  for (size_t iter = 0; iter < kJaroFallbackPairs; ++iter) {
+    // Long strings (> 64) and byte alphabets (> 32 distinct) force the
+    // text::Jaro fallback inside the wrapper.
+    auto [a, b] = RandomPair(rng, 120);
+    ++g_pairs;
+    ASSERT_EQ(text::Jaro(a, b), simd::Jaro(a, b)) << a << " / " << b;
+    ASSERT_EQ(text::JaroWinkler(a, b), simd::JaroWinkler(a, b));
+    ASSERT_EQ(text::JaroWinklerDistance(a, b),
+              simd::JaroWinklerDistance(a, b));
+  }
+}
+
+TEST(KernelDifferentialTest, MyersLevenshteinMatchesDpOnEveryTier) {
+  Rng rng(TestSeed() ^ 0x1e7ULL);
+  const auto tiers = AllTiers();
+  for (size_t iter = 0; iter < kMyersPairs; ++iter) {
+    auto [a, b] = RandomPair(rng, 80);
+    ++g_pairs;
+    const size_t expected = text::Levenshtein(a, b);
+    for (const simd::KernelOps* ops : tiers) {
+      ASSERT_EQ(expected, ops->levenshtein(a, b))
+          << ops->name << " lev(\"" << a << "\", \"" << b << "\")";
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, BlockedMyersMatchesDpOnLongStrings) {
+  Rng rng(TestSeed() ^ 0xb10cULL);
+  const auto tiers = AllTiers();
+  for (size_t iter = 0; iter < kBlockedMyersPairs; ++iter) {
+    // Both sides > 64 forces the multi-word recurrence (up to 5 blocks).
+    const size_t len_a = 65 + rng.UniformIndex(240);
+    const size_t len_b = 65 + rng.UniformIndex(240);
+    const Alphabet alphabet = RandomAlphabet(rng);
+    const std::string a = RandomString(rng, len_a, alphabet);
+    std::string b = alphabet == Alphabet::kAllEqual
+                        ? RandomString(rng, len_b, alphabet)
+                        : a.substr(0, std::min(len_b, a.size()));
+    b.resize(len_b, 'q');
+    if (rng.CoinFlip()) b = RandomString(rng, len_b, alphabet);
+    ++g_pairs;
+    const size_t expected = text::Levenshtein(a, b);
+    for (const simd::KernelOps* ops : tiers) {
+      ASSERT_EQ(expected, ops->levenshtein(a, b)) << ops->name;
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, BoundedLevenshteinHonorsContractOnEveryTier) {
+  Rng rng(TestSeed() ^ 0xb0edULL);
+  const auto tiers = AllTiers();
+  for (size_t iter = 0; iter < kBoundedPairs; ++iter) {
+    auto [a, b] = RandomPair(rng, 48);
+    const size_t max_distance = rng.UniformIndex(10);
+    ++g_pairs;
+    const size_t expected = text::BoundedLevenshtein(a, b, max_distance);
+    for (const simd::KernelOps* ops : tiers) {
+      ASSERT_EQ(expected, ops->levenshtein_bounded(a, b, max_distance))
+          << ops->name << " max=" << max_distance;
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, BitProfileDiceAndJaccardMatchQgramOnEveryTier) {
+  Rng rng(TestSeed() ^ 0xd1ceULL);
+  const auto tiers = AllTiers();
+  // q = 1 hits the empty-profile conventions, 2 is the sketch default,
+  // 7 is the widest packed gram, 8/9 exercise the wide-string fallback.
+  const size_t qs[] = {1, 2, 3, 7, 8, 9};
+  for (size_t iter = 0; iter < kDiceIters; ++iter) {
+    auto [a, b] = RandomPair(rng, 48);
+    for (const size_t q : qs) {
+      const simd::BitProfile pa = simd::MakeBitProfile(a, q);
+      const simd::BitProfile pb = simd::MakeBitProfile(b, q);
+      ++g_pairs;
+      // The scalar reference distances, computed with the exact expression
+      // shapes of SketchPolicy::ProfileDistance / text::QGramJaccard.
+      const double dice = text::QGramDice(a, b, q);
+      const double expected_dice_distance =
+          (pa.total == 0 && pb.total == 0) ? 0.0
+          : (pa.total == 0 || pb.total == 0) ? 1.0
+                                             : 1.0 - dice;
+      const double expected_jaccard = text::QGramJaccard(a, b, q);
+      for (const simd::KernelOps* ops : tiers) {
+        ASSERT_EQ(expected_dice_distance, ops->profile_dice_distance(pa, pb))
+            << ops->name << " q=" << q << " a=\"" << a << "\" b=\"" << b
+            << "\"";
+        ASSERT_EQ(expected_jaccard, ops->profile_jaccard(pa, pb))
+            << ops->name << " q=" << q << " a=\"" << a << "\" b=\"" << b
+            << "\"";
+      }
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, PruneBoundsNeverExceedExactDistances) {
+  Rng rng(TestSeed() ^ 0x9b0edULL);
+  const auto tiers = AllTiers();
+  for (size_t iter = 0; iter < kPruneBoundPairs; ++iter) {
+    auto [a, b] = RandomPair(rng, 64);
+    const simd::BitProfile pa = simd::MakeBitProfile(a, 2);
+    const simd::BitProfile pb = simd::MakeBitProfile(b, 2);
+    ++g_pairs;
+    const uint32_t len_a = static_cast<uint32_t>(a.size());
+    const uint32_t len_b = static_cast<uint32_t>(b.size());
+    const double jw_exact = text::JaroWinklerDistance(a, b);
+    const double lev_exact = a.empty() && b.empty()
+                                 ? 0.0
+                                 : static_cast<double>(text::Levenshtein(a, b)) /
+                                       static_cast<double>(
+                                           std::max(a.size(), b.size()));
+    for (const simd::KernelOps* ops : tiers) {
+      double jw_bound = 0.0;
+      double lev_bound = 0.0;
+      ops->jw_length_bounds(len_a, &len_b, 1, &jw_bound);
+      ops->lev_length_bounds(len_a, &len_b, 1, &lev_bound);
+      ASSERT_LE(jw_bound, jw_exact) << ops->name << " " << a << "/" << b;
+      ASSERT_LE(lev_bound, lev_exact) << ops->name;
+      const double dice_bound = ops->dice_distance_bound(pa, pb);
+      const double dice_exact = ops->profile_dice_distance(pa, pb);
+      ASSERT_LE(dice_bound, dice_exact) << ops->name;
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, BatchScoreEqualsScalarArgminScan) {
+  Rng rng(TestSeed() ^ 0xba7c4ULL);
+  // Every dispatch tier must produce the same argmin as a plain scalar scan
+  // with the strict `<` update rule of SketchPolicy::ChooseSubBlock.
+  for (int level = 0; level <= 2; ++level) {
+    const simd::KernelLevel requested = static_cast<simd::KernelLevel>(level);
+    if (simd::OpsForLevel(requested) == nullptr) continue;
+    ASSERT_EQ(simd::SetActiveLevelForTesting(requested), requested);
+    for (size_t iter = 0; iter < kBatchIters; ++iter) {
+      const size_t n = 1 + rng.UniformIndex(24);
+      std::vector<std::string> reps;
+      std::vector<simd::JaroPattern> patterns(n);
+      std::vector<simd::BitProfile> profiles(n);
+      auto [query, first] = RandomPair(rng, 40);
+      reps.push_back(first);
+      for (size_t i = 1; i < n; ++i) {
+        reps.push_back(RandomPair(rng, 40).second);
+      }
+      std::vector<simd::BatchCandidate> candidates(n);
+      for (size_t i = 0; i < n; ++i) {
+        simd::BuildJaroPattern(reps[i], &patterns[i]);
+        profiles[i] = simd::MakeBitProfile(reps[i], 2);
+        candidates[i] = {reps[i], &patterns[i], &profiles[i]};
+      }
+      const simd::BitProfile query_profile = simd::MakeBitProfile(query, 2);
+      g_pairs += n;
+
+      const simd::BatchQuery jw(simd::BatchMetric::kJaroWinkler, query);
+      const simd::BatchQuery dice(simd::BatchMetric::kQGramDice, query,
+                                  &query_profile);
+      const simd::BatchQuery lev(simd::BatchMetric::kLevenshtein, query);
+      for (const simd::BatchQuery* batch : {&jw, &dice, &lev}) {
+        size_t best_index = SIZE_MAX;
+        double best = std::numeric_limits<double>::infinity();
+        for (size_t i = 0; i < n; ++i) {
+          const double d = batch->Distance(candidates[i]);
+          if (d < best) {
+            best = d;
+            best_index = i;
+          }
+        }
+        const simd::BatchResult result =
+            batch->Score(candidates.data(), n);
+        ASSERT_EQ(best_index, result.best_index)
+            << "metric=" << static_cast<int>(batch->metric())
+            << " level=" << level << " query=\"" << query << "\"";
+        ASSERT_EQ(best, result.best_distance);
+        ASSERT_EQ(result.evaluated + result.pruned, n);
+      }
+    }
+  }
+  simd::ResetActiveLevelForTesting();
+}
+
+TEST(KernelDifferentialTest, HarnessMetMillionPairBudget) {
+  // Static sum of the per-test budgets above (every test iterates exactly
+  // its constant; the batch test contributes at least one pair per iter per
+  // tier). ctest runs each case in its own process, so this is the only
+  // process-independent way to state the suite-wide budget.
+  constexpr size_t kSuitePairs = kJaroPairs + kJaroFallbackPairs +
+                                 kMyersPairs + kBlockedMyersPairs +
+                                 kBoundedPairs + kDiceIters * 6 +
+                                 kPruneBoundPairs + kBatchIters * 3;
+  static_assert(kSuitePairs >= 1000000u,
+                "the differential harness is sized to prove >= 1M pairs");
+  EXPECT_GE(kSuitePairs, 1000000u);
+}
+
+}  // namespace
+}  // namespace sketchlink

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Per-directory line-coverage gate for the tier-1 suite.
+
+Usage:
+    cmake --preset coverage && cmake --build --preset coverage -j
+    ctest --preset tier1-coverage
+    python3 tools/check_coverage.py --build-dir build-coverage
+
+Walks the build tree for gcov counter files (.gcda), asks gcov for JSON
+intermediate output, aggregates executed/instrumented lines per source
+directory under src/, and fails (exit 1) when any directory falls below its
+threshold. Thresholds: --min applies everywhere, --dir-min overrides one
+directory (repeatable). Only first-party sources under src/ count; tests,
+benches, and system headers are ignored.
+"""
+
+import argparse
+import collections
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda_files(build_dir):
+    out = []
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                out.append(os.path.join(root, name))
+    return out
+
+
+def gcov_json(gcda, gcov_tool):
+    """Returns the parsed gcov JSON records for one .gcda, or None."""
+    try:
+        proc = subprocess.run(
+            [gcov_tool, "--json-format", "--stdout", gcda],
+            capture_output=True,
+            check=False,
+        )
+    except FileNotFoundError:
+        sys.exit(f"error: gcov tool not found: {gcov_tool}")
+    if proc.returncode != 0:
+        return None
+    records = []
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return records
+
+
+def directory_of(source_path, repo_root):
+    """Maps a gcov file path to its src/<dir> bucket, or None to ignore."""
+    path = os.path.normpath(os.path.join(repo_root, source_path))
+    rel = os.path.relpath(path, repo_root)
+    parts = rel.split(os.sep)
+    if len(parts) < 3 or parts[0] != "src":
+        return None  # tests, benches, tools, system headers
+    return os.path.join(parts[0], parts[1])
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build-coverage")
+    parser.add_argument("--min", type=float, default=80.0,
+                        help="minimum line coverage percent per directory")
+    parser.add_argument("--dir-min", action="append", default=[],
+                        metavar="DIR=PCT",
+                        help="override, e.g. --dir-min src/simd=90")
+    parser.add_argument("--gcov", default=os.environ.get("GCOV", "gcov"))
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    build_dir = os.path.join(repo_root, args.build_dir) \
+        if not os.path.isabs(args.build_dir) else args.build_dir
+    if not os.path.isdir(build_dir):
+        sys.exit(f"error: build dir not found: {build_dir} "
+                 "(configure with `cmake --preset coverage` first)")
+
+    gcda_files = find_gcda_files(build_dir)
+    if not gcda_files:
+        sys.exit(f"error: no .gcda files under {build_dir} "
+                 "(run `ctest --preset tier1-coverage` first)")
+
+    overrides = {}
+    for spec in args.dir_min:
+        name, _, pct = spec.partition("=")
+        try:
+            overrides[os.path.normpath(name)] = float(pct)
+        except ValueError:
+            sys.exit(f"error: bad --dir-min '{spec}' (expected DIR=PCT)")
+
+    # line key: (absolute source path, line number) -> executed?
+    # The same header/TU shows up in many .gcda files; a line counts as
+    # covered if ANY test binary executed it.
+    lines = {}
+    for gcda in gcda_files:
+        records = gcov_json(gcda, args.gcov)
+        if not records:
+            continue
+        for record in records:
+            for file_entry in record.get("files", []):
+                src = file_entry.get("file", "")
+                bucket = directory_of(src, repo_root)
+                if bucket is None:
+                    continue
+                abs_src = os.path.normpath(os.path.join(repo_root, src))
+                for line in file_entry.get("lines", []):
+                    key = (abs_src, line["line_number"])
+                    lines[key] = lines.get(key, False) or line["count"] > 0
+    if not lines:
+        sys.exit("error: gcov produced no line records for src/ "
+                 "(is the build configured with SKETCHLINK_COVERAGE=ON?)")
+
+    per_dir = collections.defaultdict(lambda: [0, 0])  # dir -> [covered, total]
+    for (abs_src, _line_no), covered in lines.items():
+        bucket = directory_of(os.path.relpath(abs_src, repo_root), repo_root)
+        if bucket is None:
+            continue
+        per_dir[bucket][1] += 1
+        if covered:
+            per_dir[bucket][0] += 1
+
+    failed = []
+    print(f"{'directory':<18} {'lines':>8} {'covered':>8} {'pct':>7} "
+          f"{'gate':>6}")
+    for bucket in sorted(per_dir):
+        covered, total = per_dir[bucket]
+        pct = 100.0 * covered / total if total else 0.0
+        gate = overrides.get(os.path.normpath(bucket), args.min)
+        status = "ok" if pct >= gate else "FAIL"
+        if pct < gate:
+            failed.append((bucket, pct, gate))
+        print(f"{bucket:<18} {total:>8} {covered:>8} {pct:>6.1f}% "
+              f">={gate:>3.0f}% {status}")
+
+    if failed:
+        print()
+        for bucket, pct, gate in failed:
+            print(f"FAIL: {bucket} line coverage {pct:.1f}% is below the "
+                  f"{gate:.0f}% gate")
+        return 1
+    print("\nall directories meet their coverage gates")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
