@@ -1,31 +1,37 @@
 // Measures the cost of observability: the same blocking + matching workload
-// run unobserved (no registry — counters only, no clock reads) and with a
-// full MetricRegistry attached (latency histograms armed on every query,
-// insert and candidate lookup).
+// run in four variants —
+//   unobserved  no registry, no tracer (counters only, no clock reads)
+//   observed    full MetricRegistry (latency histograms armed per query)
+//   traced_off  registry + Tracer attached with sample_period=0
+//               (tracing compiled in and wired through, but disabled)
+//   traced      registry + Tracer at the default head-sampling rate
 //
-// Acceptance gate for the obs subsystem: with metrics enabled the matching
-// phase must stay within 5% of the unobserved throughput. Each variant runs
-// several times and the fastest repetition is compared, which filters
-// allocator/page-cache warm-up noise from the small absolute times.
+// Acceptance gates for the telemetry plane (recorded in
+// BENCH_obs_overhead.json and DESIGN.md §8): `observed` and `traced` must
+// stay within 5% of `unobserved`, and `traced_off` within 1% of `observed`
+// (the increment of carrying a disabled tracer through every layer). Each
+// variant runs several times interleaved and the fastest repetition is
+// compared, which filters allocator/page-cache warm-up noise from the
+// small absolute times.
+//
+// Flags: --threads N  --entities N  --copies N  --reps N
+//        --serve  expose /metrics /metrics.json /traces /healthz on an
+//                 ephemeral port while the bench runs (scrape a live run)
 
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "bench_json.h"
 #include "bench_util.h"
 #include "linkage/sketch_matchers.h"
+#include "obs/http_server.h"
+#include "obs/spans.h"
 
 namespace sketchlink::bench {
 namespace {
-
-constexpr size_t kEntities = 3000;
-constexpr size_t kCopies = 12;
-// The matching phase is ~10ms at this scale, so a single measurement is
-// dominated by scheduling/frequency noise. The index is built once per
-// variant and the query set resolved many times on the same engine (queries
-// do not mutate the sketch); the minimum over repetitions is the
-// noise-floor estimate of the true cost.
-constexpr int kRepetitions = 15;
 
 struct VariantResult {
   double best_matching_seconds = 0.0;
@@ -36,7 +42,9 @@ struct VariantResult {
 
 /// One ready-to-query pipeline (index already built).
 struct Variant {
-  explicit Variant(obs::Registry* registry_in) : registry(registry_in) {}
+  Variant(std::string label_in, obs::Registry* registry_in,
+          obs::Tracer* tracer_in)
+      : label(std::move(label_in)), registry(registry_in), tracer(tracer_in) {}
 
   Status Build(const datagen::Workload& workload,
                const RecordSimilarity& similarity, const Blocker* blocker,
@@ -46,6 +54,8 @@ struct Variant {
     EngineOptions engine_options;
     engine_options.num_threads = threads;
     engine_options.registry = registry;
+    engine_options.metrics_instance = label;
+    engine_options.tracer = tracer;
     engine = std::make_unique<LinkageEngine>(blocker, matcher.get(),
                                              similarity, engine_options);
     return engine->BuildIndex(workload.a);
@@ -63,85 +73,169 @@ struct Variant {
     }
   }
 
+  std::string label;
   obs::Registry* registry;
+  obs::Tracer* tracer;
   RecordStore store;
   std::unique_ptr<BlockSketchMatcher> matcher;
   std::unique_ptr<LinkageEngine> engine;
   VariantResult result;
 };
 
-void Run(size_t threads) {
-  Banner("Observability overhead — NullRegistry vs MetricRegistry",
-         "Identical BlockSketch workload; enabled metrics arm latency "
-         "histograms on every insert and query.");
+double OverheadPercent(double base_seconds, double variant_seconds) {
+  return base_seconds > 0.0 ? (variant_seconds / base_seconds - 1.0) * 100.0
+                            : 0.0;
+}
+
+uint64_t ParseSize(int argc, char** argv, const char* flag,
+                   uint64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      const long value = std::atol(argv[i + 1]);
+      if (value > 0) return static_cast<uint64_t>(value);
+    }
+  }
+  return fallback;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+void Run(int argc, char** argv) {
+  const size_t threads = ParseThreads(argc, argv);
+  const size_t entities = ParseSize(argc, argv, "--entities", 3000);
+  const size_t copies = ParseSize(argc, argv, "--copies", 12);
+  // The matching phase is ~10ms at default scale, so a single measurement
+  // is dominated by scheduling/frequency noise. The index is built once per
+  // variant and the query set resolved many times on the same engine
+  // (queries do not mutate the sketch); the minimum over repetitions is the
+  // noise-floor estimate of the true cost.
+  const int repetitions =
+      static_cast<int>(ParseSize(argc, argv, "--reps", 15));
+
+  Banner("Observability overhead — registry and tracer variants",
+         "Identical BlockSketch workload; `observed` arms latency "
+         "histograms, `traced_off` adds a disabled tracer, `traced` head-"
+         "samples at the default rate.");
   std::printf("threads: %zu, repetitions per variant: %d\n", threads,
-              kRepetitions);
+              repetitions);
+
+  // Bench-lifetime registry and tracers so --serve can expose them while
+  // the measurement loop runs (the server needs them to outlive it).
+  obs::MetricRegistry registry;
+  obs::Tracer::Options off_options;
+  off_options.sample_period = 0;
+  obs::Tracer tracer_off(off_options);
+  obs::Tracer tracer_default((obs::Tracer::Options()));
+  const auto tracer_regs = tracer_default.RegisterMetrics(&registry, "traced");
+
+  std::unique_ptr<obs::HttpServer> server;
+  if (HasFlag(argc, argv, "--serve")) {
+    server = std::make_unique<obs::HttpServer>(obs::HttpServer::Options());
+    obs::RegisterTelemetryHandlers(server.get(), &registry, &tracer_default);
+    const Status status = server->Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "--serve failed: %s\n", status.ToString().c_str());
+    } else {
+      std::printf("serving telemetry on http://127.0.0.1:%u\n",
+                  static_cast<unsigned>(server->port()));
+    }
+  }
 
   BenchJsonWriter json("obs_overhead", threads);
-  std::printf("%8s %18s %18s %10s\n", "dataset", "unobserved_s",
-              "observed_s", "overhead");
+  std::printf("%8s %14s %14s %14s %14s\n", "dataset", "unobserved_s",
+              "observed_s", "traced_off_s", "traced_s");
 
   for (datagen::DatasetKind kind : AllKinds()) {
     const datagen::Workload workload =
-        MakeScaledWorkload(kind, kEntities, kCopies);
+        MakeScaledWorkload(kind, entities, copies);
     const RecordSimilarity similarity(MatchFieldsFor(kind), 0.75);
     const GroundTruth truth(workload.a);
     const auto blocker = MakeStandardBlocker(kind);
     const std::string dataset(datagen::DatasetKindName(kind));
 
-    obs::MetricRegistry registry;
-    Variant unobserved_variant(nullptr);
-    Variant observed_variant(&registry);
-    if (!unobserved_variant.Build(workload, similarity, blocker.get(), threads)
-             .ok() ||
-        !observed_variant.Build(workload, similarity, blocker.get(), threads)
-             .ok()) {
-      std::fprintf(stderr, "build failed for %s\n", dataset.c_str());
-      continue;
+    std::vector<std::unique_ptr<Variant>> variants;
+    variants.push_back(
+        std::make_unique<Variant>("unobserved", nullptr, nullptr));
+    variants.push_back(
+        std::make_unique<Variant>("observed", &registry, nullptr));
+    variants.push_back(
+        std::make_unique<Variant>("traced_off", &registry, &tracer_off));
+    variants.push_back(
+        std::make_unique<Variant>("traced", &registry, &tracer_default));
+    bool built = true;
+    for (auto& variant : variants) {
+      if (!variant->Build(workload, similarity, blocker.get(), threads)
+               .ok()) {
+        std::fprintf(stderr, "build failed for %s/%s\n", dataset.c_str(),
+                     variant->label.c_str());
+        built = false;
+      }
     }
-    // Interleaved so machine-level drift (frequency, co-tenants) hits both
-    // variants equally; min-of-reps then compares noise floors.
-    for (int rep = 0; rep < kRepetitions; ++rep) {
-      unobserved_variant.Measure(workload, truth);
-      observed_variant.Measure(workload, truth);
-    }
-    const VariantResult& unobserved = unobserved_variant.result;
-    const VariantResult& observed = observed_variant.result;
+    if (!built) continue;
 
-    const double overhead =
-        unobserved.best_matching_seconds > 0.0
-            ? (observed.best_matching_seconds /
-                   unobserved.best_matching_seconds -
-               1.0) * 100.0
-            : 0.0;
-    std::printf("%8s %18.4f %18.4f %9.2f%%\n", dataset.c_str(),
+    // Interleaved so machine-level drift (frequency, co-tenants) hits every
+    // variant equally; min-of-reps then compares noise floors.
+    for (int rep = 0; rep < repetitions; ++rep) {
+      for (auto& variant : variants) variant->Measure(workload, truth);
+    }
+    const VariantResult& unobserved = variants[0]->result;
+    const VariantResult& observed = variants[1]->result;
+    const VariantResult& traced_off = variants[2]->result;
+    const VariantResult& traced = variants[3]->result;
+
+    std::printf("%8s %14.4f %14.4f %14.4f %14.4f\n", dataset.c_str(),
                 unobserved.best_matching_seconds,
-                observed.best_matching_seconds, overhead);
+                observed.best_matching_seconds,
+                traced_off.best_matching_seconds,
+                traced.best_matching_seconds);
 
     JsonFields& row = json.AddResult();
     row.Add("dataset", dataset);
     row.Add("queries", unobserved.queries);
     row.Add("unobserved_matching_seconds", unobserved.best_matching_seconds);
     row.Add("observed_matching_seconds", observed.best_matching_seconds);
+    row.Add("traced_off_matching_seconds", traced_off.best_matching_seconds);
+    row.Add("traced_matching_seconds", traced.best_matching_seconds);
     row.Add("unobserved_blocking_seconds", unobserved.blocking_seconds);
     row.Add("observed_blocking_seconds", observed.blocking_seconds);
     row.Add("unobserved_queries_per_second", unobserved.queries_per_second);
     row.Add("observed_queries_per_second", observed.queries_per_second);
-    row.Add("overhead_percent", overhead);
+    row.Add("traced_queries_per_second", traced.queries_per_second);
+    row.Add("observed_overhead_percent",
+            OverheadPercent(unobserved.best_matching_seconds,
+                            observed.best_matching_seconds));
+    // The compiled-in-but-disabled gate, both against the unobserved base
+    // and as tracing's increment over metrics alone.
+    row.Add("traced_off_overhead_percent",
+            OverheadPercent(unobserved.best_matching_seconds,
+                            traced_off.best_matching_seconds));
+    row.Add("traced_off_increment_percent",
+            OverheadPercent(observed.best_matching_seconds,
+                            traced_off.best_matching_seconds));
+    row.Add("traced_overhead_percent",
+            OverheadPercent(unobserved.best_matching_seconds,
+                            traced.best_matching_seconds));
   }
 
   std::printf(
-      "\nExpected shape: overhead < 5%% — latency timers sample 1 in %u "
-      "operations on the\nper-query paths, so the amortized cost is a "
-      "fraction of a clock-read pair per query.\n",
+      "\nExpected shape: observed and traced within 5%% of unobserved, "
+      "traced_off within 1%% of observed\n(the un-admitted StartTrace path "
+      "is one thread-local tick; sample_period=0 returns before any\n"
+      "metric write; latency timers sample 1 in %u operations).\n",
       1u << obs::kLatencySamplePeriodLog2);
   json.Finish();
+  if (server != nullptr) server->Stop();
 }
 
 }  // namespace
 }  // namespace sketchlink::bench
 
 int main(int argc, char** argv) {
-  sketchlink::bench::Run(sketchlink::bench::ParseThreads(argc, argv));
+  sketchlink::bench::Run(argc, argv);
   return 0;
 }

@@ -28,6 +28,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::DrainBatch(const std::shared_ptr<Batch>& batch) {
+  // Both workers and the submitter drain through here; re-installing the
+  // submitter's own context on the submitting thread is a harmless copy.
+  obs::ScopedTraceContext trace_scope(batch->trace_context);
   for (;;) {
     const size_t shard =
         batch->next_shard.fetch_add(1, std::memory_order_relaxed);
@@ -95,6 +98,7 @@ void ThreadPool::RunShards(size_t num_shards,
   auto batch = std::make_shared<Batch>();
   batch->fn = &fn;
   batch->total = num_shards;
+  batch->trace_context = obs::CurrentTraceContext();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     current_batch_ = batch;

@@ -15,7 +15,11 @@
 // Header-only instruments: no link dependency on sketchlink_obs, so the
 // library layering (obs links common) stays acyclic. Registration with a
 // registry happens in higher layers (the engine), which link obs properly.
+// trace_context.h is likewise header-only: the pool copies the submitting
+// thread's TraceContext into each batch (never dereferencing it), which is
+// how spans created inside shard functions parent to the submitting query.
 #include "obs/instruments.h"
+#include "obs/trace_context.h"
 
 namespace sketchlink {
 
@@ -89,6 +93,10 @@ class ThreadPool {
     std::atomic<size_t> next_shard{0};
     std::atomic<size_t> completed{0};
     std::exception_ptr error;  // first thrown; guarded by pool mutex_
+    // The submitter's ambient trace, installed on every draining thread so
+    // shard-side spans parent to the span that called RunShards. Written
+    // before the batch is published, read-only afterwards.
+    obs::TraceContext trace_context;
   };
 
   void WorkerLoop();

@@ -6,6 +6,7 @@
 
 #include "common/coding.h"
 #include "common/memory_tracker.h"
+#include "obs/spans.h"
 #include "simd/dispatch.h"
 #include "simd/score_batch.h"
 #include "text/edit_distance.h"
@@ -250,6 +251,10 @@ size_t SketchPolicy::ChooseSubBlock(const SketchBlock& block,
 
 SketchPolicy::RouteDecision SketchPolicy::Route(
     const SketchBlock& block, std::string_view key_values) const {
+  // The routing decision is the comparison-heavy kernel of every insert and
+  // query; its span is what separates "slow route" from "slow store" in a
+  // trace.
+  obs::Span span("sketch", "route");
   return KernelRoutingActive() ? RouteWithKernels(block, key_values)
                                : RouteScalar(block, key_values);
 }
@@ -417,6 +422,7 @@ BlockSketch::BlockSketch(const BlockSketchOptions& options,
 
 void BlockSketch::Insert(const std::string& block_key,
                          std::string_view key_values, RecordId id) {
+  obs::Span span("sketch", "insert");
   obs::LatencyTimer timer(
       SKETCHLINK_OBS_SAMPLE_HIT() ? metrics_.insert_timer() : nullptr);
   metrics_.inserts.Inc();
@@ -440,6 +446,7 @@ void BlockSketch::Insert(const std::string& block_key,
 
 std::vector<RecordId> BlockSketch::Candidates(
     const std::string& block_key, std::string_view key_values) const {
+  obs::Span span("sketch", "candidates");
   obs::LatencyTimer timer(
       SKETCHLINK_OBS_SAMPLE_HIT() ? metrics_.query_timer() : nullptr);
   metrics_.queries.Inc();

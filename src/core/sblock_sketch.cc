@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/memory_tracker.h"
+#include "obs/spans.h"
 
 namespace sketchlink {
 
@@ -58,12 +59,17 @@ Status SBlockSketch::EvictOne() {
       continue;  // stale
     }
     // Algorithm 4, line 8: transfer the victim to secondary storage.
+    obs::Span span("sketch", "evict");
     obs::LatencyTimer timer(metrics_.timing_enabled
                                 ? &metrics_.spill_write_latency_nanos
                                 : nullptr);
     std::string encoded;
     it->second.block.EncodeTo(&encoded);
-    SKETCHLINK_RETURN_IF_ERROR(spill_db_->Put(SpillKey(entry.key), encoded));
+    const Status put = spill_db_->Put(SpillKey(entry.key), encoded);
+    if (!put.ok()) {
+      span.MarkError();
+      return put;
+    }
     timer.Stop();
     live_.erase(it);
     metrics_.evictions.Inc();
@@ -91,6 +97,9 @@ Result<SBlockSketch::LiveBlock*> SBlockSketch::EnsureLive(
   LiveBlock fresh;
   std::string encoded;
   bool loaded = false;
+  // The span covers probe + decode: a miss records a (short) probe span,
+  // which is exactly the cold-path cost a trace should show.
+  obs::Span span("sketch", "spill_load");
   obs::LatencyTimer load_timer(metrics_.timing_enabled
                                    ? &metrics_.spill_load_latency_nanos
                                    : nullptr);
@@ -98,7 +107,10 @@ Result<SBlockSketch::LiveBlock*> SBlockSketch::EnsureLive(
   if (load.ok()) {
     std::string_view input(encoded);
     auto decoded = SketchBlock::DecodeFrom(&input);
-    if (!decoded.ok()) return decoded.status();
+    if (!decoded.ok()) {
+      span.MarkError();
+      return decoded.status();
+    }
     fresh.block = std::move(*decoded);
     // Profile caches are derived data and not part of the spill format.
     policy_.RehydrateProfiles(&fresh.block);
@@ -111,6 +123,7 @@ Result<SBlockSketch::LiveBlock*> SBlockSketch::EnsureLive(
     fresh.block = SketchBlock(options_.sketch.lambda);
   } else {
     load_timer.Cancel();
+    span.MarkError();
     return load;
   }
 
@@ -138,6 +151,7 @@ Result<SBlockSketch::LiveBlock*> SBlockSketch::EnsureLive(
 
 Status SBlockSketch::Insert(const std::string& block_key,
                             std::string_view key_values, RecordId id) {
+  obs::Span span("sketch", "insert");
   obs::LatencyTimer timer(
       SKETCHLINK_OBS_SAMPLE_HIT() ? metrics_.insert_timer() : nullptr);
   metrics_.inserts.Inc();
@@ -164,6 +178,7 @@ Status SBlockSketch::Insert(const std::string& block_key,
 
 Result<std::vector<RecordId>> SBlockSketch::Candidates(
     const std::string& block_key, std::string_view key_values) {
+  obs::Span span("sketch", "candidates");
   obs::LatencyTimer timer(
       SKETCHLINK_OBS_SAMPLE_HIT() ? metrics_.query_timer() : nullptr);
   metrics_.queries.Inc();

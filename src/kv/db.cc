@@ -7,6 +7,7 @@
 
 #include "common/coding.h"
 #include "kv/merging_iterator.h"
+#include "obs/spans.h"
 
 namespace sketchlink::kv {
 
@@ -249,8 +250,15 @@ Status Db::WriteManifest() {
 
 Status Db::Put(std::string_view key, std::string_view value) {
   std::lock_guard<std::mutex> lock(mutex_);
-  SKETCHLINK_RETURN_IF_ERROR(EnsureWalLocked());
-  SKETCHLINK_RETURN_IF_ERROR(wal_->AppendPut(key, value));
+  {
+    obs::Span span("kv", "wal_append");
+    Status status = EnsureWalLocked();
+    if (status.ok()) status = wal_->AppendPut(key, value);
+    if (!status.ok()) {
+      span.MarkError();
+      return status;
+    }
+  }
   metrics_.wal_appends.Inc();
   if (options_.sync_writes) metrics_.wal_syncs.Inc();
   mem_.Put(std::string(key), std::string(value));
@@ -260,8 +268,15 @@ Status Db::Put(std::string_view key, std::string_view value) {
 
 Status Db::Delete(std::string_view key) {
   std::lock_guard<std::mutex> lock(mutex_);
-  SKETCHLINK_RETURN_IF_ERROR(EnsureWalLocked());
-  SKETCHLINK_RETURN_IF_ERROR(wal_->AppendDelete(key));
+  {
+    obs::Span span("kv", "wal_append");
+    Status status = EnsureWalLocked();
+    if (status.ok()) status = wal_->AppendDelete(key);
+    if (!status.ok()) {
+      span.MarkError();
+      return status;
+    }
+  }
   metrics_.wal_appends.Inc();
   if (options_.sync_writes) metrics_.wal_syncs.Inc();
   mem_.Delete(std::string(key));
@@ -278,6 +293,7 @@ Status Db::MaybeFlushAndCompactLocked() {
 }
 
 Status Db::Get(std::string_view key, std::string* value) {
+  obs::Span span("kv", "get");
   std::lock_guard<std::mutex> lock(mutex_);
   return GetLocked(key, value);
 }
@@ -322,6 +338,7 @@ Status Db::Flush() {
 }
 
 Status Db::FlushLocked() {
+  obs::Span span("kv", "flush");
   obs::LatencyTimer timer(
       metrics_.timing_enabled ? &metrics_.flush_duration_nanos : nullptr);
   const uint64_t number = next_file_number_++;
@@ -360,6 +377,7 @@ Status Db::CompactLocked(bool force) {
   }
   if (tables_.size() <= 1) return Status::OK();
 
+  obs::Span span("kv", "compact");
   obs::LatencyTimer timer(
       metrics_.timing_enabled ? &metrics_.compaction_duration_nanos : nullptr);
 

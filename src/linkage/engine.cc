@@ -22,7 +22,8 @@ LinkageEngine::LinkageEngine(const Blocker* blocker, OnlineMatcher* matcher,
                              const EngineOptions& options)
     : blocker_(blocker),
       matcher_(matcher),
-      similarity_(std::move(similarity)) {
+      similarity_(std::move(similarity)),
+      tracer_(options.tracer) {
   const size_t threads = options.num_threads == 0 ? ThreadPool::DefaultThreads()
                                                   : options.num_threads;
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
@@ -91,6 +92,12 @@ void LinkageEngine::RegisterMetrics(obs::Registry* registry,
 }
 
 Status LinkageEngine::BuildIndex(const Dataset& a) {
+  // Phase traces are forced past head sampling: there are a handful per
+  // process and they are exactly what "why was this build slow" needs.
+  obs::TraceScope trace =
+      tracer_ != nullptr
+          ? tracer_->StartTrace("engine", "build_index", /*force=*/true)
+          : obs::TraceScope();
   Stopwatch watch;
   const std::vector<Record>& records = a.records();
 
@@ -99,6 +106,7 @@ Status LinkageEngine::BuildIndex(const Dataset& a) {
   // the matcher in dataset order.
   std::vector<PreparedRecord> batch(records.size());
   const auto prepare = [&](size_t begin, size_t end) {
+    obs::Span span("engine", "prepare_chunk");
     for (size_t i = begin; i < end; ++i) {
       batch[i].record = &records[i];
       batch[i].keys = blocker_->Keys(records[i]);
@@ -111,7 +119,15 @@ Status LinkageEngine::BuildIndex(const Dataset& a) {
     prepare(0, records.size());
   }
 
-  SKETCHLINK_RETURN_IF_ERROR(matcher_->InsertBatch(batch, pool_.get()));
+  {
+    obs::Span span("engine", "insert_batch");
+    Status status = matcher_->InsertBatch(batch, pool_.get());
+    if (!status.ok()) {
+      span.MarkError();
+      trace.MarkError();
+      return status;
+    }
+  }
   const double seconds = watch.ElapsedSeconds();
   blocking_seconds_ += seconds;
   metrics_.builds.Inc();
@@ -128,6 +144,12 @@ Status LinkageEngine::BuildIndex(const Dataset& a) {
 }
 
 Result<std::vector<RecordId>> LinkageEngine::ResolveOne(const Record& query) {
+  // Every query gets its own head-sampled trace, even under a ResolveAll
+  // phase trace: per-query identity is what gives the tail sampler a
+  // slowest-N to rank (a phase-wide trace would blur all queries together).
+  obs::TraceScope trace = tracer_ != nullptr
+                              ? tracer_->StartTrace("engine", "query")
+                              : obs::TraceScope();
   obs::StripedLatencyTimer timer(
       metrics_.timing_enabled && SKETCHLINK_OBS_SAMPLE_HIT()
           ? &metrics_.query_latency_nanos
@@ -135,6 +157,7 @@ Result<std::vector<RecordId>> LinkageEngine::ResolveOne(const Record& query) {
   const std::vector<std::string> keys = blocker_->Keys(query);
   const std::string key_values = blocker_->KeyValues(query);
   auto result = matcher_->Resolve(query, keys, key_values);
+  if (!result.ok()) trace.MarkError();
   metrics_.queries_resolved.Inc();
   const uint64_t nanos = timer.Stop();
   if (registry_ != nullptr && nanos > 0) {
@@ -151,6 +174,10 @@ Result<LinkageReport> LinkageEngine::ResolveAll(const Dataset& q,
   report.threads = num_threads();
   report.blocking_seconds = blocking_seconds_;
 
+  obs::TraceScope trace =
+      tracer_ != nullptr
+          ? tracer_->StartTrace("engine", "resolve_all", /*force=*/true)
+          : obs::TraceScope();
   QualityScorer scorer(&truth);
   Stopwatch watch;
   if (pool_ != nullptr && matcher_->SupportsConcurrentResolve()) {
@@ -168,6 +195,14 @@ Result<LinkageReport> LinkageEngine::ResolveAll(const Dataset& q,
     // a failing store; the first chunk's status in index order is returned.
     std::atomic<bool> failed{false};
     pool_->RunShards(chunks, [&](size_t chunk) {
+      // Parents to the resolve_all root via the context the pool carried
+      // into this shard, whichever thread runs it.
+      obs::Span span("engine", "resolve_chunk");
+      // Per-query traces are independent of the phase trace (StartTrace
+      // always mints a fresh identity), so mute the phase context for the
+      // query loop: un-admitted queries then cost a null check per span
+      // instead of a context save/restore per query.
+      obs::ScopedTraceContext mute{obs::TraceContext()};
       const size_t begin = chunk * queries.size() / chunks;
       const size_t end = (chunk + 1) * queries.size() / chunks;
       for (size_t i = begin; i < end; ++i) {
@@ -182,13 +217,19 @@ Result<LinkageReport> LinkageEngine::ResolveAll(const Dataset& q,
       }
     });
     for (size_t chunk = 0; chunk < chunks; ++chunk) {
-      if (!chunk_status[chunk].ok()) return chunk_status[chunk];
+      if (!chunk_status[chunk].ok()) {
+        trace.MarkError();
+        return chunk_status[chunk];
+      }
       scorer.Merge(chunk_scorers[chunk]);
     }
   } else {
     for (const Record& query : q.records()) {
       auto matches = ResolveOne(query);
-      if (!matches.ok()) return matches.status();
+      if (!matches.ok()) {
+        trace.MarkError();
+        return matches.status();
+      }
       scorer.AddQueryResult(query, *matches);
     }
   }

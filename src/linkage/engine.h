@@ -10,6 +10,7 @@
 #include "linkage/matcher.h"
 #include "linkage/metrics.h"
 #include "linkage/similarity.h"
+#include "obs/spans.h"
 #include "record/record.h"
 
 namespace sketchlink {
@@ -43,6 +44,14 @@ struct EngineOptions {
 
   /// `instance` label for this engine's metrics.
   std::string metrics_instance = "engine";
+
+  /// Span tracer for the request path. nullptr disables tracing entirely
+  /// (no per-query sampling tick, not even a null check beyond this
+  /// pointer). Not owned; must outlive the engine. Each ResolveOne starts
+  /// its own (head-sampled) trace; BuildIndex and ResolveAll start forced
+  /// phase traces whose chunk spans land on pool workers via the
+  /// TraceContext the pool propagates.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Live instruments of one LinkageEngine. Phase durations are recorded from
@@ -107,6 +116,7 @@ class LinkageEngine {
   double blocking_seconds_ = 0.0;
   mutable EngineMetrics metrics_;
   obs::Registry* registry_ = nullptr;  // for slow-query traces; may be null
+  obs::Tracer* tracer_ = nullptr;      // span tracing; may be null
   // Declared last: deregistration (whose closures read this engine and its
   // pool) must run before the members they read are torn down.
   std::vector<obs::Registration> metric_registrations_;

@@ -1,0 +1,32 @@
+#ifndef SKETCHLINK_OBS_CLOCK_H_
+#define SKETCHLINK_OBS_CLOCK_H_
+
+// Shared timestamp helpers for the tracing layers. Every obs timestamp is
+// a (steady, system) pair: steady nanoseconds order events within the
+// process (immune to wall-clock steps), system microseconds align merged
+// snapshots across processes/hosts.
+
+#include <chrono>
+#include <cstdint>
+
+namespace sketchlink::obs {
+
+/// Process-steady nanoseconds (the span/trace timestamp base).
+inline uint64_t SteadyNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Wall-clock microseconds since the Unix epoch.
+inline uint64_t UnixNowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace sketchlink::obs
+
+#endif  // SKETCHLINK_OBS_CLOCK_H_

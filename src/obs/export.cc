@@ -9,11 +9,7 @@
 
 namespace sketchlink::obs {
 
-namespace {
-
-/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Anything else maps
-/// to '_'.
-std::string SanitizeName(const std::string& name) {
+std::string SanitizeMetricName(const std::string& name) {
   std::string out = name.empty() ? std::string("_") : name;
   for (size_t i = 0; i < out.size(); ++i) {
     const char c = out[i];
@@ -23,6 +19,8 @@ std::string SanitizeName(const std::string& name) {
   }
   return out;
 }
+
+namespace {
 
 /// Escapes a label value per the text format: backslash, quote, newline.
 std::string EscapeLabelValue(const std::string& value) {
@@ -39,6 +37,23 @@ std::string EscapeLabelValue(const std::string& value) {
   return out;
 }
 
+/// Escapes HELP text per the text format: backslash and newline (quotes are
+/// legal in HELP, unlike in label values). A carriage return would also
+/// break line-oriented parsers, so it is folded into the \n escape.
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 /// Renders `{key="value",...}` (empty string when no labels). `extra` is an
 /// optional pre-rendered label (the histogram `le`).
 std::string RenderLabels(const MetricId& id, const std::string& extra = {}) {
@@ -48,7 +63,7 @@ std::string RenderLabels(const MetricId& id, const std::string& extra = {}) {
   for (const auto& [key, value] : id.labels) {
     if (!first) out += ",";
     first = false;
-    out += SanitizeName(key) + "=\"" + EscapeLabelValue(value) + "\"";
+    out += SanitizeMetricName(key) + "=\"" + EscapeLabelValue(value) + "\"";
   }
   if (!extra.empty()) {
     if (!first) out += ",";
@@ -74,7 +89,7 @@ void EmitFamilyHeader(std::string* out, std::set<std::string>* seen,
                       const std::string& name, const std::string& help,
                       const char* type) {
   if (!seen->insert(name).second) return;
-  if (!help.empty()) *out += "# HELP " + name + " " + help + "\n";
+  if (!help.empty()) *out += "# HELP " + name + " " + EscapeHelp(help) + "\n";
   *out += "# TYPE " + name + " " + std::string(type) + "\n";
 }
 
@@ -84,7 +99,7 @@ std::string ExportPrometheusText(const RegistrySnapshot& snapshot) {
   std::string out;
   std::set<std::string> seen_families;
   for (const MetricSnapshot& metric : snapshot.metrics) {
-    const std::string name = SanitizeName(metric.id.name);
+    const std::string name = SanitizeMetricName(metric.id.name);
     switch (metric.kind) {
       case MetricKind::kCounter:
         EmitFamilyHeader(&out, &seen_families, name, metric.id.help, "counter");
@@ -188,12 +203,41 @@ std::string ExportTraceJson(const std::vector<TraceEvent>& events) {
     fields.Add("sequence", events[i].sequence);
     fields.Add("category", events[i].category);
     fields.Add("label", events[i].label);
+    fields.Add("start_steady_nanos", events[i].start_steady_nanos);
+    fields.Add("start_unix_micros", events[i].start_unix_micros);
     fields.Add("duration_nanos", events[i].duration_nanos);
     out += "  " + fields.ToJson();
     if (i + 1 < events.size()) out += ",";
     out += "\n";
   }
   out += "]\n";
+  return out;
+}
+
+std::string ExportChromeTraceJson(const std::vector<SpanRecord>& spans) {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
+    JsonFields fields;
+    fields.Add("name", span.name);
+    fields.Add("cat", span.category);
+    fields.Add("ph", "X");  // complete event: ts + dur in one record
+    fields.Add("ts", static_cast<double>(span.start_steady_nanos) / 1000.0);
+    fields.Add("dur", static_cast<double>(span.duration_nanos) / 1000.0);
+    fields.Add("pid", static_cast<uint64_t>(1));
+    fields.Add("tid", static_cast<uint64_t>(span.thread_ordinal));
+    JsonFields args;
+    args.Add("trace_id", span.trace_id);
+    args.Add("span_id", span.span_id);
+    args.Add("parent_span_id", span.parent_id);
+    args.Add("start_unix_micros", span.start_unix_micros);
+    args.AddRaw("error", span.error ? "true" : "false");
+    fields.AddRaw("args", args.ToJson());
+    out += "  " + fields.ToJson();
+    if (i + 1 < spans.size()) out += ",";
+    out += "\n";
+  }
+  out += "]}\n";
   return out;
 }
 

@@ -6,9 +6,17 @@
 
 #include "common/status.h"
 #include "obs/registry.h"
+#include "obs/spans.h"
 #include "obs/trace_ring.h"
 
 namespace sketchlink::obs {
+
+/// Maps an arbitrary string onto a valid Prometheus metric name
+/// ([a-zA-Z_:][a-zA-Z0-9_:]*), replacing every invalid character with '_'.
+/// Used both by the text exporter (belt) and by MetricRegistry at
+/// registration time (suspenders), so a hostile name can never reach the
+/// exposition output unsanitized.
+std::string SanitizeMetricName(const std::string& name);
 
 /// Renders a snapshot in the Prometheus text exposition format (version
 /// 0.0.4): `# HELP` / `# TYPE` comments per family, `name{labels} value`
@@ -26,6 +34,13 @@ std::string ExportJson(const RegistrySnapshot& snapshot);
 
 /// Renders trace-ring events as a JSON array (oldest first).
 std::string ExportTraceJson(const std::vector<TraceEvent>& events);
+
+/// Renders completed spans as Chrome trace_event JSON, loadable in
+/// about://tracing and Perfetto: {"traceEvents": [{"ph": "X", "ts": ...,
+/// "dur": ..., "pid", "tid", "args": {trace_id, span_id, parent_span_id,
+/// start_unix_micros, error}}, ...]}. `ts` is the span's steady start time
+/// in microseconds (fractional), `tid` its thread ordinal.
+std::string ExportChromeTraceJson(const std::vector<SpanRecord>& spans);
 
 /// Writes `content` to `path` (stdio, no Env dependency — exporters run in
 /// tools/benches, not in the durability-audited store paths).

@@ -1,0 +1,313 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "obs/spans.h"
+
+namespace sketchlink::obs {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 8 * 1024;
+
+void CloseFd(int* fd) {
+  if (*fd >= 0) {
+    ::close(*fd);
+    *fd = -1;
+  }
+}
+
+bool SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Internal Server Error";
+  }
+}
+
+void WriteResponse(int fd, const HttpResponse& response) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     ReasonPhrase(response.status) + "\r\n";
+  head += "Content-Type: " + response.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  head += "Connection: close\r\n\r\n";
+  if (SendAll(fd, head.data(), head.size())) {
+    SendAll(fd, response.body.data(), response.body.size());
+  }
+}
+
+/// Parses "METHOD /path?query HTTP/1.x" out of the first request line.
+/// Returns false on anything malformed.
+bool ParseRequestLine(const std::string& raw, HttpRequest* request) {
+  const size_t line_end = raw.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? raw : raw.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos || sp1 == 0) return false;
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || sp2 == sp1 + 1) return false;
+  const std::string version = line.substr(sp2 + 1);
+  if (version.rfind("HTTP/1.", 0) != 0) return false;
+  request->method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (target.empty() || target[0] != '/') return false;
+  const size_t q = target.find('?');
+  if (q != std::string::npos) {
+    request->query = target.substr(q + 1);
+    target.resize(q);
+  }
+  request->path = std::move(target);
+  return true;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(const Options& options) : options_(options) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::AddHandler(std::string path, Handler handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+Status HttpServer::Start() {
+  if (running()) return Status::FailedPrecondition("server already started");
+
+  if (::pipe(wake_pipe_) != 0) {
+    return Status::IOError(std::string("pipe: ") + std::strerror(errno));
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    const Status status =
+        Status::IOError(std::string("socket: ") + std::strerror(errno));
+    CloseFd(&wake_pipe_[0]);
+    CloseFd(&wake_pipe_[1]);
+    return status;
+  }
+  // No SO_REUSEADDR: the port-in-use failure mode must stay observable —
+  // two serve processes silently sharing a port would corrupt scrapes.
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    Stop();
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status = Status::IOError(
+        "bind " + options_.bind_address + ":" +
+        std::to_string(options_.port) + ": " + std::strerror(errno));
+    Stop();
+    return status;
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    const Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    Stop();
+    return status;
+  }
+
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    const Status status =
+        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
+    Stop();
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+
+  serve_thread_ = std::thread([this] { ServeLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (serve_thread_.joinable()) {
+    const char byte = 'q';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+    serve_thread_.join();
+  }
+  CloseFd(&listen_fd_);
+  CloseFd(&wake_pipe_[0]);
+  CloseFd(&wake_pipe_[1]);
+  port_ = 0;
+}
+
+void HttpServer::ServeLoop() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0].fd = listen_fd_;
+    fds[0].events = POLLIN;
+    fds[1].fd = wake_pipe_[0];
+    fds[1].events = POLLIN;
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // Stop() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  // Scrape requests are tiny; read until the header terminator, EOF, or
+  // the size cap — whichever comes first.
+  std::string raw;
+  char buf[2048];
+  while (raw.size() < kMaxRequestBytes &&
+         raw.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+
+  HttpRequest request;
+  HttpResponse response;
+  if (!ParseRequestLine(raw, &request)) {
+    response.status = 400;
+    response.body = "bad request\n";
+  } else if (request.method != "GET") {
+    response.status = 405;
+    response.body = "method not allowed\n";
+  } else {
+    const auto it = handlers_.find(request.path);
+    if (it == handlers_.end()) {
+      response.status = 404;
+      response.body = "not found\n";
+    } else {
+      response = it->second(request);
+    }
+  }
+  WriteResponse(fd, response);
+}
+
+Status HttpGet(const std::string& host, uint16_t port, const std::string& path,
+               std::string* body, int* status_code) {
+  body->clear();
+  if (status_code != nullptr) *status_code = 0;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host (numeric IPv4 only): " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status =
+        Status::IOError("connect " + host + ":" + std::to_string(port) + ": " +
+                        std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  if (!SendAll(fd, request.data(), request.size())) {
+    ::close(fd);
+    return Status::IOError("send failed");
+  }
+
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (raw.rfind("HTTP/", 0) != 0 || header_end == std::string::npos) {
+    return Status::IOError("malformed HTTP response");
+  }
+  int code = 0;
+  const size_t sp = raw.find(' ');
+  if (sp != std::string::npos && sp + 3 < raw.size()) {
+    code = std::atoi(raw.c_str() + sp + 1);
+  }
+  if (status_code != nullptr) *status_code = code;
+  *body = raw.substr(header_end + 4);
+  if (code != 200) {
+    return Status::IOError("HTTP status " + std::to_string(code) + " for " +
+                           path);
+  }
+  return Status::OK();
+}
+
+void RegisterTelemetryHandlers(HttpServer* server, Registry* registry,
+                               Tracer* tracer) {
+  server->AddHandler("/metrics", [registry](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = ExportPrometheusText(registry->TakeSnapshot());
+    return response;
+  });
+  server->AddHandler("/metrics.json", [registry](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = ExportJson(registry->TakeSnapshot());
+    return response;
+  });
+  server->AddHandler("/traces", [tracer](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = ExportChromeTraceJson(
+        tracer != nullptr ? tracer->buffer().Snapshot()
+                          : std::vector<SpanRecord>());
+    return response;
+  });
+  server->AddHandler("/healthz", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "ok\n";
+    return response;
+  });
+}
+
+}  // namespace sketchlink::obs

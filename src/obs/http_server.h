@@ -1,0 +1,106 @@
+#ifndef SKETCHLINK_OBS_HTTP_SERVER_H_
+#define SKETCHLINK_OBS_HTTP_SERVER_H_
+
+// Dependency-free scrape endpoint: a minimal POSIX-socket HTTP/1.1 server
+// good for exactly what a telemetry plane needs — GET against a handful of
+// registered paths, one connection at a time, serialized on a single serve
+// thread. That deliberately is not a web server: scrapers (Prometheus,
+// curl, metrics_dump --url) poll at human timescales, and a serial accept
+// loop keeps the whole thing auditable — no connection pool, no TLS, no
+// request body handling. Requests are capped at 8 KiB and anything that is
+// not a well-formed GET gets 400/404/405 as appropriate.
+//
+// Lifecycle: AddHandler while stopped, Start() binds + spawns the serve
+// thread (port 0 picks an ephemeral port, see port()), Stop() wakes the
+// serve thread through a self-pipe and joins it. Destruction stops.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace sketchlink::obs {
+
+struct HttpRequest {
+  std::string method;  // "GET"
+  std::string path;    // "/metrics" (query string stripped into `query`)
+  std::string query;   // after '?', unparsed
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class HttpServer {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    /// 0 = ephemeral: the bound port is published via port() after Start.
+    uint16_t port = 0;
+  };
+
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(const Options& options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for exact-match `path`. Must be called before
+  /// Start (handlers are read without locking on the serve thread).
+  void AddHandler(std::string path, Handler handler);
+
+  /// Binds, listens, and spawns the serve thread. IOError when the address
+  /// is unavailable (e.g. port already in use).
+  Status Start();
+
+  /// Stops the serve thread and closes the socket. Idempotent.
+  void Stop();
+
+  bool running() const { return listen_fd_ >= 0; }
+
+  /// The bound port (resolves ephemeral port 0); valid after Start.
+  uint16_t port() const { return port_; }
+
+ private:
+  void ServeLoop();
+  void HandleConnection(int fd);
+
+  Options options_;
+  std::map<std::string, Handler> handlers_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // Stop() writes, ServeLoop polls
+  uint16_t port_ = 0;
+  std::thread serve_thread_;
+};
+
+/// Minimal HTTP/1.0-style GET client (the other half of the scrape pair;
+/// used by `metrics_dump --url` and the endpoint tests). Connects, sends
+/// one GET, reads to EOF, strips the header block. On HTTP errors the
+/// status is non-OK and `*body` still holds the response body when one was
+/// readable. `status_code` (optional) receives the parsed status line code.
+Status HttpGet(const std::string& host, uint16_t port, const std::string& path,
+               std::string* body, int* status_code = nullptr);
+
+class Registry;
+class Tracer;
+
+/// Wires the standard telemetry surface onto `server`:
+///   /metrics       Prometheus text exposition of `registry`
+///   /metrics.json  JSON exposition of `registry`
+///   /traces        Chrome trace_event JSON of `tracer`'s kept spans
+///                  (empty traceEvents when `tracer` is null)
+///   /healthz       "ok\n"
+/// `registry` and `tracer` must outlive the server.
+void RegisterTelemetryHandlers(HttpServer* server, Registry* registry,
+                               Tracer* tracer);
+
+}  // namespace sketchlink::obs
+
+#endif  // SKETCHLINK_OBS_HTTP_SERVER_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/export.h"
+
 namespace sketchlink::obs {
 
 const MetricSnapshot* RegistrySnapshot::Find(std::string_view name,
@@ -41,6 +43,12 @@ MetricRegistry::MetricRegistry(const Options& options)
     : options_(options), trace_ring_(options.trace_capacity) {}
 
 Registration MetricRegistry::AddEntry(Entry entry) {
+  // Sanitize identity at the door: an invalid metric or label name (spaces,
+  // dashes, unicode) must never survive to the exposition output, and
+  // rewriting here keeps every later lookup (Find, exporters, validators)
+  // seeing one canonical spelling.
+  entry.id.name = SanitizeMetricName(entry.id.name);
+  for (auto& [key, value] : entry.id.labels) key = SanitizeMetricName(key);
   std::lock_guard<std::mutex> lock(mutex_);
   entry.token = next_token_++;
   const uint64_t token = entry.token;

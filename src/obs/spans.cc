@@ -1,0 +1,301 @@
+#include "obs/spans.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sketchlink::obs {
+
+uint32_t ThreadOrdinal() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+bool TraceData::Append(SpanRecord&& record) {
+  // Post-cap fast path: once a trace overflowed, concurrent appenders must
+  // not keep taking the mutex just to be turned away.
+  if (recorded.load(std::memory_order_relaxed) >= max_spans) return false;
+  std::lock_guard<std::mutex> lock(mutex);
+  if (spans.size() >= max_spans) return false;
+  spans.push_back(std::move(record));
+  recorded.store(spans.size(), std::memory_order_relaxed);
+  return true;
+}
+
+SpanBuffer::SpanBuffer(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {
+  slots_.reserve(std::min<size_t>(capacity_, 1024));
+}
+
+void SpanBuffer::Record(std::vector<SpanRecord>&& spans) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (SpanRecord& span : spans) {
+    if (slots_.size() < capacity_) {
+      slots_.push_back(std::move(span));
+    } else {
+      slots_[next_index_ % capacity_] = std::move(span);
+    }
+    ++next_index_;
+  }
+}
+
+std::vector<SpanRecord> SpanBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.reserve(slots_.size());
+  // The ring wraps at next_index_ % capacity_: everything from there to the
+  // end is older than everything before it.
+  const size_t pivot = slots_.size() < capacity_ ? 0 : next_index_ % capacity_;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    out.push_back(slots_[(pivot + i) % slots_.size()]);
+  }
+  return out;
+}
+
+uint64_t SpanBuffer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_index_;
+}
+
+Tracer::Tracer(const Options& options)
+    : options_(options), buffer_(options.buffer_capacity) {}
+
+Tracer::~Tracer() = default;
+
+TraceData* Tracer::AcquireData() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceData* data;
+  if (!free_.empty()) {
+    data = free_.back().release();
+    free_.pop_back();
+  } else {
+    pool_.push_back(std::make_unique<TraceData>());
+    data = pool_.back().get();
+    // Ownership stays with pool_; free_ holds non-owning aliases disguised
+    // as unique_ptr for vector ergonomics — release() above undoes the
+    // alias without deleting.
+    pool_.back().release();
+    pool_.pop_back();
+  }
+  data->Reset(next_trace_id_++, options_.max_spans_per_trace);
+  return data;
+}
+
+void Tracer::ReleaseData(TraceData* data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.emplace_back(data);
+}
+
+TraceScope Tracer::StartTrace(std::string_view category,
+                              std::string_view name, bool force) {
+  const uint32_t period = options_.sample_period;
+  if (period == 0) return TraceScope();  // tracing off: no metric writes
+  if (!force && period > 1) {
+    thread_local uint64_t admission_tick = 0;
+    if (admission_tick++ % period != 0) {
+      // Un-admitted: mask any enclosing trace (a forced phase trace, say)
+      // so this request's spans take the no-tracer fast path instead of
+      // leaking into it as strays until its cap.
+      TraceContext& current = CurrentTraceContext();
+      if (current.tracer == nullptr) return TraceScope();
+      TraceScope scope;
+      scope.suppress_ = true;
+      scope.saved_ = current;
+      current = TraceContext();
+      return scope;
+    }
+    // Stride accounting: the tick is per-thread and deterministic, so each
+    // admission stands for exactly `period` StartTrace calls on this
+    // thread. Keeps the un-admitted path free of shared-cache-line writes
+    // (exact up to one in-flight stride per thread).
+    metrics_.traces_started.Add(period);
+  } else {
+    metrics_.traces_started.Inc();
+  }
+  metrics_.traces_admitted.Inc();
+  return TraceScope(this, AcquireData(), category, name);
+}
+
+void Tracer::FinishSpan(TraceData* data, SpanRecord&& record) {
+  if (record.error) data->error.store(true, std::memory_order_relaxed);
+  if (!data->Append(std::move(record))) metrics_.spans_dropped.Inc();
+}
+
+void Tracer::FinishTrace(TraceData* data, uint64_t root_duration_nanos) {
+  bool keep = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (data->error.load(std::memory_order_relaxed)) {
+      keep = true;
+      metrics_.traces_error.Inc();
+    }
+    // Slowest-N of the window: a min-heap of the N largest root durations;
+    // front() is the bar to clear.
+    if (slow_durations_.size() < options_.slowest_per_window) {
+      slow_durations_.push_back(root_duration_nanos);
+      std::push_heap(slow_durations_.begin(), slow_durations_.end(),
+                     std::greater<uint64_t>());
+      if (!keep) metrics_.traces_slow.Inc();
+      keep = true;
+    } else if (!slow_durations_.empty() &&
+               root_duration_nanos > slow_durations_.front()) {
+      std::pop_heap(slow_durations_.begin(), slow_durations_.end(),
+                    std::greater<uint64_t>());
+      slow_durations_.back() = root_duration_nanos;
+      std::push_heap(slow_durations_.begin(), slow_durations_.end(),
+                     std::greater<uint64_t>());
+      if (!keep) metrics_.traces_slow.Inc();
+      keep = true;
+    }
+    if (!keep && options_.keep_period > 0 &&
+        keep_tick_++ % options_.keep_period == 0) {
+      keep = true;
+    }
+    if (++window_completed_ >= options_.window_traces) {
+      window_completed_ = 0;
+      slow_durations_.clear();
+    }
+  }
+  if (keep) {
+    metrics_.traces_kept.Inc();
+    std::vector<SpanRecord> spans;
+    {
+      std::lock_guard<std::mutex> lock(data->mutex);
+      spans = std::move(data->spans);
+      data->spans.clear();
+    }
+    buffer_.Record(std::move(spans));
+  }
+  ReleaseData(data);
+}
+
+std::vector<Registration> Tracer::RegisterMetrics(Registry* registry,
+                                                  const std::string& instance) {
+  std::vector<Registration> regs;
+  if (registry == nullptr) return regs;
+  const std::vector<std::pair<std::string, std::string>> labels = {
+      {"instance", instance}};
+  const auto add = [&](const char* name, const char* help,
+                       const Counter* counter) {
+    regs.push_back(
+        registry->AddCounter(MetricId(name, help, labels), counter));
+  };
+  add("sketchlink_trace_started_total", "StartTrace calls",
+      &metrics_.traces_started);
+  add("sketchlink_trace_admitted_total",
+      "Traces that recorded spans (head sampling)",
+      &metrics_.traces_admitted);
+  add("sketchlink_trace_kept_total",
+      "Admitted traces retained by the tail sampler", &metrics_.traces_kept);
+  add("sketchlink_trace_kept_error_total", "Traces kept for an error span",
+      &metrics_.traces_error);
+  add("sketchlink_trace_kept_slow_total",
+      "Traces kept as slowest-N of their window", &metrics_.traces_slow);
+  add("sketchlink_trace_spans_dropped_total",
+      "Spans dropped by the per-trace cap", &metrics_.spans_dropped);
+  regs.push_back(registry->AddCounterFn(
+      MetricId("sketchlink_trace_buffer_spans_total",
+               "Spans recorded into the span buffer", labels),
+      [this] { return buffer_.total_recorded(); }));
+  return regs;
+}
+
+TraceScope::TraceScope(Tracer* tracer, TraceData* data,
+                       std::string_view category, std::string_view name)
+    : tracer_(tracer), data_(data), saved_(CurrentTraceContext()) {
+  record_.trace_id = data->trace_id;
+  record_.span_id = 1;
+  record_.parent_id = 0;
+  record_.category.assign(category.data(), category.size());
+  record_.name.assign(name.data(), name.size());
+  record_.start_steady_nanos = SteadyNowNanos();
+  record_.start_unix_micros = UnixNowMicros();
+  record_.thread_ordinal = ThreadOrdinal();
+  TraceContext context;
+  context.tracer = tracer;
+  context.data = data;
+  context.trace_id = data->trace_id;
+  context.span_id = 1;
+  CurrentTraceContext() = context;
+}
+
+TraceScope& TraceScope::operator=(TraceScope&& other) noexcept {
+  if (this != &other) {
+    tracer_ = other.tracer_;
+    data_ = other.data_;
+    suppress_ = other.suppress_;
+    record_ = std::move(other.record_);
+    saved_ = other.saved_;
+    other.tracer_ = nullptr;
+    other.data_ = nullptr;
+    other.suppress_ = false;
+  }
+  return *this;
+}
+
+void TraceScope::MarkError() {
+  record_.error = true;
+  if (data_ != nullptr) data_->error.store(true, std::memory_order_relaxed);
+}
+
+TraceScope::~TraceScope() {
+  if (suppress_) {
+    CurrentTraceContext() = saved_;
+    return;
+  }
+  if (tracer_ == nullptr) return;
+  CurrentTraceContext() = saved_;
+  record_.duration_nanos = SteadyNowNanos() - record_.start_steady_nanos;
+  const uint64_t duration = record_.duration_nanos;
+  TraceData* data = data_;
+  // The root span bypasses the cap: a kept trace without its root would be
+  // unparseable, and there is exactly one root per trace.
+  if (record_.error) data->error.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(data->mutex);
+    data->spans.push_back(std::move(record_));
+  }
+  tracer_->FinishTrace(data, duration);
+}
+
+void Span::Begin(const TraceContext& context, std::string_view category,
+                 std::string_view name) {
+  TraceData* data = context.data;
+  // Overflowed trace: skip the clock reads and the doomed append entirely
+  // (the drop still counts — overflow must be visible in the metrics).
+  if (data->recorded.load(std::memory_order_relaxed) >= data->max_spans) {
+    context.tracer->metrics_.spans_dropped.Inc();
+    return;
+  }
+  active_ = true;
+  tracer_ = context.tracer;
+  data_ = data;
+  record_.trace_id = context.trace_id;
+  record_.span_id = data->next_span_id.fetch_add(1, std::memory_order_relaxed);
+  record_.parent_id = context.span_id;
+  record_.category.assign(category.data(), category.size());
+  record_.name.assign(name.data(), name.size());
+  record_.start_steady_nanos = SteadyNowNanos();
+  record_.start_unix_micros = UnixNowMicros();
+  record_.thread_ordinal = ThreadOrdinal();
+  saved_ = context;
+  TraceContext child = context;
+  child.span_id = record_.span_id;
+  CurrentTraceContext() = child;
+}
+
+void Span::End() {
+  CurrentTraceContext() = saved_;
+  record_.duration_nanos = SteadyNowNanos() - record_.start_steady_nanos;
+  tracer_->FinishSpan(data_, std::move(record_));
+  active_ = false;
+}
+
+void Span::MarkError() {
+  if (!active_) return;
+  record_.error = true;
+  data_->error.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace sketchlink::obs

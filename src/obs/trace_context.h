@@ -1,0 +1,64 @@
+#ifndef SKETCHLINK_OBS_TRACE_CONTEXT_H_
+#define SKETCHLINK_OBS_TRACE_CONTEXT_H_
+
+// Request-scoped trace propagation. This header is intentionally
+// header-only and dependency-free so src/common (which obs links, not the
+// other way around) can carry a TraceContext across ThreadPool batch
+// submission without a link dependency on sketchlink_obs: the pool only
+// copies the context — it never dereferences the Tracer or the per-trace
+// buffer, so the opaque pointers are enough.
+//
+// The context identifies "the span work on this thread currently belongs
+// to": spans started while a context is installed become children of
+// context.span_id inside context.trace_id. ThreadPool::RunShards captures
+// the submitting thread's context into the batch and installs it on every
+// thread that drains the batch (workers and the submitter alike), which is
+// what parents worker-side spans to the submitting query. See
+// obs/spans.h for the Span/Tracer types that produce and consume this.
+
+#include <cstdint>
+
+namespace sketchlink::obs {
+
+class Tracer;
+struct TraceData;
+
+/// The ambient trace of the current thread. Inactive (tracer == nullptr)
+/// means "no trace is collecting here" — span creation is a null check and
+/// nothing else.
+struct TraceContext {
+  Tracer* tracer = nullptr;
+  TraceData* data = nullptr;  // per-trace span accumulator, owned by tracer
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;  // parent of spans started under this context
+
+  bool active() const { return tracer != nullptr; }
+};
+
+/// Mutable thread-local slot holding the ambient context.
+inline TraceContext& CurrentTraceContext() {
+  thread_local TraceContext context;
+  return context;
+}
+
+/// Installs `context` for the current scope and restores the previous one
+/// on destruction. Copy-in/copy-out of a 4-pointer struct: cheap enough to
+/// wrap every pool batch unconditionally.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& context)
+      : saved_(CurrentTraceContext()) {
+    CurrentTraceContext() = context;
+  }
+  ~ScopedTraceContext() { CurrentTraceContext() = saved_; }
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+}  // namespace sketchlink::obs
+
+#endif  // SKETCHLINK_OBS_TRACE_CONTEXT_H_

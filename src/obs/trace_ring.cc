@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/clock.h"
+
 namespace sketchlink::obs {
 
 TraceRing::TraceRing(size_t capacity) : capacity_(std::max<size_t>(capacity, 1)) {
@@ -14,6 +16,15 @@ void TraceRing::Record(std::string_view category, std::string_view label,
   event.category.assign(category.data(), category.size());
   event.label.assign(label.data(), label.size());
   event.duration_nanos = duration_nanos;
+  // Record runs right after the slow operation finished, so "now" is the
+  // end time and now − duration recovers the start within scheduling noise.
+  const uint64_t steady_now = SteadyNowNanos();
+  event.start_steady_nanos =
+      steady_now >= duration_nanos ? steady_now - duration_nanos : 0;
+  const uint64_t unix_now = UnixNowMicros();
+  const uint64_t duration_micros = duration_nanos / 1000;
+  event.start_unix_micros =
+      unix_now >= duration_micros ? unix_now - duration_micros : 0;
 
   std::lock_guard<std::mutex> lock(mutex_);
   event.sequence = next_sequence_++;

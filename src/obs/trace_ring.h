@@ -12,11 +12,16 @@ namespace sketchlink::obs {
 
 /// One recorded slow operation. `sequence` is a process-lifetime ordinal
 /// (monotone across wraparounds), so consumers can tell how many events the
-/// ring dropped between two snapshots.
+/// ring dropped between two snapshots. Start times are stamped at Record
+/// time as now − duration: the steady half orders events merged from
+/// sharded rings within one process, the system half aligns snapshots
+/// across processes.
 struct TraceEvent {
   uint64_t sequence = 0;
   std::string category;  // e.g. "engine.query", "db.compaction"
   std::string label;     // operation-specific detail (key, phase, path)
+  uint64_t start_steady_nanos = 0;  // steady clock at operation start
+  uint64_t start_unix_micros = 0;   // system clock at operation start
   uint64_t duration_nanos = 0;
 };
 

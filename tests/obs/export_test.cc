@@ -1,5 +1,7 @@
 #include "obs/export.h"
 
+#include <algorithm>
+#include <chrono>
 #include <regex>
 #include <sstream>
 #include <string>
@@ -133,6 +135,51 @@ TEST(PrometheusExportTest, EscapesLabelValues) {
             "nl=\"x\\ny\"} 1\n");
 }
 
+TEST(PrometheusExportTest, EscapesHelpText) {
+  // HELP escapes backslash and newline (quotes are legal in HELP, unlike
+  // in label values); a raw newline would let hostile help text inject
+  // arbitrary exposition lines.
+  RegistrySnapshot snapshot;
+  snapshot.metrics.push_back(MakeCounter(
+      "hostile_total", "path C:\\tmp\nfake_metric 1", 7));
+  EXPECT_EQ(ExportPrometheusText(snapshot),
+            "# HELP hostile_total path C:\\\\tmp\\nfake_metric 1\n"
+            "# TYPE hostile_total counter\n"
+            "hostile_total 7\n");
+}
+
+TEST(PrometheusExportTest, HostileLabelValuesStayOnOneLine) {
+  // Regression: every hostile byte class in one label set — the sample must
+  // still be exactly one well-formed line.
+  RegistrySnapshot snapshot;
+  snapshot.metrics.push_back(MakeCounter(
+      "hostile_total", "", 1,
+      {{"v", "a\\b\"c\nd"}, {"w", "\n\n\\\\\"\""}}));
+  const std::string text = ExportPrometheusText(snapshot);
+  EXPECT_EQ(text,
+            "# TYPE hostile_total counter\n"
+            "hostile_total{v=\"a\\\\b\\\"c\\nd\",w=\"\\n\\n\\\\\\\\\\\"\\\"\"}"
+            " 1\n");
+  // No raw newline sneaks inside any line: line count == 2.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+TEST(PrometheusExportTest, RegistrySanitizesNamesAtRegistration) {
+  // The registration-time half of the belt-and-suspenders pair: hostile
+  // metric/label names are canonicalized before they are stored, so
+  // snapshot consumers (Find, validators) see the sanitized spelling.
+  MetricRegistry registry;
+  Counter counter;
+  auto reg = registry.AddCounter(
+      MetricId("bad name-total", "", {{"bad key!", "value"}}), &counter);
+  const RegistrySnapshot snapshot = registry.TakeSnapshot();
+  ASSERT_EQ(snapshot.metrics.size(), 1u);
+  EXPECT_EQ(snapshot.metrics[0].id.name, "bad_name_total");
+  ASSERT_EQ(snapshot.metrics[0].id.labels.size(), 1u);
+  EXPECT_EQ(snapshot.metrics[0].id.labels[0].first, "bad_key_");
+  EXPECT_EQ(snapshot.metrics[0].id.labels[0].second, "value");
+}
+
 TEST(PrometheusExportTest, EveryLineMatchesTheTextFormat) {
   // Belt-and-braces check mirroring the CI smoke validator: every emitted
   // line is either a HELP/TYPE comment or a `name{labels} value` sample.
@@ -213,16 +260,48 @@ TEST(JsonExportTest, EmptySnapshotGolden) {
 // --- Trace export -------------------------------------------------------
 
 TEST(TraceExportTest, Golden) {
-  TraceRing ring(4);
-  ring.Record("engine", "query", 25000000);
-  ring.Record("kv", "compaction", 40000000);
-  EXPECT_EQ(ExportTraceJson(ring.Snapshot()),
+  // Fixed events (not ring-recorded) so the timestamp fields are stable.
+  TraceEvent first;
+  first.sequence = 0;
+  first.category = "engine";
+  first.label = "query";
+  first.start_steady_nanos = 1000;
+  first.start_unix_micros = 1700000000000000;
+  first.duration_nanos = 25000000;
+  TraceEvent second;
+  second.sequence = 1;
+  second.category = "kv";
+  second.label = "compaction";
+  second.start_steady_nanos = 2000;
+  second.start_unix_micros = 1700000000100000;
+  second.duration_nanos = 40000000;
+  EXPECT_EQ(ExportTraceJson({first, second}),
             "[\n"
             "  {\"sequence\": 0, \"category\": \"engine\", \"label\": "
-            "\"query\", \"duration_nanos\": 25000000},\n"
+            "\"query\", \"start_steady_nanos\": 1000, \"start_unix_micros\": "
+            "1700000000000000, \"duration_nanos\": 25000000},\n"
             "  {\"sequence\": 1, \"category\": \"kv\", \"label\": "
-            "\"compaction\", \"duration_nanos\": 40000000}\n"
+            "\"compaction\", \"start_steady_nanos\": 2000, "
+            "\"start_unix_micros\": 1700000000100000, \"duration_nanos\": "
+            "40000000}\n"
             "]\n");
+}
+
+TEST(TraceExportTest, RingStampsStartTimes) {
+  // Record computes start = now - duration for both clocks; the steady
+  // start must land before "after" and the unix start must be a plausible
+  // recent wall time (not zero).
+  TraceRing ring(4);
+  ring.Record("engine", "query", 25000000);
+  const auto events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  const uint64_t steady_after =
+      static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now().time_since_epoch())
+                                .count());
+  EXPECT_GT(events[0].start_steady_nanos, 0u);
+  EXPECT_LT(events[0].start_steady_nanos, steady_after);
+  EXPECT_GT(events[0].start_unix_micros, 1000000000000000u);  // after ~2001
 }
 
 TEST(TraceExportTest, EmptyGolden) {

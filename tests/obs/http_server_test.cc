@@ -1,0 +1,175 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "obs/spans.h"
+
+namespace sketchlink::obs {
+namespace {
+
+/// Sends `raw` bytes to the server and returns everything it answers.
+/// Bypasses HttpGet so malformed requests can be exercised.
+std::string RawRequest(uint16_t port, const std::string& raw) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  EXPECT_EQ(::send(fd, raw.data(), raw.size(), 0),
+            static_cast<ssize_t>(raw.size()));
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+class HttpServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<HttpServer>(HttpServer::Options());  // port 0
+    server_->AddHandler("/hello", [](const HttpRequest& request) {
+      HttpResponse response;
+      response.body = "hello " + request.query + "\n";
+      return response;
+    });
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_NE(server_->port(), 0);
+  }
+
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(HttpServerTest, GoldenResponse) {
+  const std::string response =
+      RawRequest(server_->port(), "GET /hello HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_EQ(response,
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/plain; charset=utf-8\r\n"
+            "Content-Length: 7\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+            "hello \n");
+}
+
+TEST_F(HttpServerTest, QueryStringIsSplitOffThePath) {
+  std::string body;
+  ASSERT_TRUE(
+      HttpGet("127.0.0.1", server_->port(), "/hello?a=1", &body).ok());
+  EXPECT_EQ(body, "hello a=1\n");
+}
+
+TEST_F(HttpServerTest, UnknownPathIs404) {
+  std::string body;
+  int code = 0;
+  EXPECT_FALSE(
+      HttpGet("127.0.0.1", server_->port(), "/nope", &body, &code).ok());
+  EXPECT_EQ(code, 404);
+}
+
+TEST_F(HttpServerTest, NonGetIs405) {
+  const std::string response = RawRequest(
+      server_->port(), "POST /hello HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_EQ(response.rfind("HTTP/1.1 405 ", 0), 0u) << response;
+}
+
+TEST_F(HttpServerTest, MalformedRequestsGet400) {
+  EXPECT_EQ(RawRequest(server_->port(), "definitely not http\r\n\r\n")
+                .rfind("HTTP/1.1 400 ", 0),
+            0u);
+  EXPECT_EQ(RawRequest(server_->port(), "GET\r\n\r\n").rfind("HTTP/1.1 400 ", 0),
+            0u);
+  EXPECT_EQ(RawRequest(server_->port(), "GET hello HTTP/1.1\r\n\r\n")
+                .rfind("HTTP/1.1 400 ", 0),
+            0u);  // target must start with '/'
+  EXPECT_EQ(RawRequest(server_->port(), "GET /hello SPDY/3\r\n\r\n")
+                .rfind("HTTP/1.1 400 ", 0),
+            0u);
+}
+
+TEST_F(HttpServerTest, ServesAfterAMalformedRequest) {
+  RawRequest(server_->port(), "garbage\r\n\r\n");
+  std::string body;
+  EXPECT_TRUE(HttpGet("127.0.0.1", server_->port(), "/hello", &body).ok());
+}
+
+TEST(HttpServerStandaloneTest, PortInUseFailsToStart) {
+  HttpServer first((HttpServer::Options()));
+  ASSERT_TRUE(first.Start().ok());
+  HttpServer::Options clashing;
+  clashing.port = first.port();
+  HttpServer second(clashing);
+  const Status status = second.Start();
+  EXPECT_TRUE(status.IsIOError()) << status.ToString();
+}
+
+TEST(HttpServerStandaloneTest, StopIsIdempotentAndRestartable) {
+  HttpServer server((HttpServer::Options()));
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_FALSE(server.Start().ok());  // already running
+  server.Stop();
+  server.Stop();
+  ASSERT_TRUE(server.Start().ok());
+  server.Stop();
+}
+
+TEST(TelemetryHandlersTest, ServesMetricsTracesAndHealth) {
+  MetricRegistry registry;
+  Counter demo;
+  demo.Add(5);
+  auto reg = registry.AddCounter(
+      MetricId("sketchlink_demo_total", "Demo", {{"instance", "t"}}), &demo);
+
+  Tracer::Options trace_everything;
+  trace_everything.sample_period = 1;
+  trace_everything.keep_period = 1;
+  Tracer tracer(trace_everything);
+  {
+    TraceScope trace = tracer.StartTrace("engine", "query");
+    Span span("sketch", "candidates");
+  }
+
+  HttpServer server((HttpServer::Options()));
+  RegisterTelemetryHandlers(&server, &registry, &tracer);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::string body;
+  ASSERT_TRUE(HttpGet("127.0.0.1", server.port(), "/healthz", &body).ok());
+  EXPECT_EQ(body, "ok\n");
+
+  ASSERT_TRUE(HttpGet("127.0.0.1", server.port(), "/metrics", &body).ok());
+  EXPECT_NE(body.find("# TYPE sketchlink_demo_total counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("sketchlink_demo_total{instance=\"t\"} 5"),
+            std::string::npos);
+
+  ASSERT_TRUE(
+      HttpGet("127.0.0.1", server.port(), "/metrics.json", &body).ok());
+  EXPECT_NE(body.find("\"name\": \"sketchlink_demo_total\""),
+            std::string::npos);
+
+  ASSERT_TRUE(HttpGet("127.0.0.1", server.port(), "/traces", &body).ok());
+  EXPECT_NE(body.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\": \"query\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\": \"candidates\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sketchlink::obs

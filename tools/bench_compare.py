@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: diff fresh BENCH_*.json files against baselines.
+
+Usage: bench_compare.py [--baselines DIR] [--max-regression 0.15]
+                        FRESH_JSON [FRESH_JSON ...]
+
+Each fresh file is matched to a baseline of the same name in the baselines
+directory (default: bench/baselines/ next to this script's repo root).
+Result rows are keyed by their identifying fields (dataset, method,
+blocking, threads — whichever are present), and every *headline metric* is
+compared:
+
+  lower-is-better:  *_seconds
+  higher-is-better: *_per_second, recall, precision, f1
+
+A headline metric that moved more than --max-regression (fractional, default
+0.15 = 15%) in the bad direction fails the gate; the exit code is the number
+of regressions. Overhead percentages, memory and counters are reported but
+not gated — they are either noise-dominated at bench scale or already gated
+elsewhere. Missing baselines or rows are warnings, not failures, so new
+benches can land before their first baseline is committed.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+IDENTITY_FIELDS = ("dataset", "method", "blocking", "threads", "label")
+
+LOWER_IS_BETTER_SUFFIX = "_seconds"
+HIGHER_IS_BETTER_SUFFIXES = ("_per_second",)
+HIGHER_IS_BETTER_FIELDS = ("recall", "precision", "f1")
+
+
+def row_key(row):
+    return tuple((f, row[f]) for f in IDENTITY_FIELDS if f in row)
+
+
+def metric_direction(name):
+    """Returns 'lower', 'higher', or None (not a headline metric)."""
+    if name.endswith(LOWER_IS_BETTER_SUFFIX):
+        return "lower"
+    if name.endswith(HIGHER_IS_BETTER_SUFFIXES) or name in HIGHER_IS_BETTER_FIELDS:
+        return "higher"
+    return None
+
+
+def compare_rows(bench, key, base_row, fresh_row, max_regression):
+    regressions = []
+    for name, base_value in base_row.items():
+        direction = metric_direction(name)
+        if direction is None or not isinstance(base_value, (int, float)):
+            continue
+        fresh_value = fresh_row.get(name)
+        if not isinstance(fresh_value, (int, float)):
+            continue
+        if base_value <= 0:
+            continue  # can't compute a ratio; zero baselines are degenerate
+        ratio = fresh_value / base_value
+        if direction == "lower":
+            change = ratio - 1.0  # positive = slower = worse
+        else:
+            change = 1.0 - ratio  # positive = lower throughput = worse
+        label = ", ".join(f"{f}={v}" for f, v in key) or "(single row)"
+        if change > max_regression:
+            regressions.append(
+                f"REGRESSION {bench} [{label}] {name}: "
+                f"{base_value:.6g} -> {fresh_value:.6g} "
+                f"({change * 100.0:+.1f}% worse, limit "
+                f"{max_regression * 100.0:.0f}%)"
+            )
+        elif change < -max_regression:
+            print(
+                f"improvement {bench} [{label}] {name}: "
+                f"{base_value:.6g} -> {fresh_value:.6g} "
+                f"({-change * 100.0:.1f}% better)"
+            )
+    return regressions
+
+
+def compare_file(fresh_path, baselines_dir, max_regression):
+    name = os.path.basename(fresh_path)
+    base_path = os.path.join(baselines_dir, name)
+    if not os.path.exists(base_path):
+        print(f"warning: no baseline for {name} (looked in {baselines_dir})")
+        return []
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    with open(base_path) as f:
+        base = json.load(f)
+    bench = fresh.get("bench", name)
+
+    base_rows = {row_key(r): r for r in base.get("results", [])}
+    fresh_rows = {row_key(r): r for r in fresh.get("results", [])}
+
+    regressions = []
+    compared = 0
+    for key, base_row in base_rows.items():
+        fresh_row = fresh_rows.get(key)
+        if fresh_row is None:
+            label = ", ".join(f"{f}={v}" for f, v in key)
+            print(f"warning: {bench}: baseline row [{label}] missing from "
+                  "fresh results")
+            continue
+        compared += 1
+        regressions.extend(
+            compare_rows(bench, key, base_row, fresh_row, max_regression)
+        )
+    print(f"{bench}: compared {compared} row(s) against {base_path}")
+    return regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    default_baselines = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "bench",
+        "baselines",
+    )
+    parser.add_argument("--baselines", default=default_baselines)
+    parser.add_argument("--max-regression", type=float, default=0.15)
+    parser.add_argument("fresh", nargs="+", metavar="FRESH_JSON")
+    args = parser.parse_args()
+
+    all_regressions = []
+    for path in args.fresh:
+        all_regressions.extend(
+            compare_file(path, args.baselines, args.max_regression)
+        )
+    for line in all_regressions:
+        print(line, file=sys.stderr)
+    if all_regressions:
+        print(
+            f"{len(all_regressions)} regression(s) beyond "
+            f"{args.max_regression * 100.0:.0f}%",
+            file=sys.stderr,
+        )
+    else:
+        print("no regressions")
+    return min(len(all_regressions), 100)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+# Perf-regression gate test, run by ctest:
+#   1. bench_compare.py against the committed baselines with a fresh copy of
+#      the baseline itself — must pass (exit 0).
+#   2. against a synthetic 20%-regressed fixture — must fail (nonzero).
+#   3. smoke: run bench_obs_overhead at tiny scale and check its JSON
+#      sidecar carries all four variant timings and the overhead fields.
+
+if(NOT DEFINED BENCH OR NOT DEFINED SRC_DIR)
+  message(FATAL_ERROR "pass -DBENCH=<bench_obs_overhead> -DSRC_DIR=<repo root>")
+endif()
+
+find_program(PYTHON3 python3)
+if(NOT PYTHON3)
+  message(FATAL_ERROR "python3 is required for the bench gate")
+endif()
+
+set(COMPARE "${SRC_DIR}/tools/bench_compare.py")
+set(BASELINES "${SRC_DIR}/bench/baselines")
+set(WORK "${CMAKE_CURRENT_BINARY_DIR}/bench_compare_scratch")
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+
+# --- 1. baseline vs itself: no regression -------------------------------
+configure_file("${BASELINES}/BENCH_obs_overhead.json"
+               "${WORK}/BENCH_obs_overhead.json" COPYONLY)
+execute_process(COMMAND "${PYTHON3}" "${COMPARE}" --baselines "${BASELINES}"
+                        "${WORK}/BENCH_obs_overhead.json"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "baseline-vs-itself flagged a regression: ${out}${err}")
+endif()
+
+# --- 2. synthetic 20% regression must trip the 15% gate -----------------
+configure_file("${SRC_DIR}/tools/testdata/BENCH_obs_overhead_regressed.json"
+               "${WORK}/regressed/BENCH_obs_overhead.json" COPYONLY)
+execute_process(COMMAND "${PYTHON3}" "${COMPARE}" --baselines "${BASELINES}"
+                        "${WORK}/regressed/BENCH_obs_overhead.json"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "20% regression fixture passed the gate: ${out}${err}")
+endif()
+message(STATUS "regression fixture correctly rejected (exit ${rc})")
+
+# The same fixture passes with the gate loosened past the injected 20%.
+execute_process(COMMAND "${PYTHON3}" "${COMPARE}" --baselines "${BASELINES}"
+                        --max-regression 0.30
+                        "${WORK}/regressed/BENCH_obs_overhead.json"
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fixture tripped a 30% gate it should clear")
+endif()
+
+# --- 3. bench smoke: tiny run, structural check of the sidecar ----------
+execute_process(COMMAND "${BENCH}" --threads 1 --entities 100 --copies 4
+                        --reps 2
+                WORKING_DIRECTORY "${WORK}"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_obs_overhead failed (${rc}): ${out}${err}")
+endif()
+if(NOT EXISTS "${WORK}/BENCH_obs_overhead.json")
+  message(FATAL_ERROR "bench did not write BENCH_obs_overhead.json")
+endif()
+file(READ "${WORK}/BENCH_obs_overhead.json" FRESH)
+foreach(field
+    "unobserved_matching_seconds"
+    "observed_matching_seconds"
+    "traced_off_matching_seconds"
+    "traced_matching_seconds"
+    "observed_overhead_percent"
+    "traced_off_overhead_percent"
+    "traced_overhead_percent")
+  if(NOT FRESH MATCHES "\"${field}\"")
+    message(FATAL_ERROR "sidecar missing field '${field}'")
+  endif()
+endforeach()
+# Timings at this scale are noise — the gate run uses default scale — but
+# the tooling path must work end to end: compare the fresh tiny run with a
+# gate loose enough to always pass, exercising row matching on real output.
+execute_process(COMMAND "${PYTHON3}" "${COMPARE}" --baselines "${BASELINES}"
+                        --max-regression 1000
+                        "${WORK}/BENCH_obs_overhead.json"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fresh-run compare failed: ${out}${err}")
+endif()
+
+file(REMOVE_RECURSE "${WORK}")
+message(STATUS "bench regression gate OK")

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Checks a Chrome trace_event dump for a parented engine->sketch->kv chain.
+
+Usage: check_trace_parenting.py TRACE_JSON_FILE
+
+Reads the /traces export (Chrome trace_event JSON) and exits 0 iff at least
+one trace contains a `kv` span whose ancestor chain passes through a
+`sketch` span and terminates at an `engine`/`query` root — i.e. the span
+contexts propagated correctly across the engine, sketch and storage layers
+for at least one sampled query.
+"""
+
+import json
+import sys
+
+
+def find_chain(events):
+    """Returns a (root, sketch, kv) name triple for one parented chain."""
+    by_trace = {}
+    for event in events:
+        by_trace.setdefault(event["args"]["trace_id"], []).append(event)
+    for trace_events in by_trace.values():
+        by_span = {e["args"]["span_id"]: e for e in trace_events}
+        for event in trace_events:
+            if event["cat"] != "kv":
+                continue
+            # Walk rootward from the kv span, remembering any sketch hop.
+            sketch_hop = None
+            cursor = event
+            for _ in range(len(trace_events) + 1):  # cycle guard
+                parent_id = cursor["args"]["parent_span_id"]
+                if parent_id == 0:
+                    break
+                cursor = by_span.get(parent_id)
+                if cursor is None:
+                    break
+                if cursor["cat"] == "sketch" and sketch_hop is None:
+                    sketch_hop = cursor
+            if (
+                sketch_hop is not None
+                and cursor is not None
+                and cursor["cat"] == "engine"
+                and cursor["name"] == "query"
+                and cursor["args"]["parent_span_id"] == 0
+            ):
+                return cursor, sketch_hop, event
+    return None
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        data = json.load(f)
+    events = data.get("traceEvents", [])
+    if not events:
+        print("trace dump has no events", file=sys.stderr)
+        return 1
+    chain = find_chain(events)
+    if chain is None:
+        print(
+            "no engine/query -> sketch -> kv parented chain in "
+            f"{len(events)} events",
+            file=sys.stderr,
+        )
+        return 1
+    root, sketch, kv = chain
+    print(
+        f"ok: trace {root['args']['trace_id']}: "
+        f"engine/{root['name']} -> sketch/{sketch['name']} -> kv/{kv['name']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,11 +5,15 @@
 //   metrics_dump [--kind=ncvr] [--entities=500] [--copies=8]
 //       [--method=blocksketch|sblocksketch] [--mu=200] [--threads=1]
 //       [--format=prometheus|json|trace] [--out=PATH] [--slow-ms=20]
+//   metrics_dump --url=http://127.0.0.1:PORT/metrics [--out=PATH]
 //
 // The pipeline is self-contained (synthetic workload, scratch spill store
 // for sblocksketch); the dump goes to stdout unless --out is given.
 // --format=trace prints the slow-op ring (lower --slow-ms to populate it on
-// fast machines).
+// fast machines). --url skips the pipeline entirely and scrapes a live
+// endpoint (e.g. `sketchlink_cli serve`) over a plain socket instead —
+// the body is printed/written verbatim so the same validators apply to
+// both local dumps and live scrapes.
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +28,7 @@
 #include "linkage/engine.h"
 #include "linkage/sketch_matchers.h"
 #include "obs/export.h"
+#include "obs/http_server.h"
 #include "obs/registry.h"
 
 namespace sketchlink::cli {
@@ -65,8 +70,59 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+/// Writes `output` to --out or stdout, mirroring the pipeline dump path.
+int Emit(const std::map<std::string, std::string>& flags,
+         const std::string& output) {
+  const std::string out_path = Get(flags, "out");
+  if (out_path.empty()) {
+    std::fputs(output.c_str(), stdout);
+    return 0;
+  }
+  const Status status = obs::WriteFile(out_path, output);
+  if (!status.ok()) return Fail(status.ToString());
+  std::fprintf(stderr, "wrote %zu bytes to %s\n", output.size(),
+               out_path.c_str());
+  return 0;
+}
+
+/// Scrape mode: GET `url` (http://HOST:PORT/PATH, numeric IPv4 host) and
+/// emit the body verbatim.
+int ScrapeUrl(const std::map<std::string, std::string>& flags,
+              const std::string& url) {
+  const std::string scheme = "http://";
+  if (url.rfind(scheme, 0) != 0) {
+    return Fail("--url must start with http://");
+  }
+  const std::string rest = url.substr(scheme.size());
+  const size_t slash = rest.find('/');
+  const std::string host_port =
+      slash == std::string::npos ? rest : rest.substr(0, slash);
+  const std::string path =
+      slash == std::string::npos ? "/" : rest.substr(slash);
+  const size_t colon = host_port.find(':');
+  if (colon == std::string::npos) {
+    return Fail("--url needs an explicit port: http://HOST:PORT/PATH");
+  }
+  const std::string host = host_port.substr(0, colon);
+  const uint16_t port = static_cast<uint16_t>(
+      std::strtoul(host_port.c_str() + colon + 1, nullptr, 10));
+  if (port == 0) return Fail("--url has an invalid port");
+
+  std::string body;
+  int status_code = 0;
+  const Status status = obs::HttpGet(host, port, path, &body, &status_code);
+  if (!status.ok()) {
+    return Fail("GET " + url + " failed (HTTP " +
+                std::to_string(status_code) + "): " + status.ToString());
+  }
+  return Emit(flags, body);
+}
+
 int Main(int argc, char** argv) {
   const auto flags = ParseFlags(argc, argv);
+
+  const std::string url = Get(flags, "url");
+  if (!url.empty()) return ScrapeUrl(flags, url);
 
   DatasetKind kind;
   const std::string kind_name = Get(flags, "kind", "ncvr");
@@ -147,17 +203,9 @@ int Main(int argc, char** argv) {
     output += "\n";
   }
 
-  const std::string out_path = Get(flags, "out");
-  if (out_path.empty()) {
-    std::fputs(output.c_str(), stdout);
-  } else {
-    status = obs::WriteFile(out_path, output);
-    if (!status.ok()) return Fail(status.ToString());
-    std::fprintf(stderr, "wrote %zu bytes to %s\n", output.size(),
-                 out_path.c_str());
-  }
+  const int rc = Emit(flags, output);
   if (!scratch.empty()) (void)kv::RemoveDirRecursively(scratch);
-  return 0;
+  return rc;
 }
 
 }  // namespace

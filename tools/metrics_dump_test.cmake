@@ -31,34 +31,10 @@ endif()
 
 file(READ "${WORK}/metrics.prom" PROM)
 
-# --- Prometheus line-format validator (text format 0.0.4) ---------------
-# Comment lines must be HELP/TYPE with a valid family name; sample lines
-# must be name, optional {labels}, one numeric value, nothing else.
-string(REPLACE ";" ":" PROM_LINES "${PROM}")
-string(REGEX REPLACE "\n" ";" PROM_LINES "${PROM_LINES}")
-set(NAME_RE "[a-zA-Z_:][a-zA-Z0-9_:]*")
-set(VALUE_RE "-?([0-9]+(\\.[0-9]*)?(e[+-]?[0-9]+)?|[0-9]*\\.[0-9]+(e[+-]?[0-9]+)?|inf|nan)")
-set(SAMPLES 0)
-foreach(line IN LISTS PROM_LINES)
-  if(line STREQUAL "")
-    continue()
-  endif()
-  if(line MATCHES "^#")
-    if(NOT line MATCHES "^# HELP ${NAME_RE} .+$" AND
-       NOT line MATCHES "^# TYPE ${NAME_RE} (counter|gauge|histogram)$")
-      message(FATAL_ERROR "invalid comment line: '${line}'")
-    endif()
-  else()
-    if(NOT line MATCHES "^${NAME_RE}({[^}]*})? ${VALUE_RE}$")
-      message(FATAL_ERROR "invalid sample line: '${line}'")
-    endif()
-    math(EXPR SAMPLES "${SAMPLES} + 1")
-  endif()
-endforeach()
-if(SAMPLES LESS 20)
-  message(FATAL_ERROR "only ${SAMPLES} samples exported — pipeline not instrumented?")
-endif()
-message(STATUS "validated ${SAMPLES} Prometheus samples")
+# Line-format validation (text format 0.0.4) is shared with the serve
+# endpoint test: the same grammar holds for local dumps and live scrapes.
+include("${CMAKE_CURRENT_LIST_DIR}/prometheus_validator.cmake")
+validate_prometheus_text("${PROM}" 20)
 
 # Every layer must show up in the scrape.
 foreach(family

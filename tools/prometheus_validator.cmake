@@ -1,0 +1,39 @@
+# Shared Prometheus text-format (0.0.4) line validator, included by the
+# metrics_dump smoke test and the serve endpoint test so a local dump and a
+# live scrape are held to the identical grammar.
+#
+# validate_prometheus_text(<text> <min_samples>)
+#   Fatally errors on any line that is not a valid HELP/TYPE comment or a
+#   `name{labels} value` sample, or when fewer than <min_samples> sample
+#   lines are present. Reports the validated sample count on success.
+
+function(validate_prometheus_text PROM MIN_SAMPLES)
+  # Comment lines must be HELP/TYPE with a valid family name; sample lines
+  # must be name, optional {labels}, one numeric value, nothing else.
+  string(REPLACE ";" ":" PROM_LINES "${PROM}")
+  string(REGEX REPLACE "\n" ";" PROM_LINES "${PROM_LINES}")
+  set(NAME_RE "[a-zA-Z_:][a-zA-Z0-9_:]*")
+  set(VALUE_RE "-?([0-9]+(\\.[0-9]*)?(e[+-]?[0-9]+)?|[0-9]*\\.[0-9]+(e[+-]?[0-9]+)?|inf|nan)")
+  set(SAMPLES 0)
+  foreach(line IN LISTS PROM_LINES)
+    if(line STREQUAL "")
+      continue()
+    endif()
+    if(line MATCHES "^#")
+      if(NOT line MATCHES "^# HELP ${NAME_RE} .+$" AND
+         NOT line MATCHES "^# TYPE ${NAME_RE} (counter|gauge|histogram)$")
+        message(FATAL_ERROR "invalid comment line: '${line}'")
+      endif()
+    else()
+      if(NOT line MATCHES "^${NAME_RE}({[^}]*})? ${VALUE_RE}$")
+        message(FATAL_ERROR "invalid sample line: '${line}'")
+      endif()
+      math(EXPR SAMPLES "${SAMPLES} + 1")
+    endif()
+  endforeach()
+  if(SAMPLES LESS MIN_SAMPLES)
+    message(FATAL_ERROR
+            "only ${SAMPLES} samples exported — pipeline not instrumented?")
+  endif()
+  message(STATUS "validated ${SAMPLES} Prometheus samples")
+endfunction()

@@ -1,0 +1,121 @@
+# End-to-end test of the live telemetry plane, run by ctest: start
+# `sketchlink_cli serve` in the background, scrape every endpoint with
+# `metrics_dump --url` (the plain-socket client), validate /metrics against
+# the Prometheus grammar shared with metrics_dump_smoke, and check /traces
+# for a correctly parented engine->sketch->kv span chain.
+
+if(NOT DEFINED CLI OR NOT DEFINED TOOL)
+  message(FATAL_ERROR "pass -DCLI=<sketchlink_cli> -DTOOL=<metrics_dump>")
+endif()
+
+include("${CMAKE_CURRENT_LIST_DIR}/prometheus_validator.cmake")
+
+set(WORK "${CMAKE_CURRENT_BINARY_DIR}/serve_test_scratch")
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+
+# Background launch through the shell (cmake cannot detach a child itself).
+# --max-seconds bounds the server's life even if this script dies before
+# reaching /quitquitquit, so a failed run cannot leak a listener.
+execute_process(
+  COMMAND bash -c "'${CLI}' serve --kind=ncvr --entities=120 --copies=5 \
+--method=sblocksketch --mu=30 --port=0 --port-file='${WORK}/port' \
+--max-seconds=120 > '${WORK}/serve.log' 2>&1 &"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "could not launch sketchlink_cli serve")
+endif()
+
+# The port file is written only after the socket is accepting connections.
+set(PORT "")
+foreach(attempt RANGE 300)
+  if(EXISTS "${WORK}/port")
+    file(READ "${WORK}/port" PORT)
+    string(STRIP "${PORT}" PORT)
+    if(NOT PORT STREQUAL "")
+      break()
+    endif()
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.1)
+endforeach()
+if(PORT STREQUAL "")
+  set(LOG "")
+  if(EXISTS "${WORK}/serve.log")
+    file(READ "${WORK}/serve.log" LOG)
+  endif()
+  message(FATAL_ERROR "serve did not publish a port; log:\n${LOG}")
+endif()
+set(BASE "http://127.0.0.1:${PORT}")
+
+function(scrape path out_var)
+  execute_process(COMMAND "${TOOL}" "--url=${BASE}${path}"
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "GET ${path} failed (${rc}): ${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+scrape(/healthz HEALTH)
+if(NOT HEALTH STREQUAL "ok\n")
+  message(FATAL_ERROR "unexpected /healthz body: '${HEALTH}'")
+endif()
+
+# The live scrape must satisfy the same grammar as a local dump, and the
+# span-tracing counters must be visible alongside the pipeline families.
+scrape(/metrics PROM)
+validate_prometheus_text("${PROM}" 20)
+foreach(family
+    "# TYPE sketchlink_engine_query_latency_nanos histogram"
+    "# TYPE sketchlink_kv_puts_total counter"
+    "# TYPE sketchlink_trace_kept_total counter")
+  string(FIND "${PROM}" "${family}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "missing expected family in live scrape: '${family}'")
+  endif()
+endforeach()
+
+scrape(/metrics.json JSON)
+if(NOT JSON MATCHES "\"metrics\": \\[" OR NOT JSON MATCHES "\"p99\"")
+  message(FATAL_ERROR "live /metrics.json missing expected structure")
+endif()
+
+scrape(/traces TRACES)
+if(NOT TRACES MATCHES "\"traceEvents\"")
+  message(FATAL_ERROR "live /traces is not a Chrome trace_event dump")
+endif()
+file(WRITE "${WORK}/traces.json" "${TRACES}")
+find_program(PYTHON3 python3)
+if(PYTHON3)
+  execute_process(COMMAND "${PYTHON3}"
+                          "${CMAKE_CURRENT_LIST_DIR}/check_trace_parenting.py"
+                          "${WORK}/traces.json"
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "trace parenting check failed: ${out}${err}")
+  endif()
+  string(STRIP "${out}" out)
+  message(STATUS "${out}")
+else()
+  message(WARNING "python3 not found — skipping trace parenting check")
+endif()
+
+# A 404 from the live server must surface as a scrape failure.
+execute_process(COMMAND "${TOOL}" "--url=${BASE}/nope"
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "GET /nope unexpectedly succeeded")
+endif()
+
+# Orderly shutdown: the server answers, then exits on its own.
+scrape(/quitquitquit BYE)
+if(NOT BYE STREQUAL "bye\n")
+  message(FATAL_ERROR "unexpected /quitquitquit body: '${BYE}'")
+endif()
+
+file(REMOVE_RECURSE "${WORK}")
+message(STATUS "serve end-to-end OK")

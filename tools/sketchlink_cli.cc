@@ -7,17 +7,28 @@
 //   sketchlink_cli overlap --a=a.sketch --b=b.sketch
 //   sketchlink_cli link --a=a.csv --q=q.csv --kind=ncvr
 //       [--method=blocksketch|eo|inv|naive] [--blocking=standard|lsh]
+//   sketchlink_cli serve [--kind=ncvr] [--entities=500] [--copies=8]
+//       [--method=sblocksketch|blocksketch] [--mu=50] [--threads=1]
+//       [--port=0] [--port-file=PATH] [--sample-period=1] [--keep-period=1]
+//       [--max-seconds=0]
 //
 // `generate` writes a Q/A workload as CSV; `synopsis` compiles a SkipBloom
 // from a data set's blocking keys and serializes it (the artifact the
 // Fig. 3 protocol ships between custodians); `overlap` estimates the
 // overlap coefficient from two synopsis files; `link` runs a full
-// blocking+matching experiment and prints the report.
+// blocking+matching experiment and prints the report; `serve` runs a
+// traced pipeline and exposes /metrics, /metrics.json, /traces and
+// /healthz over HTTP until /quitquitquit is hit (or --max-seconds
+// elapses). serve defaults to trace-everything sampling so a scrape of
+// /traces always shows parented engine→sketch→kv spans.
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "baselines/edge_ordering.h"
@@ -27,9 +38,13 @@
 #include "core/overlap.h"
 #include "core/skip_bloom.h"
 #include "datagen/generators.h"
+#include "kv/db.h"
 #include "kv/env.h"
 #include "linkage/engine.h"
 #include "linkage/sketch_matchers.h"
+#include "obs/http_server.h"
+#include "obs/registry.h"
+#include "obs/spans.h"
 
 namespace sketchlink::cli {
 namespace {
@@ -229,9 +244,134 @@ int Link(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int Serve(const std::map<std::string, std::string>& flags) {
+  DatasetKind kind;
+  if (!ParseKind(Get(flags, "kind", "ncvr"), &kind)) {
+    return Fail("--kind must be dblp|ncvr|lab");
+  }
+  const std::string method = Get(flags, "method", "sblocksketch");
+  if (method != "blocksketch" && method != "sblocksketch") {
+    return Fail("--method must be blocksketch|sblocksketch");
+  }
+
+  obs::MetricRegistry registry;
+  // Trace-everything defaults: serve is a debugging surface, so a scrape of
+  // /traces must deterministically show spans, not depend on sampling luck.
+  obs::Tracer::Options trace_options;
+  trace_options.sample_period =
+      static_cast<uint32_t>(GetInt(flags, "sample-period", 1));
+  trace_options.keep_period =
+      static_cast<uint32_t>(GetInt(flags, "keep-period", 1));
+  obs::Tracer tracer(trace_options);
+  const auto tracer_regs = tracer.RegisterMetrics(&registry, "serve");
+
+  datagen::WorkloadSpec spec;
+  spec.kind = kind;
+  spec.num_entities = GetInt(flags, "entities", 500);
+  spec.copies_per_entity = GetInt(flags, "copies", 8);
+  spec.max_perturb_ops = 4;
+  spec.seed = GetInt(flags, "seed", 42);
+  const datagen::Workload workload = datagen::MakeWorkload(spec);
+
+  auto blocker = MakeStandardBlocker(kind);
+  const RecordSimilarity similarity(MatchFieldsFor(kind), 0.75);
+  RecordStore store;
+
+  // sblocksketch (the default) runs with a small mu so queries hit the
+  // spill store — that is what puts kv children under the sketch spans.
+  std::unique_ptr<kv::Db> spill_db;
+  std::string scratch;
+  std::unique_ptr<OnlineMatcher> matcher;
+  if (method == "sblocksketch") {
+    scratch = "/tmp/sketchlink_serve_spill";
+    (void)kv::RemoveDirRecursively(scratch);
+    (void)kv::CreateDirIfMissing(scratch);
+    kv::Options db_options;
+    db_options.registry = &registry;
+    db_options.metrics_instance = "spill";
+    auto db = kv::Db::Open(scratch, db_options);
+    if (!db.ok()) return Fail(db.status().ToString());
+    spill_db = std::move(*db);
+    SBlockSketchOptions options;
+    options.mu = GetInt(flags, "mu", 50);
+    matcher = std::make_unique<SBlockSketchMatcher>(options, spill_db.get(),
+                                                    similarity, &store);
+  } else {
+    matcher = std::make_unique<BlockSketchMatcher>(BlockSketchOptions(),
+                                                   similarity, &store);
+  }
+
+  EngineOptions engine_options;
+  engine_options.num_threads = GetInt(flags, "threads", 1);
+  engine_options.registry = &registry;
+  engine_options.metrics_instance = "serve";
+  engine_options.tracer = &tracer;
+  LinkageEngine engine(blocker.get(), matcher.get(), similarity,
+                       engine_options);
+  Status status = engine.BuildIndex(workload.a);
+  if (!status.ok()) return Fail(status.ToString());
+  const GroundTruth truth(workload.a);
+  auto report = engine.ResolveAll(workload.q, truth);
+  if (!report.ok()) return Fail(report.status().ToString());
+  std::printf("pipeline ready: %zu records indexed, %zu queries resolved "
+              "(recall %.4f)\n",
+              workload.a.size(), workload.q.size(), report->quality.recall);
+
+  obs::HttpServer::Options server_options;
+  server_options.port = static_cast<uint16_t>(GetInt(flags, "port", 0));
+  obs::HttpServer server(server_options);
+  obs::RegisterTelemetryHandlers(&server, &registry, &tracer);
+
+  std::mutex quit_mutex;
+  std::condition_variable quit_cv;
+  bool quit = false;
+  server.AddHandler("/quitquitquit", [&](const obs::HttpRequest&) {
+    {
+      std::lock_guard<std::mutex> lock(quit_mutex);
+      quit = true;
+    }
+    quit_cv.notify_all();
+    obs::HttpResponse response;
+    response.body = "bye\n";
+    return response;
+  });
+
+  status = server.Start();
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("serving on http://127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  std::printf("endpoints: /metrics /metrics.json /traces /healthz "
+              "/quitquitquit\n");
+  std::fflush(stdout);
+
+  // The port file is written after Start so a reader never sees a port
+  // that is not yet accepting connections.
+  const std::string port_file = Get(flags, "port-file");
+  if (!port_file.empty()) {
+    status = kv::WriteStringToFileSync(port_file,
+                                       std::to_string(server.port()) + "\n");
+    if (!status.ok()) return Fail(status.ToString());
+  }
+
+  const uint64_t max_seconds = GetInt(flags, "max-seconds", 0);
+  {
+    std::unique_lock<std::mutex> lock(quit_mutex);
+    if (max_seconds == 0) {
+      quit_cv.wait(lock, [&] { return quit; });
+    } else {
+      quit_cv.wait_for(lock, std::chrono::seconds(max_seconds),
+                       [&] { return quit; });
+    }
+  }
+  server.Stop();
+  if (!scratch.empty()) (void)kv::RemoveDirRecursively(scratch);
+  std::printf("stopped\n");
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: sketchlink_cli <generate|synopsis|overlap|link> "
+               "usage: sketchlink_cli <generate|synopsis|overlap|link|serve> "
                "[--flag=value ...]\n(see the header of tools/sketchlink_cli"
                ".cc for the full flag reference)\n");
   return 2;
@@ -245,6 +385,7 @@ int Main(int argc, char** argv) {
   if (command == "synopsis") return Synopsis(flags);
   if (command == "overlap") return Overlap(flags);
   if (command == "link") return Link(flags);
+  if (command == "serve") return Serve(flags);
   return Usage();
 }
 
