@@ -1,0 +1,133 @@
+#include "common/epoch.h"
+
+#include <thread>
+
+namespace sketchlink::epoch {
+
+namespace {
+
+/// Per-thread slot cache. The slot is returned to the manager's free list
+/// when the thread exits; the manager is leaked, so the destructor ordering
+/// is safe even for threads outliving main().
+struct TlsSlot {
+  EpochManager::Slot* slot = nullptr;
+  uint64_t depth = 0;
+
+  ~TlsSlot();
+};
+
+thread_local TlsSlot tls_slot;
+
+}  // namespace
+
+EpochManager& EpochManager::Global() {
+  static EpochManager* manager = new EpochManager();
+  return *manager;
+}
+
+EpochManager::Slot* EpochManager::AcquireSlot() {
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  if (!free_slots_.empty()) {
+    Slot* slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.push_back(std::make_unique<Slot>());
+  return slots_.back().get();
+}
+
+void EpochManager::ReleaseSlot(Slot* slot) {
+  slot->epoch.store(kIdle, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  free_slots_.push_back(slot);
+}
+
+uint64_t EpochManager::MinActiveEpoch() const {
+  uint64_t min_epoch = UINT64_MAX;
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  for (const auto& slot : slots_) {
+    const uint64_t e = slot->epoch.load(std::memory_order_seq_cst);
+    if (e != kIdle && e < min_epoch) min_epoch = e;
+  }
+  return min_epoch;
+}
+
+void EpochManager::CollectReadyLocked(std::vector<Retiree>* ready) {
+  global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  const uint64_t min_active = MinActiveEpoch();
+  size_t kept = 0;
+  for (Retiree& retiree : retired_) {
+    if (retiree.epoch < min_active) {
+      ready->push_back(std::move(retiree));
+    } else {
+      retired_[kept++] = std::move(retiree);
+    }
+  }
+  retired_.resize(kept);
+}
+
+void EpochManager::Retire(std::function<void()> reclaim) {
+  std::vector<Retiree> ready;
+  {
+    std::lock_guard<std::mutex> lock(retire_mu_);
+    retired_.push_back(
+        Retiree{global_epoch_.load(std::memory_order_seq_cst),
+                std::move(reclaim)});
+    if (retired_.size() >= kReclaimBatch) CollectReadyLocked(&ready);
+  }
+  // Deleters run outside retire_mu_ so a deleter touching the manager (it
+  // should not, but defensively) cannot deadlock.
+  for (Retiree& retiree : ready) retiree.reclaim();
+}
+
+void EpochManager::Flush() {
+  for (;;) {
+    std::vector<Retiree> ready;
+    {
+      std::lock_guard<std::mutex> lock(retire_mu_);
+      if (retired_.empty()) return;
+      CollectReadyLocked(&ready);
+    }
+    for (Retiree& retiree : ready) retiree.reclaim();
+    if (ready.empty()) std::this_thread::yield();  // a reader is in-flight
+  }
+}
+
+size_t EpochManager::pending_retired() const {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  return retired_.size();
+}
+
+namespace {
+
+TlsSlot::~TlsSlot() {
+  if (slot != nullptr) EpochManager::Global().ReleaseSlot(slot);
+}
+
+}  // namespace
+
+ReadGuard::ReadGuard() {
+  TlsSlot& tls = tls_slot;
+  if (tls.slot == nullptr) tls.slot = EpochManager::Global().AcquireSlot();
+  slot_ = tls.slot;
+  outermost_ = tls.depth++ == 0;
+  if (!outermost_) return;
+  EpochManager& manager = EpochManager::Global();
+  uint64_t e = manager.global_epoch_.load(std::memory_order_seq_cst);
+  for (;;) {
+    slot_->epoch.store(e, std::memory_order_seq_cst);
+    const uint64_t current =
+        manager.global_epoch_.load(std::memory_order_seq_cst);
+    if (current == e) break;  // published epoch is current: reclaimers see us
+    e = current;
+  }
+}
+
+ReadGuard::~ReadGuard() {
+  --tls_slot.depth;
+  if (outermost_) {
+    slot_->epoch.store(EpochManager::kIdle, std::memory_order_release);
+  }
+}
+
+}  // namespace sketchlink::epoch

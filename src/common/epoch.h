@@ -1,0 +1,135 @@
+#ifndef SKETCHLINK_COMMON_EPOCH_H_
+#define SKETCHLINK_COMMON_EPOCH_H_
+
+// Epoch-based reclamation (EBR) for read-mostly structures.
+//
+// Writers that unlink a node from a shared structure cannot free it while
+// lock-free readers may still hold a pointer to it. Instead they hand the
+// node to EpochManager::Retire(), which defers the free until every reader
+// that could possibly have seen the node has finished its critical section.
+//
+// Protocol:
+//   - A reader wraps each critical section in an epoch::ReadGuard. On entry
+//     the guard publishes the current global epoch into the thread's slot;
+//     on exit it marks the slot idle. Guards nest (only the outermost
+//     publishes).
+//   - A writer removes the node from the structure first (so no NEW reader
+//     can find it), then calls Retire() with a deleter. The retiree is
+//     tagged with the global epoch at retire time.
+//   - Reclamation (amortized over Retire calls, or forced via Flush) bumps
+//     the global epoch and frees every retiree whose tag is strictly below
+//     the minimum epoch published by any active reader.
+//
+// Why this is safe: slot publication and the global-epoch loads use
+// sequentially consistent ordering, so for any reader R active at the time
+// a node is retired, R's published slot epoch is <= the epoch the retiree
+// was tagged with (R read the global epoch no later than the retirer did).
+// A retiree is freed only when min(active slot epochs) exceeds its tag,
+// which therefore excludes every reader that could hold the pointer. The
+// guard's entry loop re-reads the global epoch after publishing and
+// re-publishes if it moved, closing the window where a reader observes an
+// old epoch value but publishes it after a concurrent reclaim scanned the
+// slots.
+//
+// The manager is a process-wide leaked singleton: retirees still queued at
+// exit stay reachable through it, so LeakSanitizer does not flag them.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace sketchlink::epoch {
+
+class EpochManager {
+ public:
+  /// The process-wide manager (leaked, never destroyed).
+  static EpochManager& Global();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// Defers `reclaim` until every reader active now has left its critical
+  /// section. Callable from any thread (including while holding write
+  /// locks); `reclaim` runs later on whichever thread triggers the
+  /// reclamation pass and must not call Retire or take a ReadGuard.
+  void Retire(std::function<void()> reclaim);
+
+  /// Forces reclamation passes until the retire list is empty, yielding to
+  /// in-flight readers. Must not be called while the calling thread holds a
+  /// ReadGuard (it would wait on itself). Intended for tests and teardown.
+  void Flush();
+
+  /// Retirees whose deleters have not run yet (approximate; for tests).
+  size_t pending_retired() const;
+
+  /// Current global epoch (for tests/diagnostics).
+  uint64_t current_epoch() const {
+    return global_epoch_.load(std::memory_order_seq_cst);
+  }
+
+  // --- implementation surface shared with ReadGuard / the TLS cache ---
+
+  // A slot epoch of kIdle means "no critical section in this thread".
+  static constexpr uint64_t kIdle = 0;
+
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{kIdle};
+  };
+
+  Slot* AcquireSlot();
+  void ReleaseSlot(Slot* slot);
+
+ private:
+  friend class ReadGuard;
+
+  // Reclamation is attempted once this many retirees have queued up.
+  static constexpr size_t kReclaimBatch = 64;
+
+  struct Retiree {
+    uint64_t epoch;
+    std::function<void()> reclaim;
+  };
+
+  EpochManager() = default;
+
+  /// Smallest epoch published by any active reader, or UINT64_MAX when all
+  /// slots are idle.
+  uint64_t MinActiveEpoch() const;
+
+  /// Bumps the global epoch, then moves every retiree tagged below the new
+  /// minimum active epoch into `*ready`. Caller runs the deleters outside
+  /// the lock. Requires retire_mu_.
+  void CollectReadyLocked(std::vector<Retiree>* ready);
+
+  std::atomic<uint64_t> global_epoch_{1};
+
+  mutable std::mutex slots_mu_;
+  std::vector<std::unique_ptr<Slot>> slots_;   // all ever created
+  std::vector<Slot*> free_slots_;              // released by exited threads
+
+  mutable std::mutex retire_mu_;
+  std::vector<Retiree> retired_;
+};
+
+/// RAII critical-section marker for epoch-protected reads. Cheap: one
+/// seq_cst store + loads on entry of the outermost guard, one release store
+/// on exit. Guards nest within a thread.
+class ReadGuard {
+ public:
+  ReadGuard();
+  ~ReadGuard();
+
+  ReadGuard(const ReadGuard&) = delete;
+  ReadGuard& operator=(const ReadGuard&) = delete;
+
+ private:
+  EpochManager::Slot* slot_;
+  bool outermost_;
+};
+
+}  // namespace sketchlink::epoch
+
+#endif  // SKETCHLINK_COMMON_EPOCH_H_

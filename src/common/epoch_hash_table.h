@@ -1,0 +1,201 @@
+#ifndef SKETCHLINK_COMMON_EPOCH_HASH_TABLE_H_
+#define SKETCHLINK_COMMON_EPOCH_HASH_TABLE_H_
+
+// A single-writer / many-reader hash table protected by epoch-based
+// reclamation (common/epoch.h).
+//
+// Concurrency contract:
+//   - Exactly one mutator at a time (callers serialize writes externally,
+//     e.g. behind the sketch's write mutex).
+//   - Readers call Find()/ForEach() under an epoch::ReadGuard and take no
+//     lock. They see a consistent published view: entries are immutable
+//     after publish, erased entries are tombstoned (never nulled) so probe
+//     chains stay intact, and replaced tables/entries are freed through
+//     EpochManager::Retire() only after every possible reader has left.
+//   - The writer may also call Find()/ForEach() without a guard while it
+//     holds its external write lock (nothing can be retired under it).
+//
+// Layout: open addressing with linear probing over atomic Entry* slots.
+// Erase stores a tombstone sentinel; readers skip tombstones and stop only
+// at null, so a slot never transitions entry->null within one table
+// generation. Growth (and tombstone compaction) copy-on-write a fresh slot
+// array, republish it, and retire the old one; the Entry objects themselves
+// are reused across generations.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/epoch.h"
+#include "common/hash.h"
+
+namespace sketchlink {
+
+template <typename T>
+class EpochHashTable {
+ public:
+  explicit EpochHashTable(size_t initial_capacity = 16) {
+    table_.store(new Table(NormalizeCapacity(initial_capacity)),
+                 std::memory_order_release);
+  }
+
+  ~EpochHashTable() {
+    // Destruction requires quiescence (no concurrent readers), same as any
+    // other container. Entries retired earlier are owned by the epoch
+    // manager and freed by its reclamation passes.
+    Table* table = table_.load(std::memory_order_acquire);
+    for (size_t i = 0; i < table->capacity; ++i) {
+      Entry* entry = table->slots[i].load(std::memory_order_relaxed);
+      if (entry != nullptr && entry != Tombstone()) delete entry;
+    }
+    delete table;
+  }
+
+  EpochHashTable(const EpochHashTable&) = delete;
+  EpochHashTable& operator=(const EpochHashTable&) = delete;
+
+  /// Lock-free lookup; caller holds an epoch::ReadGuard (or is the writer).
+  /// Returns a shared_ptr copy so the value outlives any concurrent erase.
+  std::shared_ptr<T> Find(std::string_view key) const {
+    const Table* table = table_.load(std::memory_order_acquire);
+    const uint64_t hash = Fnv1a64(key);
+    for (size_t i = 0; i < table->capacity; ++i) {
+      const size_t slot = (hash + i) & table->mask;
+      Entry* entry = table->slots[slot].load(std::memory_order_acquire);
+      if (entry == nullptr) return nullptr;
+      if (entry == Tombstone()) continue;
+      if (entry->key == key) return entry->value;
+    }
+    return nullptr;
+  }
+
+  /// Inserts `key` (which must be absent — enforced by callers' probe-first
+  /// discipline). Writer only.
+  void Insert(std::string key, std::shared_ptr<T> value) {
+    MaybeGrow();
+    Table* table = table_.load(std::memory_order_relaxed);
+    const uint64_t hash = Fnv1a64(key);
+    for (size_t i = 0; i < table->capacity; ++i) {
+      const size_t slot = (hash + i) & table->mask;
+      Entry* entry = table->slots[slot].load(std::memory_order_relaxed);
+      if (entry == nullptr || entry == Tombstone()) {
+        if (entry == nullptr) ++table->used;
+        // Publish the fully constructed entry; readers acquire it.
+        table->slots[slot].store(new Entry{std::move(key), std::move(value)},
+                                 std::memory_order_release);
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+
+  /// Tombstones `key`'s slot and epoch-retires the entry. Writer only.
+  bool Erase(std::string_view key) {
+    Table* table = table_.load(std::memory_order_relaxed);
+    const uint64_t hash = Fnv1a64(key);
+    for (size_t i = 0; i < table->capacity; ++i) {
+      const size_t slot = (hash + i) & table->mask;
+      Entry* entry = table->slots[slot].load(std::memory_order_relaxed);
+      if (entry == nullptr) return false;
+      if (entry == Tombstone()) continue;
+      if (entry->key == key) {
+        table->slots[slot].store(Tombstone(), std::memory_order_release);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        epoch::EpochManager::Global().Retire([entry] { delete entry; });
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Live entries (lock-free; consistent-enough for gauges and budgets).
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  /// Visits every live entry as fn(const std::string& key, const
+  /// std::shared_ptr<T>& value). Same caller contract as Find().
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    const Table* table = table_.load(std::memory_order_acquire);
+    for (size_t i = 0; i < table->capacity; ++i) {
+      Entry* entry = table->slots[i].load(std::memory_order_acquire);
+      if (entry == nullptr || entry == Tombstone()) continue;
+      fn(entry->key, entry->value);
+    }
+  }
+
+  /// Slot-array capacity (for tests).
+  size_t capacity() const {
+    return table_.load(std::memory_order_acquire)->capacity;
+  }
+
+ private:
+  struct Entry {
+    const std::string key;
+    const std::shared_ptr<T> value;  // immutable after publish
+  };
+
+  struct Table {
+    explicit Table(size_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<Entry*>[cap]) {
+      for (size_t i = 0; i < cap; ++i) {
+        slots[i].store(nullptr, std::memory_order_relaxed);
+      }
+    }
+
+    const size_t capacity;  // power of two
+    const size_t mask;
+    size_t used = 0;  // non-null slots (live + tombstones); writer only
+    std::unique_ptr<std::atomic<Entry*>[]> slots;
+  };
+
+  static Entry* Tombstone() {
+    // Sentinel distinct from every real allocation; never dereferenced.
+    return reinterpret_cast<Entry*>(static_cast<uintptr_t>(1));
+  }
+
+  static size_t NormalizeCapacity(size_t requested) {
+    size_t capacity = 16;
+    while (capacity < requested) capacity <<= 1;
+    return capacity;
+  }
+
+  /// Rebuilds into a fresh table when load (live + tombstones) passes 70%.
+  /// The rebuild also sheds tombstones, so heavy churn cannot degrade probe
+  /// chains indefinitely.
+  void MaybeGrow() {
+    Table* table = table_.load(std::memory_order_relaxed);
+    if ((table->used + 1) * 10 < table->capacity * 7) return;
+    const size_t live = size_.load(std::memory_order_relaxed);
+    size_t capacity = table->capacity;
+    while ((live + 1) * 10 >= capacity * 7) capacity <<= 1;
+    Table* fresh = new Table(capacity);
+    for (size_t i = 0; i < table->capacity; ++i) {
+      Entry* entry = table->slots[i].load(std::memory_order_relaxed);
+      if (entry == nullptr || entry == Tombstone()) continue;
+      const uint64_t hash = Fnv1a64(entry->key);
+      for (size_t j = 0; j < fresh->capacity; ++j) {
+        const size_t slot = (hash + j) & fresh->mask;
+        if (fresh->slots[slot].load(std::memory_order_relaxed) == nullptr) {
+          fresh->slots[slot].store(entry, std::memory_order_relaxed);
+          ++fresh->used;
+          break;
+        }
+      }
+    }
+    table_.store(fresh, std::memory_order_release);
+    // The Entry objects moved over; only the old slot array retires.
+    epoch::EpochManager::Global().Retire([table] { delete table; });
+  }
+
+  std::atomic<Table*> table_{nullptr};
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_COMMON_EPOCH_HASH_TABLE_H_

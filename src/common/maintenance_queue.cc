@@ -1,0 +1,57 @@
+#include "common/maintenance_queue.h"
+
+#include <utility>
+
+namespace sketchlink {
+
+MaintenanceQueue::~MaintenanceQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void MaintenanceQueue::Submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(std::move(job));
+    if (!started_) {
+      started_ = true;
+      worker_ = std::thread([this] { WorkerLoop(); });
+    }
+  }
+  wake_cv_.notify_one();
+}
+
+void MaintenanceQueue::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return jobs_.empty() && !busy_; });
+}
+
+size_t MaintenanceQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_.size();
+}
+
+void MaintenanceQueue::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    wake_cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+    if (jobs_.empty()) {
+      // stop_ set and nothing left: queued jobs always drain before exit.
+      return;
+    }
+    std::function<void()> job = std::move(jobs_.front());
+    jobs_.pop_front();
+    busy_ = true;
+    lock.unlock();
+    job();
+    lock.lock();
+    busy_ = false;
+    if (jobs_.empty()) drain_cv_.notify_all();
+  }
+}
+
+}  // namespace sketchlink

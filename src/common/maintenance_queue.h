@@ -1,0 +1,53 @@
+#ifndef SKETCHLINK_COMMON_MAINTENANCE_QUEUE_H_
+#define SKETCHLINK_COMMON_MAINTENANCE_QUEUE_H_
+
+// A single-worker background job queue for structure maintenance (eviction
+// spills, compactions). Jobs run strictly in submission order on one
+// dedicated thread, so consumers get FIFO write-behind semantics without
+// per-job thread overhead. The worker thread starts lazily on the first
+// Submit and joins in the destructor after draining every queued job;
+// cancellation is the submitter's job (submit closures that re-check their
+// preconditions).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace sketchlink {
+
+class MaintenanceQueue {
+ public:
+  MaintenanceQueue() = default;
+  ~MaintenanceQueue();
+
+  MaintenanceQueue(const MaintenanceQueue&) = delete;
+  MaintenanceQueue& operator=(const MaintenanceQueue&) = delete;
+
+  /// Enqueues `job` behind every previously submitted job.
+  void Submit(std::function<void()> job);
+
+  /// Blocks until every job submitted before this call has finished.
+  void Drain();
+
+  /// Jobs queued but not yet started (approximate).
+  size_t depth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_cv_;   // worker waits for jobs / stop
+  std::condition_variable drain_cv_;  // Drain waits for idle
+  std::deque<std::function<void()>> jobs_;
+  std::thread worker_;
+  bool started_ = false;
+  bool stop_ = false;
+  bool busy_ = false;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_COMMON_MAINTENANCE_QUEUE_H_

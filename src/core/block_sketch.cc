@@ -41,7 +41,27 @@ size_t ProfileHeapBytes(const QGramProfile& profile) {
   return bytes;
 }
 
+/// Builds the per-sub RepSet pointer array for routing, spilling to the
+/// heap only past kInlineSubs sub-blocks (lambda is small in practice).
+constexpr size_t kInlineSubs = 16;
+
 }  // namespace
+
+size_t RepSet::ApproximateHeapBytes() const {
+  size_t bytes = representatives.capacity() * sizeof(std::string);
+  for (const std::string& rep : representatives) {
+    bytes += StringHeapBytes(rep);
+  }
+  for (const QGramProfile& profile : rep_profiles) {
+    bytes += sizeof(QGramProfile) + ProfileHeapBytes(profile);
+  }
+  bytes += rep_patterns.capacity() * sizeof(simd::JaroPattern);
+  bytes += rep_bits.capacity() * sizeof(simd::BitProfile);
+  for (const simd::BitProfile& bits : rep_bits) {
+    bytes += bits.HeapBytes();
+  }
+  return bytes;
+}
 
 size_t SketchBlock::ApproximateMemoryUsage() const {
   size_t bytes = sizeof(*this) + StringHeapBytes(anchor) +
@@ -49,18 +69,7 @@ size_t SketchBlock::ApproximateMemoryUsage() const {
                  subs.capacity() * sizeof(SketchSubBlock);
   bytes += anchor_bits.HeapBytes();
   for (const SketchSubBlock& sub : subs) {
-    bytes += sub.representatives.capacity() * sizeof(std::string);
-    for (const std::string& rep : sub.representatives) {
-      bytes += StringHeapBytes(rep);
-    }
-    for (const QGramProfile& profile : sub.rep_profiles) {
-      bytes += sizeof(QGramProfile) + ProfileHeapBytes(profile);
-    }
-    bytes += sub.rep_patterns.capacity() * sizeof(simd::JaroPattern);
-    bytes += sub.rep_bits.capacity() * sizeof(simd::BitProfile);
-    for (const simd::BitProfile& bits : sub.rep_bits) {
-      bytes += bits.HeapBytes();
-    }
+    bytes += sub.ApproximateHeapBytes();
     bytes += sub.members.capacity() * sizeof(RecordId);
   }
   return bytes;
@@ -175,8 +184,7 @@ double SketchPolicy::ScalarKeyDistance(std::string_view a,
   return 0.0;
 }
 
-void SketchPolicy::UpdateKernelCaches(SketchSubBlock* sub,
-                                      size_t replace_index,
+void SketchPolicy::UpdateKernelCaches(RepSet* sub, size_t replace_index,
                                       std::string_view key_values) const {
   if (!KernelRoutingActive()) return;
   switch (options_.distance_kind) {
@@ -202,17 +210,37 @@ void SketchPolicy::UpdateKernelCaches(SketchSubBlock* sub,
   }
 }
 
-void SketchPolicy::SeedAnchor(SketchBlock* block,
-                              std::string_view key_values) const {
+namespace {
+
+/// Anchor seeding shared by both block representations (identical member
+/// names by design).
+template <typename Block>
+void SeedAnchorInto(Block* block, std::string_view key_values,
+                    const BlockSketchOptions& options, bool use_profiles,
+                    bool kernels, const SketchPolicy& policy) {
   block->anchor.assign(key_values);
-  if (UsesProfiles()) block->anchor_profile = MakeProfile(key_values);
-  if (KernelRoutingActive()) {
-    if (options_.distance_kind == KeyDistanceKind::kJaroWinkler) {
+  if (use_profiles) block->anchor_profile = policy.MakeProfile(key_values);
+  if (kernels) {
+    if (options.distance_kind == KeyDistanceKind::kJaroWinkler) {
       simd::BuildJaroPattern(block->anchor, &block->anchor_pattern);
-    } else if (options_.distance_kind == KeyDistanceKind::kQGramDice) {
-      block->anchor_bits = simd::MakeBitProfile(block->anchor, options_.qgram);
+    } else if (options.distance_kind == KeyDistanceKind::kQGramDice) {
+      block->anchor_bits = simd::MakeBitProfile(block->anchor, options.qgram);
     }
   }
+}
+
+}  // namespace
+
+void SketchPolicy::SeedAnchor(SketchBlock* block,
+                              std::string_view key_values) const {
+  SeedAnchorInto(block, key_values, options_, UsesProfiles(),
+                 KernelRoutingActive(), *this);
+}
+
+void SketchPolicy::SeedAnchor(PublishedBlock* block,
+                              std::string_view key_values) const {
+  SeedAnchorInto(block, key_values, options_, UsesProfiles(),
+                 KernelRoutingActive(), *this);
 }
 
 void SketchPolicy::RehydrateProfiles(SketchBlock* block) const {
@@ -251,16 +279,53 @@ size_t SketchPolicy::ChooseSubBlock(const SketchBlock& block,
 
 SketchPolicy::RouteDecision SketchPolicy::Route(
     const SketchBlock& block, std::string_view key_values) const {
+  const RepSet* inline_subs[kInlineSubs];
+  std::vector<const RepSet*> heap_subs;
+  const RepSet** subs = inline_subs;
+  if (block.subs.size() > kInlineSubs) {
+    heap_subs.resize(block.subs.size());
+    subs = heap_subs.data();
+  }
+  for (size_t i = 0; i < block.subs.size(); ++i) subs[i] = &block.subs[i];
+  const AnchorView anchor{block.anchor, &block.anchor_profile,
+                          &block.anchor_pattern, &block.anchor_bits};
+  return RouteView(anchor, subs, block.subs.size(), key_values);
+}
+
+SketchPolicy::RouteDecision SketchPolicy::Route(
+    const PublishedBlock& block, std::string_view key_values) const {
+  // One acquire load per sub pins this decision to a consistent set of
+  // reservoir snapshots; concurrent re-publishes affect later routes only.
+  const RepSet* inline_subs[kInlineSubs];
+  std::vector<const RepSet*> heap_subs;
+  const RepSet** subs = inline_subs;
+  if (block.num_subs() > kInlineSubs) {
+    heap_subs.resize(block.num_subs());
+    subs = heap_subs.data();
+  }
+  for (size_t i = 0; i < block.num_subs(); ++i) {
+    subs[i] = block.sub(i).reps.load(std::memory_order_acquire);
+  }
+  const AnchorView anchor{block.anchor, &block.anchor_profile,
+                          &block.anchor_pattern, &block.anchor_bits};
+  return RouteView(anchor, subs, block.num_subs(), key_values);
+}
+
+SketchPolicy::RouteDecision SketchPolicy::RouteView(
+    const AnchorView& anchor, const RepSet* const* subs, size_t num_subs,
+    std::string_view key_values) const {
   // The routing decision is the comparison-heavy kernel of every insert and
   // query; its span is what separates "slow route" from "slow store" in a
   // trace.
   obs::Span span("sketch", "route");
-  return KernelRoutingActive() ? RouteWithKernels(block, key_values)
-                               : RouteScalar(block, key_values);
+  return KernelRoutingActive()
+             ? RouteWithKernels(anchor, subs, num_subs, key_values)
+             : RouteScalar(anchor, subs, num_subs, key_values);
 }
 
 SketchPolicy::RouteDecision SketchPolicy::RouteScalar(
-    const SketchBlock& block, std::string_view key_values) const {
+    const AnchorView& anchor, const RepSet* const* subs, size_t num_subs,
+    std::string_view key_values) const {
   RouteDecision decision;
   const bool profiles = UsesProfiles();
   // Under kQGramDice the query side is tokenized once per routing decision;
@@ -271,8 +336,8 @@ SketchPolicy::RouteDecision SketchPolicy::RouteScalar(
   // Distance ring of the key, measured from the block anchor (the
   // <=theta, <=2*theta, ..., <=lambda*theta bands of Sec. 5).
   const double anchor_distance =
-      profiles ? ProfileDistance(query_profile, block.anchor_profile)
-               : ScalarKeyDistance(key_values, block.anchor);
+      profiles ? ProfileDistance(query_profile, *anchor.profile)
+               : ScalarKeyDistance(key_values, anchor.anchor);
   ++decision.comparisons;
   const double theta = std::max(options_.theta, 1e-9);
   const size_t ring = std::min(static_cast<size_t>(anchor_distance / theta),
@@ -280,7 +345,7 @@ SketchPolicy::RouteDecision SketchPolicy::RouteScalar(
 
   // A key whose ring is still unrepresented seeds it: this is how the
   // farther sub-blocks of Fig. 4 acquire their first representative.
-  if (block.subs[ring].representatives.empty()) {
+  if (subs[ring]->representatives.empty()) {
     decision.sub = ring;
     return decision;
   }
@@ -289,8 +354,8 @@ SketchPolicy::RouteDecision SketchPolicy::RouteScalar(
   // smallest distance from the key values wins.
   size_t best = ring;
   double best_distance = std::numeric_limits<double>::infinity();
-  for (size_t i = 0; i < block.subs.size(); ++i) {
-    const SketchSubBlock& sub = block.subs[i];
+  for (size_t i = 0; i < num_subs; ++i) {
+    const RepSet& sub = *subs[i];
     for (size_t r = 0; r < sub.representatives.size(); ++r) {
       const double d =
           profiles ? ProfileDistance(query_profile, sub.rep_profiles[r])
@@ -308,7 +373,8 @@ SketchPolicy::RouteDecision SketchPolicy::RouteScalar(
 }
 
 SketchPolicy::RouteDecision SketchPolicy::RouteWithKernels(
-    const SketchBlock& block, std::string_view key_values) const {
+    const AnchorView& anchor, const RepSet* const* subs, size_t num_subs,
+    std::string_view key_values) const {
   RouteDecision decision;
 
   simd::BatchMetric metric = simd::BatchMetric::kJaroWinkler;
@@ -334,14 +400,14 @@ SketchPolicy::RouteDecision SketchPolicy::RouteWithKernels(
           ? simd::BatchQuery(metric, key_values, &query_bits)
           : simd::BatchQuery(metric, key_values);
 
-  const simd::BatchCandidate anchor{block.anchor, &block.anchor_pattern,
-                                    &block.anchor_bits};
-  const double anchor_distance = query.Distance(anchor);
+  const simd::BatchCandidate anchor_candidate{anchor.anchor, anchor.pattern,
+                                              anchor.bits};
+  const double anchor_distance = query.Distance(anchor_candidate);
   ++decision.comparisons;
   const double theta = std::max(options_.theta, 1e-9);
   const size_t ring = std::min(static_cast<size_t>(anchor_distance / theta),
                                options_.lambda - 1);
-  if (block.subs[ring].representatives.empty()) {
+  if (subs[ring]->representatives.empty()) {
     decision.sub = ring;
     return decision;
   }
@@ -350,8 +416,8 @@ SketchPolicy::RouteDecision SketchPolicy::RouteWithKernels(
   // the exact scan order of the scalar loop, so the first-minimum argmin is
   // identical.
   size_t total = 0;
-  for (const SketchSubBlock& sub : block.subs) {
-    total += sub.representatives.size();
+  for (size_t i = 0; i < num_subs; ++i) {
+    total += subs[i]->representatives.size();
   }
   constexpr size_t kInlineCandidates = 64;
   simd::BatchCandidate inline_buf[kInlineCandidates];
@@ -362,7 +428,8 @@ SketchPolicy::RouteDecision SketchPolicy::RouteWithKernels(
     candidates = heap_buf.data();
   }
   size_t k = 0;
-  for (const SketchSubBlock& sub : block.subs) {
+  for (size_t i = 0; i < num_subs; ++i) {
+    const RepSet& sub = *subs[i];
     const bool has_patterns =
         sub.rep_patterns.size() == sub.representatives.size();
     const bool has_bits = sub.rep_bits.size() == sub.representatives.size();
@@ -384,8 +451,8 @@ SketchPolicy::RouteDecision SketchPolicy::RouteWithKernels(
   decision.sub = ring;
   if (result.best_index != SIZE_MAX) {
     size_t offset = result.best_index;
-    for (size_t i = 0; i < block.subs.size(); ++i) {
-      const size_t count = block.subs[i].representatives.size();
+    for (size_t i = 0; i < num_subs; ++i) {
+      const size_t count = subs[i]->representatives.size();
       if (offset < count) {
         decision.sub = i;
         break;
@@ -396,24 +463,47 @@ SketchPolicy::RouteDecision SketchPolicy::RouteWithKernels(
   return decision;
 }
 
-void SketchPolicy::MaybeAddRepresentative(SketchSubBlock* sub,
-                                          std::string_view key_values) const {
+SketchPolicy::RepUpdate SketchPolicy::PlanRepUpdate(
+    size_t current_reps) const {
   const size_t rho = options_.rho();
-  if (sub->representatives.size() < rho) {
-    sub->representatives.emplace_back(key_values);
-    if (UsesProfiles()) sub->rep_profiles.push_back(MakeProfile(key_values));
-    UpdateKernelCaches(sub, SIZE_MAX, key_values);
-    return;
+  RepUpdate update;
+  if (current_reps < rho) {
+    update.kind = RepUpdate::Kind::kAppend;
+    return update;
   }
-  if (rho == 0) return;
+  if (rho == 0) return update;
   // Coin toss; on heads a uniformly random old representative is evicted
   // in favour of the new key (Sec. 5, representative replacement).
   if (rng_.CoinFlip()) {
-    const size_t victim = rng_.UniformIndex(sub->representatives.size());
-    sub->representatives[victim].assign(key_values);
-    if (UsesProfiles()) sub->rep_profiles[victim] = MakeProfile(key_values);
-    UpdateKernelCaches(sub, victim, key_values);
+    update.kind = RepUpdate::Kind::kReplace;
+    update.index = rng_.UniformIndex(current_reps);
   }
+  return update;
+}
+
+void SketchPolicy::ApplyRepUpdate(RepSet* reps, const RepUpdate& update,
+                                  std::string_view key_values) const {
+  switch (update.kind) {
+    case RepUpdate::Kind::kNone:
+      return;
+    case RepUpdate::Kind::kAppend:
+      reps->representatives.emplace_back(key_values);
+      if (UsesProfiles()) reps->rep_profiles.push_back(MakeProfile(key_values));
+      UpdateKernelCaches(reps, SIZE_MAX, key_values);
+      return;
+    case RepUpdate::Kind::kReplace:
+      reps->representatives[update.index].assign(key_values);
+      if (UsesProfiles()) {
+        reps->rep_profiles[update.index] = MakeProfile(key_values);
+      }
+      UpdateKernelCaches(reps, update.index, key_values);
+      return;
+  }
+}
+
+void SketchPolicy::MaybeAddRepresentative(RepSet* sub,
+                                          std::string_view key_values) const {
+  ApplyRepUpdate(sub, PlanRepUpdate(sub->representatives.size()), key_values);
 }
 
 BlockSketch::BlockSketch(const BlockSketchOptions& options,
@@ -426,56 +516,80 @@ void BlockSketch::Insert(const std::string& block_key,
   obs::LatencyTimer timer(
       SKETCHLINK_OBS_SAMPLE_HIT() ? metrics_.insert_timer() : nullptr);
   metrics_.inserts.Inc();
-  auto [it, created] =
-      blocks_.try_emplace(block_key, policy_.options().lambda);
-  if (created) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  // The writer probes without a guard: nothing can be retired under it.
+  std::shared_ptr<PublishedBlock> block = blocks_.Find(block_key);
+  if (block == nullptr) {
     metrics_.blocks_created.Inc();
-    policy_.SeedAnchor(&it->second, key_values);
+    block = std::make_shared<PublishedBlock>(policy_.options().lambda);
+    policy_.SeedAnchor(block.get(), key_values);
+    // Published with the anchor set but no members yet: a concurrent query
+    // sees an empty (but consistent) block until this insert lands.
+    blocks_.Insert(block_key, block);
   }
-  SketchBlock& block = it->second;
-  const SketchPolicy::RouteDecision decision = policy_.Route(block, key_values);
+  const SketchPolicy::RouteDecision decision =
+      policy_.Route(*block, key_values);
   metrics_.representative_comparisons.Add(decision.comparisons);
   if (decision.batched) {
     metrics_.route_batches.Inc();
     metrics_.reps_pruned.Add(decision.pruned);
     metrics_.route_batch_size.Record(decision.batch_size);
   }
-  block.subs[decision.sub].members.push_back(id);
-  policy_.MaybeAddRepresentative(&block.subs[decision.sub], key_values);
+  block->sub(decision.sub).members.Append(id);
+  const RepSet* current =
+      block->sub(decision.sub).reps.load(std::memory_order_relaxed);
+  const SketchPolicy::RepUpdate update =
+      policy_.PlanRepUpdate(current->representatives.size());
+  if (update.kind != SketchPolicy::RepUpdate::Kind::kNone) {
+    auto* fresh = new RepSet(*current);
+    policy_.ApplyRepUpdate(fresh, update, key_values);
+    block->PublishReps(decision.sub, fresh);
+  }
 }
 
-std::vector<RecordId> BlockSketch::Candidates(
-    const std::string& block_key, std::string_view key_values) const {
+CandidateList BlockSketch::Candidates(const std::string& block_key,
+                                      std::string_view key_values) const {
   obs::Span span("sketch", "candidates");
   obs::LatencyTimer timer(
       SKETCHLINK_OBS_SAMPLE_HIT() ? metrics_.query_timer() : nullptr);
   metrics_.queries.Inc();
-  auto it = blocks_.find(block_key);
-  if (it == blocks_.end()) return {};
+  epoch::ReadGuard guard;
+  std::shared_ptr<PublishedBlock> block = blocks_.Find(block_key);
+  if (block == nullptr) return CandidateList();
   const SketchPolicy::RouteDecision decision =
-      policy_.Route(it->second, key_values);
+      policy_.Route(*block, key_values);
   metrics_.representative_comparisons.Add(decision.comparisons);
   if (decision.batched) {
     metrics_.route_batches.Inc();
     metrics_.reps_pruned.Add(decision.pruned);
     metrics_.route_batch_size.Record(decision.batch_size);
   }
-  const std::vector<RecordId>& members = it->second.subs[decision.sub].members;
-  metrics_.candidates_returned.Add(members.size());
-  return members;
+  CandidateList candidates(std::move(block), decision.sub);
+  metrics_.candidates_returned.Add(candidates.size());
+  return candidates;
 }
 
-const SketchBlock* BlockSketch::FindBlock(const std::string& block_key) const {
-  auto it = blocks_.find(block_key);
-  return it == blocks_.end() ? nullptr : &it->second;
+bool BlockSketch::HasBlock(const std::string& block_key) const {
+  epoch::ReadGuard guard;
+  return blocks_.Find(block_key) != nullptr;
+}
+
+std::shared_ptr<const SketchBlock> BlockSketch::FindBlock(
+    const std::string& block_key) const {
+  epoch::ReadGuard guard;
+  std::shared_ptr<PublishedBlock> block = blocks_.Find(block_key);
+  if (block == nullptr) return nullptr;
+  return std::make_shared<const SketchBlock>(block->Materialize());
 }
 
 size_t BlockSketch::ApproximateMemoryUsage() const {
+  epoch::ReadGuard guard;
   size_t bytes = sizeof(*this);
-  for (const auto& [key, block] : blocks_) {
-    bytes += StringFootprint(key) + block.ApproximateMemoryUsage() +
-             sizeof(void*) * 2;  // hash-table node overhead estimate
-  }
+  blocks_.ForEach([&bytes](const std::string& key,
+                           const std::shared_ptr<PublishedBlock>& block) {
+    bytes += StringFootprint(key) + block->ApproximateMemoryUsage() +
+             sizeof(void*) * 2;  // hash-table entry overhead estimate
+  });
   return bytes;
 }
 

@@ -1,125 +1,30 @@
 #ifndef SKETCHLINK_CORE_BLOCK_SKETCH_H_
 #define SKETCHLINK_CORE_BLOCK_SKETCH_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "common/epoch_hash_table.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "core/published_block.h"
 #include "core/sketch_metrics.h"
-#include "record/record.h"
-#include "simd/bit_profile.h"
-#include "simd/jaro_pattern.h"
+#include "core/sketch_types.h"
 
 namespace sketchlink {
 
-/// Distance between two key-value strings (a record's untruncated blocking
-/// field values, '#'-joined). The default is Jaro-Winkler distance, matching
-/// the paper's evaluation (similarity threshold 0.75 => theta = 0.25).
-using KeyDistanceFn =
-    std::function<double(std::string_view, std::string_view)>;
-
-/// Returns the library default distance (Jaro-Winkler distance). Passing an
-/// explicit KeyDistanceFn — this one included — routes through the legacy
-/// scalar comparison loop; leaving the sketch's distance empty selects the
-/// built-in metric of the configured KeyDistanceKind, which additionally
-/// unlocks the batched bit-parallel kernel path (src/simd) with identical
-/// results.
-KeyDistanceFn DefaultKeyDistance();
-
-/// Sorted q-gram multiset of a key-value string. Cached per representative
-/// (and per block anchor) at insert time, so q-gram-based routing tokenizes
-/// each representative exactly once instead of once per query — the
-/// memoized input of the similarity hot path.
-using QGramProfile = std::vector<std::string>;
-
-/// Distance used for routing keys into sub-blocks.
-enum class KeyDistanceKind {
-  /// Jaro-Winkler distance on the raw strings (the paper's evaluation).
-  kJaroWinkler,
-  /// 1 - Dice coefficient over q-gram profiles. Profiles of representatives
-  /// are computed once at insert time and cached in the sketch; a query
-  /// tokenizes its own key values once per routing decision instead of once
-  /// per representative comparison.
-  kQGramDice,
-  /// Normalized Levenshtein distance (edit distance / max length), computed
-  /// with Myers' bit-parallel recurrence on the kernel path.
-  kLevenshtein,
-};
-
-/// Tuning parameters shared by BlockSketch and SBlockSketch.
-struct BlockSketchOptions {
-  /// Number of sub-blocks (distance rings <=theta, <=2*theta, ...).
-  size_t lambda = 3;
-  /// Failure probability of Lemma 5.1; rho = ceil(lambda * ln(1/delta))
-  /// representatives are kept per sub-block.
-  double delta = 0.1;
-  /// Ring width: the distance threshold between the keys of a matching pair.
-  double theta = 0.25;
-  uint64_t seed = 0x5ce7cULL;
-  /// Routing distance. kQGramDice enables the cached-profile fast path; the
-  /// default reproduces the paper's numbers.
-  KeyDistanceKind distance_kind = KeyDistanceKind::kJaroWinkler;
-  /// q-gram width of the kQGramDice profiles.
-  size_t qgram = 2;
-
-  /// Representatives per sub-block (Lemma 5.1, ceiling applied).
-  size_t rho() const;
-};
-
-/// One distance ring of a block: up to rho representative key-value strings
-/// plus the ids of every record routed here.
-struct SketchSubBlock {
-  std::vector<std::string> representatives;
-  /// Parallel to `representatives` when the q-gram distance is active:
-  /// rep_profiles[i] is the cached profile of representatives[i]. Empty
-  /// under kJaroWinkler. Derived data — never serialized; rebuilt by
-  /// SketchPolicy::RehydrateProfiles after a block is decoded.
-  std::vector<QGramProfile> rep_profiles;
-  /// Kernel caches, parallel to `representatives` when the batched kernel
-  /// path is active (built-in metric + kernels enabled). rep_patterns backs
-  /// the bit-parallel Jaro (kJaroWinkler); rep_bits the popcount Dice
-  /// (kQGramDice). Derived data — never serialized; rebuilt alongside
-  /// rep_profiles.
-  std::vector<simd::JaroPattern> rep_patterns;
-  std::vector<simd::BitProfile> rep_bits;
-  std::vector<RecordId> members;
-};
-
-/// A summarized block: lambda sub-blocks keyed by the blocking key.
-struct SketchBlock {
-  /// Key values of the first record routed here; the origin the distance
-  /// rings (<=theta, <=2*theta, ...) are measured from. The blocking key
-  /// itself cannot serve: it may be truncated (standard blocking) or a bit
-  /// pattern outside value space entirely (LSH blocking).
-  std::string anchor;
-  /// Cached q-gram profile of `anchor` (empty under kJaroWinkler). Derived;
-  /// not serialized.
-  QGramProfile anchor_profile;
-  /// Kernel caches of `anchor` (see SketchSubBlock). Derived; not
-  /// serialized.
-  simd::JaroPattern anchor_pattern;
-  simd::BitProfile anchor_bits;
-  std::vector<SketchSubBlock> subs;
-
-  explicit SketchBlock(size_t lambda = 0) : subs(lambda) {}
-
-  size_t TotalMembers() const;
-  size_t ApproximateMemoryUsage() const;
-
-  /// Binary serialization, used when SBlockSketch spills a block to the
-  /// key/value store.
-  void EncodeTo(std::string* dst) const;
-  static Result<SketchBlock> DecodeFrom(std::string_view* input);
-};
-
 /// Shared routing logic: picks the target sub-block for a key and maintains
 /// the representative reservoirs. Both BlockSketch and SBlockSketch (which
-/// differ only in where blocks live) delegate here.
+/// differ only in where blocks live) delegate here. Routing is stateless
+/// over whatever representative snapshots the caller presents, so it works
+/// identically on the classic in-place SketchBlock and on the concurrent
+/// PublishedBlock; only the reservoir maintenance consumes the policy RNG.
 class SketchPolicy {
  public:
   /// Telemetry of one routing decision. `comparisons` keeps the historical
@@ -134,6 +39,26 @@ class SketchPolicy {
     uint64_t pruned = 0;
     uint64_t batch_size = 0;
     bool batched = false;
+  };
+
+  /// The anchor fields of a block, viewed without caring which
+  /// representation owns them.
+  struct AnchorView {
+    std::string_view anchor;
+    const QGramProfile* profile;
+    const simd::JaroPattern* pattern;
+    const simd::BitProfile* bits;
+  };
+
+  /// One reservoir-maintenance decision (Algorithm 3, line 16), split from
+  /// its application so the concurrent sketch can apply it copy-on-write.
+  /// Planning consumes the policy RNG exactly like MaybeAddRepresentative
+  /// always did: fill-to-rho draws nothing, afterwards one coin flip and —
+  /// on heads — one uniform index.
+  struct RepUpdate {
+    enum class Kind { kNone, kAppend, kReplace };
+    Kind kind = Kind::kNone;
+    size_t index = 0;  // victim for kReplace
   };
 
   /// `distance` overrides the routing metric and forces the legacy scalar
@@ -161,15 +86,36 @@ class SketchPolicy {
   RouteDecision Route(const SketchBlock& block,
                       std::string_view key_values) const;
 
+  /// Route over a published block: loads each sub's current reservoir
+  /// snapshot (callers hold an epoch::ReadGuard or the write lock) and runs
+  /// the identical decision procedure.
+  RouteDecision Route(const PublishedBlock& block,
+                      std::string_view key_values) const;
+
+  /// The representation-independent core of Route: `subs[i]` is sub-block
+  /// i's reservoir snapshot, `num_subs` == lambda.
+  RouteDecision RouteView(const AnchorView& anchor,
+                          const RepSet* const* subs, size_t num_subs,
+                          std::string_view key_values) const;
+
+  /// Plans one reservoir update for a sub-block currently holding
+  /// `current_reps` representatives. Consumes the RNG (see RepUpdate).
+  RepUpdate PlanRepUpdate(size_t current_reps) const;
+
+  /// Applies a planned update in place (no RNG). `reps` may be a
+  /// SketchSubBlock or a copy-on-write RepSet snapshot.
+  void ApplyRepUpdate(RepSet* reps, const RepUpdate& update,
+                      std::string_view key_values) const;
+
   /// Algorithm 3, line 16: coin-toss representative maintenance. Fills the
   /// reservoir up to rho unconditionally, then replaces a uniformly random
-  /// representative on heads.
-  void MaybeAddRepresentative(SketchSubBlock* sub,
-                              std::string_view key_values) const;
+  /// representative on heads. Equivalent to PlanRepUpdate + ApplyRepUpdate.
+  void MaybeAddRepresentative(RepSet* sub, std::string_view key_values) const;
 
   /// Seeds a fresh block from its first key: stores the anchor and, under
   /// kQGramDice, its cached profile.
   void SeedAnchor(SketchBlock* block, std::string_view key_values) const;
+  void SeedAnchor(PublishedBlock* block, std::string_view key_values) const;
 
   /// Rebuilds the derived profile caches (anchor_profile, rep_profiles) of a
   /// block that was just decoded from its serialized form. No-op under
@@ -202,12 +148,14 @@ class SketchPolicy {
 
   /// Appends (or replaces, when `replace_index` != SIZE_MAX) the kernel
   /// caches of one representative.
-  void UpdateKernelCaches(SketchSubBlock* sub, size_t replace_index,
+  void UpdateKernelCaches(RepSet* sub, size_t replace_index,
                           std::string_view key_values) const;
 
-  RouteDecision RouteWithKernels(const SketchBlock& block,
+  RouteDecision RouteWithKernels(const AnchorView& anchor,
+                                 const RepSet* const* subs, size_t num_subs,
                                  std::string_view key_values) const;
-  RouteDecision RouteScalar(const SketchBlock& block,
+  RouteDecision RouteScalar(const AnchorView& anchor,
+                            const RepSet* const* subs, size_t num_subs,
                             std::string_view key_values) const;
 
   BlockSketchOptions options_;
@@ -220,6 +168,12 @@ class SketchPolicy {
 /// sub-blocks of rho representatives. A query is compared against the
 /// lambda*rho representatives only, then against the members of the single
 /// chosen sub-block — never against the whole block (Problem Statement 2).
+///
+/// Concurrency: Candidates()/num_blocks()/HasBlock()/FindBlock() are
+/// lock-free reads over epoch-protected published state and never block on
+/// writers. Insert() serializes writers behind an internal mutex (callers
+/// no longer need their own lock, but concurrent single inserts make the
+/// observed order scheduling-dependent — batch per stripe for determinism).
 class BlockSketch {
  public:
   /// An empty `distance` (the default) selects the built-in metric of
@@ -237,21 +191,21 @@ class BlockSketch {
   void Insert(const std::string& block_key, std::string_view key_values,
               RecordId id);
 
-  /// Returns the member ids of the sub-block a query with `key_values`
-  /// routes to — the constant-size candidate set of the matching phase.
-  std::vector<RecordId> Candidates(const std::string& block_key,
-                                   std::string_view key_values) const;
+  /// Returns a pinned view of the member ids of the sub-block a query with
+  /// `key_values` routes to — the constant-size candidate set of the
+  /// matching phase. Lock-free: never waits on inserts.
+  CandidateList Candidates(const std::string& block_key,
+                           std::string_view key_values) const;
 
   /// Number of blocks summarized.
   size_t num_blocks() const { return blocks_.size(); }
 
   /// True if `block_key` has been seen.
-  bool HasBlock(const std::string& block_key) const {
-    return blocks_.count(block_key) > 0;
-  }
+  bool HasBlock(const std::string& block_key) const;
 
-  /// Direct access for diagnostics/tests; nullptr when absent.
-  const SketchBlock* FindBlock(const std::string& block_key) const;
+  /// Materialized snapshot for diagnostics/tests; nullptr when absent.
+  std::shared_ptr<const SketchBlock> FindBlock(
+      const std::string& block_key) const;
 
   /// Thin view over the live instruments (see core/sketch_metrics.h); kept
   /// by-value so historical callers keep compiling unchanged.
@@ -261,16 +215,18 @@ class BlockSketch {
   /// Live instruments; shard owners merge these via MergeFrom.
   const BlockSketchMetrics& metrics() const { return metrics_; }
 
-  /// Arms the per-operation latency histograms (clock reads). Follows the
-  /// owner's synchronization, like every other mutation of this sketch.
-  void EnableLatencyTiming() { metrics_.timing_enabled = true; }
+  /// Arms the per-operation latency histograms (clock reads). Thread-safe.
+  void EnableLatencyTiming() {
+    metrics_.timing_enabled.store(true, std::memory_order_relaxed);
+  }
 
   size_t ApproximateMemoryUsage() const;
 
  private:
   SketchPolicy policy_;
   mutable BlockSketchMetrics metrics_;
-  std::unordered_map<std::string, SketchBlock> blocks_;
+  EpochHashTable<PublishedBlock> blocks_;
+  mutable std::mutex write_mu_;
 };
 
 }  // namespace sketchlink

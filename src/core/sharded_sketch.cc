@@ -16,12 +16,6 @@ uint64_t StripeSeed(uint64_t base_seed, size_t stripe) {
   return base_seed ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(stripe + 1));
 }
 
-/// Splits the live-block budget evenly; SIZE_MAX (unbounded) passes through.
-size_t StripeMu(size_t mu, size_t num_stripes) {
-  if (mu == SIZE_MAX) return SIZE_MAX;
-  return std::max<size_t>(1, (mu + num_stripes - 1) / num_stripes);
-}
-
 /// Buckets a batch per stripe preserving submission order within each
 /// stripe — the load-bearing step of the determinism guarantee.
 template <typename StripeOfFn>
@@ -46,7 +40,7 @@ ShardedBlockSketch::ShardedBlockSketch(const BlockSketchOptions& options,
   for (size_t s = 0; s < num_stripes; ++s) {
     BlockSketchOptions stripe_options = options;
     stripe_options.seed = StripeSeed(options.seed, s);
-    stripes_.push_back(std::make_unique<Stripe>(stripe_options, distance));
+    stripes_.push_back(std::make_unique<BlockSketch>(stripe_options, distance));
   }
 }
 
@@ -56,9 +50,7 @@ size_t ShardedBlockSketch::StripeOf(std::string_view block_key) const {
 
 void ShardedBlockSketch::Insert(const std::string& block_key,
                                 std::string_view key_values, RecordId id) {
-  Stripe& stripe = *stripes_[StripeOf(block_key)];
-  std::lock_guard<std::mutex> lock(stripe.mutex);
-  stripe.sketch.Insert(block_key, key_values, id);
+  stripes_[StripeOf(block_key)]->Insert(block_key, key_values, id);
 }
 
 void ShardedBlockSketch::InsertBatch(const std::vector<SketchInsert>& entries,
@@ -67,10 +59,9 @@ void ShardedBlockSketch::InsertBatch(const std::vector<SketchInsert>& entries,
       entries, stripes_.size(),
       [this](const std::string& key) { return StripeOf(key); });
   const auto drain = [&](size_t s) {
-    Stripe& stripe = *stripes_[s];
-    std::lock_guard<std::mutex> lock(stripe.mutex);
+    BlockSketch& sketch = *stripes_[s];
     for (const SketchInsert* entry : buckets[s]) {
-      stripe.sketch.Insert(*entry->block_key, *entry->key_values, entry->id);
+      sketch.Insert(*entry->block_key, *entry->key_values, entry->id);
     }
   };
   if (pool != nullptr) {
@@ -80,28 +71,22 @@ void ShardedBlockSketch::InsertBatch(const std::vector<SketchInsert>& entries,
   }
 }
 
-std::vector<RecordId> ShardedBlockSketch::Candidates(
+CandidateList ShardedBlockSketch::Candidates(
     const std::string& block_key, std::string_view key_values) const {
-  const Stripe& stripe = *stripes_[StripeOf(block_key)];
-  std::lock_guard<std::mutex> lock(stripe.mutex);
-  return stripe.sketch.Candidates(block_key, key_values);
+  return stripes_[StripeOf(block_key)]->Candidates(block_key, key_values);
 }
 
 size_t ShardedBlockSketch::num_blocks() const {
   size_t total = 0;
-  for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mutex);
-    total += stripe->sketch.num_blocks();
-  }
+  for (const auto& stripe : stripes_) total += stripe->num_blocks();
   return total;
 }
 
 void ShardedBlockSketch::MergeMetricsInto(BlockSketchMetrics* out) const {
-  // Instrument reads are relaxed-atomic, so no stripe locks: a merge racing
-  // with writers yields a consistent-enough cut, same contract as a
-  // registry snapshot.
+  // Instrument reads are relaxed-atomic: a merge racing with writers yields
+  // a consistent-enough cut, same contract as a registry snapshot.
   for (const auto& stripe : stripes_) {
-    out->MergeFrom(stripe->sketch.metrics());
+    out->MergeFrom(stripe->metrics());
   }
 }
 
@@ -112,10 +97,7 @@ BlockSketchStats ShardedBlockSketch::stats() const {
 }
 
 void ShardedBlockSketch::EnableLatencyTiming() {
-  for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mutex);
-    stripe->sketch.EnableLatencyTiming();
-  }
+  for (const auto& stripe : stripes_) stripe->EnableLatencyTiming();
 }
 
 std::vector<obs::Registration> ShardedBlockSketch::RegisterMetrics(
@@ -171,6 +153,8 @@ std::vector<obs::Registration> ShardedBlockSketch::RegisterMetrics(
   add_histogram("sketchlink_sketch_insert_latency_nanos",
                 "Per-insert sketch latency",
                 &BlockSketchMetrics::insert_latency_nanos);
+  // The gauges read lock-free state (atomic sizes, epoch-guarded walks), so
+  // a scrape thread can evaluate them mid-insert without blocking anything.
   regs.push_back(registry->AddCallbackGauge(
       obs::MetricId("sketchlink_sketch_blocks", "Blocks summarized", labels),
       [this] { return static_cast<double>(num_blocks()); }));
@@ -184,10 +168,18 @@ std::vector<obs::Registration> ShardedBlockSketch::RegisterMetrics(
 size_t ShardedBlockSketch::ApproximateMemoryUsage() const {
   size_t total = sizeof(*this);
   for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mutex);
-    total += sizeof(Stripe) + stripe->sketch.ApproximateMemoryUsage();
+    total += sizeof(BlockSketch) + stripe->ApproximateMemoryUsage();
   }
   return total;
+}
+
+size_t ShardedSBlockSketch::StripeMuBudget(size_t mu, size_t num_stripes,
+                                           size_t stripe) {
+  if (mu == SIZE_MAX) return SIZE_MAX;
+  if (num_stripes == 0) return mu;
+  const size_t base = mu / num_stripes;
+  const size_t budget = base + (stripe < mu % num_stripes ? 1 : 0);
+  return std::max<size_t>(1, budget);
 }
 
 ShardedSBlockSketch::ShardedSBlockSketch(const SBlockSketchOptions& options,
@@ -197,12 +189,14 @@ ShardedSBlockSketch::ShardedSBlockSketch(const SBlockSketchOptions& options,
     : options_(options) {
   if (num_stripes == 0) num_stripes = 1;
   stripes_.reserve(num_stripes);
+  MaintenanceQueue* maintenance =
+      options.background_spill ? &maintenance_ : nullptr;
   for (size_t s = 0; s < num_stripes; ++s) {
     SBlockSketchOptions stripe_options = options;
     stripe_options.sketch.seed = StripeSeed(options.sketch.seed, s);
-    stripe_options.mu = StripeMu(options.mu, num_stripes);
-    stripes_.push_back(
-        std::make_unique<Stripe>(stripe_options, spill_db, distance));
+    stripe_options.mu = StripeMuBudget(options.mu, num_stripes, s);
+    stripes_.push_back(std::make_unique<SBlockSketch>(stripe_options, spill_db,
+                                                      distance, maintenance));
   }
 }
 
@@ -212,9 +206,7 @@ size_t ShardedSBlockSketch::StripeOf(std::string_view block_key) const {
 
 Status ShardedSBlockSketch::Insert(const std::string& block_key,
                                    std::string_view key_values, RecordId id) {
-  Stripe& stripe = *stripes_[StripeOf(block_key)];
-  std::lock_guard<std::mutex> lock(stripe.mutex);
-  return stripe.sketch.Insert(block_key, key_values, id);
+  return stripes_[StripeOf(block_key)]->Insert(block_key, key_values, id);
 }
 
 Status ShardedSBlockSketch::InsertBatch(
@@ -224,12 +216,10 @@ Status ShardedSBlockSketch::InsertBatch(
       [this](const std::string& key) { return StripeOf(key); });
   std::vector<Status> results(stripes_.size());
   const auto drain = [&](size_t s) {
-    Stripe& stripe = *stripes_[s];
-    std::lock_guard<std::mutex> lock(stripe.mutex);
+    SBlockSketch& sketch = *stripes_[s];
     for (const SketchInsert* entry : buckets[s]) {
       Status status =
-          stripe.sketch.Insert(*entry->block_key, *entry->key_values,
-                               entry->id);
+          sketch.Insert(*entry->block_key, *entry->key_values, entry->id);
       if (!status.ok()) {
         results[s] = std::move(status);
         return;
@@ -247,26 +237,30 @@ Status ShardedSBlockSketch::InsertBatch(
   return Status::OK();
 }
 
-Result<std::vector<RecordId>> ShardedSBlockSketch::Candidates(
+Result<CandidateList> ShardedSBlockSketch::Candidates(
     const std::string& block_key, std::string_view key_values) {
-  Stripe& stripe = *stripes_[StripeOf(block_key)];
-  std::lock_guard<std::mutex> lock(stripe.mutex);
-  return stripe.sketch.Candidates(block_key, key_values);
+  return stripes_[StripeOf(block_key)]->Candidates(block_key, key_values);
 }
 
 size_t ShardedSBlockSketch::num_live_blocks() const {
   size_t total = 0;
-  for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mutex);
-    total += stripe->sketch.num_live_blocks();
-  }
+  for (const auto& stripe : stripes_) total += stripe->num_live_blocks();
   return total;
 }
 
-void ShardedSBlockSketch::MergeMetricsInto(SBlockSketchMetrics* out) const {
-  // Relaxed-atomic reads; no stripe locks (see ShardedBlockSketch).
+Status ShardedSBlockSketch::WaitForMaintenance() {
+  Status first;
   for (const auto& stripe : stripes_) {
-    out->MergeFrom(stripe->sketch.metrics());
+    Status status = stripe->WaitForMaintenance();
+    if (first.ok() && !status.ok()) first = std::move(status);
+  }
+  return first;
+}
+
+void ShardedSBlockSketch::MergeMetricsInto(SBlockSketchMetrics* out) const {
+  // Relaxed-atomic reads; no locks (see ShardedBlockSketch).
+  for (const auto& stripe : stripes_) {
+    out->MergeFrom(stripe->metrics());
   }
 }
 
@@ -277,10 +271,7 @@ SBlockSketchStats ShardedSBlockSketch::stats() const {
 }
 
 void ShardedSBlockSketch::EnableLatencyTiming() {
-  for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mutex);
-    stripe->sketch.EnableLatencyTiming();
-  }
+  for (const auto& stripe : stripes_) stripe->EnableLatencyTiming();
 }
 
 std::vector<obs::Registration> ShardedSBlockSketch::RegisterMetrics(
@@ -351,6 +342,7 @@ std::vector<obs::Registration> ShardedSBlockSketch::RegisterMetrics(
   add_histogram("sketchlink_sketch_spill_write_latency_nanos",
                 "Eviction encode+write latency",
                 &SBlockSketchMetrics::spill_write_latency_nanos);
+  // Lock-free gauges: scrape threads never block a stripe.
   regs.push_back(registry->AddCallbackGauge(
       obs::MetricId("sketchlink_sketch_live_blocks",
                     "Blocks currently live in the hash table T", labels),
@@ -365,8 +357,7 @@ std::vector<obs::Registration> ShardedSBlockSketch::RegisterMetrics(
 size_t ShardedSBlockSketch::ApproximateMemoryUsage() const {
   size_t total = sizeof(*this);
   for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mutex);
-    total += sizeof(Stripe) + stripe->sketch.ApproximateMemoryUsage();
+    total += sizeof(SBlockSketch) + stripe->ApproximateMemoryUsage();
   }
   return total;
 }

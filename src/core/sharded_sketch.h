@@ -2,11 +2,11 @@
 #define SKETCHLINK_CORE_SHARDED_SKETCH_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/maintenance_queue.h"
 #include "common/thread_pool.h"
 #include "core/block_sketch.h"
 #include "core/sblock_sketch.h"
@@ -22,9 +22,11 @@ struct SketchInsert {
   RecordId id;
 };
 
-/// Striped wrapper making BlockSketch safe for concurrent use: the blocking
-/// key hashes to one of `num_stripes` independent sub-sketches, each behind
-/// its own mutex, so operations on different stripes never contend.
+/// Striped wrapper for concurrent use: the blocking key hashes to one of
+/// `num_stripes` independent sub-sketches. The sketches are internally
+/// synchronized (lock-free epoch-protected reads, a per-sketch write mutex),
+/// so this layer adds no locks of its own: queries on any stripe never wait,
+/// and writers contend only within a stripe.
 ///
 /// Determinism: stripe selection depends only on the key and the (fixed)
 /// stripe count — never on the thread count. InsertBatch buckets its input
@@ -47,9 +49,10 @@ class ShardedBlockSketch {
   ShardedBlockSketch(const ShardedBlockSketch&) = delete;
   ShardedBlockSketch& operator=(const ShardedBlockSketch&) = delete;
 
-  /// Single insert; takes the stripe lock. Safe to call concurrently, but
-  /// concurrent single inserts make the per-stripe order scheduling-
-  /// dependent — use InsertBatch for reproducible parallel builds.
+  /// Single insert; serialized within the key's stripe. Safe to call
+  /// concurrently, but concurrent single inserts make the per-stripe order
+  /// scheduling-dependent — use InsertBatch for reproducible parallel
+  /// builds.
   void Insert(const std::string& block_key, std::string_view key_values,
               RecordId id);
 
@@ -58,9 +61,9 @@ class ShardedBlockSketch {
   /// null).
   void InsertBatch(const std::vector<SketchInsert>& entries, ThreadPool* pool);
 
-  /// Thread-safe candidate lookup (locks only the key's stripe).
-  std::vector<RecordId> Candidates(const std::string& block_key,
-                                   std::string_view key_values) const;
+  /// Lock-free candidate lookup (never waits on writers of any stripe).
+  CandidateList Candidates(const std::string& block_key,
+                           std::string_view key_values) const;
 
   size_t num_blocks() const;
   size_t num_stripes() const { return stripes_.size(); }
@@ -73,7 +76,7 @@ class ShardedBlockSketch {
   /// Merges every stripe's live instruments into `*out`: counters add,
   /// histograms merge bucket-wise (an exact re-bucketing of the union of
   /// samples — percentiles are extracted from the merged buckets, never
-  /// averaged across shards). Reads are relaxed-atomic; no stripe locks.
+  /// averaged across shards). Reads are relaxed-atomic; no locks.
   void MergeMetricsInto(BlockSketchMetrics* out) const;
 
   /// Arms per-operation latency timing in every stripe.
@@ -91,25 +94,20 @@ class ShardedBlockSketch {
   size_t ApproximateMemoryUsage() const;
 
  private:
-  struct Stripe {
-    mutable std::mutex mutex;
-    BlockSketch sketch;
-
-    Stripe(const BlockSketchOptions& options, KeyDistanceFn distance)
-        : sketch(options, std::move(distance)) {}
-  };
-
   size_t StripeOf(std::string_view block_key) const;
 
   BlockSketchOptions options_;
-  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::vector<std::unique_ptr<BlockSketch>> stripes_;
 };
 
 /// Striped wrapper for SBlockSketch with the same contract as
-/// ShardedBlockSketch. The memory budget mu is split evenly across stripes
-/// (each stripe evicts independently once its share is full); all stripes
-/// share the caller's spill store, which must itself be thread-safe
-/// (kv::Db is). Keys never cross stripes, so spilled blocks cannot collide.
+/// ShardedBlockSketch. The memory budget mu is split exactly across stripes
+/// (each stripe evicts independently once its share is full; see
+/// StripeMuBudget); all stripes share the caller's spill store, which must
+/// itself be thread-safe (kv::Db is). Keys never cross stripes, so spilled
+/// blocks cannot collide. When options.background_spill is set, this
+/// wrapper owns one maintenance thread shared by all stripes: eviction
+/// encode+spill runs there, off every caller's path.
 class ShardedSBlockSketch {
  public:
   static constexpr size_t kDefaultStripes = 16;
@@ -132,13 +130,18 @@ class ShardedSBlockSketch {
   Status InsertBatch(const std::vector<SketchInsert>& entries,
                      ThreadPool* pool);
 
-  /// Thread-safe candidate lookup. May fault blocks in from the spill store
-  /// and evict others within the key's stripe; stripes evict independently.
-  Result<std::vector<RecordId>> Candidates(const std::string& block_key,
-                                           std::string_view key_values);
+  /// Candidate lookup. Lock-free when the block is live in its stripe; a
+  /// miss may fault the block in from the spill store and evict another
+  /// within that stripe only.
+  Result<CandidateList> Candidates(const std::string& block_key,
+                                   std::string_view key_values);
 
   size_t num_live_blocks() const;
   size_t num_stripes() const { return stripes_.size(); }
+
+  /// Blocks until no background spill is in flight in any stripe, then
+  /// returns the first sticky failure in stripe order (OK when clean).
+  Status WaitForMaintenance();
 
   /// Aggregated counters across stripes, via instrument merge (see
   /// ShardedBlockSketch::stats).
@@ -161,20 +164,22 @@ class ShardedSBlockSketch {
 
   size_t ApproximateMemoryUsage() const;
 
+  /// Live-block budget of stripe `stripe`: mu/n everywhere plus one for the
+  /// first mu%n stripes, so the budgets sum to exactly mu (never over).
+  /// Degenerate cases: SIZE_MAX (unbounded) passes through; when mu <
+  /// num_stripes some stripes get the floor of 1 live block — the aggregate
+  /// may then exceed mu, which is unavoidable with independent stripes and
+  /// documented rather than hidden.
+  static size_t StripeMuBudget(size_t mu, size_t num_stripes, size_t stripe);
+
  private:
-  struct Stripe {
-    mutable std::mutex mutex;
-    SBlockSketch sketch;
-
-    Stripe(const SBlockSketchOptions& options, kv::Db* spill_db,
-           KeyDistanceFn distance)
-        : sketch(options, spill_db, std::move(distance)) {}
-  };
-
   size_t StripeOf(std::string_view block_key) const;
 
   SBlockSketchOptions options_;
-  std::vector<std::unique_ptr<Stripe>> stripes_;
+  /// Declared before stripes_ so it outlives them: stripe destructors wait
+  /// out their in-flight spill jobs, which run on this thread.
+  MaintenanceQueue maintenance_;
+  std::vector<std::unique_ptr<SBlockSketch>> stripes_;
 };
 
 }  // namespace sketchlink

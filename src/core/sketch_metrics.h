@@ -8,6 +8,7 @@
 // exporters, and the sharded aggregation (which merges instruments instead
 // of adding view fields).
 
+#include <atomic>
 #include <cstdint>
 
 #include "obs/instruments.h"
@@ -41,9 +42,8 @@ struct SBlockSketchStats {
 /// Live instruments of one BlockSketch. Counters always count (relaxed
 /// atomics, plain-integer cost); the latency histograms only receive
 /// samples while `timing_enabled` is set — flipped when the sketch is
-/// attached to an enabled registry — so unobserved sketches never read the
-/// clock. `timing_enabled` follows the owner's synchronization (the stripe
-/// mutex in the sharded wrappers; single-threaded use otherwise).
+/// attached to an enabled registry. It is an atomic flag (relaxed) because
+/// lock-free query paths read it concurrently with EnableLatencyTiming.
 struct BlockSketchMetrics {
   obs::Counter inserts;
   obs::Counter queries;
@@ -59,7 +59,7 @@ struct BlockSketchMetrics {
   obs::Histogram route_batch_size;
   obs::Histogram query_latency_nanos;
   obs::Histogram insert_latency_nanos;
-  bool timing_enabled = false;
+  std::atomic<bool> timing_enabled{false};
 
   /// Adds `other`'s counters and histogram buckets into this accumulator —
   /// the shard-aggregation primitive (histograms merge exactly by bucket;
@@ -89,10 +89,14 @@ struct BlockSketchMetrics {
   }
 
   obs::Histogram* query_timer() {
-    return timing_enabled ? &query_latency_nanos : nullptr;
+    return timing_enabled.load(std::memory_order_relaxed)
+               ? &query_latency_nanos
+               : nullptr;
   }
   obs::Histogram* insert_timer() {
-    return timing_enabled ? &insert_latency_nanos : nullptr;
+    return timing_enabled.load(std::memory_order_relaxed)
+               ? &insert_latency_nanos
+               : nullptr;
   }
 };
 
@@ -116,7 +120,7 @@ struct SBlockSketchMetrics {
   obs::Histogram insert_latency_nanos;
   obs::Histogram spill_load_latency_nanos;   // reload from secondary storage
   obs::Histogram spill_write_latency_nanos;  // eviction encode + Put
-  bool timing_enabled = false;
+  std::atomic<bool> timing_enabled{false};
 
   void MergeFrom(const SBlockSketchMetrics& other) {
     inserts.Merge(other.inserts);
@@ -150,10 +154,14 @@ struct SBlockSketchMetrics {
   }
 
   obs::Histogram* query_timer() {
-    return timing_enabled ? &query_latency_nanos : nullptr;
+    return timing_enabled.load(std::memory_order_relaxed)
+               ? &query_latency_nanos
+               : nullptr;
   }
   obs::Histogram* insert_timer() {
-    return timing_enabled ? &insert_latency_nanos : nullptr;
+    return timing_enabled.load(std::memory_order_relaxed)
+               ? &insert_latency_nanos
+               : nullptr;
   }
 };
 

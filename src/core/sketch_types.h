@@ -1,0 +1,133 @@
+#ifndef SKETCHLINK_CORE_SKETCH_TYPES_H_
+#define SKETCHLINK_CORE_SKETCH_TYPES_H_
+
+// Plain data types of the sketch layer: options, the serializable
+// SketchBlock, and the representative-set value type shared between the
+// classic single-threaded representation and the concurrent published one
+// (core/published_block.h).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "record/record.h"
+#include "simd/bit_profile.h"
+#include "simd/jaro_pattern.h"
+
+namespace sketchlink {
+
+/// Distance between two key-value strings (a record's untruncated blocking
+/// field values, '#'-joined). The default is Jaro-Winkler distance, matching
+/// the paper's evaluation (similarity threshold 0.75 => theta = 0.25).
+using KeyDistanceFn =
+    std::function<double(std::string_view, std::string_view)>;
+
+/// Returns the library default distance (Jaro-Winkler distance). Passing an
+/// explicit KeyDistanceFn — this one included — routes through the legacy
+/// scalar comparison loop; leaving the sketch's distance empty selects the
+/// built-in metric of the configured KeyDistanceKind, which additionally
+/// unlocks the batched bit-parallel kernel path (src/simd) with identical
+/// results.
+KeyDistanceFn DefaultKeyDistance();
+
+/// Sorted q-gram multiset of a key-value string. Cached per representative
+/// (and per block anchor) at insert time, so q-gram-based routing tokenizes
+/// each representative exactly once instead of once per query — the
+/// memoized input of the similarity hot path.
+using QGramProfile = std::vector<std::string>;
+
+/// Distance used for routing keys into sub-blocks.
+enum class KeyDistanceKind {
+  /// Jaro-Winkler distance on the raw strings (the paper's evaluation).
+  kJaroWinkler,
+  /// 1 - Dice coefficient over q-gram profiles. Profiles of representatives
+  /// are computed once at insert time and cached in the sketch; a query
+  /// tokenizes its own key values once per routing decision instead of once
+  /// per representative comparison.
+  kQGramDice,
+  /// Normalized Levenshtein distance (edit distance / max length), computed
+  /// with Myers' bit-parallel recurrence on the kernel path.
+  kLevenshtein,
+};
+
+/// Tuning parameters shared by BlockSketch and SBlockSketch.
+struct BlockSketchOptions {
+  /// Number of sub-blocks (distance rings <=theta, <=2*theta, ...).
+  size_t lambda = 3;
+  /// Failure probability of Lemma 5.1; rho = ceil(lambda * ln(1/delta))
+  /// representatives are kept per sub-block.
+  double delta = 0.1;
+  /// Ring width: the distance threshold between the keys of a matching pair.
+  double theta = 0.25;
+  uint64_t seed = 0x5ce7cULL;
+  /// Routing distance. kQGramDice enables the cached-profile fast path; the
+  /// default reproduces the paper's numbers.
+  KeyDistanceKind distance_kind = KeyDistanceKind::kJaroWinkler;
+  /// q-gram width of the kQGramDice profiles.
+  size_t qgram = 2;
+
+  /// Representatives per sub-block (Lemma 5.1, ceiling applied).
+  size_t rho() const;
+};
+
+/// One representative reservoir: up to rho representative key-value strings
+/// plus their derived routing caches. This is the unit the concurrent
+/// sketch publishes as an immutable snapshot (copy-on-write on mutation);
+/// the classic in-place representation embeds it in SketchSubBlock.
+struct RepSet {
+  std::vector<std::string> representatives;
+  /// Parallel to `representatives` when the q-gram distance is active:
+  /// rep_profiles[i] is the cached profile of representatives[i]. Empty
+  /// under kJaroWinkler. Derived data — never serialized; rebuilt by
+  /// SketchPolicy::RehydrateProfiles after a block is decoded.
+  std::vector<QGramProfile> rep_profiles;
+  /// Kernel caches, parallel to `representatives` when the batched kernel
+  /// path is active (built-in metric + kernels enabled). rep_patterns backs
+  /// the bit-parallel Jaro (kJaroWinkler); rep_bits the popcount Dice
+  /// (kQGramDice). Derived data — never serialized; rebuilt alongside
+  /// rep_profiles.
+  std::vector<simd::JaroPattern> rep_patterns;
+  std::vector<simd::BitProfile> rep_bits;
+
+  /// Heap bytes held by the reservoir (for memory accounting).
+  size_t ApproximateHeapBytes() const;
+};
+
+/// One distance ring of a block: the representative reservoir plus the ids
+/// of every record routed here.
+struct SketchSubBlock : RepSet {
+  std::vector<RecordId> members;
+};
+
+/// A summarized block: lambda sub-blocks keyed by the blocking key.
+struct SketchBlock {
+  /// Key values of the first record routed here; the origin the distance
+  /// rings (<=theta, <=2*theta, ...) are measured from. The blocking key
+  /// itself cannot serve: it may be truncated (standard blocking) or a bit
+  /// pattern outside value space entirely (LSH blocking).
+  std::string anchor;
+  /// Cached q-gram profile of `anchor` (empty under kJaroWinkler). Derived;
+  /// not serialized.
+  QGramProfile anchor_profile;
+  /// Kernel caches of `anchor` (see RepSet). Derived; not serialized.
+  simd::JaroPattern anchor_pattern;
+  simd::BitProfile anchor_bits;
+  std::vector<SketchSubBlock> subs;
+
+  explicit SketchBlock(size_t lambda = 0) : subs(lambda) {}
+
+  size_t TotalMembers() const;
+  size_t ApproximateMemoryUsage() const;
+
+  /// Binary serialization, used when SBlockSketch spills a block to the
+  /// key/value store.
+  void EncodeTo(std::string* dst) const;
+  static Result<SketchBlock> DecodeFrom(std::string_view* input);
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_CORE_SKETCH_TYPES_H_

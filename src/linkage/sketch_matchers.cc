@@ -14,11 +14,14 @@ namespace {
 /// query). In kVerified mode each member is fetched and compared against
 /// the query, and only pairs above the similarity threshold survive.
 /// `comparisons` is bumped once with the query's total so concurrent
-/// resolvers don't contend per member.
+/// resolvers don't contend per member. Templated over the candidate-group
+/// container: the sketches hand over pinned CandidateList views (no id
+/// copies), the naive matcher plain id vectors.
+template <typename CandidateGroups>
 Result<std::vector<RecordId>> FinishResolve(
-    const Record& query, const std::vector<std::vector<RecordId>>& candidates,
-    ResolveMode mode, const RecordSimilarity& similarity,
-    const RecordStore& store, std::atomic<uint64_t>* comparisons) {
+    const Record& query, const CandidateGroups& candidates, ResolveMode mode,
+    const RecordSimilarity& similarity, const RecordStore& store,
+    std::atomic<uint64_t>* comparisons) {
   std::unordered_set<RecordId> seen;
   std::vector<RecordId> matches;
   uint64_t local_comparisons = 0;
@@ -28,7 +31,7 @@ Result<std::vector<RecordId>> FinishResolve(
   // the construction too.
   std::optional<SimilarityScorer> scorer;
   if (mode == ResolveMode::kVerified) scorer.emplace(similarity, query);
-  for (const std::vector<RecordId>& group : candidates) {
+  for (const auto& group : candidates) {
     for (RecordId id : group) {
       if (!seen.insert(id).second) continue;  // footnote 17: drop dup pairs
       if (mode == ResolveMode::kSubBlock) {
@@ -92,7 +95,7 @@ Status BlockSketchMatcher::InsertBatch(const std::vector<PreparedRecord>& batch,
 Result<std::vector<RecordId>> BlockSketchMatcher::Resolve(
     const Record& query, const std::vector<std::string>& keys,
     const std::string& key_values) {
-  std::vector<std::vector<RecordId>> candidates;
+  std::vector<CandidateList> candidates;
   candidates.reserve(keys.size());
   for (const std::string& key : keys) {
     candidates.push_back(sketch_.Candidates(key, key_values));
@@ -122,7 +125,7 @@ Status SBlockSketchMatcher::InsertBatch(
 Result<std::vector<RecordId>> SBlockSketchMatcher::Resolve(
     const Record& query, const std::vector<std::string>& keys,
     const std::string& key_values) {
-  std::vector<std::vector<RecordId>> candidates;
+  std::vector<CandidateList> candidates;
   candidates.reserve(keys.size());
   for (const std::string& key : keys) {
     auto group = sketch_.Candidates(key, key_values);

@@ -84,8 +84,9 @@ class BlockSketchMatcher : public OnlineMatcher {
 
 /// SBlockSketch wrapped as an OnlineMatcher (streaming variant; live blocks
 /// bounded by mu, spilled blocks served from the key/value store). Striped
-/// like BlockSketchMatcher; the per-stripe eviction queues serialize on
-/// their stripe lock, and all stripes share the (thread-safe) spill store.
+/// like BlockSketchMatcher; each stripe's eviction queue serializes on that
+/// stripe's write mutex (queries stay lock-free, DESIGN.md §10), and all
+/// stripes share the (thread-safe) spill store.
 class SBlockSketchMatcher : public OnlineMatcher {
  public:
   SBlockSketchMatcher(const SBlockSketchOptions& options, kv::Db* spill_db,

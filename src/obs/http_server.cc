@@ -111,8 +111,18 @@ Status HttpServer::Start() {
     CloseFd(&wake_pipe_[1]);
     return status;
   }
-  // No SO_REUSEADDR: the port-in-use failure mode must stay observable —
-  // two serve processes silently sharing a port would corrupt scrapes.
+  if (options_.reuse_address) {
+    // Opt-in only (see Options): lets a restart rebind through TIME_WAIT
+    // without waiting out the 2*MSL linger of the previous incarnation.
+    const int one = 1;
+    if (::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one)) != 0) {
+      const Status status = Status::IOError(
+          std::string("setsockopt(SO_REUSEADDR): ") + std::strerror(errno));
+      Stop();
+      return status;
+    }
+  }
 
   sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));

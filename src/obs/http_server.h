@@ -42,6 +42,14 @@ class HttpServer {
     std::string bind_address = "127.0.0.1";
     /// 0 = ephemeral: the bound port is published via port() after Start.
     uint16_t port = 0;
+    /// Sets SO_REUSEADDR before bind so a restarted server can rebind its
+    /// fixed port while the previous socket lingers in TIME_WAIT. Off by
+    /// default: without it, binding a port a live server holds fails loudly
+    /// instead of two processes silently splitting scrapes. Note
+    /// SO_REUSEADDR does NOT allow stealing a port another process is
+    /// actively listening on (that is SO_REUSEPORT, which this server never
+    /// sets), so the port-in-use failure mode survives in both modes.
+    bool reuse_address = false;
   };
 
   using Handler = std::function<HttpResponse(const HttpRequest&)>;

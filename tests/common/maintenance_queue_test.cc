@@ -1,0 +1,57 @@
+#include "common/maintenance_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace sketchlink {
+namespace {
+
+TEST(MaintenanceQueueTest, RunsJobsInSubmissionOrder) {
+  MaintenanceQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.Submit([&order, i] { order.push_back(i); });
+  }
+  queue.Drain();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(MaintenanceQueueTest, DestructorDrainsQueuedJobs) {
+  std::atomic<int> ran{0};
+  {
+    MaintenanceQueue queue;
+    for (int i = 0; i < 100; ++i) {
+      queue.Submit([&ran] { ran.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(MaintenanceQueueTest, IdleQueueNeverStartsAThread) {
+  MaintenanceQueue queue;
+  EXPECT_EQ(queue.depth(), 0u);
+  queue.Drain();  // no worker yet: must not hang
+}
+
+TEST(MaintenanceQueueTest, ConcurrentSubmittersAllComplete) {
+  MaintenanceQueue queue;
+  std::atomic<int> ran{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        queue.Submit([&ran] { ran.fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  queue.Drain();
+  EXPECT_EQ(ran.load(), 800);
+}
+
+}  // namespace
+}  // namespace sketchlink

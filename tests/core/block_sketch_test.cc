@@ -72,7 +72,7 @@ TEST(BlockSketchTest, InsertCreatesBlockAndRoutesMember) {
   sketch.Insert("JOHN#JON", "JOHN#JONES", 1);
   EXPECT_TRUE(sketch.HasBlock("JOHN#JON"));
   EXPECT_EQ(sketch.num_blocks(), 1u);
-  const SketchBlock* block = sketch.FindBlock("JOHN#JON");
+  const auto block = sketch.FindBlock("JOHN#JON");
   ASSERT_NE(block, nullptr);
   EXPECT_EQ(block->TotalMembers(), 1u);
   EXPECT_EQ(sketch.stats().blocks_created, 1u);
@@ -97,7 +97,7 @@ TEST(BlockSketchTest, DistantKeysLandInDifferentSubBlocks) {
   // Key values close to the block key vs very far from it.
   sketch.Insert("JOHN#JON", "JOHN#JON", 1);          // distance ~0 -> ring 0
   sketch.Insert("JOHN#JON", "XQZW#VVKP", 2);         // huge distance -> ring 2
-  const SketchBlock* block = sketch.FindBlock("JOHN#JON");
+  const auto block = sketch.FindBlock("JOHN#JON");
   ASSERT_NE(block, nullptr);
   size_t populated = 0;
   for (const auto& sub : block->subs) {
@@ -112,7 +112,7 @@ TEST(BlockSketchTest, RepresentativeCountCappedAtRho) {
   for (int i = 0; i < 500; ++i) {
     sketch.Insert("KEY", "KEY#VALUE" + std::to_string(i), i);
   }
-  const SketchBlock* block = sketch.FindBlock("KEY");
+  const auto block = sketch.FindBlock("KEY");
   ASSERT_NE(block, nullptr);
   for (const auto& sub : block->subs) {
     EXPECT_LE(sub.representatives.size(), options.rho());
@@ -183,7 +183,7 @@ TEST(BlockSketchTest, CustomDistanceFunctionIsUsed) {
   sketch.Insert("K", "COMPLETELY", 1);
   sketch.Insert("K", "DIFFERENT", 2);
   sketch.Insert("K", "STRINGS", 3);
-  const SketchBlock* block = sketch.FindBlock("K");
+  const auto block = sketch.FindBlock("K");
   ASSERT_NE(block, nullptr);
   EXPECT_EQ(block->subs[0].members.size(), 3u);
 }
@@ -195,7 +195,7 @@ TEST_P(LambdaSweep, SubBlockCountMatchesLambda) {
   options.lambda = GetParam();
   BlockSketch sketch(options);
   sketch.Insert("K", "K#V", 1);
-  const SketchBlock* block = sketch.FindBlock("K");
+  const auto block = sketch.FindBlock("K");
   ASSERT_NE(block, nullptr);
   EXPECT_EQ(block->subs.size(), GetParam());
   // Query comparisons stay within lambda * rho.

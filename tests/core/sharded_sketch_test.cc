@@ -76,7 +76,7 @@ TEST(ShardedBlockSketchTest, ConcurrentQueriesReturnConsistentResults) {
   sketch.InsertBatch(AsInserts(entries), nullptr);
 
   // Expected answers from a sequential pass.
-  std::vector<std::vector<RecordId>> expected;
+  std::vector<CandidateList> expected;
   expected.reserve(entries.size());
   for (const auto& [key, value] : entries) {
     expected.push_back(sketch.Candidates(key, value));
@@ -126,7 +126,7 @@ TEST(ShardedSBlockSketchTest, InsertBatchIdenticalAtEveryPoolSize) {
       for (const auto& [key, value] : entries) {
         auto candidates = sketch.Candidates(key, value);
         EXPECT_TRUE(candidates.ok());
-        run.answers.push_back(std::move(*candidates));
+        run.answers.push_back(candidates->ToVector());
       }
       run.inserts = sketch.stats().inserts;
     }
@@ -141,6 +141,29 @@ TEST(ShardedSBlockSketchTest, InsertBatchIdenticalAtEveryPoolSize) {
     EXPECT_EQ(run.inserts, reference.inserts);
     EXPECT_EQ(run.answers, reference.answers) << "threads=" << threads;
   }
+}
+
+TEST(ShardedSBlockSketchTest, StripeMuBudgetsSumExactlyToMu) {
+  // The ceil split used to hand every stripe ceil(mu/n), letting the
+  // aggregate exceed the configured budget by up to n-1 blocks. The exact
+  // split distributes the remainder instead.
+  for (size_t mu : {size_t{1}, size_t{15}, size_t{16}, size_t{17},
+                    size_t{100}, size_t{10000}}) {
+    for (size_t stripes : {size_t{1}, size_t{3}, size_t{16}}) {
+      size_t total = 0;
+      for (size_t s = 0; s < stripes; ++s) {
+        total += ShardedSBlockSketch::StripeMuBudget(mu, stripes, s);
+      }
+      if (mu >= stripes) {
+        EXPECT_EQ(total, mu) << "mu=" << mu << " stripes=" << stripes;
+      } else {
+        // Degenerate small-mu case: every stripe needs at least one live
+        // block to function, which is the documented floor.
+        EXPECT_EQ(total, stripes);
+      }
+    }
+  }
+  EXPECT_EQ(ShardedSBlockSketch::StripeMuBudget(SIZE_MAX, 16, 3), SIZE_MAX);
 }
 
 TEST(ShardedSBlockSketchTest, ConcurrentMixedStress) {
@@ -179,13 +202,12 @@ TEST(ShardedSBlockSketchTest, ConcurrentMixedStress) {
     for (auto& worker : workers) worker.join();
 
     EXPECT_EQ(errors.load(), 0);
+    EXPECT_TRUE(sketch.WaitForMaintenance().ok());
     EXPECT_EQ(sketch.stats().inserts, kThreads * kOpsPerThread / 2);
     EXPECT_EQ(sketch.stats().queries, kThreads * kOpsPerThread / 2);
-    // The per-stripe budget holds even under contention.
-    EXPECT_LE(sketch.num_live_blocks(),
-              sketch.num_stripes() *
-                  ((options.mu + sketch.num_stripes() - 1) /
-                   sketch.num_stripes()));
+    // The per-stripe budgets sum to exactly mu, so the aggregate holds the
+    // global bound even under contention.
+    EXPECT_LE(sketch.num_live_blocks(), options.mu);
   }
   (void)kv::RemoveDirRecursively(dir);
 }

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "gtest/gtest.h"
@@ -118,6 +119,39 @@ TEST(HttpServerStandaloneTest, PortInUseFailsToStart) {
   HttpServer second(clashing);
   const Status status = second.Start();
   EXPECT_TRUE(status.IsIOError()) << status.ToString();
+
+  // reuse_address must not weaken the live-listener conflict: SO_REUSEADDR
+  // only skips the TIME_WAIT linger, it cannot steal a bound port.
+  clashing.reuse_address = true;
+  HttpServer third(clashing);
+  const Status reuse_status = third.Start();
+  EXPECT_TRUE(reuse_status.IsIOError()) << reuse_status.ToString();
+}
+
+TEST(HttpServerStandaloneTest, ReuseAddressRebindsAfterStop) {
+  // Restart-on-the-same-port scenario: the first incarnation served a
+  // connection (so the port has residual TIME_WAIT state), then stopped.
+  HttpServer::Options options;
+  options.reuse_address = true;
+  auto first = std::make_unique<HttpServer>(options);
+  first->AddHandler("/healthz", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "ok\n";
+    return response;
+  });
+  ASSERT_TRUE(first->Start().ok());
+  const uint16_t port = first->port();
+  std::string body;
+  ASSERT_TRUE(HttpGet("127.0.0.1", port, "/healthz", &body).ok());
+  first.reset();
+
+  HttpServer::Options rebind;
+  rebind.port = port;
+  rebind.reuse_address = true;
+  HttpServer second(rebind);
+  const Status status = second.Start();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(second.port(), port);
 }
 
 TEST(HttpServerStandaloneTest, StopIsIdempotentAndRestartable) {

@@ -85,5 +85,57 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "fresh-run compare failed: ${out}${err}")
 endif()
 
+# --- 4. concurrent R/W bench: baseline self-check + tiny live run -------
+# Single-core noise makes this bench's throughput swing harder than the
+# pipeline benches, so its gate runs at 30% (still catches a lock sneaking
+# back onto the read path, which costs integer multiples, not percents).
+if(DEFINED BENCH_RW)
+  configure_file("${BASELINES}/BENCH_concurrent_rw.json"
+                 "${WORK}/BENCH_concurrent_rw.json" COPYONLY)
+  execute_process(COMMAND "${PYTHON3}" "${COMPARE}" --baselines "${BASELINES}"
+                          "${WORK}/BENCH_concurrent_rw.json"
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "concurrent_rw baseline-vs-itself flagged a regression: "
+            "${out}${err}")
+  endif()
+
+  execute_process(COMMAND "${BENCH_RW}" --hot 60 --cold 600 --queries 5000
+                          --reps 2
+                  WORKING_DIRECTORY "${WORK}"
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench_concurrent_rw failed (${rc}): ${out}${err}")
+  endif()
+  if(NOT EXISTS "${WORK}/BENCH_concurrent_rw.json")
+    message(FATAL_ERROR "bench did not write BENCH_concurrent_rw.json")
+  endif()
+  file(READ "${WORK}/BENCH_concurrent_rw.json" FRESH_RW)
+  foreach(field
+      "reads_per_second"
+      "quiet_p99_nanos"
+      "contended_p99_nanos"
+      "p99_impact_percent"
+      "evictions")
+    if(NOT FRESH_RW MATCHES "\"${field}\"")
+      message(FATAL_ERROR "concurrent_rw sidecar missing field '${field}'")
+    endif()
+  endforeach()
+  if(FRESH_RW MATCHES "\"read_failures\": 0")
+    message(STATUS "concurrent_rw smoke: no read failures")
+  else()
+    message(FATAL_ERROR "concurrent_rw smoke saw read failures: ${FRESH_RW}")
+  endif()
+  # Tiny-scale numbers are noise; exercise row matching only.
+  execute_process(COMMAND "${PYTHON3}" "${COMPARE}" --baselines "${BASELINES}"
+                          --max-regression 1000
+                          "${WORK}/BENCH_concurrent_rw.json"
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "concurrent_rw fresh-run compare failed: ${out}${err}")
+  endif()
+endif()
+
 file(REMOVE_RECURSE "${WORK}")
 message(STATUS "bench regression gate OK")

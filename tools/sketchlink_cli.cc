@@ -9,8 +9,8 @@
 //       [--method=blocksketch|eo|inv|naive] [--blocking=standard|lsh]
 //   sketchlink_cli serve [--kind=ncvr] [--entities=500] [--copies=8]
 //       [--method=sblocksketch|blocksketch] [--mu=50] [--threads=1]
-//       [--port=0] [--port-file=PATH] [--sample-period=1] [--keep-period=1]
-//       [--max-seconds=0]
+//       [--port=0] [--port-file=PATH] [--reuse-addr]
+//       [--sample-period=1] [--keep-period=1] [--max-seconds=0]
 //
 // `generate` writes a Q/A workload as CSV; `synopsis` compiles a SkipBloom
 // from a data set's blocking keys and serializes it (the artifact the
@@ -319,6 +319,10 @@ int Serve(const std::map<std::string, std::string>& flags) {
 
   obs::HttpServer::Options server_options;
   server_options.port = static_cast<uint16_t>(GetInt(flags, "port", 0));
+  // --reuse-addr lets a supervised restart rebind a fixed --port while the
+  // previous incarnation's socket drains TIME_WAIT. Binding over a live
+  // listener still fails either way.
+  server_options.reuse_address = flags.count("reuse-addr") > 0;
   obs::HttpServer server(server_options);
   obs::RegisterTelemetryHandlers(&server, &registry, &tracer);
 
