@@ -13,17 +13,24 @@ std::string RecordStore::DbKey(RecordId id) const {
 
 Status RecordStore::Put(const Record& record) {
   if (db_ != nullptr) {
+    // Write through outside the lock: kv::Db synchronizes internally, and
+    // holding our exclusive lock across its WAL fsync would serialize every
+    // concurrent reader behind disk latency.
     std::string encoded;
     record.EncodeTo(&encoded);
     SKETCHLINK_RETURN_IF_ERROR(db_->Put(DbKey(record.id), encoded));
   }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   cache_[record.id] = record;
   return Status::OK();
 }
 
 Result<Record> RecordStore::Get(RecordId id) const {
-  auto it = cache_.find(id);
-  if (it != cache_.end()) return it->second;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = cache_.find(id);
+    if (it != cache_.end()) return it->second;
+  }
   if (db_ != nullptr) {
     std::string encoded;
     SKETCHLINK_RETURN_IF_ERROR(db_->Get(DbKey(id), &encoded));
@@ -34,6 +41,7 @@ Result<Record> RecordStore::Get(RecordId id) const {
 }
 
 size_t RecordStore::ApproximateMemoryUsage() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   size_t bytes = sizeof(*this);
   for (const auto& [id, record] : cache_) {
     bytes += sizeof(id) + record.ApproximateMemoryUsage() +

@@ -1,6 +1,7 @@
 #ifndef SKETCHLINK_LINKAGE_RECORD_STORE_H_
 #define SKETCHLINK_LINKAGE_RECORD_STORE_H_
 
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -14,6 +15,10 @@ namespace sketchlink {
 /// database and only ids inside the summarization structures; this store
 /// mirrors that split. It can run purely in memory (default) or persist
 /// through the embedded key/value store with a small write-through cache.
+///
+/// Thread-safe: Put takes an exclusive lock, Get/size/memory take a shared
+/// one, so the serving plane can verify candidates on many query threads
+/// while inserts land concurrently. (kv::Db is internally synchronized.)
 class RecordStore {
  public:
   /// In-memory store.
@@ -32,13 +37,17 @@ class RecordStore {
   Result<Record> Get(RecordId id) const;
 
   /// Number of records stored (in-memory index size).
-  size_t size() const { return cache_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return cache_.size();
+  }
 
   size_t ApproximateMemoryUsage() const;
 
  private:
   std::string DbKey(RecordId id) const;
 
+  mutable std::shared_mutex mu_;
   kv::Db* db_ = nullptr;
   // In-memory mode: the authoritative map. KV mode: a full index of ids with
   // cached payloads (records are small; the experiments need fast repeated

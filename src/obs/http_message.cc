@@ -1,0 +1,257 @@
+#include "obs/http_message.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+
+namespace sketchlink::obs {
+
+namespace {
+
+std::string ToLower(std::string_view in) {
+  std::string out(in);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view in) {
+  while (!in.empty() && (in.front() == ' ' || in.front() == '\t')) {
+    in.remove_prefix(1);
+  }
+  while (!in.empty() && (in.back() == ' ' || in.back() == '\t')) {
+    in.remove_suffix(1);
+  }
+  return in;
+}
+
+/// Parses "METHOD /path?query HTTP/1.x". False on anything malformed.
+bool ParseRequestLine(std::string_view line, HttpRequest* request,
+                      bool* http_11) {
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) return false;
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) return false;
+  const std::string_view version = line.substr(sp2 + 1);
+  if (version.rfind("HTTP/1.", 0) != 0) return false;
+  *http_11 = version == "HTTP/1.1";
+  request->method = std::string(line.substr(0, sp1));
+  std::string target(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  if (target.empty() || target[0] != '/') return false;
+  const size_t q = target.find('?');
+  if (q != std::string::npos) {
+    request->query = target.substr(q + 1);
+    target.resize(q);
+  }
+  request->path = std::move(target);
+  return true;
+}
+
+uint64_t NowMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Polls `fd` for `events` honoring an absolute deadline; true when ready.
+bool PollFor(int fd, short events, uint64_t timeout_ms) {
+  const uint64_t start = NowMillis();
+  for (;;) {
+    int wait = -1;
+    if (timeout_ms != 0) {
+      const uint64_t elapsed = NowMillis() - start;
+      if (elapsed >= timeout_ms) return false;
+      wait = static_cast<int>(timeout_ms - elapsed);
+    }
+    pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, wait);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (ready == 0) return false;  // timeout
+    return true;                   // ready (or error/hup — let I/O surface it)
+  }
+}
+
+}  // namespace
+
+std::string_view HttpRequest::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return std::string_view(value);
+  }
+  return {};
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response,
+                                  bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    HttpReasonPhrase(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += keep_alive ? "Connection: keep-alive\r\n\r\n" : "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+HttpRequestParser::HttpRequestParser(size_t max_head_bytes,
+                                     size_t max_body_bytes)
+    : max_head_bytes_(max_head_bytes), max_body_bytes_(max_body_bytes) {}
+
+HttpRequestParser::State HttpRequestParser::Fail(int status) {
+  state_ = State::kError;
+  error_status_ = status;
+  return state_;
+}
+
+HttpRequestParser::State HttpRequestParser::Feed(std::string_view data) {
+  if (state_ != State::kNeedMore) return state_;
+  buffer_.append(data.data(), data.size());
+  return Advance();
+}
+
+HttpRequestParser::State HttpRequestParser::Advance() {
+  if (!headers_parsed_) {
+    const size_t head_end = buffer_.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      if (buffer_.size() > max_head_bytes_) return Fail(431);
+      return state_;
+    }
+    if (head_end > max_head_bytes_) return Fail(431);
+
+    const std::string_view head(buffer_.data(), head_end);
+    const size_t line_end = head.find("\r\n");
+    const std::string_view request_line =
+        line_end == std::string_view::npos ? head : head.substr(0, line_end);
+    bool http_11 = false;
+    if (!ParseRequestLine(request_line, &request_, &http_11)) return Fail(400);
+
+    // Header block: one "name: value" per line; names lower-cased.
+    size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+    while (pos < head.size()) {
+      size_t eol = head.find("\r\n", pos);
+      if (eol == std::string_view::npos) eol = head.size();
+      const std::string_view line = head.substr(pos, eol - pos);
+      pos = eol + 2;
+      const size_t colon = line.find(':');
+      if (colon == std::string_view::npos || colon == 0) return Fail(400);
+      request_.headers.emplace_back(ToLower(line.substr(0, colon)),
+                                    std::string(Trim(line.substr(colon + 1))));
+    }
+
+    if (!request_.Header("transfer-encoding").empty()) return Fail(501);
+
+    const std::string_view length = request_.Header("content-length");
+    body_needed_ = 0;
+    if (!length.empty()) {
+      char* end = nullptr;
+      const std::string copy(length);
+      const unsigned long long parsed = std::strtoull(copy.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || copy.empty()) return Fail(400);
+      if (parsed > max_body_bytes_) return Fail(413);
+      body_needed_ = static_cast<size_t>(parsed);
+    }
+
+    const std::string_view connection = request_.Header("connection");
+    const std::string connection_lower = ToLower(connection);
+    if (http_11) {
+      keep_alive_ = connection_lower.find("close") == std::string::npos;
+    } else {
+      keep_alive_ = connection_lower.find("keep-alive") != std::string::npos;
+    }
+
+    buffer_.erase(0, head_end + 4);
+    headers_parsed_ = true;
+  }
+
+  if (buffer_.size() < body_needed_) return state_;
+  request_.body = buffer_.substr(0, body_needed_);
+  leftover_ = buffer_.substr(body_needed_);
+  buffer_.clear();
+  state_ = State::kComplete;
+  return state_;
+}
+
+std::string HttpRequestParser::TakeLeftover() {
+  std::string out = std::move(leftover_);
+  leftover_.clear();
+  return out;
+}
+
+void HttpRequestParser::Reset() {
+  state_ = State::kNeedMore;
+  error_status_ = 400;
+  headers_parsed_ = false;
+  keep_alive_ = false;
+  body_needed_ = 0;
+  buffer_.clear();
+  leftover_.clear();
+  request_ = HttpRequest();
+}
+
+bool SendAllWithTimeout(int fd, const char* data, size_t size,
+                        uint64_t timeout_ms) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(fd, data + sent, size - sent, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!PollFor(fd, POLLOUT, timeout_ms)) return false;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+ssize_t RecvWithTimeout(int fd, char* buf, size_t size, uint64_t timeout_ms) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, size, MSG_DONTWAIT);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!PollFor(fd, POLLIN, timeout_ms)) return -2;
+      continue;
+    }
+    return -1;
+  }
+}
+
+}  // namespace sketchlink::obs

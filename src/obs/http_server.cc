@@ -8,18 +8,24 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 
 #include "obs/export.h"
 #include "obs/registry.h"
 #include "obs/spans.h"
+#include "obs/url.h"
 
 namespace sketchlink::obs {
 
 namespace {
 
-constexpr size_t kMaxRequestBytes = 8 * 1024;
+constexpr size_t kMaxRequestHeadBytes = 8 * 1024;
+// The scrape plane never needs request bodies; anything beyond a trivial
+// body is a client pointed at the wrong port (the service plane accepts
+// multi-megabyte batches — this server does not).
+constexpr size_t kMaxRequestBodyBytes = 8 * 1024;
 
 void CloseFd(int* fd) {
   if (*fd >= 0) {
@@ -28,62 +34,23 @@ void CloseFd(int* fd) {
   }
 }
 
-bool SendAll(int fd, const char* data, size_t size) {
-  size_t sent = 0;
-  while (sent < size) {
-    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
+uint64_t NowMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
-const char* ReasonPhrase(int status) {
-  switch (status) {
-    case 200: return "OK";
-    case 400: return "Bad Request";
-    case 404: return "Not Found";
-    case 405: return "Method Not Allowed";
-    default: return "Internal Server Error";
-  }
+void WriteResponse(int fd, const HttpResponse& response, uint64_t timeout_ms) {
+  const std::string wire = SerializeHttpResponse(response, /*keep_alive=*/false);
+  SendAllWithTimeout(fd, wire.data(), wire.size(), timeout_ms);
 }
 
-void WriteResponse(int fd, const HttpResponse& response) {
-  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
-                     ReasonPhrase(response.status) + "\r\n";
-  head += "Content-Type: " + response.content_type + "\r\n";
-  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
-  head += "Connection: close\r\n\r\n";
-  if (SendAll(fd, head.data(), head.size())) {
-    SendAll(fd, response.body.data(), response.body.size());
-  }
-}
-
-/// Parses "METHOD /path?query HTTP/1.x" out of the first request line.
-/// Returns false on anything malformed.
-bool ParseRequestLine(const std::string& raw, HttpRequest* request) {
-  const size_t line_end = raw.find("\r\n");
-  const std::string line =
-      line_end == std::string::npos ? raw : raw.substr(0, line_end);
-  const size_t sp1 = line.find(' ');
-  if (sp1 == std::string::npos || sp1 == 0) return false;
-  const size_t sp2 = line.find(' ', sp1 + 1);
-  if (sp2 == std::string::npos || sp2 == sp1 + 1) return false;
-  const std::string version = line.substr(sp2 + 1);
-  if (version.rfind("HTTP/1.", 0) != 0) return false;
-  request->method = line.substr(0, sp1);
-  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  if (target.empty() || target[0] != '/') return false;
-  const size_t q = target.find('?');
-  if (q != std::string::npos) {
-    request->query = target.substr(q + 1);
-    target.resize(q);
-  }
-  request->path = std::move(target);
-  return true;
+HttpResponse ErrorResponse(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::move(body);
+  return response;
 }
 
 }  // namespace
@@ -198,36 +165,51 @@ void HttpServer::ServeLoop() {
 }
 
 void HttpServer::HandleConnection(int fd) {
-  // Scrape requests are tiny; read until the header terminator, EOF, or
-  // the size cap — whichever comes first.
-  std::string raw;
+  // The whole exchange — reading the request and writing the response —
+  // shares one per-connection deadline. A peer that trickles bytes (or
+  // stops sending entirely) is answered with 408 and cut off, so the
+  // serial serve thread can never be wedged by one stalled client.
+  const uint64_t budget_ms = options_.io_timeout_ms;
+  const uint64_t deadline =
+      budget_ms == 0 ? 0 : NowMillis() + budget_ms;
+  const auto remaining = [&]() -> uint64_t {
+    if (budget_ms == 0) return 0;  // wait forever
+    const uint64_t now = NowMillis();
+    return now >= deadline ? 1 : deadline - now;  // 1ms floor: never "forever"
+  };
+
+  HttpRequestParser parser(kMaxRequestHeadBytes, kMaxRequestBodyBytes);
   char buf[2048];
-  while (raw.size() < kMaxRequestBytes &&
-         raw.find("\r\n\r\n") == std::string::npos) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;
-    raw.append(buf, static_cast<size_t>(n));
+  while (!parser.done() && parser.state() == HttpRequestParser::State::kNeedMore) {
+    const ssize_t n = RecvWithTimeout(fd, buf, sizeof(buf), remaining());
+    if (n == -2) {  // stalled peer
+      if (parser.started()) {
+        WriteResponse(fd, ErrorResponse(408, "request timeout\n"),
+                      remaining());
+      }
+      return;
+    }
+    if (n <= 0) return;  // EOF before a full request, or socket error
+    parser.Feed(std::string_view(buf, static_cast<size_t>(n)));
   }
 
-  HttpRequest request;
   HttpResponse response;
-  if (!ParseRequestLine(raw, &request)) {
-    response.status = 400;
-    response.body = "bad request\n";
-  } else if (request.method != "GET") {
-    response.status = 405;
-    response.body = "method not allowed\n";
+  if (parser.state() == HttpRequestParser::State::kError) {
+    response = ErrorResponse(parser.error_status(), "bad request\n");
   } else {
-    const auto it = handlers_.find(request.path);
-    if (it == handlers_.end()) {
-      response.status = 404;
-      response.body = "not found\n";
+    const HttpRequest& request = parser.request();
+    if (request.method != "GET") {
+      response = ErrorResponse(405, "method not allowed\n");
     } else {
-      response = it->second(request);
+      const auto it = handlers_.find(request.path);
+      if (it == handlers_.end()) {
+        response = ErrorResponse(404, "not found\n");
+      } else {
+        response = it->second(request);
+      }
     }
   }
-  WriteResponse(fd, response);
+  WriteResponse(fd, response, remaining());
 }
 
 Status HttpGet(const std::string& host, uint16_t port, const std::string& path,
@@ -258,7 +240,8 @@ Status HttpGet(const std::string& host, uint16_t port, const std::string& path,
 
   const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
                               "\r\nConnection: close\r\n\r\n";
-  if (!SendAll(fd, request.data(), request.size())) {
+  if (!SendAllWithTimeout(fd, request.data(), request.size(),
+                          /*timeout_ms=*/0)) {
     ::close(fd);
     return Status::IOError("send failed");
   }
@@ -284,40 +267,53 @@ Status HttpGet(const std::string& host, uint16_t port, const std::string& path,
   }
   if (status_code != nullptr) *status_code = code;
   *body = raw.substr(header_end + 4);
-  if (code != 200) {
+  if (code < 200 || code > 299) {
     return Status::IOError("HTTP status " + std::to_string(code) + " for " +
                            path);
   }
   return Status::OK();
 }
 
-void RegisterTelemetryHandlers(HttpServer* server, Registry* registry,
-                               Tracer* tracer) {
-  server->AddHandler("/metrics", [registry](const HttpRequest&) {
+std::vector<std::pair<std::string, HttpServer::Handler>> TelemetryHandlers(
+    Registry* registry, Tracer* tracer) {
+  std::vector<std::pair<std::string, HttpServer::Handler>> handlers;
+  handlers.emplace_back("/metrics", [registry](const HttpRequest&) {
     HttpResponse response;
     response.content_type = "text/plain; version=0.0.4; charset=utf-8";
     response.body = ExportPrometheusText(registry->TakeSnapshot());
     return response;
   });
-  server->AddHandler("/metrics.json", [registry](const HttpRequest&) {
+  handlers.emplace_back("/metrics.json", [registry](const HttpRequest&) {
     HttpResponse response;
     response.content_type = "application/json";
     response.body = ExportJson(registry->TakeSnapshot());
     return response;
   });
-  server->AddHandler("/traces", [tracer](const HttpRequest&) {
+  handlers.emplace_back("/traces", [tracer](const HttpRequest& request) {
     HttpResponse response;
     response.content_type = "application/json";
-    response.body = ExportChromeTraceJson(
-        tracer != nullptr ? tracer->buffer().Snapshot()
-                          : std::vector<SpanRecord>());
+    std::vector<SpanRecord> spans = tracer != nullptr
+                                        ? tracer->buffer().Snapshot()
+                                        : std::vector<SpanRecord>();
+    const uint64_t limit =
+        QueryParams::Parse(request.query).GetInt("limit", spans.size());
+    if (limit < spans.size()) spans.resize(limit);
+    response.body = ExportChromeTraceJson(spans);
     return response;
   });
-  server->AddHandler("/healthz", [](const HttpRequest&) {
+  handlers.emplace_back("/healthz", [](const HttpRequest&) {
     HttpResponse response;
     response.body = "ok\n";
     return response;
   });
+  return handlers;
+}
+
+void RegisterTelemetryHandlers(HttpServer* server, Registry* registry,
+                               Tracer* tracer) {
+  for (auto& [path, handler] : TelemetryHandlers(registry, tracer)) {
+    server->AddHandler(std::move(path), std::move(handler));
+  }
 }
 
 }  // namespace sketchlink::obs

@@ -8,7 +8,13 @@
 // curl, metrics_dump --url) poll at human timescales, and a serial accept
 // loop keeps the whole thing auditable — no connection pool, no TLS, no
 // request body handling. Requests are capped at 8 KiB and anything that is
-// not a well-formed GET gets 400/404/405 as appropriate.
+// not a well-formed GET gets 400/404/405 as appropriate. A peer that stops
+// sending (or reading) mid-request is cut off after Options::io_timeout_ms
+// so one stalled client can never wedge the serve thread (the service
+// plane, serve::Server, multiplexes connections instead).
+//
+// The request/response types and parsing live in obs/http_message.h,
+// shared with the concurrent service plane in src/serve.
 //
 // Lifecycle: AddHandler while stopped, Start() binds + spawns the serve
 // thread (port 0 picks an ephemeral port, see port()), Stop() wakes the
@@ -21,20 +27,9 @@
 #include <thread>
 
 #include "common/status.h"
+#include "obs/http_message.h"
 
 namespace sketchlink::obs {
-
-struct HttpRequest {
-  std::string method;  // "GET"
-  std::string path;    // "/metrics" (query string stripped into `query`)
-  std::string query;   // after '?', unparsed
-};
-
-struct HttpResponse {
-  int status = 200;
-  std::string content_type = "text/plain; charset=utf-8";
-  std::string body;
-};
 
 class HttpServer {
  public:
@@ -50,6 +45,12 @@ class HttpServer {
     /// actively listening on (that is SO_REUSEPORT, which this server never
     /// sets), so the port-in-use failure mode survives in both modes.
     bool reuse_address = false;
+    /// Per-connection I/O budget: a client that connects but never finishes
+    /// sending its request — or never drains the response — is disconnected
+    /// after this long, so the serial serve thread cannot be wedged
+    /// indefinitely by one stalled peer. 0 waits forever (the historical,
+    /// wedge-prone behavior; kept only for tests).
+    uint64_t io_timeout_ms = 5000;
   };
 
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
@@ -90,22 +91,29 @@ class HttpServer {
 
 /// Minimal HTTP/1.0-style GET client (the other half of the scrape pair;
 /// used by `metrics_dump --url` and the endpoint tests). Connects, sends
-/// one GET, reads to EOF, strips the header block. On HTTP errors the
-/// status is non-OK and `*body` still holds the response body when one was
-/// readable. `status_code` (optional) receives the parsed status line code.
+/// one GET, reads to EOF, strips the header block. Transport failures and
+/// non-2xx statuses are non-OK; `*body` still holds the response body when
+/// one was readable (so callers can surface server-side error messages).
+/// `status_code` (optional) receives the parsed status line code.
 Status HttpGet(const std::string& host, uint16_t port, const std::string& path,
                std::string* body, int* status_code = nullptr);
 
 class Registry;
 class Tracer;
 
-/// Wires the standard telemetry surface onto `server`:
+/// The standard telemetry surface, as path->handler pairs:
 ///   /metrics       Prometheus text exposition of `registry`
 ///   /metrics.json  JSON exposition of `registry`
 ///   /traces        Chrome trace_event JSON of `tracer`'s kept spans
-///                  (empty traceEvents when `tracer` is null)
+///                  (empty traceEvents when `tracer` is null; honors a
+///                  ?limit=N query parameter on the span count)
 ///   /healthz       "ok\n"
-/// `registry` and `tracer` must outlive the server.
+/// `registry` and `tracer` must outlive any server the handlers are
+/// registered on.
+std::vector<std::pair<std::string, HttpServer::Handler>> TelemetryHandlers(
+    Registry* registry, Tracer* tracer);
+
+/// Wires TelemetryHandlers onto `server`.
 void RegisterTelemetryHandlers(HttpServer* server, Registry* registry,
                                Tracer* tracer);
 

@@ -1,0 +1,86 @@
+#include "obs/url.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace sketchlink::obs {
+
+namespace {
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string PercentDecode(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    if (c == '+') {
+      out += ' ';
+    } else if (c == '%' && i + 2 < in.size()) {
+      const int hi = HexDigit(in[i + 1]);
+      const int lo = HexDigit(in[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>((hi << 4) | lo);
+        i += 2;
+      } else {
+        out += c;  // malformed escape: pass through verbatim
+      }
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+QueryParams QueryParams::Parse(std::string_view query) {
+  QueryParams result;
+  size_t start = 0;
+  while (start <= query.size()) {
+    size_t end = query.find('&', start);
+    if (end == std::string_view::npos) end = query.size();
+    const std::string_view pair = query.substr(start, end - start);
+    if (!pair.empty()) {
+      const size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        result.params_.emplace_back(PercentDecode(pair), "");
+      } else {
+        result.params_.emplace_back(PercentDecode(pair.substr(0, eq)),
+                                    PercentDecode(pair.substr(eq + 1)));
+      }
+    }
+    if (end == query.size()) break;
+    start = end + 1;
+  }
+  return result;
+}
+
+std::optional<std::string_view> QueryParams::Get(std::string_view key) const {
+  for (const auto& [name, value] : params_) {
+    if (name == key) return std::string_view(value);
+  }
+  return std::nullopt;
+}
+
+uint64_t QueryParams::GetInt(std::string_view key, uint64_t fallback) const {
+  const auto value = Get(key);
+  if (!value.has_value() || value->empty()) return fallback;
+  // strtoull silently wraps a leading '-'; a non-negative integer must
+  // start with a digit.
+  if (!std::isdigit(static_cast<unsigned char>(value->front()))) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const std::string copy(*value);
+  const uint64_t parsed = std::strtoull(copy.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return fallback;
+  return parsed;
+}
+
+}  // namespace sketchlink::obs

@@ -1,0 +1,486 @@
+#include "serve/event_loop.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace sketchlink::serve {
+
+namespace {
+
+// epoll user data: connection ids start above the reserved tags.
+constexpr uint64_t kListenTag = 0;
+constexpr uint64_t kWakeTag = 1;
+constexpr uint64_t kFirstConnId = 2;
+
+uint64_t NowMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void CloseFd(int* fd) {
+  if (*fd >= 0) {
+    ::close(*fd);
+    *fd = -1;
+  }
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+EventLoop::EventLoop(const Options& options, RequestHandler on_request)
+    : options_(options),
+      on_request_(std::move(on_request)),
+      next_conn_id_(kFirstConnId) {}
+
+EventLoop::~EventLoop() { Stop(); }
+
+Status EventLoop::Start() {
+  if (running()) return Status::FailedPrecondition("event loop already started");
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Status::IOError(std::string("epoll_create1: ") +
+                           std::strerror(errno));
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    const Status status =
+        Status::IOError(std::string("pipe: ") + std::strerror(errno));
+    CloseFd(&epoll_fd_);
+    return status;
+  }
+  SetNonBlocking(wake_pipe_[0]);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    const Status status =
+        Status::IOError(std::string("socket: ") + std::strerror(errno));
+    Stop();
+    return status;
+  }
+  if (options_.reuse_address) {
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  }
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    Stop();
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status = Status::IOError(
+        "bind " + options_.bind_address + ":" +
+        std::to_string(options_.port) + ": " + std::strerror(errno));
+    Stop();
+    return status;
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) != 0) {
+    const Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    Stop();
+    return status;
+  }
+
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    const Status status =
+        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
+    Stop();
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    const Status status =
+        Status::IOError(std::string("epoll_ctl(listen): ") +
+                        std::strerror(errno));
+    Stop();
+    return status;
+  }
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_pipe_[0], &ev) != 0) {
+    const Status status =
+        Status::IOError(std::string("epoll_ctl(wake): ") +
+                        std::strerror(errno));
+    Stop();
+    return status;
+  }
+
+  accepting_ = true;
+  stop_requested_ = false;
+  stop_accepting_requested_ = false;
+  loop_thread_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+void EventLoop::StopAccepting() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_accepting_requested_ = true;
+  }
+  Wake();
+}
+
+void EventLoop::Stop() {
+  if (loop_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_requested_ = true;
+    }
+    Wake();
+    loop_thread_.join();
+  }
+  CloseFd(&listen_fd_);
+  CloseFd(&epoll_fd_);
+  CloseFd(&wake_pipe_[0]);
+  CloseFd(&wake_pipe_[1]);
+  port_ = 0;
+}
+
+void EventLoop::SendResponse(uint64_t conn_id, obs::HttpResponse response,
+                             bool close_after) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    commands_.push_back(
+        Command{conn_id, std::move(response), close_after});
+  }
+  Wake();
+}
+
+size_t EventLoop::num_connections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return conns_.size();
+}
+
+void EventLoop::Wake() {
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'w';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void EventLoop::UpdateEpoll(Connection* conn, uint32_t events) {
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.u64 = conn->id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void EventLoop::Run() {
+  constexpr int kSweepIntervalMs = 200;
+  epoll_event events[64];
+  for (;;) {
+    const int n = ::epoll_wait(epoll_fd_, events,
+                               static_cast<int>(std::size(events)),
+                               kSweepIntervalMs);
+    if (n < 0 && errno != EINTR) break;
+
+    bool stop = false;
+    bool stop_accepting = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop = stop_requested_;
+      stop_accepting = stop_accepting_requested_;
+    }
+    if (stop) {
+      // Final drain: responses workers queued just before Stop() must still
+      // reach the wire (the shutdown acknowledgement itself travels this
+      // path). Start them, then flush in-progress writes with a bounded
+      // blocking send; anything slower than that is cut with the rest.
+      DrainCommands();
+      std::vector<Connection*> writing;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto& [id, conn] : conns_) {
+          if (conn->state == ConnState::kWriting) writing.push_back(conn);
+        }
+      }
+      for (Connection* conn : writing) {
+        if (conn->out_written < conn->out_buffer.size()) {
+          obs::SendAllWithTimeout(conn->fd,
+                                  conn->out_buffer.data() + conn->out_written,
+                                  conn->out_buffer.size() - conn->out_written,
+                                  /*timeout_ms=*/1000);
+        }
+      }
+      break;
+    }
+    if (stop_accepting && accepting_) {
+      // Closing the listen socket removes it from the interest list; new
+      // connection attempts now get RST/refused while the established ones
+      // keep draining.
+      CloseFd(&listen_fd_);
+      accepting_ = false;
+    }
+
+    for (int i = 0; i < (n > 0 ? n : 0); ++i) {
+      const uint64_t tag = events[i].data.u64;
+      const uint32_t revents = events[i].events;
+      if (tag == kListenTag) {
+        if (accepting_) AcceptReady();
+        continue;
+      }
+      if (tag == kWakeTag) {
+        char buf[64];
+        while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {}
+        continue;
+      }
+      Connection* conn = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = conns_.find(tag);
+        if (it != conns_.end()) conn = it->second;
+      }
+      if (conn == nullptr) continue;  // closed earlier in this batch
+      if ((revents & (EPOLLERR | EPOLLHUP)) != 0) {
+        CloseConnection(conn->id);
+        continue;
+      }
+      if (conn->state == ConnState::kReading && (revents & (EPOLLIN | EPOLLRDHUP)) != 0) {
+        ReadReady(conn);
+      } else if (conn->state == ConnState::kWriting &&
+                 (revents & EPOLLOUT) != 0) {
+        WriteReady(conn);
+      }
+    }
+
+    DrainCommands();
+    SweepTimeouts();
+  }
+
+  // Loop exit: drop every connection (graceful shutdown drains before
+  // calling Stop; this is the hard cut).
+  std::vector<Connection*> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, conn] : conns_) leftover.push_back(conn);
+    conns_.clear();
+  }
+  for (Connection* conn : leftover) {
+    ::close(conn->fd);
+    delete conn;
+  }
+}
+
+void EventLoop::AcceptReady() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN, or transient accept error — retry later
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto* conn = new Connection(options_.max_head_bytes,
+                                options_.max_body_bytes);
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->last_activity_ms = NowMillis();
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN | EPOLLRDHUP;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      delete conn;
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    conns_.emplace(conn->id, conn);
+  }
+}
+
+void EventLoop::ReadReady(Connection* conn) {
+  char buf[8192];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->last_activity_ms = NowMillis();
+      if (!AdvanceParser(conn, std::string_view(buf, static_cast<size_t>(n)))) {
+        return;  // closed, or request dispatched (reads paused)
+      }
+      continue;
+    }
+    if (n == 0) {  // peer closed its write side; nothing more will parse
+      CloseConnection(conn->id);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    CloseConnection(conn->id);
+    return;
+  }
+}
+
+bool EventLoop::AdvanceParser(Connection* conn, std::string_view data) {
+  const auto state = conn->parser.Feed(data);
+  if (state == obs::HttpRequestParser::State::kError) {
+    obs::HttpResponse response;
+    response.status = conn->parser.error_status();
+    response.body = "bad request\n";
+    StartResponse(conn, response, /*close_after=*/true);
+    return false;
+  }
+  if (state != obs::HttpRequestParser::State::kComplete) return true;
+
+  // Dispatch. Reads pause until the response is written (pipelined bytes
+  // already received stay in the parser's leftover buffer).
+  conn->state = ConnState::kExecuting;
+  UpdateEpoll(conn, 0);
+  on_request_(conn->id, std::move(conn->parser.mutable_request()));
+  return false;
+}
+
+void EventLoop::StartResponse(Connection* conn,
+                              const obs::HttpResponse& response,
+                              bool close_after) {
+  const bool keep_alive =
+      !close_after && conn->parser.done() && conn->parser.keep_alive();
+  conn->out_buffer = SerializeHttpResponse(response, keep_alive);
+  conn->out_written = 0;
+  conn->close_after_write = !keep_alive;
+  conn->state = ConnState::kWriting;
+  conn->last_activity_ms = NowMillis();
+  // Optimistic immediate write: most responses fit the socket buffer and
+  // never need an EPOLLOUT round trip.
+  WriteReady(conn);
+}
+
+void EventLoop::WriteReady(Connection* conn) {
+  while (conn->out_written < conn->out_buffer.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->out_buffer.data() + conn->out_written,
+               conn->out_buffer.size() - conn->out_written,
+               MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      conn->out_written += static_cast<size_t>(n);
+      conn->last_activity_ms = NowMillis();
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      UpdateEpoll(conn, EPOLLOUT);
+      return;
+    }
+    CloseConnection(conn->id);
+    return;
+  }
+  FinishWrite(conn);
+}
+
+void EventLoop::FinishWrite(Connection* conn) {
+  if (conn->close_after_write) {
+    CloseConnection(conn->id);
+    return;
+  }
+  std::string leftover = conn->parser.TakeLeftover();
+  conn->parser.Reset();
+  conn->state = ConnState::kReading;
+  conn->out_buffer.clear();
+  conn->out_written = 0;
+  UpdateEpoll(conn, EPOLLIN | EPOLLRDHUP);
+  conn->last_activity_ms = NowMillis();
+  if (!leftover.empty()) {
+    // Pipelined request already buffered: advance without waiting for more
+    // bytes (may immediately dispatch and pause reads again).
+    AdvanceParser(conn, leftover);
+  }
+}
+
+void EventLoop::CloseConnection(uint64_t conn_id) {
+  Connection* conn = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = conns_.find(conn_id);
+    if (it == conns_.end()) return;
+    conn = it->second;
+    conns_.erase(it);
+  }
+  ::close(conn->fd);
+  delete conn;
+}
+
+void EventLoop::SweepTimeouts() {
+  const uint64_t now = NowMillis();
+  std::vector<Connection*> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.reserve(conns_.size());
+    for (auto& [id, conn] : conns_) snapshot.push_back(conn);
+  }
+  for (Connection* conn : snapshot) {
+    const uint64_t idle = now - conn->last_activity_ms;
+    switch (conn->state) {
+      case ConnState::kReading:
+        if (conn->parser.started()) {
+          if (options_.io_timeout_ms != 0 && idle > options_.io_timeout_ms) {
+            obs::HttpResponse response;
+            response.status = 408;
+            response.body = "request timeout\n";
+            StartResponse(conn, response, /*close_after=*/true);
+          }
+        } else if (options_.idle_timeout_ms != 0 &&
+                   idle > options_.idle_timeout_ms) {
+          CloseConnection(conn->id);
+        }
+        break;
+      case ConnState::kWriting:
+        if (options_.io_timeout_ms != 0 && idle > options_.io_timeout_ms) {
+          // Peer refuses to drain the response; drop it.
+          CloseConnection(conn->id);
+        }
+        break;
+      case ConnState::kExecuting:
+        // Governed by the server-side request deadline, not socket I/O.
+        break;
+    }
+  }
+}
+
+void EventLoop::DrainCommands() {
+  std::vector<Command> commands;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    commands.swap(commands_);
+  }
+  for (Command& command : commands) {
+    Connection* conn = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = conns_.find(command.conn_id);
+      if (it != conns_.end()) conn = it->second;
+    }
+    if (conn == nullptr) continue;  // connection died while executing
+    if (conn->state != ConnState::kExecuting) continue;  // defensive
+    StartResponse(conn, command.response, command.close_after);
+  }
+}
+
+}  // namespace sketchlink::serve

@@ -1,0 +1,188 @@
+#include "serve/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/http_message.h"
+
+namespace sketchlink::serve {
+
+ClientConnection::ClientConnection(std::string host, uint16_t port)
+    : host_(std::move(host)), port_(port) {}
+
+ClientConnection::~ClientConnection() { Close(); }
+
+void ClientConnection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  pending_.clear();
+}
+
+Status ClientConnection::Connect() {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host (numeric IPv4 only): " + host_);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status =
+        Status::IOError("connect " + host_ + ":" + std::to_string(port_) +
+                        ": " + std::strerror(errno));
+    Close();
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+Status ClientConnection::SendRequest(const std::string& method,
+                                     const std::string& path,
+                                     const std::string& body,
+                                     const HeaderList& headers,
+                                     uint64_t timeout_ms) {
+  std::string request = method + " " + path + " HTTP/1.1\r\nHost: " + host_ +
+                        "\r\nContent-Length: " + std::to_string(body.size()) +
+                        "\r\n";
+  for (const auto& [name, value] : headers) {
+    request += name + ": " + value + "\r\n";
+  }
+  request += "\r\n";
+  request += body;
+  if (!obs::SendAllWithTimeout(fd_, request.data(), request.size(),
+                               timeout_ms)) {
+    return Status::IOError("send failed");
+  }
+  return Status::OK();
+}
+
+Result<HttpResult> ClientConnection::ReadResponse(uint64_t timeout_ms,
+                                                  bool* server_closed) {
+  *server_closed = false;
+  std::string raw = std::move(pending_);
+  pending_.clear();
+  char buf[8192];
+
+  // Head.
+  size_t head_end;
+  while ((head_end = raw.find("\r\n\r\n")) == std::string::npos) {
+    const ssize_t n = obs::RecvWithTimeout(fd_, buf, sizeof(buf), timeout_ms);
+    if (n == -2) return Status::IOError("response timeout");
+    if (n == 0) {
+      *server_closed = true;
+      return Status::IOError("connection closed by server");
+    }
+    if (n < 0) return Status::IOError("recv failed");
+    raw.append(buf, static_cast<size_t>(n));
+  }
+
+  HttpResult result;
+  if (raw.rfind("HTTP/", 0) != 0) {
+    return Status::IOError("malformed HTTP response");
+  }
+  const size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 1 >= head_end) {
+    return Status::IOError("malformed status line");
+  }
+  result.status = std::atoi(raw.c_str() + sp + 1);
+
+  // Content-Length (the serving plane always sends one) + Connection.
+  size_t content_length = 0;
+  bool close_after = false;
+  {
+    size_t pos = raw.find("\r\n") + 2;
+    while (pos < head_end) {
+      size_t eol = raw.find("\r\n", pos);
+      if (eol == std::string::npos || eol > head_end) eol = head_end;
+      std::string line = raw.substr(pos, eol - pos);
+      for (char& c : line) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      if (line.rfind("content-length:", 0) == 0) {
+        content_length = static_cast<size_t>(
+            std::strtoull(line.c_str() + 15, nullptr, 10));
+      } else if (line.rfind("connection:", 0) == 0 &&
+                 line.find("close") != std::string::npos) {
+        close_after = true;
+      }
+      pos = eol + 2;
+    }
+  }
+
+  // Body.
+  const size_t body_start = head_end + 4;
+  while (raw.size() < body_start + content_length) {
+    const ssize_t n = obs::RecvWithTimeout(fd_, buf, sizeof(buf), timeout_ms);
+    if (n == -2) return Status::IOError("response body timeout");
+    if (n == 0) {
+      *server_closed = true;
+      return Status::IOError("connection closed mid-body");
+    }
+    if (n < 0) return Status::IOError("recv failed");
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  result.body = raw.substr(body_start, content_length);
+  pending_ = raw.substr(body_start + content_length);
+
+  if (close_after) {
+    Close();
+  }
+  return result;
+}
+
+Result<HttpResult> ClientConnection::RoundTrip(const std::string& method,
+                                               const std::string& path,
+                                               const std::string& body,
+                                               const HeaderList& headers,
+                                               uint64_t timeout_ms) {
+  // Up to one transparent reconnect: a keep-alive connection the server
+  // idled out looks like send-success + immediate EOF, so retrying on a
+  // fresh connection is safe for our idempotent-or-new request.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (fd_ < 0) {
+      SKETCHLINK_RETURN_IF_ERROR(Connect());
+    }
+    const Status sent = SendRequest(method, path, body, headers, timeout_ms);
+    if (!sent.ok()) {
+      Close();
+      if (attempt == 0) continue;
+      return sent;
+    }
+    bool server_closed = false;
+    Result<HttpResult> result = ReadResponse(timeout_ms, &server_closed);
+    if (result.ok()) return result;
+    Close();
+    if (server_closed && attempt == 0) continue;
+    return result.status();
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<HttpResult> Fetch(const std::string& host, uint16_t port,
+                         const std::string& method, const std::string& path,
+                         const std::string& body, const HeaderList& headers,
+                         uint64_t timeout_ms) {
+  ClientConnection conn(host, port);
+  HeaderList with_close = headers;
+  with_close.emplace_back("Connection", "close");
+  return conn.RoundTrip(method, path, body, with_close, timeout_ms);
+}
+
+}  // namespace sketchlink::serve

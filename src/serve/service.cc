@@ -1,0 +1,450 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <unordered_set>
+
+namespace sketchlink::serve {
+
+namespace {
+
+obs::HttpResponse JsonResponse(int status, const Json& body) {
+  obs::HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.body = body.Dump();
+  response.body += '\n';
+  return response;
+}
+
+obs::HttpResponse ErrorResponse(int status, std::string message) {
+  Json body = Json::Object();
+  body.Set("error", Json::Str(std::move(message)));
+  return JsonResponse(status, body);
+}
+
+bool ValidIndexName(std::string_view name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool ParseKind(std::string_view text, datagen::DatasetKind* kind) {
+  std::string lower(text);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "ncvr") *kind = datagen::DatasetKind::kNcvr;
+  else if (lower == "dblp") *kind = datagen::DatasetKind::kDblp;
+  else if (lower == "lab") *kind = datagen::DatasetKind::kLab;
+  else return false;
+  return true;
+}
+
+bool ParseDistance(std::string_view text, KeyDistanceKind* kind) {
+  if (text == "jw" || text == "jaro_winkler") {
+    *kind = KeyDistanceKind::kJaroWinkler;
+  } else if (text == "qgram" || text == "qgram_dice") {
+    *kind = KeyDistanceKind::kQGramDice;
+  } else if (text == "lev" || text == "levenshtein") {
+    *kind = KeyDistanceKind::kLevenshtein;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Parses one {"id":..,"entity_id":..,"fields":[..]} object.
+/// `require_id` is true for inserts (queries don't need one).
+Status RecordFromJson(const Json& json, bool require_id, Record* record) {
+  if (!json.is_object()) return Status::InvalidArgument("record not an object");
+  const Json* id = json.Find("id");
+  if (id != nullptr) {
+    if (!id->is_number() || id->number_value() < 0) {
+      return Status::InvalidArgument("record id must be a non-negative number");
+    }
+    record->id = static_cast<RecordId>(id->number_value());
+  } else if (require_id) {
+    return Status::InvalidArgument("record missing id");
+  }
+  record->entity_id = json.GetUint("entity_id", 0);
+  const Json* fields = json.Find("fields");
+  if (fields == nullptr || !fields->is_array() ||
+      fields->array_items().empty()) {
+    return Status::InvalidArgument("record missing fields array");
+  }
+  record->fields.clear();
+  record->fields.reserve(fields->array_items().size());
+  for (const Json& field : fields->array_items()) {
+    if (!field.is_string()) {
+      return Status::InvalidArgument("record fields must be strings");
+    }
+    record->fields.push_back(field.string_value());
+  }
+  return Status::OK();
+}
+
+/// Largest field index an index's blocking + matching config reads.
+int RequiredFields(const StandardBlocker& blocker,
+                   const RecordSimilarity& similarity) {
+  int max_index = 0;
+  for (const auto& part : blocker.parts()) {
+    max_index = std::max(max_index, part.field_index);
+  }
+  for (const int field : similarity.match_fields()) {
+    max_index = std::max(max_index, field);
+  }
+  return max_index + 1;
+}
+
+}  // namespace
+
+LinkageService::Index::~Index() {
+  // Sketch first (flushes pending spills into spill_db), then the db, then
+  // the on-disk spill data — a deleted index leaves nothing behind.
+  metric_regs.clear();
+  sketch.reset();
+  spill_db.reset();
+  if (!spill_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(spill_dir, ec);
+  }
+}
+
+LinkageService::LinkageService(const Options& options) : options_(options) {}
+
+LinkageService::~LinkageService() = default;
+
+std::shared_ptr<LinkageService::Index> LinkageService::FindIndex(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = indexes_.find(name);
+  return it != indexes_.end() ? it->second : nullptr;
+}
+
+size_t LinkageService::num_indexes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return indexes_.size();
+}
+
+void LinkageService::RegisterRoutes(Server* server) {
+  server->AddRoute("GET", "/v1/indexes",
+                   [this](const Server::Request& r) { return ListIndexes(r); });
+  server->AddRoute("POST", "/v1/indexes/{name}",
+                   [this](const Server::Request& r) { return CreateIndex(r); });
+  server->AddRoute("DELETE", "/v1/indexes/{name}",
+                   [this](const Server::Request& r) { return DeleteIndex(r); });
+  server->AddRoute("POST", "/v1/indexes/{name}/records",
+                   [this](const Server::Request& r) { return InsertRecords(r); });
+  server->AddRoute("POST", "/v1/indexes/{name}/query",
+                   [this](const Server::Request& r) { return Query(r); });
+}
+
+obs::HttpResponse LinkageService::CreateIndex(const Server::Request& request) {
+  const std::string name(request.Param("name"));
+  if (!ValidIndexName(name)) {
+    return ErrorResponse(400,
+                         "index name must match [A-Za-z0-9_-]{1,64}");
+  }
+
+  Json config = Json::Object();
+  if (!request.http.body.empty()) {
+    Result<Json> parsed = Json::Parse(request.http.body);
+    if (!parsed.ok()) {
+      return ErrorResponse(400, parsed.status().message());
+    }
+    if (!parsed.value().is_object()) {
+      return ErrorResponse(400, "config body must be a JSON object");
+    }
+    config = std::move(parsed).value();
+  }
+
+  datagen::DatasetKind kind = datagen::DatasetKind::kNcvr;
+  const std::string kind_text = config.GetString("kind", "ncvr");
+  if (!ParseKind(kind_text, &kind)) {
+    return ErrorResponse(400, "unknown kind (expected ncvr|dblp|lab)");
+  }
+
+  SBlockSketchOptions sketch_options;
+  sketch_options.sketch.lambda =
+      static_cast<size_t>(config.GetUint("lambda", 3));
+  sketch_options.sketch.delta = config.GetNumber("delta", 0.1);
+  sketch_options.sketch.theta = config.GetNumber("theta", 0.25);
+  sketch_options.mu = static_cast<size_t>(config.GetUint("mu", 10'000));
+  const std::string distance = config.GetString("distance", "jw");
+  if (!ParseDistance(distance, &sketch_options.sketch.distance_kind)) {
+    return ErrorResponse(400, "unknown distance (expected jw|qgram|lev)");
+  }
+  const size_t stripes = static_cast<size_t>(
+      config.GetUint("stripes", ShardedSBlockSketch::kDefaultStripes));
+  const double threshold = config.GetNumber("threshold", 0.75);
+  if (sketch_options.sketch.lambda == 0 || sketch_options.mu == 0 ||
+      stripes == 0 || stripes > 256 ||
+      sketch_options.sketch.delta <= 0 || sketch_options.sketch.delta >= 1 ||
+      sketch_options.sketch.theta <= 0 || threshold <= 0 || threshold > 1) {
+    return ErrorResponse(400, "config values out of range");
+  }
+
+  auto index = std::make_shared<Index>();
+  index->name = name;
+  index->kind = kind;
+  index->threshold = threshold;
+  // Per-incarnation spill dir: DELETE only drops the map entry, and the
+  // directory is removed when the last in-flight holder destroys the
+  // Index — which can overlap a re-create of the same name. A unique
+  // suffix keeps the new incarnation's spill data out of the old one's
+  // teardown path.
+  index->spill_dir = options_.scratch_dir + "/" + name + "." +
+                     std::to_string(next_incarnation_.fetch_add(1) + 1);
+
+  {
+    // Reserve the name before the (slow) db open so two concurrent creates
+    // of the same name cannot both build an index.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (indexes_.count(name) != 0) {
+      return ErrorResponse(409, "index already exists");
+    }
+    if (indexes_.size() >= options_.max_indexes) {
+      return ErrorResponse(409, "too many indexes");
+    }
+    indexes_.emplace(name, nullptr);  // placeholder
+  }
+
+  const auto unreserve = [&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    indexes_.erase(name);
+  };
+
+  std::error_code ec;
+  std::filesystem::create_directories(index->spill_dir, ec);
+  if (ec) {
+    unreserve();
+    return ErrorResponse(500, "cannot create spill dir: " + ec.message());
+  }
+  Result<std::unique_ptr<kv::Db>> db = kv::Db::Open(index->spill_dir);
+  if (!db.ok()) {
+    unreserve();
+    return ErrorResponse(500,
+                         "spill db open: " + db.status().message());
+  }
+  index->spill_db = std::move(db).value();
+  index->blocker = MakeStandardBlocker(kind);
+  index->similarity =
+      std::make_unique<RecordSimilarity>(MatchFieldsFor(kind), threshold);
+  index->sketch = std::make_unique<ShardedSBlockSketch>(
+      sketch_options, index->spill_db.get(), KeyDistanceFn(), stripes);
+  if (options_.registry != nullptr) {
+    index->metric_regs =
+        index->sketch->RegisterMetrics(options_.registry, "api_" + name);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    indexes_[name] = index;
+  }
+
+  Json body = Json::Object();
+  body.Set("name", Json::Str(name));
+  body.Set("kind", Json::Str(std::string(datagen::DatasetKindName(kind))));
+  body.Set("lambda", Json::Int(sketch_options.sketch.lambda));
+  body.Set("rho", Json::Int(sketch_options.sketch.rho()));
+  body.Set("theta", Json::Number(sketch_options.sketch.theta));
+  body.Set("mu", Json::Int(sketch_options.mu));
+  body.Set("stripes", Json::Int(stripes));
+  body.Set("threshold", Json::Number(threshold));
+  return JsonResponse(201, body);
+}
+
+obs::HttpResponse LinkageService::InsertRecords(
+    const Server::Request& request) {
+  const std::shared_ptr<Index> index = FindIndex(request.Param("name"));
+  if (index == nullptr) return ErrorResponse(404, "no such index");
+
+  Result<Json> parsed = Json::Parse(request.http.body);
+  if (!parsed.ok()) return ErrorResponse(400, parsed.status().message());
+  const Json* records = parsed.value().Find("records");
+  if (records == nullptr || !records->is_array()) {
+    return ErrorResponse(400, "body must carry a records array");
+  }
+  if (records->array_items().size() > options_.max_batch_records) {
+    return ErrorResponse(400, "batch too large (max " +
+                                  std::to_string(options_.max_batch_records) +
+                                  " records)");
+  }
+
+  const int required_fields =
+      RequiredFields(*index->blocker, *index->similarity);
+  uint64_t inserted = 0;
+  for (const Json& json : records->array_items()) {
+    Record record;
+    const Status status = RecordFromJson(json, /*require_id=*/true, &record);
+    if (!status.ok()) {
+      return ErrorResponse(400, std::string(status.message()) +
+                                    " (after " + std::to_string(inserted) +
+                                    " inserted)");
+    }
+    if (record.fields.size() < static_cast<size_t>(required_fields)) {
+      return ErrorResponse(
+          400, "record " + std::to_string(record.id) + " has " +
+                   std::to_string(record.fields.size()) + " fields, index " +
+                   "needs " + std::to_string(required_fields));
+    }
+    const Status put = index->store.Put(record);
+    if (!put.ok()) {
+      return ErrorResponse(500, std::string(put.message()));
+    }
+    const std::string key_values = index->blocker->KeyValues(record);
+    for (const std::string& key : index->blocker->Keys(record)) {
+      const Status insert = index->sketch->Insert(key, key_values, record.id);
+      if (!insert.ok()) {
+        return ErrorResponse(500, std::string(insert.message()));
+      }
+    }
+    ++inserted;
+  }
+  index->inserts.fetch_add(inserted, std::memory_order_relaxed);
+
+  Json body = Json::Object();
+  body.Set("index", Json::Str(index->name));
+  body.Set("inserted", Json::Int(inserted));
+  body.Set("records", Json::Int(index->store.size()));
+  return JsonResponse(200, body);
+}
+
+obs::HttpResponse LinkageService::Query(const Server::Request& request) {
+  const std::shared_ptr<Index> index = FindIndex(request.Param("name"));
+  if (index == nullptr) return ErrorResponse(404, "no such index");
+
+  Result<Json> parsed = Json::Parse(request.http.body);
+  if (!parsed.ok()) return ErrorResponse(400, parsed.status().message());
+  const Json* record_json = parsed.value().Find("record");
+  if (record_json == nullptr) {
+    return ErrorResponse(400, "body must carry a record object");
+  }
+  Record query;
+  const Status status =
+      RecordFromJson(*record_json, /*require_id=*/false, &query);
+  if (!status.ok()) return ErrorResponse(400, std::string(status.message()));
+  const int required_fields =
+      RequiredFields(*index->blocker, *index->similarity);
+  if (query.fields.size() < static_cast<size_t>(required_fields)) {
+    return ErrorResponse(400, "query record needs at least " +
+                                  std::to_string(required_fields) + " fields");
+  }
+  const bool verify = parsed.value().GetBool("verify", true);
+  const uint64_t limit = parsed.value().GetUint("limit", 0);
+
+  // Candidate retrieval: lock-free reads against every blocking key.
+  const std::string key_values = index->blocker->KeyValues(query);
+  std::vector<RecordId> candidate_ids;
+  std::unordered_set<RecordId> seen;
+  for (const std::string& key : index->blocker->Keys(query)) {
+    Result<CandidateList> candidates =
+        index->sketch->Candidates(key, key_values);
+    if (!candidates.ok()) {
+      return ErrorResponse(500, std::string(candidates.status().message()));
+    }
+    for (const RecordId id : candidates.value()) {
+      if (seen.insert(id).second) candidate_ids.push_back(id);
+    }
+  }
+  index->queries.fetch_add(1, std::memory_order_relaxed);
+
+  Json matches = Json::Array();
+  if (verify) {
+    // Verified mode: fetch each candidate and score it; matches are the
+    // candidates at or above the index threshold, best first.
+    SimilarityScorer scorer(*index->similarity, query);
+    std::vector<std::pair<double, RecordId>> scored;
+    for (const RecordId id : candidate_ids) {
+      Result<Record> candidate = index->store.Get(id);
+      if (!candidate.ok()) continue;  // id routed but record vanished
+      const double score = scorer.Similarity(candidate.value());
+      if (score >= index->threshold) scored.emplace_back(score, id);
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) {
+                return a.first > b.first ||
+                       (a.first == b.first && a.second < b.second);
+              });
+    if (limit != 0 && scored.size() > limit) scored.resize(limit);
+    for (const auto& [score, id] : scored) {
+      Json match = Json::Object();
+      match.Set("id", Json::Int(id));
+      match.Set("score", Json::Number(score));
+      matches.Append(std::move(match));
+    }
+  } else {
+    size_t count = 0;
+    for (const RecordId id : candidate_ids) {
+      if (limit != 0 && count >= limit) break;
+      Json match = Json::Object();
+      match.Set("id", Json::Int(id));
+      matches.Append(std::move(match));
+      ++count;
+    }
+  }
+
+  Json body = Json::Object();
+  body.Set("index", Json::Str(index->name));
+  body.Set("num_candidates", Json::Int(candidate_ids.size()));
+  body.Set("verified", Json::Bool(verify));
+  body.Set("matches", std::move(matches));
+  return JsonResponse(200, body);
+}
+
+obs::HttpResponse LinkageService::ListIndexes(const Server::Request&) {
+  std::vector<std::shared_ptr<Index>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, index] : indexes_) {
+      if (index != nullptr) snapshot.push_back(index);  // skip reservations
+    }
+  }
+  Json list = Json::Array();
+  for (const auto& index : snapshot) {
+    Json entry = Json::Object();
+    entry.Set("name", Json::Str(index->name));
+    entry.Set("kind",
+              Json::Str(std::string(datagen::DatasetKindName(index->kind))));
+    entry.Set("records", Json::Int(index->store.size()));
+    entry.Set("live_blocks", Json::Int(index->sketch->num_live_blocks()));
+    entry.Set("stripes", Json::Int(index->sketch->num_stripes()));
+    entry.Set("mu", Json::Int(index->sketch->options().mu));
+    entry.Set("threshold", Json::Number(index->threshold));
+    entry.Set("inserts", Json::Int(index->inserts.load(std::memory_order_relaxed)));
+    entry.Set("queries", Json::Int(index->queries.load(std::memory_order_relaxed)));
+    entry.Set("memory_bytes",
+              Json::Int(index->sketch->ApproximateMemoryUsage() +
+                        index->store.ApproximateMemoryUsage()));
+    list.Append(std::move(entry));
+  }
+  Json body = Json::Object();
+  body.Set("indexes", std::move(list));
+  return JsonResponse(200, body);
+}
+
+obs::HttpResponse LinkageService::DeleteIndex(const Server::Request& request) {
+  const std::string name(request.Param("name"));
+  std::shared_ptr<Index> index;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = indexes_.find(name);
+    if (it == indexes_.end() || it->second == nullptr) {
+      return ErrorResponse(404, "no such index");
+    }
+    index = std::move(it->second);
+    indexes_.erase(it);
+  }
+  // `index` (plus any in-flight request holding the shared_ptr) keeps the
+  // tenant alive; the last holder runs ~Index, which removes the spill dir.
+  Json body = Json::Object();
+  body.Set("deleted", Json::Str(name));
+  return JsonResponse(200, body);
+}
+
+}  // namespace sketchlink::serve

@@ -110,7 +110,12 @@ TEST(CrosscheckTest, SBlockSketchStatsMatchRegistrySnapshot) {
   // (with an unknown key) query misses, so every counter is exercised.
   SBlockSketchOptions options;
   options.mu = 8;
-  ShardedSBlockSketch sketch(options, db->get(), DefaultKeyDistance(), 2);
+  // Heap-held so the sketch (and its background spill worker) can be torn
+  // down before the Db it spills into; destroying the Db first races the
+  // maintenance thread's WAL appends.
+  auto sketch_ptr = std::make_unique<ShardedSBlockSketch>(
+      options, db->get(), DefaultKeyDistance(), 2);
+  ShardedSBlockSketch& sketch = *sketch_ptr;
   const auto registrations = sketch.RegisterMetrics(&registry, "xs");
 
   const auto entries = MakeEntries(400, 60);
@@ -159,6 +164,7 @@ TEST(CrosscheckTest, SBlockSketchStatsMatchRegistrySnapshot) {
   EXPECT_DOUBLE_EQ(GaugeValue(snap, "sketchlink_sketch_memory_bytes", "xs"),
                    static_cast<double>(sketch.ApproximateMemoryUsage()));
 
+  sketch_ptr.reset();  // joins the spill worker while the Db is still alive
   db->reset();
   (void)kv::RemoveDirRecursively(dir);
 }

@@ -1,0 +1,175 @@
+#include "obs/http_message.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace sketchlink::obs {
+namespace {
+
+using State = HttpRequestParser::State;
+
+TEST(HttpRequestParserTest, ParsesSimpleGet) {
+  HttpRequestParser parser;
+  EXPECT_EQ(parser.Feed("GET /metrics?limit=5 HTTP/1.1\r\nHost: x\r\n\r\n"),
+            State::kComplete);
+  const HttpRequest& request = parser.request();
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.path, "/metrics");
+  EXPECT_EQ(request.query, "limit=5");
+  EXPECT_EQ(request.Header("host"), "x");
+  EXPECT_TRUE(request.body.empty());
+  EXPECT_TRUE(parser.keep_alive());
+}
+
+TEST(HttpRequestParserTest, ParsesPostBodyAcrossFeeds) {
+  HttpRequestParser parser;
+  EXPECT_EQ(parser.Feed("POST /v1/x HTTP/1.1\r\nContent-Le"),
+            State::kNeedMore);
+  EXPECT_EQ(parser.Feed("ngth: 11\r\n\r\nhello"), State::kNeedMore);
+  EXPECT_EQ(parser.Feed(" world"), State::kComplete);
+  EXPECT_EQ(parser.request().body, "hello world");
+}
+
+TEST(HttpRequestParserTest, ByteAtATimeFeedStillParses) {
+  const std::string raw =
+      "POST /p HTTP/1.1\r\nContent-Length: 2\r\nX-K: v\r\n\r\nok";
+  HttpRequestParser parser;
+  for (size_t i = 0; i + 1 < raw.size(); ++i) {
+    EXPECT_EQ(parser.Feed(raw.substr(i, 1)), State::kNeedMore) << i;
+  }
+  EXPECT_EQ(parser.Feed(raw.substr(raw.size() - 1)), State::kComplete);
+  EXPECT_EQ(parser.request().body, "ok");
+  EXPECT_EQ(parser.request().Header("x-k"), "v");
+}
+
+TEST(HttpRequestParserTest, HeaderNamesAreLowerCasedValuesTrimmed) {
+  HttpRequestParser parser;
+  parser.Feed("GET / HTTP/1.1\r\nX-Mixed-CASE:   padded value  \r\n\r\n");
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().Header("x-mixed-case"), "padded value");
+  EXPECT_EQ(parser.request().Header("absent"), "");
+}
+
+TEST(HttpRequestParserTest, PipelinedSurplusIsReclaimable) {
+  HttpRequestParser parser;
+  parser.Feed(
+      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nHost: x\r\n\r\ntrailing");
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().path, "/a");
+  const std::string leftover = parser.TakeLeftover();
+  parser.Reset();
+  EXPECT_EQ(parser.Feed(leftover), State::kComplete);
+  EXPECT_EQ(parser.request().path, "/b");
+  EXPECT_EQ(parser.TakeLeftover(), "trailing");
+}
+
+TEST(HttpRequestParserTest, MalformedRequestLineIs400) {
+  for (const char* raw :
+       {"definitely not http\r\n\r\n", "GET\r\n\r\n",
+        "GET missing-slash HTTP/1.1\r\n\r\n", "GET /x SPDY/3\r\n\r\n"}) {
+    HttpRequestParser parser;
+    EXPECT_EQ(parser.Feed(raw), State::kError) << raw;
+    EXPECT_EQ(parser.error_status(), 400) << raw;
+  }
+}
+
+TEST(HttpRequestParserTest, OversizedHeaderBlockIs431) {
+  HttpRequestParser parser(/*max_head_bytes=*/128);
+  std::string raw = "GET / HTTP/1.1\r\nX-Big: ";
+  raw += std::string(256, 'a');
+  EXPECT_EQ(parser.Feed(raw), State::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpRequestParserTest, OversizedDeclaredBodyIs413WithoutBuffering) {
+  HttpRequestParser parser(/*max_head_bytes=*/1024, /*max_body_bytes=*/16);
+  EXPECT_EQ(parser.Feed("POST / HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n"),
+            State::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpRequestParserTest, TransferEncodingIs501) {
+  HttpRequestParser parser;
+  EXPECT_EQ(
+      parser.Feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+      State::kError);
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(HttpRequestParserTest, ErrorStateIsSticky) {
+  HttpRequestParser parser;
+  parser.Feed("bogus\r\n\r\n");
+  ASSERT_EQ(parser.state(), State::kError);
+  EXPECT_EQ(parser.Feed("GET / HTTP/1.1\r\n\r\n"), State::kError);
+  parser.Reset();
+  EXPECT_EQ(parser.Feed("GET / HTTP/1.1\r\n\r\n"), State::kComplete);
+}
+
+TEST(HttpRequestParserTest, KeepAliveSemantics) {
+  {
+    HttpRequestParser parser;
+    parser.Feed("GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+    ASSERT_TRUE(parser.done());
+    EXPECT_FALSE(parser.keep_alive());
+  }
+  {
+    HttpRequestParser parser;
+    parser.Feed("GET / HTTP/1.0\r\n\r\n");
+    ASSERT_TRUE(parser.done());
+    EXPECT_FALSE(parser.keep_alive());
+  }
+  {
+    HttpRequestParser parser;
+    parser.Feed("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+    ASSERT_TRUE(parser.done());
+    EXPECT_TRUE(parser.keep_alive());
+  }
+}
+
+TEST(HttpRequestParserTest, StartedDistinguishesIdleFromStalled) {
+  HttpRequestParser parser;
+  EXPECT_FALSE(parser.started());  // idle keep-alive connection
+  parser.Feed("GET /slow");
+  EXPECT_TRUE(parser.started());   // mid-request: a stall is now a timeout
+  parser.Feed(" HTTP/1.1\r\n\r\n");
+  EXPECT_TRUE(parser.started());
+}
+
+TEST(SerializeHttpResponseTest, GoldenBytesMatchHistoricalServer) {
+  HttpResponse response;
+  response.body = "hello \n";
+  EXPECT_EQ(SerializeHttpResponse(response, /*keep_alive=*/false),
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/plain; charset=utf-8\r\n"
+            "Content-Length: 7\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+            "hello \n");
+}
+
+TEST(SerializeHttpResponseTest, ExtraHeadersAndKeepAlive) {
+  HttpResponse response;
+  response.status = 429;
+  response.content_type = "application/json";
+  response.body = "{}";
+  response.headers.emplace_back("Retry-After", "1");
+  const std::string wire = SerializeHttpResponse(response, /*keep_alive=*/true);
+  EXPECT_NE(wire.find("HTTP/1.1 429 Too Many Requests\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Retry-After: 1\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: keep-alive\r\n"), std::string::npos);
+}
+
+TEST(HttpReasonPhraseTest, CoversServingPlaneStatuses) {
+  EXPECT_STREQ(HttpReasonPhrase(200), "OK");
+  EXPECT_STREQ(HttpReasonPhrase(201), "Created");
+  EXPECT_STREQ(HttpReasonPhrase(400), "Bad Request");
+  EXPECT_STREQ(HttpReasonPhrase(404), "Not Found");
+  EXPECT_STREQ(HttpReasonPhrase(408), "Request Timeout");
+  EXPECT_STREQ(HttpReasonPhrase(429), "Too Many Requests");
+  EXPECT_STREQ(HttpReasonPhrase(503), "Service Unavailable");
+}
+
+}  // namespace
+}  // namespace sketchlink::obs

@@ -111,6 +111,52 @@ TEST_F(HttpServerTest, ServesAfterAMalformedRequest) {
   EXPECT_TRUE(HttpGet("127.0.0.1", server_->port(), "/hello", &body).ok());
 }
 
+// Regression: a client that connects and then stalls mid-request used to
+// wedge the serial accept loop forever (blocking recv with no deadline),
+// taking every telemetry endpoint down with it. With the per-connection IO
+// timeout the stalled request is answered 408 and the server moves on.
+TEST(HttpServerStandaloneTest, StalledClientCannotWedgeTheServer) {
+  HttpServer::Options options;
+  options.io_timeout_ms = 300;
+  HttpServer server(options);
+  server.AddHandler("/ping", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "pong\n";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  // Stall: open a connection, send half a request line, and go silent.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_EQ(::send(fd, "GET /pi", 7, 0), 7);
+
+  // A well-behaved client issued while the stall is live must still be
+  // served (the stalled connection is cut after io_timeout_ms at worst).
+  std::string body;
+  ASSERT_TRUE(HttpGet("127.0.0.1", server.port(), "/ping", &body).ok());
+  EXPECT_EQ(body, "pong\n");
+
+  // The stalled connection itself is answered 408 and closed, not left
+  // half-open.
+  std::string response;
+  char buf[1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_EQ(response.rfind("HTTP/1.1 408 ", 0), 0u) << response;
+}
+
 TEST(HttpServerStandaloneTest, PortInUseFailsToStart) {
   HttpServer first((HttpServer::Options()));
   ASSERT_TRUE(first.Start().ok());

@@ -1,0 +1,93 @@
+#include "obs/url.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace sketchlink::obs {
+namespace {
+
+TEST(PercentDecodeTest, DecodesEscapesAndPlus) {
+  EXPECT_EQ(PercentDecode("a%20b"), "a b");
+  EXPECT_EQ(PercentDecode("%41%42%43"), "ABC");
+  EXPECT_EQ(PercentDecode("a+b+c"), "a b c");
+  EXPECT_EQ(PercentDecode("%7e"), "~");  // lower-case hex digits
+  EXPECT_EQ(PercentDecode("%7E"), "~");
+  EXPECT_EQ(PercentDecode(""), "");
+  EXPECT_EQ(PercentDecode("plain"), "plain");
+}
+
+TEST(PercentDecodeTest, MalformedEscapesPassThroughVerbatim) {
+  EXPECT_EQ(PercentDecode("%"), "%");
+  EXPECT_EQ(PercentDecode("%2"), "%2");        // truncated
+  EXPECT_EQ(PercentDecode("%zz"), "%zz");      // not hex
+  EXPECT_EQ(PercentDecode("%2x"), "%2x");      // second digit bad
+  EXPECT_EQ(PercentDecode("a%"), "a%");        // trailing percent
+  EXPECT_EQ(PercentDecode("100%+done"), "100% done");
+}
+
+TEST(QueryParamsTest, ParsesSimplePairs) {
+  const QueryParams params = QueryParams::Parse("a=1&b=two");
+  EXPECT_EQ(params.size(), 2u);
+  EXPECT_EQ(params.Get("a"), "1");
+  EXPECT_EQ(params.Get("b"), "two");
+  EXPECT_FALSE(params.Get("c").has_value());
+}
+
+TEST(QueryParamsTest, EmptyQueryHasNoParams) {
+  EXPECT_EQ(QueryParams::Parse("").size(), 0u);
+  EXPECT_EQ(QueryParams::Parse("&&&").size(), 0u);
+}
+
+TEST(QueryParamsTest, DuplicateKeysAreAllKeptFirstWins) {
+  const QueryParams params = QueryParams::Parse("k=first&k=second&k=third");
+  EXPECT_EQ(params.size(), 3u);
+  EXPECT_EQ(params.Get("k"), "first");
+  EXPECT_EQ(params.items()[1].second, "second");
+  EXPECT_EQ(params.items()[2].second, "third");
+}
+
+TEST(QueryParamsTest, BareFlagIsPresentWithEmptyValue) {
+  const QueryParams params = QueryParams::Parse("verbose&limit=5");
+  EXPECT_TRUE(params.Has("verbose"));
+  EXPECT_EQ(params.Get("verbose"), "");
+  EXPECT_EQ(params.GetInt("limit", 0), 5u);
+}
+
+TEST(QueryParamsTest, PercentDecodingAppliesToKeysAndValues) {
+  const QueryParams params = QueryParams::Parse("my%20key=a%26b&plus=1+2");
+  EXPECT_EQ(params.Get("my key"), "a&b");
+  EXPECT_EQ(params.Get("plus"), "1 2");
+}
+
+TEST(QueryParamsTest, EncodedDelimitersDoNotSplitPairs) {
+  // %26 is '&' and %3D is '=' — decoding happens after splitting, so they
+  // stay inside the value instead of creating phantom pairs.
+  const QueryParams params = QueryParams::Parse("v=a%26b%3Dc");
+  EXPECT_EQ(params.size(), 1u);
+  EXPECT_EQ(params.Get("v"), "a&b=c");
+}
+
+TEST(QueryParamsTest, ValueMayContainEquals) {
+  const QueryParams params = QueryParams::Parse("expr=a=b=c");
+  EXPECT_EQ(params.Get("expr"), "a=b=c");
+}
+
+TEST(QueryParamsTest, GetIntFallsBackOnGarbage) {
+  const QueryParams params =
+      QueryParams::Parse("n=42&neg=-1&text=abc&empty=");
+  EXPECT_EQ(params.GetInt("n", 7), 42u);
+  EXPECT_EQ(params.GetInt("neg", 7), 7u);    // negative is not non-negative
+  EXPECT_EQ(params.GetInt("text", 7), 7u);
+  EXPECT_EQ(params.GetInt("empty", 7), 7u);
+  EXPECT_EQ(params.GetInt("absent", 7), 7u);
+}
+
+TEST(QueryParamsTest, MalformedEscapeInQueryIsTolerated) {
+  const QueryParams params = QueryParams::Parse("bad=%zz&good=1");
+  EXPECT_EQ(params.Get("bad"), "%zz");
+  EXPECT_EQ(params.GetInt("good", 0), 1u);
+}
+
+}  // namespace
+}  // namespace sketchlink::obs

@@ -1,0 +1,105 @@
+#include "serve/json.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace sketchlink::serve {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(Json::Parse("null").value().is_null());
+  EXPECT_TRUE(Json::Parse("true").value().bool_value());
+  EXPECT_FALSE(Json::Parse("false").value().bool_value());
+  EXPECT_DOUBLE_EQ(Json::Parse("3.5").value().number_value(), 3.5);
+  EXPECT_DOUBLE_EQ(Json::Parse("-2e3").value().number_value(), -2000.0);
+  EXPECT_EQ(Json::Parse("\"hi\"").value().string_value(), "hi");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(Json::Parse(R"("a\"b\\c\/d\n\t")").value().string_value(),
+            "a\"b\\c/d\n\t");
+  EXPECT_EQ(Json::Parse("\"A\\u00e9\"").value().string_value(),
+            "A\xc3\xa9");  // BMP escape -> UTF-8
+}
+
+TEST(JsonParseTest, NestedContainers) {
+  const Result<Json> parsed =
+      Json::Parse(R"({"a":[1,2,{"b":true}],"c":{"d":null}})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const Json& root = parsed.value();
+  ASSERT_TRUE(root.is_object());
+  const Json* a = root.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array_items().size(), 3u);
+  EXPECT_TRUE(a->array_items()[2].GetBool("b", false));
+  EXPECT_TRUE(root.Find("c")->Find("d")->is_null());
+}
+
+TEST(JsonParseTest, MalformedInputsAreInvalidArgument) {
+  // ("01" is tolerated: numbers go through strtod, which accepts leading
+  // zeros — strictness there buys nothing for this plane.)
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "\"unterminated",
+        "1.2.3", "{\"a\":1} trailing", "[1 2]", "nul"}) {
+    EXPECT_FALSE(Json::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(JsonParseTest, DepthCapRejectsHostileNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(Json::Parse(deep).ok());
+  std::string shallow(10, '[');
+  shallow += std::string(10, ']');
+  EXPECT_TRUE(Json::Parse(shallow).ok());
+}
+
+TEST(JsonDumpTest, RoundTripsCompactly) {
+  Json object = Json::Object();
+  object.Set("id", Json::Int(12345678901234ull));
+  object.Set("name", Json::Str("a\"b"));
+  object.Set("score", Json::Number(0.8));
+  Json array = Json::Array();
+  array.Append(Json::Bool(true));
+  array.Append(Json::Null());
+  object.Set("tags", std::move(array));
+  EXPECT_EQ(object.Dump(),
+            R"({"id":12345678901234,"name":"a\"b","score":0.8,"tags":[true,null]})");
+}
+
+TEST(JsonDumpTest, NumbersUseShortestRoundTrip) {
+  EXPECT_EQ(Json::Number(0.8).Dump(), "0.8");
+  EXPECT_EQ(Json::Number(0.1).Dump(), "0.1");
+  EXPECT_EQ(Json::Int(0).Dump(), "0");
+  EXPECT_EQ(Json::Int(9007199254740992ull).Dump(), "9007199254740992");
+  // Round trip is exact even when the short form is unavailable.
+  const double awkward = 0.1 + 0.2;
+  EXPECT_DOUBLE_EQ(
+      Json::Parse(Json::Number(awkward).Dump()).value().number_value(),
+      awkward);
+}
+
+TEST(JsonDumpTest, ControlCharactersAreEscaped) {
+  EXPECT_EQ(Json::Str("a\001b\nc").Dump(), "\"a\\u0001b\\nc\"");
+}
+
+TEST(JsonAccessorsTest, TypedFallbacks) {
+  const Json root =
+      Json::Parse(R"({"n":5,"s":"x","b":true,"wrong":"nan"})").value();
+  EXPECT_EQ(root.GetUint("n", 0), 5u);
+  EXPECT_EQ(root.GetString("s", "d"), "x");
+  EXPECT_TRUE(root.GetBool("b", false));
+  EXPECT_EQ(root.GetUint("wrong", 9), 9u);     // wrong type -> fallback
+  EXPECT_EQ(root.GetUint("absent", 9), 9u);
+  EXPECT_EQ(root.GetString("n", "d"), "d");    // number is not a string
+}
+
+TEST(JsonParseTest, DuplicateKeysFirstWins) {
+  const Json root = Json::Parse(R"({"k":1,"k":2})").value();
+  EXPECT_EQ(root.GetUint("k", 0), 1u);
+}
+
+}  // namespace
+}  // namespace sketchlink::serve

@@ -1,0 +1,237 @@
+#include "serve/service.h"
+
+#include <filesystem>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "serve/json.h"
+
+namespace sketchlink::serve {
+namespace {
+
+Server::Request MakeRequest(std::string name = "", std::string body = "") {
+  Server::Request request;
+  if (!name.empty()) request.params.emplace_back("name", std::move(name));
+  request.http.body = std::move(body);
+  return request;
+}
+
+class LinkageServiceTest : public ::testing::Test {
+ protected:
+  LinkageServiceTest() {
+    options_.scratch_dir =
+        (std::filesystem::temp_directory_path() / "sketchlink_service_test")
+            .string();
+    std::filesystem::remove_all(options_.scratch_dir);
+    options_.max_indexes = 3;
+    options_.max_batch_records = 100;
+    service_ = std::make_unique<LinkageService>(options_);
+  }
+
+  ~LinkageServiceTest() override {
+    service_.reset();
+    std::filesystem::remove_all(options_.scratch_dir);
+  }
+
+  obs::HttpResponse Create(const std::string& name,
+                           const std::string& config = "{}") {
+    return service_->CreateIndex(MakeRequest(name, config));
+  }
+
+  // Three NCVR-shaped records: two near-duplicates plus one distinct.
+  obs::HttpResponse InsertFixture(const std::string& name) {
+    return service_->InsertRecords(MakeRequest(
+        name,
+        R"({"records":[
+             {"id":1,"fields":["ALICE","SMITH","RALEIGH","27601","F","1980"]},
+             {"id":2,"fields":["ALICE","SMYTH","RALEIGH","27601","F","1980"]},
+             {"id":3,"fields":["BOB","JONES","DURHAM","27701","M","1955"]}]})"));
+  }
+
+  LinkageService::Options options_;
+  std::unique_ptr<LinkageService> service_;
+};
+
+TEST_F(LinkageServiceTest, CreateAppliesConfigAndEchoesIt) {
+  const obs::HttpResponse response = Create(
+      "t1",
+      R"({"kind":"ncvr","lambda":500,"delta":0.1,"theta":0.25,"mu":64,
+          "distance":"jw","threshold":0.8,"stripes":4})");
+  EXPECT_EQ(response.status, 201) << response.body;
+  const Json body = Json::Parse(response.body).value();
+  EXPECT_EQ(body.GetString("name", ""), "t1");
+  EXPECT_EQ(body.GetString("kind", ""), "NCVR");
+  EXPECT_EQ(body.GetUint("lambda", 0), 500u);
+  EXPECT_EQ(body.GetUint("mu", 0), 64u);
+  EXPECT_EQ(body.GetUint("stripes", 0), 4u);
+  EXPECT_DOUBLE_EQ(body.GetNumber("threshold", 0), 0.8);
+  EXPECT_GT(body.GetUint("rho", 0), 0u);  // derived block width is reported
+  EXPECT_EQ(service_->num_indexes(), 1u);
+}
+
+TEST_F(LinkageServiceTest, CreateRejectsBadInput) {
+  EXPECT_EQ(Create("bad name").status, 400);           // space in name
+  EXPECT_EQ(Create(std::string(65, 'a')).status, 400); // too long
+  EXPECT_EQ(Create("x", R"({"kind":"martian"})").status, 400);
+  EXPECT_EQ(Create("x", R"({"distance":"cosine"})").status, 400);
+  EXPECT_EQ(Create("x", R"({"delta":8})").status, 400);
+  EXPECT_EQ(Create("x", R"({"threshold":0})").status, 400);
+  EXPECT_EQ(Create("x", R"({"stripes":10000})").status, 400);
+  EXPECT_EQ(Create("x", R"({"lambda":0})").status, 400);
+  EXPECT_EQ(Create("x", "{nope").status, 400);         // malformed JSON
+  EXPECT_EQ(Create("x", "[1,2]").status, 400);         // not an object
+  EXPECT_EQ(service_->num_indexes(), 0u);              // nothing leaked
+}
+
+TEST_F(LinkageServiceTest, CreateEnforcesUniqueNamesAndCap) {
+  EXPECT_EQ(Create("a").status, 201);
+  EXPECT_EQ(Create("a").status, 409);  // duplicate
+  EXPECT_EQ(Create("b").status, 201);
+  EXPECT_EQ(Create("c").status, 201);
+  EXPECT_EQ(Create("d").status, 409);  // max_indexes = 3
+  EXPECT_EQ(service_->num_indexes(), 3u);
+}
+
+TEST_F(LinkageServiceTest, InsertQueryDeleteLifecycle) {
+  ASSERT_EQ(Create("life", R"({"threshold":0.8,"mu":64})").status, 201);
+  const obs::HttpResponse inserted = InsertFixture("life");
+  ASSERT_EQ(inserted.status, 200) << inserted.body;
+  const Json insert_body = Json::Parse(inserted.body).value();
+  EXPECT_EQ(insert_body.GetUint("inserted", 0), 3u);
+
+  // Verified query: the exact duplicate of record 1 must come back with a
+  // perfect score, the unrelated record 3 must not.
+  const obs::HttpResponse verified = service_->Query(MakeRequest(
+      "life",
+      R"({"record":{"id":99,
+           "fields":["ALICE","SMITH","RALEIGH","27601","F","1980"]},
+          "verify":true})"));
+  ASSERT_EQ(verified.status, 200) << verified.body;
+  const Json verified_body = Json::Parse(verified.body).value();
+  EXPECT_TRUE(verified_body.GetBool("verified", false));
+  const Json* matches = verified_body.Find("matches");
+  ASSERT_NE(matches, nullptr);
+  ASSERT_GE(matches->array_items().size(), 1u);
+  EXPECT_EQ(matches->array_items()[0].GetUint("id", 0), 1u);
+  EXPECT_DOUBLE_EQ(matches->array_items()[0].GetNumber("score", 0), 1.0);
+  for (const Json& match : matches->array_items()) {
+    EXPECT_NE(match.GetUint("id", 0), 3u);
+  }
+
+  // Unverified query returns raw candidates without scores.
+  const obs::HttpResponse raw = service_->Query(MakeRequest(
+      "life",
+      R"({"record":{"id":99,
+           "fields":["ALICE","SMITH","RALEIGH","27601","F","1980"]},
+          "verify":false})"));
+  ASSERT_EQ(raw.status, 200);
+  const Json raw_body = Json::Parse(raw.body).value();
+  EXPECT_FALSE(raw_body.GetBool("verified", true));
+  ASSERT_GE(raw_body.Find("matches")->array_items().size(), 1u);
+  EXPECT_TRUE(
+      raw_body.Find("matches")->array_items()[0].Find("score") == nullptr);
+
+  // List reports per-index stats.
+  const obs::HttpResponse listed = service_->ListIndexes(MakeRequest());
+  ASSERT_EQ(listed.status, 200);
+  const Json listed_body = Json::Parse(listed.body).value();
+  ASSERT_EQ(listed_body.Find("indexes")->array_items().size(), 1u);
+  const Json& entry = listed_body.Find("indexes")->array_items()[0];
+  EXPECT_EQ(entry.GetString("name", ""), "life");
+  EXPECT_EQ(entry.GetUint("records", 0), 3u);
+  EXPECT_EQ(entry.GetUint("inserts", 0), 3u);
+  EXPECT_GE(entry.GetUint("queries", 0), 2u);
+  EXPECT_GT(entry.GetUint("memory_bytes", 0), 0u);
+
+  // Delete drops the index, its routes answer 404, and the spill
+  // directory is reclaimed.
+  EXPECT_EQ(service_->DeleteIndex(MakeRequest("life")).status, 200);
+  EXPECT_EQ(service_->DeleteIndex(MakeRequest("life")).status, 404);
+  EXPECT_EQ(service_->Query(MakeRequest("life", R"({"record":{"id":1}})"))
+                .status,
+            404);
+  EXPECT_EQ(service_->num_indexes(), 0u);
+  size_t leftover_dirs = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator(options_.scratch_dir)) {
+    ++leftover_dirs;
+  }
+  EXPECT_EQ(leftover_dirs, 0u);  // the spill dir went with the index
+}
+
+TEST_F(LinkageServiceTest, InsertValidatesBatch) {
+  ASSERT_EQ(Create("v").status, 201);
+  EXPECT_EQ(service_->InsertRecords(MakeRequest("ghost", R"({"records":[]})"))
+                .status,
+            404);
+  EXPECT_EQ(service_->InsertRecords(MakeRequest("v", "{nope")).status, 400);
+  EXPECT_EQ(
+      service_->InsertRecords(MakeRequest("v", R"({"records":42})")).status,
+      400);
+  // Record ids must be numeric.
+  EXPECT_EQ(service_->InsertRecords(
+                    MakeRequest("v", R"({"records":[{"id":"abc"}]})"))
+                .status,
+            400);
+  // Too few fields for the blocking scheme.
+  EXPECT_EQ(service_->InsertRecords(
+                    MakeRequest(
+                        "v", R"({"records":[{"id":1,"fields":["only"]}]})"))
+                .status,
+            400);
+}
+
+TEST_F(LinkageServiceTest, InsertEnforcesBatchCap) {
+  options_.max_batch_records = 2;
+  service_ = std::make_unique<LinkageService>(options_);
+  ASSERT_EQ(Create("cap").status, 201);
+  const obs::HttpResponse over = service_->InsertRecords(MakeRequest(
+      "cap",
+      R"({"records":[
+           {"id":1,"fields":["A","B","C","D","E","F"]},
+           {"id":2,"fields":["A","B","C","D","E","F"]},
+           {"id":3,"fields":["A","B","C","D","E","F"]}]})"));
+  EXPECT_EQ(over.status, 400) << over.body;
+}
+
+TEST_F(LinkageServiceTest, QueryHonorsLimit) {
+  ASSERT_EQ(Create("lim", R"({"threshold":0.5,"mu":64})").status, 201);
+  ASSERT_EQ(InsertFixture("lim").status, 200);
+  const obs::HttpResponse limited = service_->Query(MakeRequest(
+      "lim",
+      R"({"record":{"id":99,
+           "fields":["ALICE","SMITH","RALEIGH","27601","F","1980"]},
+          "verify":true,"limit":1})"));
+  ASSERT_EQ(limited.status, 200);
+  EXPECT_EQ(
+      Json::Parse(limited.body).value().Find("matches")->array_items().size(),
+      1u);
+}
+
+TEST_F(LinkageServiceTest, QueryValidatesBody) {
+  ASSERT_EQ(Create("q").status, 201);
+  EXPECT_EQ(service_->Query(MakeRequest("q", "{nope")).status, 400);
+  EXPECT_EQ(service_->Query(MakeRequest("q", "{}")).status, 400);  // no record
+  EXPECT_EQ(
+      service_->Query(MakeRequest("q", R"({"record":{"id":1}})")).status,
+      400);  // no fields
+}
+
+TEST_F(LinkageServiceTest, IndexesAreIsolated) {
+  ASSERT_EQ(Create("left", R"({"threshold":0.8,"mu":64})").status, 201);
+  ASSERT_EQ(Create("right", R"({"threshold":0.8,"mu":64})").status, 201);
+  ASSERT_EQ(InsertFixture("left").status, 200);
+
+  // The sibling index sees none of left's records.
+  const obs::HttpResponse response = service_->Query(MakeRequest(
+      "right",
+      R"({"record":{"id":99,
+           "fields":["ALICE","SMITH","RALEIGH","27601","F","1980"]},
+          "verify":false})"));
+  ASSERT_EQ(response.status, 200);
+  EXPECT_EQ(
+      Json::Parse(response.body).value().GetUint("num_candidates", 99), 0u);
+}
+
+}  // namespace
+}  // namespace sketchlink::serve

@@ -1,0 +1,154 @@
+# End-to-end smoke test of the linkage-as-a-service plane, run by ctest:
+# start `sketchlink_cli api` in the background, then drive every endpoint
+# through a real socket with `api_client` — index lifecycle (create,
+# duplicate-create, insert, query verified/unverified, list, delete),
+# every documented error status (400/404/405/409), and the multiplexed
+# telemetry surface (/metrics /metrics.json /traces /healthz).
+
+if(NOT DEFINED CLI OR NOT DEFINED CLIENT)
+  message(FATAL_ERROR "pass -DCLI=<sketchlink_cli> -DCLIENT=<api_client>")
+endif()
+
+set(WORK "${CMAKE_CURRENT_BINARY_DIR}/api_smoke_scratch")
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+
+# Background launch through the shell (cmake cannot detach a child itself).
+# --max-seconds bounds the server's life even if this script dies before
+# reaching /quitquitquit, so a failed run cannot leak a listener.
+execute_process(
+  COMMAND bash -c "'${CLI}' api --port=0 --port-file='${WORK}/port' \
+--scratch='${WORK}/indexes' --workers=2 --max-queue=64 \
+--max-seconds=120 > '${WORK}/api.log' 2>&1 &"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "could not launch sketchlink_cli api")
+endif()
+
+set(PORT "")
+foreach(attempt RANGE 300)
+  if(EXISTS "${WORK}/port")
+    file(READ "${WORK}/port" PORT)
+    string(STRIP "${PORT}" PORT)
+    if(NOT PORT STREQUAL "")
+      break()
+    endif()
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.1)
+endforeach()
+if(PORT STREQUAL "")
+  set(LOG "")
+  if(EXISTS "${WORK}/api.log")
+    file(READ "${WORK}/api.log" LOG)
+  endif()
+  message(FATAL_ERROR "api did not publish a port; log:\n${LOG}")
+endif()
+set(BASE "http://127.0.0.1:${PORT}")
+
+# call(<out_var> <expected_status> <method> <path> [api_client args...])
+function(call out_var expect method path)
+  execute_process(COMMAND "${CLIENT}" "${method}" "${BASE}${path}"
+                          "--expect-status=${expect}" ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${method} ${path} (want ${expect}): ${out}${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+# --- index lifecycle -------------------------------------------------------
+call(CREATED 201 POST /v1/indexes/smoke
+     "--body={\"kind\":\"ncvr\",\"lambda\":500,\"delta\":0.1,\"theta\":0.25,\
+\"mu\":64,\"distance\":\"jw\",\"threshold\":0.8}")
+foreach(want "\"name\":\"smoke\"" "\"rho\":" "\"threshold\":0.8")
+  string(FIND "${CREATED}" "${want}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "create response missing ${want}: ${CREATED}")
+  endif()
+endforeach()
+
+call(DUP 409 POST /v1/indexes/smoke "--body={\"kind\":\"ncvr\"}")
+call(BADCFG 400 POST /v1/indexes/badcfg "--body={\"delta\":8}")
+call(BADJSON 400 POST /v1/indexes/badjson "--body={nope")
+call(BADNAME 400 POST "/v1/indexes/no%20spaces")
+
+call(INSERTED 200 POST /v1/indexes/smoke/records
+     "--body={\"records\":[\
+{\"id\":1,\"fields\":[\"ALICE\",\"SMITH\",\"RALEIGH\",\"27601\",\"F\",\"1980\"]},\
+{\"id\":2,\"fields\":[\"ALICE\",\"SMYTH\",\"RALEIGH\",\"27601\",\"F\",\"1980\"]},\
+{\"id\":3,\"fields\":[\"BOB\",\"JONES\",\"DURHAM\",\"27701\",\"M\",\"1955\"]}]}")
+if(NOT INSERTED MATCHES "\"inserted\":3")
+  message(FATAL_ERROR "insert did not report 3 records: ${INSERTED}")
+endif()
+call(MISSING 404 POST /v1/indexes/ghost/records "--body={\"records\":[]}")
+
+call(VERIFIED 200 POST /v1/indexes/smoke/query
+     "--body={\"record\":{\"id\":99,\"fields\":[\"ALICE\",\"SMITH\",\
+\"RALEIGH\",\"27601\",\"F\",\"1980\"]},\"verify\":true}")
+if(NOT VERIFIED MATCHES "\"verified\":true" OR
+   NOT VERIFIED MATCHES "{\"id\":1,\"score\":1}")
+  message(FATAL_ERROR "verified query wrong: ${VERIFIED}")
+endif()
+call(RAW 200 POST /v1/indexes/smoke/query
+     "--body={\"record\":{\"id\":99,\"fields\":[\"ALICE\",\"SMITH\",\
+\"RALEIGH\",\"27601\",\"F\",\"1980\"]},\"verify\":false}")
+if(NOT RAW MATCHES "\"verified\":false")
+  message(FATAL_ERROR "unverified query wrong: ${RAW}")
+endif()
+
+call(LISTED 200 GET /v1/indexes)
+if(NOT LISTED MATCHES "\"name\":\"smoke\"" OR
+   NOT LISTED MATCHES "\"records\":3")
+  message(FATAL_ERROR "list missing index stats: ${LISTED}")
+endif()
+
+# --- routing errors --------------------------------------------------------
+call(NOPE 404 GET /v1/nope)
+call(WRONG 405 PUT /v1/indexes/smoke)
+
+# --- telemetry surface on the same port ------------------------------------
+call(HEALTH 200 GET /healthz)
+if(NOT HEALTH STREQUAL "ok\n")
+  message(FATAL_ERROR "unexpected /healthz body: '${HEALTH}'")
+endif()
+call(PROM 200 GET /metrics)
+foreach(family
+    "# TYPE serve_requests_admitted_total counter"
+    "# TYPE serve_request_latency_nanos histogram"
+    "# TYPE sketchlink_sketch_inserts_total counter")
+  string(FIND "${PROM}" "${family}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "missing family in /metrics: '${family}'")
+  endif()
+endforeach()
+call(JSON 200 GET /metrics.json)
+if(NOT JSON MATCHES "\"metrics\": \\[")
+  message(FATAL_ERROR "/metrics.json missing expected structure")
+endif()
+call(TRACES 200 GET "/traces?limit=50")
+if(NOT TRACES MATCHES "\"traceEvents\"")
+  message(FATAL_ERROR "/traces is not a Chrome trace_event dump")
+endif()
+
+# --- delete, then the name is gone -----------------------------------------
+call(GONE 200 DELETE /v1/indexes/smoke)
+call(GONE2 404 DELETE /v1/indexes/smoke)
+call(GONE3 404 POST /v1/indexes/smoke/query "--body={\"record\":{\"id\":1}}")
+
+# The spill directory must have been reclaimed with the index (spill dirs
+# carry a per-incarnation suffix, so check for any leftover).
+file(GLOB leftover_spill "${WORK}/indexes/*")
+if(NOT leftover_spill STREQUAL "")
+  message(FATAL_ERROR "spill dir survived index delete: ${leftover_spill}")
+endif()
+
+# Orderly shutdown: the server answers, then exits on its own.
+call(BYE 200 POST /quitquitquit)
+if(NOT BYE STREQUAL "bye\n")
+  message(FATAL_ERROR "unexpected /quitquitquit body: '${BYE}'")
+endif()
+
+file(REMOVE_RECURSE "${WORK}")
+message(STATUS "api smoke OK")

@@ -137,5 +137,58 @@ if(DEFINED BENCH_RW)
   endif()
 endif()
 
+# --- 5. serving-plane load bench: baseline self-check + tiny live run ---
+# The gated headline is served_per_second at sub-capacity offered rates,
+# which is arrival-bound (the generator is open-loop), so it is stable even
+# on a noisy single core; latency percentiles ride along ungated.
+if(DEFINED BENCH_SERVE)
+  configure_file("${BASELINES}/BENCH_serve_load.json"
+                 "${WORK}/BENCH_serve_load.json" COPYONLY)
+  execute_process(COMMAND "${PYTHON3}" "${COMPARE}" --baselines "${BASELINES}"
+                          "${WORK}/BENCH_serve_load.json"
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "serve_load baseline-vs-itself flagged a regression: ${out}${err}")
+  endif()
+
+  execute_process(COMMAND "${BENCH_SERVE}" --qps0 25 --steps 1 --seconds 1
+                          --preload 40
+                  WORKING_DIRECTORY "${WORK}"
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench_serve_load failed (${rc}): ${out}${err}")
+  endif()
+  if(NOT EXISTS "${WORK}/BENCH_serve_load.json")
+    message(FATAL_ERROR "bench did not write BENCH_serve_load.json")
+  endif()
+  file(READ "${WORK}/BENCH_serve_load.json" FRESH_SERVE)
+  foreach(field
+      "served_per_second"
+      "p50_micros"
+      "p99_micros"
+      "p999_micros"
+      "shed_429"
+      "shed_503")
+    if(NOT FRESH_SERVE MATCHES "\"${field}\"")
+      message(FATAL_ERROR "serve_load sidecar missing field '${field}'")
+    endif()
+  endforeach()
+  if(FRESH_SERVE MATCHES "\"errors\": 0")
+    message(STATUS "serve_load smoke: no transport errors")
+  else()
+    message(FATAL_ERROR "serve_load smoke saw errors: ${FRESH_SERVE}")
+  endif()
+  # The tiny run's qps_25 row has no baseline counterpart — missing rows are
+  # warnings by design; this exercises the new-bench on-ramp path.
+  execute_process(COMMAND "${PYTHON3}" "${COMPARE}" --baselines "${BASELINES}"
+                          --max-regression 1000
+                          "${WORK}/BENCH_serve_load.json"
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "serve_load fresh-run compare failed: ${out}${err}")
+  endif()
+endif()
+
 file(REMOVE_RECURSE "${WORK}")
 message(STATUS "bench regression gate OK")

@@ -76,5 +76,57 @@ if(rc EQUAL 0)
   message(FATAL_ERROR "invalid --format unexpectedly succeeded")
 endif()
 
+# --- URL scrape error contract ------------------------------------------
+# A scrape that does not yield HTTP 2xx must exit non-zero: monitoring
+# that silently swallows 404s/405s reports an empty-but-green scrape.
+if(DEFINED CLI)
+  execute_process(
+    COMMAND bash -c "'${CLI}' api --port=0 --port-file='${WORK}/port' \
+--scratch='${WORK}/indexes' --max-seconds=60 > '${WORK}/api.log' 2>&1 &"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "could not launch sketchlink_cli api")
+  endif()
+  set(PORT "")
+  foreach(attempt RANGE 300)
+    if(EXISTS "${WORK}/port")
+      file(READ "${WORK}/port" PORT)
+      string(STRIP "${PORT}" PORT)
+      if(NOT PORT STREQUAL "")
+        break()
+      endif()
+    endif()
+    execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.1)
+  endforeach()
+  if(PORT STREQUAL "")
+    message(FATAL_ERROR "api did not publish a port for the URL tests")
+  endif()
+  set(BASE "http://127.0.0.1:${PORT}")
+
+  # Success baseline: the live endpoint scrapes clean.
+  run_tool(--url=${BASE}/metrics)
+  if(NOT LAST_OUTPUT MATCHES "# TYPE serve_requests_admitted_total counter")
+    message(FATAL_ERROR "live scrape missing serving-plane families")
+  endif()
+
+  # 404 (unknown path) and 405 (POST-only route) must both fail hard.
+  foreach(bad_path /nope /v1/indexes/x)
+    execute_process(COMMAND "${TOOL}" "--url=${BASE}${bad_path}"
+                    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+    if(rc EQUAL 0)
+      message(FATAL_ERROR "GET ${bad_path} unexpectedly exited 0")
+    endif()
+  endforeach()
+
+  # Connection refused must also fail hard.
+  execute_process(COMMAND "${TOOL}" "--url=http://127.0.0.1:1/metrics"
+                  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "scrape of a closed port unexpectedly exited 0")
+  endif()
+
+  run_tool(--url=${BASE}/quitquitquit)
+endif()
+
 file(REMOVE_RECURSE "${WORK}")
 message(STATUS "metrics_dump smoke test OK")

@@ -11,6 +11,10 @@
 //       [--method=sblocksketch|blocksketch] [--mu=50] [--threads=1]
 //       [--port=0] [--port-file=PATH] [--reuse-addr]
 //       [--sample-period=1] [--keep-period=1] [--max-seconds=0]
+//   sketchlink_cli api [--port=0] [--port-file=PATH] [--reuse-addr]
+//       [--workers=2] [--max-queue=128] [--deadline-ms=5000]
+//       [--scratch=/tmp/sketchlink_api] [--max-indexes=16]
+//       [--sample-period=1] [--keep-period=1] [--max-seconds=0]
 //
 // `generate` writes a Q/A workload as CSV; `synopsis` compiles a SkipBloom
 // from a data set's blocking keys and serializes it (the artifact the
@@ -20,7 +24,10 @@
 // traced pipeline and exposes /metrics, /metrics.json, /traces and
 // /healthz over HTTP until /quitquitquit is hit (or --max-seconds
 // elapses). serve defaults to trace-everything sampling so a scrape of
-// /traces always shows parented engine→sketch→kv spans.
+// /traces always shows parented engine→sketch→kv spans. `api` starts the
+// concurrent linkage-as-a-service plane (src/serve): the /v1/indexes
+// endpoints for multi-tenant create/insert/query/delete plus the same
+// telemetry surface, all on one port, until POST /quitquitquit.
 
 #include <chrono>
 #include <condition_variable>
@@ -45,6 +52,8 @@
 #include "obs/http_server.h"
 #include "obs/registry.h"
 #include "obs/spans.h"
+#include "serve/server.h"
+#include "serve/service.h"
 
 namespace sketchlink::cli {
 namespace {
@@ -373,9 +382,98 @@ int Serve(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int Api(const std::map<std::string, std::string>& flags) {
+  obs::MetricRegistry registry;
+  // Trace-everything defaults, like `serve`: /traces must show served and
+  // shed requests deterministically.
+  obs::Tracer::Options trace_options;
+  trace_options.sample_period =
+      static_cast<uint32_t>(GetInt(flags, "sample-period", 1));
+  trace_options.keep_period =
+      static_cast<uint32_t>(GetInt(flags, "keep-period", 1));
+  obs::Tracer tracer(trace_options);
+  const auto tracer_regs = tracer.RegisterMetrics(&registry, "api");
+
+  serve::LinkageService::Options service_options;
+  service_options.scratch_dir = Get(flags, "scratch", "/tmp/sketchlink_api");
+  service_options.max_indexes = GetInt(flags, "max-indexes", 16);
+  service_options.registry = &registry;
+  serve::LinkageService service(service_options);
+
+  serve::Server::Options server_options;
+  server_options.loop.port = static_cast<uint16_t>(GetInt(flags, "port", 0));
+  server_options.loop.reuse_address = flags.count("reuse-addr") > 0;
+  server_options.num_workers = GetInt(flags, "workers", 2);
+  server_options.max_queue = GetInt(flags, "max-queue", 128);
+  server_options.default_deadline_ms = GetInt(flags, "deadline-ms", 5000);
+  server_options.registry = &registry;
+  server_options.tracer = &tracer;
+  serve::Server server(server_options);
+  service.RegisterRoutes(&server);
+
+  // Same telemetry surface as the scrape plane, multiplexed on this port.
+  for (auto& [path, handler] : obs::TelemetryHandlers(&registry, &tracer)) {
+    server.AddRoute("GET", path,
+                    [h = std::move(handler)](const serve::Server::Request& r) {
+                      return h(r.http);
+                    });
+  }
+
+  std::mutex quit_mutex;
+  std::condition_variable quit_cv;
+  bool quit = false;
+  const auto quit_handler = [&](const serve::Server::Request&) {
+    {
+      std::lock_guard<std::mutex> lock(quit_mutex);
+      quit = true;
+    }
+    quit_cv.notify_all();
+    obs::HttpResponse response;
+    response.body = "bye\n";
+    return response;
+  };
+  server.AddRoute("POST", "/quitquitquit", quit_handler);
+  // GET variant so GET-only clients (metrics_dump --url) can stop the
+  // server from test scripts.
+  server.AddRoute("GET", "/quitquitquit", quit_handler);
+
+  const Status status = server.Start();
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("api serving on http://127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  std::printf("endpoints: /v1/indexes /v1/indexes/{name} "
+              "/v1/indexes/{name}/records /v1/indexes/{name}/query "
+              "/metrics /metrics.json /traces /healthz /quitquitquit\n");
+  std::fflush(stdout);
+
+  // Port file written after Start: a reader never sees a port that is not
+  // yet accepting connections.
+  const std::string port_file = Get(flags, "port-file");
+  if (!port_file.empty()) {
+    const Status write = kv::WriteStringToFileSync(
+        port_file, std::to_string(server.port()) + "\n");
+    if (!write.ok()) return Fail(write.ToString());
+  }
+
+  const uint64_t max_seconds = GetInt(flags, "max-seconds", 0);
+  {
+    std::unique_lock<std::mutex> lock(quit_mutex);
+    if (max_seconds == 0) {
+      quit_cv.wait(lock, [&] { return quit; });
+    } else {
+      quit_cv.wait_for(lock, std::chrono::seconds(max_seconds),
+                       [&] { return quit; });
+    }
+  }
+  server.Shutdown();
+  std::printf("stopped\n");
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: sketchlink_cli <generate|synopsis|overlap|link|serve> "
+               "usage: sketchlink_cli "
+               "<generate|synopsis|overlap|link|serve|api> "
                "[--flag=value ...]\n(see the header of tools/sketchlink_cli"
                ".cc for the full flag reference)\n");
   return 2;
@@ -390,6 +488,7 @@ int Main(int argc, char** argv) {
   if (command == "overlap") return Overlap(flags);
   if (command == "link") return Link(flags);
   if (command == "serve") return Serve(flags);
+  if (command == "api") return Api(flags);
   return Usage();
 }
 
