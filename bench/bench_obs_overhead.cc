@@ -87,16 +87,6 @@ double OverheadPercent(double base_seconds, double variant_seconds) {
                             : 0.0;
 }
 
-uint64_t ParseSize(int argc, char** argv, const char* flag,
-                   uint64_t fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) {
-      const long value = std::atol(argv[i + 1]);
-      if (value > 0) return static_cast<uint64_t>(value);
-    }
-  }
-  return fallback;
-}
 
 bool HasFlag(int argc, char** argv, const char* flag) {
   for (int i = 1; i < argc; ++i) {

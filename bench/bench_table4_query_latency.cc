@@ -45,14 +45,15 @@ void ReportRemovedAllocations(BenchJsonWriter* json) {
   row.Add("removed_id_copies", stats.candidates_returned);
 }
 
-void Run(size_t threads, const std::string& metrics_out) {
+void Run(size_t threads, size_t entities, size_t copies,
+         const std::string& metrics_out) {
   Banner("Table 4 — average time to resolve one query record",
          "Standard blocking; matching phase only (paper's Table 4).");
-  std::printf("threads: %zu\n", threads);
+  std::printf("threads: %zu entities: %zu copies: %zu\n", threads, entities,
+              copies);
 
   MetricsSession metrics(metrics_out);
-  const auto results =
-      RunQualityMatrix(/*entities=*/3000, /*copies=*/12, threads, &metrics);
+  const auto results = RunQualityMatrix(entities, copies, threads, &metrics);
 
   std::printf("%8s %14s %18s\n", "dataset", "method", "avg_query_us");
   for (const ExperimentResult& result : results) {
@@ -80,7 +81,10 @@ void Run(size_t threads, const std::string& metrics_out) {
 }  // namespace sketchlink::bench
 
 int main(int argc, char** argv) {
-  sketchlink::bench::Run(sketchlink::bench::ParseThreads(argc, argv),
-                         sketchlink::bench::ParseMetricsOut(argc, argv));
+  sketchlink::bench::Run(
+      sketchlink::bench::ParseThreads(argc, argv),
+      sketchlink::bench::ParseSize(argc, argv, "--entities", 3000),
+      sketchlink::bench::ParseSize(argc, argv, "--copies", 12),
+      sketchlink::bench::ParseMetricsOut(argc, argv));
   return 0;
 }

@@ -52,6 +52,20 @@ inline size_t ParseThreads(int argc, char** argv) {
   return ThreadPool::DefaultThreads();
 }
 
+/// Parses `--<flag> N` (a positive size) from the command line; `fallback`
+/// when absent or invalid. Benches use this for scale knobs (--entities,
+/// --copies) so the regression gate can drive a tiny smoke run.
+inline size_t ParseSize(int argc, char** argv, const char* flag,
+                        size_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      const long value = std::atol(argv[i + 1]);
+      if (value > 0) return static_cast<size_t>(value);
+    }
+  }
+  return fallback;
+}
+
 /// Prints a banner naming the experiment being reproduced.
 inline void Banner(const char* experiment, const char* description) {
   std::printf("\n==== %s ====\n%s\n\n", experiment, description);

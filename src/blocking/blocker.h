@@ -8,6 +8,16 @@
 
 namespace sketchlink {
 
+/// Reusable buffers for one thread's key extraction. The first `num_keys`
+/// entries of `keys` are the record's blocking keys; the string buffers (and
+/// the vector) keep their capacity across records, so a warm scratch makes
+/// ExtractKeys allocation-free for blockers that override it.
+struct KeyScratch {
+  std::vector<std::string> keys;
+  size_t num_keys = 0;
+  std::string key_values;
+};
+
 /// Generates the blocking key(s) of a record — the `block(r)` function of
 /// the paper's problem formulation (Sec. 3.3). Standard blocking emits one
 /// key per record; redundant schemes such as LSH blocking emit several, one
@@ -24,6 +34,20 @@ class Blocker {
   /// '#'-joined. BlockSketch measures representative distances on this
   /// string, not on the (possibly truncated or hashed) blocking key itself.
   virtual std::string KeyValues(const Record& record) const = 0;
+
+  /// Keys() + KeyValues() into reused buffers. Must produce byte-identical
+  /// strings to the allocating pair (the default delegates to them).
+  /// Overrides exist so the steady-state query path can run without heap
+  /// allocations once the scratch is warm.
+  virtual void ExtractKeys(const Record& record, KeyScratch* scratch) const {
+    std::vector<std::string> keys = Keys(record);
+    scratch->num_keys = keys.size();
+    if (scratch->keys.size() < keys.size()) scratch->keys.resize(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      scratch->keys[i] = std::move(keys[i]);
+    }
+    scratch->key_values = KeyValues(record);
+  }
 
   /// Number of keys Keys() emits (1 for standard blocking, L for LSH).
   virtual size_t keys_per_record() const = 0;

@@ -43,4 +43,36 @@ std::string StandardBlocker::KeyValues(const Record& record) const {
   return values;
 }
 
+void StandardBlocker::ExtractKeys(const Record& record,
+                                  KeyScratch* scratch) const {
+  scratch->num_keys = 1;
+  if (scratch->keys.empty()) scratch->keys.emplace_back();
+  std::string& key = scratch->keys[0];
+  std::string& values = scratch->key_values;
+  key.clear();
+  values.clear();
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    const KeyPart& part = parts_[i];
+    if (i > 0) {
+      key.push_back('#');
+      values.push_back('#');
+    }
+    if (part.field_index < 0 ||
+        static_cast<size_t>(part.field_index) >= record.fields.size()) {
+      continue;  // missing field contributes an empty component
+    }
+    const size_t value_begin = values.size();
+    text::NormalizeFieldTo(record.fields[part.field_index], &values);
+    const std::string_view normalized(values.data() + value_begin,
+                                      values.size() - value_begin);
+    std::string_view piece;
+    if (part.prefix_chars > 0) {
+      piece = text::Prefix(normalized, part.prefix_chars);
+    } else {
+      piece = text::FractionPrefix(normalized, part.prefix_fraction);
+    }
+    key.append(piece);
+  }
+}
+
 }  // namespace sketchlink

@@ -32,6 +32,11 @@ class StandardBlocker : public Blocker {
   /// key of "JAMES#JOHN").
   std::string KeyValues(const Record& record) const override;
 
+  /// Normalizes each blocking field once, deriving the (truncated) key and
+  /// the key-values string from the same pass — the allocating pair
+  /// normalizes every field twice. Allocation-free once `scratch` is warm.
+  void ExtractKeys(const Record& record, KeyScratch* scratch) const override;
+
   /// The single key of `record` (convenience over Keys()).
   std::string Key(const Record& record) const;
 

@@ -1,0 +1,182 @@
+#include "common/arena.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define SKETCHLINK_HAS_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SKETCHLINK_HAS_ASAN 1
+#endif
+#endif
+
+#ifdef SKETCHLINK_HAS_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace sketchlink {
+namespace {
+
+// Recycled/rewound bytes are clobbered with this pattern so a stale view
+// reads recognizable garbage even without ASan.
+constexpr unsigned char kPoisonByte = 0xCD;
+
+void PoisonRange(void* p, size_t n) {
+  if (n == 0) return;
+  std::memset(p, kPoisonByte, n);
+#ifdef SKETCHLINK_HAS_ASAN
+  __asan_poison_memory_region(p, n);
+#endif
+}
+
+void UnpoisonRange(void* p, size_t n) {
+#ifdef SKETCHLINK_HAS_ASAN
+  if (n != 0) __asan_unpoison_memory_region(p, n);
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+
+}  // namespace
+
+struct Arena::Block {
+  Block* next;
+  size_t capacity;  // payload bytes following the header
+  char* payload() { return reinterpret_cast<char*>(this + 1); }
+};
+
+Arena::Arena(size_t block_bytes)
+    : block_bytes_(block_bytes < 512 ? 512 : block_bytes) {}
+
+Arena::~Arena() {
+  Block* b = head_;
+  while (b != nullptr) {
+    Block* next = b->next;
+    UnpoisonRange(b->payload(), b->capacity);
+    std::free(b);
+    b = next;
+  }
+}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  assert(align != 0 && (align & (align - 1)) == 0);
+  char* aligned = reinterpret_cast<char*>(
+      (reinterpret_cast<uintptr_t>(ptr_) + (align - 1)) & ~uintptr_t(align - 1));
+  if (aligned + bytes <= end_) {
+    UnpoisonRange(aligned, bytes);
+    ptr_ = aligned + bytes;
+    bytes_allocated_ += bytes;
+    return aligned;
+  }
+  return AllocateSlow(bytes, align);
+}
+
+void* Arena::AllocateSlow(size_t bytes, size_t align) {
+  // Requests larger than a block get a dedicated block sized to fit;
+  // max_align_t header keeps the payload aligned for any request.
+  size_t need = bytes + align;
+  size_t cap = need > block_bytes_ ? need : block_bytes_;
+  Block* b = nullptr;
+  if (current_ != nullptr && current_->next != nullptr &&
+      current_->next->capacity >= need) {
+    // Reuse a recycled block left over from a previous Reset().
+    b = current_->next;
+  } else {
+    b = static_cast<Block*>(std::malloc(sizeof(Block) + cap));
+    if (b == nullptr) throw std::bad_alloc();
+    b->capacity = cap;
+    // Splice after current_ so the bump chain stays in allocation order.
+    if (current_ != nullptr) {
+      b->next = current_->next;
+      current_->next = b;
+    } else {
+      b->next = head_;
+      head_ = b;
+    }
+    bytes_reserved_ += cap;
+    PoisonRange(b->payload(), b->capacity);
+  }
+  current_ = b;
+  ptr_ = b->payload();
+  end_ = ptr_ + b->capacity;
+  char* aligned = reinterpret_cast<char*>(
+      (reinterpret_cast<uintptr_t>(ptr_) + (align - 1)) & ~uintptr_t(align - 1));
+  assert(aligned + bytes <= end_);
+  UnpoisonRange(aligned, bytes);
+  ptr_ = aligned + bytes;
+  bytes_allocated_ += bytes;
+  return aligned;
+}
+
+std::string_view Arena::CopyString(std::string_view s) {
+  if (s.empty()) return std::string_view();
+  char* dst = static_cast<char*>(Allocate(s.size(), 1));
+  std::memcpy(dst, s.data(), s.size());
+  return std::string_view(dst, s.size());
+}
+
+void Arena::Reset() {
+  for (Block* b = head_; b != nullptr; b = b->next) {
+    UnpoisonRange(b->payload(), b->capacity);
+    PoisonRange(b->payload(), b->capacity);
+  }
+  current_ = head_;
+  if (head_ != nullptr) {
+    ptr_ = head_->payload();
+    end_ = ptr_ + head_->capacity;
+  } else {
+    ptr_ = end_ = nullptr;
+  }
+  bytes_allocated_ = 0;
+}
+
+void Arena::PoisonTail(Block* block, char* from) {
+  Block* b = static_cast<Block*>(static_cast<void*>(block));
+  if (b != nullptr) {
+    char* block_end = b->payload() + b->capacity;
+    if (from >= b->payload() && from <= block_end) {
+      UnpoisonRange(from, block_end - from);
+      PoisonRange(from, block_end - from);
+    }
+    b = b->next;
+  } else {
+    b = head_;
+  }
+  for (; b != nullptr; b = b->next) {
+    UnpoisonRange(b->payload(), b->capacity);
+    PoisonRange(b->payload(), b->capacity);
+  }
+}
+
+Arena::Scope::Scope(Arena* arena)
+    : arena_(arena),
+      block_(arena->current_),
+      ptr_(arena->ptr_),
+      allocated_(arena->bytes_allocated_) {}
+
+Arena::Scope::~Scope() {
+  Block* block = static_cast<Block*>(block_);
+  arena_->PoisonTail(block, ptr_);
+  arena_->current_ = block;
+  if (block != nullptr) {
+    arena_->ptr_ = ptr_;
+    arena_->end_ = block->payload() + block->capacity;
+  } else {
+    // The arena had no blocks yet: rewind fully but keep any blocks that
+    // were created inside the scope for reuse.
+    arena_->current_ = arena_->head_;
+    if (arena_->head_ != nullptr) {
+      arena_->ptr_ = arena_->head_->payload();
+      arena_->end_ = arena_->ptr_ + arena_->head_->capacity;
+    } else {
+      arena_->ptr_ = arena_->end_ = nullptr;
+    }
+  }
+  arena_->bytes_allocated_ = allocated_;
+}
+
+}  // namespace sketchlink

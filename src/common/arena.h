@@ -1,0 +1,107 @@
+#ifndef SKETCHLINK_COMMON_ARENA_H_
+#define SKETCHLINK_COMMON_ARENA_H_
+
+// Bump-pointer arena with scoped lifetimes.
+//
+// The hot pipeline (record storage, interned key bytes, SoA representative
+// chunks) allocates many small, never-individually-freed objects whose
+// lifetime is the lifetime of a larger unit (a dataset, an index, a scratch
+// scope). A general-purpose heap pays per-allocation metadata, locks and
+// pointer chasing for that pattern; the arena pays one pointer bump and
+// keeps neighbours contiguous, which is where the end-to-end wins of the
+// memory-layout overhaul come from (DESIGN.md §12).
+//
+// Contracts:
+//   - Allocation never moves previously returned memory: blocks are chained,
+//     not reallocated, so views into the arena stay valid until Reset() or
+//     destruction. This is what makes zero-copy RecordViews safe against
+//     concurrent appends (the std::vector backing they replace reallocates).
+//   - Reset() recycles every block for reuse and poisons the recycled bytes:
+//     under ASan the old ranges become addressable-but-poisoned so stale
+//     views fault loudly; without ASan they are clobbered with 0xCD so
+//     use-after-reset reads surface as garbage rather than silently working.
+//   - Scope (RAII) rewinds the arena to its construction point, giving
+//     per-query scratch lifetimes without per-query frees.
+//   - Not internally synchronized: one arena per writer, or external locking
+//     (RecordStore wraps its arena in the store mutex).
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sketchlink {
+
+class Arena {
+ public:
+  /// `block_bytes` is the granularity of backing allocations; oversized
+  /// requests get a dedicated block.
+  explicit Arena(size_t block_bytes = 64 * 1024);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of uninitialized storage aligned to `align` (a power
+  /// of two, at most alignof(std::max_align_t)).
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t));
+
+  /// Copies `s` into the arena and returns a stable view of the copy.
+  std::string_view CopyString(std::string_view s);
+
+  /// Typed array of `n` default-constructible Ts. T must be trivially
+  /// destructible: the arena never runs destructors.
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without destructors");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Recycles every block for reuse and poisons their payload bytes (see
+  /// file comment). All previously returned pointers become invalid.
+  void Reset();
+
+  /// Bytes handed out since construction/Reset (for accounting).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+  /// Total backing-block bytes currently owned (allocated + headroom).
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+  /// RAII rewind point: on destruction the arena forgets everything
+  /// allocated after the Scope was constructed and poisons those bytes.
+  /// Scopes must nest (destroy in reverse construction order).
+  class Scope {
+   public:
+    explicit Scope(Arena* arena);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Arena* arena_;
+    void* block_;       // current block at construction
+    char* ptr_;         // bump pointer at construction
+    size_t allocated_;  // accounting at construction
+  };
+
+ private:
+  struct Block;
+
+  /// Slow path: finds/creates a block with room for `bytes`.
+  void* AllocateSlow(size_t bytes, size_t align);
+
+  /// Poisons [from, block end) of `block` and every later block's payload.
+  void PoisonTail(Block* block, char* from);
+
+  Block* head_ = nullptr;     // chain of all owned blocks
+  Block* current_ = nullptr;  // block being bumped
+  char* ptr_ = nullptr;       // next free byte in current_
+  char* end_ = nullptr;       // one past current_'s payload
+  size_t block_bytes_;
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_COMMON_ARENA_H_

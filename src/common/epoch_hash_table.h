@@ -36,9 +36,37 @@
 
 namespace sketchlink {
 
-template <typename T>
+// Key policy for EpochHashTable. Strings look up by string_view (no
+// temporary std::string at the call site); interned u32 ids look up by
+// value with a finalizer-mixed hash, since interner ids are dense and
+// sequential — exactly the distribution naked masking clusters worst.
+template <typename Key>
+struct EpochKeyTraits;
+
+template <>
+struct EpochKeyTraits<std::string> {
+  using Lookup = std::string_view;
+  static uint64_t Hash(std::string_view key) { return Fnv1a64(key); }
+};
+
+template <>
+struct EpochKeyTraits<uint32_t> {
+  using Lookup = uint32_t;
+  static uint64_t Hash(uint32_t key) {
+    // splitmix64 finalizer.
+    uint64_t x = key + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+};
+
+template <typename T, typename Key = std::string>
 class EpochHashTable {
  public:
+  using Traits = EpochKeyTraits<Key>;
+  using Lookup = typename Traits::Lookup;
+
   explicit EpochHashTable(size_t initial_capacity = 16) {
     table_.store(new Table(NormalizeCapacity(initial_capacity)),
                  std::memory_order_release);
@@ -61,9 +89,9 @@ class EpochHashTable {
 
   /// Lock-free lookup; caller holds an epoch::ReadGuard (or is the writer).
   /// Returns a shared_ptr copy so the value outlives any concurrent erase.
-  std::shared_ptr<T> Find(std::string_view key) const {
+  std::shared_ptr<T> Find(Lookup key) const {
     const Table* table = table_.load(std::memory_order_acquire);
-    const uint64_t hash = Fnv1a64(key);
+    const uint64_t hash = Traits::Hash(key);
     for (size_t i = 0; i < table->capacity; ++i) {
       const size_t slot = (hash + i) & table->mask;
       Entry* entry = table->slots[slot].load(std::memory_order_acquire);
@@ -76,10 +104,10 @@ class EpochHashTable {
 
   /// Inserts `key` (which must be absent — enforced by callers' probe-first
   /// discipline). Writer only.
-  void Insert(std::string key, std::shared_ptr<T> value) {
+  void Insert(Key key, std::shared_ptr<T> value) {
     MaybeGrow();
     Table* table = table_.load(std::memory_order_relaxed);
-    const uint64_t hash = Fnv1a64(key);
+    const uint64_t hash = Traits::Hash(key);
     for (size_t i = 0; i < table->capacity; ++i) {
       const size_t slot = (hash + i) & table->mask;
       Entry* entry = table->slots[slot].load(std::memory_order_relaxed);
@@ -95,9 +123,9 @@ class EpochHashTable {
   }
 
   /// Tombstones `key`'s slot and epoch-retires the entry. Writer only.
-  bool Erase(std::string_view key) {
+  bool Erase(Lookup key) {
     Table* table = table_.load(std::memory_order_relaxed);
-    const uint64_t hash = Fnv1a64(key);
+    const uint64_t hash = Traits::Hash(key);
     for (size_t i = 0; i < table->capacity; ++i) {
       const size_t slot = (hash + i) & table->mask;
       Entry* entry = table->slots[slot].load(std::memory_order_relaxed);
@@ -116,7 +144,7 @@ class EpochHashTable {
   /// Live entries (lock-free; consistent-enough for gauges and budgets).
   size_t size() const { return size_.load(std::memory_order_relaxed); }
 
-  /// Visits every live entry as fn(const std::string& key, const
+  /// Visits every live entry as fn(const Key& key, const
   /// std::shared_ptr<T>& value). Same caller contract as Find().
   template <typename Fn>
   void ForEach(Fn fn) const {
@@ -135,7 +163,7 @@ class EpochHashTable {
 
  private:
   struct Entry {
-    const std::string key;
+    const Key key;
     const std::shared_ptr<T> value;  // immutable after publish
   };
 
@@ -177,7 +205,7 @@ class EpochHashTable {
     for (size_t i = 0; i < table->capacity; ++i) {
       Entry* entry = table->slots[i].load(std::memory_order_relaxed);
       if (entry == nullptr || entry == Tombstone()) continue;
-      const uint64_t hash = Fnv1a64(entry->key);
+      const uint64_t hash = Traits::Hash(entry->key);
       for (size_t j = 0; j < fresh->capacity; ++j) {
         const size_t slot = (hash + j) & fresh->mask;
         if (fresh->slots[slot].load(std::memory_order_relaxed) == nullptr) {

@@ -1,0 +1,108 @@
+#ifndef SKETCHLINK_COMMON_FLAT_SET_H_
+#define SKETCHLINK_COMMON_FLAT_SET_H_
+
+// Open-addressing integer set with O(1) clear, for steady-state dedupe.
+//
+// The per-query candidate dedupe used to be a freshly constructed
+// std::unordered_set (one node allocation per distinct candidate, plus
+// bucket array churn). FlatIdSet keeps its backing array across queries
+// and clears by bumping a generation stamp, so a warm query performs zero
+// heap allocations: Insert is a probe over a flat array the CPU prefetches
+// well. Growth only happens when a query sees more distinct ids than any
+// before it, after which the table is warm forever.
+//
+// Not thread-safe; each worker owns one (it lives in QueryScratch).
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace sketchlink {
+
+class FlatIdSet {
+ public:
+  explicit FlatIdSet(size_t initial_capacity = 64) {
+    size_t cap = 16;
+    while (cap < initial_capacity) cap <<= 1;
+    slots_.resize(cap);
+  }
+
+  /// Forgets all elements without touching the backing array.
+  void Clear() {
+    ++generation_;
+    size_ = 0;
+    if (generation_ == 0) {
+      // Stamp wrapped (once per 2^64 clears): hard-reset to stay correct.
+      std::fill(slots_.begin(), slots_.end(), Slot{});
+      generation_ = 1;
+    }
+  }
+
+  /// Inserts `id`; returns true if it was not already present.
+  bool Insert(uint64_t id) {
+    if ((size_ + 1) * 10 >= slots_.size() * 7) Grow();
+    const size_t mask = slots_.size() - 1;
+    size_t i = Mix(id) & mask;
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.generation != generation_) {
+        s.generation = generation_;
+        s.id = id;
+        ++size_;
+        return true;
+      }
+      if (s.id == id) return false;
+      i = (i + 1) & mask;
+    }
+  }
+
+  bool Contains(uint64_t id) const {
+    const size_t mask = slots_.size() - 1;
+    size_t i = Mix(id) & mask;
+    while (true) {
+      const Slot& s = slots_[i];
+      if (s.generation != generation_) return false;
+      if (s.id == id) return true;
+      i = (i + 1) & mask;
+    }
+  }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    uint64_t generation = 0;  // live iff == current generation_
+    uint64_t id = 0;
+  };
+
+  // splitmix64 finalizer: record ids are often sequential, which naked
+  // masking would cluster into one probe run.
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    const size_t mask = slots_.size() - 1;
+    for (const Slot& s : old) {
+      if (s.generation != generation_) continue;
+      size_t i = Mix(s.id) & mask;
+      while (slots_[i].generation == generation_) i = (i + 1) & mask;
+      slots_[i].generation = generation_;
+      slots_[i].id = s.id;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  uint64_t generation_ = 1;
+  size_t size_ = 0;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_COMMON_FLAT_SET_H_

@@ -1,0 +1,176 @@
+#include "common/interner.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "common/hash.h"
+
+namespace sketchlink {
+namespace {
+
+constexpr uint64_t kHashSeed = 0x1e7e4ed5eedull;
+constexpr size_t kInitialCapacity = 64;
+
+uint32_t Hash32(std::string_view s) {
+  return static_cast<uint32_t>(Murmur3_64(s, kHashSeed));
+}
+
+}  // namespace
+
+StringInterner::Table* StringInterner::NewTable(size_t capacity) {
+  void* mem = std::calloc(1, sizeof(Table) + capacity * sizeof(Slot));
+  if (mem == nullptr) throw std::bad_alloc();
+  Table* t = static_cast<Table*>(mem);
+  t->capacity = capacity;  // slots are zeroed: id 0 == empty
+  return t;
+}
+
+StringInterner::StringInterner() : table_(NewTable(kInitialCapacity)) {
+  approx_table_bytes_ = sizeof(Table) + kInitialCapacity * sizeof(Slot);
+  constexpr size_t kInitialDir = 16;
+  auto* dir = new std::atomic<Entry*>[kInitialDir];
+  for (size_t i = 0; i < kInitialDir; ++i) dir[i].store(nullptr, std::memory_order_relaxed);
+  dir_capacity_ = kInitialDir;
+  chunks_.store(dir, std::memory_order_release);
+}
+
+StringInterner::~StringInterner() {
+  std::free(table_.load(std::memory_order_relaxed));
+  for (Table* t : retired_) std::free(t);
+  auto* dir = chunks_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < dir_capacity_; ++i) {
+    delete[] dir[i].load(std::memory_order_relaxed);
+  }
+  delete[] dir;
+  for (void* d : retired_dirs_) {
+    delete[] static_cast<std::atomic<Entry*>*>(d);
+  }
+}
+
+const StringInterner::Entry& StringInterner::EntryFor(Id id) const {
+  assert(id != kInvalidId);
+  size_t index = id - 1;
+  const auto* dir = chunks_.load(std::memory_order_acquire);
+  const Entry* chunk =
+      dir[index >> kChunkShift].load(std::memory_order_acquire);
+  return chunk[index & (kChunkSize - 1)];
+}
+
+void StringInterner::InsertSlot(Table* table, uint64_t hash, Id id) {
+  const uint32_t h32 = static_cast<uint32_t>(hash);
+  const size_t mask = table->capacity - 1;
+  size_t i = h32 & mask;
+  Slot* slots = table->slots();
+  while (slots[i].id.load(std::memory_order_relaxed) != 0) {
+    i = (i + 1) & mask;
+  }
+  slots[i].hash32 = h32;
+  // Release so a reader that acquires the id also sees hash32 and the
+  // directory entry written before this insert.
+  slots[i].id.store(id, std::memory_order_release);
+}
+
+StringInterner::Id StringInterner::Find(std::string_view s) const {
+  const uint32_t h32 = Hash32(s);
+  const Table* table = table_.load(std::memory_order_acquire);
+  const size_t mask = table->capacity - 1;
+  const Slot* slots = table->slots();
+  for (size_t i = h32 & mask;; i = (i + 1) & mask) {
+    const Id id = slots[i].id.load(std::memory_order_acquire);
+    if (id == kInvalidId) return kInvalidId;
+    if (slots[i].hash32 == h32) {
+      const Entry& e = EntryFor(id);
+      if (std::string_view(e.data, e.len) == s) return id;
+    }
+  }
+}
+
+std::string_view StringInterner::View(Id id) const {
+  const Entry& e = EntryFor(id);
+  return std::string_view(e.data, e.len);
+}
+
+StringInterner::Id StringInterner::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Re-probe under the lock: another writer may have interned `s` between
+  // a caller's optimistic Find and this point.
+  const uint32_t h32 = Hash32(s);
+  Table* table = table_.load(std::memory_order_relaxed);
+  {
+    const size_t mask = table->capacity - 1;
+    Slot* slots = table->slots();
+    for (size_t i = h32 & mask;; i = (i + 1) & mask) {
+      const Id id = slots[i].id.load(std::memory_order_relaxed);
+      if (id == kInvalidId) break;
+      if (slots[i].hash32 == h32) {
+        const Entry& e = EntryFor(id);
+        if (std::string_view(e.data, e.len) == s) return id;
+      }
+    }
+  }
+
+  const size_t count = size_.load(std::memory_order_relaxed);
+  const Id id = static_cast<Id>(count + 1);
+  const size_t index = count;
+
+  // Publish the entry bytes before the id becomes findable.
+  std::string_view stored = arena_.CopyString(s);
+  const size_t chunk_index = index >> kChunkShift;
+  auto* dir = chunks_.load(std::memory_order_relaxed);
+  if (chunk_index >= dir_capacity_) {
+    size_t new_cap = dir_capacity_ * 2;
+    auto* grown = new std::atomic<Entry*>[new_cap];
+    for (size_t i = 0; i < dir_capacity_; ++i) {
+      grown[i].store(dir[i].load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    }
+    for (size_t i = dir_capacity_; i < new_cap; ++i) {
+      grown[i].store(nullptr, std::memory_order_relaxed);
+    }
+    retired_dirs_.push_back(dir);  // readers may still hold the old array
+    chunks_.store(grown, std::memory_order_release);
+    dir_capacity_ = new_cap;
+    dir = grown;
+  }
+  Entry* chunk = dir[chunk_index].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Entry[kChunkSize]();
+    dir[chunk_index].store(chunk, std::memory_order_release);
+  }
+  chunk[index & (kChunkSize - 1)] = Entry{stored.data(),
+                                          static_cast<uint32_t>(stored.size())};
+
+  // Grow the probe table copy-on-write at 70% load; the old table stays
+  // readable (it holds every id except this one) until destruction.
+  if ((count + 1) * 10 >= table->capacity * 7) {
+    Table* grown = NewTable(table->capacity * 2);
+    Slot* old_slots = table->slots();
+    for (size_t i = 0; i < table->capacity; ++i) {
+      const Id old_id = old_slots[i].id.load(std::memory_order_relaxed);
+      if (old_id != kInvalidId) {
+        InsertSlot(grown, old_slots[i].hash32, old_id);
+      }
+    }
+    approx_table_bytes_ += sizeof(Table) + grown->capacity * sizeof(Slot);
+    retired_.push_back(table);
+    table_.store(grown, std::memory_order_release);
+    table = grown;
+  }
+
+  InsertSlot(table, h32, id);
+  size_.store(count + 1, std::memory_order_release);
+  return id;
+}
+
+size_t StringInterner::ApproximateMemoryUsage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t count = size_.load(std::memory_order_relaxed);
+  const size_t chunks = (count + kChunkSize - 1) >> kChunkShift;
+  return arena_.bytes_reserved() + approx_table_bytes_ +
+         chunks * kChunkSize * sizeof(Entry) +
+         dir_capacity_ * sizeof(std::atomic<Entry*>);
+}
+
+}  // namespace sketchlink

@@ -1,0 +1,110 @@
+#ifndef SKETCHLINK_COMMON_INTERNER_H_
+#define SKETCHLINK_COMMON_INTERNER_H_
+
+// String interner: maps each distinct string to a dense 32-bit id.
+//
+// Blocking keys repeat heavily (every record in a block carries the same
+// key), and downstream structures (sketch tables, pending-spill maps,
+// eviction queue entries) only need key *identity* plus an occasional
+// round-trip back to bytes. Interning collapses those strings to u32 ids:
+// hash the bytes once at the boundary, then everything inward compares,
+// stores, and hashes 4-byte integers.
+//
+// Concurrency model (mirrors EpochHashTable): one writer at a time
+// (Intern/ids are serialized by an internal mutex), any number of
+// concurrent lock-free readers (Find/View). Readers never block and never
+// fault: the id→bytes directory is append-only chunked storage with
+// acquire/release publication, string bytes live in an arena (stable
+// addresses), and the string→id probe table grows copy-on-write with
+// retired tables kept alive until destruction (their total size is
+// bounded by the geometric growth sum, < one extra copy of the live
+// table).
+//
+// Ids are 1-based and dense in interning order; 0 is kInvalidId. Ids are
+// never reused or remapped, so a published id stays valid for the
+// interner's lifetime — this is the "id stability" property the TSan test
+// hammers.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "common/arena.h"
+
+namespace sketchlink {
+
+class StringInterner {
+ public:
+  using Id = uint32_t;
+  static constexpr Id kInvalidId = 0;
+
+  StringInterner();
+  ~StringInterner();
+
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+
+  /// Returns the id for `s`, interning it first if unseen. Thread-safe
+  /// against concurrent Intern/Find/View.
+  Id Intern(std::string_view s);
+
+  /// Returns the id for `s`, or kInvalidId if it was never interned.
+  /// Lock-free; safe against a concurrent Intern.
+  Id Find(std::string_view s) const;
+
+  /// Returns the interned bytes for a valid id. The view is stable for the
+  /// interner's lifetime. Lock-free.
+  std::string_view View(Id id) const;
+
+  /// Number of interned strings (== the largest id).
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// Approximate heap footprint (arena + tables + directory).
+  size_t ApproximateMemoryUsage() const;
+
+ private:
+  struct Entry {
+    const char* data;
+    uint32_t len;
+  };
+
+  // Probe-table slot: id 0 = empty. `hash32` caches the low hash bits so
+  // probes reject mismatches without touching the entry bytes.
+  struct Slot {
+    std::atomic<uint32_t> id;
+    uint32_t hash32;
+  };
+
+  struct Table {
+    size_t capacity;  // power of two
+    Slot* slots() { return reinterpret_cast<Slot*>(this + 1); }
+    const Slot* slots() const { return reinterpret_cast<const Slot*>(this + 1); }
+  };
+
+  // Directory of fixed-size entry chunks; chunk pointers publish with
+  // release stores and are never replaced, so readers index without locks.
+  static constexpr size_t kChunkShift = 12;  // 4096 entries per chunk
+  static constexpr size_t kChunkSize = size_t{1} << kChunkShift;
+  static constexpr size_t kMaxChunks = 1 << 20;  // 2^32 ids max anyway
+
+  static Table* NewTable(size_t capacity);
+  const Entry& EntryFor(Id id) const;
+  /// Writer-side: inserts `id` with `hash` into `table`.
+  static void InsertSlot(Table* table, uint64_t hash, Id id);
+
+  Arena arena_;                        // string bytes (writer-locked)
+  std::atomic<Table*> table_;          // live probe table
+  std::vector<Table*> retired_;        // old tables, freed at destruction
+  std::atomic<std::atomic<Entry*>*> chunks_;  // directory array
+  std::vector<void*> retired_dirs_;    // old directory arrays
+  size_t dir_capacity_ = 0;            // slots in chunks_
+  std::atomic<size_t> size_{0};
+  size_t approx_table_bytes_ = 0;
+  mutable std::mutex mu_;              // serializes writers
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_COMMON_INTERNER_H_

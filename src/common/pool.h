@@ -1,0 +1,123 @@
+#ifndef SKETCHLINK_COMMON_POOL_H_
+#define SKETCHLINK_COMMON_POOL_H_
+
+// Slab pool for fixed-size nodes.
+//
+// Backs allocation-churny structures whose nodes are freed individually but
+// share one size class (pending-spill entries, scratch chunks). Nodes come
+// from slabs carved out of a few large mallocs; the free list is intrusive,
+// so a free costs one pointer write and an allocate one pointer read.
+//
+// Every node carries a one-word state tag ahead of the payload, so
+// Free() detects double-frees and foreign pointers deterministically and
+// aborts instead of corrupting the free list — the property test relies on
+// this being always-on, not an ASan-only behavior.
+//
+// Not internally synchronized; callers lock around a shared pool.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace sketchlink {
+
+template <typename T>
+class Pool {
+ public:
+  explicit Pool(size_t nodes_per_slab = 256)
+      : nodes_per_slab_(nodes_per_slab < 8 ? 8 : nodes_per_slab) {}
+
+  ~Pool() {
+    Slab* s = slabs_;
+    while (s != nullptr) {
+      Slab* next = s->next;
+      std::free(s);
+      s = next;
+    }
+  }
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// Constructs a T in pooled storage.
+  template <typename... Args>
+  T* New(Args&&... args) {
+    Node* n = free_list_;
+    if (n != nullptr) {
+      free_list_ = n->next_free;
+    } else {
+      n = NewSlabNode();
+    }
+    n->state = kLive;
+    ++live_;
+    return new (n->payload) T(std::forward<Args>(args)...);
+  }
+
+  /// Destroys `t` and returns its node to the free list. Aborts on a
+  /// double-free or a pointer that did not come from this pool's New().
+  void Free(T* t) {
+    Node* n = reinterpret_cast<Node*>(reinterpret_cast<char*>(t) -
+                                      offsetof(Node, payload));
+    if (n->state != kLive) {
+      std::fprintf(stderr,
+                   "Pool::Free: %s of node %p (state=0x%llx)\n",
+                   n->state == kFree ? "double-free" : "foreign pointer", (void*)t,
+                   (unsigned long long)n->state);
+      std::abort();
+    }
+    t->~T();
+    n->state = kFree;
+    n->next_free = free_list_;
+    free_list_ = n;
+    --live_;
+  }
+
+  size_t live() const { return live_; }
+  size_t capacity() const { return slab_count_ * nodes_per_slab_; }
+
+ private:
+  static constexpr uint64_t kLive = 0xA11C0DEDA11C0DEDull;
+  static constexpr uint64_t kFree = 0xDEADBEEFDEADBEEFull;
+
+  struct Node {
+    uint64_t state;
+    Node* next_free;  // valid only while state == kFree
+    alignas(alignof(T)) unsigned char payload[sizeof(T)];
+  };
+
+  struct Slab {
+    Slab* next;
+    // Nodes follow the header.
+  };
+
+  Node* NewSlabNode() {
+    Slab* s = static_cast<Slab*>(
+        std::malloc(sizeof(Slab) + sizeof(Node) * nodes_per_slab_));
+    if (s == nullptr) throw std::bad_alloc();
+    s->next = slabs_;
+    slabs_ = s;
+    ++slab_count_;
+    Node* nodes = reinterpret_cast<Node*>(s + 1);
+    // Chain all but the first node onto the free list; return the first.
+    for (size_t i = nodes_per_slab_ - 1; i >= 1; --i) {
+      nodes[i].state = kFree;
+      nodes[i].next_free = free_list_;
+      free_list_ = &nodes[i];
+    }
+    return &nodes[0];
+  }
+
+  size_t nodes_per_slab_;
+  Node* free_list_ = nullptr;
+  Slab* slabs_ = nullptr;
+  size_t slab_count_ = 0;
+  size_t live_ = 0;
+};
+
+}  // namespace sketchlink
+
+#endif  // SKETCHLINK_COMMON_POOL_H_

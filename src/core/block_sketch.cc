@@ -45,10 +45,39 @@ size_t ProfileHeapBytes(const QGramProfile& profile) {
 /// heap only past kInlineSubs sub-blocks (lambda is small in practice).
 constexpr size_t kInlineSubs = 16;
 
+/// Test hook (see SketchPolicy::SetGatherRoutingForTesting): forces the
+/// legacy AoS gather path so the layout cross-check can diff it against the
+/// SoA fast path.
+std::atomic<bool> g_force_gather_routing{false};
+
 }  // namespace
+
+void RepSet::FinalizePacked() {
+  packed.text_bytes.clear();
+  packed.text_offsets.clear();
+  packed.text_lens.clear();
+  packed.text_offsets.reserve(representatives.size());
+  packed.text_lens.reserve(representatives.size());
+  for (const std::string& rep : representatives) {
+    packed.text_offsets.push_back(
+        static_cast<uint32_t>(packed.text_bytes.size()));
+    packed.text_lens.push_back(static_cast<uint32_t>(rep.size()));
+    packed.text_bytes.append(rep);
+  }
+}
+
+void RepSet::AppendPacked(std::string_view text) {
+  packed.text_offsets.push_back(
+      static_cast<uint32_t>(packed.text_bytes.size()));
+  packed.text_lens.push_back(static_cast<uint32_t>(text.size()));
+  packed.text_bytes.append(text);
+}
 
 size_t RepSet::ApproximateHeapBytes() const {
   size_t bytes = representatives.capacity() * sizeof(std::string);
+  bytes += StringHeapBytes(packed.text_bytes);
+  bytes += packed.text_offsets.capacity() * sizeof(uint32_t);
+  bytes += packed.text_lens.capacity() * sizeof(uint32_t);
   for (const std::string& rep : representatives) {
     bytes += StringHeapBytes(rep);
   }
@@ -165,6 +194,10 @@ double SketchPolicy::ProfileDistance(const QGramProfile& a,
   return 1.0 - dice;
 }
 
+void SketchPolicy::SetGatherRoutingForTesting(bool force) {
+  g_force_gather_routing.store(force, std::memory_order_relaxed);
+}
+
 bool SketchPolicy::KernelRoutingActive() const {
   return !distance_ && simd::KernelsEnabled();
 }
@@ -266,6 +299,7 @@ void SketchPolicy::RehydrateProfiles(SketchBlock* block) const {
     for (const std::string& rep : sub.representatives) {
       UpdateKernelCaches(&sub, SIZE_MAX, rep);
     }
+    sub.FinalizePacked();
   }
 }
 
@@ -412,13 +446,54 @@ SketchPolicy::RouteDecision SketchPolicy::RouteWithKernels(
     return decision;
   }
 
-  // One batch over all lambda*rho representatives, flat (sub, rep) order —
-  // the exact scan order of the scalar loop, so the first-minimum argmin is
-  // identical.
   size_t total = 0;
+  bool soa_ready = !g_force_gather_routing.load(std::memory_order_relaxed);
   for (size_t i = 0; i < num_subs; ++i) {
     total += subs[i]->representatives.size();
+    soa_ready = soa_ready && subs[i]->PackedConsistent();
   }
+
+  if (soa_ready) {
+    // SoA fast path: each sub-block's reservoir is already published as a
+    // contiguous {text run, offsets, lens} snapshot, so no gather step is
+    // needed. Scoring per sub with the running best carried across subs is
+    // bit-identical to one flat batch over the concatenation: bounds never
+    // depend on the running best, and the (sub, rep) evaluation order is
+    // unchanged — a later sub updates the argmin only on a strict
+    // improvement, exactly the flat first-minimum rule.
+    decision.comparisons += total;  // historical accounting: one per rep
+    decision.batch_size = total;
+    decision.batched = true;
+    double best_distance = std::numeric_limits<double>::infinity();
+    size_t best_sub = SIZE_MAX;
+    for (size_t i = 0; i < num_subs; ++i) {
+      const RepSet& sub = *subs[i];
+      const size_t count = sub.representatives.size();
+      if (count == 0) continue;
+      simd::BatchSoA soa;
+      soa.count = count;
+      soa.text_bytes = sub.packed.text_bytes.data();
+      soa.text_offsets = sub.packed.text_offsets.data();
+      soa.text_lens = sub.packed.text_lens.data();
+      soa.patterns =
+          sub.rep_patterns.size() == count ? sub.rep_patterns.data() : nullptr;
+      soa.profiles =
+          sub.rep_bits.size() == count ? sub.rep_bits.data() : nullptr;
+      const simd::BatchResult result = query.Score(soa, best_distance);
+      decision.evaluated += result.evaluated;
+      decision.pruned += result.pruned;
+      if (result.best_index != SIZE_MAX) {
+        best_distance = result.best_distance;
+        best_sub = i;
+      }
+    }
+    decision.sub = best_sub == SIZE_MAX ? ring : best_sub;
+    return decision;
+  }
+
+  // Gather path: one batch over all lambda*rho representatives, flat
+  // (sub, rep) order — the exact scan order of the scalar loop, so the
+  // first-minimum argmin is identical.
   constexpr size_t kInlineCandidates = 64;
   simd::BatchCandidate inline_buf[kInlineCandidates];
   std::vector<simd::BatchCandidate> heap_buf;
@@ -490,6 +565,13 @@ void SketchPolicy::ApplyRepUpdate(RepSet* reps, const RepUpdate& update,
       reps->representatives.emplace_back(key_values);
       if (UsesProfiles()) reps->rep_profiles.push_back(MakeProfile(key_values));
       UpdateKernelCaches(reps, SIZE_MAX, key_values);
+      if (KernelRoutingActive()) {
+        if (reps->packed.text_lens.size() + 1 == reps->representatives.size()) {
+          reps->AppendPacked(key_values);
+        } else {
+          reps->FinalizePacked();
+        }
+      }
       return;
     case RepUpdate::Kind::kReplace:
       reps->representatives[update.index].assign(key_values);
@@ -497,6 +579,7 @@ void SketchPolicy::ApplyRepUpdate(RepSet* reps, const RepUpdate& update,
         reps->rep_profiles[update.index] = MakeProfile(key_values);
       }
       UpdateKernelCaches(reps, update.index, key_values);
+      if (KernelRoutingActive()) reps->FinalizePacked();
       return;
   }
 }
@@ -510,22 +593,23 @@ BlockSketch::BlockSketch(const BlockSketchOptions& options,
                          KeyDistanceFn distance)
     : policy_(options, std::move(distance)) {}
 
-void BlockSketch::Insert(const std::string& block_key,
+void BlockSketch::Insert(std::string_view block_key,
                          std::string_view key_values, RecordId id) {
   obs::Span span("sketch", "insert");
   obs::LatencyTimer timer(
       SKETCHLINK_OBS_SAMPLE_HIT() ? metrics_.insert_timer() : nullptr);
   metrics_.inserts.Inc();
   std::lock_guard<std::mutex> lock(write_mu_);
+  const StringInterner::Id key_id = interner_.Intern(block_key);
   // The writer probes without a guard: nothing can be retired under it.
-  std::shared_ptr<PublishedBlock> block = blocks_.Find(block_key);
+  std::shared_ptr<PublishedBlock> block = blocks_.Find(key_id);
   if (block == nullptr) {
     metrics_.blocks_created.Inc();
     block = std::make_shared<PublishedBlock>(policy_.options().lambda);
     policy_.SeedAnchor(block.get(), key_values);
     // Published with the anchor set but no members yet: a concurrent query
     // sees an empty (but consistent) block until this insert lands.
-    blocks_.Insert(block_key, block);
+    blocks_.Insert(key_id, block);
   }
   const SketchPolicy::RouteDecision decision =
       policy_.Route(*block, key_values);
@@ -547,14 +631,18 @@ void BlockSketch::Insert(const std::string& block_key,
   }
 }
 
-CandidateList BlockSketch::Candidates(const std::string& block_key,
+CandidateList BlockSketch::Candidates(std::string_view block_key,
                                       std::string_view key_values) const {
   obs::Span span("sketch", "candidates");
   obs::LatencyTimer timer(
       SKETCHLINK_OBS_SAMPLE_HIT() ? metrics_.query_timer() : nullptr);
   metrics_.queries.Inc();
+  // A key that was never interned was never inserted: answer the miss from
+  // the interner probe alone.
+  const StringInterner::Id key_id = interner_.Find(block_key);
+  if (key_id == StringInterner::kInvalidId) return CandidateList();
   epoch::ReadGuard guard;
-  std::shared_ptr<PublishedBlock> block = blocks_.Find(block_key);
+  std::shared_ptr<PublishedBlock> block = blocks_.Find(key_id);
   if (block == nullptr) return CandidateList();
   const SketchPolicy::RouteDecision decision =
       policy_.Route(*block, key_values);
@@ -569,25 +657,29 @@ CandidateList BlockSketch::Candidates(const std::string& block_key,
   return candidates;
 }
 
-bool BlockSketch::HasBlock(const std::string& block_key) const {
+bool BlockSketch::HasBlock(std::string_view block_key) const {
+  const StringInterner::Id key_id = interner_.Find(block_key);
+  if (key_id == StringInterner::kInvalidId) return false;
   epoch::ReadGuard guard;
-  return blocks_.Find(block_key) != nullptr;
+  return blocks_.Find(key_id) != nullptr;
 }
 
 std::shared_ptr<const SketchBlock> BlockSketch::FindBlock(
-    const std::string& block_key) const {
+    std::string_view block_key) const {
+  const StringInterner::Id key_id = interner_.Find(block_key);
+  if (key_id == StringInterner::kInvalidId) return nullptr;
   epoch::ReadGuard guard;
-  std::shared_ptr<PublishedBlock> block = blocks_.Find(block_key);
+  std::shared_ptr<PublishedBlock> block = blocks_.Find(key_id);
   if (block == nullptr) return nullptr;
   return std::make_shared<const SketchBlock>(block->Materialize());
 }
 
 size_t BlockSketch::ApproximateMemoryUsage() const {
   epoch::ReadGuard guard;
-  size_t bytes = sizeof(*this);
-  blocks_.ForEach([&bytes](const std::string& key,
+  size_t bytes = sizeof(*this) + interner_.ApproximateMemoryUsage();
+  blocks_.ForEach([&bytes](uint32_t /*key*/,
                            const std::shared_ptr<PublishedBlock>& block) {
-    bytes += StringFootprint(key) + block->ApproximateMemoryUsage() +
+    bytes += block->ApproximateMemoryUsage() +
              sizeof(void*) * 2;  // hash-table entry overhead estimate
   });
   return bytes;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/epoch_hash_table.h"
+#include "common/interner.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "core/published_block.h"
@@ -131,6 +132,12 @@ class SketchPolicy {
   const BlockSketchOptions& options() const { return options_; }
   const KeyDistanceFn& distance() const { return distance_; }
 
+  /// Test hook: forces the legacy gather routing path (per-candidate
+  /// BatchCandidate build) even when every sub-block publishes a consistent
+  /// SoA snapshot. The layout cross-check test diffs the two paths bit for
+  /// bit. Process-global; affects all policies.
+  static void SetGatherRoutingForTesting(bool force);
+
  private:
   bool UsesProfiles() const {
     return options_.distance_kind == KeyDistanceKind::kQGramDice;
@@ -187,25 +194,28 @@ class BlockSketch {
   BlockSketch& operator=(const BlockSketch&) = delete;
 
   /// Routes a record (its id + untruncated key values) into the target
-  /// sub-block of `block_key`, creating the block on first contact.
-  void Insert(const std::string& block_key, std::string_view key_values,
+  /// sub-block of `block_key`, creating the block on first contact. The key
+  /// is interned once: later operations on the same key compare a 32-bit id
+  /// instead of hashing the string.
+  void Insert(std::string_view block_key, std::string_view key_values,
               RecordId id);
 
   /// Returns a pinned view of the member ids of the sub-block a query with
   /// `key_values` routes to — the constant-size candidate set of the
-  /// matching phase. Lock-free: never waits on inserts.
-  CandidateList Candidates(const std::string& block_key,
+  /// matching phase. Lock-free: never waits on inserts. A key the sketch
+  /// never saw short-circuits at the interner probe (no block-table walk).
+  CandidateList Candidates(std::string_view block_key,
                            std::string_view key_values) const;
 
   /// Number of blocks summarized.
   size_t num_blocks() const { return blocks_.size(); }
 
   /// True if `block_key` has been seen.
-  bool HasBlock(const std::string& block_key) const;
+  bool HasBlock(std::string_view block_key) const;
 
   /// Materialized snapshot for diagnostics/tests; nullptr when absent.
   std::shared_ptr<const SketchBlock> FindBlock(
-      const std::string& block_key) const;
+      std::string_view block_key) const;
 
   /// Thin view over the live instruments (see core/sketch_metrics.h); kept
   /// by-value so historical callers keep compiling unchanged.
@@ -225,7 +235,12 @@ class BlockSketch {
  private:
   SketchPolicy policy_;
   mutable BlockSketchMetrics metrics_;
-  EpochHashTable<PublishedBlock> blocks_;
+  /// Maps block-key text to a dense 32-bit id. Intern on the insert path
+  /// only; queries use the lock-free Find — an unseen query key never grows
+  /// the interner, and its miss answers "no such block" with no further
+  /// lookup.
+  StringInterner interner_;
+  EpochHashTable<PublishedBlock, uint32_t> blocks_;
   mutable std::mutex write_mu_;
 };
 

@@ -56,10 +56,10 @@ uint64_t SBlockSketch::CurrentStamp(const PublishedBlock& block) const {
   return 0;
 }
 
-void SBlockSketch::PushQueueEntry(const std::string& key,
+void SBlockSketch::PushQueueEntry(StringInterner::Id key_id,
                                   const PublishedBlock& block) {
-  queue_.push(
-      QueueEntry{QueueScore(block), CurrentStamp(block), block.version, key});
+  queue_.push(QueueEntry{QueueScore(block), CurrentStamp(block), block.version,
+                         key_id});
   queue_size_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -80,13 +80,12 @@ Status SBlockSketch::PopVictim(Victim* victim) {
     if (stamp != entry.stamp) {
       const double fresh = QueueScore(*block);
       if (!queue_.empty() && queue_.top().score < fresh) {
-        queue_.push(QueueEntry{fresh, stamp, block->version,
-                               std::move(entry.key)});
+        queue_.push(QueueEntry{fresh, stamp, block->version, entry.key});
         queue_size_.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
     }
-    victim->key = std::move(entry.key);
+    victim->key = entry.key;
     victim->block = std::move(block);
     return Status::OK();
   }
@@ -142,11 +141,11 @@ Status SBlockSketch::EvictOne() {
   return Status::OK();
 }
 
-void SBlockSketch::SpillWorker(const std::string& block_key) {
+void SBlockSketch::SpillWorker(StringInterner::Id key_id) {
   std::shared_ptr<PublishedBlock> block;
   {
     std::lock_guard<std::mutex> pl(pending_mu_);
-    auto it = pending_.find(block_key);
+    auto it = pending_.find(key_id);
     if (it == pending_.end() || it->second.state != SpillState::kQueued) {
       // Cancelled: the block was re-admitted before the write started (or
       // an earlier worker job for the same key already handled the entry).
@@ -166,7 +165,7 @@ void SBlockSketch::SpillWorker(const std::string& block_key) {
           : nullptr);
   std::string encoded;
   block->EncodeTo(&encoded);
-  const Status put = spill_db_->Put(SpillKey(block_key), encoded);
+  const Status put = spill_db_->Put(SpillKey(key_id), encoded);
   if (put.ok()) {
     timer.Stop();
   } else {
@@ -175,7 +174,7 @@ void SBlockSketch::SpillWorker(const std::string& block_key) {
   }
   {
     std::lock_guard<std::mutex> pl(pending_mu_);
-    auto it = pending_.find(block_key);
+    auto it = pending_.find(key_id);
     if (it != pending_.end() && it->second.state == SpillState::kWriting) {
       if (put.ok()) {
         pending_.erase(it);
@@ -192,10 +191,10 @@ void SBlockSketch::SpillWorker(const std::string& block_key) {
 }
 
 std::shared_ptr<PublishedBlock> SBlockSketch::TakeFromPending(
-    const std::string& block_key) {
+    StringInterner::Id key_id) {
   std::unique_lock<std::mutex> pl(pending_mu_);
   for (;;) {
-    auto it = pending_.find(block_key);
+    auto it = pending_.find(key_id);
     if (it == pending_.end()) return nullptr;
     if (it->second.state == SpillState::kWriting) {
       // Mid-flight write-behind: wait for it to land (entry gone, the store
@@ -211,7 +210,7 @@ std::shared_ptr<PublishedBlock> SBlockSketch::TakeFromPending(
   }
 }
 
-Status SBlockSketch::Admit(const std::string& block_key,
+Status SBlockSketch::Admit(StringInterner::Id key_id,
                            const std::shared_ptr<PublishedBlock>& block,
                            uint64_t tick) {
   // Algorithm 4, lines 6-10: make room when T is full.
@@ -226,17 +225,17 @@ Status SBlockSketch::Admit(const std::string& block_key,
   block->admitted_at = tick;
   block->admit_evictions = global_evictions_;
   ++block->version;
-  live_.Insert(block_key, block);
-  PushQueueEntry(block_key, *block);
+  live_.Insert(key_id, block);
+  PushQueueEntry(key_id, *block);
   return Status::OK();
 }
 
 Result<std::shared_ptr<PublishedBlock>> SBlockSketch::EnsureLiveForWrite(
-    const std::string& block_key, std::string_view key_values,
+    StringInterner::Id key_id, std::string_view key_values,
     bool create_if_missing, uint64_t tick) {
   // Algorithm 4, line 2: try the hash table T first. The writer probes
   // without a guard — it is the only thread that retires entries.
-  std::shared_ptr<PublishedBlock> block = live_.Find(block_key);
+  std::shared_ptr<PublishedBlock> block = live_.Find(key_id);
   if (block != nullptr) {
     metrics_.live_hits.Inc();
     block->last_access.store(tick, std::memory_order_relaxed);
@@ -246,9 +245,9 @@ Result<std::shared_ptr<PublishedBlock>> SBlockSketch::EnsureLiveForWrite(
   // An evicted block whose spill has not landed yet is reclaimed from the
   // write-behind buffer — same content a store round-trip would produce,
   // minus the I/O.
-  block = TakeFromPending(block_key);
+  block = TakeFromPending(key_id);
   if (block != nullptr) {
-    SKETCHLINK_RETURN_IF_ERROR(Admit(block_key, block, tick));
+    SKETCHLINK_RETURN_IF_ERROR(Admit(key_id, block, tick));
     return block;
   }
 
@@ -263,7 +262,7 @@ Result<std::shared_ptr<PublishedBlock>> SBlockSketch::EnsureLiveForWrite(
       metrics_.timing_enabled.load(std::memory_order_relaxed)
           ? &metrics_.spill_load_latency_nanos
           : nullptr);
-  const Status load = spill_db_->Get(SpillKey(block_key), &encoded);
+  const Status load = spill_db_->Get(SpillKey(key_id), &encoded);
   if (load.ok()) {
     std::string_view input(encoded);
     auto decoded = SketchBlock::DecodeFrom(&input);
@@ -276,12 +275,12 @@ Result<std::shared_ptr<PublishedBlock>> SBlockSketch::EnsureLiveForWrite(
     load_timer.Stop();
     metrics_.disk_loads.Inc();
     block = PublishedBlock::FromSketchBlock(std::move(*decoded));
-    SKETCHLINK_RETURN_IF_ERROR(Admit(block_key, block, tick));
+    SKETCHLINK_RETURN_IF_ERROR(Admit(key_id, block, tick));
     // The live copy is now authoritative; a leftover spill entry would
     // resurrect stale state on a later load. Deleting only after the
     // admission means a failure here (surfaced to the caller) cannot lose
     // the block.
-    const Status drop = spill_db_->Delete(SpillKey(block_key));
+    const Status drop = spill_db_->Delete(SpillKey(key_id));
     if (!drop.ok() && !drop.IsNotFound()) return drop;
     return block;
   }
@@ -295,11 +294,11 @@ Result<std::shared_ptr<PublishedBlock>> SBlockSketch::EnsureLiveForWrite(
   // The anchor must be complete before the block becomes visible: it is
   // immutable-after-publish.
   policy_.SeedAnchor(block.get(), key_values);
-  SKETCHLINK_RETURN_IF_ERROR(Admit(block_key, block, tick));
+  SKETCHLINK_RETURN_IF_ERROR(Admit(key_id, block, tick));
   return block;
 }
 
-Status SBlockSketch::Insert(const std::string& block_key,
+Status SBlockSketch::Insert(std::string_view block_key,
                             std::string_view key_values, RecordId id) {
   obs::Span span("sketch", "insert");
   obs::LatencyTimer timer(
@@ -314,7 +313,8 @@ Status SBlockSketch::Insert(const std::string& block_key,
   }
   const uint64_t tick =
       access_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
-  auto live = EnsureLiveForWrite(block_key, key_values,
+  const StringInterner::Id key_id = interner_.Intern(block_key);
+  auto live = EnsureLiveForWrite(key_id, key_values,
                                  /*create_if_missing=*/true, tick);
   if (!live.ok()) {
     span.MarkError();
@@ -361,17 +361,25 @@ Result<CandidateList> SBlockSketch::RouteAndCollect(
   return candidates;
 }
 
-Result<CandidateList> SBlockSketch::Candidates(const std::string& block_key,
+Result<CandidateList> SBlockSketch::Candidates(std::string_view block_key,
                                                std::string_view key_values) {
   obs::Span span("sketch", "candidates");
   obs::LatencyTimer timer(
       SKETCHLINK_OBS_SAMPLE_HIT() ? metrics_.query_timer() : nullptr);
   metrics_.queries.Inc();
+  // A key that was never interned was never inserted, so no live, pending,
+  // or spilled copy can exist: the stream never produced this block. This
+  // answers the true miss without a store round-trip.
+  const StringInterner::Id key_id = interner_.Find(block_key);
+  if (key_id == StringInterner::kInvalidId) {
+    metrics_.query_misses.Inc();
+    return CandidateList();
+  }
   {
     // Fast path: a live hit reads the published view lock-free and never
     // waits on inserts, evictions, or spills.
     epoch::ReadGuard guard;
-    std::shared_ptr<PublishedBlock> block = live_.Find(block_key);
+    std::shared_ptr<PublishedBlock> block = live_.Find(key_id);
     if (block != nullptr) {
       metrics_.live_hits.Inc();
       const uint64_t tick =
@@ -381,17 +389,17 @@ Result<CandidateList> SBlockSketch::Candidates(const std::string& block_key,
       return RouteAndCollect(std::move(block), key_values);
     }
   }
-  return CandidatesMiss(block_key, key_values);
+  return CandidatesMiss(key_id, key_values);
 }
 
 Result<CandidateList> SBlockSketch::CandidatesMiss(
-    const std::string& block_key, std::string_view key_values) {
+    StringInterner::Id key_id, std::string_view key_values) {
   std::lock_guard<std::mutex> lock(write_mu_);
   const uint64_t tick =
       access_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
   // An insert may have admitted the block between the lock-free probe and
   // here.
-  std::shared_ptr<PublishedBlock> block = live_.Find(block_key);
+  std::shared_ptr<PublishedBlock> block = live_.Find(key_id);
   if (block != nullptr) {
     metrics_.live_hits.Inc();
     block->last_access.store(tick, std::memory_order_relaxed);
@@ -401,8 +409,8 @@ Result<CandidateList> SBlockSketch::CandidatesMiss(
       std::lock_guard<std::mutex> pl(pending_mu_);
       poisoned = !maintenance_status_.ok();
     }
-    if (poisoned) return CandidatesPoisoned(block_key, key_values);
-    auto ensured = EnsureLiveForWrite(block_key, key_values,
+    if (poisoned) return CandidatesPoisoned(key_id, key_values);
+    auto ensured = EnsureLiveForWrite(key_id, key_values,
                                       /*create_if_missing=*/false, tick);
     if (!ensured.ok()) return ensured.status();
     block = *ensured;
@@ -420,7 +428,7 @@ Result<CandidateList> SBlockSketch::CandidatesMiss(
 }
 
 Result<CandidateList> SBlockSketch::CandidatesPoisoned(
-    const std::string& block_key, std::string_view key_values) {
+    StringInterner::Id key_id, std::string_view key_values) {
   // Writes are refused while a spill failure is sticky, but reads keep
   // serving: the block is in the write-behind buffer or durably in the
   // store. Neither path admits (admission would evict, and evictions are
@@ -429,7 +437,7 @@ Result<CandidateList> SBlockSketch::CandidatesPoisoned(
   std::shared_ptr<PublishedBlock> block;
   {
     std::lock_guard<std::mutex> pl(pending_mu_);
-    auto it = pending_.find(block_key);
+    auto it = pending_.find(key_id);
     if (it != pending_.end()) block = it->second.block;
   }
   if (block != nullptr) {
@@ -437,7 +445,7 @@ Result<CandidateList> SBlockSketch::CandidatesPoisoned(
     return RouteAndCollect(std::move(block), key_values);
   }
   std::string encoded;
-  const Status load = spill_db_->Get(SpillKey(block_key), &encoded);
+  const Status load = spill_db_->Get(SpillKey(key_id), &encoded);
   if (load.IsNotFound()) {
     metrics_.query_misses.Inc();
     return CandidateList();
@@ -472,16 +480,16 @@ size_t SBlockSketch::ApproximateMemoryUsage() const {
   epoch::ReadGuard guard;
   size_t bytes = sizeof(*this) +
                  queue_size_.load(std::memory_order_relaxed) *
-                     sizeof(QueueEntry);
-  live_.ForEach([&bytes](const std::string& key,
+                     sizeof(QueueEntry) +
+                 interner_.ApproximateMemoryUsage();
+  live_.ForEach([&bytes](uint32_t /*key*/,
                          const std::shared_ptr<PublishedBlock>& block) {
-    bytes += StringFootprint(key) + block->ApproximateMemoryUsage() +
-             sizeof(void*) * 2;
+    bytes += block->ApproximateMemoryUsage() + sizeof(void*) * 2;
   });
   {
     std::lock_guard<std::mutex> pl(pending_mu_);
     for (const auto& [key, pending] : pending_) {
-      bytes += StringFootprint(key) + pending.block->ApproximateMemoryUsage();
+      bytes += sizeof(key) + pending.block->ApproximateMemoryUsage();
     }
   }
   return bytes;

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/maintenance_queue.h"
 #include "core/block_sketch.h"
 #include "kv/db.h"
@@ -82,8 +83,10 @@ class SBlockSketch {
   SBlockSketch& operator=(const SBlockSketch&) = delete;
 
   /// Routes one stream record into its target sub-block, faulting the block
-  /// in from secondary storage (or creating it) as needed.
-  Status Insert(const std::string& block_key, std::string_view key_values,
+  /// in from secondary storage (or creating it) as needed. The key is
+  /// interned once; all internal bookkeeping (live table, eviction queue,
+  /// write-behind buffer) is keyed by the 32-bit id.
+  Status Insert(std::string_view block_key, std::string_view key_values,
                 RecordId id);
 
   /// Candidate ids for a query — same contract as BlockSketch::Candidates,
@@ -92,8 +95,10 @@ class SBlockSketch {
   /// empty list without admitting (or anchor-seeding) a block, so probes
   /// cannot evict live state. Queries that hit a live block are lock-free
   /// and never block on maintenance; the returned CandidateList stays valid
-  /// (and immutable) even if the block is evicted afterwards.
-  Result<CandidateList> Candidates(const std::string& block_key,
+  /// (and immutable) even if the block is evicted afterwards. A key that
+  /// was never inserted short-circuits at the interner probe: no spill-store
+  /// round-trip, no admission.
+  Result<CandidateList> Candidates(std::string_view block_key,
                                    std::string_view key_values);
 
   /// Live blocks currently in T (always <= mu). Lock-free.
@@ -158,14 +163,14 @@ class SBlockSketch {
     double score;
     uint64_t stamp;
     uint64_t version;
-    std::string key;
+    StringInterner::Id key;
     bool operator>(const QueueEntry& other) const {
       return score > other.score;
     }
   };
 
   struct Victim {
-    std::string key;
+    StringInterner::Id key = StringInterner::kInvalidId;
     std::shared_ptr<PublishedBlock> block;
   };
 
@@ -179,8 +184,13 @@ class SBlockSketch {
     SpillState state;
   };
 
-  std::string SpillKey(const std::string& block_key) const {
-    return "blk\x01" + block_key;
+  /// Spill-store key of an interned block key: the exact wire bytes the
+  /// string-keyed implementation produced ("blk\x01" + key text), so spill
+  /// files stay compatible.
+  std::string SpillKey(StringInterner::Id key_id) const {
+    std::string key("blk\x01");
+    key.append(interner_.View(key_id));
+    return key;
   }
 
   /// Returns the live block for `block_key`, reclaiming it from the
@@ -190,19 +200,18 @@ class SBlockSketch {
   /// full (Algorithm 4). nullptr (with OK status) means the block exists
   /// nowhere and creation was not requested. Caller holds write_mu_.
   Result<std::shared_ptr<PublishedBlock>> EnsureLiveForWrite(
-      const std::string& block_key, std::string_view key_values,
+      StringInterner::Id key_id, std::string_view key_values,
       bool create_if_missing, uint64_t tick);
 
   /// Installs `block` into the live table (evicting first when full) and
   /// resets its replacement bookkeeping, exactly as a fresh admission.
-  Status Admit(const std::string& block_key,
+  Status Admit(StringInterner::Id key_id,
                const std::shared_ptr<PublishedBlock>& block, uint64_t tick);
 
-  /// Removes `block_key` from the write-behind buffer, waiting out an
+  /// Removes `key_id` from the write-behind buffer, waiting out an
   /// in-flight write. nullptr when not pending (a finished spill is in the
   /// store instead).
-  std::shared_ptr<PublishedBlock> TakeFromPending(
-      const std::string& block_key);
+  std::shared_ptr<PublishedBlock> TakeFromPending(StringInterner::Id key_id);
 
   /// Algorithm 4, lines 7-8: select the min-eviction-status victim and
   /// transfer it to secondary storage — inline, or via the maintenance
@@ -216,15 +225,15 @@ class SBlockSketch {
   /// Background half of an asynchronous eviction: encode + Put, then
   /// resolve the pending entry (erase on success, kFailed + sticky status
   /// on failure).
-  void SpillWorker(const std::string& block_key);
+  void SpillWorker(StringInterner::Id key_id);
 
   /// Miss half of Candidates: everything past the lock-free live-table hit.
-  Result<CandidateList> CandidatesMiss(const std::string& block_key,
+  Result<CandidateList> CandidatesMiss(StringInterner::Id key_id,
                                        std::string_view key_values);
 
   /// Read-only service under a sticky spill failure: serve from the
   /// write-behind buffer or the store without admitting anything.
-  Result<CandidateList> CandidatesPoisoned(const std::string& block_key,
+  Result<CandidateList> CandidatesPoisoned(StringInterner::Id key_id,
                                            std::string_view key_values);
 
   /// Routes and wraps the chosen sub-block's members, with metrics.
@@ -236,7 +245,7 @@ class SBlockSketch {
   uint64_t CurrentStamp(const PublishedBlock& block) const;
 
   /// Pushes a queue entry reflecting `block`'s current state.
-  void PushQueueEntry(const std::string& key, const PublishedBlock& block);
+  void PushQueueEntry(StringInterner::Id key_id, const PublishedBlock& block);
 
   SBlockSketchOptions options_;
   SketchPolicy policy_;
@@ -244,8 +253,13 @@ class SBlockSketch {
   MaintenanceQueue* maintenance_;  // nullptr => synchronous spills
   mutable SBlockSketchMetrics metrics_;
 
+  /// Maps block-key text to a dense 32-bit id (Intern on the insert path,
+  /// lock-free Find on the query path). Ids are never reused, so an evicted
+  /// block keeps its id across spill round-trips.
+  StringInterner interner_;
+
   /// The hash table T. Readers go lock-free under an epoch::ReadGuard.
-  EpochHashTable<PublishedBlock> live_;
+  EpochHashTable<PublishedBlock, uint32_t> live_;
 
   /// Writer state (write_mu_): eviction queue and global eviction counter.
   mutable std::mutex write_mu_;
@@ -263,7 +277,7 @@ class SBlockSketch {
   /// has not finished — the backpressure / drain quantity.
   mutable std::mutex pending_mu_;
   std::condition_variable pending_cv_;
-  std::unordered_map<std::string, PendingSpill> pending_;
+  std::unordered_map<StringInterner::Id, PendingSpill> pending_;
   size_t in_flight_spills_ = 0;
   Status maintenance_status_;
 };

@@ -48,7 +48,7 @@ size_t ShardedBlockSketch::StripeOf(std::string_view block_key) const {
   return Fnv1a64(block_key) % stripes_.size();
 }
 
-void ShardedBlockSketch::Insert(const std::string& block_key,
+void ShardedBlockSketch::Insert(std::string_view block_key,
                                 std::string_view key_values, RecordId id) {
   stripes_[StripeOf(block_key)]->Insert(block_key, key_values, id);
 }
@@ -72,7 +72,7 @@ void ShardedBlockSketch::InsertBatch(const std::vector<SketchInsert>& entries,
 }
 
 CandidateList ShardedBlockSketch::Candidates(
-    const std::string& block_key, std::string_view key_values) const {
+    std::string_view block_key, std::string_view key_values) const {
   return stripes_[StripeOf(block_key)]->Candidates(block_key, key_values);
 }
 
@@ -204,7 +204,7 @@ size_t ShardedSBlockSketch::StripeOf(std::string_view block_key) const {
   return Fnv1a64(block_key) % stripes_.size();
 }
 
-Status ShardedSBlockSketch::Insert(const std::string& block_key,
+Status ShardedSBlockSketch::Insert(std::string_view block_key,
                                    std::string_view key_values, RecordId id) {
   return stripes_[StripeOf(block_key)]->Insert(block_key, key_values, id);
 }
@@ -238,7 +238,7 @@ Status ShardedSBlockSketch::InsertBatch(
 }
 
 Result<CandidateList> ShardedSBlockSketch::Candidates(
-    const std::string& block_key, std::string_view key_values) {
+    std::string_view block_key, std::string_view key_values) {
   return stripes_[StripeOf(block_key)]->Candidates(block_key, key_values);
 }
 

@@ -53,7 +53,7 @@ class ShardedBlockSketch {
   /// concurrently, but concurrent single inserts make the per-stripe order
   /// scheduling-dependent — use InsertBatch for reproducible parallel
   /// builds.
-  void Insert(const std::string& block_key, std::string_view key_values,
+  void Insert(std::string_view block_key, std::string_view key_values,
               RecordId id);
 
   /// Deterministic parallel build: buckets `entries` per stripe in order,
@@ -62,7 +62,7 @@ class ShardedBlockSketch {
   void InsertBatch(const std::vector<SketchInsert>& entries, ThreadPool* pool);
 
   /// Lock-free candidate lookup (never waits on writers of any stripe).
-  CandidateList Candidates(const std::string& block_key,
+  CandidateList Candidates(std::string_view block_key,
                            std::string_view key_values) const;
 
   size_t num_blocks() const;
@@ -122,7 +122,7 @@ class ShardedSBlockSketch {
   ShardedSBlockSketch(const ShardedSBlockSketch&) = delete;
   ShardedSBlockSketch& operator=(const ShardedSBlockSketch&) = delete;
 
-  Status Insert(const std::string& block_key, std::string_view key_values,
+  Status Insert(std::string_view block_key, std::string_view key_values,
                 RecordId id);
 
   /// Deterministic parallel build; returns the first per-stripe error in
@@ -133,7 +133,7 @@ class ShardedSBlockSketch {
   /// Candidate lookup. Lock-free when the block is live in its stripe; a
   /// miss may fault the block in from the spill store and evict another
   /// within that stripe only.
-  Result<CandidateList> Candidates(const std::string& block_key,
+  Result<CandidateList> Candidates(std::string_view block_key,
                                    std::string_view key_values);
 
   size_t num_live_blocks() const;

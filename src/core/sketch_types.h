@@ -78,6 +78,21 @@ struct BlockSketchOptions {
 /// sketch publishes as an immutable snapshot (copy-on-write on mutation);
 /// the classic in-place representation embeds it in SketchSubBlock.
 struct RepSet {
+  /// Structure-of-arrays mirror of `representatives`: the texts
+  /// concatenated into one contiguous buffer plus parallel offset/length
+  /// arrays. This is the layout simd::BatchQuery::Score streams — the
+  /// length-bound kernels read `text_lens` directly and candidate bytes sit
+  /// in one cache-friendly run instead of rho scattered std::string heaps.
+  /// Derived data, maintained by SketchPolicy alongside the kernel caches;
+  /// never serialized. Like the rest of a published RepSet snapshot it is
+  /// immutable after publish (copy-on-write on mutation), so lock-free
+  /// readers can borrow the raw pointers for the duration of a route.
+  struct Packed {
+    std::string text_bytes;
+    std::vector<uint32_t> text_offsets;
+    std::vector<uint32_t> text_lens;
+  };
+
   std::vector<std::string> representatives;
   /// Parallel to `representatives` when the q-gram distance is active:
   /// rep_profiles[i] is the cached profile of representatives[i]. Empty
@@ -91,6 +106,23 @@ struct RepSet {
   /// rep_profiles.
   std::vector<simd::JaroPattern> rep_patterns;
   std::vector<simd::BitProfile> rep_bits;
+  Packed packed;
+
+  /// True when `packed` mirrors `representatives` entry for entry. Routing
+  /// falls back to the gather path on any inconsistent sub (e.g. a decoded
+  /// block before RehydrateProfiles), so staleness degrades speed, never
+  /// results.
+  bool PackedConsistent() const {
+    return packed.text_lens.size() == representatives.size() &&
+           packed.text_offsets.size() == representatives.size();
+  }
+
+  /// Rebuilds `packed` from `representatives`.
+  void FinalizePacked();
+
+  /// Appends the newest representative's text to `packed` (amortized O(len);
+  /// callers use it on the append path, FinalizePacked on replacement).
+  void AppendPacked(std::string_view text);
 
   /// Heap bytes held by the reservoir (for memory accounting).
   size_t ApproximateHeapBytes() const;

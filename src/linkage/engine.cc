@@ -107,10 +107,16 @@ Status LinkageEngine::BuildIndex(const Dataset& a) {
   std::vector<PreparedRecord> batch(records.size());
   const auto prepare = [&](size_t begin, size_t end) {
     obs::Span span("engine", "prepare_chunk");
+    // ExtractKeys normalizes each blocking field once for key and
+    // key-values together; the batch still owns its strings (copied out of
+    // the chunk-local scratch).
+    KeyScratch scratch;
     for (size_t i = begin; i < end; ++i) {
       batch[i].record = &records[i];
-      batch[i].keys = blocker_->Keys(records[i]);
-      batch[i].key_values = blocker_->KeyValues(records[i]);
+      blocker_->ExtractKeys(records[i], &scratch);
+      batch[i].keys.assign(scratch.keys.begin(),
+                           scratch.keys.begin() + scratch.num_keys);
+      batch[i].key_values = scratch.key_values;
     }
   };
   if (pool_ != nullptr) {
@@ -144,6 +150,14 @@ Status LinkageEngine::BuildIndex(const Dataset& a) {
 }
 
 Result<std::vector<RecordId>> LinkageEngine::ResolveOne(const Record& query) {
+  KeyScratch keys;
+  QueryScratch scratch;
+  SKETCHLINK_RETURN_IF_ERROR(ResolveOneInto(query, &keys, &scratch));
+  return std::move(scratch.matches);
+}
+
+Status LinkageEngine::ResolveOneInto(const Record& query, KeyScratch* keys,
+                                     QueryScratch* scratch) {
   // Every query gets its own head-sampled trace, even under a ResolveAll
   // phase trace: per-query identity is what gives the tail sampler a
   // slowest-N to rank (a phase-wide trace would blur all queries together).
@@ -154,16 +168,15 @@ Result<std::vector<RecordId>> LinkageEngine::ResolveOne(const Record& query) {
       metrics_.timing_enabled && SKETCHLINK_OBS_SAMPLE_HIT()
           ? &metrics_.query_latency_nanos
           : nullptr);
-  const std::vector<std::string> keys = blocker_->Keys(query);
-  const std::string key_values = blocker_->KeyValues(query);
-  auto result = matcher_->Resolve(query, keys, key_values);
-  if (!result.ok()) trace.MarkError();
+  blocker_->ExtractKeys(query, keys);
+  Status status = matcher_->ResolveInto(query, *keys, scratch);
+  if (!status.ok()) trace.MarkError();
   metrics_.queries_resolved.Inc();
   const uint64_t nanos = timer.Stop();
   if (registry_ != nullptr && nanos > 0) {
     registry_->TraceSlow("engine", "query", nanos);
   }
-  return result;
+  return status;
 }
 
 Result<LinkageReport> LinkageEngine::ResolveAll(const Dataset& q,
@@ -205,15 +218,20 @@ Result<LinkageReport> LinkageEngine::ResolveAll(const Dataset& q,
       obs::ScopedTraceContext mute{obs::TraceContext()};
       const size_t begin = chunk * queries.size() / chunks;
       const size_t end = (chunk + 1) * queries.size() / chunks;
+      // One scratch pair per chunk: after the first few queries warm the
+      // buffers, every remaining query in the chunk resolves without heap
+      // allocations (DESIGN.md §12).
+      KeyScratch keys;
+      QueryScratch scratch;
       for (size_t i = begin; i < end; ++i) {
         if (failed.load(std::memory_order_relaxed)) return;
-        auto matches = ResolveOne(queries[i]);
-        if (!matches.ok()) {
-          chunk_status[chunk] = matches.status();
+        Status status = ResolveOneInto(queries[i], &keys, &scratch);
+        if (!status.ok()) {
+          chunk_status[chunk] = status;
           failed.store(true, std::memory_order_relaxed);
           return;
         }
-        chunk_scorers[chunk].AddQueryResult(queries[i], *matches);
+        chunk_scorers[chunk].AddQueryResult(queries[i], scratch.matches);
       }
     });
     for (size_t chunk = 0; chunk < chunks; ++chunk) {
@@ -224,13 +242,15 @@ Result<LinkageReport> LinkageEngine::ResolveAll(const Dataset& q,
       scorer.Merge(chunk_scorers[chunk]);
     }
   } else {
+    KeyScratch keys;
+    QueryScratch scratch;
     for (const Record& query : q.records()) {
-      auto matches = ResolveOne(query);
-      if (!matches.ok()) {
+      Status status = ResolveOneInto(query, &keys, &scratch);
+      if (!status.ok()) {
         trace.MarkError();
-        return matches.status();
+        return status;
       }
-      scorer.AddQueryResult(query, *matches);
+      scorer.AddQueryResult(query, scratch.matches);
     }
   }
   report.matching_seconds = watch.ElapsedSeconds();

@@ -96,6 +96,13 @@ class LinkageEngine {
   /// Resolves a single query (for interactive / example use).
   Result<std::vector<RecordId>> ResolveOne(const Record& query);
 
+  /// ResolveOne into reused buffers: keys land in `*keys`, the result set in
+  /// `scratch->matches`. With warm scratches and a sketch matcher this runs
+  /// the whole steady-state query without heap allocations; ResolveAll keeps
+  /// one scratch pair per chunk. Results identical to ResolveOne.
+  Status ResolveOneInto(const Record& query, KeyScratch* keys,
+                        QueryScratch* scratch);
+
   double blocking_seconds() const { return blocking_seconds_; }
 
   /// Effective parallelism (1 when no pool was created).

@@ -4,13 +4,27 @@
 #include <string>
 #include <vector>
 
+#include "blocking/blocker.h"
+#include "common/flat_set.h"
 #include "common/status.h"
+#include "core/published_block.h"
 #include "obs/registry.h"
 #include "record/record.h"
 
 namespace sketchlink {
 
 class ThreadPool;
+
+/// Reusable per-thread buffers for one query resolution. Everything keeps
+/// its capacity across queries (CandidateList pins are dropped by clear(),
+/// FlatIdSet clears by generation bump), so a warm scratch makes the
+/// steady-state kSubBlock resolve path allocation-free.
+struct QueryScratch {
+  std::vector<CandidateList> groups;  // pinned candidate views per key
+  FlatIdSet seen;                     // per-query duplicate-pair filter
+  std::vector<RecordId> matches;      // the query's result set
+  std::string norm_scratch;           // candidate-field normalization buffer
+};
 
 /// One data-set record with its blocking keys already computed. BuildIndex
 /// prepares these in parallel (key extraction is pure), then hands the whole
@@ -65,6 +79,21 @@ class OnlineMatcher {
   virtual Result<std::vector<RecordId>> Resolve(
       const Record& query, const std::vector<std::string>& keys,
       const std::string& key_values) = 0;
+
+  /// Resolve() into reused buffers: the result set lands in
+  /// `scratch->matches`, identical to what Resolve returns. The default
+  /// bridges through Resolve (allocating); the sketch matchers override it
+  /// to run the steady-state query without heap allocations once the
+  /// scratch is warm.
+  virtual Status ResolveInto(const Record& query, const KeyScratch& keys,
+                             QueryScratch* scratch) {
+    std::vector<std::string> key_vec(keys.keys.begin(),
+                                     keys.keys.begin() + keys.num_keys);
+    auto result = Resolve(query, key_vec, keys.key_values);
+    if (!result.ok()) return result.status();
+    scratch->matches = std::move(*result);
+    return Status::OK();
+  }
 
   /// Similarity computations performed so far (the cost driver the paper
   /// tracks).

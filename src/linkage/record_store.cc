@@ -12,24 +12,27 @@ std::string RecordStore::DbKey(RecordId id) const {
 }
 
 Status RecordStore::Put(const Record& record) {
+  std::string encoded;
+  record.EncodeTo(&encoded);
   if (db_ != nullptr) {
     // Write through outside the lock: kv::Db synchronizes internally, and
     // holding our exclusive lock across its WAL fsync would serialize every
     // concurrent reader behind disk latency.
-    std::string encoded;
-    record.EncodeTo(&encoded);
     SKETCHLINK_RETURN_IF_ERROR(db_->Put(DbKey(record.id), encoded));
   }
   std::unique_lock<std::shared_mutex> lock(mu_);
-  cache_[record.id] = record;
+  index_[record.id] = arena_.CopyString(encoded);
   return Status::OK();
 }
 
 Result<Record> RecordStore::Get(RecordId id) const {
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
-    auto it = cache_.find(id);
-    if (it != cache_.end()) return it->second;
+    auto it = index_.find(id);
+    if (it != index_.end()) {
+      std::string_view input = it->second;
+      return Record::DecodeFrom(&input);
+    }
   }
   if (db_ != nullptr) {
     std::string encoded;
@@ -40,14 +43,30 @@ Result<Record> RecordStore::Get(RecordId id) const {
   return Status::NotFound("record " + std::to_string(id));
 }
 
+Result<RecordView> RecordStore::GetView(RecordId id) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = index_.find(id);
+    if (it != index_.end()) return RecordView::FromEncoded(it->second);
+  }
+  if (db_ != nullptr) {
+    // Read-through: a view must outlive this call, so the payload fetched
+    // from the database is cached into the arena before wrapping it.
+    std::string encoded;
+    SKETCHLINK_RETURN_IF_ERROR(db_->Get(DbKey(id), &encoded));
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto [it, inserted] = index_.try_emplace(id);
+    if (inserted) it->second = arena_.CopyString(encoded);
+    return RecordView::FromEncoded(it->second);
+  }
+  return Status::NotFound("record " + std::to_string(id));
+}
+
 size_t RecordStore::ApproximateMemoryUsage() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  size_t bytes = sizeof(*this);
-  for (const auto& [id, record] : cache_) {
-    bytes += sizeof(id) + record.ApproximateMemoryUsage() +
-             sizeof(void*) * 2;
-  }
-  return bytes;
+  return sizeof(*this) + arena_.bytes_reserved() +
+         index_.size() *
+             (sizeof(RecordId) + sizeof(std::string_view) + sizeof(void*) * 2);
 }
 
 }  // namespace sketchlink

@@ -3,8 +3,10 @@
 
 #include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
+#include "common/arena.h"
 #include "common/status.h"
 #include "kv/db.h"
 #include "record/record.h"
@@ -16,9 +18,16 @@ namespace sketchlink {
 /// mirrors that split. It can run purely in memory (default) or persist
 /// through the embedded key/value store with a small write-through cache.
 ///
-/// Thread-safe: Put takes an exclusive lock, Get/size/memory take a shared
-/// one, so the serving plane can verify candidates on many query threads
-/// while inserts land concurrently. (kv::Db is internally synchronized.)
+/// Payloads live as encoded bytes in an arena whose allocations never move
+/// (blocks are chained, not reallocated), so GetView hands out zero-copy
+/// RecordViews that stay valid for the store's lifetime — even across later
+/// Puts. Storing Record objects in a container instead would either copy per
+/// Get or dangle views when the container rehashes/reallocates.
+///
+/// Thread-safe: Put takes an exclusive lock, Get/GetView/size/memory take a
+/// shared one, so the serving plane can verify candidates on many query
+/// threads while inserts land concurrently. (kv::Db is internally
+/// synchronized.)
 class RecordStore {
  public:
   /// In-memory store.
@@ -30,16 +39,27 @@ class RecordStore {
   RecordStore(const RecordStore&) = delete;
   RecordStore& operator=(const RecordStore&) = delete;
 
-  /// Inserts (or overwrites) a record.
+  /// Inserts (or overwrites) a record. Overwrites retire the previous
+  /// payload's arena bytes only at store destruction (records are
+  /// append-mostly in every pipeline here; repeated same-id overwrites
+  /// accumulate until then).
   Status Put(const Record& record);
 
-  /// Fetches a record by id; NotFound when absent.
+  /// Fetches an owning copy of a record by id; NotFound when absent.
   Result<Record> Get(RecordId id) const;
+
+  /// Zero-copy view of a record's encoded payload. The view stays valid for
+  /// the lifetime of the store (arena-backed; later Puts never move it),
+  /// except that overwriting the same id makes older views of that id
+  /// stale-but-safe (they keep showing the bytes they were opened on). On a
+  /// KV-backed store, a miss in the in-memory index faults the payload in
+  /// from the database and caches it in the arena.
+  Result<RecordView> GetView(RecordId id) const;
 
   /// Number of records stored (in-memory index size).
   size_t size() const {
     std::shared_lock<std::shared_mutex> lock(mu_);
-    return cache_.size();
+    return index_.size();
   }
 
   size_t ApproximateMemoryUsage() const;
@@ -49,10 +69,12 @@ class RecordStore {
 
   mutable std::shared_mutex mu_;
   kv::Db* db_ = nullptr;
-  // In-memory mode: the authoritative map. KV mode: a full index of ids with
-  // cached payloads (records are small; the experiments need fast repeated
-  // access while remaining faithful about writing through to storage).
-  std::unordered_map<RecordId, Record> cache_;
+  // Encoded payloads; mutable so the GetView read-through fault-in can
+  // cache under an exclusive lock from a const method.
+  mutable Arena arena_;
+  // id -> encoded payload bytes inside arena_. In-memory mode: the
+  // authoritative map. KV mode: a cache faithful about writing through.
+  mutable std::unordered_map<RecordId, std::string_view> index_;
 };
 
 }  // namespace sketchlink

@@ -124,6 +124,28 @@ double SimilarityScorer::Similarity(const Record& candidate) const {
   return total_weight <= 0 ? 0.0 : total / total_weight;
 }
 
+double SimilarityScorer::Similarity(const RecordView& candidate,
+                                    std::string* scratch) const {
+  // Same accumulation order and empty-field conventions as the Record
+  // overload; the candidate field is normalized into `scratch` instead of a
+  // fresh string (NormalizeFieldTo appends byte-identical output), so the
+  // doubles match bit for bit while a warm caller stays allocation-free.
+  if (fields_.empty()) return 0.0;
+  double total = 0.0;
+  double total_weight = 0.0;
+  for (const QueryField& field : fields_) {
+    const size_t index = static_cast<size_t>(field.spec.field_index);
+    scratch->clear();
+    if (index < candidate.num_fields()) {
+      text::NormalizeFieldTo(candidate.field(index), scratch);
+    }
+    total += field.spec.weight *
+             CompareFieldValues(field.spec.comparator, field.value, *scratch);
+    total_weight += field.spec.weight;
+  }
+  return total_weight <= 0 ? 0.0 : total / total_weight;
+}
+
 std::string RecordSimilarity::KeyValues(const Record& record) const {
   std::string out;
   for (size_t i = 0; i < match_fields_.size(); ++i) {

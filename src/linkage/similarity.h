@@ -85,6 +85,16 @@ class SimilarityScorer {
     return Similarity(candidate) >= threshold_;
   }
 
+  /// Zero-copy variant: scores an encoded record in place (no Record
+  /// materialization). `scratch` holds the candidate-side normalized field
+  /// between comparisons so a warm caller never allocates; the doubles are
+  /// identical to Similarity(candidate.ToRecord()).
+  double Similarity(const RecordView& candidate, std::string* scratch) const;
+
+  bool Matches(const RecordView& candidate, std::string* scratch) const {
+    return Similarity(candidate, scratch) >= threshold_;
+  }
+
  private:
   struct QueryField {
     FieldSpec spec;

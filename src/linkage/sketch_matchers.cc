@@ -1,7 +1,6 @@
 #include "linkage/sketch_matchers.h"
 
 #include <optional>
-#include <unordered_set>
 
 #include "common/memory_tracker.h"
 
@@ -9,21 +8,24 @@ namespace sketchlink {
 
 namespace {
 
-/// Shared resolution tail. In kSubBlock mode the deduplicated sub-block
-/// members ARE the result set (paper Sec. 5 semantics, constant work per
-/// query). In kVerified mode each member is fetched and compared against
-/// the query, and only pairs above the similarity threshold survive.
-/// `comparisons` is bumped once with the query's total so concurrent
-/// resolvers don't contend per member. Templated over the candidate-group
-/// container: the sketches hand over pinned CandidateList views (no id
-/// copies), the naive matcher plain id vectors.
+/// Shared resolution tail, writing into reused scratch buffers. In
+/// kSubBlock mode the deduplicated sub-block members ARE the result set
+/// (paper Sec. 5 semantics, constant work per query) — a warm scratch makes
+/// that path allocation-free. In kVerified mode each member is fetched and
+/// compared against the query, and only pairs above the similarity
+/// threshold survive. `comparisons` is bumped once with the query's total
+/// so concurrent resolvers don't contend per member. Templated over the
+/// candidate-group container: the sketches hand over pinned CandidateList
+/// views (no id copies), the naive matcher plain id vectors.
 template <typename CandidateGroups>
-Result<std::vector<RecordId>> FinishResolve(
-    const Record& query, const CandidateGroups& candidates, ResolveMode mode,
-    const RecordSimilarity& similarity, const RecordStore& store,
-    std::atomic<uint64_t>* comparisons) {
-  std::unordered_set<RecordId> seen;
-  std::vector<RecordId> matches;
+Status FinishResolveInto(const Record& query, const CandidateGroups& candidates,
+                         ResolveMode mode, const RecordSimilarity& similarity,
+                         const RecordStore& store,
+                         std::atomic<uint64_t>* comparisons, FlatIdSet* seen,
+                         std::vector<RecordId>* matches,
+                         std::string* norm_scratch) {
+  seen->Clear();
+  matches->clear();
   uint64_t local_comparisons = 0;
   // The scorer normalizes the query's match fields once for the whole
   // candidate set instead of once per verified pair; same scores bit for
@@ -33,22 +35,40 @@ Result<std::vector<RecordId>> FinishResolve(
   if (mode == ResolveMode::kVerified) scorer.emplace(similarity, query);
   for (const auto& group : candidates) {
     for (RecordId id : group) {
-      if (!seen.insert(id).second) continue;  // footnote 17: drop dup pairs
+      if (!seen->Insert(id)) continue;  // footnote 17: drop dup pairs
       if (mode == ResolveMode::kSubBlock) {
-        matches.push_back(id);
+        matches->push_back(id);
         continue;
       }
-      auto record = store.Get(id);
-      if (!record.ok()) return record.status();
+      // Zero-copy verification: score the arena-backed encoded payload in
+      // place instead of decoding an owning Record per candidate.
+      auto view = store.GetView(id);
+      if (!view.ok()) return view.status();
       ++local_comparisons;
-      if (scorer->Matches(*record)) {
-        matches.push_back(id);
+      if (scorer->Matches(*view, norm_scratch)) {
+        matches->push_back(id);
       }
     }
   }
   if (local_comparisons > 0) {
     comparisons->fetch_add(local_comparisons, std::memory_order_relaxed);
   }
+  return Status::OK();
+}
+
+/// Allocating wrapper over FinishResolveInto for the legacy Resolve path.
+template <typename CandidateGroups>
+Result<std::vector<RecordId>> FinishResolve(
+    const Record& query, const CandidateGroups& candidates, ResolveMode mode,
+    const RecordSimilarity& similarity, const RecordStore& store,
+    std::atomic<uint64_t>* comparisons) {
+  FlatIdSet seen;
+  std::vector<RecordId> matches;
+  std::string norm_scratch;
+  SKETCHLINK_RETURN_IF_ERROR(FinishResolveInto(query, candidates, mode,
+                                               similarity, store, comparisons,
+                                               &seen, &matches,
+                                               &norm_scratch));
   return matches;
 }
 
@@ -104,6 +124,24 @@ Result<std::vector<RecordId>> BlockSketchMatcher::Resolve(
                        &comparisons_);
 }
 
+Status BlockSketchMatcher::ResolveInto(const Record& query,
+                                       const KeyScratch& keys,
+                                       QueryScratch* scratch) {
+  // clear() drops the previous query's pins but keeps the vector capacity;
+  // Candidates pins a published snapshot without allocating.
+  scratch->groups.clear();
+  if (scratch->groups.capacity() < keys.num_keys) {
+    scratch->groups.reserve(keys.num_keys);
+  }
+  for (size_t i = 0; i < keys.num_keys; ++i) {
+    scratch->groups.push_back(sketch_.Candidates(keys.keys[i],
+                                                 keys.key_values));
+  }
+  return FinishResolveInto(query, scratch->groups, mode_, similarity_, *store_,
+                           &comparisons_, &scratch->seen, &scratch->matches,
+                           &scratch->norm_scratch);
+}
+
 Status SBlockSketchMatcher::Insert(const Record& record,
                                    const std::vector<std::string>& keys,
                                    const std::string& key_values) {
@@ -134,6 +172,23 @@ Result<std::vector<RecordId>> SBlockSketchMatcher::Resolve(
   }
   return FinishResolve(query, candidates, mode_, similarity_, *store_,
                        &comparisons_);
+}
+
+Status SBlockSketchMatcher::ResolveInto(const Record& query,
+                                        const KeyScratch& keys,
+                                        QueryScratch* scratch) {
+  scratch->groups.clear();
+  if (scratch->groups.capacity() < keys.num_keys) {
+    scratch->groups.reserve(keys.num_keys);
+  }
+  for (size_t i = 0; i < keys.num_keys; ++i) {
+    auto group = sketch_.Candidates(keys.keys[i], keys.key_values);
+    if (!group.ok()) return group.status();
+    scratch->groups.push_back(std::move(*group));
+  }
+  return FinishResolveInto(query, scratch->groups, mode_, similarity_, *store_,
+                           &comparisons_, &scratch->seen, &scratch->matches,
+                           &scratch->norm_scratch);
 }
 
 Status NaiveBlockMatcher::Insert(const Record& record,

@@ -53,6 +53,8 @@ class BlockSketchMatcher : public OnlineMatcher {
   Result<std::vector<RecordId>> Resolve(
       const Record& query, const std::vector<std::string>& keys,
       const std::string& key_values) override;
+  Status ResolveInto(const Record& query, const KeyScratch& keys,
+                     QueryScratch* scratch) override;
   bool SupportsConcurrentResolve() const override { return true; }
 
   uint64_t comparisons() const override {
@@ -104,6 +106,8 @@ class SBlockSketchMatcher : public OnlineMatcher {
   Result<std::vector<RecordId>> Resolve(
       const Record& query, const std::vector<std::string>& keys,
       const std::string& key_values) override;
+  Status ResolveInto(const Record& query, const KeyScratch& keys,
+                     QueryScratch* scratch) override;
   bool SupportsConcurrentResolve() const override { return true; }
 
   uint64_t comparisons() const override {

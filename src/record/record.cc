@@ -43,6 +43,50 @@ size_t Record::ApproximateMemoryUsage() const {
   return bytes;
 }
 
+Result<RecordView> RecordView::FromEncoded(std::string_view payload) {
+  RecordView view;
+  uint32_t num_fields;
+  if (!GetVarint64(&payload, &view.id_) ||
+      !GetVarint64(&payload, &view.entity_id_) ||
+      !GetVarint32(&payload, &num_fields)) {
+    return Status::Corruption("truncated record header");
+  }
+  // Validate the field section up front so field() cannot fail later.
+  std::string_view rest = payload;
+  for (uint32_t i = 0; i < num_fields; ++i) {
+    std::string_view field;
+    if (!GetLengthPrefixed(&rest, &field)) {
+      return Status::Corruption("truncated record field");
+    }
+  }
+  view.num_fields_ = num_fields;
+  view.fields_ = payload;
+  return view;
+}
+
+std::string_view RecordView::field(size_t i) const {
+  std::string_view rest = fields_;
+  std::string_view field;
+  for (size_t k = 0; k <= i; ++k) {
+    if (!GetLengthPrefixed(&rest, &field)) return std::string_view();
+  }
+  return field;
+}
+
+Record RecordView::ToRecord() const {
+  Record record;
+  record.id = id_;
+  record.entity_id = entity_id_;
+  record.fields.reserve(num_fields_);
+  std::string_view rest = fields_;
+  for (uint32_t i = 0; i < num_fields_; ++i) {
+    std::string_view field;
+    GetLengthPrefixed(&rest, &field);
+    record.fields.emplace_back(field);
+  }
+  return record;
+}
+
 int Schema::FieldIndex(std::string_view name) const {
   for (size_t i = 0; i < field_names_.size(); ++i) {
     if (field_names_[i] == name) return static_cast<int>(i);

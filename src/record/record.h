@@ -38,6 +38,41 @@ struct Record {
   }
 };
 
+/// Zero-copy view of an encoded record. Wraps the EncodeTo wire bytes in
+/// place: the header is parsed once, fields stay length-prefixed in the
+/// underlying buffer and are sliced out on access without copying. Backed
+/// by stable storage (RecordStore's arena), a view outlives concurrent
+/// inserts — unlike views into a container that reallocates.
+class RecordView {
+ public:
+  RecordView() = default;
+
+  /// Parses the header of a payload produced by Record::EncodeTo. The view
+  /// references `payload`'s bytes; the caller guarantees their lifetime.
+  static Result<RecordView> FromEncoded(std::string_view payload);
+
+  bool valid() const { return num_fields_ != kInvalid; }
+  RecordId id() const { return id_; }
+  uint64_t entity_id() const { return entity_id_; }
+  size_t num_fields() const { return num_fields_; }
+
+  /// The i-th field, sliced from the encoded bytes (no copy). Fields are
+  /// walked from the start of the field section, so access is O(i) — fine
+  /// for the handful of fields a record carries.
+  std::string_view field(size_t i) const;
+
+  /// Materializes an owning Record (copies every field).
+  Record ToRecord() const;
+
+ private:
+  static constexpr uint32_t kInvalid = ~uint32_t{0};
+
+  RecordId id_ = 0;
+  uint64_t entity_id_ = 0;
+  uint32_t num_fields_ = kInvalid;
+  std::string_view fields_;  // the length-prefixed field section
+};
+
 /// Names the fields of a data set and which of them participate in blocking
 /// keys and in match comparisons.
 class Schema {

@@ -13,6 +13,11 @@ const char* const kEnvVar = "SKETCHLINK_SIMD";
 KernelLevel ProbeCpu() {
 #if defined(__x86_64__) || defined(__i386__)
   __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512vl") && __builtin_cpu_supports("bmi") &&
+      __builtin_cpu_supports("bmi2") && __builtin_cpu_supports("popcnt")) {
+    return KernelLevel::kAVX512;
+  }
   if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("bmi") &&
       __builtin_cpu_supports("bmi2") && __builtin_cpu_supports("popcnt")) {
     return KernelLevel::kAVX2;
@@ -51,6 +56,8 @@ Config ReadConfig(KernelLevel detected) {
     config.level = Clamp(KernelLevel::kSSE42, detected);
   } else if (std::strcmp(env, "avx2") == 0) {
     config.level = Clamp(KernelLevel::kAVX2, detected);
+  } else if (std::strcmp(env, "avx512") == 0) {
+    config.level = Clamp(KernelLevel::kAVX512, detected);
   }
   return config;
 }
@@ -75,6 +82,8 @@ const char* KernelLevelName(KernelLevel level) {
       return "sse42";
     case KernelLevel::kAVX2:
       return "avx2";
+    case KernelLevel::kAVX512:
+      return "avx512";
   }
   return "unknown";
 }
@@ -104,6 +113,8 @@ const KernelOps* OpsForLevel(KernelLevel level) {
       return GetSse42Kernels();
     case KernelLevel::kAVX2:
       return GetAvx2Kernels();
+    case KernelLevel::kAVX512:
+      return GetAvx512Kernels();
   }
   return nullptr;
 }

@@ -13,10 +13,11 @@ struct JaroPattern;
 /// bit-for-bit identical results (enforced by the differential test
 /// harness); only throughput differs. kScalar is portable C++; kSSE42 adds
 /// hardware popcount and 16-wide byte compares; kAVX2 adds 32-wide byte
-/// compares and 4-wide 64-bit merges.
-enum class KernelLevel { kScalar = 0, kSSE42 = 1, kAVX2 = 2 };
+/// compares and 4-wide 64-bit merges; kAVX512 adds mask-register byte
+/// compares and 8-wide 64-bit unsigned merges.
+enum class KernelLevel { kScalar = 0, kSSE42 = 1, kAVX2 = 2, kAVX512 = 3 };
 
-/// Human-readable tier name ("scalar", "sse42", "avx2").
+/// Human-readable tier name ("scalar", "sse42", "avx2", "avx512").
 const char* KernelLevelName(KernelLevel level);
 
 /// One similarity-kernel implementation tier. All function pointers are
@@ -70,7 +71,7 @@ struct KernelOps {
 KernelLevel DetectedCpuLevel();
 
 /// The active tier: the detected one, lowered by the SKETCHLINK_SIMD
-/// environment variable ("scalar", "sse42", "avx2"; values above the
+/// environment variable ("scalar", "sse42", "avx2", "avx512"; values above the
 /// detected tier are clamped). SKETCHLINK_SIMD=off disables the kernel
 /// layer entirely — KernelsEnabled() turns false and callers fall back to
 /// the scalar reference code in src/text.
@@ -101,6 +102,7 @@ void ResetActiveLevelForTesting();
 const KernelOps* GetScalarKernels();
 const KernelOps* GetSse42Kernels();
 const KernelOps* GetAvx2Kernels();
+const KernelOps* GetAvx512Kernels();
 
 }  // namespace sketchlink::simd
 

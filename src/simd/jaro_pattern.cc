@@ -22,6 +22,25 @@ void BuildJaroPattern(std::string_view b, JaroPattern* out) {
     out->masks[slot] |= uint64_t{1} << j;
   }
   out->fits = true;
+
+  // Build the O(1) direct table when the low 6 bits distinguish every
+  // distinct byte (always true for normalized field text). A collision
+  // leaves direct=false and lookups on the slot-scan path.
+  out->direct = true;
+  for (size_t slot = 0; slot < out->num_distinct; ++slot) {
+    const unsigned char c = out->chars[slot];
+    const size_t idx = c & 63u;
+    // Occupied iff the mask is nonzero: every distinct byte occurs at
+    // least once in b.
+    if (out->peq[idx] != 0) {
+      out->direct = false;
+      out->peq_char.fill(0);
+      out->peq.fill(0);
+      return;
+    }
+    out->peq_char[idx] = c;
+    out->peq[idx] = out->masks[slot];
+  }
 }
 
 }  // namespace sketchlink::simd

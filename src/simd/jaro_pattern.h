@@ -16,19 +16,39 @@ namespace sketchlink::simd {
 /// `fits` is false when b is longer than 64 bytes or has more than
 /// kMaxDistinct distinct bytes; callers then use the scalar text::Jaro.
 /// Fixed arrays keep the pattern heap-free so it can be cached per sketch
-/// representative (~300B, cheaper than the q-gram profile cache).
+/// representative (~900B, still cheaper than the q-gram profile cache).
 struct JaroPattern {
   static constexpr size_t kMaxDistinct = 32;
 
   uint8_t length = 0;
   uint8_t num_distinct = 0;
   bool fits = false;
+  /// True when `c & 63` is injective over the distinct bytes of b, so the
+  /// peq table below answers lookups in O(1). Normalized field text
+  /// (space, '#', '\'', '-', digits, upper letters) always qualifies:
+  /// those bytes occupy distinct low-6-bit slots.
+  bool direct = false;
   /// Distinct bytes of b in first-occurrence order, zero-padded so SIMD
   /// lookups can scan fixed-width blocks. A padded slot never yields a
   /// match: its mask is 0.
   std::array<unsigned char, kMaxDistinct> chars{};
   std::array<uint64_t, kMaxDistinct> masks{};
+  /// Direct index (valid iff `direct`): slot c & 63 holds the byte that
+  /// occupies it and the mask of its positions in b. A query byte that
+  /// merely aliases the slot (same low 6 bits, different byte) is rejected
+  /// by the stored-byte compare, so lookups stay exact for arbitrary input.
+  std::array<unsigned char, 64> peq_char{};
+  std::array<uint64_t, 64> peq{};
 };
+
+/// O(1) positional lookup through the direct table; caller must have
+/// checked `pattern.direct`. Matches the first-occurrence slot scan
+/// bit-for-bit: each slot's mask covers every occurrence of its byte.
+inline uint64_t DirectPatternLookup(const JaroPattern& pattern,
+                                    unsigned char c) {
+  const size_t slot = c & 63u;
+  return pattern.peq_char[slot] == c ? pattern.peq[slot] : 0;
+}
 
 /// Indexes `b`; sets fits=false (and leaves the arrays empty) when b does
 /// not meet the kernel's limits.

@@ -49,6 +49,71 @@ double BatchQuery::Distance(const BatchCandidate& candidate) const {
   return 0.0;
 }
 
+double BatchQuery::Distance(const BatchSoA& soa, size_t i) const {
+  const KernelOps& ops = Ops();
+  const std::string_view text = soa.text(i);
+  switch (metric_) {
+    case BatchMetric::kJaroWinkler: {
+      const JaroPattern* pattern =
+          soa.patterns != nullptr ? &soa.patterns[i] : nullptr;
+      const double jaro = (pattern != nullptr && pattern->fits)
+                              ? ops.jaro(query_, text, *pattern)
+                              : text::Jaro(query_, text);
+      return WinklerDistance(jaro, query_, text);
+    }
+    case BatchMetric::kQGramDice:
+      return ops.profile_dice_distance(*query_profile_, soa.profiles[i]);
+    case BatchMetric::kLevenshtein: {
+      const size_t longest = std::max(query_.size(), text.size());
+      if (longest == 0) return 0.0;
+      return static_cast<double>(ops.levenshtein(query_, text)) /
+             static_cast<double>(longest);
+    }
+  }
+  return 0.0;
+}
+
+BatchResult BatchQuery::Score(const BatchSoA& soa, double initial_best) const {
+  const KernelOps& ops = Ops();
+  BatchResult result;
+  result.best_distance = initial_best;
+
+  constexpr size_t kChunk = 64;
+  double bounds[kChunk];
+  const bool length_bounds = metric_ != BatchMetric::kQGramDice;
+  const uint32_t query_len = static_cast<uint32_t>(query_.size());
+
+  for (size_t base = 0; base < soa.count; base += kChunk) {
+    const size_t count = std::min(kChunk, soa.count - base);
+    if (length_bounds) {
+      // The SoA length array is already contiguous: no per-chunk gather.
+      if (metric_ == BatchMetric::kJaroWinkler) {
+        ops.jw_length_bounds(query_len, soa.text_lens + base, count, bounds);
+      } else {
+        ops.lev_length_bounds(query_len, soa.text_lens + base, count, bounds);
+      }
+    } else {
+      for (size_t i = 0; i < count; ++i) {
+        bounds[i] = ops.dice_distance_bound(*query_profile_,
+                                            soa.profiles[base + i]);
+      }
+    }
+    for (size_t i = 0; i < count; ++i) {
+      if (bounds[i] >= result.best_distance) {
+        ++result.pruned;
+        continue;
+      }
+      const double d = Distance(soa, base + i);
+      ++result.evaluated;
+      if (d < result.best_distance) {
+        result.best_distance = d;
+        result.best_index = base + i;
+      }
+    }
+  }
+  return result;
+}
+
 BatchResult BatchQuery::Score(const BatchCandidate* candidates,
                               size_t n) const {
   const KernelOps& ops = Ops();

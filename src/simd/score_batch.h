@@ -31,6 +31,26 @@ struct BatchCandidate {
   const BitProfile* profile = nullptr;
 };
 
+/// Structure-of-arrays batch: the candidates' texts concatenated into one
+/// contiguous byte run with parallel offset/length arrays, plus dense
+/// pattern/profile arrays indexed by candidate position. This is the layout
+/// the sketch publishes per representative set (core::RepSet::packed): the
+/// scorer streams `text_lens` straight into the length-bound kernels with
+/// no per-chunk gather, and every candidate access is a contiguous slice.
+/// All pointers are borrowed; the backing storage must outlive the call.
+struct BatchSoA {
+  size_t count = 0;
+  const char* text_bytes = nullptr;
+  const uint32_t* text_offsets = nullptr;  ///< count entries into text_bytes
+  const uint32_t* text_lens = nullptr;     ///< count entries, contiguous
+  const JaroPattern* patterns = nullptr;   ///< count entries (may be null)
+  const BitProfile* profiles = nullptr;    ///< count entries (may be null)
+
+  std::string_view text(size_t i) const {
+    return std::string_view(text_bytes + text_offsets[i], text_lens[i]);
+  }
+};
+
 /// Outcome of scoring one query against a candidate array.
 struct BatchResult {
   /// Index of the argmin candidate (first minimum in array order — the
@@ -65,11 +85,24 @@ class BatchQuery {
   /// bit, computed with the active kernel tier.
   double Distance(const BatchCandidate& candidate) const;
 
+  /// Exact distance to candidate `i` of a SoA batch; same value as the
+  /// gather path for the equivalent candidate.
+  double Distance(const BatchSoA& soa, size_t i) const;
+
   /// Scores the query against candidates[0..n), returning the first-minimum
   /// argmin under the exact metric. Equivalent to calling Distance on every
   /// candidate with the `if (d < best)` update rule; bounds only skip
   /// candidates that provably cannot win.
   BatchResult Score(const BatchCandidate* candidates, size_t n) const;
+
+  /// SoA variant with a carried running best: candidates whose bound meets
+  /// or exceeds `initial_best` are pruned exactly as the flat path would
+  /// prune them mid-array. Calling Score per sub-block with the previous
+  /// sub-blocks' best threaded through is bit-identical (same evaluation
+  /// order, same prune/evaluate decisions) to one flat Score over the
+  /// concatenation — bounds never depend on the running best, only the
+  /// prune comparison does.
+  BatchResult Score(const BatchSoA& soa, double initial_best) const;
 
   BatchMetric metric() const { return metric_; }
 

@@ -35,11 +35,17 @@ std::string_view Trim(std::string_view s) {
 std::string NormalizeField(std::string_view s) {
   std::string out;
   out.reserve(s.size());
+  NormalizeFieldTo(s, &out);
+  return out;
+}
+
+void NormalizeFieldTo(std::string_view s, std::string* out) {
+  const size_t base = out->size();
   bool pending_space = false;
   for (char raw : Trim(s)) {
     unsigned char c = static_cast<unsigned char>(raw);
     if (std::isspace(c)) {
-      pending_space = !out.empty();
+      pending_space = out->size() > base;
       continue;
     }
     char up = static_cast<char>(std::toupper(c));
@@ -47,12 +53,11 @@ std::string NormalizeField(std::string_view s) {
                       up == '\'' || up == '-';
     if (!keep) continue;
     if (pending_space) {
-      out.push_back(' ');
+      out->push_back(' ');
       pending_space = false;
     }
-    out.push_back(up);
+    out->push_back(up);
   }
-  return out;
 }
 
 std::string_view Prefix(std::string_view s, size_t n) {

@@ -21,6 +21,11 @@ std::string_view Trim(std::string_view s);
 /// linkage pipeline applies before key generation.
 std::string NormalizeField(std::string_view s);
 
+/// Appends NormalizeField(s) to `*out` without a temporary string, so a
+/// reused buffer makes repeated normalization allocation-free once warm.
+/// Byte-for-byte identical to the returning form.
+void NormalizeFieldTo(std::string_view s, std::string* out);
+
 /// Returns the first `n` characters of `s` (the whole string if shorter).
 /// Blocking keys such as "surname[50%]" and "assay[6]" (paper Table 1) are
 /// built from prefixes.

@@ -1,0 +1,168 @@
+// Property tests for the bump-pointer arena (DESIGN.md §12): address
+// stability across block growth, reuse-after-Reset poisoning (ASan-visible
+// when built with it, 0xCD clobber otherwise), and Scope rewind semantics.
+
+#include "common/arena.h"
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define SKETCHLINK_TEST_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SKETCHLINK_TEST_ASAN 1
+#endif
+#endif
+
+namespace sketchlink {
+namespace {
+
+TEST(ArenaTest, CopyStringRoundTrips) {
+  Arena arena;
+  const std::string_view copy = arena.CopyString("hello arena");
+  EXPECT_EQ(copy, "hello arena");
+  EXPECT_TRUE(arena.CopyString("").empty());
+  EXPECT_GE(arena.bytes_allocated(), copy.size());
+}
+
+TEST(ArenaTest, AllocationsNeverMoveAcrossBlockGrowth) {
+  // Small blocks force many chained backing allocations; every previously
+  // returned view must keep its address and bytes. This is the contract
+  // RecordStore::GetView relies on for zero-copy reads under inserts.
+  Arena arena(/*block_bytes=*/512);
+  std::vector<std::string> originals;
+  std::vector<std::string_view> views;
+  Rng rng(20260809);
+  for (size_t i = 0; i < 2000; ++i) {
+    std::string s(1 + rng.UniformIndex(96), 'a');
+    for (auto& c : s) c = static_cast<char>('a' + rng.UniformIndex(26));
+    originals.push_back(s);
+    views.push_back(arena.CopyString(originals.back()));
+  }
+  for (size_t i = 0; i < originals.size(); ++i) {
+    ASSERT_EQ(views[i], originals[i]) << "view " << i << " moved or corrupted";
+  }
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_allocated());
+}
+
+TEST(ArenaTest, AlignedAllocationRespectsAlignment) {
+  Arena arena;
+  for (size_t align : {1u, 2u, 4u, 8u, 16u}) {
+    void* p = arena.Allocate(24, align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u)
+        << "align=" << align;
+  }
+  uint64_t* array = arena.AllocateArray<uint64_t>(7);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(array) % alignof(uint64_t), 0u);
+  for (size_t i = 0; i < 7; ++i) array[i] = i;  // must be writable
+}
+
+TEST(ArenaTest, OversizedRequestGetsDedicatedBlock) {
+  Arena arena(/*block_bytes=*/512);
+  const std::string big(8 * 1024, 'x');
+  const std::string_view copy = arena.CopyString(big);
+  EXPECT_EQ(copy, big);
+  // A small allocation afterwards still works and neither moves the other.
+  const std::string_view little = arena.CopyString("little");
+  EXPECT_EQ(copy, big);
+  EXPECT_EQ(little, "little");
+}
+
+TEST(ArenaTest, ResetRecyclesBlocksWithoutNewReservation) {
+  Arena arena(/*block_bytes=*/1024);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 64; ++i) arena.CopyString(std::string(100, 'r'));
+    arena.Reset();
+    EXPECT_EQ(arena.bytes_allocated(), 0u);
+  }
+  const size_t reserved_after_warmup = arena.bytes_reserved();
+  for (int i = 0; i < 64; ++i) arena.CopyString(std::string(100, 'r'));
+  // Steady state: recycled blocks cover the same workload, no growth.
+  EXPECT_EQ(arena.bytes_reserved(), reserved_after_warmup);
+}
+
+TEST(ArenaTest, ResetPoisonsRecycledBytes) {
+  Arena arena;
+  const std::string_view stale = arena.CopyString("still reachable?");
+  const char* data = stale.data();
+  arena.Reset();
+#ifdef SKETCHLINK_TEST_ASAN
+  // Under ASan the recycled range is poisoned: any read must fault. Death
+  // tests fork, so the ASan report aborts the child, not this process.
+  EXPECT_DEATH({ volatile char c = data[0]; (void)c; }, "poison");
+#else
+  // Without ASan the bytes are clobbered with the 0xCD pattern so stale
+  // views read recognizable garbage instead of silently working.
+  for (size_t i = 0; i < stale.size(); ++i) {
+    ASSERT_EQ(static_cast<unsigned char>(data[i]), 0xCD) << "byte " << i;
+  }
+#endif
+}
+
+TEST(ArenaTest, ScopeRewindsAllocationAccounting) {
+  Arena arena;
+  arena.CopyString("outer");
+  const size_t outer_allocated = arena.bytes_allocated();
+  {
+    Arena::Scope scope(&arena);
+    arena.CopyString(std::string(512, 's'));
+    EXPECT_GT(arena.bytes_allocated(), outer_allocated);
+  }
+  EXPECT_EQ(arena.bytes_allocated(), outer_allocated);
+}
+
+TEST(ArenaTest, ScopeReusesRewoundSpace) {
+  Arena arena;
+  arena.CopyString("anchor");
+  const void* first;
+  {
+    Arena::Scope scope(&arena);
+    first = arena.Allocate(64, 1);
+  }
+  // The rewound bytes are handed out again: per-query scratch scopes cost
+  // no net arena growth.
+  void* second = arena.Allocate(64, 1);
+  EXPECT_EQ(first, second);
+}
+
+TEST(ArenaTest, ScopeRewindPoisonsInnerBytes) {
+  Arena arena;
+  arena.CopyString("outer");
+  const char* inner_data;
+  size_t inner_size;
+  {
+    Arena::Scope scope(&arena);
+    const std::string_view inner = arena.CopyString("scope-local bytes");
+    inner_data = inner.data();
+    inner_size = inner.size();
+  }
+#ifdef SKETCHLINK_TEST_ASAN
+  EXPECT_DEATH({ volatile char c = inner_data[0]; (void)c; }, "poison");
+#else
+  for (size_t i = 0; i < inner_size; ++i) {
+    ASSERT_EQ(static_cast<unsigned char>(inner_data[i]), 0xCD);
+  }
+#endif
+}
+
+TEST(ArenaTest, ScopeOnEmptyArenaRewindsToEmpty) {
+  Arena arena;
+  {
+    Arena::Scope scope(&arena);
+    arena.CopyString("created inside the scope");
+  }
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  // Blocks created inside the scope stay reserved for reuse.
+  EXPECT_GT(arena.bytes_reserved(), 0u);
+  EXPECT_EQ(arena.CopyString("fresh"), "fresh");
+}
+
+}  // namespace
+}  // namespace sketchlink

@@ -1,0 +1,88 @@
+// Tests for the open-addressing id set used as the per-query candidate
+// dedupe: set semantics against a reference, O(1) generation-stamp Clear
+// that keeps the backing array, and growth behavior.
+
+#include "common/flat_set.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace sketchlink {
+namespace {
+
+TEST(FlatIdSetTest, InsertReportsFirstOccurrence) {
+  FlatIdSet set;
+  EXPECT_TRUE(set.Insert(42));
+  EXPECT_FALSE(set.Insert(42));
+  EXPECT_TRUE(set.Insert(7));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.Contains(42));
+  EXPECT_TRUE(set.Contains(7));
+  EXPECT_FALSE(set.Contains(1));
+}
+
+TEST(FlatIdSetTest, ClearForgetsElementsButKeepsCapacity) {
+  FlatIdSet set;
+  for (uint64_t i = 0; i < 100; ++i) set.Insert(i);
+  const size_t warm_capacity = set.capacity();
+  set.Clear();
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_EQ(set.capacity(), warm_capacity);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(set.Contains(i)) << i;
+    EXPECT_TRUE(set.Insert(i)) << i;
+  }
+  EXPECT_EQ(set.capacity(), warm_capacity);  // warm: no regrow
+}
+
+TEST(FlatIdSetTest, MatchesReferenceSetUnderRandomChurn) {
+  FlatIdSet set;
+  std::unordered_set<uint64_t> reference;
+  Rng rng(0xf1a7);
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 300; ++i) {
+      // Sequential-ish ids plus a random high-entropy tail: record ids in
+      // practice are dense, which is the clustering the mixer must spread.
+      const uint64_t id = rng.CoinFlip() ? rng.UniformIndex(500)
+                                         : rng.NextUint64();
+      const bool inserted = set.Insert(id);
+      const bool reference_inserted = reference.insert(id).second;
+      ASSERT_EQ(inserted, reference_inserted) << "id " << id;
+    }
+    ASSERT_EQ(set.size(), reference.size());
+    for (const uint64_t id : reference) ASSERT_TRUE(set.Contains(id));
+    set.Clear();
+    reference.clear();
+  }
+}
+
+TEST(FlatIdSetTest, GrowthPreservesMembership) {
+  FlatIdSet set(/*initial_capacity=*/16);
+  std::vector<uint64_t> ids;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    ids.push_back(i * 2654435761u);
+    ASSERT_TRUE(set.Insert(ids.back()));
+  }
+  EXPECT_GT(set.capacity(), 16u);
+  for (const uint64_t id : ids) ASSERT_TRUE(set.Contains(id));
+  EXPECT_EQ(set.size(), ids.size());
+}
+
+TEST(FlatIdSetTest, ZeroIsAValidElement) {
+  // Slot emptiness is tracked by generation stamps, not a sentinel id, so
+  // id 0 must behave like any other value.
+  FlatIdSet set;
+  EXPECT_FALSE(set.Contains(0));
+  EXPECT_TRUE(set.Insert(0));
+  EXPECT_TRUE(set.Contains(0));
+  EXPECT_FALSE(set.Insert(0));
+  set.Clear();
+  EXPECT_FALSE(set.Contains(0));
+}
+
+}  // namespace
+}  // namespace sketchlink

@@ -1,0 +1,152 @@
+// Property tests for the string interner: dense 1-based ids, id stability
+// (a published id never remaps), lock-free readers against a live writer.
+// The concurrent cases are the TSan targets — the tier-1 TSan preset runs
+// them with the race detector on.
+
+#include "common/interner.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sketchlink {
+namespace {
+
+TEST(StringInternerTest, IdsAreDenseAndStable) {
+  StringInterner interner;
+  EXPECT_EQ(interner.size(), 0u);
+  const StringInterner::Id a = interner.Intern("alpha");
+  const StringInterner::Id b = interner.Intern("beta");
+  EXPECT_EQ(a, 1u);  // 1-based, interning order
+  EXPECT_EQ(b, 2u);
+  EXPECT_EQ(interner.Intern("alpha"), a);  // idempotent
+  EXPECT_EQ(interner.size(), 2u);
+  EXPECT_EQ(interner.View(a), "alpha");
+  EXPECT_EQ(interner.View(b), "beta");
+}
+
+TEST(StringInternerTest, FindNeverInternsAndMissesAreInvalid) {
+  StringInterner interner;
+  EXPECT_EQ(interner.Find("ghost"), StringInterner::kInvalidId);
+  EXPECT_EQ(interner.size(), 0u);
+  const StringInterner::Id id = interner.Intern("real");
+  EXPECT_EQ(interner.Find("real"), id);
+  EXPECT_EQ(interner.Find("ghost"), StringInterner::kInvalidId);
+}
+
+TEST(StringInternerTest, ViewsStayValidAcrossTableGrowth) {
+  StringInterner interner;
+  // Force multiple COW table growths and several directory chunks, then
+  // check every early view/id still resolves — ids are never remapped and
+  // arena-backed bytes never move.
+  std::vector<std::string> strings;
+  std::vector<StringInterner::Id> ids;
+  std::vector<std::string_view> views;
+  for (int i = 0; i < 10000; ++i) {
+    strings.push_back("key-" + std::to_string(i));
+    ids.push_back(interner.Intern(strings.back()));
+    if (i < 100) views.push_back(interner.View(ids.back()));
+  }
+  EXPECT_EQ(interner.size(), 10000u);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(views[static_cast<size_t>(i)], strings[static_cast<size_t>(i)]);
+    ASSERT_EQ(interner.Find(strings[static_cast<size_t>(i)]),
+              ids[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(StringInternerTest, EmptyStringIsInternable) {
+  StringInterner interner;
+  const StringInterner::Id id = interner.Intern("");
+  EXPECT_NE(id, StringInterner::kInvalidId);
+  EXPECT_EQ(interner.Intern(""), id);
+  EXPECT_EQ(interner.Find(""), id);
+  EXPECT_TRUE(interner.View(id).empty());
+}
+
+TEST(StringInternerTest, ConcurrentInternersAgreeOnIds) {
+  // Several writers intern overlapping key sets while readers probe. Every
+  // thread records the id it observed per string; at the end all observers
+  // must agree and the table must round-trip — the "id stability under
+  // concurrent interning" property.
+  StringInterner interner;
+  constexpr int kThreads = 4;
+  constexpr int kKeys = 400;
+  std::vector<std::unordered_map<std::string, StringInterner::Id>> seen(
+      kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &interner, &seen] {
+      // Each thread walks the shared key space from a different offset so
+      // writers collide on the same strings in different orders.
+      for (int i = 0; i < kKeys; ++i) {
+        const int k = (i + t * 101) % kKeys;
+        const std::string key = "shared-" + std::to_string(k);
+        const StringInterner::Id id = interner.Intern(key);
+        ASSERT_NE(id, StringInterner::kInvalidId);
+        ASSERT_EQ(interner.View(id), key);
+        seen[static_cast<size_t>(t)][key] = id;
+        // Reader-side probe of a key another thread likely owns.
+        const std::string other = "shared-" + std::to_string((k + 7) % kKeys);
+        const StringInterner::Id found = interner.Find(other);
+        if (found != StringInterner::kInvalidId) {
+          ASSERT_EQ(interner.View(found), other);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(interner.size(), static_cast<size_t>(kKeys));
+  for (int t = 1; t < kThreads; ++t) {
+    ASSERT_EQ(seen[static_cast<size_t>(t)].size(), seen[0].size());
+    for (const auto& [key, id] : seen[0]) {
+      ASSERT_EQ(seen[static_cast<size_t>(t)].at(key), id)
+          << "threads disagree on id of " << key;
+    }
+  }
+}
+
+TEST(StringInternerTest, ConcurrentReadersUnderLiveWriter) {
+  StringInterner interner;
+  std::atomic<bool> stop{false};
+  std::atomic<uint32_t> published{0};
+  std::thread writer([&] {
+    for (int i = 0; i < 20000; ++i) {
+      interner.Intern("stream-" + std::to_string(i));
+      published.store(static_cast<uint32_t>(i + 1),
+                      std::memory_order_release);
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      uint64_t probes = 0;
+      while (!stop.load(std::memory_order_acquire) || probes < 1000) {
+        const uint32_t limit = published.load(std::memory_order_acquire);
+        if (limit == 0) continue;
+        const uint32_t i = static_cast<uint32_t>(probes % limit);
+        const std::string key = "stream-" + std::to_string(i);
+        // Find may race with the insert of *later* keys, but any id it
+        // returns must already be fully published.
+        const StringInterner::Id id = interner.Find(key);
+        if (id != StringInterner::kInvalidId) {
+          ASSERT_EQ(interner.View(id), key);
+        }
+        ++probes;
+        if (probes >= 2000000) break;  // paranoia bound
+      }
+    });
+  }
+  writer.join();
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(interner.size(), 20000u);
+}
+
+}  // namespace
+}  // namespace sketchlink

@@ -107,7 +107,7 @@ TEST_P(KernelRoutingDeterminismTest, IdenticalAcrossThreadsTiersAndScalar) {
   legacy.InsertBatch(inserts, nullptr);
   const BlockSketchStats legacy_stats = legacy.stats();
 
-  for (int level = 0; level <= 2; ++level) {
+  for (int level = 0; level <= 3; ++level) {
     const simd::KernelLevel requested = static_cast<simd::KernelLevel>(level);
     if (simd::OpsForLevel(requested) == nullptr) continue;
     ASSERT_EQ(simd::SetActiveLevelForTesting(requested), requested);

@@ -1,0 +1,202 @@
+// Differential test for the SoA representative layout (DESIGN.md §12): the
+// streamed structure-of-arrays scoring path must be observationally
+// IDENTICAL to the legacy gather path (BatchCandidate pointer-chasing),
+// which stays in the tree as the oracle behind
+// SketchPolicy::SetGatherRoutingForTesting. Both paths are driven through
+// the full pipeline — datagen workload -> blocking -> sketch -> engine —
+// and must produce bit-identical per-query result sets, comparison
+// counters, and quality metrics at every thread count and on every SIMD
+// dispatch tier this CPU offers (scalar through AVX-512).
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blocking/presets.h"
+#include "core/block_sketch.h"
+#include "datagen/generators.h"
+#include "linkage/engine.h"
+#include "linkage/sketch_matchers.h"
+#include "simd/dispatch.h"
+
+namespace sketchlink {
+namespace {
+
+using datagen::DatasetKind;
+
+datagen::Workload MakeCrosscheckWorkload(DatasetKind kind) {
+  datagen::WorkloadSpec spec;
+  spec.kind = kind;
+  spec.num_entities = 160;
+  spec.copies_per_entity = 6;
+  spec.max_perturb_ops = 3;
+  spec.seed = 20260809;
+  return datagen::MakeWorkload(spec);
+}
+
+struct RunResult {
+  LinkageReport report;
+  std::vector<std::vector<RecordId>> per_query;
+};
+
+/// One full pipeline run with the routing implementation pinned: gather
+/// oracle when `gather`, default SoA otherwise. The flag is process-global,
+/// so it is set for the whole run (build + resolve) and restored by the
+/// fixture's TearDown.
+RunResult RunPipeline(const datagen::Workload& workload,
+                      const GroundTruth& truth, DatasetKind kind,
+                      size_t threads, bool gather) {
+  SketchPolicy::SetGatherRoutingForTesting(gather);
+  auto blocker = MakeStandardBlocker(kind);
+  RecordSimilarity similarity(MatchFieldsFor(kind), 0.75);
+  RecordStore store;
+  BlockSketchMatcher matcher(BlockSketchOptions(), similarity, &store);
+  EngineOptions options;
+  options.num_threads = threads;
+  LinkageEngine engine(blocker.get(), &matcher, similarity, options);
+
+  RunResult out;
+  EXPECT_TRUE(engine.BuildIndex(workload.a).ok());
+  auto report = engine.ResolveAll(workload.q, truth);
+  EXPECT_TRUE(report.ok());
+  if (report.ok()) out.report = *report;
+
+  out.per_query.reserve(workload.q.size());
+  for (const Record& query : workload.q.records()) {
+    auto matches = engine.ResolveOne(query);
+    EXPECT_TRUE(matches.ok());
+    out.per_query.push_back(matches.ok() ? *matches
+                                         : std::vector<RecordId>{});
+  }
+  return out;
+}
+
+class LayoutCrosscheckTest : public ::testing::TestWithParam<DatasetKind> {
+ protected:
+  void TearDown() override {
+    SketchPolicy::SetGatherRoutingForTesting(false);
+    simd::ResetActiveLevelForTesting();
+  }
+};
+
+TEST_P(LayoutCrosscheckTest, SoAMatchesGatherOracleAcrossThreadsAndTiers) {
+  const DatasetKind kind = GetParam();
+  const datagen::Workload workload = MakeCrosscheckWorkload(kind);
+  const GroundTruth truth(workload.a);
+
+  // The oracle is built once per tier on the gather path at one thread; the
+  // SoA runs at every thread count must match it field for field.
+  for (int level = 0; level <= 3; ++level) {
+    const simd::KernelLevel requested = static_cast<simd::KernelLevel>(level);
+    if (simd::KernelsEnabled()) {
+      if (simd::OpsForLevel(requested) == nullptr) continue;
+      ASSERT_EQ(simd::SetActiveLevelForTesting(requested), requested);
+    } else if (level > 0) {
+      break;  // kernels disabled via env: only the scalar pass is meaningful
+    }
+
+    const RunResult oracle =
+        RunPipeline(workload, truth, kind, /*threads=*/1, /*gather=*/true);
+
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      const RunResult soa =
+          RunPipeline(workload, truth, kind, threads, /*gather=*/false);
+
+      EXPECT_EQ(soa.report.comparisons, oracle.report.comparisons)
+          << "level=" << level << " threads=" << threads;
+      EXPECT_EQ(soa.report.quality.true_pairs,
+                oracle.report.quality.true_pairs)
+          << "level=" << level << " threads=" << threads;
+      EXPECT_EQ(soa.report.quality.reported_pairs,
+                oracle.report.quality.reported_pairs)
+          << "level=" << level << " threads=" << threads;
+      EXPECT_EQ(soa.report.quality.correct_pairs,
+                oracle.report.quality.correct_pairs)
+          << "level=" << level << " threads=" << threads;
+      // Derived doubles must be bit-identical, not just close: both paths
+      // compute them from the same integer counts.
+      EXPECT_EQ(soa.report.quality.recall, oracle.report.quality.recall)
+          << "level=" << level << " threads=" << threads;
+      EXPECT_EQ(soa.report.quality.precision, oracle.report.quality.precision)
+          << "level=" << level << " threads=" << threads;
+      EXPECT_EQ(soa.report.quality.f1, oracle.report.quality.f1)
+          << "level=" << level << " threads=" << threads;
+
+      ASSERT_EQ(soa.per_query.size(), oracle.per_query.size());
+      for (size_t i = 0; i < soa.per_query.size(); ++i) {
+        ASSERT_EQ(soa.per_query[i], oracle.per_query[i])
+            << "level=" << level << " threads=" << threads << " query#" << i;
+      }
+    }
+  }
+}
+
+/// Restores the process-global routing flag and SIMD tier even when an
+/// ASSERT returns out of the test early.
+struct RoutingStateGuard {
+  ~RoutingStateGuard() {
+    SketchPolicy::SetGatherRoutingForTesting(false);
+    simd::ResetActiveLevelForTesting();
+  }
+};
+
+TEST(LayoutWireEncodeTest, WireEncodesIdenticalAcrossRoutingPaths) {
+  // The SoA chunk is the immutable-after-publish unit, but the wire format
+  // is the classic SketchBlock encode: a sketch built on the SoA path must
+  // serialize every block bit-for-bit like one built on the gather oracle.
+  RoutingStateGuard guard;
+  const datagen::Workload workload =
+      MakeCrosscheckWorkload(DatasetKind::kNcvr);
+  auto blocker = MakeStandardBlocker(DatasetKind::kNcvr);
+
+  for (int level = 0; level <= 3; ++level) {
+    const simd::KernelLevel requested = static_cast<simd::KernelLevel>(level);
+    if (simd::KernelsEnabled()) {
+      if (simd::OpsForLevel(requested) == nullptr) continue;
+      ASSERT_EQ(simd::SetActiveLevelForTesting(requested), requested);
+    } else if (level > 0) {
+      break;
+    }
+
+    SketchPolicy::SetGatherRoutingForTesting(true);
+    BlockSketch oracle{BlockSketchOptions()};
+    for (const Record& record : workload.a.records()) {
+      oracle.Insert(blocker->Key(record), blocker->KeyValues(record),
+                    record.id);
+    }
+    SketchPolicy::SetGatherRoutingForTesting(false);
+    BlockSketch soa{BlockSketchOptions()};
+    for (const Record& record : workload.a.records()) {
+      soa.Insert(blocker->Key(record), blocker->KeyValues(record), record.id);
+    }
+
+    ASSERT_EQ(soa.num_blocks(), oracle.num_blocks()) << "level=" << level;
+    for (const Record& record : workload.a.records()) {
+      const std::string key = blocker->Key(record);
+      auto oracle_block = oracle.FindBlock(key);
+      auto soa_block = soa.FindBlock(key);
+      ASSERT_NE(oracle_block, nullptr) << "level=" << level << " key=" << key;
+      ASSERT_NE(soa_block, nullptr) << "level=" << level << " key=" << key;
+      std::string oracle_bytes;
+      oracle_block->EncodeTo(&oracle_bytes);
+      std::string soa_bytes;
+      soa_block->EncodeTo(&soa_bytes);
+      ASSERT_EQ(soa_bytes, oracle_bytes)
+          << "wire encode differs, level=" << level << " key=" << key;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, LayoutCrosscheckTest,
+                         ::testing::Values(DatasetKind::kDblp,
+                                           DatasetKind::kNcvr),
+                         [](const auto& info) {
+                           return std::string(
+                               datagen::DatasetKindName(info.param));
+                         });
+
+}  // namespace
+}  // namespace sketchlink

@@ -14,8 +14,13 @@
 #include <cstdlib>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
+#include "common/arena.h"
 #include "common/coding.h"
+#include "common/interner.h"
+#include "common/pool.h"
 #include "text/normalize.h"
 
 namespace sketchlink::fuzz {
@@ -155,6 +160,105 @@ inline void FuzzCoding(const uint8_t* data, size_t size) {
                       Crc32cExtend(0, input),
                   "Crc32cExtend with empty tail is identity");
   (void)crc;
+}
+
+/// common/{arena,pool,interner}.h: the input is an op program over the
+/// memory subsystem. Invariants checked on every path: arena views are
+/// byte-stable until Reset; Scope rewinds accounting exactly; pool nodes
+/// round-trip their values across free/reuse and live() balances; interner
+/// ids never remap and always round-trip through View/Find. Built with
+/// ASan (the libFuzzer target always is), the Reset/rewind poisoning also
+/// turns any internal use-after-reset into a crash.
+inline void FuzzMemory(const uint8_t* data, size_t size) {
+  Arena arena(/*block_bytes=*/512);
+  Pool<uint64_t> pool(/*nodes_per_slab=*/8);
+  StringInterner interner;
+
+  std::vector<std::pair<std::string, std::string_view>> live;  // arena views
+  std::vector<std::pair<uint64_t*, uint64_t>> nodes;           // pool nodes
+  std::vector<std::pair<std::string, StringInterner::Id>> ids;
+
+  size_t i = 0;
+  auto next = [&]() -> uint8_t { return i < size ? data[i++] : 0; };
+  while (i < size) {
+    switch (next() % 7) {
+      case 0: {  // arena string copy
+        std::string s(next() % 100, 'x');
+        for (auto& c : s) c = static_cast<char>('a' + next() % 26);
+        std::string_view view = arena.CopyString(s);
+        internal::Check(view == s, "CopyString round-trip");
+        live.emplace_back(std::move(s), view);
+        break;
+      }
+      case 1: {  // aligned raw allocation, must be writable
+        const size_t align = size_t{1} << (next() % 5);
+        auto* p = static_cast<unsigned char*>(
+            arena.Allocate(1 + next() % 64, align));
+        internal::Check(reinterpret_cast<uintptr_t>(p) % align == 0,
+                        "arena alignment");
+        p[0] = 0xAB;
+        internal::Check(p[0] == 0xAB, "arena bytes writable");
+        break;
+      }
+      case 2: {  // full reset: all live views verified first, then dropped
+        for (const auto& [s, view] : live) {
+          internal::Check(view == s, "view stable before Reset");
+        }
+        live.clear();
+        arena.Reset();
+        internal::Check(arena.bytes_allocated() == 0, "Reset zeroes usage");
+        break;
+      }
+      case 3: {  // scoped scratch: exact rewind, outer views untouched
+        const size_t before = arena.bytes_allocated();
+        {
+          Arena::Scope scope(&arena);
+          const std::string s(1 + next() % 32, 'q');
+          internal::Check(arena.CopyString(s) == s, "scope-local copy");
+        }
+        internal::Check(arena.bytes_allocated() == before, "Scope rewind");
+        break;
+      }
+      case 4: {  // pool New
+        const uint64_t value = next() * 2654435761ULL + i;
+        nodes.emplace_back(pool.New(value), value);
+        break;
+      }
+      case 5: {  // pool Free of a random live node
+        if (nodes.empty()) break;
+        const size_t idx = next() % nodes.size();
+        internal::Check(*nodes[idx].first == nodes[idx].second,
+                        "pool node holds its value");
+        pool.Free(nodes[idx].first);
+        nodes.erase(nodes.begin() + static_cast<ptrdiff_t>(idx));
+        break;
+      }
+      case 6: {  // intern from a small key universe (forces duplicates)
+        std::string key = "k" + std::to_string(next() % 64);
+        const StringInterner::Id id = interner.Intern(key);
+        internal::Check(id != StringInterner::kInvalidId, "Intern succeeds");
+        internal::Check(interner.View(id) == key, "View round-trip");
+        internal::Check(interner.Find(key) == id, "Find after Intern");
+        for (const auto& [k, seen] : ids) {
+          if (k == key) internal::Check(seen == id, "id never remaps");
+        }
+        ids.emplace_back(std::move(key), id);
+        break;
+      }
+    }
+  }
+
+  for (const auto& [s, view] : live) {
+    internal::Check(view == s, "view stable at end");
+  }
+  for (const auto& [p, value] : nodes) {
+    internal::Check(*p == value, "pool node stable at end");
+    pool.Free(p);
+  }
+  internal::Check(pool.live() == 0, "pool live accounting balances");
+  for (const auto& [key, id] : ids) {
+    internal::Check(interner.Find(key) == id, "interner ids stable at end");
+  }
 }
 
 }  // namespace sketchlink::fuzz

@@ -1,0 +1,14 @@
+// libFuzzer target for the memory subsystem (common/{arena,pool,interner}).
+// Build with -DSKETCHLINK_FUZZ=ON (clang only: links -fsanitize=fuzzer).
+// Run:
+//   ./tests/fuzz/fuzz_memory -max_total_time=60
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz_harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  sketchlink::fuzz::FuzzMemory(data, size);
+  return 0;
+}

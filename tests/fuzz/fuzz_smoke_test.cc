@@ -74,5 +74,9 @@ TEST(FuzzSmokeTest, CodingSurvivesRandomBytes) {
   SmokeRun(&fuzz::FuzzCoding, 2.5, 0xc0dULL);
 }
 
+TEST(FuzzSmokeTest, MemorySubsystemSurvivesRandomOpPrograms) {
+  SmokeRun(&fuzz::FuzzMemory, 2.5, 0xa7e4aULL);
+}
+
 }  // namespace
 }  // namespace sketchlink

@@ -1,0 +1,96 @@
+// Steady-state allocation regression: once the per-thread scratches are
+// warm, a full query through the engine — key extraction, sketch routing,
+// sub-block resolution (the benched Table-4 path) — must perform ZERO heap
+// allocations. Global operator new is replaced with a counting shim, so
+// this test lives in its own binary.
+//
+// The count is armed only around the measured queries; gtest, workload
+// construction and index build allocate freely outside the window.
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blocking/presets.h"
+#include "core/block_sketch.h"
+#include "datagen/generators.h"
+#include "linkage/engine.h"
+#include "linkage/sketch_matchers.h"
+
+namespace {
+std::atomic<uint64_t> g_armed_allocations{0};
+std::atomic<bool> g_counting{false};
+
+void* CountedAllocate(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_armed_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAllocate(size); }
+void* operator new[](std::size_t size) { return CountedAllocate(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace sketchlink {
+namespace {
+
+using datagen::DatasetKind;
+
+TEST(ZeroAllocTest, WarmSubBlockQueriesDoNotTouchTheHeap) {
+  const DatasetKind kind = DatasetKind::kDblp;
+  datagen::WorkloadSpec spec;
+  spec.kind = kind;
+  spec.num_entities = 200;
+  spec.copies_per_entity = 5;
+  spec.max_perturb_ops = 3;
+  spec.seed = 99;
+  const datagen::Workload workload = datagen::MakeWorkload(spec);
+
+  auto blocker = MakeStandardBlocker(kind);
+  RecordSimilarity similarity(MatchFieldsFor(kind), 0.75);
+  RecordStore store;
+  // Default ResolveMode::kSubBlock — the paper's Sec. 5 semantics and the
+  // configuration bench_table4 measures.
+  BlockSketchMatcher matcher(BlockSketchOptions(), similarity, &store);
+  LinkageEngine engine(blocker.get(), &matcher, similarity);
+  ASSERT_TRUE(engine.BuildIndex(workload.a).ok());
+
+  KeyScratch keys;
+  QueryScratch scratch;
+  // Two warm-up passes over the full query set: every buffer (key strings,
+  // dedupe set, match vector, normalization scratch) reaches its high-water
+  // capacity before counting starts.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const Record& query : workload.q.records()) {
+      ASSERT_TRUE(engine.ResolveOneInto(query, &keys, &scratch).ok());
+    }
+  }
+
+  g_armed_allocations.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_seq_cst);
+  for (const Record& query : workload.q.records()) {
+    const Status status = engine.ResolveOneInto(query, &keys, &scratch);
+    if (!status.ok()) break;  // reported below, outside the armed window
+  }
+  g_counting.store(false, std::memory_order_seq_cst);
+
+  EXPECT_EQ(g_armed_allocations.load(std::memory_order_relaxed), 0u)
+      << "steady-state queries allocated on the heap";
+  // Results are still real: re-run one query and check it resolves.
+  ASSERT_TRUE(
+      engine.ResolveOneInto(workload.q.records().front(), &keys, &scratch)
+          .ok());
+}
+
+}  // namespace
+}  // namespace sketchlink

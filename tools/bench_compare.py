@@ -10,15 +10,20 @@ Result rows are keyed by their identifying fields (dataset, method,
 blocking, threads — whichever are present), and every *headline metric* is
 compared:
 
-  lower-is-better:  *_seconds
+  lower-is-better:  *_seconds, peak_rss_bytes, matcher_memory_bytes
   higher-is-better: *_per_second, recall, precision, f1
 
 A headline metric that moved more than --max-regression (fractional, default
 0.15 = 15%) in the bad direction fails the gate; the exit code is the number
-of regressions. Overhead percentages, memory and counters are reported but
-not gated — they are either noise-dominated at bench scale or already gated
-elsewhere. Missing baselines or rows are warnings, not failures, so new
-benches can land before their first baseline is committed.
+of regressions. The memory metrics (peak_rss_bytes, matcher_memory_bytes)
+are gated by the separate --max-memory-regression bound (default 0.30 —
+allocator and page-cache noise moves RSS more than steady timing moves
+wall-clock). peak_rss_bytes usually lives at the top level of the bench
+JSON rather than in a result row; top-level numeric headline metrics are
+compared the same way as row metrics. Overhead percentages and counters are
+reported but not gated — they are either noise-dominated at bench scale or
+already gated elsewhere. Missing baselines or rows are warnings, not
+failures, so new benches can land before their first baseline is committed.
 """
 
 import argparse
@@ -31,6 +36,9 @@ IDENTITY_FIELDS = ("dataset", "method", "blocking", "threads", "label")
 LOWER_IS_BETTER_SUFFIX = "_seconds"
 HIGHER_IS_BETTER_SUFFIXES = ("_per_second",)
 HIGHER_IS_BETTER_FIELDS = ("recall", "precision", "f1")
+# Memory footprint: gated lower-is-better, but against the looser
+# --max-memory-regression bound (RSS is allocator- and page-cache-noisy).
+MEMORY_FIELDS = ("peak_rss_bytes", "matcher_memory_bytes")
 
 
 def row_key(row):
@@ -39,14 +47,15 @@ def row_key(row):
 
 def metric_direction(name):
     """Returns 'lower', 'higher', or None (not a headline metric)."""
-    if name.endswith(LOWER_IS_BETTER_SUFFIX):
+    if name.endswith(LOWER_IS_BETTER_SUFFIX) or name in MEMORY_FIELDS:
         return "lower"
     if name.endswith(HIGHER_IS_BETTER_SUFFIXES) or name in HIGHER_IS_BETTER_FIELDS:
         return "higher"
     return None
 
 
-def compare_rows(bench, key, base_row, fresh_row, max_regression):
+def compare_rows(bench, key, base_row, fresh_row, max_regression,
+                 max_memory_regression):
     regressions = []
     for name, base_value in base_row.items():
         direction = metric_direction(name)
@@ -57,20 +66,21 @@ def compare_rows(bench, key, base_row, fresh_row, max_regression):
             continue
         if base_value <= 0:
             continue  # can't compute a ratio; zero baselines are degenerate
+        limit = max_memory_regression if name in MEMORY_FIELDS else max_regression
         ratio = fresh_value / base_value
         if direction == "lower":
-            change = ratio - 1.0  # positive = slower = worse
+            change = ratio - 1.0  # positive = slower/bigger = worse
         else:
             change = 1.0 - ratio  # positive = lower throughput = worse
         label = ", ".join(f"{f}={v}" for f, v in key) or "(single row)"
-        if change > max_regression:
+        if change > limit:
             regressions.append(
                 f"REGRESSION {bench} [{label}] {name}: "
                 f"{base_value:.6g} -> {fresh_value:.6g} "
                 f"({change * 100.0:+.1f}% worse, limit "
-                f"{max_regression * 100.0:.0f}%)"
+                f"{limit * 100.0:.0f}%)"
             )
-        elif change < -max_regression:
+        elif change < -limit:
             print(
                 f"improvement {bench} [{label}] {name}: "
                 f"{base_value:.6g} -> {fresh_value:.6g} "
@@ -79,7 +89,8 @@ def compare_rows(bench, key, base_row, fresh_row, max_regression):
     return regressions
 
 
-def compare_file(fresh_path, baselines_dir, max_regression):
+def compare_file(fresh_path, baselines_dir, max_regression,
+                 max_memory_regression):
     name = os.path.basename(fresh_path)
     base_path = os.path.join(baselines_dir, name)
     if not os.path.exists(base_path):
@@ -105,8 +116,17 @@ def compare_file(fresh_path, baselines_dir, max_regression):
             continue
         compared += 1
         regressions.extend(
-            compare_rows(bench, key, base_row, fresh_row, max_regression)
+            compare_rows(bench, key, base_row, fresh_row, max_regression,
+                         max_memory_regression)
         )
+    # Whole-run metrics (peak_rss_bytes and friends) live beside "results" at
+    # the top level; compare them as one pseudo-row.
+    base_top = {k: v for k, v in base.items() if k != "results"}
+    fresh_top = {k: v for k, v in fresh.items() if k != "results"}
+    regressions.extend(
+        compare_rows(bench, (("scope", "run"),), base_top, fresh_top,
+                     max_regression, max_memory_regression)
+    )
     print(f"{bench}: compared {compared} row(s) against {base_path}")
     return regressions
 
@@ -122,13 +142,15 @@ def main():
     )
     parser.add_argument("--baselines", default=default_baselines)
     parser.add_argument("--max-regression", type=float, default=0.15)
+    parser.add_argument("--max-memory-regression", type=float, default=0.30)
     parser.add_argument("fresh", nargs="+", metavar="FRESH_JSON")
     args = parser.parse_args()
 
     all_regressions = []
     for path in args.fresh:
         all_regressions.extend(
-            compare_file(path, args.baselines, args.max_regression)
+            compare_file(path, args.baselines, args.max_regression,
+                         args.max_memory_regression)
         )
     for line in all_regressions:
         print(line, file=sys.stderr)

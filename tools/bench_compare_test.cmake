@@ -78,7 +78,7 @@ endforeach()
 # the tooling path must work end to end: compare the fresh tiny run with a
 # gate loose enough to always pass, exercising row matching on real output.
 execute_process(COMMAND "${PYTHON3}" "${COMPARE}" --baselines "${BASELINES}"
-                        --max-regression 1000
+                        --max-regression 1000 --max-memory-regression 1000
                         "${WORK}/BENCH_obs_overhead.json"
                 RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
 if(NOT rc EQUAL 0)
@@ -130,6 +130,7 @@ if(DEFINED BENCH_RW)
   # Tiny-scale numbers are noise; exercise row matching only.
   execute_process(COMMAND "${PYTHON3}" "${COMPARE}" --baselines "${BASELINES}"
                           --max-regression 1000
+                          --max-memory-regression 1000
                           "${WORK}/BENCH_concurrent_rw.json"
                   RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
   if(NOT rc EQUAL 0)
@@ -183,10 +184,61 @@ if(DEFINED BENCH_SERVE)
   # warnings by design; this exercises the new-bench on-ramp path.
   execute_process(COMMAND "${PYTHON3}" "${COMPARE}" --baselines "${BASELINES}"
                           --max-regression 1000
+                          --max-memory-regression 1000
                           "${WORK}/BENCH_serve_load.json"
                   RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
   if(NOT rc EQUAL 0)
     message(FATAL_ERROR "serve_load fresh-run compare failed: ${out}${err}")
+  endif()
+endif()
+
+# --- 6. Table-4 query-latency bench: baseline self-check + tiny live run -
+# The headline is queries_per_second per (dataset, method) row; the memory
+# columns (matcher_memory_bytes per row, peak_rss_bytes at the top level)
+# are gated lower-is-better by bench_compare.py's --max-memory-regression.
+if(DEFINED BENCH_T4)
+  configure_file("${BASELINES}/BENCH_table4_query_latency.json"
+                 "${WORK}/BENCH_table4_query_latency.json" COPYONLY)
+  execute_process(COMMAND "${PYTHON3}" "${COMPARE}" --baselines "${BASELINES}"
+                          "${WORK}/BENCH_table4_query_latency.json"
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "table4 baseline-vs-itself flagged a regression: ${out}${err}")
+  endif()
+
+  execute_process(COMMAND "${BENCH_T4}" --threads 1 --entities 80 --copies 4
+                  WORKING_DIRECTORY "${WORK}"
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench_table4_query_latency failed (${rc}): "
+            "${out}${err}")
+  endif()
+  if(NOT EXISTS "${WORK}/BENCH_table4_query_latency.json")
+    message(FATAL_ERROR "bench did not write BENCH_table4_query_latency.json")
+  endif()
+  file(READ "${WORK}/BENCH_table4_query_latency.json" FRESH_T4)
+  foreach(field
+      "queries_per_second"
+      "avg_query_seconds"
+      "matcher_memory_bytes"
+      "peak_rss_bytes"
+      "comparisons"
+      "recall"
+      "precision"
+      "f1")
+    if(NOT FRESH_T4 MATCHES "\"${field}\"")
+      message(FATAL_ERROR "table4 sidecar missing field '${field}'")
+    endif()
+  endforeach()
+  # Tiny-scale numbers (and their memory footprint) are not comparable to
+  # the full-scale baseline; exercise row matching only.
+  execute_process(COMMAND "${PYTHON3}" "${COMPARE}" --baselines "${BASELINES}"
+                          --max-regression 1000 --max-memory-regression 1000
+                          "${WORK}/BENCH_table4_query_latency.json"
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "table4 fresh-run compare failed: ${out}${err}")
   endif()
 endif()
 
